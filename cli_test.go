@@ -1,0 +1,114 @@
+package xmtgo_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLITools builds the three drivers and exercises their main paths end
+// to end: compile, simulate (both modes, with stats, overrides and memory
+// maps), trace, describe, and the compile-and-run one-step tool.
+func TestCLITools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"xmtcc", "xmtsim", "xmtrun"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, msg)
+		}
+		bins[tool] = out
+	}
+
+	src := `
+int n = 0;
+int A[64];
+int total = 0;
+int main() {
+    spawn(0, n - 1) {
+        int v = A[$];
+        psm(v, total);
+    }
+    print_int(total);
+    return 0;
+}
+`
+	cFile := filepath.Join(dir, "prog.c")
+	if err := os.WriteFile(cFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mapFile := filepath.Join(dir, "in.map")
+	if err := os.WriteFile(mapFile, []byte("n = 4\nA = 10 20 30 40\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bins[name], args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// xmtcc: compile to assembly, with stats and prepass dump.
+	sFile := filepath.Join(dir, "prog.s")
+	run("xmtcc", "-o", sFile, "-v", cFile)
+	asmText, err := os.ReadFile(sFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(asmText), "spawn") || !strings.Contains(string(asmText), "psm") {
+		t.Fatalf("assembly missing spawn/psm:\n%s", asmText)
+	}
+	dump := run("xmtcc", "-dump-prepass", cFile)
+	if !strings.Contains(dump, "__outl_main_0") {
+		t.Fatalf("prepass dump missing outlined function:\n%s", dump)
+	}
+	irDump := run("xmtcc", "-dump-ir", cFile)
+	if !strings.Contains(irDump, "func main") {
+		t.Fatalf("ir dump:\n%s", irDump)
+	}
+
+	// xmtsim: cycle mode with memory map, stats and overrides.
+	out := run("xmtsim", "-config", "fpga64", "-mem", mapFile, "-stats", "-set", "dram_latency=20", sFile)
+	if !strings.Contains(out, "100") {
+		t.Fatalf("expected program output 100 in:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles") || !strings.Contains(out, "spawns=1") {
+		t.Fatalf("stats missing:\n%s", out)
+	}
+	// Functional mode.
+	out = run("xmtsim", "-mode", "func", "-mem", mapFile, sFile)
+	if !strings.Contains(out, "100") || !strings.Contains(out, "functional mode") {
+		t.Fatalf("functional mode:\n%s", out)
+	}
+	// Memory dump (Fig. 3's "memory dump" output).
+	out = run("xmtsim", "-mem", mapFile, "-dump", "A:4", "-dump", "total", sFile)
+	if !strings.Contains(out, "10 20 30 40") || !strings.Contains(out, "total @") {
+		t.Fatalf("memory dump:\n%s", out)
+	}
+
+	// Describe.
+	out = run("xmtsim", "-describe", "-config", "chip1024")
+	if !strings.Contains(out, "total TCUs: 1024") {
+		t.Fatalf("describe:\n%s", out)
+	}
+	// Trace limited to the master and one mnemonic.
+	out = run("xmtsim", "-mem", mapFile, "-trace", "cycle", "-trace-tcu", "-1", "-trace-op", "spawn", sFile)
+	if !strings.Contains(out, "spawn") {
+		t.Fatalf("trace:\n%s", out)
+	}
+
+	// xmtrun: one-step compile and simulate.
+	out = run("xmtrun", "-config", "fpga64", "-mem", mapFile, cFile)
+	if !strings.Contains(out, "100") {
+		t.Fatalf("xmtrun:\n%s", out)
+	}
+}

@@ -1,0 +1,8 @@
+package main
+
+import (
+	"xmtgo/internal/asm"
+	"xmtgo/internal/codegen"
+)
+
+func asmPrint(res *codegen.Result) string { return asm.Print(res.Unit) }

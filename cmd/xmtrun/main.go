@@ -1,0 +1,130 @@
+// Command xmtrun compiles and immediately simulates an XMTC program — the
+// one-step workflow students and algorithm developers use ("install the
+// toolchain on any personal computer and work on assignments", paper §I).
+//
+// Usage:
+//
+//	xmtrun [flags] program.c
+//
+// Examples:
+//
+//	xmtrun prog.c                          # cycle-accurate on fpga64
+//	xmtrun -config chip1024 -stats prog.c
+//	xmtrun -mode func prog.c               # fast functional debugging mode
+//	xmtrun -mem input.map prog.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/codegen"
+	"xmtgo/internal/config"
+	"xmtgo/internal/sim/cycle"
+	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/stats"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var sets, memmaps listFlag
+	var (
+		cfgName   = flag.String("config", "fpga64", "machine preset: fpga64 or chip1024")
+		mode      = flag.String("mode", "cycle", "simulation mode: cycle or func")
+		maxCycles = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = unlimited)")
+		showStats = flag.Bool("stats", false, "print instruction and activity counters")
+		optLevel  = flag.Int("O", 1, "optimization level")
+		cluster   = flag.Int("cluster", 0, "virtual-thread clustering factor")
+		noPref    = flag.Bool("no-prefetch", false, "disable compiler prefetching")
+		noNB      = flag.Bool("no-nbstore", false, "disable non-blocking stores")
+	)
+	flag.Var(&sets, "set", "override one configuration key=value (repeatable)")
+	flag.Var(&memmaps, "mem", "memory-map input file (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xmtrun [flags] program.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg, err := config.Preset(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	for _, kv := range sets {
+		if err := cfg.Set(kv); err != nil {
+			fatal(err)
+		}
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := codegen.Compile(flag.Arg(0), string(src), codegen.Options{
+		OptLevel:      *optLevel,
+		ClusterFactor: *cluster,
+		NoPrefetch:    *noPref,
+		NoNBStore:     *noNB,
+		PrefetchSlots: 4,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+	prog, err := asm.Assemble(res.Unit)
+	if err != nil {
+		fatal(err)
+	}
+	for _, mm := range memmaps {
+		data, err := os.ReadFile(mm)
+		if err != nil {
+			fatal(err)
+		}
+		if err := asm.ApplyMemMap(prog, mm, string(data)); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *mode == "func" {
+		m, err := funcmodel.New(prog, cfg.MemBytes, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Run(0); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode) ===\n", m.InstrCount)
+		return
+	}
+
+	sys, err := cycle.New(prog, cfg, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if *showStats {
+		sys.Stats.AddFilter(&stats.OpHistogram{})
+	}
+	r, err := sys.Run(*maxCycles)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\n=== %d cycles, %d instructions ===\n", r.Cycles, r.Instrs)
+	if *showStats {
+		sys.Stats.Report(os.Stderr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmtrun:", err)
+	os.Exit(1)
+}

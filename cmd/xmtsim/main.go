@@ -1,0 +1,308 @@
+// Command xmtsim is the XMT simulator driver: it loads an XMT assembly
+// program (plus optional memory-map input files) and simulates it either
+// cycle-accurately or in the fast functional mode, with the statistics,
+// tracing, plug-in, checkpoint and floorplan facilities of XMTSim.
+//
+// Usage:
+//
+//	xmtsim [flags] program.s
+//
+// Examples:
+//
+//	xmtsim -config chip1024 -stats prog.s
+//	xmtsim -mode func prog.s
+//	xmtsim -set clusters=16 -set dram_latency=100 prog.s
+//	xmtsim -trace cycle -trace-tcu 0 prog.s
+//	xmtsim -hot prog.s
+//	xmtsim -checkpoint state.ckpt prog.s           # save at sys checkpoint
+//	xmtsim -resume state.ckpt prog.s               # resume from a checkpoint
+//	xmtsim -thermal -floorplan prog.s
+//	xmtsim -describe -config fpga64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/asm/postpass"
+	"xmtgo/internal/config"
+	"xmtgo/internal/floorplan"
+	"xmtgo/internal/sim/checkpoint"
+	"xmtgo/internal/sim/cycle"
+	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/power"
+	"xmtgo/internal/sim/stats"
+	"xmtgo/internal/sim/trace"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var sets, memmaps listFlag
+	var (
+		cfgName   = flag.String("config", "fpga64", "machine preset: fpga64 or chip1024")
+		cfgFile   = flag.String("config-file", "", "key=value configuration file")
+		mode      = flag.String("mode", "cycle", "simulation mode: cycle or func")
+		maxCycles = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = unlimited)")
+		showStats = flag.Bool("stats", false, "print instruction and activity counters")
+		hot       = flag.Bool("hot", false, "enable the hottest-memory-locations filter plug-in")
+		histogram = flag.Bool("histogram", false, "enable the opcode-histogram filter plug-in")
+		traceLvl  = flag.String("trace", "", "execution trace: func or cycle")
+		traceTCU  = flag.Int("trace-tcu", math.MinInt, "limit trace to one TCU (-1 = master)")
+		traceOp   = flag.String("trace-op", "", "limit trace to one mnemonic")
+		ckptOut   = flag.String("checkpoint", "", "write a checkpoint here when the program requests one")
+		ckptIn    = flag.String("resume", "", "resume from this checkpoint file")
+		thermal   = flag.Bool("thermal", false, "attach the power/thermal DVFS manager plug-in")
+		plan      = flag.Bool("floorplan", false, "render the cluster floorplan at exit (activity or temperature)")
+		describe  = flag.Bool("describe", false, "print the machine configuration and exit")
+	)
+	var dumps listFlag
+	flag.Var(&dumps, "dump", "memory dump at exit: symbol or symbol:words (repeatable)")
+	flag.Var(&sets, "set", "override one configuration key=value (repeatable)")
+	flag.Var(&memmaps, "mem", "memory-map input file (repeatable)")
+	flag.Parse()
+
+	cfg, err := config.Preset(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	if *cfgFile != "" {
+		src, err := os.ReadFile(*cfgFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cfg.Load(string(src)); err != nil {
+			fatal(err)
+		}
+	}
+	for _, kv := range sets {
+		if err := cfg.Set(kv); err != nil {
+			fatal(err)
+		}
+	}
+	if *describe {
+		fmt.Print(cfg.Describe())
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xmtsim [flags] program.s")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	u, err := asm.Parse(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := postpass.Run(u); err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(u)
+	if err != nil {
+		fatal(err)
+	}
+	for _, mm := range memmaps {
+		data, err := os.ReadFile(mm)
+		if err != nil {
+			fatal(err)
+		}
+		if err := asm.ApplyMemMap(prog, mm, string(data)); err != nil {
+			fatal(err)
+		}
+	}
+
+	var resume *checkpoint.State
+	if *ckptIn != "" {
+		f, err := os.Open(*ckptIn)
+		if err != nil {
+			fatal(err)
+		}
+		resume, err = checkpoint.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *mode == "func" {
+		m := runFunctional(prog, cfg, resume, *ckptOut, *traceLvl != "")
+		if err := dumpMemory(prog, m.ReadWord, dumps); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sys, err := cycle.New(prog, cfg, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if resume != nil {
+		if err := sys.RestoreState(resume); err != nil {
+			fatal(err)
+		}
+	}
+	if *hot {
+		sys.Stats.AddFilter(stats.NewHotLocations(uint32(cfg.CacheLineSize), 10))
+	}
+	if *histogram {
+		sys.Stats.AddFilter(&stats.OpHistogram{})
+	}
+	var tm *power.ThermalManager
+	if *thermal {
+		tm, err = power.NewThermalManager(&cfg, 5000, 85)
+		if err != nil {
+			fatal(err)
+		}
+		sys.AddActivityPlugin(tm)
+	}
+	if *traceLvl != "" {
+		lvl := trace.LevelFunctional
+		if *traceLvl == "cycle" {
+			lvl = trace.LevelCycle
+		}
+		tr := trace.New(os.Stderr, lvl)
+		if *traceTCU != math.MinInt {
+			tr.LimitTCU(*traceTCU)
+		}
+		if *traceOp != "" {
+			if err := tr.LimitOp(*traceOp); err != nil {
+				fatal(err)
+			}
+		}
+		sys.SetTrace(tr.CycleHook())
+	}
+
+	res, err := sys.Run(*maxCycles)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\n=== %d cycles, %d instructions (%s) ===\n", res.Cycles, res.Instrs, endState(res))
+	if res.Checkpoint && *ckptOut != "" {
+		f, err := os.Create(*ckptOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := checkpoint.Save(f, sys.Capture()); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "checkpoint written to %s (cycle %d)\n", *ckptOut, res.Cycles)
+	}
+	if *showStats {
+		sys.Stats.Report(os.Stderr)
+	}
+	if err := dumpMemory(prog, sys.Machine.ReadWord, dumps); err != nil {
+		fatal(err)
+	}
+	if *plan {
+		renderPlan(sys, tm, cfg)
+	}
+}
+
+// dumpMemory implements the "memory dump" output of Fig. 3: it prints
+// words starting at a data symbol.
+func dumpMemory(prog *asm.Program, read func(uint32) (int32, error), dumps []string) error {
+	for _, spec := range dumps {
+		name, cntStr, hasCnt := strings.Cut(spec, ":")
+		count := 8
+		if hasCnt {
+			if _, err := fmt.Sscanf(cntStr, "%d", &count); err != nil || count <= 0 {
+				return fmt.Errorf("bad -dump count in %q", spec)
+			}
+		}
+		addr, ok := prog.SymAddr(name)
+		if !ok {
+			return fmt.Errorf("-dump: unknown data symbol %q", name)
+		}
+		fmt.Fprintf(os.Stderr, "%s @0x%08x:", name, addr)
+		for i := 0; i < count; i++ {
+			v, err := read(addr + uint32(4*i))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, " %d", v)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	return nil
+}
+
+func endState(res *cycle.Result) string {
+	switch {
+	case res.Halted:
+		return "halted"
+	case res.Checkpoint:
+		return "checkpoint"
+	case res.TimedOut:
+		return "cycle budget exhausted"
+	}
+	return "stopped"
+}
+
+func renderPlan(sys *cycle.System, tm *power.ThermalManager, cfg config.Config) {
+	p := floorplan.NewGridPlan(cfg.Clusters)
+	if tm != nil {
+		p.Render(os.Stderr, "die temperature (°C)", tm.Grid().T, math.NaN(), math.NaN())
+		return
+	}
+	vals := make([]float64, cfg.Clusters)
+	for i := range vals {
+		vals[i] = float64(sys.Stats.Cluster[i].TCUInstrs)
+	}
+	p.Render(os.Stderr, "per-cluster committed instructions", vals, math.NaN(), math.NaN())
+}
+
+func runFunctional(prog *asm.Program, cfg config.Config, resume *checkpoint.State, ckptOut string, traceOn bool) *funcmodel.Machine {
+	m, err := funcmodel.New(prog, cfg.MemBytes, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if resume != nil {
+		if err := checkpoint.Restore(m, resume); err != nil {
+			fatal(err)
+		}
+	}
+	if traceOn {
+		tr := trace.New(os.Stderr, trace.LevelFunctional)
+		m.Trace = tr.FuncHook()
+	}
+	for {
+		ok, err := m.Step()
+		if err != nil {
+			fatal(err)
+		}
+		if m.CheckpointRequested && ckptOut != "" {
+			f, err := os.Create(ckptOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := checkpoint.Save(f, checkpoint.Capture(m, int64(m.InstrCount))); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			m.CheckpointRequested = false
+			fmt.Fprintf(os.Stderr, "checkpoint written to %s (instruction %d)\n", ckptOut, m.InstrCount)
+		}
+		if !ok {
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode) ===\n", m.InstrCount)
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmtsim:", err)
+	os.Exit(1)
+}

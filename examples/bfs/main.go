@@ -1,0 +1,51 @@
+// BFS: the paper's motivating irregular workload (§II-C: students got 8x
+// to 25x speedups on XMT where OpenMP got none). This example builds a
+// random graph, feeds it to PRAM-style parallel BFS and to serial
+// queue-based BFS through a memory-map file, and compares cycle counts on
+// the 64-TCU FPGA machine and the envisioned 1024-TCU chip.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"xmtgo"
+	"xmtgo/internal/workloads"
+)
+
+func main() {
+	const n, deg = 400, 8
+	g := workloads.RandomGraph(n, deg, 1)
+	par, ser := workloads.BFS(512, 8192)
+	mm := g.MemMap()
+	fmt.Printf("graph: %d vertices, %d directed edges; BFS from vertex 0 reaches %d vertices\n\n",
+		g.N, g.M, g.Reached)
+
+	run := func(name, src string, cfg xmtgo.Config) int64 {
+		prog, _, err := xmtgo.Build(name+".c", src, xmtgo.DefaultCompileOptions(), mm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sys, err := xmtgo.NewSimulator(prog, cfg, io.Discard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := sys.Run(0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-28s %10d cycles\n", name+" ("+cfg.Name+")", res.Cycles)
+		return res.Cycles
+	}
+
+	s64 := run("serial-bfs", ser, xmtgo.ConfigFPGA64())
+	p64 := run("parallel-bfs", par, xmtgo.ConfigFPGA64())
+	p1024 := run("parallel-bfs", par, xmtgo.ConfigChip1024())
+
+	fmt.Printf("\nspeedup on 64 TCUs:   %.2fx\n", float64(s64)/float64(p64))
+	fmt.Printf("speedup on 1024 TCUs: %.2fx (vs. serial on fpga64)\n", float64(s64)/float64(p1024))
+}

@@ -1,0 +1,64 @@
+// Designspace: the paper's "reason 3" for releasing the toolchain — using
+// the simulator's configurability to evaluate alternative system
+// components. This example sweeps two architectural knobs (cluster count
+// and DRAM latency) for the parallel BFS workload and prints the cycle
+// counts, the kind of table a design-space study would plot.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"xmtgo"
+	"xmtgo/internal/workloads"
+)
+
+func main() {
+	g := workloads.RandomGraph(600, 8, 3)
+	par, _ := workloads.BFS(1024, 16384)
+	mm := g.MemMap()
+	prog, _, err := xmtgo.Build("bfs.c", par, xmtgo.DefaultCompileOptions(), mm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cycles := func(cfg xmtgo.Config) int64 {
+		sys, err := xmtgo.NewSimulator(prog, cfg, io.Discard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := sys.Run(0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return res.Cycles
+	}
+
+	fmt.Printf("BFS (%d vertices, %d edges): simulated cycles across the design space\n\n", g.N, g.M)
+
+	fmt.Println("clusters (x16 TCUs) sweep, chip1024 baseline otherwise:")
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		cfg := xmtgo.ConfigChip1024()
+		cfg.Clusters = n
+		cfg.CacheModules = n
+		fmt.Printf("    %4d TCUs: %8d cycles\n", n*cfg.TCUsPerCluster, cycles(cfg))
+	}
+
+	fmt.Println("\nDRAM latency sweep on chip1024:")
+	for _, lat := range []int64{20, 60, 120, 240} {
+		cfg := xmtgo.ConfigChip1024()
+		cfg.DRAMLatency = lat
+		fmt.Printf("    %4d DRAM cycles: %8d cycles\n", lat, cycles(cfg))
+	}
+
+	fmt.Println("\ninterconnect variant on chip1024:")
+	sync := xmtgo.ConfigChip1024()
+	async := xmtgo.ConfigChip1024()
+	async.ICNAsync = true
+	fmt.Printf("    synchronous ICN:  %8d cycles\n", cycles(sync))
+	fmt.Printf("    asynchronous ICN: %8d cycles\n", cycles(async))
+}

@@ -1,0 +1,69 @@
+// Thermal: the dynamic power/thermal management pipeline the paper calls
+// unique to XMTSim (§III-B, §III-F): an activity plug-in samples the
+// instruction/activity counters at regular simulated-time intervals,
+// converts them to power, advances a HotSpot-style RC thermal grid, and
+// throttles the cluster clock domain when the die gets too hot — then the
+// floorplan visualization renders the resulting temperature map.
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"xmtgo"
+	"xmtgo/internal/floorplan"
+	"xmtgo/internal/workloads"
+)
+
+func main() {
+	cfg := xmtgo.ConfigFPGA64()
+	// A long, hot, compute-bound parallel program.
+	src := workloads.TableI(workloads.ParallelCompute, cfg.Clusters*cfg.TCUsPerCluster, 3000)
+
+	prog, _, err := xmtgo.Build("hot.c", src, xmtgo.DefaultCompileOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sys, err := xmtgo.NewSimulator(prog, cfg, io.Discard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tm, err := xmtgo.NewThermalManager(&cfg, 2000, 55)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sys.AddActivityPlugin(tm)
+
+	res, err := sys.Run(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("completed in %d cycles; %d thermal-manager samples\n\n", res.Cycles, len(tm.History))
+
+	throttles := 0
+	peak := 0.0
+	for i, s := range tm.History {
+		if s.MaxTemp > peak {
+			peak = s.MaxTemp
+		}
+		if s.Throttled && (i == 0 || !tm.History[i-1].Throttled) {
+			throttles++
+		}
+	}
+	fmt.Printf("peak die temperature: %.1f °C, throttle episodes: %d\n", peak, throttles)
+	if len(tm.History) > 0 {
+		last := tm.History[len(tm.History)-1]
+		fmt.Printf("final: max %.1f °C, mean %.1f °C, power %.1f W, throttled=%v\n\n",
+			last.MaxTemp, last.MeanTemp, last.TotalWatt, last.Throttled)
+	}
+
+	plan := floorplan.NewGridPlan(cfg.Clusters)
+	plan.Render(os.Stdout, "die temperature (°C)", tm.Grid().T, math.NaN(), math.NaN())
+	plan.RenderValues(os.Stdout, "\nper-cell temperatures:", tm.Grid().T, "%7.1f")
+}

@@ -1,0 +1,3 @@
+module xmtgo
+
+go 1.22

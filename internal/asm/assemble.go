@@ -1,0 +1,282 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"xmtgo/internal/isa"
+)
+
+// Memory layout constants of the simulated XMT machine. The text segment is
+// a separate instruction-index space (the hardware broadcasts instructions;
+// programs cannot modify code), so only data addresses appear here.
+const (
+	// DataBase is the byte address where the linked data segment starts.
+	DataBase uint32 = 0x0001_0000
+	// StackTop is the initial master-TCU stack pointer. Parallel code has
+	// no stack in the current toolchain release (paper §IV-D).
+	StackTop uint32 = 0x00f0_0000
+	// DefaultMemSize is the default size of the simulated shared memory.
+	DefaultMemSize uint32 = 0x0100_0000 // 16 MiB
+)
+
+// SymKind discriminates symbol namespaces.
+type SymKind uint8
+
+const (
+	SymText SymKind = iota // value is an instruction index
+	SymData                // value is a byte address
+)
+
+// Symbol is a linked symbol.
+type Symbol struct {
+	Name  string
+	Kind  SymKind
+	Value uint32
+}
+
+// SpawnRegion records a broadcast region: the instruction indices of a
+// spawn instruction and its matching join.
+type SpawnRegion struct {
+	Spawn int // index of the spawn instruction
+	Join  int // index of the matching join
+}
+
+// Program is a fully linked executable for the XMT simulator.
+type Program struct {
+	Text     []isa.Instr
+	Syms     map[string]Symbol
+	Data     []byte // initial data image, loaded at DataBase
+	DataEnd  uint32 // first free byte after the data segment (heap start)
+	Entry    int    // instruction index where the Master TCU starts
+	Spawns   []SpawnRegion
+	SrcFiles []string
+}
+
+// SymAddr returns the value of a data symbol.
+func (p *Program) SymAddr(name string) (uint32, bool) {
+	s, ok := p.Syms[name]
+	if !ok || s.Kind != SymData {
+		return 0, false
+	}
+	return s.Value, true
+}
+
+// RegionOf returns the spawn region containing instruction index idx (the
+// region spans (spawn, join], exclusive of the spawn itself), or nil.
+func (p *Program) RegionOf(idx int) *SpawnRegion {
+	for i := range p.Spawns {
+		r := &p.Spawns[i]
+		if idx > r.Spawn && idx <= r.Join {
+			return r
+		}
+	}
+	return nil
+}
+
+// Assemble lays out and links a single parsed unit into an executable
+// Program. Multi-unit programs are concatenated by the caller (the compiler
+// emits one unit).
+func Assemble(units ...*Unit) (*Program, error) {
+	if len(units) == 0 {
+		return nil, fmt.Errorf("asm: no units")
+	}
+	merged := &Unit{File: units[0].File, Globals: make(map[string]bool)}
+	for _, u := range units {
+		merged.Text = append(merged.Text, u.Text...)
+		merged.Data = append(merged.Data, u.Data...)
+		for g := range u.Globals {
+			merged.Globals[g] = true
+		}
+		merged.File = u.File
+	}
+	u := merged
+
+	p := &Program{Syms: make(map[string]Symbol), Entry: -1}
+	for _, un := range units {
+		p.SrcFiles = append(p.SrcFiles, un.File)
+	}
+
+	// 1. Text labels -> instruction indices.
+	labels, err := u.Labels()
+	if err != nil {
+		return nil, err
+	}
+	for name, idx := range labels {
+		p.Syms[name] = Symbol{Name: name, Kind: SymText, Value: uint32(idx)}
+	}
+
+	// 2. Data layout.
+	cursor := DataBase
+	var image []byte
+	grow := func(to uint32) {
+		if n := int(to - DataBase); n > len(image) {
+			image = append(image, make([]byte, n-len(image))...)
+		}
+	}
+	putWord := func(addr uint32, v int32) {
+		grow(addr + 4)
+		off := addr - DataBase
+		image[off] = byte(v)
+		image[off+1] = byte(v >> 8)
+		image[off+2] = byte(v >> 16)
+		image[off+3] = byte(v >> 24)
+	}
+	type fixup struct {
+		addr uint32
+		sym  string
+		line int
+	}
+	var fixups []fixup
+	for _, d := range u.Data {
+		if d.Label != "" {
+			if _, dup := p.Syms[d.Label]; dup {
+				return nil, errf(u.File, d.Line, "duplicate symbol %q", d.Label)
+			}
+			p.Syms[d.Label] = Symbol{Name: d.Label, Kind: SymData, Value: cursor}
+		}
+		switch d.Kind {
+		case DataAlign:
+			if d.Size > 0 {
+				a := uint32(1) << uint(d.Size)
+				cursor = (cursor + a - 1) &^ (a - 1)
+				// Labels placed just before an .align must follow it; re-bind.
+				if d.Label != "" {
+					p.Syms[d.Label] = Symbol{Name: d.Label, Kind: SymData, Value: cursor}
+				}
+			}
+		case DataWord, DataFloat:
+			if cursor%4 != 0 {
+				return nil, errf(u.File, d.Line, ".word/.float at unaligned address 0x%x; insert .align 2", cursor)
+			}
+			for _, v := range d.Values {
+				if v.Sym != "" {
+					fixups = append(fixups, fixup{cursor, v.Sym, d.Line})
+					putWord(cursor, 0)
+				} else {
+					putWord(cursor, v.Val)
+				}
+				cursor += 4
+			}
+		case DataByte:
+			for _, v := range d.Values {
+				grow(cursor + 1)
+				image[cursor-DataBase] = byte(v.Val)
+				cursor++
+			}
+		case DataSpace:
+			cursor += uint32(d.Size)
+			grow(cursor)
+		case DataAsciiz:
+			grow(cursor + uint32(len(d.Str)) + 1)
+			copy(image[cursor-DataBase:], d.Str)
+			cursor += uint32(len(d.Str)) + 1
+		}
+	}
+	p.Data = image
+	p.DataEnd = (cursor + 7) &^ 7
+
+	// 3. Resolve data fixups (.word sym).
+	for _, f := range fixups {
+		s, ok := p.Syms[f.sym]
+		if !ok {
+			return nil, errf(u.File, f.line, ".word: undefined symbol %q", f.sym)
+		}
+		putWord(f.addr, int32(s.Value))
+	}
+	p.Data = image
+
+	// 4. Resolve instruction relocations.
+	idx := 0
+	for _, it := range u.Text {
+		if it.Kind != ItemInstr {
+			continue
+		}
+		in := it.Instr
+		switch it.Reloc {
+		case RelBranch:
+			s, ok := p.Syms[in.Sym]
+			if !ok || s.Kind != SymText {
+				return nil, errf(u.File, it.Line, "undefined label %q", in.Sym)
+			}
+			in.Target = int(s.Value)
+		case RelHi16, RelLo16, RelAbs:
+			s, ok := p.Syms[in.Sym]
+			if !ok {
+				return nil, errf(u.File, it.Line, "undefined symbol %q", in.Sym)
+			}
+			switch it.Reloc {
+			case RelHi16:
+				in.Imm = int32(s.Value >> 16)
+			case RelLo16:
+				in.Imm = int32(s.Value & 0xffff)
+			default:
+				in.Imm = int32(s.Value)
+			}
+		}
+		if err := in.Validate(); err != nil {
+			return nil, errf(u.File, it.Line, "%v", err)
+		}
+		p.Text = append(p.Text, in)
+		idx++
+	}
+	_ = idx
+
+	// 5. Spawn region scan: spawn/join must be properly bracketed and not
+	// nested (the compiler serializes nested spawns).
+	open := -1
+	for i, in := range p.Text {
+		switch in.Op {
+		case isa.OpSpawn:
+			if open >= 0 {
+				return nil, errf(u.File, in.Line, "nested spawn at instruction %d (previous spawn at %d not joined)", i, open)
+			}
+			open = i
+		case isa.OpJoin:
+			if open < 0 {
+				return nil, errf(u.File, in.Line, "join at instruction %d without spawn", i)
+			}
+			p.Spawns = append(p.Spawns, SpawnRegion{Spawn: open, Join: i})
+			open = -1
+		}
+	}
+	if open >= 0 {
+		return nil, errf(u.File, 0, "spawn at instruction %d has no matching join", open)
+	}
+
+	// 6. Entry point.
+	if s, ok := p.Syms["_start"]; ok && s.Kind == SymText {
+		p.Entry = int(s.Value)
+	} else if s, ok := p.Syms["main"]; ok && s.Kind == SymText {
+		p.Entry = int(s.Value)
+	} else {
+		return nil, errf(u.File, 0, "no entry point: define main or _start")
+	}
+	return p, nil
+}
+
+// DataSymbols returns the data symbols sorted by address, useful for memory
+// dumps and the hottest-locations filter plug-in.
+func (p *Program) DataSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range p.Syms {
+		if s.Kind == SymData {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// SymbolAt returns the name of the data symbol whose region contains addr
+// (the closest symbol at or below addr), or "".
+func (p *Program) SymbolAt(addr uint32) string {
+	var best string
+	var bestAddr uint32
+	for _, s := range p.Syms {
+		if s.Kind == SymData && s.Value <= addr && (best == "" || s.Value > bestAddr) {
+			best, bestAddr = s.Name, s.Value
+		}
+	}
+	return best
+}

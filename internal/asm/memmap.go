@@ -1,0 +1,115 @@
+package asm
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// A memory-map file provides initial values for global variables — the only
+// way to feed input to an XMTC program in the OS-less XMT toolchain (paper
+// §III-A). The format is line-oriented:
+//
+//	# comment
+//	n       = 1024
+//	A       = 5 0 3 0 0 9 1
+//	A[100]  = 7          # word offset 100 within A
+//	name    = "a string"
+//	weights = 0.5 1.25 3.0
+//
+// Integer values are written as 32-bit words, values containing '.' or an
+// exponent as IEEE-754 float32 words, and strings as NUL-terminated bytes.
+
+// ApplyMemMap parses src and patches the program's initial data image.
+func ApplyMemMap(p *Program, file, src string) error {
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		text := strings.TrimSpace(stripComment(raw))
+		if text == "" {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(text, "=")
+		if !ok {
+			return errf(file, line, "expected 'symbol = values'")
+		}
+		lhs = strings.TrimSpace(lhs)
+		rhs = strings.TrimSpace(rhs)
+
+		var wordOff int64
+		if i := strings.IndexByte(lhs, '['); i >= 0 {
+			if !strings.HasSuffix(lhs, "]") {
+				return errf(file, line, "bad subscript in %q", lhs)
+			}
+			var err error
+			wordOff, err = strconv.ParseInt(lhs[i+1:len(lhs)-1], 0, 32)
+			if err != nil || wordOff < 0 {
+				return errf(file, line, "bad subscript in %q", lhs)
+			}
+			lhs = strings.TrimSpace(lhs[:i])
+		}
+		sym, ok := p.Syms[lhs]
+		if !ok || sym.Kind != SymData {
+			return errf(file, line, "unknown data symbol %q", lhs)
+		}
+		addr := sym.Value + uint32(wordOff)*4
+
+		if strings.HasPrefix(rhs, "\"") {
+			s, err := strconv.Unquote(rhs)
+			if err != nil {
+				return errf(file, line, "bad string %s", rhs)
+			}
+			if err := p.patchBytes(addr, append([]byte(s), 0)); err != nil {
+				return errf(file, line, "%s: %v", lhs, err)
+			}
+			continue
+		}
+		for _, f := range strings.Fields(rhs) {
+			var word int32
+			if looksFloat(f) {
+				fv, err := strconv.ParseFloat(f, 32)
+				if err != nil {
+					return errf(file, line, "bad float %q", f)
+				}
+				word = int32(math.Float32bits(float32(fv)))
+			} else {
+				v, err := strconv.ParseInt(f, 0, 64)
+				if err != nil || v < math.MinInt32 || v > math.MaxUint32 {
+					return errf(file, line, "bad value %q", f)
+				}
+				word = int32(uint32(v))
+			}
+			if err := p.patchWord(addr, word); err != nil {
+				return errf(file, line, "%s: %v", lhs, err)
+			}
+			addr += 4
+		}
+	}
+	return nil
+}
+
+func looksFloat(s string) bool {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "-0x") {
+		return false
+	}
+	return strings.ContainsAny(s, ".eE") && !strings.HasPrefix(s, "0b")
+}
+
+func (p *Program) patchWord(addr uint32, v int32) error {
+	if addr < DataBase || addr+4 > DataBase+uint32(len(p.Data)) {
+		return errf("", 0, "address 0x%x outside the data segment", addr)
+	}
+	off := addr - DataBase
+	p.Data[off] = byte(v)
+	p.Data[off+1] = byte(v >> 8)
+	p.Data[off+2] = byte(v >> 16)
+	p.Data[off+3] = byte(v >> 24)
+	return nil
+}
+
+func (p *Program) patchBytes(addr uint32, b []byte) error {
+	if addr < DataBase || addr+uint32(len(b)) > DataBase+uint32(len(p.Data)) {
+		return errf("", 0, "address 0x%x outside the data segment", addr)
+	}
+	copy(p.Data[addr-DataBase:], b)
+	return nil
+}

@@ -1,0 +1,305 @@
+// Package postpass implements the third compiler pass of the XMT toolchain
+// (the SableCC-based pass in the paper): it verifies that assembly complies
+// with XMT semantics and fixes basic-block layout.
+//
+// The key check reproduces Fig. 9 of the paper: all code of a spawn block
+// must be placed between the spawn and join instructions, because the XMT
+// hardware broadcasts exactly that window to the TCUs and TCUs cannot fetch
+// instructions that were not broadcast. An optimizing core pass may place a
+// basic block that logically belongs to the spawn region after the join
+// (e.g. after the enclosing function's return) to save a jump; this pass
+// detects such blocks and relocates them back inside the region, inserting a
+// jump to the join where fall-through would otherwise be broken.
+package postpass
+
+import (
+	"fmt"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/isa"
+)
+
+// Diagnostic is one verification failure.
+type Diagnostic struct {
+	Line int
+	Msg  string
+}
+
+func (d Diagnostic) Error() string {
+	if d.Line > 0 {
+		return fmt.Sprintf("line %d: %s", d.Line, d.Msg)
+	}
+	return d.Msg
+}
+
+// Result reports what the post-pass did.
+type Result struct {
+	RelocatedBlocks int      // basic blocks moved back into spawn regions
+	InsertedJumps   int      // fall-through protection jumps added
+	Diagnostics     []string // non-fatal notes
+}
+
+// Run verifies and fixes a unit in place. It returns an error for
+// violations that cannot be repaired (illegal instructions in parallel code,
+// unbalanced spawn/join, blocks that cannot be extracted).
+func Run(u *asm.Unit) (*Result, error) {
+	res := &Result{}
+	if err := relocateMisplacedBlocks(u, res); err != nil {
+		return res, err
+	}
+	if err := verify(u); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// region is a spawn..join window in item coordinates.
+type region struct {
+	spawn, join int // item indices
+}
+
+func findRegions(u *asm.Unit) ([]region, error) {
+	var regions []region
+	open := -1
+	for i, it := range u.Text {
+		if it.Kind != asm.ItemInstr {
+			continue
+		}
+		switch it.Instr.Op {
+		case isa.OpSpawn:
+			if open >= 0 {
+				return nil, Diagnostic{Line: it.Line, Msg: "nested spawn (previous spawn not joined)"}
+			}
+			open = i
+		case isa.OpJoin:
+			if open < 0 {
+				return nil, Diagnostic{Line: it.Line, Msg: "join without matching spawn"}
+			}
+			regions = append(regions, region{spawn: open, join: i})
+			open = -1
+		}
+	}
+	if open >= 0 {
+		return nil, Diagnostic{Line: u.Text[open].Line, Msg: "spawn without matching join"}
+	}
+	return regions, nil
+}
+
+func labelPositions(u *asm.Unit) map[string]int {
+	m := make(map[string]int)
+	for i, it := range u.Text {
+		if it.Kind == asm.ItemLabel {
+			m[it.Label] = i
+		}
+	}
+	return m
+}
+
+// relocateMisplacedBlocks implements the Fig. 9 fix. It iterates to a fixed
+// point because a relocated block may itself branch to another misplaced
+// block.
+func relocateMisplacedBlocks(u *asm.Unit, res *Result) error {
+	for iter := 0; ; iter++ {
+		if iter > 4*len(u.Text)+16 {
+			return Diagnostic{Msg: "postpass: block relocation did not converge"}
+		}
+		moved, err := relocateOne(u, res)
+		if err != nil {
+			return err
+		}
+		if !moved {
+			return nil
+		}
+	}
+}
+
+func relocateOne(u *asm.Unit, res *Result) (bool, error) {
+	regions, err := findRegions(u)
+	if err != nil {
+		return false, err
+	}
+	labels := labelPositions(u)
+	for _, r := range regions {
+		for i := r.spawn + 1; i < r.join; i++ {
+			it := u.Text[i]
+			if it.Kind != asm.ItemInstr || it.Instr.Sym == "" || !it.Instr.Op.IsBranch() {
+				continue
+			}
+			pos, ok := labels[it.Instr.Sym]
+			if !ok {
+				return false, Diagnostic{Line: it.Line, Msg: fmt.Sprintf("undefined label %q", it.Instr.Sym)}
+			}
+			if pos > r.spawn && pos < r.join {
+				continue // already inside the broadcast window
+			}
+			if pos < r.spawn {
+				return false, Diagnostic{Line: it.Line, Msg: fmt.Sprintf("spawn block branches to %q before the spawn instruction; cannot relocate backwards-shared code", it.Instr.Sym)}
+			}
+			if err := moveBlockIntoRegion(u, r, pos, res); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// moveBlockIntoRegion extracts the basic-block chain starting at item index
+// pos (a label) and reinserts it immediately before the region's join,
+// protecting fall-through into the join with a fresh jump when needed.
+func moveBlockIntoRegion(u *asm.Unit, r region, pos int, res *Result) error {
+	end := pos
+	found := false
+	for end < len(u.Text) {
+		it := u.Text[end]
+		if it.Kind == asm.ItemInstr {
+			op := it.Instr.Op
+			if op == isa.OpSpawn || op == isa.OpJoin {
+				return Diagnostic{Line: it.Line, Msg: "misplaced spawn-block code runs into another spawn region"}
+			}
+			if op == isa.OpJ || op == isa.OpJr || op == isa.OpJalr {
+				end++
+				found = true
+				break
+			}
+		}
+		end++
+	}
+	if !found {
+		return Diagnostic{Line: u.Text[pos].Line, Msg: "misplaced spawn-block code falls off the end of the unit"}
+	}
+	block := make([]asm.TextItem, end-pos)
+	copy(block, u.Text[pos:end])
+
+	// Remove the block, then compute the insertion point (join shifts left
+	// when the block preceded it — it cannot, since pos > join, but keep the
+	// general form).
+	rest := append(append([]asm.TextItem{}, u.Text[:pos]...), u.Text[end:]...)
+	join := r.join
+	if pos < join {
+		join -= len(block)
+	}
+
+	// Fall-through protection: if the last instruction before the join can
+	// fall through, route it around the inserted block via a fresh label at
+	// the join (Fig. 9b's "j BB_join").
+	var insert []asm.TextItem
+	last := -1
+	for i := join - 1; i > r.spawn; i-- {
+		if rest[i].Kind == asm.ItemInstr {
+			last = i
+			break
+		}
+	}
+	needJump := true
+	if last >= 0 {
+		op := rest[last].Instr.Op
+		if op == isa.OpJ || op == isa.OpJr || op == isa.OpJalr {
+			needJump = false
+		}
+	}
+	if needJump {
+		joinLabel := fmt.Sprintf("__bbjoin_%d", res.RelocatedBlocks)
+		insert = append(insert, asm.TextItem{
+			Kind:  asm.ItemInstr,
+			Instr: isa.Instr{Op: isa.OpJ, Sym: joinLabel, Target: -1, Line: rest[join].Line},
+			Reloc: asm.RelBranch,
+		})
+		insert = append(insert, block...)
+		insert = append(insert, asm.TextItem{Kind: asm.ItemLabel, Label: joinLabel, Line: rest[join].Line})
+		res.InsertedJumps++
+	} else {
+		insert = append(insert, block...)
+	}
+
+	u.Text = append(append(append([]asm.TextItem{}, rest[:join]...), insert...), rest[join:]...)
+	res.RelocatedBlocks++
+	res.Diagnostics = append(res.Diagnostics,
+		fmt.Sprintf("relocated basic block %q into spawn region", blockLabel(block)))
+	return nil
+}
+
+func blockLabel(block []asm.TextItem) string {
+	for _, it := range block {
+		if it.Kind == asm.ItemLabel {
+			return it.Label
+		}
+	}
+	return "?"
+}
+
+// verify enforces the XMT semantic rules on the final layout:
+//
+//   - every branch issued inside a spawn region targets the same region
+//     (TCUs can only fetch broadcast instructions);
+//   - parallel code contains no function calls or returns (no parallel
+//     stack in the current release, paper §IV-D/E), no spawn, and no
+//     master-only instructions;
+//   - parallel code never touches $sp or $fp;
+//   - ps increments use a register (checked dynamically to be 0/1) and a
+//     legal global register.
+func verify(u *asm.Unit) error {
+	regions, err := findRegions(u)
+	if err != nil {
+		return err
+	}
+	labels := labelPositions(u)
+	inRegion := func(i int) *region {
+		for k := range regions {
+			if i > regions[k].spawn && i < regions[k].join {
+				return &regions[k]
+			}
+		}
+		return nil
+	}
+	for i, it := range u.Text {
+		if it.Kind != asm.ItemInstr {
+			continue
+		}
+		in := it.Instr
+		r := inRegion(i)
+		if r == nil {
+			continue
+		}
+		meta := in.Op.Meta()
+		if meta.MasterOnly {
+			return Diagnostic{Line: it.Line, Msg: fmt.Sprintf("%s is illegal in parallel code", in.Op)}
+		}
+		switch in.Op {
+		case isa.OpJal, isa.OpJalr:
+			return Diagnostic{Line: it.Line, Msg: "function calls in parallel code require the parallel cactus stack (not in this release)"}
+		case isa.OpJr:
+			return Diagnostic{Line: it.Line, Msg: "return (jr) inside a spawn region"}
+		}
+		if usesReg(in, isa.RegSP) || usesReg(in, isa.RegFP) {
+			return Diagnostic{Line: it.Line, Msg: "parallel code must not use the stack ($sp/$fp): no parallel stack allocation in this release"}
+		}
+		if in.Sym != "" && in.Op.IsBranch() {
+			pos, ok := labels[in.Sym]
+			if !ok {
+				return Diagnostic{Line: it.Line, Msg: fmt.Sprintf("undefined label %q", in.Sym)}
+			}
+			if pos <= r.spawn || pos >= r.join {
+				return Diagnostic{Line: it.Line, Msg: fmt.Sprintf("branch to %q escapes the spawn region: the target was not broadcast", in.Sym)}
+			}
+		}
+	}
+	return nil
+}
+
+func usesReg(in isa.Instr, r isa.Reg) bool {
+	meta := in.Op.Meta()
+	switch meta.Fmt {
+	case isa.FmtRRR, isa.FmtBranch2:
+		return in.Rd == r || in.Rs == r || in.Rt == r
+	case isa.FmtRRI, isa.FmtRR, isa.FmtMem:
+		return in.Rd == r || in.Rs == r
+	case isa.FmtRI, isa.FmtR, isa.FmtPS:
+		return in.Rd == r
+	case isa.FmtBranch1:
+		return in.Rs == r
+	case isa.FmtSpawn:
+		return in.Rs == r || in.Rt == r
+	}
+	return false
+}

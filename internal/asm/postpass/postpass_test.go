@@ -1,0 +1,218 @@
+package postpass
+
+import (
+	"strings"
+	"testing"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/isa"
+)
+
+func parse(t *testing.T, src string) *asm.Unit {
+	t.Helper()
+	u, err := asm.Parse("t.s", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return u
+}
+
+// fig9a is the paper's Fig. 9a: basic block BB2 logically belongs to the
+// spawn-join section but is placed after the return instruction.
+const fig9a = `
+        .text
+main:
+        spawn $t0, $t1
+BB1:    addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        bne   $t2, $zero, BB2
+        join
+        jr    $ra
+BB2:    addiu $t3, $zero, 1
+        j     BB1
+`
+
+func TestPostpassRelocatesBlocks(t *testing.T) {
+	u := parse(t, fig9a)
+	res, err := Run(u)
+	if err != nil {
+		t.Fatalf("postpass: %v", err)
+	}
+	if res.RelocatedBlocks != 1 {
+		t.Fatalf("relocated %d blocks, want 1", res.RelocatedBlocks)
+	}
+	if res.InsertedJumps != 1 {
+		t.Fatalf("inserted %d jumps, want 1 (fall-through protection)", res.InsertedJumps)
+	}
+	// The fixed unit must now assemble with BB2 inside the region.
+	p, err := asm.Assemble(u)
+	if err != nil {
+		t.Fatalf("assemble after fix: %v\n%s", err, asm.Print(u))
+	}
+	if len(p.Spawns) != 1 {
+		t.Fatal("region lost")
+	}
+	bb2 := int(p.Syms["BB2"].Value)
+	r := p.Spawns[0]
+	if bb2 <= r.Spawn || bb2 >= r.Join {
+		t.Fatalf("BB2 at %d still outside region (%d, %d)\n%s", bb2, r.Spawn, r.Join, asm.Print(u))
+	}
+	// Verify again: running the post-pass on fixed code is a no-op.
+	res2, err := Run(u)
+	if err != nil {
+		t.Fatalf("re-run: %v", err)
+	}
+	if res2.RelocatedBlocks != 0 {
+		t.Fatal("post-pass is not idempotent")
+	}
+}
+
+// TestRelocationChain: a misplaced block branching to another misplaced
+// block; both must come back.
+func TestRelocationChain(t *testing.T) {
+	u := parse(t, `
+        .text
+main:
+        spawn $t0, $t1
+BB1:    addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        bne   $t2, $zero, BB2
+        join
+        jr    $ra
+BB2:    addiu $t3, $zero, 1
+        beq   $t3, $zero, BB3
+        j     BB1
+BB3:    addiu $t4, $zero, 2
+        j     BB1
+`)
+	res, err := Run(u)
+	if err != nil {
+		t.Fatalf("postpass: %v", err)
+	}
+	if res.RelocatedBlocks != 2 {
+		t.Fatalf("relocated %d, want 2", res.RelocatedBlocks)
+	}
+	if _, err := asm.Assemble(u); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+}
+
+func TestVerifyRejectsIllegalParallelCode(t *testing.T) {
+	cases := map[string]string{
+		"call in parallel code": `
+        .text
+main:   spawn $t0, $t1
+L:      chkid $t2
+        jal helper
+        j L
+        join
+helper: jr $ra
+`,
+		"return in parallel code": `
+        .text
+main:   spawn $t0, $t1
+L:      chkid $t2
+        jr $ra
+        join
+`,
+		"stack use in parallel code": `
+        .text
+main:   spawn $t0, $t1
+L:      chkid $t2
+        lw $t3, 0($sp)
+        j L
+        join
+`,
+		"spawn in parallel code": `
+        .text
+main:   spawn $t0, $t1
+        spawn $t2, $t3
+        join
+        join
+`,
+		"branch before spawn": `
+        .text
+main:   nop
+back:   nop
+        spawn $t0, $t1
+L:      chkid $t2
+        beq $t2, $zero, back
+        j L
+        join
+`,
+		"undefined label in region": `
+        .text
+main:   spawn $t0, $t1
+L:      chkid $t2
+        beq $t2, $zero, nowhere
+        j L
+        join
+`,
+	}
+	for name, src := range cases {
+		u := parse(t, src)
+		if _, err := Run(u); err == nil {
+			t.Errorf("%s: expected post-pass rejection", name)
+		}
+	}
+}
+
+func TestMisplacedBlockFallsOffEnd(t *testing.T) {
+	u := parse(t, `
+        .text
+main:   spawn $t0, $t1
+L:      chkid $t2
+        bne $t2, $zero, BB2
+        join
+        jr $ra
+BB2:    addiu $t3, $zero, 1
+`)
+	_, err := Run(u)
+	if err == nil || !strings.Contains(err.Error(), "falls off") {
+		t.Fatalf("want falls-off error, got %v", err)
+	}
+}
+
+func TestVerifyAcceptsWellFormedRegion(t *testing.T) {
+	u := parse(t, `
+        .text
+main:   spawn $t0, $t1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        sll   $t2, $tid, 2
+        sw.nb $t2, 0($t2)
+        j     L
+        join
+        sys 0
+`)
+	res, err := Run(u)
+	if err != nil {
+		t.Fatalf("well-formed region rejected: %v", err)
+	}
+	if res.RelocatedBlocks != 0 {
+		t.Fatal("nothing should move")
+	}
+}
+
+func TestUsesRegCoverage(t *testing.T) {
+	// usesReg must see $sp in every operand position.
+	ins := []isa.Instr{
+		{Op: isa.OpAdd, Rd: isa.RegSP, Rs: 1, Rt: 2},
+		{Op: isa.OpAdd, Rd: 1, Rs: isa.RegSP, Rt: 2},
+		{Op: isa.OpAdd, Rd: 1, Rs: 2, Rt: isa.RegSP},
+		{Op: isa.OpLw, Rd: 1, Rs: isa.RegSP},
+		{Op: isa.OpBlez, Rs: isa.RegSP},
+		{Op: isa.OpSpawn, Rs: isa.RegSP, Rt: 1},
+	}
+	for _, in := range ins {
+		if !usesReg(in, isa.RegSP) {
+			t.Errorf("usesReg missed $sp in %v", in)
+		}
+	}
+	if usesReg(isa.Instr{Op: isa.OpNop}, isa.RegSP) {
+		t.Error("nop does not use $sp")
+	}
+}

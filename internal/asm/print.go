@@ -1,0 +1,90 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"xmtgo/internal/isa"
+)
+
+// Print renders a Unit back to assembly text. Print and Parse round-trip:
+// Parse(Print(u)) yields a unit with the same instruction stream, which the
+// assembler property tests rely on.
+func Print(u *Unit) string {
+	var b strings.Builder
+	if len(u.Data) > 0 {
+		b.WriteString("\t.data\n")
+		for _, d := range u.Data {
+			if d.Label != "" {
+				fmt.Fprintf(&b, "%s:", d.Label)
+			}
+			switch d.Kind {
+			case DataAlign:
+				if d.Size > 0 {
+					fmt.Fprintf(&b, "\t.align %d", d.Size)
+				}
+			case DataWord, DataFloat:
+				dir := ".word"
+				if d.Kind == DataFloat {
+					dir = ".float"
+				}
+				vals := make([]string, len(d.Values))
+				for i, v := range d.Values {
+					if v.Sym != "" {
+						vals[i] = v.Sym
+					} else if d.Kind == DataFloat {
+						vals[i] = strconv.FormatFloat(float64(math.Float32frombits(uint32(v.Val))), 'g', -1, 32)
+					} else {
+						vals[i] = strconv.FormatInt(int64(v.Val), 10)
+					}
+				}
+				fmt.Fprintf(&b, "\t%s %s", dir, strings.Join(vals, ", "))
+			case DataByte:
+				vals := make([]string, len(d.Values))
+				for i, v := range d.Values {
+					vals[i] = strconv.FormatInt(int64(v.Val), 10)
+				}
+				fmt.Fprintf(&b, "\t.byte %s", strings.Join(vals, ", "))
+			case DataSpace:
+				fmt.Fprintf(&b, "\t.space %d", d.Size)
+			case DataAsciiz:
+				fmt.Fprintf(&b, "\t.asciiz %s", strconv.Quote(d.Str))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("\t.text\n")
+	for g := range u.Globals {
+		fmt.Fprintf(&b, "\t.global %s\n", g)
+	}
+	for _, it := range u.Text {
+		switch it.Kind {
+		case ItemLabel:
+			fmt.Fprintf(&b, "%s:\n", it.Label)
+		case ItemInstr:
+			b.WriteByte('\t')
+			b.WriteString(FormatInstr(it.Instr, it.Reloc))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatInstr renders one instruction with its relocation in parseable
+// assembler syntax.
+func FormatInstr(in isa.Instr, reloc RelocKind) string {
+	switch reloc {
+	case RelHi16, RelLo16:
+		part := "%hi"
+		if reloc == RelLo16 {
+			part = "%lo"
+		}
+		if in.Op == isa.OpLui {
+			return fmt.Sprintf("lui %s, %s(%s)", isa.RegName(in.Rd), part, in.Sym)
+		}
+		return fmt.Sprintf("%s %s, %s, %s(%s)", in.Op, isa.RegName(in.Rd), isa.RegName(in.Rs), part, in.Sym)
+	}
+	return in.String()
+}

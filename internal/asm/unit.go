@@ -1,0 +1,141 @@
+// Package asm implements the assembler and linker of the XMT toolchain: it
+// parses XMT assembly units (the output of the compiler's core pass, or
+// handwritten files), lays out the data segment, links memory-map files that
+// provide initial values for global variables (the only input mechanism of
+// the OS-less XMT toolchain), and produces an executable Program for the
+// simulator.
+//
+// The in-memory Unit representation keeps labels and instructions as a flat
+// item sequence so that the post-pass (package postpass) can verify and fix
+// basic-block layout before final assembly, exactly like the SableCC-based
+// post-pass the paper describes.
+package asm
+
+import (
+	"fmt"
+
+	"xmtgo/internal/isa"
+)
+
+// ItemKind discriminates the entries of a Unit's text stream.
+type ItemKind uint8
+
+const (
+	ItemLabel ItemKind = iota
+	ItemInstr
+)
+
+// RelocKind describes how an instruction operand is patched at link time.
+type RelocKind uint8
+
+const (
+	RelNone   RelocKind = iota
+	RelBranch           // Sym names a text label; resolve to instruction index
+	RelHi16             // Imm := upper 16 bits of the symbol's address
+	RelLo16             // Imm := lower 16 bits of the symbol's address
+	RelAbs              // Imm := full 32-bit address of the symbol (fits; simulator is decoded-form)
+)
+
+// TextItem is a label definition or an instruction in a unit's text stream.
+type TextItem struct {
+	Kind  ItemKind
+	Label string // ItemLabel
+	Instr isa.Instr
+	Reloc RelocKind
+	Line  int
+}
+
+// DataKind discriminates data-segment directives.
+type DataKind uint8
+
+const (
+	DataWord   DataKind = iota // .word v, v, ...  (value may be a symbol)
+	DataByte                   // .byte v, v, ...
+	DataFloat                  // .float v, v, ...
+	DataSpace                  // .space n
+	DataAsciiz                 // .asciiz "..."
+	DataAlign                  // .align n (power-of-two exponent)
+)
+
+// DataValue is one initializer of a .word directive: either a constant or
+// the address of a symbol.
+type DataValue struct {
+	Sym string
+	Val int32
+}
+
+// DataItem is one entry of a unit's data stream.
+type DataItem struct {
+	Label  string // optional label defined at this item
+	Kind   DataKind
+	Values []DataValue
+	Str    string // DataAsciiz
+	Size   int32  // DataSpace / DataAlign argument
+	Line   int
+}
+
+// Unit is a parsed assembly translation unit.
+type Unit struct {
+	File    string
+	Text    []TextItem
+	Data    []DataItem
+	Globals map[string]bool // symbols declared .global
+}
+
+// Error is an assembler diagnostic carrying a file position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.File, e.Msg)
+}
+
+func errf(file string, line int, format string, args ...any) error {
+	return &Error{File: file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// AppendInstr appends an instruction item to the unit's text stream.
+func (u *Unit) AppendInstr(in isa.Instr, reloc RelocKind, line int) {
+	u.Text = append(u.Text, TextItem{Kind: ItemInstr, Instr: in, Reloc: reloc, Line: line})
+}
+
+// AppendLabel appends a label definition to the unit's text stream.
+func (u *Unit) AppendLabel(name string, line int) {
+	u.Text = append(u.Text, TextItem{Kind: ItemLabel, Label: name, Line: line})
+}
+
+// Instrs returns only the instruction items, in order.
+func (u *Unit) Instrs() []isa.Instr {
+	out := make([]isa.Instr, 0, len(u.Text))
+	for _, it := range u.Text {
+		if it.Kind == ItemInstr {
+			out = append(out, it.Instr)
+		}
+	}
+	return out
+}
+
+// Labels returns a map from label name to the index (within the instruction
+// stream, ignoring label items) it refers to.
+func (u *Unit) Labels() (map[string]int, error) {
+	m := make(map[string]int)
+	idx := 0
+	for _, it := range u.Text {
+		switch it.Kind {
+		case ItemLabel:
+			if _, dup := m[it.Label]; dup {
+				return nil, errf(u.File, it.Line, "duplicate label %q", it.Label)
+			}
+			m[it.Label] = idx
+		case ItemInstr:
+			idx++
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,439 @@
+package codegen
+
+import (
+	"fmt"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/ir"
+	"xmtgo/internal/isa"
+)
+
+// emitter translates allocated IR to assembly text items.
+type emitter struct {
+	u     *asm.Unit
+	f     *ir.Func
+	alloc *allocation
+
+	frameSize   int32
+	outArgBytes int32
+	spillBase   int32 // $sp offset of spill slot 0
+	localBase   int32 // $sp offset of FrameAddr slot 0
+	savedBase   int32
+
+	blockLabel map[*ir.Block]string
+}
+
+const (
+	scratchA = isa.RegAT // first scratch (also destination scratch)
+	scratchB = isa.RegK1 // second scratch
+)
+
+// emitFunc appends one function's code to the unit.
+func emitFunc(u *asm.Unit, f *ir.Func, alloc *allocation) error {
+	e := &emitter{u: u, f: f, alloc: alloc, blockLabel: make(map[*ir.Block]string)}
+
+	maxArgs := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.Call && len(b.Instrs[i].CallArgs) > maxArgs {
+				maxArgs = len(b.Instrs[i].CallArgs)
+			}
+		}
+	}
+	if maxArgs > 4 {
+		e.outArgBytes = int32(maxArgs-4) * 4
+	}
+	e.spillBase = e.outArgBytes
+	e.localBase = e.spillBase + int32(alloc.numSpills)*4
+	e.savedBase = e.localBase + (f.FrameLocals+3)&^3
+	saved := int32(len(alloc.usedSaved)) * 4
+	if f.HasCall {
+		saved += 4
+	}
+	e.frameSize = (e.savedBase + saved + 7) &^ 7
+
+	for _, b := range f.Blocks {
+		e.blockLabel[b] = b.Label
+	}
+
+	u.AppendLabel(f.Name, 0)
+	e.prologue()
+
+	for bi, b := range f.Blocks {
+		u.AppendLabel(b.Label, 0)
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			// Elide an unconditional jump to the next block in layout.
+			if in.Op == ir.Jmp && ii == len(b.Instrs)-1 && bi+1 < len(f.Blocks) && in.Target == f.Blocks[bi+1] {
+				continue
+			}
+			if err := e.instr(in); err != nil {
+				return fmt.Errorf("codegen: %s: %v", f.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (e *emitter) put(in isa.Instr, reloc asm.RelocKind, line int) {
+	in.Target = -1
+	e.u.AppendInstr(in, reloc, line)
+}
+
+func (e *emitter) prologue() {
+	if e.frameSize > 0 {
+		e.put(isa.Instr{Op: isa.OpAddiu, Rd: isa.RegSP, Rs: isa.RegSP, Imm: -e.frameSize}, asm.RelNone, 0)
+	}
+	off := e.savedBase
+	for _, r := range e.alloc.usedSaved {
+		e.put(isa.Instr{Op: isa.OpSw, Rd: r, Rs: isa.RegSP, Imm: off}, asm.RelNone, 0)
+		off += 4
+	}
+	if e.f.HasCall {
+		e.put(isa.Instr{Op: isa.OpSw, Rd: isa.RegRA, Rs: isa.RegSP, Imm: off}, asm.RelNone, 0)
+	}
+	// Bind incoming arguments.
+	for i, v := range e.f.ArgRegs {
+		if i < 4 {
+			src := isa.RegA0 + isa.Reg(i)
+			if r, ok := e.alloc.regOf[v]; ok {
+				e.move(r, src, 0)
+			} else if slot, ok := e.alloc.slotOf[v]; ok {
+				e.put(isa.Instr{Op: isa.OpSw, Rd: src, Rs: isa.RegSP, Imm: e.spillBase + int32(slot)*4}, asm.RelNone, 0)
+			}
+			continue
+		}
+		inOff := e.frameSize + int32(i-4)*4
+		if r, ok := e.alloc.regOf[v]; ok {
+			e.put(isa.Instr{Op: isa.OpLw, Rd: r, Rs: isa.RegSP, Imm: inOff}, asm.RelNone, 0)
+		} else if slot, ok := e.alloc.slotOf[v]; ok {
+			e.put(isa.Instr{Op: isa.OpLw, Rd: scratchA, Rs: isa.RegSP, Imm: inOff}, asm.RelNone, 0)
+			e.put(isa.Instr{Op: isa.OpSw, Rd: scratchA, Rs: isa.RegSP, Imm: e.spillBase + int32(slot)*4}, asm.RelNone, 0)
+		}
+	}
+}
+
+func (e *emitter) epilogue(line int) {
+	off := e.savedBase
+	for _, r := range e.alloc.usedSaved {
+		e.put(isa.Instr{Op: isa.OpLw, Rd: r, Rs: isa.RegSP, Imm: off}, asm.RelNone, line)
+		off += 4
+	}
+	if e.f.HasCall {
+		e.put(isa.Instr{Op: isa.OpLw, Rd: isa.RegRA, Rs: isa.RegSP, Imm: off}, asm.RelNone, line)
+	}
+	if e.frameSize > 0 {
+		e.put(isa.Instr{Op: isa.OpAddiu, Rd: isa.RegSP, Rs: isa.RegSP, Imm: e.frameSize}, asm.RelNone, line)
+	}
+	e.put(isa.Instr{Op: isa.OpJr, Rd: isa.RegRA, Rs: isa.RegRA}, asm.RelNone, line)
+}
+
+func (e *emitter) move(dst, src isa.Reg, line int) {
+	if dst == src {
+		return
+	}
+	e.put(isa.Instr{Op: isa.OpAddu, Rd: dst, Rs: src, Rt: isa.RegZero}, asm.RelNone, line)
+}
+
+// src materializes a vreg value into a register (loading spills into the
+// given scratch register).
+func (e *emitter) src(v ir.VReg, scratch isa.Reg, line int) (isa.Reg, error) {
+	if v == ir.NoReg {
+		return isa.RegZero, nil
+	}
+	if r, ok := e.alloc.regOf[v]; ok {
+		return r, nil
+	}
+	if slot, ok := e.alloc.slotOf[v]; ok {
+		e.put(isa.Instr{Op: isa.OpLw, Rd: scratch, Rs: isa.RegSP, Imm: e.spillBase + int32(slot)*4}, asm.RelNone, line)
+		return scratch, nil
+	}
+	// A vreg with no assignment has no uses that survived optimization;
+	// its value is irrelevant, but emitting $zero keeps things defined.
+	return isa.RegZero, nil
+}
+
+// dst returns the register to compute a destination into and a flush
+// function storing it back when the vreg is spilled.
+func (e *emitter) dst(v ir.VReg, line int) (isa.Reg, func()) {
+	if r, ok := e.alloc.regOf[v]; ok {
+		return r, func() {}
+	}
+	if slot, ok := e.alloc.slotOf[v]; ok {
+		return scratchA, func() {
+			e.put(isa.Instr{Op: isa.OpSw, Rd: scratchA, Rs: isa.RegSP, Imm: e.spillBase + int32(slot)*4}, asm.RelNone, line)
+		}
+	}
+	return scratchA, func() {} // dead destination
+}
+
+// binOps maps IR register-form operations to machine opcodes.
+var binOps = map[ir.Op]isa.Op{
+	ir.Add: isa.OpAddu, ir.Sub: isa.OpSubu, ir.Mul: isa.OpMul,
+	ir.Div: isa.OpDiv, ir.DivU: isa.OpDivu, ir.Rem: isa.OpRem, ir.RemU: isa.OpRemu,
+	ir.And: isa.OpAnd, ir.Or: isa.OpOr, ir.Xor: isa.OpXor, ir.Nor: isa.OpNor,
+	ir.Shl: isa.OpSllv, ir.Shr: isa.OpSrlv, ir.Sar: isa.OpSrav,
+	ir.SltS: isa.OpSlt, ir.SltU: isa.OpSltu,
+	ir.FAdd: isa.OpAddS, ir.FSub: isa.OpSubS, ir.FMul: isa.OpMulS, ir.FDiv: isa.OpDivS,
+	ir.FEq: isa.OpCeqS, ir.FLt: isa.OpCltS, ir.FLe: isa.OpCleS,
+}
+
+var immOps = map[ir.Op]isa.Op{
+	ir.AddImm: isa.OpAddiu, ir.AndImm: isa.OpAndi, ir.OrImm: isa.OpOri,
+	ir.XorImm: isa.OpXori, ir.ShlImm: isa.OpSll, ir.ShrImm: isa.OpSrl,
+	ir.SarImm: isa.OpSra, ir.SltImm: isa.OpSlti, ir.SltUImm: isa.OpSltiu,
+}
+
+var unOps = map[ir.Op]isa.Op{
+	ir.FNeg: isa.OpNegS, ir.FAbs: isa.OpAbsS, ir.FSqrt: isa.OpSqrtS,
+	ir.CvtIF: isa.OpCvtSW, ir.CvtFI: isa.OpCvtWS,
+}
+
+func (e *emitter) instr(in *ir.Instr) error {
+	line := in.Line
+	switch in.Op {
+	case ir.Nop:
+		return nil
+	case ir.LdImm:
+		rd, flush := e.dst(in.Dst, line)
+		e.loadImm(rd, in.Imm, line)
+		flush()
+	case ir.LdSym:
+		rd, flush := e.dst(in.Dst, line)
+		e.put(isa.Instr{Op: isa.OpLui, Rd: rd, Sym: in.Sym}, asm.RelHi16, line)
+		e.put(isa.Instr{Op: isa.OpOri, Rd: rd, Rs: rd, Sym: in.Sym}, asm.RelLo16, line)
+		flush()
+	case ir.FrameAddr:
+		rd, flush := e.dst(in.Dst, line)
+		e.put(isa.Instr{Op: isa.OpAddiu, Rd: rd, Rs: isa.RegSP, Imm: e.localBase + in.Imm}, asm.RelNone, line)
+		flush()
+	case ir.Mov:
+		ra, err := e.src(in.A, scratchA, line)
+		if err != nil {
+			return err
+		}
+		rd, flush := e.dst(in.Dst, line)
+		e.move(rd, ra, line)
+		flush()
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.DivU, ir.Rem, ir.RemU,
+		ir.And, ir.Or, ir.Xor, ir.Nor, ir.Shl, ir.Shr, ir.Sar,
+		ir.SltS, ir.SltU, ir.FAdd, ir.FSub, ir.FMul, ir.FDiv,
+		ir.FEq, ir.FLt, ir.FLe:
+		ra, err := e.src(in.A, scratchA, line)
+		if err != nil {
+			return err
+		}
+		rb, err := e.src(in.B, scratchB, line)
+		if err != nil {
+			return err
+		}
+		rd, flush := e.dst(in.Dst, line)
+		e.put(isa.Instr{Op: binOps[in.Op], Rd: rd, Rs: ra, Rt: rb}, asm.RelNone, line)
+		flush()
+	case ir.AddImm, ir.AndImm, ir.OrImm, ir.XorImm, ir.ShlImm, ir.ShrImm,
+		ir.SarImm, ir.SltImm, ir.SltUImm:
+		ra, err := e.src(in.A, scratchA, line)
+		if err != nil {
+			return err
+		}
+		rd, flush := e.dst(in.Dst, line)
+		e.put(isa.Instr{Op: immOps[in.Op], Rd: rd, Rs: ra, Imm: in.Imm}, asm.RelNone, line)
+		flush()
+	case ir.FNeg, ir.FAbs, ir.FSqrt, ir.CvtIF, ir.CvtFI:
+		ra, err := e.src(in.A, scratchA, line)
+		if err != nil {
+			return err
+		}
+		rd, flush := e.dst(in.Dst, line)
+		e.put(isa.Instr{Op: unOps[in.Op], Rd: rd, Rs: ra}, asm.RelNone, line)
+		flush()
+	case ir.Load, ir.LoadRO:
+		ra, err := e.src(in.A, scratchB, line)
+		if err != nil {
+			return err
+		}
+		rd, flush := e.dst(in.Dst, line)
+		op := isa.OpLw
+		if in.Op == ir.LoadRO {
+			op = isa.OpLwRO
+		} else if in.Size == 1 {
+			if in.Signed {
+				op = isa.OpLb
+			} else {
+				op = isa.OpLbu
+			}
+		}
+		e.put(isa.Instr{Op: op, Rd: rd, Rs: ra, Imm: in.Imm}, asm.RelNone, line)
+		flush()
+	case ir.Store:
+		ra, err := e.src(in.A, scratchB, line)
+		if err != nil {
+			return err
+		}
+		rb, err := e.src(in.B, scratchA, line)
+		if err != nil {
+			return err
+		}
+		op := isa.OpSw
+		if in.Size == 1 {
+			op = isa.OpSb
+		} else if in.NB {
+			op = isa.OpSwNB
+		}
+		e.put(isa.Instr{Op: op, Rd: rb, Rs: ra, Imm: in.Imm}, asm.RelNone, line)
+	case ir.Pref:
+		ra, err := e.src(in.A, scratchB, line)
+		if err != nil {
+			return err
+		}
+		e.put(isa.Instr{Op: isa.OpPref, Rd: isa.RegZero, Rs: ra, Imm: in.Imm}, asm.RelNone, line)
+	case ir.Ps:
+		ra, err := e.src(in.A, scratchB, line)
+		if err != nil {
+			return err
+		}
+		rd, flush := e.dst(in.Dst, line)
+		e.move(rd, ra, line)
+		e.put(isa.Instr{Op: isa.OpPs, Rd: rd, G: isa.GReg(in.G)}, asm.RelNone, line)
+		flush()
+	case ir.Psm:
+		ra, err := e.src(in.A, scratchB, line) // base address
+		if err != nil {
+			return err
+		}
+		rd, flush := e.dst(in.Dst, line)
+		rb, err := e.src(in.B, scratchA, line) // increment
+		if err != nil {
+			return err
+		}
+		if rd == ra {
+			// The destination would clobber the base before the access:
+			// route through the scratch register.
+			e.move(scratchA, rb, line)
+			e.put(isa.Instr{Op: isa.OpPsm, Rd: scratchA, Rs: ra, Imm: in.Imm}, asm.RelNone, line)
+			e.move(rd, scratchA, line)
+		} else {
+			e.move(rd, rb, line)
+			e.put(isa.Instr{Op: isa.OpPsm, Rd: rd, Rs: ra, Imm: in.Imm}, asm.RelNone, line)
+		}
+		flush()
+	case ir.Grr:
+		rd, flush := e.dst(in.Dst, line)
+		e.put(isa.Instr{Op: isa.OpGrr, Rd: rd, G: isa.GReg(in.G)}, asm.RelNone, line)
+		flush()
+	case ir.Grw:
+		ra, err := e.src(in.A, scratchA, line)
+		if err != nil {
+			return err
+		}
+		e.put(isa.Instr{Op: isa.OpGrw, Rd: ra, G: isa.GReg(in.G)}, asm.RelNone, line)
+	case ir.Fence:
+		e.put(isa.Instr{Op: isa.OpFence}, asm.RelNone, line)
+	case ir.Spawn:
+		for _, r := range e.alloc.bcast[int(in.Imm)] {
+			e.put(isa.Instr{Op: isa.OpBcast, Rd: r}, asm.RelNone, line)
+		}
+		ra, err := e.src(in.A, scratchA, line)
+		if err != nil {
+			return err
+		}
+		rb, err := e.src(in.B, scratchB, line)
+		if err != nil {
+			return err
+		}
+		e.put(isa.Instr{Op: isa.OpSpawn, Rs: ra, Rt: rb}, asm.RelNone, line)
+	case ir.Join:
+		e.put(isa.Instr{Op: isa.OpJoin}, asm.RelNone, line)
+	case ir.Chkid:
+		ra, err := e.src(in.A, scratchA, line)
+		if err != nil {
+			return err
+		}
+		e.put(isa.Instr{Op: isa.OpChkid, Rd: ra, Rs: ra}, asm.RelNone, line)
+	case ir.Sys:
+		if in.A != ir.NoReg {
+			ra, err := e.src(in.A, scratchA, line)
+			if err != nil {
+				return err
+			}
+			e.move(isa.RegV0, ra, line)
+		}
+		e.put(isa.Instr{Op: isa.OpSys, Imm: in.Imm}, asm.RelNone, line)
+		if in.Dst != ir.NoReg {
+			rd, flush := e.dst(in.Dst, line)
+			e.move(rd, isa.RegV0, line)
+			flush()
+		}
+	case ir.Call:
+		for i, a := range in.CallArgs {
+			ra, err := e.src(a, scratchA, line)
+			if err != nil {
+				return err
+			}
+			if i < 4 {
+				e.move(isa.RegA0+isa.Reg(i), ra, line)
+			} else {
+				e.put(isa.Instr{Op: isa.OpSw, Rd: ra, Rs: isa.RegSP, Imm: int32(i-4) * 4}, asm.RelNone, line)
+			}
+		}
+		e.put(isa.Instr{Op: isa.OpJal, Sym: in.CallName}, asm.RelBranch, line)
+		if in.Dst != ir.NoReg {
+			rd, flush := e.dst(in.Dst, line)
+			e.move(rd, isa.RegV0, line)
+			flush()
+		}
+	case ir.Ret:
+		if in.A != ir.NoReg {
+			ra, err := e.src(in.A, scratchA, line)
+			if err != nil {
+				return err
+			}
+			e.move(isa.RegV0, ra, line)
+		}
+		e.epilogue(line)
+	case ir.Jmp:
+		e.put(isa.Instr{Op: isa.OpJ, Sym: in.Target.Label}, asm.RelBranch, line)
+	case ir.Br:
+		ra, err := e.src(in.A, scratchA, line)
+		if err != nil {
+			return err
+		}
+		lbl := in.Target.Label
+		switch in.Cond {
+		case ir.BrEQ, ir.BrNE:
+			rb, err := e.src(in.B, scratchB, line)
+			if err != nil {
+				return err
+			}
+			op := isa.OpBeq
+			if in.Cond == ir.BrNE {
+				op = isa.OpBne
+			}
+			e.put(isa.Instr{Op: op, Rs: ra, Rt: rb, Sym: lbl}, asm.RelBranch, line)
+		case ir.BrLEZ:
+			e.put(isa.Instr{Op: isa.OpBlez, Rs: ra, Sym: lbl}, asm.RelBranch, line)
+		case ir.BrGTZ:
+			e.put(isa.Instr{Op: isa.OpBgtz, Rs: ra, Sym: lbl}, asm.RelBranch, line)
+		case ir.BrLTZ:
+			e.put(isa.Instr{Op: isa.OpBltz, Rs: ra, Sym: lbl}, asm.RelBranch, line)
+		case ir.BrGEZ:
+			e.put(isa.Instr{Op: isa.OpBgez, Rs: ra, Sym: lbl}, asm.RelBranch, line)
+		}
+	default:
+		return fmt.Errorf("cannot emit IR op %d", in.Op)
+	}
+	return nil
+}
+
+func (e *emitter) loadImm(rd isa.Reg, v int32, line int) {
+	if v >= -32768 && v <= 32767 {
+		e.put(isa.Instr{Op: isa.OpAddiu, Rd: rd, Rs: isa.RegZero, Imm: v}, asm.RelNone, line)
+		return
+	}
+	hi := int32(uint32(v) >> 16)
+	lo := int32(uint32(v) & 0xffff)
+	e.put(isa.Instr{Op: isa.OpLui, Rd: rd, Imm: hi}, asm.RelNone, line)
+	if lo != 0 {
+		e.put(isa.Instr{Op: isa.OpOri, Rd: rd, Rs: rd, Imm: lo}, asm.RelNone, line)
+	}
+}

@@ -1,0 +1,262 @@
+package codegen_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xmtgo/internal/codegen"
+	"xmtgo/internal/config"
+	"xmtgo/internal/prng"
+)
+
+// Differential fuzzing: generate random XMTC programs together with a
+// host-evaluated int32 oracle, then require the -O0 functional, -O1
+// functional and -O1 cycle-accurate executions to all agree with it. This
+// randomly exercises the lexer, parser, type checker, lowering, the whole
+// optimizer, register allocation (including spills) and both simulator
+// engines.
+
+// exprGen builds a random expression over the current variables and
+// returns (source, host value).
+type progGen struct {
+	rng  *prng.PCG
+	vars []string
+	vals map[string]int32
+	b    strings.Builder
+}
+
+func (g *progGen) konst() (string, int32) {
+	v := int32(g.rng.Intn(2001) - 1000)
+	return fmt.Sprint(v), v
+}
+
+func (g *progGen) operand() (string, int32) {
+	if len(g.vars) > 0 && g.rng.Intn(10) < 7 {
+		name := g.vars[g.rng.Intn(len(g.vars))]
+		return name, g.vals[name]
+	}
+	return g.konst()
+}
+
+// expr generates a random expression of the given depth.
+func (g *progGen) expr(depth int) (string, int32) {
+	if depth <= 0 {
+		return g.operand()
+	}
+	switch g.rng.Intn(12) {
+	case 0, 1: // add
+		a, av := g.expr(depth - 1)
+		b, bv := g.expr(depth - 1)
+		return fmt.Sprintf("(%s + %s)", a, b), av + bv
+	case 2: // sub
+		a, av := g.expr(depth - 1)
+		b, bv := g.expr(depth - 1)
+		return fmt.Sprintf("(%s - %s)", a, b), av - bv
+	case 3: // mul
+		a, av := g.expr(depth - 1)
+		b, bv := g.expr(depth - 1)
+		return fmt.Sprintf("(%s * %s)", a, b), av * bv
+	case 4: // div by positive constant
+		a, av := g.expr(depth - 1)
+		c := int32(g.rng.Intn(30) + 1)
+		return fmt.Sprintf("(%s / %d)", a, c), av / c
+	case 5: // rem by positive constant
+		a, av := g.expr(depth - 1)
+		c := int32(g.rng.Intn(30) + 1)
+		return fmt.Sprintf("(%s %% %d)", a, c), av % c
+	case 6: // and
+		a, av := g.expr(depth - 1)
+		b, bv := g.expr(depth - 1)
+		return fmt.Sprintf("(%s & %s)", a, b), av & bv
+	case 7: // or
+		a, av := g.expr(depth - 1)
+		b, bv := g.expr(depth - 1)
+		return fmt.Sprintf("(%s | %s)", a, b), av | bv
+	case 8: // xor
+		a, av := g.expr(depth - 1)
+		b, bv := g.expr(depth - 1)
+		return fmt.Sprintf("(%s ^ %s)", a, b), av ^ bv
+	case 9: // shift by constant
+		a, av := g.expr(depth - 1)
+		sh := g.rng.Intn(31)
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("(%s << %d)", a, sh), av << uint(sh)
+		}
+		return fmt.Sprintf("(%s >> %d)", a, sh), av >> uint(sh)
+	case 10: // comparison (0/1)
+		a, av := g.expr(depth - 1)
+		b, bv := g.expr(depth - 1)
+		ops := []string{"<", "<=", ">", ">=", "==", "!="}
+		op := ops[g.rng.Intn(len(ops))]
+		var r bool
+		switch op {
+		case "<":
+			r = av < bv
+		case "<=":
+			r = av <= bv
+		case ">":
+			r = av > bv
+		case ">=":
+			r = av >= bv
+		case "==":
+			r = av == bv
+		case "!=":
+			r = av != bv
+		}
+		v := int32(0)
+		if r {
+			v = 1
+		}
+		return fmt.Sprintf("(%s %s %s)", a, op, b), v
+	default: // ternary
+		c, cv := g.expr(depth - 1)
+		a, av := g.expr(depth - 1)
+		b, bv := g.expr(depth - 1)
+		if cv != 0 {
+			return fmt.Sprintf("(%s ? %s : %s)", c, a, b), av
+		}
+		return fmt.Sprintf("(%s ? %s : %s)", c, a, b), bv
+	}
+}
+
+// generate builds one random program and its expected output.
+func generate(seed uint64, stmts int) (src string, want string) {
+	g := &progGen{rng: prng.New(seed), vals: map[string]int32{}}
+	g.b.WriteString("int main() {\n")
+	nvars := 3 + g.rng.Intn(6)
+	for i := 0; i < nvars; i++ {
+		name := fmt.Sprintf("v%d", i)
+		ks, kv := g.konst()
+		fmt.Fprintf(&g.b, "    int %s = %s;\n", name, ks)
+		g.vars = append(g.vars, name)
+		g.vals[name] = kv
+	}
+	for i := 0; i < stmts; i++ {
+		switch g.rng.Intn(5) {
+		case 0: // conditional assignment
+			cs, cv := g.expr(1)
+			tgt := g.vars[g.rng.Intn(len(g.vars))]
+			es, ev := g.expr(2)
+			fmt.Fprintf(&g.b, "    if (%s) %s = %s;\n", cs, tgt, es)
+			if cv != 0 {
+				g.vals[tgt] = ev
+			}
+		case 1: // compound assignment
+			tgt := g.vars[g.rng.Intn(len(g.vars))]
+			es, ev := g.expr(2)
+			ops := []string{"+=", "-=", "^=", "|=", "&="}
+			op := ops[g.rng.Intn(len(ops))]
+			fmt.Fprintf(&g.b, "    %s %s %s;\n", tgt, op, es)
+			switch op {
+			case "+=":
+				g.vals[tgt] += ev
+			case "-=":
+				g.vals[tgt] -= ev
+			case "^=":
+				g.vals[tgt] ^= ev
+			case "|=":
+				g.vals[tgt] |= ev
+			case "&=":
+				g.vals[tgt] &= ev
+			}
+		default: // plain assignment
+			tgt := g.vars[g.rng.Intn(len(g.vars))]
+			es, ev := g.expr(3)
+			fmt.Fprintf(&g.b, "    %s = %s;\n", tgt, es)
+			g.vals[tgt] = ev
+		}
+	}
+	var acc int32
+	g.b.WriteString("    int acc = 0;\n")
+	for _, v := range g.vars {
+		fmt.Fprintf(&g.b, "    acc ^= %s;\n", v)
+		acc ^= g.vals[v]
+	}
+	g.b.WriteString("    print_int(acc);\n    return 0;\n}\n")
+	return g.b.String(), fmt.Sprint(acc)
+}
+
+func TestFuzzSerialPrograms(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	if v, err := strconv.Atoi(os.Getenv("XMTGO_FUZZ_N")); err == nil && v > 0 {
+		n = v // extended fuzzing: XMTGO_FUZZ_N=1000 go test -run FuzzSerial
+	}
+	for seed := 0; seed < n; seed++ {
+		src, want := generate(uint64(seed)+1, 24)
+		o0 := codegen.Options{OptLevel: 0, PrefetchSlots: 4}
+		if got := outputOf(t, src, o0); got != want {
+			t.Fatalf("seed %d: -O0 got %q want %q\n%s", seed, got, want, src)
+		}
+		if got := outputOf(t, src, codegen.DefaultOptions()); got != want {
+			t.Fatalf("seed %d: -O1 got %q want %q\n%s", seed, got, want, src)
+		}
+		if seed%6 == 0 { // cycle-accurate spot checks (slower)
+			_, p := compile(t, src, codegen.DefaultOptions())
+			if got, _ := runCycle(t, p, config.FPGA64()); got != want {
+				t.Fatalf("seed %d: cycle got %q want %q\n%s", seed, got, want, src)
+			}
+		}
+	}
+}
+
+// TestFuzzSpawnPrograms: random thread bodies computing f($) into B[$],
+// summed with psm; the host computes the same sum.
+func TestFuzzSpawnPrograms(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 5
+	}
+	if v, err := strconv.Atoi(os.Getenv("XMTGO_FUZZ_N")); err == nil && v > 0 {
+		n = v
+	}
+	for seed := 0; seed < n; seed++ {
+		g := &progGen{rng: prng.New(uint64(seed) + 500), vals: map[string]int32{}}
+		threads := 16 + g.rng.Intn(49)
+		// Expression over $ and two broadcast constants.
+		g.vars = []string{"$", "k1", "k2"}
+		k1 := int32(g.rng.Intn(200) - 100)
+		k2 := int32(g.rng.Intn(200) - 100)
+		// Build once symbolically, then evaluate per thread id.
+		exprSrc := ""
+		var total int32
+		for id := int32(0); id < int32(threads); id++ {
+			g2 := &progGen{rng: prng.New(uint64(seed) + 500), vals: map[string]int32{
+				"$": id, "k1": k1, "k2": k2,
+			}}
+			g2.vars = g.vars
+			s, v := g2.expr(3)
+			exprSrc = s
+			total += v
+		}
+		src := fmt.Sprintf(`
+int B[%d];
+int total = 0;
+int main() {
+    int k1 = %d;
+    int k2 = %d;
+    spawn(0, %d) {
+        int v = %s;
+        B[$] = v;
+        psm(v, total);
+    }
+    print_int(total);
+    return 0;
+}`, threads, k1, k2, threads-1, exprSrc)
+		want := fmt.Sprint(total)
+		if got := outputOf(t, src, codegen.DefaultOptions()); got != want {
+			t.Fatalf("seed %d: functional got %q want %q\n%s", seed, got, want, src)
+		}
+		if seed%5 == 0 {
+			_, p := compile(t, src, codegen.DefaultOptions())
+			if got, _ := runCycle(t, p, config.FPGA64()); got != want {
+				t.Fatalf("seed %d: cycle got %q want %q\n%s", seed, got, want, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,513 @@
+package codegen
+
+import (
+	"math"
+
+	"xmtgo/internal/ir"
+	"xmtgo/internal/xmtc"
+)
+
+// lvKind discriminates lvalue locations.
+type lvKind uint8
+
+const (
+	lvReg  lvKind = iota // register-resident local
+	lvMem                // memory: base register + offset
+	lvGReg               // ps-base global living in a global register
+)
+
+type lval struct {
+	kind lvKind
+	reg  ir.VReg // lvReg
+	base ir.VReg // lvMem
+	off  int32
+	g    uint8 // lvGReg
+	t    *xmtc.Type
+	vol  bool
+	sym  *xmtc.Symbol // lvReg: underlying symbol (for spawn-write checks)
+}
+
+func memSize(t *xmtc.Type) (size uint8, signed bool) {
+	if t.Kind == xmtc.KChar {
+		return 1, true
+	}
+	return 4, false
+}
+
+// loadLV reads an lvalue into a vreg.
+func (lo *lowerer) loadLV(lv lval, line int) ir.VReg {
+	switch lv.kind {
+	case lvReg:
+		return lv.reg
+	case lvGReg:
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.Grr, Dst: d, G: lv.g, A: ir.NoReg, B: ir.NoReg, Line: line})
+		return d
+	default:
+		d := lo.f.NewVReg()
+		size, signed := memSize(lv.t)
+		lo.emit(ir.Instr{Op: ir.Load, Dst: d, A: lv.base, Imm: lv.off,
+			Size: size, Signed: signed, Volatile: lv.vol, B: ir.NoReg, Line: line})
+		return d
+	}
+}
+
+// storeLV writes v to an lvalue.
+func (lo *lowerer) storeLV(lv lval, v ir.VReg, line int) error {
+	switch lv.kind {
+	case lvReg:
+		if lo.spawnID > 0 && lv.sym != nil && !lo.privates[lv.sym] && lv.reg != lo.tidReg {
+			return lo.errf(xmtc.Pos{Line: line, File: lo.fn.GetPos().File},
+				"write to serial-scope variable %q inside a spawn block would be lost (illegal dataflow; the outlining pre-pass normally rewrites this by reference)", lv.sym.Name)
+		}
+		lo.emit(ir.Instr{Op: ir.Mov, Dst: lv.reg, A: v, B: ir.NoReg, Line: line})
+	case lvGReg:
+		lo.emit(ir.Instr{Op: ir.Grw, G: lv.g, A: v, B: ir.NoReg, Dst: ir.NoReg, Line: line})
+	default:
+		size, _ := memSize(lv.t)
+		lo.emit(ir.Instr{Op: ir.Store, A: lv.base, B: v, Imm: lv.off,
+			Size: size, Volatile: lv.vol, Dst: ir.NoReg, Line: line})
+	}
+	return nil
+}
+
+// storeTo is a raw memory store helper.
+func (lo *lowerer) storeTo(base ir.VReg, off int32, t *xmtc.Type, v ir.VReg, line int) {
+	size, _ := memSize(t)
+	lo.emit(ir.Instr{Op: ir.Store, A: base, B: v, Imm: off, Size: size,
+		Volatile: t.Volatile, Dst: ir.NoReg, Line: line})
+}
+
+// lvalue lowers an lvalue expression to a location.
+func (lo *lowerer) lvalue(e xmtc.Expr) (lval, error) {
+	switch n := e.(type) {
+	case *xmtc.Ident:
+		sym := n.Sym
+		switch sym.Kind {
+		case xmtc.SymLocal, xmtc.SymParam:
+			if off, ok := lo.slots[sym]; ok {
+				if lo.spawnID > 0 {
+					return lval{}, lo.errf(n.Pos, "%q lives on the serial stack and cannot be accessed from parallel code", sym.Name)
+				}
+				base := lo.f.NewVReg()
+				lo.emit(ir.Instr{Op: ir.FrameAddr, Dst: base, Imm: off, A: ir.NoReg, B: ir.NoReg, Line: n.Pos.Line})
+				return lval{kind: lvMem, base: base, off: 0, t: sym.Type, vol: sym.Type.Volatile}, nil
+			}
+			return lval{kind: lvReg, reg: lo.locals[sym], t: sym.Type, sym: sym}, nil
+		case xmtc.SymGlobal:
+			if sym.PsBase {
+				return lval{kind: lvGReg, g: sym.GReg, t: sym.Type}, nil
+			}
+			base := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.LdSym, Dst: base, Sym: sym.Name, A: ir.NoReg, B: ir.NoReg, Line: n.Pos.Line})
+			return lval{kind: lvMem, base: base, off: 0, t: sym.Type, vol: sym.Type.Volatile}, nil
+		}
+		return lval{}, lo.errf(n.Pos, "cannot assign to %q", n.Name)
+	case *xmtc.Index:
+		base, off, err := lo.indexAddr(n)
+		if err != nil {
+			return lval{}, err
+		}
+		t := n.TypeOf()
+		return lval{kind: lvMem, base: base, off: off, t: t, vol: t.Volatile}, nil
+	case *xmtc.Unary:
+		if n.Op == xmtc.MUL {
+			p, err := lo.expr(n.X)
+			if err != nil {
+				return lval{}, err
+			}
+			t := n.TypeOf()
+			return lval{kind: lvMem, base: p, off: 0, t: t, vol: t.Volatile}, nil
+		}
+	case *xmtc.Member:
+		base, off, err := lo.memberLoc(n)
+		if err != nil {
+			return lval{}, err
+		}
+		t := n.TypeOf()
+		return lval{kind: lvMem, base: base, off: off, t: t, vol: t.Volatile}, nil
+	}
+	return lval{}, lo.errf(e.GetPos(), "expression is not an lvalue")
+}
+
+// memberLoc computes the (base, offset) location of X.f / X->f.
+func (lo *lowerer) memberLoc(n *xmtc.Member) (ir.VReg, int32, error) {
+	if n.Arrow {
+		p, err := lo.expr(n.X)
+		if err != nil {
+			return 0, 0, err
+		}
+		return p, n.Field.Offset, nil
+	}
+	base, off, err := lo.structAddr(n.X)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, off + n.Field.Offset, nil
+}
+
+// structAddr computes the address of a struct-valued expression.
+func (lo *lowerer) structAddr(e xmtc.Expr) (ir.VReg, int32, error) {
+	switch n := e.(type) {
+	case *xmtc.Ident:
+		sym := n.Sym
+		if sym.Kind == xmtc.SymGlobal {
+			base := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.LdSym, Dst: base, Sym: sym.Name, A: ir.NoReg, B: ir.NoReg, Line: n.Pos.Line})
+			return base, 0, nil
+		}
+		if off, ok := lo.slots[sym]; ok {
+			if lo.spawnID > 0 {
+				return 0, 0, lo.errf(n.Pos, "%q lives on the serial stack and cannot be accessed from parallel code", sym.Name)
+			}
+			base := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.FrameAddr, Dst: base, Imm: off, A: ir.NoReg, B: ir.NoReg, Line: n.Pos.Line})
+			return base, 0, nil
+		}
+		return 0, 0, lo.errf(n.Pos, "internal: struct %q has no storage", n.Name)
+	case *xmtc.Member:
+		return lo.memberLoc(n)
+	case *xmtc.Index:
+		return lo.indexAddr(n)
+	case *xmtc.Unary:
+		if n.Op == xmtc.MUL {
+			p, err := lo.expr(n.X)
+			return p, 0, err
+		}
+	}
+	return 0, 0, lo.errf(e.GetPos(), "cannot take the address of this struct expression")
+}
+
+// indexAddr computes the address of X[I] as (base, constant offset).
+func (lo *lowerer) indexAddr(n *xmtc.Index) (ir.VReg, int32, error) {
+	base, err := lo.expr(n.X) // arrays yield their address
+	if err != nil {
+		return 0, 0, err
+	}
+	elemSize := n.TypeOf().Size()
+	if c, ok := xmtc.FoldConst(n.I); ok {
+		return base, c * elemSize, nil
+	}
+	idx, err := lo.exprConv(n.I, xmtc.TypeInt)
+	if err != nil {
+		return 0, 0, err
+	}
+	scaled := lo.scale(idx, elemSize, n.Pos.Line)
+	sum := lo.f.NewVReg()
+	lo.emit(ir.Instr{Op: ir.Add, Dst: sum, A: base, B: scaled, Line: n.Pos.Line})
+	return sum, 0, nil
+}
+
+// scale multiplies idx by a (positive) element size.
+func (lo *lowerer) scale(idx ir.VReg, size int32, line int) ir.VReg {
+	if size == 1 {
+		return idx
+	}
+	d := lo.f.NewVReg()
+	if size&(size-1) == 0 {
+		sh := int32(0)
+		for s := size; s > 1; s >>= 1 {
+			sh++
+		}
+		lo.emit(ir.Instr{Op: ir.ShlImm, Dst: d, A: idx, Imm: sh, B: ir.NoReg, Line: line})
+		return d
+	}
+	c := lo.f.NewVReg()
+	lo.emit(ir.Instr{Op: ir.LdImm, Dst: c, Imm: size, A: ir.NoReg, B: ir.NoReg, Line: line})
+	lo.emit(ir.Instr{Op: ir.Mul, Dst: d, A: idx, B: c, Line: line})
+	return d
+}
+
+// conv converts a value between scalar types.
+func (lo *lowerer) conv(v ir.VReg, from, to *xmtc.Type, line int) ir.VReg {
+	if from == nil || to == nil || from.Kind == to.Kind {
+		return v
+	}
+	isF := func(t *xmtc.Type) bool { return t.Kind == xmtc.KFloat }
+	switch {
+	case isF(from) && !isF(to):
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.CvtFI, Dst: d, A: v, B: ir.NoReg, Line: line})
+		v = d
+		from = xmtc.TypeInt
+	case !isF(from) && isF(to):
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.CvtIF, Dst: d, A: v, B: ir.NoReg, Line: line})
+		return d
+	}
+	if to.Kind == xmtc.KChar && from.Kind != xmtc.KChar {
+		// Truncate and sign-extend to char width.
+		t1 := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.ShlImm, Dst: t1, A: v, Imm: 24, B: ir.NoReg, Line: line})
+		t2 := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.SarImm, Dst: t2, A: t1, Imm: 24, B: ir.NoReg, Line: line})
+		return t2
+	}
+	return v
+}
+
+// exprConv lowers an expression and converts it to the target type.
+func (lo *lowerer) exprConv(e xmtc.Expr, to *xmtc.Type) (ir.VReg, error) {
+	v, err := lo.expr(e)
+	if err != nil {
+		return 0, err
+	}
+	return lo.conv(v, decayT(e.TypeOf()), to, e.GetPos().Line), nil
+}
+
+func decayT(t *xmtc.Type) *xmtc.Type {
+	if t != nil && t.Kind == xmtc.KArray {
+		return xmtc.PtrTo(t.Elem)
+	}
+	return t
+}
+
+// expr lowers an expression to a value vreg (arrays yield addresses).
+func (lo *lowerer) expr(e xmtc.Expr) (ir.VReg, error) {
+	line := e.GetPos().Line
+	switch n := e.(type) {
+	case *xmtc.IntLit:
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.LdImm, Dst: d, Imm: int32(n.Val), A: ir.NoReg, B: ir.NoReg, Line: line})
+		return d, nil
+	case *xmtc.FloatLit:
+		d := lo.f.NewVReg()
+		bits := int32(math.Float32bits(float32(n.Val)))
+		lo.emit(ir.Instr{Op: ir.LdImm, Dst: d, Imm: bits, A: ir.NoReg, B: ir.NoReg, Line: line})
+		return d, nil
+	case *xmtc.StringLit:
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.LdSym, Dst: d, Sym: n.Label, A: ir.NoReg, B: ir.NoReg, Line: line})
+		return d, nil
+	case *xmtc.TidExpr:
+		return lo.tidReg, nil
+	case *xmtc.Ident:
+		return lo.identValue(n)
+	case *xmtc.SizeofExpr:
+		size := int32(0)
+		if n.OfType != nil {
+			size = n.OfType.Size()
+		} else {
+			size = n.OfExpr.TypeOf().Size()
+		}
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.LdImm, Dst: d, Imm: size, A: ir.NoReg, B: ir.NoReg, Line: line})
+		return d, nil
+	case *xmtc.Cast:
+		v, err := lo.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		return lo.conv(v, decayT(n.X.TypeOf()), n.To, line), nil
+	case *xmtc.Member:
+		base, off, err := lo.memberLoc(n)
+		if err != nil {
+			return 0, err
+		}
+		t := n.TypeOf()
+		if t.Kind == xmtc.KArray || t.Kind == xmtc.KStruct {
+			if off == 0 {
+				return base, nil
+			}
+			d := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.AddImm, Dst: d, A: base, Imm: off, B: ir.NoReg, Line: line})
+			return d, nil
+		}
+		d := lo.f.NewVReg()
+		size, signed := memSize(t)
+		lo.emit(ir.Instr{Op: ir.Load, Dst: d, A: base, Imm: off, Size: size,
+			Signed: signed, Volatile: t.Volatile, B: ir.NoReg, Line: line})
+		return d, nil
+	case *xmtc.Index:
+		base, off, err := lo.indexAddr(n)
+		if err != nil {
+			return 0, err
+		}
+		t := n.TypeOf()
+		if t.Kind == xmtc.KArray || t.Kind == xmtc.KStruct {
+			// Aggregate element: the value is its address.
+			if off == 0 {
+				return base, nil
+			}
+			d := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.AddImm, Dst: d, A: base, Imm: off, B: ir.NoReg, Line: line})
+			return d, nil
+		}
+		d := lo.f.NewVReg()
+		size, signed := memSize(t)
+		lo.emit(ir.Instr{Op: ir.Load, Dst: d, A: base, Imm: off, Size: size,
+			Signed: signed, Volatile: t.Volatile, B: ir.NoReg, Line: line})
+		return d, nil
+	case *xmtc.Unary:
+		return lo.unary(n)
+	case *xmtc.Binary:
+		return lo.binary(n)
+	case *xmtc.Assign:
+		return lo.assign(n)
+	case *xmtc.IncDec:
+		return lo.incDec(n)
+	case *xmtc.Cond:
+		return lo.ternary(n)
+	case *xmtc.Call:
+		return lo.call(n)
+	}
+	return 0, lo.errf(e.GetPos(), "internal: cannot lower expression %T", e)
+}
+
+func (lo *lowerer) identValue(n *xmtc.Ident) (ir.VReg, error) {
+	sym := n.Sym
+	line := n.Pos.Line
+	switch sym.Kind {
+	case xmtc.SymLocal, xmtc.SymParam:
+		if off, ok := lo.slots[sym]; ok {
+			if lo.spawnID > 0 {
+				return 0, lo.errf(n.Pos, "%q lives on the serial stack and cannot be accessed from parallel code", sym.Name)
+			}
+			base := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.FrameAddr, Dst: base, Imm: off, A: ir.NoReg, B: ir.NoReg, Line: line})
+			if sym.Type.Kind == xmtc.KArray || sym.Type.Kind == xmtc.KStruct {
+				return base, nil
+			}
+			d := lo.f.NewVReg()
+			size, signed := memSize(sym.Type)
+			lo.emit(ir.Instr{Op: ir.Load, Dst: d, A: base, Imm: 0, Size: size,
+				Signed: signed, Volatile: sym.Type.Volatile, B: ir.NoReg, Line: line})
+			return d, nil
+		}
+		return lo.locals[sym], nil
+	case xmtc.SymGlobal:
+		if sym.PsBase {
+			d := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.Grr, Dst: d, G: sym.GReg, A: ir.NoReg, B: ir.NoReg, Line: line})
+			return d, nil
+		}
+		base := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.LdSym, Dst: base, Sym: sym.Name, A: ir.NoReg, B: ir.NoReg, Line: line})
+		if sym.Type.Kind == xmtc.KArray || sym.Type.Kind == xmtc.KStruct {
+			return base, nil
+		}
+		d := lo.f.NewVReg()
+		size, signed := memSize(sym.Type)
+		lo.emit(ir.Instr{Op: ir.Load, Dst: d, A: base, Imm: 0, Size: size,
+			Signed: signed, Volatile: sym.Type.Volatile, B: ir.NoReg, Line: line})
+		return d, nil
+	}
+	return 0, lo.errf(n.Pos, "cannot use %q as a value", n.Name)
+}
+
+func (lo *lowerer) unary(n *xmtc.Unary) (ir.VReg, error) {
+	line := n.Pos.Line
+	switch n.Op {
+	case xmtc.AND: // address-of
+		switch x := n.X.(type) {
+		case *xmtc.Ident:
+			sym := x.Sym
+			if sym.Kind == xmtc.SymGlobal {
+				if sym.PsBase {
+					return 0, lo.errf(n.Pos, "cannot take the address of %q: ps-base globals live in a global register, not memory", sym.Name)
+				}
+				d := lo.f.NewVReg()
+				lo.emit(ir.Instr{Op: ir.LdSym, Dst: d, Sym: sym.Name, A: ir.NoReg, B: ir.NoReg, Line: line})
+				return d, nil
+			}
+			if off, ok := lo.slots[sym]; ok {
+				if lo.spawnID > 0 {
+					return 0, lo.errf(n.Pos, "cannot take the address of %q in parallel code (no parallel stack)", sym.Name)
+				}
+				d := lo.f.NewVReg()
+				lo.emit(ir.Instr{Op: ir.FrameAddr, Dst: d, Imm: off, A: ir.NoReg, B: ir.NoReg, Line: line})
+				return d, nil
+			}
+			if sym.Type.Kind == xmtc.KPtr && sym.Kind == xmtc.SymParam {
+				// &param where param was not slotted cannot happen (the
+				// pre-scan slots address-taken params); defensive error.
+				return 0, lo.errf(n.Pos, "internal: address of register parameter %q", sym.Name)
+			}
+			return 0, lo.errf(n.Pos, "internal: address of register local %q", sym.Name)
+		case *xmtc.Index:
+			base, off, err := lo.indexAddr(x)
+			if err != nil {
+				return 0, err
+			}
+			if off == 0 {
+				return base, nil
+			}
+			d := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.AddImm, Dst: d, A: base, Imm: off, B: ir.NoReg, Line: line})
+			return d, nil
+		case *xmtc.Unary:
+			if x.Op == xmtc.MUL {
+				return lo.expr(x.X)
+			}
+		case *xmtc.Member:
+			base, off, err := lo.memberLoc(x)
+			if err != nil {
+				return 0, err
+			}
+			if off == 0 {
+				return base, nil
+			}
+			d := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.AddImm, Dst: d, A: base, Imm: off, B: ir.NoReg, Line: line})
+			return d, nil
+		}
+		return 0, lo.errf(n.Pos, "& needs an lvalue")
+	case xmtc.MUL: // deref
+		p, err := lo.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		t := n.TypeOf()
+		if t.Kind == xmtc.KArray || t.Kind == xmtc.KStruct {
+			return p, nil
+		}
+		d := lo.f.NewVReg()
+		size, signed := memSize(t)
+		lo.emit(ir.Instr{Op: ir.Load, Dst: d, A: p, Imm: 0, Size: size,
+			Signed: signed, Volatile: t.Volatile, B: ir.NoReg, Line: line})
+		return d, nil
+	case xmtc.SUB:
+		v, err := lo.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		d := lo.f.NewVReg()
+		if n.TypeOf().Kind == xmtc.KFloat {
+			lo.emit(ir.Instr{Op: ir.FNeg, Dst: d, A: v, B: ir.NoReg, Line: line})
+		} else {
+			z := lo.zero(line)
+			lo.emit(ir.Instr{Op: ir.Sub, Dst: d, A: z, B: v, Line: line})
+		}
+		return d, nil
+	case xmtc.TILDE:
+		v, err := lo.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		z := lo.zero(line)
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.Nor, Dst: d, A: v, B: z, Line: line})
+		return d, nil
+	case xmtc.NOT:
+		v, err := lo.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		if decayT(n.X.TypeOf()).Kind == xmtc.KFloat {
+			z := lo.zero(line)
+			d := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.FEq, Dst: d, A: v, B: z, Line: line})
+			return d, nil
+		}
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.SltUImm, Dst: d, A: v, Imm: 1, B: ir.NoReg, Line: line})
+		return d, nil
+	}
+	return 0, lo.errf(n.Pos, "internal: unary %s", n.Op)
+}
+
+func (lo *lowerer) zero(line int) ir.VReg {
+	d := lo.f.NewVReg()
+	lo.emit(ir.Instr{Op: ir.LdImm, Dst: d, Imm: 0, A: ir.NoReg, B: ir.NoReg, Line: line})
+	return d
+}

@@ -1,0 +1,609 @@
+package codegen
+
+import (
+	"xmtgo/internal/ir"
+	"xmtgo/internal/isa"
+	"xmtgo/internal/xmtc"
+)
+
+func isUnsignedT(t *xmtc.Type) bool { return t.Kind == xmtc.KUnsigned || t.Kind == xmtc.KPtr }
+
+func (lo *lowerer) binary(n *xmtc.Binary) (ir.VReg, error) {
+	line := n.Pos.Line
+	switch n.Op {
+	case xmtc.COMMA:
+		if _, err := lo.expr(n.X); err != nil {
+			return 0, err
+		}
+		return lo.expr(n.Y)
+	case xmtc.ANDAND, xmtc.OROR:
+		// Value form: materialize 0/1 through short-circuit blocks.
+		res := lo.f.NewVReg()
+		tB := lo.newBlock("sc_t")
+		fB := lo.newBlock("sc_f")
+		end := lo.newBlock("sc_end")
+		if err := lo.cond(n, tB, fB); err != nil {
+			return 0, err
+		}
+		lo.cur = tB
+		lo.emit(ir.Instr{Op: ir.LdImm, Dst: res, Imm: 1, A: ir.NoReg, B: ir.NoReg, Line: line})
+		lo.emit(ir.Instr{Op: ir.Jmp, Target: end, A: ir.NoReg, B: ir.NoReg})
+		lo.cur = fB
+		lo.emit(ir.Instr{Op: ir.LdImm, Dst: res, Imm: 0, A: ir.NoReg, B: ir.NoReg, Line: line})
+		lo.emit(ir.Instr{Op: ir.Jmp, Target: end, A: ir.NoReg, B: ir.NoReg})
+		lo.cur = end
+		return res, nil
+	case xmtc.EQ, xmtc.NE, xmtc.LT, xmtc.GT, xmtc.LE, xmtc.GE:
+		return lo.compareValue(n)
+	}
+
+	xt, yt := decayT(n.X.TypeOf()), decayT(n.Y.TypeOf())
+	isFloat := n.TypeOf().Kind == xmtc.KFloat
+
+	// Pointer arithmetic.
+	if n.Op == xmtc.ADD || n.Op == xmtc.SUB {
+		if xt.Kind == xmtc.KPtr && yt.IsInteger() {
+			p, err := lo.expr(n.X)
+			if err != nil {
+				return 0, err
+			}
+			i, err := lo.expr(n.Y)
+			if err != nil {
+				return 0, err
+			}
+			s := lo.scale(i, xt.Elem.Size(), line)
+			d := lo.f.NewVReg()
+			op := ir.Add
+			if n.Op == xmtc.SUB {
+				op = ir.Sub
+			}
+			lo.emit(ir.Instr{Op: op, Dst: d, A: p, B: s, Line: line})
+			return d, nil
+		}
+		if n.Op == xmtc.ADD && yt.Kind == xmtc.KPtr && xt.IsInteger() {
+			i, err := lo.expr(n.X)
+			if err != nil {
+				return 0, err
+			}
+			p, err := lo.expr(n.Y)
+			if err != nil {
+				return 0, err
+			}
+			s := lo.scale(i, yt.Elem.Size(), line)
+			d := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.Add, Dst: d, A: p, B: s, Line: line})
+			return d, nil
+		}
+		if n.Op == xmtc.SUB && xt.Kind == xmtc.KPtr && yt.Kind == xmtc.KPtr {
+			a, err := lo.expr(n.X)
+			if err != nil {
+				return 0, err
+			}
+			b, err := lo.expr(n.Y)
+			if err != nil {
+				return 0, err
+			}
+			diff := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.Sub, Dst: diff, A: a, B: b, Line: line})
+			size := xt.Elem.Size()
+			if size == 1 {
+				return diff, nil
+			}
+			if size&(size-1) == 0 {
+				sh := int32(0)
+				for s := size; s > 1; s >>= 1 {
+					sh++
+				}
+				d := lo.f.NewVReg()
+				lo.emit(ir.Instr{Op: ir.SarImm, Dst: d, A: diff, Imm: sh, B: ir.NoReg, Line: line})
+				return d, nil
+			}
+			c := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.LdImm, Dst: c, Imm: size, A: ir.NoReg, B: ir.NoReg, Line: line})
+			d := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.Div, Dst: d, A: diff, B: c, Line: line})
+			return d, nil
+		}
+	}
+
+	common := xmtc.TypeInt
+	if isFloat {
+		common = xmtc.TypeFloat
+	} else if xt.Kind == xmtc.KUnsigned || yt.Kind == xmtc.KUnsigned {
+		common = xmtc.TypeUnsigned
+	}
+	a, err := lo.exprConv(n.X, common)
+	if err != nil {
+		return 0, err
+	}
+	b, err := lo.exprConv(n.Y, common)
+	if err != nil {
+		return 0, err
+	}
+	d := lo.f.NewVReg()
+	var op ir.Op
+	unsigned := common.Kind == xmtc.KUnsigned
+	switch n.Op {
+	case xmtc.ADD:
+		op = ir.Add
+		if isFloat {
+			op = ir.FAdd
+		}
+	case xmtc.SUB:
+		op = ir.Sub
+		if isFloat {
+			op = ir.FSub
+		}
+	case xmtc.MUL:
+		op = ir.Mul
+		if isFloat {
+			op = ir.FMul
+		}
+	case xmtc.DIV:
+		switch {
+		case isFloat:
+			op = ir.FDiv
+		case unsigned:
+			op = ir.DivU
+		default:
+			op = ir.Div
+		}
+	case xmtc.REM:
+		op = ir.Rem
+		if unsigned {
+			op = ir.RemU
+		}
+	case xmtc.AND:
+		op = ir.And
+	case xmtc.OR:
+		op = ir.Or
+	case xmtc.XOR:
+		op = ir.Xor
+	case xmtc.SHL:
+		op = ir.Shl
+	case xmtc.SHR:
+		op = ir.Sar
+		if unsigned {
+			op = ir.Shr
+		}
+	default:
+		return 0, lo.errf(n.Pos, "internal: binary %s", n.Op)
+	}
+	lo.emit(ir.Instr{Op: op, Dst: d, A: a, B: b, Line: line})
+	return d, nil
+}
+
+// compareValue materializes a comparison as 0/1.
+func (lo *lowerer) compareValue(n *xmtc.Binary) (ir.VReg, error) {
+	line := n.Pos.Line
+	xt, yt := decayT(n.X.TypeOf()), decayT(n.Y.TypeOf())
+	isFloat := xt.Kind == xmtc.KFloat || yt.Kind == xmtc.KFloat
+	common := xmtc.TypeInt
+	if isFloat {
+		common = xmtc.TypeFloat
+	} else if isUnsignedT(xt) || isUnsignedT(yt) {
+		common = xmtc.TypeUnsigned
+	}
+	a, err := lo.exprConv(n.X, common)
+	if err != nil {
+		return 0, err
+	}
+	b, err := lo.exprConv(n.Y, common)
+	if err != nil {
+		return 0, err
+	}
+	op := n.Op
+	// Normalize GT/GE to LT/LE by swapping.
+	if op == xmtc.GT {
+		a, b, op = b, a, xmtc.LT
+	} else if op == xmtc.GE {
+		a, b, op = b, a, xmtc.LE
+	}
+	d := lo.f.NewVReg()
+	if isFloat {
+		switch op {
+		case xmtc.EQ:
+			lo.emit(ir.Instr{Op: ir.FEq, Dst: d, A: a, B: b, Line: line})
+		case xmtc.NE:
+			t := lo.f.NewVReg()
+			lo.emit(ir.Instr{Op: ir.FEq, Dst: t, A: a, B: b, Line: line})
+			lo.emit(ir.Instr{Op: ir.XorImm, Dst: d, A: t, Imm: 1, B: ir.NoReg, Line: line})
+		case xmtc.LT:
+			lo.emit(ir.Instr{Op: ir.FLt, Dst: d, A: a, B: b, Line: line})
+		case xmtc.LE:
+			lo.emit(ir.Instr{Op: ir.FLe, Dst: d, A: a, B: b, Line: line})
+		}
+		return d, nil
+	}
+	unsigned := common.Kind == xmtc.KUnsigned
+	slt := ir.SltS
+	if unsigned {
+		slt = ir.SltU
+	}
+	switch op {
+	case xmtc.EQ:
+		t := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.Xor, Dst: t, A: a, B: b, Line: line})
+		lo.emit(ir.Instr{Op: ir.SltUImm, Dst: d, A: t, Imm: 1, B: ir.NoReg, Line: line})
+	case xmtc.NE:
+		t := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.Xor, Dst: t, A: a, B: b, Line: line})
+		z := lo.zero(line)
+		lo.emit(ir.Instr{Op: ir.SltU, Dst: d, A: z, B: t, Line: line})
+	case xmtc.LT:
+		lo.emit(ir.Instr{Op: slt, Dst: d, A: a, B: b, Line: line})
+	case xmtc.LE:
+		t := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: slt, Dst: t, A: b, B: a, Line: line}) // b < a == a > b
+		lo.emit(ir.Instr{Op: ir.XorImm, Dst: d, A: t, Imm: 1, B: ir.NoReg, Line: line})
+	}
+	return d, nil
+}
+
+// cond lowers a boolean expression as control flow into tB/fB. Every block
+// it finishes is explicitly terminated, so block layout never matters.
+func (lo *lowerer) cond(e xmtc.Expr, tB, fB *ir.Block) error {
+	line := e.GetPos().Line
+	switch n := e.(type) {
+	case *xmtc.Binary:
+		switch n.Op {
+		case xmtc.ANDAND:
+			mid := lo.newBlock("and_mid")
+			if err := lo.cond(n.X, mid, fB); err != nil {
+				return err
+			}
+			lo.cur = mid
+			return lo.cond(n.Y, tB, fB)
+		case xmtc.OROR:
+			mid := lo.newBlock("or_mid")
+			if err := lo.cond(n.X, tB, mid); err != nil {
+				return err
+			}
+			lo.cur = mid
+			return lo.cond(n.Y, tB, fB)
+		case xmtc.EQ, xmtc.NE:
+			xt, yt := decayT(n.X.TypeOf()), decayT(n.Y.TypeOf())
+			if xt.Kind != xmtc.KFloat && yt.Kind != xmtc.KFloat {
+				a, err := lo.expr(n.X)
+				if err != nil {
+					return err
+				}
+				b, err := lo.expr(n.Y)
+				if err != nil {
+					return err
+				}
+				k := ir.BrEQ
+				if n.Op == xmtc.NE {
+					k = ir.BrNE
+				}
+				lo.emit(ir.Instr{Op: ir.Br, Cond: k, A: a, B: b, Target: tB, Dst: ir.NoReg, Line: line})
+				lo.emit(ir.Instr{Op: ir.Jmp, Target: fB, A: ir.NoReg, B: ir.NoReg, Line: line})
+				return nil
+			}
+		case xmtc.LT, xmtc.GT, xmtc.LE, xmtc.GE:
+			// Compute the 0/1 value and branch on it (one slt + branch).
+			v, err := lo.compareValue(n)
+			if err != nil {
+				return err
+			}
+			lo.emit(ir.Instr{Op: ir.Br, Cond: ir.BrGTZ, A: v, B: ir.NoReg, Target: tB, Dst: ir.NoReg, Line: line})
+			lo.emit(ir.Instr{Op: ir.Jmp, Target: fB, A: ir.NoReg, B: ir.NoReg, Line: line})
+			return nil
+		}
+	case *xmtc.Unary:
+		if n.Op == xmtc.NOT {
+			return lo.cond(n.X, fB, tB)
+		}
+	case *xmtc.IntLit:
+		target := fB
+		if n.Val != 0 {
+			target = tB
+		}
+		lo.emit(ir.Instr{Op: ir.Jmp, Target: target, A: ir.NoReg, B: ir.NoReg, Line: line})
+		return nil
+	}
+	// Generic: compare the value against zero.
+	v, err := lo.expr(e)
+	if err != nil {
+		return err
+	}
+	if decayT(e.TypeOf()).Kind == xmtc.KFloat {
+		z := lo.zero(line)
+		eq := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.FEq, Dst: eq, A: v, B: z, Line: line})
+		lo.emit(ir.Instr{Op: ir.Br, Cond: ir.BrGTZ, A: eq, B: ir.NoReg, Target: fB, Dst: ir.NoReg, Line: line})
+		lo.emit(ir.Instr{Op: ir.Jmp, Target: tB, A: ir.NoReg, B: ir.NoReg, Line: line})
+		return nil
+	}
+	z := lo.zero(line)
+	lo.emit(ir.Instr{Op: ir.Br, Cond: ir.BrNE, A: v, B: z, Target: tB, Dst: ir.NoReg, Line: line})
+	lo.emit(ir.Instr{Op: ir.Jmp, Target: fB, A: ir.NoReg, B: ir.NoReg, Line: line})
+	return nil
+}
+
+func (lo *lowerer) assign(n *xmtc.Assign) (ir.VReg, error) {
+	line := n.Pos.Line
+	lv, err := lo.lvalue(n.LHS)
+	if err != nil {
+		return 0, err
+	}
+	if n.Op == xmtc.ASSIGN {
+		v, err := lo.exprConv(n.RHS, lv.t)
+		if err != nil {
+			return 0, err
+		}
+		if err := lo.storeLV(lv, v, line); err != nil {
+			return 0, err
+		}
+		return v, nil
+	}
+	// Compound assignment.
+	cur := lo.loadLV(lv, line)
+	lt := decayT(lv.t)
+	var bin *xmtc.Binary
+	tok := map[xmtc.Tok]xmtc.Tok{
+		xmtc.ADDA: xmtc.ADD, xmtc.SUBA: xmtc.SUB, xmtc.MULA: xmtc.MUL,
+		xmtc.DIVA: xmtc.DIV, xmtc.REMA: xmtc.REM, xmtc.ANDA: xmtc.AND,
+		xmtc.ORA: xmtc.OR, xmtc.XORA: xmtc.XOR, xmtc.SHLA: xmtc.SHL, xmtc.SHRA: xmtc.SHR,
+	}[n.Op]
+	_ = bin
+
+	// Pointer += / -= scales the increment.
+	if lt.Kind == xmtc.KPtr {
+		i, err := lo.exprConv(n.RHS, xmtc.TypeInt)
+		if err != nil {
+			return 0, err
+		}
+		s := lo.scale(i, lt.Elem.Size(), line)
+		d := lo.f.NewVReg()
+		op := ir.Add
+		if tok == xmtc.SUB {
+			op = ir.Sub
+		}
+		lo.emit(ir.Instr{Op: op, Dst: d, A: cur, B: s, Line: line})
+		if err := lo.storeLV(lv, d, line); err != nil {
+			return 0, err
+		}
+		return d, nil
+	}
+
+	isFloat := lt.Kind == xmtc.KFloat || decayT(n.RHS.TypeOf()).Kind == xmtc.KFloat
+	common := xmtc.TypeInt
+	if isFloat {
+		common = xmtc.TypeFloat
+	} else if lt.Kind == xmtc.KUnsigned || decayT(n.RHS.TypeOf()).Kind == xmtc.KUnsigned {
+		common = xmtc.TypeUnsigned
+	}
+	a := lo.conv(cur, lt, common, line)
+	b, err := lo.exprConv(n.RHS, common)
+	if err != nil {
+		return 0, err
+	}
+	d := lo.f.NewVReg()
+	unsigned := common.Kind == xmtc.KUnsigned
+	var op ir.Op
+	switch tok {
+	case xmtc.ADD:
+		op = ir.Add
+		if isFloat {
+			op = ir.FAdd
+		}
+	case xmtc.SUB:
+		op = ir.Sub
+		if isFloat {
+			op = ir.FSub
+		}
+	case xmtc.MUL:
+		op = ir.Mul
+		if isFloat {
+			op = ir.FMul
+		}
+	case xmtc.DIV:
+		switch {
+		case isFloat:
+			op = ir.FDiv
+		case unsigned:
+			op = ir.DivU
+		default:
+			op = ir.Div
+		}
+	case xmtc.REM:
+		op = ir.Rem
+		if unsigned {
+			op = ir.RemU
+		}
+	case xmtc.AND:
+		op = ir.And
+	case xmtc.OR:
+		op = ir.Or
+	case xmtc.XOR:
+		op = ir.Xor
+	case xmtc.SHL:
+		op = ir.Shl
+	case xmtc.SHR:
+		op = ir.Sar
+		if unsigned {
+			op = ir.Shr
+		}
+	}
+	lo.emit(ir.Instr{Op: op, Dst: d, A: a, B: b, Line: line})
+	res := lo.conv(d, common, lt, line)
+	if err := lo.storeLV(lv, res, line); err != nil {
+		return 0, err
+	}
+	return res, nil
+}
+
+func (lo *lowerer) incDec(n *xmtc.IncDec) (ir.VReg, error) {
+	line := n.Pos.Line
+	lv, err := lo.lvalue(n.X)
+	if err != nil {
+		return 0, err
+	}
+	cur := lo.loadLV(lv, line)
+	old := lo.f.NewVReg()
+	lo.emit(ir.Instr{Op: ir.Mov, Dst: old, A: cur, B: ir.NoReg, Line: line})
+	step := int32(1)
+	lt := decayT(lv.t)
+	if lt.Kind == xmtc.KPtr {
+		step = lt.Elem.Size()
+	}
+	if n.Op == xmtc.DEC {
+		step = -step
+	}
+	d := lo.f.NewVReg()
+	lo.emit(ir.Instr{Op: ir.AddImm, Dst: d, A: old, Imm: step, B: ir.NoReg, Line: line})
+	if err := lo.storeLV(lv, d, line); err != nil {
+		return 0, err
+	}
+	if n.Pre {
+		return d, nil
+	}
+	return old, nil
+}
+
+func (lo *lowerer) ternary(n *xmtc.Cond) (ir.VReg, error) {
+	res := lo.f.NewVReg()
+	tB := lo.newBlock("tern_t")
+	fB := lo.newBlock("tern_f")
+	end := lo.newBlock("tern_end")
+	if err := lo.cond(n.C, tB, fB); err != nil {
+		return 0, err
+	}
+	lo.cur = tB
+	tv, err := lo.exprConv(n.T, n.TypeOf())
+	if err != nil {
+		return 0, err
+	}
+	lo.emit(ir.Instr{Op: ir.Mov, Dst: res, A: tv, B: ir.NoReg, Line: n.Pos.Line})
+	lo.emit(ir.Instr{Op: ir.Jmp, Target: end, A: ir.NoReg, B: ir.NoReg})
+	lo.cur = fB
+	fv, err := lo.exprConv(n.F, n.TypeOf())
+	if err != nil {
+		return 0, err
+	}
+	lo.emit(ir.Instr{Op: ir.Mov, Dst: res, A: fv, B: ir.NoReg, Line: n.Pos.Line})
+	lo.emit(ir.Instr{Op: ir.Jmp, Target: end, A: ir.NoReg, B: ir.NoReg})
+	lo.moveBlockToEnd(end)
+	lo.cur = end
+	return res, nil
+}
+
+func (lo *lowerer) call(n *xmtc.Call) (ir.VReg, error) {
+	line := n.Pos.Line
+	if n.Builtin != xmtc.NotBuiltin {
+		return lo.builtin(n)
+	}
+	fd := n.Sym.Def.(*xmtc.FuncDecl)
+	var args []ir.VReg
+	for i, a := range n.Args {
+		v, err := lo.exprConv(a, fd.Sym.Type.Params[i])
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, v)
+	}
+	lo.f.HasCall = true
+	dst := ir.NoReg
+	if n.TypeOf().Kind != xmtc.KVoid {
+		dst = lo.f.NewVReg()
+	}
+	lo.emit(ir.Instr{Op: ir.Call, Dst: dst, CallName: n.Name, CallArgs: args, A: ir.NoReg, B: ir.NoReg, Line: line})
+	if dst == ir.NoReg {
+		return lo.zero(line), nil
+	}
+	return dst, nil
+}
+
+func (lo *lowerer) builtin(n *xmtc.Call) (ir.VReg, error) {
+	line := n.Pos.Line
+	switch n.Builtin {
+	case xmtc.BuiltinPs:
+		incLV, err := lo.lvalue(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		base := n.Args[1].(*xmtc.Ident).Sym
+		inc := lo.loadLV(incLV, line)
+		// The compiler issues a memory fence before each prefix-sum to
+		// enforce the XMT memory model (paper §IV-A).
+		lo.emit(ir.Instr{Op: ir.Fence, A: ir.NoReg, B: ir.NoReg, Dst: ir.NoReg, Line: line})
+		old := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.Ps, Dst: old, A: inc, G: base.GReg, B: ir.NoReg, Line: line})
+		if err := lo.storeLV(incLV, old, line); err != nil {
+			return 0, err
+		}
+		return old, nil
+	case xmtc.BuiltinPsm:
+		incLV, err := lo.lvalue(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		baseLV, err := lo.lvalue(n.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		if baseLV.kind != lvMem {
+			return 0, lo.errf(n.Pos, "psm base must be a memory location (use ps for global-register bases)")
+		}
+		inc := lo.loadLV(incLV, line)
+		lo.emit(ir.Instr{Op: ir.Fence, A: ir.NoReg, B: ir.NoReg, Dst: ir.NoReg, Line: line})
+		old := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.Psm, Dst: old, A: baseLV.base, Imm: baseLV.off, B: inc, Line: line})
+		if err := lo.storeLV(incLV, old, line); err != nil {
+			return 0, err
+		}
+		return old, nil
+	case xmtc.BuiltinPrintInt, xmtc.BuiltinPrintChar, xmtc.BuiltinPrintString, xmtc.BuiltinPrintFloat:
+		var v ir.VReg
+		var err error
+		if n.Builtin == xmtc.BuiltinPrintFloat {
+			v, err = lo.exprConv(n.Args[0], xmtc.TypeFloat)
+		} else {
+			v, err = lo.expr(n.Args[0])
+		}
+		if err != nil {
+			return 0, err
+		}
+		code := map[xmtc.Builtin]int32{
+			xmtc.BuiltinPrintInt:    isa.SysPrintInt,
+			xmtc.BuiltinPrintChar:   isa.SysPrintChar,
+			xmtc.BuiltinPrintString: isa.SysPrintStr,
+			xmtc.BuiltinPrintFloat:  isa.SysPrintFloat,
+		}[n.Builtin]
+		lo.emit(ir.Instr{Op: ir.Sys, Imm: code, A: v, B: ir.NoReg, Dst: ir.NoReg, Line: line})
+		return lo.zero(line), nil
+	case xmtc.BuiltinCycle:
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.Sys, Imm: isa.SysCycle, Dst: d, A: ir.NoReg, B: ir.NoReg, Line: line})
+		return d, nil
+	case xmtc.BuiltinCheckpoint:
+		lo.emit(ir.Instr{Op: ir.Sys, Imm: isa.SysCheckpoint, A: ir.NoReg, B: ir.NoReg, Dst: ir.NoReg, Line: line})
+		return lo.zero(line), nil
+	case xmtc.BuiltinMalloc:
+		v, err := lo.exprConv(n.Args[0], xmtc.TypeInt)
+		if err != nil {
+			return 0, err
+		}
+		lo.f.HasCall = true
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.Call, Dst: d, CallName: "malloc", CallArgs: []ir.VReg{v}, A: ir.NoReg, B: ir.NoReg, Line: line})
+		return d, nil
+	case xmtc.BuiltinPrefetch:
+		p, err := lo.expr(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		lo.emit(ir.Instr{Op: ir.Pref, A: p, Imm: 0, B: ir.NoReg, Dst: ir.NoReg, Line: line})
+		return lo.zero(line), nil
+	case xmtc.BuiltinReadOnly:
+		p, err := lo.expr(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		d := lo.f.NewVReg()
+		lo.emit(ir.Instr{Op: ir.LoadRO, Dst: d, A: p, Imm: 0, Size: 4, B: ir.NoReg, Line: line})
+		return d, nil
+	}
+	return 0, lo.errf(n.Pos, "internal: builtin %d", n.Builtin)
+}

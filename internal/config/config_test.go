@@ -1,0 +1,127 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, name := range []string{"fpga64", "chip1024"} {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset must fail")
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	f := FPGA64()
+	if f.TCUs() != 64 {
+		t.Fatalf("fpga64 has %d TCUs", f.TCUs())
+	}
+	c := Chip1024()
+	if c.TCUs() != 1024 {
+		t.Fatalf("chip1024 has %d TCUs", c.TCUs())
+	}
+}
+
+func TestSetAndLoad(t *testing.T) {
+	cfg := FPGA64()
+	if err := cfg.Set("clusters=16"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Clusters != 16 {
+		t.Fatal("Set did not apply")
+	}
+	err := cfg.Load(`
+# comment
+tcus_per_cluster = 4
+dram_latency=99   # trailing comment
+seed=7
+mem_bytes=0x200000
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TCUsPerCluster != 4 || cfg.DRAMLatency != 99 || cfg.Seed != 7 || cfg.MemBytes != 0x200000 {
+		t.Fatalf("Load did not apply: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetErrors(t *testing.T) {
+	cfg := FPGA64()
+	for _, bad := range []string{"nokey=1", "clusters", "clusters=abc", "seed=-1x"} {
+		if err := cfg.Set(bad); err == nil {
+			t.Errorf("Set(%q) should fail", bad)
+		}
+	}
+	if err := cfg.Load("line1=1\nclusters=zz"); err == nil || !strings.Contains(err.Error(), "line") {
+		t.Errorf("Load should report the failing line, got %v", err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Clusters = 0 },
+		func(c *Config) { c.TCUsPerCluster = -1 },
+		func(c *Config) { c.CacheLineSize = 24 },
+		func(c *Config) { c.CacheAssoc = 3 },
+		func(c *Config) { c.CacheQueue = 0 },
+		func(c *Config) { c.DRAMPorts = 0 },
+		func(c *Config) { c.DRAMGapCycles = 0 },
+		func(c *Config) { c.ICNInjectPerCyc = 0 },
+		func(c *Config) { c.ClusterPeriod = 0 },
+		func(c *Config) { c.MemBytes = 100 },
+		func(c *Config) { c.PSLatency = 0 },
+		func(c *Config) { c.PSPerCycle = 0 },
+		func(c *Config) { c.MasterIssueWidth = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := FPGA64()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestKeysSortedAndSettable(t *testing.T) {
+	keys := Keys()
+	if len(keys) < 20 {
+		t.Fatalf("only %d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("keys not sorted")
+		}
+	}
+	// ps_per_cycle must be reachable from config files.
+	found := false
+	for _, k := range keys {
+		if k == "ps_per_cycle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ps_per_cycle missing from the key set")
+	}
+}
+
+func TestDescribeMentionsEverything(t *testing.T) {
+	cfg := Chip1024()
+	d := cfg.Describe()
+	for _, want := range []string{"chip1024", "clusters=64", "total TCUs: 1024", "ps_per_cycle=64"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package floorplan is the floorplan visualization companion of XMTSim
+// (paper §III-E): it renders per-cluster (or per-cache-module) data — e.g.
+// temperatures or activity counters sampled by an activity plug-in — on an
+// XMT floorplan, in text form, so the overwhelming output of a many-TCU
+// configuration can be read at a glance or animated over a run.
+package floorplan
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// shades maps normalized intensity to ASCII density.
+const shades = " .:-=+*#%@"
+
+// Plan describes the die layout: a W×H grid of cells.
+type Plan struct {
+	W, H   int
+	Labels []string // optional, len W*H
+}
+
+// NewGridPlan arranges n cells in a near-square grid (the layout used for
+// clusters on the XMT die).
+func NewGridPlan(n int) *Plan {
+	w := int(math.Ceil(math.Sqrt(float64(n))))
+	h := (n + w - 1) / w
+	return &Plan{W: w, H: h}
+}
+
+// Render draws the values (len <= W*H) as a shaded map with a legend.
+// Values are normalized between min and max; pass math.NaN() for automatic
+// scaling.
+func (p *Plan) Render(w io.Writer, title string, values []float64, lo, hi float64) {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, v := range values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if math.IsInf(lo, 1) {
+			lo, hi = 0, 1
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	fmt.Fprintf(w, "%s  [%.4g .. %.4g]\n", title, lo, hi)
+	fmt.Fprintf(w, "+%s+\n", strings.Repeat("-", p.W*2))
+	for y := 0; y < p.H; y++ {
+		fmt.Fprint(w, "|")
+		for x := 0; x < p.W; x++ {
+			i := y*p.W + x
+			if i >= len(values) {
+				fmt.Fprint(w, "  ")
+				continue
+			}
+			n := (values[i] - lo) / (hi - lo)
+			if n < 0 {
+				n = 0
+			}
+			if n > 1 {
+				n = 1
+			}
+			c := shades[int(n*float64(len(shades)-1))]
+			fmt.Fprintf(w, "%c%c", c, c)
+		}
+		fmt.Fprintln(w, "|")
+	}
+	fmt.Fprintf(w, "+%s+\n", strings.Repeat("-", p.W*2))
+}
+
+// RenderValues draws the raw numbers in a grid (text mode of the
+// visualization package).
+func (p *Plan) RenderValues(w io.Writer, title string, values []float64, format string) {
+	if format == "" {
+		format = "%8.2f"
+	}
+	fmt.Fprintln(w, title)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			i := y*p.W + x
+			if i < len(values) {
+				fmt.Fprintf(w, format, values[i])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

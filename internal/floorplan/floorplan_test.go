@@ -1,0 +1,66 @@
+package floorplan
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGridPlanShape(t *testing.T) {
+	for _, tc := range []struct{ n, w, h int }{
+		{1, 1, 1}, {4, 2, 2}, {8, 3, 3}, {64, 8, 8}, {65, 9, 8},
+	} {
+		p := NewGridPlan(tc.n)
+		if p.W != tc.w || p.H != tc.h {
+			t.Errorf("NewGridPlan(%d) = %dx%d, want %dx%d", tc.n, p.W, p.H, tc.w, tc.h)
+		}
+		if p.W*p.H < tc.n {
+			t.Errorf("plan too small for %d cells", tc.n)
+		}
+	}
+}
+
+func TestRenderShading(t *testing.T) {
+	p := NewGridPlan(4)
+	var buf bytes.Buffer
+	p.Render(&buf, "test", []float64{0, 0.5, 1, 0.25}, 0, 1)
+	out := buf.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "[0 .. 1]") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	// The max cell renders with the densest shade, the min with the
+	// lightest.
+	if !strings.Contains(out, "@@") || !strings.Contains(out, "  ") {
+		t.Fatalf("shading missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + top border + 2 rows + bottom border
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderAutoScale(t *testing.T) {
+	p := NewGridPlan(2)
+	var buf bytes.Buffer
+	p.Render(&buf, "auto", []float64{10, 20}, math.NaN(), math.NaN())
+	if !strings.Contains(buf.String(), "[10 .. 20]") {
+		t.Fatalf("auto scale wrong:\n%s", buf.String())
+	}
+	// Degenerate all-equal values must not divide by zero.
+	buf.Reset()
+	p.Render(&buf, "flat", []float64{5, 5}, math.NaN(), math.NaN())
+	if !strings.Contains(buf.String(), "flat") {
+		t.Fatal("flat render failed")
+	}
+}
+
+func TestRenderValues(t *testing.T) {
+	p := NewGridPlan(4)
+	var buf bytes.Buffer
+	p.RenderValues(&buf, "vals", []float64{1, 2, 3, 4}, "%6.1f")
+	out := buf.String()
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "4.0") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}

@@ -1,0 +1,68 @@
+package ir
+
+// Liveness computes per-block live-in/live-out sets with the standard
+// backward fixed-point iteration. Results feed dead-code elimination and
+// the linear-scan register allocator.
+func (f *Func) Liveness() {
+	n := len(f.Blocks)
+	gen := make([]map[VReg]bool, n)
+	kill := make([]map[VReg]bool, n)
+	var buf []VReg
+	for i, b := range f.Blocks {
+		g := make(map[VReg]bool)
+		k := make(map[VReg]bool)
+		for _, in := range b.Instrs {
+			buf = in.Uses(buf)
+			for _, u := range buf {
+				if !k[u] {
+					g[u] = true
+				}
+			}
+			if d := in.Def(); d != NoReg {
+				k[d] = true
+			}
+		}
+		gen[i], kill[i] = g, k
+		b.liveIn = make(map[VReg]bool)
+		b.liveOut = make(map[VReg]bool)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := make(map[VReg]bool)
+			for _, s := range f.Succs(i) {
+				for v := range s.liveIn {
+					out[v] = true
+				}
+			}
+			in := make(map[VReg]bool, len(gen[i]))
+			for v := range gen[i] {
+				in[v] = true
+			}
+			for v := range out {
+				if !kill[i][v] {
+					in[v] = true
+				}
+			}
+			if len(out) != len(b.liveOut) || len(in) != len(b.liveIn) {
+				changed = true
+			} else {
+				for v := range in {
+					if !b.liveIn[v] {
+						changed = true
+						break
+					}
+				}
+			}
+			b.liveIn, b.liveOut = in, out
+		}
+	}
+}
+
+// LiveIn exposes a block's live-in set (after Liveness).
+func (b *Block) LiveIn() map[VReg]bool { return b.liveIn }
+
+// LiveOut exposes a block's live-out set (after Liveness).
+func (b *Block) LiveOut() map[VReg]bool { return b.liveOut }

@@ -1,0 +1,188 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// countOp counts instructions of one op across the function.
+func countOp(f *Func, op Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestImmediateFormSelection(t *testing.T) {
+	f := buildLinear(
+		Instr{Op: LdImm, Dst: 0, Imm: 100, A: NoReg, B: NoReg},
+		Instr{Op: Load, Dst: 1, A: 0, Size: 4, Volatile: true},
+		Instr{Op: LdImm, Dst: 2, Imm: 12, A: NoReg, B: NoReg},
+		Instr{Op: Add, Dst: 3, A: 1, B: 2},  // -> AddImm
+		Instr{Op: Sub, Dst: 4, A: 3, B: 2},  // -> AddImm -12
+		Instr{Op: And, Dst: 5, A: 4, B: 2},  // -> AndImm
+		Instr{Op: Or, Dst: 6, A: 5, B: 2},   // -> OrImm
+		Instr{Op: Xor, Dst: 7, A: 6, B: 2},  // -> XorImm
+		Instr{Op: Shl, Dst: 8, A: 7, B: 2},  // -> ShlImm
+		Instr{Op: Shr, Dst: 9, A: 8, B: 2},  // -> ShrImm
+		Instr{Op: Sar, Dst: 10, A: 9, B: 2}, // -> SarImm
+		Instr{Op: SltS, Dst: 11, A: 10, B: 2},
+		Instr{Op: SltU, Dst: 12, A: 11, B: 2},
+		Instr{Op: Store, A: 0, B: 12, Size: 4},
+		Instr{Op: Store, A: 0, B: 10, Imm: 4, Size: 4},
+	)
+	f.Optimize(1)
+	for _, op := range []Op{Add, Sub, And, Or, Xor, Shl, Shr, Sar, SltS, SltU} {
+		if countOp(f, op) != 0 {
+			t.Fatalf("register-form %d not converted to immediate form:\n%s", op, f.Dump())
+		}
+	}
+}
+
+func TestUnsignedDivStrengthReduction(t *testing.T) {
+	f := buildLinear(
+		Instr{Op: LdImm, Dst: 0, Imm: 100, A: NoReg, B: NoReg},
+		Instr{Op: Load, Dst: 1, A: 0, Size: 4, Volatile: true},
+		Instr{Op: LdImm, Dst: 2, Imm: 8, A: NoReg, B: NoReg},
+		Instr{Op: DivU, Dst: 3, A: 1, B: 2}, // -> ShrImm 3
+		Instr{Op: RemU, Dst: 4, A: 1, B: 2}, // -> AndImm 7
+		Instr{Op: Store, A: 0, B: 3, Size: 4},
+		Instr{Op: Store, A: 0, B: 4, Imm: 4, Size: 4},
+	)
+	f.Optimize(1)
+	if countOp(f, DivU) != 0 || countOp(f, RemU) != 0 {
+		t.Fatalf("unsigned div/rem by power of two not reduced:\n%s", f.Dump())
+	}
+}
+
+func TestFloatConstantFolding(t *testing.T) {
+	bits := func(v float32) int32 { return int32(math.Float32bits(v)) }
+	f := buildLinear(
+		Instr{Op: LdImm, Dst: 0, Imm: bits(1.5), A: NoReg, B: NoReg},
+		Instr{Op: LdImm, Dst: 1, Imm: bits(2.5), A: NoReg, B: NoReg},
+		Instr{Op: FAdd, Dst: 2, A: 0, B: 1},
+		Instr{Op: FMul, Dst: 3, A: 2, B: 1},
+		Instr{Op: CvtFI, Dst: 4, A: 3},
+		Instr{Op: LdImm, Dst: 5, Imm: 100, A: NoReg, B: NoReg},
+		Instr{Op: Store, A: 5, B: 4, Size: 4},
+	)
+	f.Optimize(1)
+	if countOp(f, FAdd) != 0 || countOp(f, FMul) != 0 || countOp(f, CvtFI) != 0 {
+		t.Fatalf("float ops not folded:\n%s", f.Dump())
+	}
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == LdImm && in.Imm == 10 { // (1.5+2.5)*2.5 = 10
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("folded float result missing:\n%s", f.Dump())
+	}
+}
+
+func TestBranchFoldingSameReg(t *testing.T) {
+	f := &Func{Name: "t"}
+	b0 := f.NewBlock("entry")
+	b1 := f.NewBlock("taken")
+	b2 := f.NewBlock("fall")
+	f.NumVRegs = 1
+	b0.Emit(Instr{Op: Br, Cond: BrEQ, A: 0, B: 0, Target: b1})
+	b1.Emit(Instr{Op: Ret, A: NoReg, B: NoReg, Dst: NoReg})
+	b2.Emit(Instr{Op: Ret, A: NoReg, B: NoReg, Dst: NoReg})
+	f.Optimize(1)
+	last := f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1]
+	if last.Op != Jmp {
+		t.Fatalf("BrEQ v,v should fold to Jmp:\n%s", f.Dump())
+	}
+}
+
+// Property: evalInt matches Go semantics on random operands for every
+// foldable operation.
+func TestEvalIntProperty(t *testing.T) {
+	ops := []Op{Add, Sub, Mul, And, Or, Xor, Nor, Shl, Shr, Sar, SltS, SltU}
+	f := func(a, b int32, sel uint8) bool {
+		op := ops[int(sel)%len(ops)]
+		got, ok := evalInt(op, a, b)
+		if !ok {
+			return false
+		}
+		var want int32
+		switch op {
+		case Add:
+			want = a + b
+		case Sub:
+			want = a - b
+		case Mul:
+			want = a * b
+		case And:
+			want = a & b
+		case Or:
+			want = a | b
+		case Xor:
+			want = a ^ b
+		case Nor:
+			want = ^(a | b)
+		case Shl:
+			want = a << uint(b&31)
+		case Shr:
+			want = int32(uint32(a) >> uint(b&31))
+		case Sar:
+			want = a >> uint(b&31)
+		case SltS:
+			want = b2i(a < b)
+		case SltU:
+			want = b2i(uint32(a) < uint32(b))
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	if _, ok := evalInt(Div, 5, 0); ok {
+		t.Fatal("division by zero must not fold")
+	}
+	// A Div with constant zero divisor must survive optimization (it traps
+	// at run time, preserving semantics).
+	f := buildLinear(
+		Instr{Op: LdImm, Dst: 0, Imm: 5, A: NoReg, B: NoReg},
+		Instr{Op: LdImm, Dst: 1, Imm: 0, A: NoReg, B: NoReg},
+		Instr{Op: Div, Dst: 2, A: 0, B: 1},
+		Instr{Op: Store, A: 0, B: 2, Size: 4},
+	)
+	f.Optimize(1)
+	if countOp(f, Div) != 1 {
+		t.Fatalf("div by zero folded away:\n%s", f.Dump())
+	}
+}
+
+func TestDumpRendersEveryOp(t *testing.T) {
+	f := buildLinear(
+		Instr{Op: LdSym, Dst: 0, Sym: "g", A: NoReg, B: NoReg},
+		Instr{Op: Load, Dst: 1, A: 0, Size: 4},
+		Instr{Op: Psm, Dst: 2, A: 0, B: 1},
+		Instr{Op: Grw, G: 3, A: 2},
+		Instr{Op: Grr, Dst: 3, G: 3},
+		Instr{Op: Chkid, A: 3},
+		Instr{Op: Store, A: 0, B: 3, Size: 4, NB: true},
+		Instr{Op: Sys, Imm: 0, A: NoReg, Dst: NoReg},
+	)
+	d := f.Dump()
+	for _, want := range []string{"&g", "load4", "psm", "g3 = v", "chkid", "store4.nb", "sys"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+}

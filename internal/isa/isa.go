@@ -1,0 +1,470 @@
+// Package isa defines the XMT instruction set architecture as modeled by the
+// toolchain: a 32-bit MIPS-like base ISA extended with the XMT-specific
+// operations described in the paper — spawn/join parallel-mode control,
+// prefix-sum over global registers (ps), prefix-sum to memory (psm), virtual
+// thread-id validation (chkid), master-register broadcast (bcast), software
+// prefetch into TCU prefetch buffers (pref), non-blocking stores (sw.nb), a
+// memory fence, and read-only-cache loads (lwro).
+//
+// The toolchain works at transaction-level accuracy (like XMTSim), so
+// instructions are represented as decoded structures rather than binary
+// words. Program counters are instruction indices into the loaded text
+// segment; data addresses are byte addresses into the simulated shared
+// memory.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 per-context registers ($0..$31).
+// $0 is hard-wired to zero, as in MIPS.
+type Reg uint8
+
+// Conventional register roles, following the MIPS o32 convention used by the
+// XMT compiler.
+const (
+	RegZero Reg = 0 // always zero
+	RegAT   Reg = 1 // assembler temporary
+	RegV0   Reg = 2 // result / sys argument
+	RegV1   Reg = 3 // result
+	RegA0   Reg = 4 // first argument
+	RegA1   Reg = 5
+	RegA2   Reg = 6
+	RegA3   Reg = 7
+	RegT0   Reg = 8  // caller-saved temporaries $8..$15
+	RegS0   Reg = 16 // callee-saved $16..$23
+	RegT8   Reg = 24
+	RegT9   Reg = 25
+	RegTID  Reg = 26 // $tid: holds the current virtual thread id inside spawn blocks
+	RegK1   Reg = 27 // reserved for the runtime
+	RegGP   Reg = 28 // global pointer
+	RegSP   Reg = 29 // stack pointer (serial mode only)
+	RegFP   Reg = 30 // frame pointer (serial mode only)
+	RegRA   Reg = 31 // return address
+)
+
+// NumRegs is the size of a per-context register file.
+const NumRegs = 32
+
+// GReg identifies one of the global registers held at the Master TCU's
+// global register file. Global registers are the only legal base of the ps
+// instruction. g63 is reserved by the hardware spawn unit for virtual-thread
+// allocation.
+type GReg uint8
+
+// NumGRegs is the size of the global register file.
+const NumGRegs = 64
+
+// GRegSpawn is the global register the spawn unit uses to allocate virtual
+// thread IDs; user code must not name it as a ps base.
+const GRegSpawn GReg = 63
+
+// Unit classifies which functional unit of the XMT micro-architecture
+// services an instruction. It drives routing in the cycle-accurate model and
+// activity accounting.
+type Unit uint8
+
+const (
+	UnitALU Unit = iota // per-TCU integer ALU
+	UnitSFT             // per-TCU shift unit
+	UnitBR              // per-TCU branch unit
+	UnitMDU             // cluster-shared multiply/divide unit
+	UnitFPU             // cluster-shared floating-point unit
+	UnitMEM             // load-store unit -> ICN -> shared cache
+	UnitPS              // global prefix-sum unit
+	UnitCTL             // spawn/join/chkid/bcast/fence/sys control
+	numUnits
+)
+
+// NumUnits is the number of distinct functional-unit classes.
+const NumUnits = int(numUnits)
+
+func (u Unit) String() string {
+	switch u {
+	case UnitALU:
+		return "ALU"
+	case UnitSFT:
+		return "SFT"
+	case UnitBR:
+		return "BR"
+	case UnitMDU:
+		return "MDU"
+	case UnitFPU:
+		return "FPU"
+	case UnitMEM:
+		return "MEM"
+	case UnitPS:
+		return "PS"
+	case UnitCTL:
+		return "CTL"
+	}
+	return fmt.Sprintf("Unit(%d)", uint8(u))
+}
+
+// Format describes the operand syntax of an instruction, used by the
+// assembler and the disassembler.
+type Format uint8
+
+const (
+	FmtNone    Format = iota // op
+	FmtRRR                   // op rd, rs, rt
+	FmtRRI                   // op rd, rs, imm
+	FmtRI                    // op rd, imm
+	FmtRR                    // op rd, rs
+	FmtR                     // op rd
+	FmtMem                   // op rd, imm(rs)
+	FmtBranch2               // op rs, rt, label
+	FmtBranch1               // op rs, label
+	FmtJump                  // op label
+	FmtPS                    // op rd, gN
+	FmtSpawn                 // op rs, rt (low, high)
+	FmtSys                   // op imm
+)
+
+// Op is an opcode of the XMT ISA.
+type Op uint16
+
+// Integer ALU / shift opcodes.
+const (
+	OpNop Op = iota
+	OpAdd
+	OpAddu
+	OpSub
+	OpSubu
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSlt
+	OpSltu
+	OpAddi
+	OpAddiu
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSltiu
+	OpLui
+	OpSll
+	OpSrl
+	OpSra
+	OpSllv
+	OpSrlv
+	OpSrav
+
+	// Multiply/divide unit (three-operand forms; the modeled XMT MDU
+	// returns results directly rather than through HI/LO).
+	OpMul
+	OpMulu
+	OpDiv
+	OpDivu
+	OpRem
+	OpRemu
+
+	// Floating point (single precision, operating on the unified register
+	// file; values are IEEE-754 bit patterns).
+	OpAddS
+	OpSubS
+	OpMulS
+	OpDivS
+	OpAbsS
+	OpNegS
+	OpSqrtS
+	OpCvtSW // int -> float
+	OpCvtWS // float -> int (truncate)
+	OpCeqS  // rd = (rs == rt) ? 1 : 0
+	OpCltS
+	OpCleS
+
+	// Branches and jumps. Targets are instruction indices after linking.
+	OpBeq
+	OpBne
+	OpBlez
+	OpBgtz
+	OpBltz
+	OpBgez
+	OpJ
+	OpJal
+	OpJr
+	OpJalr
+
+	// Memory.
+	OpLw
+	OpSw
+	OpLb
+	OpLbu
+	OpSb
+	OpSwNB // non-blocking store (compiler-inserted; does not stall the TCU)
+	OpPref // prefetch into the TCU prefetch buffer
+	OpLwRO // load via the cluster read-only cache
+
+	// XMT extensions.
+	OpSpawn // spawn rs, rt: enter parallel mode for virtual threads rs..rt
+	OpJoin  // end of broadcast spawn region
+	OpPs    // ps rd, gN: atomic fetch-add of global register (rd in {0,1})
+	OpPsm   // psm rd, imm(rs): atomic fetch-add to memory, any int32
+	OpChkid // chkid rd: validate virtual thread id; blocks the TCU when out of range
+	OpBcast // bcast rd: master broadcasts register rd to all TCUs at spawn onset
+	OpFence // wait for all pending memory operations of this context
+	OpGrr   // grr rd, gN: read global register
+	OpGrw   // grw rd, gN: write global register
+	OpSys   // sys imm: simulator trap (halt, printf, cycle counter, checkpoint)
+
+	numOps
+)
+
+// NumOps is the number of opcodes in the ISA.
+const NumOps = int(numOps)
+
+// Sys trap codes (the immediate of OpSys). The current toolchain release has
+// no operating system; these traps are simulator facilities, matching the
+// "printf output / memory dump" outputs of XMTSim's functional model.
+const (
+	SysHalt       = 0 // stop simulation
+	SysPrintInt   = 1 // print integer in $2
+	SysPrintChar  = 2 // print character in $2
+	SysPrintStr   = 3 // print NUL-terminated string at address $2
+	SysCycle      = 4 // $2 := current cycle (cycle-accurate mode) or instruction count
+	SysCheckpoint = 5 // request a checkpoint at the next quiescent point
+	SysPrintFloat = 6 // print float bits in $2
+)
+
+// Info is the static metadata of an opcode.
+type Info struct {
+	Name       string // assembler mnemonic
+	Fmt        Format
+	Unit       Unit
+	Latency    int  // base latency in cycles at the servicing unit
+	Mem        bool // accesses shared memory (lw/sw/psm/pref variants)
+	Store      bool // memory write
+	Load       bool // memory read producing a register value
+	Branch     bool
+	MasterOnly bool // legal only in serial mode (spawn, grw to spawn reg, ...)
+}
+
+var infos = [NumOps]Info{
+	OpNop:   {Name: "nop", Fmt: FmtNone, Unit: UnitALU, Latency: 1},
+	OpAdd:   {Name: "add", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpAddu:  {Name: "addu", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpSub:   {Name: "sub", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpSubu:  {Name: "subu", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpAnd:   {Name: "and", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpOr:    {Name: "or", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpXor:   {Name: "xor", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpNor:   {Name: "nor", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpSlt:   {Name: "slt", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpSltu:  {Name: "sltu", Fmt: FmtRRR, Unit: UnitALU, Latency: 1},
+	OpAddi:  {Name: "addi", Fmt: FmtRRI, Unit: UnitALU, Latency: 1},
+	OpAddiu: {Name: "addiu", Fmt: FmtRRI, Unit: UnitALU, Latency: 1},
+	OpAndi:  {Name: "andi", Fmt: FmtRRI, Unit: UnitALU, Latency: 1},
+	OpOri:   {Name: "ori", Fmt: FmtRRI, Unit: UnitALU, Latency: 1},
+	OpXori:  {Name: "xori", Fmt: FmtRRI, Unit: UnitALU, Latency: 1},
+	OpSlti:  {Name: "slti", Fmt: FmtRRI, Unit: UnitALU, Latency: 1},
+	OpSltiu: {Name: "sltiu", Fmt: FmtRRI, Unit: UnitALU, Latency: 1},
+	OpLui:   {Name: "lui", Fmt: FmtRI, Unit: UnitALU, Latency: 1},
+	OpSll:   {Name: "sll", Fmt: FmtRRI, Unit: UnitSFT, Latency: 1},
+	OpSrl:   {Name: "srl", Fmt: FmtRRI, Unit: UnitSFT, Latency: 1},
+	OpSra:   {Name: "sra", Fmt: FmtRRI, Unit: UnitSFT, Latency: 1},
+	OpSllv:  {Name: "sllv", Fmt: FmtRRR, Unit: UnitSFT, Latency: 1},
+	OpSrlv:  {Name: "srlv", Fmt: FmtRRR, Unit: UnitSFT, Latency: 1},
+	OpSrav:  {Name: "srav", Fmt: FmtRRR, Unit: UnitSFT, Latency: 1},
+
+	OpMul:  {Name: "mul", Fmt: FmtRRR, Unit: UnitMDU, Latency: 4},
+	OpMulu: {Name: "mulu", Fmt: FmtRRR, Unit: UnitMDU, Latency: 4},
+	OpDiv:  {Name: "div", Fmt: FmtRRR, Unit: UnitMDU, Latency: 16},
+	OpDivu: {Name: "divu", Fmt: FmtRRR, Unit: UnitMDU, Latency: 16},
+	OpRem:  {Name: "rem", Fmt: FmtRRR, Unit: UnitMDU, Latency: 16},
+	OpRemu: {Name: "remu", Fmt: FmtRRR, Unit: UnitMDU, Latency: 16},
+
+	OpAddS:  {Name: "add.s", Fmt: FmtRRR, Unit: UnitFPU, Latency: 4},
+	OpSubS:  {Name: "sub.s", Fmt: FmtRRR, Unit: UnitFPU, Latency: 4},
+	OpMulS:  {Name: "mul.s", Fmt: FmtRRR, Unit: UnitFPU, Latency: 5},
+	OpDivS:  {Name: "div.s", Fmt: FmtRRR, Unit: UnitFPU, Latency: 12},
+	OpAbsS:  {Name: "abs.s", Fmt: FmtRR, Unit: UnitFPU, Latency: 2},
+	OpNegS:  {Name: "neg.s", Fmt: FmtRR, Unit: UnitFPU, Latency: 2},
+	OpSqrtS: {Name: "sqrt.s", Fmt: FmtRR, Unit: UnitFPU, Latency: 16},
+	OpCvtSW: {Name: "cvt.s.w", Fmt: FmtRR, Unit: UnitFPU, Latency: 3},
+	OpCvtWS: {Name: "cvt.w.s", Fmt: FmtRR, Unit: UnitFPU, Latency: 3},
+	OpCeqS:  {Name: "c.eq.s", Fmt: FmtRRR, Unit: UnitFPU, Latency: 2},
+	OpCltS:  {Name: "c.lt.s", Fmt: FmtRRR, Unit: UnitFPU, Latency: 2},
+	OpCleS:  {Name: "c.le.s", Fmt: FmtRRR, Unit: UnitFPU, Latency: 2},
+
+	OpBeq:  {Name: "beq", Fmt: FmtBranch2, Unit: UnitBR, Latency: 1, Branch: true},
+	OpBne:  {Name: "bne", Fmt: FmtBranch2, Unit: UnitBR, Latency: 1, Branch: true},
+	OpBlez: {Name: "blez", Fmt: FmtBranch1, Unit: UnitBR, Latency: 1, Branch: true},
+	OpBgtz: {Name: "bgtz", Fmt: FmtBranch1, Unit: UnitBR, Latency: 1, Branch: true},
+	OpBltz: {Name: "bltz", Fmt: FmtBranch1, Unit: UnitBR, Latency: 1, Branch: true},
+	OpBgez: {Name: "bgez", Fmt: FmtBranch1, Unit: UnitBR, Latency: 1, Branch: true},
+	OpJ:    {Name: "j", Fmt: FmtJump, Unit: UnitBR, Latency: 1, Branch: true},
+	OpJal:  {Name: "jal", Fmt: FmtJump, Unit: UnitBR, Latency: 1, Branch: true},
+	OpJr:   {Name: "jr", Fmt: FmtR, Unit: UnitBR, Latency: 1, Branch: true},
+	OpJalr: {Name: "jalr", Fmt: FmtR, Unit: UnitBR, Latency: 1, Branch: true},
+
+	OpLw:   {Name: "lw", Fmt: FmtMem, Unit: UnitMEM, Latency: 1, Mem: true, Load: true},
+	OpSw:   {Name: "sw", Fmt: FmtMem, Unit: UnitMEM, Latency: 1, Mem: true, Store: true},
+	OpLb:   {Name: "lb", Fmt: FmtMem, Unit: UnitMEM, Latency: 1, Mem: true, Load: true},
+	OpLbu:  {Name: "lbu", Fmt: FmtMem, Unit: UnitMEM, Latency: 1, Mem: true, Load: true},
+	OpSb:   {Name: "sb", Fmt: FmtMem, Unit: UnitMEM, Latency: 1, Mem: true, Store: true},
+	OpSwNB: {Name: "sw.nb", Fmt: FmtMem, Unit: UnitMEM, Latency: 1, Mem: true, Store: true},
+	OpPref: {Name: "pref", Fmt: FmtMem, Unit: UnitMEM, Latency: 1, Mem: true, Load: true},
+	OpLwRO: {Name: "lwro", Fmt: FmtMem, Unit: UnitMEM, Latency: 1, Mem: true, Load: true},
+
+	OpSpawn: {Name: "spawn", Fmt: FmtSpawn, Unit: UnitCTL, Latency: 1, MasterOnly: true},
+	OpJoin:  {Name: "join", Fmt: FmtNone, Unit: UnitCTL, Latency: 1},
+	OpPs:    {Name: "ps", Fmt: FmtPS, Unit: UnitPS, Latency: 1},
+	OpPsm:   {Name: "psm", Fmt: FmtMem, Unit: UnitMEM, Latency: 1, Mem: true, Load: true, Store: true},
+	OpChkid: {Name: "chkid", Fmt: FmtR, Unit: UnitCTL, Latency: 1},
+	OpBcast: {Name: "bcast", Fmt: FmtR, Unit: UnitCTL, Latency: 1, MasterOnly: true},
+	OpFence: {Name: "fence", Fmt: FmtNone, Unit: UnitCTL, Latency: 1},
+	OpGrr:   {Name: "grr", Fmt: FmtPS, Unit: UnitPS, Latency: 1},
+	OpGrw:   {Name: "grw", Fmt: FmtPS, Unit: UnitPS, Latency: 1},
+	OpSys:   {Name: "sys", Fmt: FmtSys, Unit: UnitCTL, Latency: 1},
+}
+
+// ByName maps a mnemonic to its opcode.
+var ByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < Op(numOps); op++ {
+		m[infos[op].Name] = op
+	}
+	return m
+}()
+
+// Meta returns the static metadata of op.
+func (op Op) Meta() *Info {
+	if int(op) >= NumOps {
+		return &Info{Name: "invalid", Fmt: FmtNone, Unit: UnitCTL}
+	}
+	return &infos[op]
+}
+
+func (op Op) String() string { return op.Meta().Name }
+
+// IsMem reports whether op travels to the shared memory system.
+func (op Op) IsMem() bool { return op.Meta().Mem }
+
+// IsBranch reports whether op may redirect control flow.
+func (op Op) IsBranch() bool { return op.Meta().Branch }
+
+// Instr is a decoded XMT instruction. Instances of this type are the
+// "instruction packages" that travel through the cycle-accurate components.
+type Instr struct {
+	Op  Op
+	Rd  Reg   // destination (or store-data source for sw/sb/psm increment)
+	Rs  Reg   // first source / memory base
+	Rt  Reg   // second source
+	G   GReg  // global register for ps/grr/grw
+	Imm int32 // immediate / shift amount / memory offset / sys code
+
+	// Target is the resolved instruction index of a branch or jump, or -1.
+	Target int
+
+	// Sym is the symbolic target before linking (label or data symbol for
+	// the %lo/%hi-free "la"-expanded addressing the assembler performs).
+	Sym string
+
+	// Line is the 1-based source line in the assembly unit, for traces and
+	// diagnostics.
+	Line int
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	meta := in.Op.Meta()
+	switch meta.Fmt {
+	case FmtNone:
+		return meta.Name
+	case FmtRRR:
+		return fmt.Sprintf("%s %s, %s, %s", meta.Name, RegName(in.Rd), RegName(in.Rs), RegName(in.Rt))
+	case FmtRRI:
+		return fmt.Sprintf("%s %s, %s, %d", meta.Name, RegName(in.Rd), RegName(in.Rs), in.Imm)
+	case FmtRI:
+		return fmt.Sprintf("%s %s, %d", meta.Name, RegName(in.Rd), in.Imm)
+	case FmtRR:
+		return fmt.Sprintf("%s %s, %s", meta.Name, RegName(in.Rd), RegName(in.Rs))
+	case FmtR:
+		return fmt.Sprintf("%s %s", meta.Name, RegName(in.Rd))
+	case FmtMem:
+		return fmt.Sprintf("%s %s, %d(%s)", meta.Name, RegName(in.Rd), in.Imm, RegName(in.Rs))
+	case FmtBranch2:
+		return fmt.Sprintf("%s %s, %s, %s", meta.Name, RegName(in.Rs), RegName(in.Rt), in.targetString())
+	case FmtBranch1:
+		return fmt.Sprintf("%s %s, %s", meta.Name, RegName(in.Rs), in.targetString())
+	case FmtJump:
+		return fmt.Sprintf("%s %s", meta.Name, in.targetString())
+	case FmtPS:
+		return fmt.Sprintf("%s %s, g%d", meta.Name, RegName(in.Rd), in.G)
+	case FmtSpawn:
+		return fmt.Sprintf("%s %s, %s", meta.Name, RegName(in.Rs), RegName(in.Rt))
+	case FmtSys:
+		return fmt.Sprintf("%s %d", meta.Name, in.Imm)
+	}
+	return meta.Name
+}
+
+func (in Instr) targetString() string {
+	if in.Sym != "" {
+		return in.Sym
+	}
+	return fmt.Sprintf("@%d", in.Target)
+}
+
+// regNames follows the MIPS convention; the simulator and compiler accept
+// both $N and the symbolic names.
+var regNames = [NumRegs]string{
+	"$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+	"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+	"$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+	"$t8", "$t9", "$tid", "$k1", "$gp", "$sp", "$fp", "$ra",
+}
+
+// RegName returns the symbolic name of r.
+func RegName(r Reg) string {
+	if int(r) < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("$?%d", r)
+}
+
+// ParseReg parses "$N" or a symbolic register name.
+func ParseReg(s string) (Reg, error) {
+	if len(s) < 2 || s[0] != '$' {
+		return 0, fmt.Errorf("isa: bad register %q", s)
+	}
+	for i, n := range regNames {
+		if s == n {
+			return Reg(i), nil
+		}
+	}
+	var n int
+	if _, err := fmt.Sscanf(s[1:], "%d", &n); err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("isa: bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+// Validate performs static sanity checks on a single instruction.
+func (in Instr) Validate() error {
+	if int(in.Op) >= NumOps {
+		return fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
+		return fmt.Errorf("isa: %s: register out of range", in.Op)
+	}
+	switch in.Op {
+	case OpPs, OpGrr, OpGrw:
+		if in.G >= NumGRegs {
+			return fmt.Errorf("isa: %s: global register g%d out of range", in.Op, in.G)
+		}
+	case OpSys:
+		switch in.Imm {
+		case SysHalt, SysPrintInt, SysPrintChar, SysPrintStr, SysCycle, SysCheckpoint, SysPrintFloat:
+		default:
+			return fmt.Errorf("isa: sys: unknown trap code %d", in.Imm)
+		}
+	case OpSll, OpSrl, OpSra:
+		if in.Imm < 0 || in.Imm > 31 {
+			return fmt.Errorf("isa: %s: shift amount %d out of range", in.Op, in.Imm)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMnemonicsUniqueAndComplete(t *testing.T) {
+	if len(ByName) != NumOps {
+		t.Fatalf("ByName has %d entries, want %d (duplicate or missing mnemonics)", len(ByName), NumOps)
+	}
+	for op := Op(0); op < Op(NumOps); op++ {
+		meta := op.Meta()
+		if meta.Name == "" {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if got := ByName[meta.Name]; got != op {
+			t.Errorf("ByName[%q] = %v, want %v", meta.Name, got, op)
+		}
+	}
+}
+
+func TestRegisterNamesRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		name := RegName(r)
+		got, err := ParseReg(name)
+		if err != nil {
+			t.Fatalf("ParseReg(%q): %v", name, err)
+		}
+		if got != r {
+			t.Fatalf("ParseReg(%q) = %v, want %v", name, got, r)
+		}
+	}
+	// Numeric forms also parse.
+	if r, err := ParseReg("$26"); err != nil || r != RegTID {
+		t.Fatalf("ParseReg($26) = %v, %v", r, err)
+	}
+	for _, bad := range []string{"", "$", "x5", "$32", "$-1", "$foo"} {
+		if _, err := ParseReg(bad); err == nil {
+			t.Errorf("ParseReg(%q) should fail", bad)
+		}
+	}
+}
+
+func TestUnitClassification(t *testing.T) {
+	cases := map[Op]Unit{
+		OpAdd: UnitALU, OpSll: UnitSFT, OpBeq: UnitBR, OpMul: UnitMDU,
+		OpAddS: UnitFPU, OpLw: UnitMEM, OpPs: UnitPS, OpSpawn: UnitCTL,
+		OpPsm: UnitMEM, OpFence: UnitCTL,
+	}
+	for op, want := range cases {
+		if got := op.Meta().Unit; got != want {
+			t.Errorf("%s unit = %v, want %v", op, got, want)
+		}
+	}
+	if !OpLw.IsMem() || OpAdd.IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+	if !OpJ.IsBranch() || OpLw.IsBranch() {
+		t.Error("IsBranch misclassifies")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Instr{
+		{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpPs, Rd: 8, G: 63},
+		{Op: OpSys, Imm: SysHalt},
+		{Op: OpSll, Rd: 1, Rs: 2, Imm: 31},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("%v should validate: %v", in, err)
+		}
+	}
+	bad := []Instr{
+		{Op: Op(NumOps + 5)},
+		{Op: OpAdd, Rd: 40},
+		{Op: OpPs, Rd: 1, G: 64},
+		{Op: OpSys, Imm: 99},
+		{Op: OpSll, Rd: 1, Rs: 2, Imm: 32},
+		{Op: OpSll, Rd: 1, Rs: 2, Imm: -1},
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("%v should fail validation", in)
+		}
+	}
+}
+
+// TestInstrStringsParseable: every opcode's String form starts with its
+// mnemonic and mentions its operands.
+func TestInstrStrings(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		in := Instr{Op: op, Rd: 1, Rs: 2, Rt: 3, G: 5, Imm: 7, Sym: "lbl", Target: 9}
+		s := in.String()
+		if !strings.HasPrefix(s, op.Meta().Name) {
+			t.Errorf("%s String() = %q does not start with mnemonic", op, s)
+		}
+	}
+}
+
+// Property: shift-amount validation accepts exactly 0..31.
+func TestShiftValidationProperty(t *testing.T) {
+	f := func(imm int32) bool {
+		in := Instr{Op: OpSra, Rd: 1, Rs: 1, Imm: imm}
+		err := in.Validate()
+		if imm >= 0 && imm <= 31 {
+			return err == nil
+		}
+		return err != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

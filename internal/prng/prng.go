@@ -1,0 +1,81 @@
+// Package prng provides the small deterministic PCG-32 generator that all
+// simulator randomness (address-hash salting, litmus timing jitter, workload
+// generation) flows through, so every experiment is reproducible from the
+// seed recorded in the configuration.
+package prng
+
+// PCG is a PCG-XSH-RR 32-bit generator with 64-bit state.
+type PCG struct {
+	state uint64
+	inc   uint64
+}
+
+// New returns a generator seeded with seed and the default stream.
+func New(seed uint64) *PCG {
+	p := &PCG{inc: 0xda3e39cb94b95bdb | 1}
+	p.state = 0
+	p.Uint32()
+	p.state += seed
+	p.Uint32()
+	return p
+}
+
+// NewStream returns a generator on an independent stream, so concurrent
+// components can draw without correlating.
+func NewStream(seed, stream uint64) *PCG {
+	p := &PCG{inc: (stream << 1) | 1}
+	p.Uint32()
+	p.state += seed
+	p.Uint32()
+	return p
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (p *PCG) Uint32() uint32 {
+	old := p.state
+	p.state = old*6364136223846793005 + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31))
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (p *PCG) Uint64() uint64 {
+	return uint64(p.Uint32())<<32 | uint64(p.Uint32())
+}
+
+// Intn returns a uniform value in [0, n). It panics when n <= 0.
+func (p *PCG) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method.
+	bound := uint32(n)
+	threshold := -bound % bound
+	for {
+		r := p.Uint32()
+		m := uint64(r) * uint64(bound)
+		if uint32(m) >= threshold {
+			return int(m >> 32)
+		}
+	}
+}
+
+// Int31 returns a non-negative 31-bit value.
+func (p *PCG) Int31() int32 { return int32(p.Uint32() >> 1) }
+
+// Float64 returns a uniform value in [0, 1).
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (p *PCG) Perm(n int) []int {
+	out := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := p.Intn(i + 1)
+		out[i] = out[j]
+		out[j] = i
+	}
+	return out
+}

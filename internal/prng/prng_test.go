@@ -1,0 +1,118 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == c.Uint32() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds too correlated: %d collisions", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(1, 1)
+	b := NewStream(1, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("streams correlated: %d collisions", same)
+	}
+}
+
+// Property: Intn stays in range for any positive bound.
+func TestIntnRangeProperty(t *testing.T) {
+	r := New(7)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformish(t *testing.T) {
+	r := New(9)
+	const buckets, draws = 10, 100000
+	var count [buckets]int
+	for i := 0; i < draws; i++ {
+		count[r.Intn(buckets)]++
+	}
+	for i, c := range count {
+		if c < draws/buckets*8/10 || c > draws/buckets*12/10 {
+			t.Fatalf("bucket %d has %d draws (expected ~%d)", i, c, draws/buckets)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+	}
+}
+
+// Property: Perm returns a permutation of [0, n).
+func TestPermProperty(t *testing.T) {
+	r := New(11)
+	f := func(n uint8) bool {
+		m := int(n % 64)
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt31NonNegative(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		if r.Int31() < 0 {
+			t.Fatal("Int31 returned negative")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/sim/funcmodel"
+)
+
+const prog = `
+        .data
+v:      .word 5
+        .text
+main:   lw    $t0, v
+        addiu $t0, $t0, 1
+        sw    $t0, v
+        sys   5          # request a checkpoint
+        lw    $v0, v
+        sys   1
+        sys   0
+`
+
+func machine(t *testing.T) *funcmodel.Machine {
+	t.Helper()
+	u, err := asm.Parse("c.s", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := asm.Assemble(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := funcmodel.New(p, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCaptureRestoreResume(t *testing.T) {
+	m := machine(t)
+	// Run until the checkpoint trap.
+	for !m.CheckpointRequested {
+		ok, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("halted before checkpoint")
+		}
+	}
+	st := Capture(m, 1234)
+
+	// Serialize and reload.
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CycleOffset != 1234 || st2.InstrCount != st.InstrCount {
+		t.Fatal("metadata lost")
+	}
+
+	// Restore into a fresh machine and finish the program.
+	var out bytes.Buffer
+	m2 := machine(t)
+	m2.Out = &out
+	if err := Restore(m2, st2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "6" {
+		t.Fatalf("resumed output %q, want 6 (stored increment must persist)", out.String())
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	m := machine(t)
+	st := Capture(m, 0)
+
+	other := `
+        .text
+main:   nop
+        sys 0
+`
+	u, _ := asm.Parse("o.s", other)
+	p, _ := asm.Assemble(u)
+	m2, _ := funcmodel.New(p, 1<<20, nil)
+	if err := Restore(m2, st); err == nil {
+		t.Fatal("restoring under a different program must fail")
+	}
+
+	st.Version = 99
+	m3 := machine(t)
+	if err := Restore(m3, st); err == nil {
+		t.Fatal("unknown version must fail")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}

@@ -1,0 +1,111 @@
+package cycle
+
+import (
+	"testing"
+
+	"xmtgo/internal/config"
+)
+
+// memSweep is a memory-heavy parallel program used for interconnect
+// comparisons.
+const memSweep = `
+        .data
+A:      .space 8192
+B:      .space 8192
+        .text
+main:   la    $t0, A
+        la    $t1, B
+        bcast $t0
+        bcast $t1
+        li    $a0, 0
+        li    $a1, 255
+        fence
+        spawn $a0, $a1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        sll   $t2, $tid, 2
+        addu  $t3, $t0, $t2
+        lw    $t4, 0($t3)
+        addu  $t5, $t1, $t2
+        sw.nb $t4, 0($t5)
+        j     L
+        join
+        sys   0
+`
+
+// TestAsyncICNCorrectAndContinuous: the asynchronous interconnect variant
+// (§III-F) produces the same architectural result, and its event times are
+// NOT quantized to ICN clock edges — the continuous-time behaviour only a
+// discrete-event simulator can express.
+func TestAsyncICNCorrectAndContinuous(t *testing.T) {
+	syncCfg := config.FPGA64()
+	asyncCfg := config.FPGA64()
+	asyncCfg.ICNAsync = true
+
+	s1, _ := buildSys(t, memSweep, syncCfg)
+	r1, err := s1.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := buildSys(t, memSweep, asyncCfg)
+	r2, err := s2.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Halted || !r2.Halted {
+		t.Fatal("did not halt")
+	}
+	// Same architectural outcome.
+	aAddr, _ := s1.Prog.SymAddr("B")
+	for i := uint32(0); i < 256; i += 64 {
+		v1, _ := s1.Machine.ReadWord(aAddr + i)
+		v2, _ := s2.Machine.ReadWord(aAddr + i)
+		if v1 != v2 {
+			t.Fatalf("memory diverges at +%d: %d vs %d", i, v1, v2)
+		}
+	}
+	// Different timing models actually engaged.
+	if r1.Ticks == r2.Ticks {
+		t.Fatalf("sync and async runs have identical timing (%d ticks): async path not engaged?", r1.Ticks)
+	}
+	if s2.Stats.ICNTraversals == 0 {
+		t.Fatal("async traversals not counted")
+	}
+	t.Logf("sync: %d ticks; async: %d ticks", r1.Ticks, r2.Ticks)
+}
+
+// TestAsyncPortBackpressure: a deep async-port backlog makes send fail so
+// the TCU retries (no unbounded queueing).
+func TestAsyncPortBackpressure(t *testing.T) {
+	cfg := config.FPGA64()
+	cfg.ICNAsync = true
+	cfg.ICNAsyncGapTicks = 64 // very slow port
+	sys, _ := buildSys(t, memSweep, cfg)
+	res, err := sys.Run(20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt under backpressure")
+	}
+}
+
+func TestAsyncConfigValidation(t *testing.T) {
+	cfg := config.FPGA64()
+	cfg.ICNAsync = true
+	cfg.ICNAsyncHopTicks = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero hop ticks must be rejected when async is on")
+	}
+	cfg2 := config.FPGA64()
+	if err := cfg2.Set("icn_async=true"); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg2.ICNAsync {
+		t.Fatal("icn_async setter broken")
+	}
+	if err := cfg2.Set("icn_async=maybe"); err == nil {
+		t.Fatal("bad boolean must fail")
+	}
+}

@@ -1,0 +1,146 @@
+package cycle
+
+import (
+	"xmtgo/internal/isa"
+	"xmtgo/internal/sim/engine"
+)
+
+// Cluster groups TCUs and the resources they share: the expensive multiply/
+// divide and floating-point units, the cluster read-only cache, and the ICN
+// send port (paper Fig. 1 and §II). All clusters tick inside one
+// macro-actor on the cluster clock domain.
+type Cluster struct {
+	sys  *System
+	id   int
+	tcus []*TCU
+
+	// Shared functional units: freeAt[i] is the cluster cycle unit i
+	// becomes available.
+	fpuFreeAt []int64
+	mduFreeAt []int64
+
+	// ro is the cluster read-only cache (tags only; constants are read from
+	// shared memory and the tags are invalidated at spawn boundaries).
+	ro *tagArray
+
+	// sendQ is the ICN injection queue, drained by the ICN macro-actor at
+	// ICNInjectPerCyc packages per ICN cycle.
+	sendQ    []*Package
+	sendQCap int
+}
+
+func newCluster(sys *System, id int) *Cluster {
+	cfg := sys.Cfg
+	c := &Cluster{
+		sys:       sys,
+		id:        id,
+		fpuFreeAt: make([]int64, cfg.FPUsPerCluster),
+		mduFreeAt: make([]int64, cfg.MDUsPerCluster),
+		sendQCap:  8 * cfg.ICNInjectPerCyc,
+	}
+	if cfg.ROCacheLines > 0 {
+		c.ro = newTagArray(cfg.ROCacheLines, 2, cfg.ROCacheLineSize)
+	}
+	for i := 0; i < cfg.TCUsPerCluster; i++ {
+		t := &TCU{
+			sys:     sys,
+			cluster: c,
+			id:      id*cfg.TCUsPerCluster + i,
+			local:   i,
+			pbuf:    newPrefetchBuffer(cfg.PrefetchBufEntries, cfg.CacheLineSize),
+		}
+		t.state = tcuIdle
+		c.tcus = append(c.tcus, t)
+	}
+	return c
+}
+
+// Tick advances every TCU of the cluster one cluster cycle.
+func (c *Cluster) Tick(cycle int64, now engine.Time) bool {
+	busy := false
+	active := false
+	for _, t := range c.tcus {
+		if t.Tick(cycle, now) {
+			busy = true
+		}
+		if t.state != tcuIdle && t.state != tcuDone {
+			active = true
+		}
+	}
+	if active {
+		c.sys.Stats.Cluster[c.id].BusyCycles++
+	}
+	// Shared units still draining keep the domain ticking so stalled TCUs
+	// observe their completion cycles.
+	for _, f := range c.fpuFreeAt {
+		if f > cycle {
+			busy = true
+		}
+	}
+	for _, f := range c.mduFreeAt {
+		if f > cycle {
+			busy = true
+		}
+	}
+	return busy
+}
+
+// acquire requests a shared unit of the given class at the given cycle.
+// On success it returns the operation latency to stall for.
+func (c *Cluster) acquire(unit isa.Unit, cycle, latency int64) (int64, bool) {
+	var pool []int64
+	if unit == isa.UnitFPU {
+		pool = c.fpuFreeAt
+	} else {
+		pool = c.mduFreeAt
+	}
+	for i := range pool {
+		if pool[i] <= cycle {
+			pool[i] = cycle + latency
+			return latency, true
+		}
+	}
+	return 0, false
+}
+
+// send enqueues a package for ICN injection; it fails (backpressure) when
+// the send queue is full, making the TCU retry next cycle. In asynchronous
+// interconnect mode the package leaves through the handshake port instead.
+func (c *Cluster) send(p *Package) bool {
+	p.Module = c.sys.moduleOf(p.Addr)
+	if c.sys.Cfg.ICNAsync {
+		now := c.sys.Sched.Now()
+		// Backpressure: refuse when the port has a deep backlog.
+		if c.sys.asyncPortFree[c.id] > now+8*c.sys.Cfg.ICNAsyncGapTicks {
+			return false
+		}
+		c.sys.asyncSend(p, c.id, now)
+		return true
+	}
+	if len(c.sendQ) >= c.sendQCap {
+		return false
+	}
+	c.sendQ = append(c.sendQ, p)
+	c.sys.wakeICN()
+	return true
+}
+
+// resetForSpawn prepares the cluster's TCUs for a new spawn.
+func (c *Cluster) resetForSpawn(pc int, mask uint32, bcast *[isa.NumRegs]int32) {
+	if c.ro != nil {
+		c.ro.InvalidateAll()
+	}
+	for _, t := range c.tcus {
+		t.resetForSpawn(pc, mask, bcast)
+	}
+}
+
+// quiesce returns all TCUs to idle after a join.
+func (c *Cluster) quiesce() {
+	for _, t := range c.tcus {
+		t.state = tcuIdle
+	}
+	if c.ro != nil {
+		c.ro.InvalidateAll()
+	}
+}

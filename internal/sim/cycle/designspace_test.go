@@ -1,0 +1,184 @@
+package cycle
+
+import (
+	"testing"
+
+	"xmtgo/internal/config"
+)
+
+// The paper's reason #3 for publishing the toolchain: "the simulator
+// allows users to change the parameters of the simulated architecture …
+// making it the ideal platform for evaluating both architectural
+// extensions and algorithmic improvements". These tests sweep individual
+// parameters and assert the performance moves the way the architecture
+// says it must — the sanity contract a design-space exploration tool owes
+// its users.
+
+func runCycles(t *testing.T, src string, cfg config.Config) int64 {
+	t.Helper()
+	sys, _ := buildSys(t, src, cfg)
+	res, err := sys.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	return res.Cycles
+}
+
+const dramBound = `
+        .data
+A:      .space 65536
+        .text
+main:   la    $t0, A
+        bcast $t0
+        li    $a0, 0
+        li    $a1, 63
+        spawn $a0, $a1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        sll   $t2, $tid, 10       # 1 KiB apart: every load its own line
+        addu  $t2, $t0, $t2
+        lw    $t3, 0($t2)
+        lw    $t4, 256($t2)
+        lw    $t5, 512($t2)
+        lw    $t6, 768($t2)
+        j     L
+        join
+        sys   0
+`
+
+// TestSweepDRAMPorts: cold-miss traffic speeds up with more DRAM channels.
+func TestSweepDRAMPorts(t *testing.T) {
+	narrow := config.FPGA64()
+	narrow.DRAMPorts = 1
+	wide := config.FPGA64()
+	wide.DRAMPorts = 8
+	c1 := runCycles(t, dramBound, narrow)
+	c8 := runCycles(t, dramBound, wide)
+	if c8 >= c1 {
+		t.Fatalf("8 DRAM ports (%d cycles) should beat 1 port (%d cycles)", c8, c1)
+	}
+}
+
+// TestSweepDRAMLatency: higher DRAM latency slows cold-miss traffic.
+func TestSweepDRAMLatency(t *testing.T) {
+	fast := config.FPGA64()
+	fast.DRAMLatency = 10
+	slow := config.FPGA64()
+	slow.DRAMLatency = 200
+	cf := runCycles(t, dramBound, fast)
+	cs := runCycles(t, dramBound, slow)
+	if cs <= cf {
+		t.Fatalf("200-cycle DRAM (%d) should be slower than 10-cycle DRAM (%d)", cs, cf)
+	}
+}
+
+// TestSweepCacheSize: a cache too small for the working set thrashes; a
+// large one keeps the re-walk resident.
+func TestSweepCacheSize(t *testing.T) {
+	// Two sweeps over a 16 KiB array: the second sweep hits iff the cache
+	// holds the array.
+	src := `
+        .data
+A:      .space 16384
+        .text
+main:   li   $t5, 2
+sweep:  la   $t0, A
+        li   $t1, 512
+L:      lw   $t2, 0($t0)
+        addiu $t0, $t0, 32
+        addiu $t1, $t1, -1
+        bgtz $t1, L
+        addiu $t5, $t5, -1
+        bgtz $t5, sweep
+        sys  0
+`
+	tiny := config.FPGA64()
+	tiny.CacheLinesPerMod = 8 // 8 modules * 8 lines * 32B = 2 KiB total
+	big := config.FPGA64()
+	big.CacheLinesPerMod = 1024 // 256 KiB total
+	// Master-side sweeps go through the master cache; shrink it too so the
+	// shared cache is what matters.
+	tiny.MasterCacheLines = 4
+	big.MasterCacheLines = 4
+	ct := runCycles(t, src, tiny)
+	cb := runCycles(t, src, big)
+	if cb >= ct {
+		t.Fatalf("large shared cache (%d cycles) should beat thrashing cache (%d cycles)", cb, ct)
+	}
+}
+
+// TestSweepClusterCount: with abundant parallelism, more clusters finish
+// sooner (the 64 -> 1024 TCU scaling the toolchain was built to study).
+func TestSweepClusterCount(t *testing.T) {
+	src := `
+        .data
+B:      .space 8192
+        .text
+main:   la    $t0, B
+        bcast $t0
+        li    $a0, 0
+        li    $a1, 2047
+        spawn $a0, $a1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        sll   $t2, $tid, 1
+        andi  $t3, $tid, 1023
+        sll   $t3, $t3, 2
+        addu  $t3, $t0, $t3
+        sw.nb $t2, 0($t3)
+        li    $t4, 20
+W:      addiu $t4, $t4, -1
+        bgtz  $t4, W
+        j     L
+        join
+        sys   0
+`
+	small := config.FPGA64()
+	small.Clusters = 2
+	small.CacheModules = 2
+	big := config.FPGA64() // 8 clusters
+	cs := runCycles(t, src, small)
+	cb := runCycles(t, src, big)
+	if cb >= cs {
+		t.Fatalf("8 clusters (%d cycles) should beat 2 clusters (%d cycles)", cb, cs)
+	}
+}
+
+// TestSweepPSThroughput: narrow prefix-sum combining hardware slows
+// grab-dominated fine-grained spawns.
+func TestSweepPSThroughput(t *testing.T) {
+	src := `
+        .data
+B:      .space 8192
+        .text
+main:   la    $t0, B
+        bcast $t0
+        li    $a0, 0
+        li    $a1, 2047
+        spawn $a0, $a1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        andi  $t3, $tid, 1023
+        sll   $t3, $t3, 2
+        addu  $t3, $t0, $t3
+        sw.nb $tid, 0($t3)
+        j     L
+        join
+        sys   0
+`
+	narrow := config.FPGA64()
+	narrow.PSPerCycle = 1
+	wide := config.FPGA64()
+	wide.PSPerCycle = 64
+	cn := runCycles(t, src, narrow)
+	cw := runCycles(t, src, wide)
+	if cw >= cn {
+		t.Fatalf("wide PS combining (%d cycles) should beat 1/cycle (%d cycles)", cw, cn)
+	}
+}

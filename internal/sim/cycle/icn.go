@@ -1,0 +1,144 @@
+package cycle
+
+import (
+	"xmtgo/internal/sim/engine"
+)
+
+// ICN models the high-throughput mesh-of-trees interconnection network
+// between clusters (plus the Master TCU's dedicated send path) and the
+// shared cache modules. It is implemented as a macro-actor — exactly the
+// case the paper singles out (§III-D): the network touches every cluster
+// every cycle, so per-component events would cross the scheduling-overhead
+// threshold; instead one actor iterates all ports per ICN cycle.
+//
+// Timing model (transaction level): a package injected at cycle T arrives
+// at its cache module's input after the base traversal latency; each
+// cluster may inject ICNInjectPerCyc packages per cycle and each module
+// accepts ICNAcceptPerCyc per cycle into a bounded service queue —
+// contention beyond that queues in the network, which is how hotspots slow
+// down exactly as the address-hashing discussion in the paper expects.
+type ICN struct {
+	sys *System
+
+	// arrival[m] holds packages in flight to module m with their earliest
+	// acceptance time.
+	arrival [][]arrivalPkt
+
+	hopsPerTraversal int
+}
+
+type arrivalPkt struct {
+	p     *Package
+	ready engine.Time
+}
+
+func newICN(sys *System) *ICN {
+	depth := int(log2u(uint32(sys.Cfg.Clusters))) + int(log2u(uint32(sys.Cfg.CacheModules))) + 2
+	return &ICN{
+		sys:              sys,
+		arrival:          make([][]arrivalPkt, sys.Cfg.CacheModules),
+		hopsPerTraversal: depth,
+	}
+}
+
+// asyncSend routes one package over the asynchronous interconnect variant
+// (paper §III-F, following the GALS network of [39]): instead of clocked
+// hops, the package advances with continuous-time handshake delays — no
+// quantization to ICN clock edges. This exercises the DE engine's
+// continuous time concept; a DT simulator could not express it. Injection
+// ports space packages by ICNAsyncGapTicks; delivery retries while the
+// module's service queue is full.
+func (s *System) asyncSend(p *Package, port int, now engine.Time) {
+	cfg := s.Cfg
+	start := now
+	if s.asyncPortFree[port] > start {
+		start = s.asyncPortFree[port]
+	}
+	s.asyncPortFree[port] = start + cfg.ICNAsyncGapTicks
+	s.Stats.ICNTraversals++
+	s.Stats.ICNHops += uint64(s.icn.hopsPerTraversal)
+	p.Hops += s.icn.hopsPerTraversal
+	arrive := start + int64(s.icn.hopsPerTraversal)*cfg.ICNAsyncHopTicks
+	var deliver func(t engine.Time)
+	deliver = func(t engine.Time) {
+		mod := s.modules[p.Module]
+		if mod.accept(p) {
+			s.wakeCaches(t)
+			return
+		}
+		s.Stats.CacheQueueFull[p.Module]++
+		s.Sched.ScheduleFunc(t+cfg.CachePeriod, engine.PrioTransfer, deliver)
+	}
+	s.Sched.ScheduleFunc(arrive, engine.PrioTransfer, deliver)
+}
+
+// returnLatency is the response-path delay from a cache module back to the
+// requester under the configured interconnect variant.
+func (s *System) returnLatency() engine.Time {
+	if s.Cfg.ICNAsync {
+		return int64(s.icn.hopsPerTraversal) * s.Cfg.ICNAsyncHopTicks
+	}
+	return s.Cfg.ICNBaseLatency * s.Cfg.ICNPeriod
+}
+
+// Tick drains cluster and master injection queues and feeds module queues.
+func (n *ICN) Tick(cycle int64, now engine.Time) bool {
+	cfg := n.sys.Cfg
+	latency := cfg.ICNBaseLatency * cfg.ICNPeriod
+	busy := false
+
+	inject := func(q *[]*Package, budget int) {
+		k := budget
+		for k > 0 && len(*q) > 0 {
+			p := (*q)[0]
+			*q = (*q)[1:]
+			n.sys.Stats.ICNTraversals++
+			n.sys.Stats.ICNHops += uint64(n.hopsPerTraversal)
+			p.Hops += n.hopsPerTraversal
+			n.arrival[p.Module] = append(n.arrival[p.Module], arrivalPkt{p: p, ready: now + latency})
+			k--
+		}
+	}
+	for _, c := range n.sys.clusters {
+		inject(&c.sendQ, cfg.ICNInjectPerCyc)
+		if len(c.sendQ) > 0 {
+			busy = true
+		}
+	}
+	inject(&n.sys.master.sendQ, cfg.ICNInjectPerCyc)
+	if len(n.sys.master.sendQ) > 0 {
+		busy = true
+	}
+
+	// Hand arrived packages to the modules, honoring their accept rate and
+	// service-queue capacity.
+	for m := range n.arrival {
+		q := n.arrival[m]
+		if len(q) == 0 {
+			continue
+		}
+		mod := n.sys.modules[m]
+		accepted := 0
+		i := 0
+		for ; i < len(q); i++ {
+			if q[i].ready > now || accepted >= cfg.ICNAcceptPerCyc {
+				break
+			}
+			if !mod.accept(q[i].p) {
+				n.sys.Stats.CacheQueueFull[m]++
+				break
+			}
+			accepted++
+		}
+		if i > 0 {
+			n.arrival[m] = append(q[:0], q[i:]...)
+		}
+		if len(n.arrival[m]) > 0 {
+			busy = true
+		}
+		if accepted > 0 {
+			n.sys.wakeCaches(now)
+		}
+	}
+	return busy
+}

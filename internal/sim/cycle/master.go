@@ -1,0 +1,359 @@
+package cycle
+
+import (
+	"fmt"
+
+	"xmtgo/internal/isa"
+	"xmtgo/internal/sim/engine"
+	"xmtgo/internal/sim/funcmodel"
+)
+
+// masterState is the scheduling state of the Master TCU.
+type masterState uint8
+
+const (
+	masterRunning masterState = iota
+	masterStalled
+	masterWaitMem
+	masterWaitFence
+	masterWaitSpawnDrain // waiting for the write buffer before a spawn
+	masterWaitJoin
+	masterHalted
+)
+
+// Master is the serial core of XMT: a conventional in-order core with its
+// own cache, full-strength functional units, the global register file at
+// its side, and the spawn instruction that hands control to the parallel
+// TCUs (paper Fig. 1).
+//
+// Model note: in serial mode the master is the only agent mutating memory
+// (join completion waits for all TCU stores), so the master performs its
+// memory operations architecturally at issue and sends "shadow" packages
+// through the cache/ICN/DRAM components for timing only. This keeps master
+// semantics exact while preserving contention and latency behaviour.
+type Master struct {
+	sys *System
+
+	ctx   funcmodel.Context
+	state masterState
+
+	stallUntil int64 // master cycles
+	pendingNB  int   // posted stores in flight (write buffer)
+
+	cache *tagArray
+	sendQ []*Package
+
+	bcastMask uint32
+	bcastRegs [isa.NumRegs]int32
+
+	pendingSpawnPC int // instruction index of the spawn being drained
+}
+
+func newMaster(sys *System) *Master {
+	cfg := sys.Cfg
+	m := &Master{
+		sys:   sys,
+		cache: newTagArray(cfg.MasterCacheLines, 2, cfg.MasterCacheLineSize),
+	}
+	m.ctx = funcmodel.Context{ID: -1, IsMaster: true, PC: sys.Prog.Entry}
+	sp := int32(cfg.MemBytes &^ 7)
+	m.ctx.Reg[isa.RegSP] = sp
+	m.ctx.Reg[isa.RegFP] = sp
+	return m
+}
+
+// Tick issues up to IssueWidth instructions per master cycle.
+func (mt *Master) Tick(cycle int64, now engine.Time) bool {
+	switch mt.state {
+	case masterHalted, masterWaitJoin, masterWaitMem:
+		return false
+	case masterWaitFence:
+		if mt.pendingNB > 0 {
+			return false
+		}
+		mt.state = masterRunning
+	case masterWaitSpawnDrain:
+		if mt.pendingNB > 0 {
+			return false
+		}
+		mt.state = masterRunning
+		mt.beginSpawn(now)
+		return false
+	case masterStalled:
+		if cycle < mt.stallUntil {
+			return true
+		}
+		mt.state = masterRunning
+	}
+	for slot := 0; slot < mt.sys.Cfg.MasterIssueWidth; slot++ {
+		cont := mt.issue(cycle, now)
+		if !cont || mt.state != masterRunning {
+			break
+		}
+	}
+	return mt.state == masterRunning || mt.state == masterStalled
+}
+
+// issue dispatches one instruction; it returns whether the issue group may
+// continue this cycle.
+func (mt *Master) issue(cycle int64, now engine.Time) bool {
+	m := mt.sys.Machine
+	pc := mt.ctx.PC
+	if pc < 0 || pc >= len(m.Prog.Text) {
+		mt.sys.fail(fmt.Errorf("cycle: master PC %d outside program", pc))
+		return false
+	}
+	in := m.Prog.Text[pc]
+	mt.ctx.PC++
+	if mt.sys.traceFn != nil {
+		mt.sys.traceFn(-1, pc, in, now)
+	}
+	count := func() { mt.sys.Stats.CountInstr(in.Op, -1, true) }
+	meta := in.Op.Meta()
+	fail := func(err error) bool {
+		mt.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+		return false
+	}
+
+	switch {
+	case in.Op == isa.OpSpawn:
+		count()
+		// Order memory relative to the spawn boundary: drain the write
+		// buffer before broadcasting.
+		mt.ctx.PC = pc // re-fetch position is irrelevant; keep for errors
+		mt.pendingSpawnPC = pc
+		if mt.pendingNB > 0 {
+			mt.state = masterWaitSpawnDrain
+			return false
+		}
+		mt.beginSpawn(now)
+		return false
+
+	case in.Op == isa.OpJoin:
+		return fail(fmt.Errorf("join executed in serial mode"))
+
+	case in.Op == isa.OpChkid:
+		return fail(fmt.Errorf("chkid executed in serial mode"))
+
+	case in.Op == isa.OpBcast:
+		count()
+		mt.bcastMask |= 1 << uint(in.Rd)
+		mt.bcastRegs[in.Rd] = mt.ctx.Reg[in.Rd]
+		return true
+
+	case in.Op == isa.OpPs:
+		count()
+		old, err := m.Ps(in.G, mt.ctx.Reg[in.Rd])
+		if err != nil {
+			return fail(err)
+		}
+		mt.ctx.SetReg(in.Rd, old)
+		return true
+
+	case in.Op == isa.OpGrr:
+		count()
+		mt.ctx.SetReg(in.Rd, m.G[in.G])
+		return true
+
+	case in.Op == isa.OpGrw:
+		count()
+		m.G[in.G] = mt.ctx.Reg[in.Rd]
+		return true
+
+	case in.Op == isa.OpFence:
+		count()
+		if mt.pendingNB > 0 {
+			mt.state = masterWaitFence
+			return false
+		}
+		return true
+
+	case in.Op == isa.OpSys:
+		// A checkpoint trap needs a quiescent machine: drain the write
+		// buffer first, then retry the trap.
+		if in.Imm == isa.SysCheckpoint && mt.pendingNB > 0 {
+			mt.ctx.PC = pc
+			mt.state = masterWaitFence
+			return false
+		}
+		count()
+		halt, err := m.DoSys(&mt.ctx, in)
+		if err != nil {
+			return fail(err)
+		}
+		if halt {
+			mt.state = masterHalted
+			mt.sys.halt()
+			return false
+		}
+		if m.CheckpointRequested {
+			mt.sys.checkpointStop()
+			return false
+		}
+		return true
+
+	case in.Op == isa.OpPsm:
+		addr := m.EffAddr(&mt.ctx, in)
+		old, err := m.Psm(addr, mt.ctx.Reg[in.Rd])
+		if err != nil {
+			return fail(err)
+		}
+		if !mt.send(&Package{Kind: PkgPsm, In: in, Cluster: -1, Addr: addr, Data: old, Issued: now, Shadow: true}) {
+			// Could not inject: undo and retry next cycle.
+			if _, uerr := m.Psm(addr, -mt.ctx.Reg[in.Rd]); uerr != nil {
+				return fail(uerr)
+			}
+			mt.ctx.PC = pc
+			return false
+		}
+		count()
+		mt.sys.Stats.PsmOps++
+		mt.state = masterWaitMem
+		return false
+
+	case in.Op == isa.OpPref:
+		count()
+		return true // the master relies on its cache; prefetch is a no-op
+
+	case meta.Load: // lw, lb, lbu, lwro
+		addr := m.EffAddr(&mt.ctx, in)
+		v, err := m.LoadValue(in, addr)
+		if err != nil {
+			return fail(err)
+		}
+		if mt.cache.Lookup(addr, cycle) {
+			mt.sys.Stats.MasterCacheHits++
+			mt.ctx.SetReg(in.Rd, v)
+			mt.stall(cycle + mt.sys.Cfg.MasterCacheLatency)
+			count()
+			return false
+		}
+		if !mt.send(&Package{Kind: PkgLoad, In: in, Cluster: -1, Addr: addr, Data: v, Issued: now, Shadow: true}) {
+			mt.ctx.PC = pc
+			return false
+		}
+		count()
+		mt.sys.Stats.MasterCacheMisses++
+		mt.state = masterWaitMem
+		return false
+
+	case meta.Store: // sw, sb, sw.nb: posted through the write buffer
+		addr := m.EffAddr(&mt.ctx, in)
+		kind := PkgStoreNB
+		p := &Package{Kind: kind, In: in, Cluster: -1, Addr: addr, Data: mt.ctx.Reg[in.Rd], Issued: now, Shadow: true}
+		if !mt.send(p) {
+			mt.ctx.PC = pc
+			return false
+		}
+		if err := m.StoreValue(in, addr, mt.ctx.Reg[in.Rd]); err != nil {
+			return fail(err)
+		}
+		count()
+		mt.pendingNB++
+		return true
+
+	case meta.Unit == isa.UnitMDU || meta.Unit == isa.UnitFPU:
+		count()
+		if err := m.ExecCompute(&mt.ctx, in); err != nil {
+			return fail(err)
+		}
+		mt.stall(cycle + int64(meta.Latency))
+		return false
+
+	case meta.Branch:
+		count()
+		taken, target, err := m.EvalBranch(&mt.ctx, in)
+		if err != nil {
+			return fail(err)
+		}
+		if taken {
+			if target < 0 || target >= len(m.Prog.Text) {
+				return fail(fmt.Errorf("branch target %d outside program", target))
+			}
+			mt.ctx.PC = target
+		}
+		return false // branches end the issue group
+
+	default:
+		count()
+		if err := m.ExecCompute(&mt.ctx, in); err != nil {
+			return fail(err)
+		}
+		return true
+	}
+}
+
+func (mt *Master) beginSpawn(now engine.Time) {
+	in := mt.sys.Prog.Text[mt.pendingSpawnPC]
+	region := mt.sys.Prog.RegionOf(mt.pendingSpawnPC + 1)
+	if region == nil || region.Spawn != mt.pendingSpawnPC {
+		mt.sys.fail(fmt.Errorf("cycle: spawn at %d has no linked region", mt.pendingSpawnPC))
+		return
+	}
+	low, high := mt.ctx.Reg[in.Rs], mt.ctx.Reg[in.Rt]
+	mt.cache.InvalidateAll() // TCU writes become visible after the join
+	mt.state = masterWaitJoin
+	mt.sys.spawn.start(region, low, high, mt.bcastMask, &mt.bcastRegs, now)
+	mt.bcastMask = 0
+}
+
+// resumeAfterJoin is called by the spawn unit when all virtual threads have
+// completed.
+func (mt *Master) resumeAfterJoin(pc int, now engine.Time) {
+	mt.ctx.PC = pc
+	mt.state = masterRunning
+	mt.cache.InvalidateAll()
+	mt.sys.wakeMaster(now)
+}
+
+func (mt *Master) stall(until int64) {
+	mt.state = masterStalled
+	mt.stallUntil = until
+}
+
+// send enqueues a shadow package on the master's dedicated ICN path.
+func (mt *Master) send(p *Package) bool {
+	p.Module = mt.sys.moduleOf(p.Addr)
+	if mt.sys.Cfg.ICNAsync {
+		now := mt.sys.Sched.Now()
+		port := len(mt.sys.clusters) // the master's own injection port
+		if mt.sys.asyncPortFree[port] > now+8*mt.sys.Cfg.ICNAsyncGapTicks {
+			return false
+		}
+		mt.sys.asyncSend(p, port, now)
+		return true
+	}
+	if len(mt.sendQ) >= 8*mt.sys.Cfg.ICNInjectPerCyc {
+		return false
+	}
+	mt.sendQ = append(mt.sendQ, p)
+	mt.sys.wakeICN()
+	return true
+}
+
+// deliver commits an expiring package at the master.
+func (mt *Master) deliver(p *Package, now engine.Time) {
+	if p.Err != nil {
+		mt.sys.fail(&funcmodel.RuntimeError{Line: p.In.Line, In: p.In, Err: p.Err})
+		return
+	}
+	switch p.Kind {
+	case PkgLoad:
+		mt.ctx.SetReg(p.In.Rd, p.Data)
+		mt.cache.Fill(p.Addr, mt.sys.masterClock.Cycle(now))
+		mt.sys.Stats.LoadLatencySum += uint64(now - p.Issued)
+		mt.sys.Stats.LoadLatencyCount++
+		mt.state = masterRunning
+		mt.sys.wakeMaster(now)
+	case PkgPsm:
+		mt.ctx.SetReg(p.In.Rd, p.Data)
+		mt.state = masterRunning
+		mt.sys.wakeMaster(now)
+	case PkgStore, PkgStoreNB:
+		mt.pendingNB--
+		if mt.pendingNB == 0 &&
+			(mt.state == masterWaitFence || mt.state == masterWaitSpawnDrain) {
+			mt.sys.wakeMaster(now)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package cycle
+
+import (
+	"xmtgo/internal/asm"
+	"xmtgo/internal/isa"
+	"xmtgo/internal/sim/engine"
+)
+
+// SpawnUnit models the spawn-join hardware: broadcasting the spawn-region
+// instructions (and the bcast-ed master registers) to every TCU, allocating
+// virtual-thread IDs through the dedicated global register, detecting that
+// all TCUs are blocked at chkid — which means all virtual threads have
+// completed — and returning control to the Master TCU (paper §II, §IV-D).
+type SpawnUnit struct {
+	sys *System
+
+	active bool
+	region *asm.SpawnRegion
+	low    int32
+	high   int32
+	done   int
+	total  int
+}
+
+func newSpawnUnit(sys *System) *SpawnUnit { return &SpawnUnit{sys: sys} }
+
+// start is called by the master executing a spawn instruction. Broadcast
+// and TCU startup take SpawnOverhead master cycles.
+func (s *SpawnUnit) start(region *asm.SpawnRegion, low, high int32, mask uint32, bcast *[isa.NumRegs]int32, now engine.Time) {
+	s.sys.Stats.SpawnCount++
+	if high >= low {
+		s.sys.Stats.VirtualThreads += uint64(high - low + 1)
+	}
+	s.active = true
+	s.region = region
+	s.low, s.high = low, high
+	s.done = 0
+	s.total = s.sys.Cfg.TCUs()
+
+	// The spawn counter global register is initialized to low; TCUs grab
+	// IDs with ps on it.
+	s.sys.Machine.G[isa.GRegSpawn] = low
+
+	overhead := s.sys.Cfg.SpawnOverhead * s.sys.Cfg.MasterPeriod
+	maskCopy := mask
+	var bcastCopy [isa.NumRegs]int32
+	if bcast != nil {
+		bcastCopy = *bcast
+	}
+	s.sys.Sched.ScheduleFunc(now+overhead, engine.PrioNegotiate, func(t engine.Time) {
+		pc := region.Spawn + 1
+		for _, c := range s.sys.clusters {
+			c.resetForSpawn(pc, maskCopy, &bcastCopy)
+		}
+		s.sys.wakeClusters(t)
+	})
+}
+
+// tcuDone is called when a TCU blocks at chkid with an out-of-range ID.
+// When the last TCU blocks, the join completes and the master resumes.
+func (s *SpawnUnit) tcuDone(now engine.Time) {
+	if !s.active {
+		return
+	}
+	s.done++
+	if s.done < s.total {
+		return
+	}
+	s.active = false
+	region := s.region
+	overhead := s.sys.Cfg.JoinOverhead * s.sys.Cfg.MasterPeriod
+	s.sys.Sched.ScheduleFunc(now+overhead, engine.PrioNegotiate, func(t engine.Time) {
+		for _, c := range s.sys.clusters {
+			c.quiesce()
+		}
+		s.sys.master.resumeAfterJoin(region.Join+1, t)
+	})
+}

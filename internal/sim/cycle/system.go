@@ -1,0 +1,361 @@
+package cycle
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/config"
+	"xmtgo/internal/isa"
+	"xmtgo/internal/sim/checkpoint"
+	"xmtgo/internal/sim/engine"
+	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/stats"
+)
+
+// System is the assembled cycle-accurate XMT machine: every solid box of
+// the paper's Fig. 1 exists as one component instance, grouped into
+// macro-actors per clock domain on a single discrete-event scheduler.
+type System struct {
+	Cfg     *config.Config
+	Prog    *asm.Program
+	Sched   *engine.Scheduler
+	Machine *funcmodel.Machine
+	Stats   *stats.Collector
+
+	clusterClock *engine.Clock
+	icnClock     *engine.Clock
+	cacheClock   *engine.Clock
+	dramClock    *engine.Clock
+	masterClock  *engine.Clock
+
+	clusters []*Cluster
+	modules  []*CacheModule
+	dram     *DRAM
+	icn      *ICN
+	ps       *PSUnit
+	spawn    *SpawnUnit
+	master   *Master
+
+	clusterMA *engine.MacroActor
+	icnMA     *engine.MacroActor
+	cacheMA   *engine.MacroActor
+	masterMA  *engine.MacroActor
+
+	lineShift uint
+	hashSalt  uint64
+
+	// asyncPortFree is the next-free time of each asynchronous injection
+	// port (one per cluster plus the master's), used when Cfg.ICNAsync.
+	asyncPortFree []engine.Time
+
+	err          error
+	halted       bool
+	checkpointed bool
+	cycleOffset  int64
+
+	// traceFn, when set, observes every issued instruction
+	// (tcu = -1 for the master).
+	traceFn func(tcu int, pc int, in isa.Instr, now engine.Time)
+
+	plugins []*pluginBinding
+}
+
+// Result summarizes a cycle-accurate run.
+type Result struct {
+	Cycles     int64 // cluster-domain cycles elapsed (including any resume offset)
+	Ticks      engine.Time
+	Instrs     uint64
+	Halted     bool // program executed sys halt
+	TimedOut   bool // stopped by the cycle budget instead
+	Checkpoint bool // stopped at a sys checkpoint trap
+}
+
+// New builds a system for prog under cfg; out receives printf output.
+func New(prog *asm.Program, cfg config.Config, out io.Writer) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mach, err := funcmodel.New(prog, cfg.MemBytes, out)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Cfg:     &cfg,
+		Prog:    prog,
+		Sched:   engine.New(),
+		Machine: mach,
+		Stats:   stats.NewCollector(cfg.Clusters, cfg.CacheModules, cfg.DRAMPorts),
+	}
+	s.lineShift = log2u(uint32(cfg.CacheLineSize))
+	s.hashSalt = cfg.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+
+	s.clusterClock = engine.NewClock("cluster", cfg.ClusterPeriod)
+	s.icnClock = engine.NewClock("icn", cfg.ICNPeriod)
+	s.cacheClock = engine.NewClock("cache", cfg.CachePeriod)
+	s.dramClock = engine.NewClock("dram", cfg.DRAMPeriod)
+	s.masterClock = engine.NewClock("master", cfg.MasterPeriod)
+
+	for i := 0; i < cfg.CacheModules; i++ {
+		s.modules = append(s.modules, newCacheModule(s, i))
+	}
+	s.dram = newDRAM(s)
+	for i := 0; i < cfg.Clusters; i++ {
+		s.clusters = append(s.clusters, newCluster(s, i))
+	}
+	s.ps = newPSUnit(s)
+	s.spawn = newSpawnUnit(s)
+	s.master = newMaster(s)
+	s.icn = newICN(s)
+	s.asyncPortFree = make([]engine.Time, cfg.Clusters+1)
+
+	s.clusterMA = engine.NewMacroActor("clusters", s.Sched, s.clusterClock)
+	for _, c := range s.clusters {
+		s.clusterMA.Add(c)
+	}
+	s.icnMA = engine.NewMacroActor("icn", s.Sched, s.icnClock, s.icn)
+	s.cacheMA = engine.NewMacroActor("caches", s.Sched, s.cacheClock)
+	for _, cm := range s.modules {
+		s.cacheMA.Add(cm)
+	}
+	s.masterMA = engine.NewMacroActor("master", s.Sched, s.masterClock, s.master)
+
+	mach.CycleFn = func() int64 { return s.clusterClock.Cycle(s.Sched.Now()) }
+	return s, nil
+}
+
+// SetTrace installs an instruction observer (tcu = -1 for the master).
+func (s *System) SetTrace(fn func(tcu int, pc int, in isa.Instr, now engine.Time)) {
+	s.traceFn = fn
+}
+
+// Master context accessor (for tests and checkpoints).
+func (s *System) MasterContext() *funcmodel.Context { return &s.master.ctx }
+
+// route delivers an expiring package back to its originating context.
+func (s *System) route(p *Package, now engine.Time) {
+	if p.Cluster < 0 {
+		s.master.deliver(p, now)
+		return
+	}
+	s.clusters[p.Cluster].tcus[p.TCU].deliver(p, now)
+}
+
+func (s *System) wakeClusters(now engine.Time) { s.clusterMA.Wake(now) }
+func (s *System) wakeCaches(now engine.Time)   { s.cacheMA.Wake(now) }
+func (s *System) wakeMaster(now engine.Time)   { s.masterMA.Wake(now) }
+func (s *System) wakeICN()                     { s.icnMA.Wake(s.Sched.Now()) }
+
+func (s *System) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.Sched.Stop()
+}
+
+func (s *System) halt() {
+	s.halted = true
+	s.Machine.Halted = true
+	s.Sched.Stop()
+}
+
+// Err returns the first simulation error, if any.
+func (s *System) Err() error { return s.err }
+
+// Run simulates until the program halts or maxCycles cluster cycles elapse
+// (maxCycles <= 0 means unlimited). A drained event list with a non-halted
+// program is reported as a deadlock — it indicates a component bug or a
+// program waiting on something that can never arrive.
+func (s *System) Run(maxCycles int64) (*Result, error) {
+	var stopEv *engine.Event
+	if maxCycles > 0 {
+		stopEv = s.Sched.ScheduleStop(s.clusterClock.EdgeAt(maxCycles))
+	}
+	s.wakeMaster(s.Sched.Now())
+	for _, pb := range s.plugins {
+		pb.scheduleNext(s, s.Sched.Now())
+	}
+	s.Sched.Run()
+	_ = stopEv
+
+	res := &Result{
+		Cycles:     s.cycleOffset + s.clusterClock.Cycle(s.Sched.Now()),
+		Ticks:      s.Sched.Now(),
+		Instrs:     s.Stats.TotalInstrs(),
+		Halted:     s.halted,
+		Checkpoint: s.checkpointed,
+	}
+	if s.err != nil {
+		return res, s.err
+	}
+	if !s.halted && !s.checkpointed {
+		if maxCycles > 0 && s.Sched.Now() >= s.clusterClock.EdgeAt(maxCycles) {
+			res.TimedOut = true
+			return res, nil
+		}
+		return res, errors.New("cycle: simulation deadlock: event list drained before halt")
+	}
+	return res, nil
+}
+
+// checkpointStop halts the scheduler at a quiescent checkpoint trap.
+func (s *System) checkpointStop() {
+	s.checkpointed = true
+	s.Sched.Stop()
+}
+
+// Capture snapshots the architectural state after a checkpoint stop (or a
+// halted run). The master context is copied into the machine so a plain
+// functional checkpoint captures everything needed to resume.
+func (s *System) Capture() *checkpoint.State {
+	s.Machine.Master = s.master.ctx
+	return checkpoint.Capture(s.Machine, s.cycleOffset+s.clusterClock.Cycle(s.Sched.Now()))
+}
+
+// RestoreState resumes a freshly built system from a checkpoint: memory,
+// global registers and the master context are restored, and cycle counting
+// continues from the recorded offset.
+func (s *System) RestoreState(st *checkpoint.State) error {
+	if err := checkpoint.Restore(s.Machine, st); err != nil {
+		return err
+	}
+	s.master.ctx = st.Master
+	s.cycleOffset = st.CycleOffset
+	return nil
+}
+
+// --- Activity plug-ins (paper §III-B) ---
+
+// Snapshot is what an activity plug-in sees at each sampling interval.
+type Snapshot struct {
+	Now   engine.Time
+	Cycle int64 // cluster-domain cycle
+	Stats *stats.Collector
+}
+
+// Control is the runtime API an activity plug-in uses to modify the
+// operation of the cycle-accurate components: changing clock-domain
+// frequencies, gating domains off and on, or stopping the simulation —
+// the mechanism that enables dynamic power and thermal management studies.
+type Control struct {
+	sys *System
+	now engine.Time
+}
+
+// Domains lists the clock-domain names.
+func (c *Control) Domains() []string {
+	return []string{"cluster", "icn", "cache", "dram", "master"}
+}
+
+func (c *Control) clock(domain string) (*engine.Clock, error) {
+	switch domain {
+	case "cluster":
+		return c.sys.clusterClock, nil
+	case "icn":
+		return c.sys.icnClock, nil
+	case "cache":
+		return c.sys.cacheClock, nil
+	case "dram":
+		return c.sys.dramClock, nil
+	case "master":
+		return c.sys.masterClock, nil
+	}
+	return nil, fmt.Errorf("cycle: unknown clock domain %q", domain)
+}
+
+// Period returns a domain's current period (0 when gated off).
+func (c *Control) Period(domain string) (int64, error) {
+	clk, err := c.clock(domain)
+	if err != nil {
+		return 0, err
+	}
+	return clk.Period(), nil
+}
+
+// SetPeriod changes a domain's frequency at the current sample time.
+func (c *Control) SetPeriod(domain string, period int64) error {
+	clk, err := c.clock(domain)
+	if err != nil {
+		return err
+	}
+	if period <= 0 {
+		return fmt.Errorf("cycle: period must be positive")
+	}
+	clk.SetPeriod(c.now, period)
+	c.sys.wakeAll(c.now)
+	return nil
+}
+
+// Disable gates a domain off.
+func (c *Control) Disable(domain string) error {
+	clk, err := c.clock(domain)
+	if err != nil {
+		return err
+	}
+	clk.Disable(c.now)
+	return nil
+}
+
+// Enable restores a gated domain.
+func (c *Control) Enable(domain string) error {
+	clk, err := c.clock(domain)
+	if err != nil {
+		return err
+	}
+	clk.Enable(c.now)
+	c.sys.wakeAll(c.now)
+	return nil
+}
+
+// Stop ends the simulation from the plug-in.
+func (c *Control) Stop() { c.sys.Sched.Stop() }
+
+func (s *System) wakeAll(now engine.Time) {
+	s.clusterMA.Wake(now)
+	s.icnMA.Wake(now)
+	s.cacheMA.Wake(now)
+	s.masterMA.Wake(now)
+}
+
+// ActivityPlugin is the activity plug-in interface of Fig. 3: it reads the
+// instruction and activity counters at regular intervals of simulated time
+// and may control the machine through the Control API (e.g. a DVFS or
+// thermal-management policy).
+type ActivityPlugin interface {
+	Name() string
+	// IntervalCycles is the sampling period in cluster cycles.
+	IntervalCycles() int64
+	// Sample observes the machine and optionally adjusts it.
+	Sample(snap *Snapshot, ctl *Control)
+}
+
+type pluginBinding struct {
+	plugin ActivityPlugin
+}
+
+// AddActivityPlugin registers a plug-in; it starts sampling when Run is
+// called.
+func (s *System) AddActivityPlugin(p ActivityPlugin) {
+	s.plugins = append(s.plugins, &pluginBinding{plugin: p})
+}
+
+func (pb *pluginBinding) scheduleNext(s *System, now engine.Time) {
+	interval := pb.plugin.IntervalCycles()
+	if interval <= 0 {
+		return
+	}
+	period := s.clusterClock.Period()
+	if period <= 0 {
+		period = s.Cfg.ClusterPeriod // domain gated: sample on nominal period
+	}
+	at := now + interval*period
+	s.Sched.ScheduleFunc(at, engine.PrioStop-1, func(t engine.Time) {
+		if s.Sched.Stopped() {
+			return
+		}
+		snap := &Snapshot{Now: t, Cycle: s.clusterClock.Cycle(t), Stats: s.Stats}
+		pb.plugin.Sample(snap, &Control{sys: s, now: t})
+		pb.scheduleNext(s, t)
+	})
+}

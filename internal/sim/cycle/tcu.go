@@ -1,0 +1,429 @@
+package cycle
+
+import (
+	"fmt"
+
+	"xmtgo/internal/isa"
+	"xmtgo/internal/sim/engine"
+	"xmtgo/internal/sim/funcmodel"
+)
+
+// tcuState is the scheduling state of one TCU.
+type tcuState uint8
+
+const (
+	tcuIdle      tcuState = iota // serial mode; not participating
+	tcuRunning                   // may issue at the next cluster edge
+	tcuStalled                   // local/shared-unit latency until stallUntil
+	tcuWaitMem                   // blocked on a memory / prefix-sum response
+	tcuWaitFence                 // waiting for pending non-blocking stores
+	tcuDraining                  // out of work, draining posted stores before done
+	tcuDone                      // blocked at chkid; all its work is finished
+)
+
+// TCU is one lightweight parallel core: private ALU, shift and branch
+// units, a prefetch buffer, and access to the cluster-shared FPU/MDU and
+// the memory system. TCUs execute virtual threads handed out by the
+// prefix-sum-based spawn protocol.
+type TCU struct {
+	sys     *System
+	cluster *Cluster
+	id      int // global TCU index
+	local   int // index within the cluster
+
+	ctx   funcmodel.Context
+	state tcuState
+
+	stallUntil   int64 // cluster cycle (tcuStalled)
+	pendingNB    int   // outstanding non-blocking stores
+	memWaitStart engine.Time
+
+	pbuf prefetchBuffer
+
+	// pendingPbufLoad is the load instruction blocked on an in-flight
+	// prefetch fill (so it can commit straight from the filled line).
+	pendingPbufLoad isa.Instr
+	pendingPbufAddr uint32
+	waitingPbuf     bool
+}
+
+// resetForSpawn re-initializes the TCU at spawn onset: zeroed registers
+// with the broadcast master-register image applied, PC at the first
+// broadcast instruction.
+func (t *TCU) resetForSpawn(pc int, bcastMask uint32, bcast *[isa.NumRegs]int32) {
+	t.ctx = funcmodel.Context{ID: t.id, PC: pc}
+	for r := 0; r < isa.NumRegs; r++ {
+		if bcastMask&(1<<uint(r)) != 0 {
+			t.ctx.Reg[r] = bcast[r]
+		}
+	}
+	t.state = tcuRunning
+	t.stallUntil = 0
+	t.pendingNB = 0
+	t.waitingPbuf = false
+	t.pbuf.invalidateAll()
+}
+
+// Tick advances the TCU by one cluster cycle. It returns whether the TCU
+// needs further ticks (a memory-blocked TCU is woken by its response event
+// instead).
+func (t *TCU) Tick(cycle int64, now engine.Time) bool {
+	switch t.state {
+	case tcuIdle, tcuDone, tcuDraining:
+		return false
+	case tcuWaitMem:
+		return false
+	case tcuWaitFence:
+		if t.pendingNB > 0 {
+			return false
+		}
+		t.state = tcuRunning
+	case tcuStalled:
+		if cycle < t.stallUntil {
+			return true
+		}
+		t.state = tcuRunning
+	}
+	return t.issue(cycle, now)
+}
+
+// issue fetches and dispatches one instruction.
+func (t *TCU) issue(cycle int64, now engine.Time) bool {
+	m := t.sys.Machine
+	region := t.sys.spawn.region
+	if region == nil {
+		t.state = tcuIdle
+		return false
+	}
+	pc := t.ctx.PC
+	if pc <= region.Spawn || pc > region.Join {
+		t.sys.fail(fmt.Errorf("cycle: TCU %d fetched instruction %d outside the broadcast region (%d,%d]",
+			t.id, pc, region.Spawn, region.Join))
+		return false
+	}
+	in := m.Prog.Text[pc]
+	t.ctx.PC++
+
+	if t.sys.traceFn != nil {
+		t.sys.traceFn(t.id, pc, in, now)
+	}
+
+	count := func() { t.sys.Stats.CountInstr(in.Op, t.cluster.id, false) }
+	meta := in.Op.Meta()
+
+	switch {
+	case in.Op == isa.OpJoin:
+		// Falling into join: this TCU's current virtual thread ended at the
+		// region boundary; the TCU is done (it must re-grab via ps, which
+		// the compiler always places before chkid, so reaching join means
+		// the code simply ran off the region: treat as done).
+		count()
+		t.finish(now)
+		return false
+
+	case in.Op == isa.OpChkid:
+		count()
+		id := t.ctx.Reg[in.Rd]
+		if id > t.sys.spawn.high {
+			t.finish(now)
+			return false
+		}
+		return true
+
+	case in.Op == isa.OpPs, in.Op == isa.OpGrr, in.Op == isa.OpGrw:
+		count()
+		t.blockMem(now)
+		t.sys.ps.request(t, in, now)
+		return false
+
+	case in.Op == isa.OpFence:
+		count()
+		t.pbuf.invalidateAll()
+		if t.pendingNB > 0 {
+			t.state = tcuWaitFence
+			return false
+		}
+		return true
+
+	case in.Op == isa.OpSys:
+		count()
+		halt, err := m.DoSys(&t.ctx, in)
+		if err != nil {
+			t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+			return false
+		}
+		if halt {
+			t.sys.halt()
+			return false
+		}
+		return true
+
+	case in.Op == isa.OpPsm:
+		addr := m.EffAddr(&t.ctx, in)
+		if !t.trySend(&Package{Kind: PkgPsm, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: addr, Data: t.ctx.Reg[in.Rd], Issued: now}) {
+			t.ctx.PC = pc // retry next cycle
+			return true
+		}
+		count()
+		t.sys.Stats.PsmOps++
+		t.blockMem(now)
+		return false
+
+	case in.Op == isa.OpPref:
+		count()
+		addr := m.EffAddr(&t.ctx, in)
+		la := t.pbuf.lineOf(addr)
+		if t.pbuf.find(addr) != nil {
+			return true // already buffered or in flight
+		}
+		e := t.pbuf.allocate(la, cycle)
+		if e == nil {
+			return true // all slots in flight; drop the hint
+		}
+		if !t.trySend(&Package{Kind: PkgPrefetch, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: la, LineAddr: la, Issued: now}) {
+			e.valid = false // could not inject; drop
+			return true
+		}
+		t.sys.Stats.PrefetchFills++
+		return true
+
+	case in.Op == isa.OpLwRO:
+		count()
+		addr := m.EffAddr(&t.ctx, in)
+		if t.cluster.ro != nil && t.cluster.ro.Lookup(addr, cycle) {
+			t.sys.Stats.ROHits++
+			v, err := m.LoadValue(in, addr)
+			if err != nil {
+				t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+				return false
+			}
+			t.ctx.SetReg(in.Rd, v)
+			t.stall(cycle + t.sys.Cfg.ROCacheLatency)
+			return true
+		}
+		t.sys.Stats.ROMisses++
+		if !t.trySend(&Package{Kind: PkgLoad, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: addr, Issued: now}) {
+			t.ctx.PC = pc
+			return true
+		}
+		t.blockMem(now)
+		return false
+
+	case meta.Load: // lw, lb, lbu
+		addr := m.EffAddr(&t.ctx, in)
+		if e := t.pbuf.find(addr); e != nil {
+			count()
+			if e.ready {
+				t.sys.Stats.PrefetchHits++
+				e.lastUse = cycle
+				t.ctx.SetReg(in.Rd, extractPbuf(e, in, addr))
+				return true
+			}
+			// The line's fill is in flight: wait for it instead of issuing
+			// duplicate traffic; the load commits straight from the fill.
+			e.waiter = t
+			t.waitingPbuf = true
+			t.pendingPbufLoad = in
+			t.pendingPbufAddr = addr
+			t.blockMem(now)
+			return false
+		}
+		if !t.trySend(&Package{Kind: PkgLoad, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: addr, Issued: now}) {
+			t.ctx.PC = pc
+			return true
+		}
+		count()
+		t.blockMem(now)
+		return false
+
+	case meta.Store: // sw, sb, sw.nb
+		addr := m.EffAddr(&t.ctx, in)
+		kind := PkgStore
+		if in.Op == isa.OpSwNB {
+			kind = PkgStoreNB
+		}
+		if !t.trySend(&Package{Kind: kind, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: addr, Data: t.ctx.Reg[in.Rd], Issued: now}) {
+			t.ctx.PC = pc
+			return true
+		}
+		count()
+		if kind == PkgStoreNB {
+			t.pendingNB++
+			return true
+		}
+		t.blockMem(now)
+		return false
+
+	case meta.Unit == isa.UnitMDU || meta.Unit == isa.UnitFPU:
+		lat, ok := t.cluster.acquire(meta.Unit, cycle, int64(meta.Latency))
+		if !ok {
+			t.sys.Stats.Cluster[t.cluster.id].FPUWaitCycles++
+			t.ctx.PC = pc // retry next cycle
+			return true
+		}
+		count()
+		if err := m.ExecCompute(&t.ctx, in); err != nil {
+			t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+			return false
+		}
+		t.stall(cycle + lat)
+		return true
+
+	case meta.Branch:
+		count()
+		taken, target, err := m.EvalBranch(&t.ctx, in)
+		if err != nil {
+			t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+			return false
+		}
+		if taken {
+			t.ctx.PC = target
+		}
+		return true
+
+	case in.Op == isa.OpSpawn, in.Op == isa.OpBcast:
+		t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in,
+			Err: fmt.Errorf("%s executed by a parallel TCU", in.Op)})
+		return false
+
+	default:
+		count()
+		if err := m.ExecCompute(&t.ctx, in); err != nil {
+			t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+			return false
+		}
+		return true
+	}
+}
+
+func extractPbuf(e *pbufEntry, in isa.Instr, addr uint32) int32 {
+	word := e.read(addr&^3, 4)
+	switch in.Op {
+	case isa.OpLw:
+		return word
+	case isa.OpLb:
+		return int32(int8(word >> (8 * (addr & 3))))
+	case isa.OpLbu:
+		return int32(uint8(word >> (8 * (addr & 3))))
+	}
+	return word
+}
+
+func (t *TCU) stall(until int64) {
+	t.state = tcuStalled
+	t.stallUntil = until
+}
+
+func (t *TCU) blockMem(now engine.Time) {
+	t.state = tcuWaitMem
+	t.memWaitStart = now
+}
+
+func (t *TCU) unblock(now engine.Time) {
+	if t.state == tcuWaitMem {
+		wait := now - t.memWaitStart
+		if wait > 0 {
+			t.sys.Stats.Cluster[t.cluster.id].MemWaitCycles += uint64(wait / t.sys.clusterClock.Period())
+		}
+	}
+	t.state = tcuRunning
+	t.sys.wakeClusters(now)
+}
+
+// finish marks the TCU done for this spawn and notifies the spawn unit.
+// Posted stores must drain first, so the end of the spawn statement orders
+// memory as the XMT memory model requires.
+func (t *TCU) finish(now engine.Time) {
+	if t.pendingNB > 0 {
+		t.state = tcuDraining
+		return
+	}
+	t.state = tcuDone
+	t.sys.spawn.tcuDone(now)
+}
+
+// trySend enqueues a package into the cluster's ICN send queue.
+func (t *TCU) trySend(p *Package) bool {
+	return t.cluster.send(p)
+}
+
+// deliver commits an expiring package back at the TCU (the "commit stage"
+// of the paper's package life cycle).
+func (t *TCU) deliver(p *Package, now engine.Time) {
+	if p.Err != nil {
+		t.sys.fail(&funcmodel.RuntimeError{PC: 0, Line: p.In.Line, In: p.In, Err: p.Err})
+		return
+	}
+	switch p.Kind {
+	case PkgLoad:
+		t.ctx.SetReg(p.In.Rd, p.Data)
+		if p.In.Op == isa.OpLwRO && t.cluster.ro != nil {
+			t.cluster.ro.Fill(p.Addr, t.sys.clusterClock.Cycle(now))
+		}
+		t.recordLoadLatency(p, now)
+		t.unblock(now)
+	case PkgPsm:
+		t.ctx.SetReg(p.In.Rd, p.Data)
+		// Prefix-sum completion orders memory: flush stale prefetches.
+		t.pbuf.invalidateAll()
+		t.recordLoadLatency(p, now)
+		t.unblock(now)
+	case PkgStore:
+		t.unblock(now)
+	case PkgStoreNB:
+		t.pendingNB--
+		switch {
+		case t.state == tcuWaitFence && t.pendingNB == 0:
+			t.unblock(now)
+		case t.state == tcuDraining && t.pendingNB == 0:
+			t.state = tcuDone
+			t.sys.spawn.tcuDone(now)
+		default:
+			t.sys.wakeClusters(now)
+		}
+	case PkgPrefetch:
+		la := p.LineAddr
+		for i := range t.pbuf.entries {
+			e := &t.pbuf.entries[i]
+			if e.valid && e.lineAddr == la && !e.ready {
+				e.ready = true
+				e.data = p.Line
+				if e.waiter != nil {
+					w := e.waiter
+					e.waiter = nil
+					if w.waitingPbuf {
+						w.waitingPbuf = false
+						w.ctx.SetReg(w.pendingPbufLoad.Rd, extractPbuf(e, w.pendingPbufLoad, w.pendingPbufAddr))
+						t.sys.Stats.PrefetchHits++
+						w.unblock(now)
+					}
+				}
+				break
+			}
+		}
+		t.sys.wakeClusters(now)
+	}
+}
+
+func (t *TCU) recordLoadLatency(p *Package, now engine.Time) {
+	t.sys.Stats.LoadLatencySum += uint64(now - p.Issued)
+	t.sys.Stats.LoadLatencyCount++
+}
+
+// psDelivered commits a prefix-sum/global-register response.
+func (t *TCU) psDelivered(in isa.Instr, old int32, now engine.Time) {
+	switch in.Op {
+	case isa.OpPs, isa.OpGrr:
+		t.ctx.SetReg(in.Rd, old)
+	}
+	if in.Op == isa.OpPs {
+		// ps completion orders memory like psm: flush stale prefetches.
+		t.pbuf.invalidateAll()
+	}
+	t.unblock(now)
+}

@@ -1,0 +1,114 @@
+package engine
+
+import "fmt"
+
+// Clock is an independently adjustable clock domain (clusters, ICN, shared
+// caches and DRAM controllers each get one, per paper §III-B). Frequencies
+// can be changed, and the domain gated off entirely, at runtime through the
+// activity plug-in interface; the clock keeps a piecewise-linear mapping
+// between simulated time and its local cycle count so that cycle counters
+// stay consistent across DVFS transitions.
+type Clock struct {
+	Name      string
+	baseTime  Time  // time of cycle baseCycle's edge
+	baseCycle int64 // cycle count at baseTime
+	period    Time  // ticks per cycle; 0 while gated
+	enabled   bool
+
+	savedPeriod Time // period to restore on Enable
+}
+
+// NewClock creates an enabled clock with the given period (ticks/cycle).
+func NewClock(name string, period Time) *Clock {
+	if period <= 0 {
+		panic(fmt.Sprintf("engine: clock %s: period %d", name, period))
+	}
+	return &Clock{Name: name, period: period, enabled: true}
+}
+
+// Period returns the current period, or 0 when the domain is gated.
+func (c *Clock) Period() Time {
+	if !c.enabled {
+		return 0
+	}
+	return c.period
+}
+
+// Enabled reports whether the domain is running.
+func (c *Clock) Enabled() bool { return c.enabled }
+
+// Cycle returns the domain-local cycle count at time now.
+func (c *Clock) Cycle(now Time) int64 {
+	if !c.enabled || now <= c.baseTime {
+		return c.baseCycle
+	}
+	return c.baseCycle + (now-c.baseTime)/c.period
+}
+
+// NextEdge returns the first clock edge strictly after now, or MaxTime when
+// the domain is gated off.
+func (c *Clock) NextEdge(now Time) Time {
+	if !c.enabled {
+		return MaxTime
+	}
+	if now < c.baseTime {
+		return c.baseTime
+	}
+	n := (now-c.baseTime)/c.period + 1
+	return c.baseTime + n*c.period
+}
+
+// EdgeAt returns the time of the edge of the given domain-local cycle.
+// It is only valid for cycles at or after the last SetPeriod/Enable.
+func (c *Clock) EdgeAt(cycle int64) Time {
+	if !c.enabled {
+		return MaxTime
+	}
+	if cycle < c.baseCycle {
+		cycle = c.baseCycle
+	}
+	return c.baseTime + (cycle-c.baseCycle)*c.period
+}
+
+// SetPeriod changes the domain frequency at time now. The cycle counter is
+// re-based so cycles completed so far are preserved.
+func (c *Clock) SetPeriod(now, period Time) {
+	if period <= 0 {
+		panic(fmt.Sprintf("engine: clock %s: period %d", c.Name, period))
+	}
+	c.rebase(now)
+	c.period = period
+	c.savedPeriod = period
+	c.enabled = true
+}
+
+// Disable gates the domain off at time now; components on it see no further
+// edges until Enable.
+func (c *Clock) Disable(now Time) {
+	if !c.enabled {
+		return
+	}
+	c.rebase(now)
+	c.savedPeriod = c.period
+	c.enabled = false
+}
+
+// Enable restores a gated domain at time now with its previous frequency.
+func (c *Clock) Enable(now Time) {
+	if c.enabled {
+		return
+	}
+	if c.savedPeriod <= 0 {
+		c.savedPeriod = 1
+	}
+	c.baseTime = now
+	c.period = c.savedPeriod
+	c.enabled = true
+}
+
+func (c *Clock) rebase(now Time) {
+	if c.enabled {
+		c.baseCycle = c.Cycle(now)
+	}
+	c.baseTime = now
+}

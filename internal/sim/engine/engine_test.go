@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestEventOrdering: events fire in (time, priority, insertion) order —
+// the invariant the whole DE simulation rests on.
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	rec := func(id int) ActorFunc {
+		return func(now Time) { got = append(got, id) }
+	}
+	s.Schedule(30, PrioTransfer, rec(5))
+	s.Schedule(10, PrioTransfer, rec(1))
+	s.Schedule(10, PrioNegotiate, rec(0)) // same time, higher priority first
+	s.Schedule(20, PrioClock, rec(2))
+	s.Schedule(20, PrioClock, rec(3)) // same time+prio: insertion order
+	s.Schedule(25, PrioClock, rec(4))
+	s.Run()
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("now = %d", s.Now())
+	}
+}
+
+// TestEventOrderingProperty: random schedules pop in sorted order.
+func TestEventOrderingProperty(t *testing.T) {
+	f := func(times []uint16, prios []uint8) bool {
+		if len(times) == 0 {
+			return true
+		}
+		s := New()
+		type key struct {
+			t   Time
+			p   Priority
+			seq int
+		}
+		var want []key
+		var got []key
+		for i, tt := range times {
+			p := Priority(0)
+			if i < len(prios) {
+				p = Priority(prios[i])
+			}
+			k := key{Time(tt), p, i}
+			want = append(want, k)
+			kk := k
+			s.Schedule(Time(tt), p, ActorFunc(func(now Time) {
+				got = append(got, kk)
+			}))
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].t != want[j].t {
+				return want[i].t < want[j].t
+			}
+			if want[i].p != want[j].p {
+				return want[i].p < want[j].p
+			}
+			return want[i].seq < want[j].seq
+		})
+		s.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelAndStop(t *testing.T) {
+	s := New()
+	fired := 0
+	ev := s.ScheduleFunc(10, PrioClock, func(Time) { fired++ })
+	s.ScheduleFunc(20, PrioClock, func(Time) { fired++ })
+	s.Cancel(ev)
+	s.ScheduleStop(15)
+	s.Run()
+	if fired != 0 {
+		t.Fatalf("fired = %d, want 0 (first canceled, second after stop)", fired)
+	}
+	if !s.Stopped() {
+		t.Fatal("not stopped")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.ScheduleFunc(10, PrioClock, func(Time) {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	s.stopped = false
+	s.ScheduleFunc(5, PrioClock, func(Time) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		s.ScheduleFunc(at, PrioClock, func(now Time) { fired = append(fired, now) })
+	}
+	s.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v", fired)
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v", fired)
+	}
+}
+
+func TestClockCycleMapping(t *testing.T) {
+	c := NewClock("c", 8)
+	if c.Cycle(0) != 0 || c.Cycle(7) != 0 || c.Cycle(8) != 1 || c.Cycle(80) != 10 {
+		t.Fatal("cycle mapping wrong")
+	}
+	if c.NextEdge(0) != 8 || c.NextEdge(8) != 16 || c.NextEdge(9) != 16 {
+		t.Fatal("next edge wrong")
+	}
+	if c.EdgeAt(5) != 40 {
+		t.Fatalf("EdgeAt(5) = %d", c.EdgeAt(5))
+	}
+}
+
+// TestClockDVFS: frequency changes preserve completed cycles — the
+// counters an activity plug-in reads stay consistent.
+func TestClockDVFS(t *testing.T) {
+	c := NewClock("c", 8)
+	if got := c.Cycle(80); got != 10 {
+		t.Fatalf("cycle(80) = %d", got)
+	}
+	c.SetPeriod(80, 16) // halve the frequency at t=80
+	if got := c.Cycle(80); got != 10 {
+		t.Fatalf("cycle preserved across DVFS: got %d", got)
+	}
+	if got := c.Cycle(80 + 160); got != 20 {
+		t.Fatalf("after slow-down: got %d, want 20", got)
+	}
+	c.Disable(240)
+	if c.NextEdge(240) != MaxTime {
+		t.Fatal("disabled clock must have no edges")
+	}
+	if c.Cycle(1000) != 20 {
+		t.Fatal("disabled clock must not advance")
+	}
+	c.Enable(1000)
+	if c.Period() != 16 {
+		t.Fatal("enable must restore the saved period")
+	}
+	if c.Cycle(1000+32) != 22 {
+		t.Fatalf("after enable: %d", c.Cycle(1032))
+	}
+}
+
+// counter is a Cycler that counts its ticks and runs for a fixed span.
+type counter struct {
+	ticks int64
+	limit int64
+}
+
+func (c *counter) Tick(cycle int64, now Time) bool {
+	c.ticks++
+	return c.ticks < c.limit
+}
+
+func TestMacroActorTicksAllComponents(t *testing.T) {
+	s := New()
+	clk := NewClock("c", 4)
+	ma := NewMacroActor("m", s, clk)
+	comps := make([]*counter, 10)
+	for i := range comps {
+		comps[i] = &counter{limit: 50}
+		ma.Add(comps[i])
+	}
+	ma.Wake(0)
+	s.Run()
+	for i, c := range comps {
+		if c.ticks != 50 {
+			t.Fatalf("component %d ticked %d times", i, c.ticks)
+		}
+	}
+	// One event per cycle regardless of component count.
+	if s.Executed != 50 {
+		t.Fatalf("executed %d events, want 50", s.Executed)
+	}
+}
+
+func TestSingleActorsScheduleIndividually(t *testing.T) {
+	s := New()
+	clk := NewClock("c", 4)
+	comps := make([]*counter, 10)
+	for i := range comps {
+		comps[i] = &counter{limit: 50}
+		NewSingleActor(s, clk, comps[i]).Wake(0)
+	}
+	s.Run()
+	if s.Executed != 500 {
+		t.Fatalf("executed %d events, want 500 (one per component per cycle)", s.Executed)
+	}
+}
+
+// TestMacroActorIdleWake: an idle macro-actor deschedules and can be
+// re-woken; this is how memory responses restart sleeping clusters.
+func TestMacroActorIdleWake(t *testing.T) {
+	s := New()
+	clk := NewClock("c", 4)
+	c := &counter{limit: 3}
+	ma := NewMacroActor("m", s, clk)
+	ma.Add(c)
+	ma.Wake(0)
+	s.Run()
+	if c.ticks != 3 {
+		t.Fatalf("ticks = %d", c.ticks)
+	}
+	// Re-arm the component and wake again; simulation resumes.
+	c.limit = 6
+	s.stopped = false
+	ma.Wake(s.Now())
+	s.Run()
+	if c.ticks != 6 {
+		t.Fatalf("ticks after rewake = %d", c.ticks)
+	}
+}
+
+func TestRunDTMatchesDE(t *testing.T) {
+	mk := func(n int) []Cycler {
+		out := make([]Cycler, n)
+		for i := range out {
+			out[i] = &counter{limit: 20}
+		}
+		return out
+	}
+	comps := mk(7)
+	RunDT(comps, 4, 1000)
+	for _, c := range comps {
+		if c.(*counter).ticks != 20 {
+			t.Fatalf("DT ticks = %d", c.(*counter).ticks)
+		}
+	}
+}
+
+func TestPortDelivery(t *testing.T) {
+	s := New()
+	var got []any
+	var at []Time
+	dst := InputFunc(func(pkg any, now Time) {
+		got = append(got, pkg)
+		at = append(at, now)
+	})
+	p := NewPort("p", s, dst, 12)
+	p.Send("a", 0)
+	p.SendAt("b", 30)
+	s.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+	if at[0] != 12 || at[1] != 30 {
+		t.Fatalf("times %v", at)
+	}
+	if p.Dst() == nil {
+		t.Fatal("dst accessor")
+	}
+}

@@ -1,0 +1,135 @@
+package engine
+
+// Cycler is a cycle-accurate component that can be driven one clock cycle
+// at a time. It is the shared interface between the DE macro-actor and the
+// discrete-time comparison loop (paper Fig. 5): Tick performs the
+// component's work for the given domain-local cycle and reports whether the
+// component still has work pending (so an idle macro-actor can stop
+// scheduling itself).
+type Cycler interface {
+	Tick(cycle int64, now Time) (busy bool)
+}
+
+// CyclerFunc adapts a function to Cycler.
+type CyclerFunc func(cycle int64, now Time) bool
+
+// Tick calls f.
+func (f CyclerFunc) Tick(cycle int64, now Time) bool { return f(cycle, now) }
+
+// MacroActor groups closely related components into one large actor and
+// iterates through them at every simulated clock cycle, combining what
+// would otherwise be one event per component into a single event (paper
+// §III-D; the interconnection network of XMTSim is implemented this way).
+// This style wins once the average number of per-cycle events passes a
+// threshold — the paper measured ≈800 empty events/cycle — which
+// BenchmarkMacroActorThreshold reproduces.
+type MacroActor struct {
+	Name  string
+	sched *Scheduler
+	clock *Clock
+	comps []Cycler
+
+	scheduled bool
+	pending   *Event
+}
+
+// NewMacroActor creates a macro-actor driven by clock on sched.
+func NewMacroActor(name string, sched *Scheduler, clock *Clock, comps ...Cycler) *MacroActor {
+	return &MacroActor{Name: name, sched: sched, clock: clock, comps: comps}
+}
+
+// Add appends a component.
+func (m *MacroActor) Add(c Cycler) { m.comps = append(m.comps, c) }
+
+// Len returns the number of grouped components.
+func (m *MacroActor) Len() int { return len(m.comps) }
+
+// Wake ensures the macro-actor is scheduled for the next clock edge. Idle
+// macro-actors deschedule themselves; components call Wake (typically from
+// Input) when new work arrives.
+func (m *MacroActor) Wake(now Time) {
+	if m.scheduled {
+		return
+	}
+	edge := m.clock.NextEdge(now)
+	if edge == MaxTime {
+		return // domain gated off; the DVFS controller re-wakes on Enable
+	}
+	m.scheduled = true
+	m.pending = m.sched.Schedule(edge, PrioClock, m)
+}
+
+// Notify runs one cycle over all grouped components: the "DT-style inner
+// loop wrapped in a notify callback" of the paper.
+func (m *MacroActor) Notify(now Time) {
+	m.scheduled = false
+	m.pending = nil
+	cycle := m.clock.Cycle(now)
+	busy := false
+	for _, c := range m.comps {
+		if c.Tick(cycle, now) {
+			busy = true
+		}
+	}
+	if busy {
+		m.Wake(now)
+	}
+}
+
+// SingleActor wraps one Cycler as a self-scheduling actor — the baseline
+// "each component is an actor" configuration of the §III-D experiment.
+type SingleActor struct {
+	sched *Scheduler
+	clock *Clock
+	comp  Cycler
+
+	scheduled bool
+}
+
+// NewSingleActor wraps comp.
+func NewSingleActor(sched *Scheduler, clock *Clock, comp Cycler) *SingleActor {
+	return &SingleActor{sched: sched, clock: clock, comp: comp}
+}
+
+// Wake schedules the actor for the next clock edge if idle.
+func (a *SingleActor) Wake(now Time) {
+	if a.scheduled {
+		return
+	}
+	edge := a.clock.NextEdge(now)
+	if edge == MaxTime {
+		return
+	}
+	a.scheduled = true
+	a.sched.Schedule(edge, PrioClock, a)
+}
+
+// Notify ticks the wrapped component once.
+func (a *SingleActor) Notify(now Time) {
+	a.scheduled = false
+	if a.comp.Tick(a.clock.Cycle(now), now) {
+		a.Wake(now)
+	}
+}
+
+// RunDT drives comps with the discrete-time main loop of Fig. 5a: poll
+// every component each cycle, increment time, stop after cycles iterations
+// or when every component reports idle for an entire sweep. It exists for
+// the DE-vs-DT comparison; the simulator proper always runs DE.
+func RunDT(comps []Cycler, period Time, cycles int64) (executedTicks uint64) {
+	now := Time(0)
+	for cycle := int64(0); cycle < cycles; cycle++ {
+		busy := false
+		for _, c := range comps {
+			if c.Tick(cycle, now) {
+				busy = true
+			}
+			executedTicks++
+		}
+		if !busy {
+			break
+		}
+		now += period
+	}
+	return executedTicks
+}

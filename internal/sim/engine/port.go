@@ -1,0 +1,54 @@
+package engine
+
+// Inputable is implemented by cycle-accurate components that accept
+// instruction or data packages from other components (paper §III-C: "any
+// activity during simulation takes place because … an instruction or data
+// package is passed from one cycle-accurate component to another, which
+// implements the Inputable interface").
+type Inputable interface {
+	// Input delivers a package. The receiver must not retain pkg past the
+	// call unless it owns it by protocol.
+	Input(pkg any, now Time)
+}
+
+// InputFunc adapts a function to the Inputable interface.
+type InputFunc func(pkg any, now Time)
+
+// Input calls f.
+func (f InputFunc) Input(pkg any, now Time) { f(pkg, now) }
+
+// Port is a point of transfer for packages between two cycle-accurate
+// components. Transfers happen in the second phase of a clock cycle
+// (PrioTransfer), so all phase-1 negotiation at the same timestamp settles
+// first — this implements the two-phase cycle-splitting the paper
+// describes, keeping the order of phases consistent across clock cycles.
+type Port struct {
+	Name    string
+	sched   *Scheduler
+	dst     Inputable
+	latency Time // transfer latency in ticks
+}
+
+// NewPort creates a port on sched delivering to dst after latency ticks.
+func NewPort(name string, sched *Scheduler, dst Inputable, latency Time) *Port {
+	return &Port{Name: name, sched: sched, dst: dst, latency: latency}
+}
+
+// Dst returns the destination component.
+func (p *Port) Dst() Inputable { return p.dst }
+
+// Send schedules delivery of pkg at now+latency in the transfer phase.
+func (p *Port) Send(pkg any, now Time) {
+	at := now + p.latency
+	p.sched.ScheduleFunc(at, PrioTransfer, func(t Time) {
+		p.dst.Input(pkg, t)
+	})
+}
+
+// SendAt schedules delivery at an explicit time (still in the transfer
+// phase); used by components that compute service completion times.
+func (p *Port) SendAt(pkg any, at Time) {
+	p.sched.ScheduleFunc(at, PrioTransfer, func(t Time) {
+		p.dst.Input(pkg, t)
+	})
+}

@@ -1,0 +1,225 @@
+package funcmodel
+
+import (
+	"fmt"
+	"math"
+
+	"xmtgo/internal/isa"
+)
+
+// The functional semantics are split into the pieces the cycle-accurate
+// model needs individually: pure compute (ExecCompute), branch evaluation
+// (EvalBranch), effective-address computation (EffAddr) and the
+// memory-side operations (LoadValue / StoreValue / Psm, performed at the
+// owning cache module in cycle-accurate mode), plus the sys traps.
+
+func f32(v int32) float32   { return math.Float32frombits(uint32(v)) }
+func fbits(f float32) int32 { return int32(math.Float32bits(f)) }
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ExecCompute executes a register-only instruction (ALU, shift, MDU, FPU),
+// writing the destination register. It must not be called for memory,
+// branch, or control instructions.
+func (m *Machine) ExecCompute(ctx *Context, in isa.Instr) error {
+	rs, rt := ctx.Reg[in.Rs], ctx.Reg[in.Rt]
+	var v int32
+	switch in.Op {
+	case isa.OpNop:
+		return nil
+	case isa.OpAdd, isa.OpAddu:
+		v = rs + rt
+	case isa.OpSub, isa.OpSubu:
+		v = rs - rt
+	case isa.OpAnd:
+		v = rs & rt
+	case isa.OpOr:
+		v = rs | rt
+	case isa.OpXor:
+		v = rs ^ rt
+	case isa.OpNor:
+		v = ^(rs | rt)
+	case isa.OpSlt:
+		v = b2i(rs < rt)
+	case isa.OpSltu:
+		v = b2i(uint32(rs) < uint32(rt))
+	case isa.OpAddi, isa.OpAddiu:
+		v = rs + in.Imm
+	case isa.OpAndi:
+		v = rs & (in.Imm & 0xffff)
+	case isa.OpOri:
+		v = rs | (in.Imm & 0xffff)
+	case isa.OpXori:
+		v = rs ^ (in.Imm & 0xffff)
+	case isa.OpSlti:
+		v = b2i(rs < in.Imm)
+	case isa.OpSltiu:
+		v = b2i(uint32(rs) < uint32(in.Imm))
+	case isa.OpLui:
+		v = in.Imm << 16
+	case isa.OpSll:
+		v = rs << uint(in.Imm&31)
+	case isa.OpSrl:
+		v = int32(uint32(rs) >> uint(in.Imm&31))
+	case isa.OpSra:
+		v = rs >> uint(in.Imm&31)
+	case isa.OpSllv:
+		v = rs << uint(rt&31)
+	case isa.OpSrlv:
+		v = int32(uint32(rs) >> uint(rt&31))
+	case isa.OpSrav:
+		v = rs >> uint(rt&31)
+	case isa.OpMul:
+		v = rs * rt
+	case isa.OpMulu:
+		v = int32(uint32(rs) * uint32(rt))
+	case isa.OpDiv:
+		if rt == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		v = rs / rt
+	case isa.OpDivu:
+		if rt == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		v = int32(uint32(rs) / uint32(rt))
+	case isa.OpRem:
+		if rt == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		v = rs % rt
+	case isa.OpRemu:
+		if rt == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		v = int32(uint32(rs) % uint32(rt))
+	case isa.OpAddS:
+		v = fbits(f32(rs) + f32(rt))
+	case isa.OpSubS:
+		v = fbits(f32(rs) - f32(rt))
+	case isa.OpMulS:
+		v = fbits(f32(rs) * f32(rt))
+	case isa.OpDivS:
+		v = fbits(f32(rs) / f32(rt))
+	case isa.OpAbsS:
+		v = fbits(float32(math.Abs(float64(f32(rs)))))
+	case isa.OpNegS:
+		v = fbits(-f32(rs))
+	case isa.OpSqrtS:
+		v = fbits(float32(math.Sqrt(float64(f32(rs)))))
+	case isa.OpCvtSW:
+		v = fbits(float32(rs))
+	case isa.OpCvtWS:
+		v = int32(f32(rs))
+	case isa.OpCeqS:
+		v = b2i(f32(rs) == f32(rt))
+	case isa.OpCltS:
+		v = b2i(f32(rs) < f32(rt))
+	case isa.OpCleS:
+		v = b2i(f32(rs) <= f32(rt))
+	default:
+		return fmt.Errorf("ExecCompute: %s is not a compute instruction", in.Op)
+	}
+	ctx.SetReg(in.Rd, v)
+	return nil
+}
+
+// EvalBranch evaluates a branch/jump at ctx (whose PC is already advanced
+// past the instruction) and returns whether it is taken and the target
+// instruction index. Link registers are written here.
+func (m *Machine) EvalBranch(ctx *Context, in isa.Instr) (taken bool, target int, err error) {
+	rs, rt := ctx.Reg[in.Rs], ctx.Reg[in.Rt]
+	switch in.Op {
+	case isa.OpBeq:
+		return rs == rt, in.Target, nil
+	case isa.OpBne:
+		return rs != rt, in.Target, nil
+	case isa.OpBlez:
+		return rs <= 0, in.Target, nil
+	case isa.OpBgtz:
+		return rs > 0, in.Target, nil
+	case isa.OpBltz:
+		return rs < 0, in.Target, nil
+	case isa.OpBgez:
+		return rs >= 0, in.Target, nil
+	case isa.OpJ:
+		return true, in.Target, nil
+	case isa.OpJal:
+		ctx.SetReg(isa.RegRA, int32(ctx.PC))
+		return true, in.Target, nil
+	case isa.OpJr:
+		return true, int(ctx.Reg[in.Rs]), nil
+	case isa.OpJalr:
+		t := int(ctx.Reg[in.Rs])
+		ctx.SetReg(isa.RegRA, int32(ctx.PC))
+		return true, t, nil
+	}
+	return false, 0, fmt.Errorf("EvalBranch: %s is not a branch", in.Op)
+}
+
+// EffAddr computes the effective byte address of a memory instruction.
+func (m *Machine) EffAddr(ctx *Context, in isa.Instr) uint32 {
+	return uint32(ctx.Reg[in.Rs] + in.Imm)
+}
+
+// LoadValue performs the memory-side read of a load instruction and
+// returns the register value to commit.
+func (m *Machine) LoadValue(in isa.Instr, addr uint32) (int32, error) {
+	switch in.Op {
+	case isa.OpLw, isa.OpLwRO, isa.OpPref:
+		return m.ReadWord(addr)
+	case isa.OpLb:
+		b, err := m.LoadByte(addr)
+		return int32(int8(b)), err
+	case isa.OpLbu:
+		b, err := m.LoadByte(addr)
+		return int32(b), err
+	}
+	return 0, fmt.Errorf("LoadValue: %s is not a load", in.Op)
+}
+
+// StoreValue performs the memory-side write of a store instruction; data
+// is the value of the instruction's data register captured at issue.
+func (m *Machine) StoreValue(in isa.Instr, addr uint32, data int32) error {
+	switch in.Op {
+	case isa.OpSw, isa.OpSwNB:
+		return m.WriteWord(addr, data)
+	case isa.OpSb:
+		return m.StoreByte(addr, byte(data))
+	}
+	return fmt.Errorf("StoreValue: %s is not a store", in.Op)
+}
+
+// DoSys executes a sys trap for ctx. It returns whether the machine
+// halted.
+func (m *Machine) DoSys(ctx *Context, in isa.Instr) (halt bool, err error) {
+	switch in.Imm {
+	case isa.SysHalt:
+		m.Halted = true
+		return true, nil
+	case isa.SysPrintInt:
+		fmt.Fprintf(m.Out, "%d", ctx.Reg[isa.RegV0])
+	case isa.SysPrintChar:
+		fmt.Fprintf(m.Out, "%c", rune(ctx.Reg[isa.RegV0]))
+	case isa.SysPrintStr:
+		s, err := m.StringAt(uint32(ctx.Reg[isa.RegV0]))
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprint(m.Out, s)
+	case isa.SysCycle:
+		ctx.SetReg(isa.RegV0, int32(m.CycleFn()))
+	case isa.SysCheckpoint:
+		m.CheckpointRequested = true
+	case isa.SysPrintFloat:
+		fmt.Fprintf(m.Out, "%g", f32(ctx.Reg[isa.RegV0]))
+	default:
+		return false, fmt.Errorf("unknown sys code %d", in.Imm)
+	}
+	return false, nil
+}

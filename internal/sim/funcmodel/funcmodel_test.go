@@ -1,0 +1,251 @@
+package funcmodel_test
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/sim/funcmodel"
+)
+
+// compactionAsm is a hand-written XMT assembly version of the paper's
+// Fig. 2a array-compaction example: non-zero elements of A are copied into
+// B using the ps primitive; the final count is printed.
+const compactionAsm = `
+        .data
+A:      .word 5, 0, 3, 0, 0, 9, 1, 0
+B:      .space 32
+        .text
+        .global main
+main:
+        la    $t0, A
+        la    $t1, B
+        grw   $zero, g0        # base = 0
+        bcast $t0
+        bcast $t1
+        li    $a0, 0
+        li    $a1, 7
+        spawn $a0, $a1
+Lgrab:  addiu $tid, $zero, 1
+        ps    $tid, g63        # grab next virtual thread id
+        chkid $tid
+        sll   $t2, $tid, 2
+        addu  $t2, $t0, $t2
+        lw    $t3, 0($t2)      # A[$]
+        beq   $t3, $zero, Lskip
+        addiu $t4, $zero, 1
+        ps    $t4, g0          # inc/base prefix-sum
+        sll   $t4, $t4, 2
+        addu  $t4, $t1, $t4
+        sw    $t3, 0($t4)      # B[inc] = A[$]
+Lskip:  j     Lgrab
+        join
+        grr   $v0, g0
+        sys   1                # print count
+        sys   0                # halt
+`
+
+func mustProgram(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	u, err := asm.Parse("test.s", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := asm.Assemble(u)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestArrayCompactionFunctional(t *testing.T) {
+	p := mustProgram(t, compactionAsm)
+	var out bytes.Buffer
+	m, err := funcmodel.New(p, 1<<20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "4" {
+		t.Fatalf("printed %q, want 4 non-zero elements", got)
+	}
+	// B must contain exactly the non-zero elements of A, in some order.
+	bAddr, ok := p.SymAddr("B")
+	if !ok {
+		t.Fatal("no symbol B")
+	}
+	var got []int
+	for i := 0; i < 4; i++ {
+		v, err := m.ReadWord(bAddr + uint32(4*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, int(v))
+	}
+	sort.Ints(got)
+	want := []int{1, 3, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("B = %v, want permutation of %v", got, want)
+		}
+	}
+	if !m.Halted {
+		t.Fatal("machine did not halt")
+	}
+}
+
+func TestSpawnJoinSequence(t *testing.T) {
+	// Fig. 2b: alternating serial and parallel sections; each spawn is an
+	// implicit barrier, so the second spawn must observe the first's
+	// stores.
+	src := `
+        .data
+A:      .space 64
+total:  .word 0
+        .text
+main:
+        la    $t0, A
+        bcast $t0
+        li    $a0, 0
+        li    $a1, 15
+        spawn $a0, $a1
+g1:     addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        sll   $t2, $tid, 2
+        addu  $t2, $t0, $t2
+        sw    $tid, 0($t2)      # A[$] = $
+        j     g1
+        join
+        grw   $zero, g1
+        bcast $t0
+        li    $a0, 0
+        li    $a1, 15
+        spawn $a0, $a1
+g2:     addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        sll   $t2, $tid, 2
+        addu  $t2, $t0, $t2
+        lw    $t3, 0($t2)
+        psm   $t3, 64($t0)      # total += A[$]  (total is at A+64)
+        j     g2
+        join
+        lw    $v0, 64($t0)
+        sys   1
+        sys   0
+`
+	p := mustProgram(t, src)
+	var out bytes.Buffer
+	m, err := funcmodel.New(p, 1<<20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "120" {
+		t.Fatalf("printed %q, want 120 (= sum 0..15)", got)
+	}
+}
+
+func TestEmptySpawn(t *testing.T) {
+	src := `
+        .text
+main:
+        li    $a0, 5
+        li    $a1, 4        # high < low: zero virtual threads
+        spawn $a0, $a1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        j     L
+        join
+        li    $v0, 7
+        sys   1
+        sys   0
+`
+	p := mustProgram(t, src)
+	var out bytes.Buffer
+	m, err := funcmodel.New(p, 1<<20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "7" {
+		t.Fatalf("printed %q, want 7", out.String())
+	}
+}
+
+func TestPsIncrementValidation(t *testing.T) {
+	src := `
+        .text
+main:
+        li    $t0, 2
+        ps    $t0, g1      # illegal: ps increment must be 0 or 1
+        sys   0
+`
+	p := mustProgram(t, src)
+	m, err := funcmodel.New(p, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(1000)
+	if err == nil || !strings.Contains(err.Error(), "ps increment") {
+		t.Fatalf("want ps increment error, got %v", err)
+	}
+}
+
+func TestMemoryFault(t *testing.T) {
+	src := `
+        .text
+main:
+        lui   $t0, 0x7fff
+        lw    $t1, 0($t0)
+        sys   0
+`
+	p := mustProgram(t, src)
+	m, err := funcmodel.New(p, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(1000)
+	if err == nil || !strings.Contains(err.Error(), "memory fault") {
+		t.Fatalf("want memory fault, got %v", err)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	src := `
+        .data
+x:      .float 2.5
+y:      .float 1.5
+        .text
+main:
+        lw    $t0, x
+        lw    $t1, y
+        add.s $t2, $t0, $t1
+        mul.s $t2, $t2, $t1     # (2.5+1.5)*1.5 = 6
+        cvt.w.s $v0, $t2
+        sys   1
+        sys   0
+`
+	p := mustProgram(t, src)
+	var out bytes.Buffer
+	m, err := funcmodel.New(p, 1<<20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "6" {
+		t.Fatalf("printed %q, want 6", out.String())
+	}
+}

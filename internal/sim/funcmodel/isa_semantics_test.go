@@ -1,0 +1,195 @@
+package funcmodel_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xmtgo/internal/config"
+	"xmtgo/internal/sim/cycle"
+	"xmtgo/internal/sim/funcmodel"
+)
+
+// isaCase runs a snippet that leaves its result in $v0 and prints it; the
+// same snippet is also run cycle-accurately so both engines agree on every
+// opcode's semantics.
+type isaCase struct {
+	name string
+	body string
+	want int32
+}
+
+var isaCases = []isaCase{
+	{"addu", "li $t0, 7\n li $t1, -3\n addu $v0, $t0, $t1", 4},
+	{"subu", "li $t0, 7\n li $t1, 10\n subu $v0, $t0, $t1", -3},
+	{"and-or-xor-nor", `
+        li $t0, 0x0ff0
+        li $t1, 0x00ff
+        and $t2, $t0, $t1
+        or  $t3, $t0, $t1
+        xor $t4, $t0, $t1
+        nor $t5, $t0, $t1
+        addu $v0, $t2, $t3
+        addu $v0, $v0, $t4
+        addu $v0, $v0, $t5`, 0x00f0 + 0x0fff + 0x0f0f + ^int32(0x0fff)},
+	{"slt-sltu", `
+        li $t0, -1
+        li $t1, 1
+        slt  $t2, $t0, $t1
+        sltu $t3, $t0, $t1
+        sll  $t2, $t2, 1
+        addu $v0, $t2, $t3`, 2},
+	{"slti-sltiu", `
+        li $t0, -5
+        slti  $t1, $t0, -4
+        sltiu $t2, $t0, 3
+        sll $t1, $t1, 1
+        addu $v0, $t1, $t2`, 2},
+	{"andi-ori-xori", `
+        li $t0, 0x7fff
+        andi $t1, $t0, 0x00f0
+        ori  $t2, $t0, 0x8000
+        xori $t3, $t0, 0xffff
+        addu $v0, $t1, $t2
+        addu $v0, $v0, $t3`, 0x00f0 + 0xffff + 0x8000},
+	{"shifts-imm", `
+        li  $t0, -16
+        sll $t1, $t0, 2
+        srl $t2, $t0, 28
+        sra $t3, $t0, 2
+        addu $v0, $t1, $t2
+        addu $v0, $v0, $t3`, -64 + 15 + -4},
+	{"shifts-var", `
+        li  $t0, -16
+        li  $t4, 2
+        li  $t5, 28
+        sllv $t1, $t0, $t4
+        srlv $t2, $t0, $t5
+        srav $t3, $t0, $t4
+        addu $v0, $t1, $t2
+        addu $v0, $v0, $t3`, -64 + 15 + -4},
+	{"lui", "lui $v0, 5", 5 << 16},
+	{"mul-div-rem", `
+        li $t0, -17
+        li $t1, 5
+        mul $t2, $t0, $t1
+        div $t3, $t0, $t1
+        rem $t4, $t0, $t1
+        addu $v0, $t2, $t3
+        addu $v0, $v0, $t4`, -85 + -3 + -2},
+	{"mulu-divu-remu", `
+        li $t0, -2
+        li $t1, 3
+        mulu $t2, $t0, $t1
+        divu $t3, $t0, $t1
+        remu $t4, $t0, $t1
+        addu $v0, $t2, $t3
+        xor  $v0, $v0, $t4`, muluDivuRemuWant()},
+	{"float-arith", `
+        li $t0, 0x40400000      # 3.0
+        li $t1, 0x3f000000      # 0.5
+        add.s $t2, $t0, $t1     # 3.5
+        sub.s $t3, $t0, $t1     # 2.5
+        mul.s $t4, $t2, $t3     # 8.75
+        div.s $t5, $t4, $t1     # 17.5
+        cvt.w.s $v0, $t5`, 17},
+	{"float-unary", `
+        li $t0, 9
+        cvt.s.w $t1, $t0
+        sqrt.s $t2, $t1         # 3.0
+        neg.s  $t3, $t2         # -3.0
+        abs.s  $t4, $t3         # 3.0
+        add.s  $t5, $t2, $t4    # 6.0
+        cvt.w.s $v0, $t5`, 6},
+	{"float-compare", `
+        li $t0, 0x40000000      # 2.0
+        li $t1, 0x40400000      # 3.0
+        c.lt.s $t2, $t0, $t1
+        c.le.s $t3, $t1, $t1
+        c.eq.s $t4, $t0, $t1
+        sll $t2, $t2, 2
+        sll $t3, $t3, 1
+        addu $v0, $t2, $t3
+        addu $v0, $v0, $t4`, 6},
+	{"branches", `
+        li $t0, -1
+        li $v0, 0
+        bltz $t0, L1
+        li $v0, 100
+L1:     addiu $v0, $v0, 1
+        bgez $t0, L2
+        addiu $v0, $v0, 2
+L2:     blez $t0, L3
+        addiu $v0, $v0, 100
+L3:     li $t1, 1
+        bgtz $t1, L4
+        addiu $v0, $v0, 100
+L4:     addiu $v0, $v0, 4`, 7},
+	{"bytes", `
+        la $t0, scratch
+        li $t1, -2
+        sb $t1, 0($t0)
+        lb  $t2, 0($t0)
+        lbu $t3, 0($t0)
+        addu $v0, $t2, $t3`, -2 + 254},
+	{"grr-grw", `
+        li $t0, 99
+        grw $t0, g7
+        grr $v0, g7`, 99},
+	{"psm-serial", `
+        la $t0, scratch
+        li $t1, 40
+        sw $t1, 0($t0)
+        li $t2, 2
+        psm $t2, 0($t0)     # t2 = old (40), mem = 42
+        lw $t3, 0($t0)
+        addu $v0, $t2, $t3`, 82},
+}
+
+func muluDivuRemuWant() int32 {
+	x := uint32(0xfffffffe)
+	mul := int32(x * 3)
+	div := int32(x / 3)
+	rem := int32(x % 3)
+	return (mul + div) ^ rem
+}
+
+func TestISASemanticsBothModes(t *testing.T) {
+	for _, tc := range isaCases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := fmt.Sprintf(`
+        .data
+scratch: .word 0, 0
+        .text
+main:
+%s
+        sys 1
+        sys 0
+`, tc.body)
+			p := mustProgram(t, src)
+			var fOut bytes.Buffer
+			m, err := funcmodel.New(p, 1<<20, &fOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(100000); err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprint(tc.want)
+			if fOut.String() != want {
+				t.Fatalf("functional: got %s, want %s", fOut.String(), want)
+			}
+			var cOut bytes.Buffer
+			sys, err := cycle.New(p, config.FPGA64(), &cOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if cOut.String() != want {
+				t.Fatalf("cycle: got %s, want %s", cOut.String(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,219 @@
+// Package funcmodel implements XMTSim's functional model: the operational
+// definition of the instructions and the architectural state — registers,
+// global registers, shared memory (paper §III-A, Fig. 3). The
+// cycle-accurate model fetches decoded instructions from here and returns
+// them for execution; the package also provides the fast functional
+// simulation mode, which serializes the parallel sections and is used as a
+// debugging tool and as the correctness oracle in tests.
+package funcmodel
+
+import (
+	"fmt"
+	"io"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/isa"
+)
+
+// Context is the architectural state of one hardware thread context: the
+// Master TCU or one parallel TCU.
+type Context struct {
+	ID       int // -1 for the master, TCU index otherwise
+	IsMaster bool
+	Reg      [isa.NumRegs]int32
+	PC       int // instruction index
+}
+
+// SetReg writes a register, keeping $zero hard-wired.
+func (c *Context) SetReg(r isa.Reg, v int32) {
+	if r != isa.RegZero {
+		c.Reg[r] = v
+	}
+}
+
+// MemFault is returned for accesses outside the simulated memory.
+type MemFault struct {
+	Addr uint32
+	Op   string
+}
+
+func (e *MemFault) Error() string {
+	return fmt.Sprintf("memory fault: %s at 0x%08x", e.Op, e.Addr)
+}
+
+// RuntimeError wraps an execution error with its program location.
+type RuntimeError struct {
+	PC   int
+	Line int
+	In   isa.Instr
+	Err  error
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error at instruction %d (asm line %d, %q): %v", e.PC, e.Line, e.In, e.Err)
+}
+
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// Machine is the functional model: shared memory, global registers, the
+// master context and the spawn-serialization state of the fast functional
+// mode.
+type Machine struct {
+	Prog *asm.Program
+	Mem  []byte
+	G    [isa.NumGRegs]int32
+
+	Master Context
+
+	// Out receives sys-trap printf output (Fig. 3 "Printf output").
+	Out io.Writer
+
+	Halted bool
+	// CheckpointRequested is set by the sys checkpoint trap and consumed
+	// by the driving simulator.
+	CheckpointRequested bool
+
+	// CycleFn supplies the value of the sys cycle trap. The cycle-accurate
+	// model installs the real cycle counter; the functional mode counts
+	// executed instructions instead.
+	CycleFn func() int64
+
+	// InstrCount counts functionally executed instructions.
+	InstrCount uint64
+
+	// Spawn serialization state (functional mode runs parallel sections on
+	// a single virtual TCU whose grab-loop naturally serializes all
+	// virtual threads).
+	inParallel bool
+	spawnLow   int32
+	spawnHigh  int32
+	joinIdx    int
+	parallel   Context
+	savedPC    int
+
+	// pendingBcast accumulates bcast-ed master registers; applied to TCU
+	// contexts at the next spawn.
+	pendingBcastMask uint32
+	pendingBcast     [isa.NumRegs]int32
+
+	// Trace, when non-nil, is called for each executed instruction.
+	Trace func(ctx *Context, in isa.Instr)
+}
+
+// New creates a machine for prog with memBytes of shared memory and loads
+// the initial data image. out receives printf output (may be nil).
+func New(prog *asm.Program, memBytes uint32, out io.Writer) (*Machine, error) {
+	if memBytes == 0 {
+		memBytes = asm.DefaultMemSize
+	}
+	if uint64(asm.DataBase)+uint64(len(prog.Data)) > uint64(memBytes) {
+		return nil, fmt.Errorf("funcmodel: data segment (%d bytes) exceeds memory size %d", len(prog.Data), memBytes)
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	m := &Machine{Prog: prog, Mem: make([]byte, memBytes), Out: out}
+	copy(m.Mem[asm.DataBase:], prog.Data)
+	m.Master = Context{ID: -1, IsMaster: true, PC: prog.Entry}
+	// The serial stack starts at the top of the simulated memory (the
+	// asm.StackTop constant is the default for the default memory size).
+	sp := int32(memBytes &^ 7)
+	m.Master.Reg[isa.RegSP] = sp
+	m.Master.Reg[isa.RegFP] = sp
+	m.CycleFn = func() int64 { return int64(m.InstrCount) }
+	return m, nil
+}
+
+// InParallel reports whether the machine is inside a serialized spawn.
+func (m *Machine) InParallel() bool { return m.inParallel }
+
+// SpawnBounds returns the bounds of the active spawn region.
+func (m *Machine) SpawnBounds() (low, high int32) { return m.spawnLow, m.spawnHigh }
+
+// ReadWord reads a 32-bit little-endian word.
+func (m *Machine) ReadWord(addr uint32) (int32, error) {
+	if addr%4 != 0 {
+		return 0, &MemFault{Addr: addr, Op: "unaligned load"}
+	}
+	if int64(addr)+4 > int64(len(m.Mem)) {
+		return 0, &MemFault{Addr: addr, Op: "load"}
+	}
+	return int32(uint32(m.Mem[addr]) | uint32(m.Mem[addr+1])<<8 |
+		uint32(m.Mem[addr+2])<<16 | uint32(m.Mem[addr+3])<<24), nil
+}
+
+// WriteWord writes a 32-bit little-endian word.
+func (m *Machine) WriteWord(addr uint32, v int32) error {
+	if addr%4 != 0 {
+		return &MemFault{Addr: addr, Op: "unaligned store"}
+	}
+	if int64(addr)+4 > int64(len(m.Mem)) {
+		return &MemFault{Addr: addr, Op: "store"}
+	}
+	m.Mem[addr] = byte(v)
+	m.Mem[addr+1] = byte(v >> 8)
+	m.Mem[addr+2] = byte(v >> 16)
+	m.Mem[addr+3] = byte(v >> 24)
+	return nil
+}
+
+// LoadByte reads one byte.
+func (m *Machine) LoadByte(addr uint32) (byte, error) {
+	if int64(addr) >= int64(len(m.Mem)) {
+		return 0, &MemFault{Addr: addr, Op: "load byte"}
+	}
+	return m.Mem[addr], nil
+}
+
+// StoreByte writes one byte.
+func (m *Machine) StoreByte(addr uint32, v byte) error {
+	if int64(addr) >= int64(len(m.Mem)) {
+		return &MemFault{Addr: addr, Op: "store byte"}
+	}
+	m.Mem[addr] = v
+	return nil
+}
+
+// Ps performs the global-register prefix-sum: base g is atomically
+// incremented by inc (which the hardware restricts to 0 or 1) and the old
+// value is returned.
+func (m *Machine) Ps(g isa.GReg, inc int32) (int32, error) {
+	if inc != 0 && inc != 1 {
+		return 0, fmt.Errorf("ps increment must be 0 or 1, got %d", inc)
+	}
+	old := m.G[g]
+	m.G[g] = old + inc
+	return old, nil
+}
+
+// Psm performs the prefix-sum-to-memory: mem[addr] is atomically
+// incremented by any signed 32-bit inc and the old value returned.
+func (m *Machine) Psm(addr uint32, inc int32) (int32, error) {
+	old, err := m.ReadWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.WriteWord(addr, old+inc); err != nil {
+		return 0, err
+	}
+	return old, nil
+}
+
+// StringAt reads a NUL-terminated string for the sys print-string trap.
+func (m *Machine) StringAt(addr uint32) (string, error) {
+	var b []byte
+	for {
+		c, err := m.LoadByte(addr)
+		if err != nil {
+			return "", err
+		}
+		if c == 0 {
+			return string(b), nil
+		}
+		if len(b) > 1<<16 {
+			return "", fmt.Errorf("unterminated string at 0x%08x", addr)
+		}
+		b = append(b, c)
+		addr++
+	}
+}

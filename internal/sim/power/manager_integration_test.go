@@ -1,0 +1,83 @@
+package power_test
+
+import (
+	"io"
+	"testing"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/codegen"
+	"xmtgo/internal/config"
+	"xmtgo/internal/sim/cycle"
+	"xmtgo/internal/sim/power"
+	"xmtgo/internal/workloads"
+)
+
+// TestThermalManagerClosedLoop drives the full §III-F pipeline on a real
+// simulation: activity counters -> power samples -> thermal grid ->
+// DVFS throttling once the threshold is crossed, with hysteresis.
+func TestThermalManagerClosedLoop(t *testing.T) {
+	cfg := config.FPGA64()
+	src := workloads.TableI(workloads.ParallelCompute, cfg.TCUs(), 3000)
+	res, err := codegen.Compile("hot.c", src, codegen.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(res.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cycle.New(prog, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A low threshold guarantees the throttle engages on this workload.
+	tm, err := power.NewThermalManager(&cfg, 2000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.AddActivityPlugin(tm)
+	simRes, err := sys.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simRes.Halted {
+		t.Fatal("did not halt")
+	}
+	if len(tm.History) < 5 {
+		t.Fatalf("only %d samples", len(tm.History))
+	}
+	sawHot := false
+	sawThrottle := false
+	for _, s := range tm.History {
+		if s.MaxTemp > 50 {
+			sawHot = true
+		}
+		if s.Throttled {
+			sawThrottle = true
+		}
+		if s.TotalWatt <= 0 {
+			t.Fatal("non-positive power sample")
+		}
+		if s.MeanTemp > s.MaxTemp+1e-9 {
+			t.Fatal("mean above max")
+		}
+	}
+	if !sawHot || !sawThrottle {
+		t.Fatalf("thermal loop never engaged (hot=%v throttled=%v, peak %f)",
+			sawHot, sawThrottle, maxTemp(tm))
+	}
+	// Temperatures must never run away.
+	if maxTemp(tm) > 200 {
+		t.Fatalf("implausible temperature %f", maxTemp(tm))
+	}
+}
+
+func maxTemp(tm *power.ThermalManager) float64 {
+	peak := 0.0
+	for _, s := range tm.History {
+		if s.MaxTemp > peak {
+			peak = s.MaxTemp
+		}
+	}
+	return peak
+}

@@ -1,0 +1,307 @@
+// Package stats implements XMTSim's built-in counters (paper §III-B):
+// instruction counters that record executed instructions by opcode and
+// functional unit, and activity counters that monitor the state of the
+// cycle-accurate components — memory wait time, cache hits and misses,
+// interconnect traversals, DRAM accesses, prefetch-buffer behaviour,
+// per-cluster utilization. Filter plug-ins customize the instruction
+// statistics reported at the end of a simulation; the bundled
+// HotLocations plug-in reproduces the paper's example of listing the most
+// frequently accessed shared-memory locations.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xmtgo/internal/isa"
+)
+
+// ClusterStats are per-cluster activity counters.
+type ClusterStats struct {
+	TCUInstrs     uint64 // instructions committed by this cluster's TCUs
+	ALUOps        uint64
+	FPUOps        uint64
+	MDUOps        uint64
+	MemOps        uint64
+	BusyCycles    uint64 // cycles with at least one active TCU
+	MemWaitCycles uint64 // TCU-cycles spent blocked on memory
+	FPUWaitCycles uint64 // TCU-cycles spent waiting for a shared FPU/MDU
+}
+
+// Collector accumulates all counters of one simulation run. The simulator
+// is single-goroutine, so plain integers suffice.
+type Collector struct {
+	// Instruction counters.
+	InstrByOp    [isa.NumOps]uint64
+	InstrByUnit  [isa.NumUnits]uint64
+	MasterInstrs uint64
+	TCUInstrs    uint64
+
+	// Activity counters.
+	Cluster []ClusterStats
+
+	CacheHits      []uint64 // per cache module
+	CacheMisses    []uint64
+	CachePsm       []uint64
+	CacheQueueFull []uint64 // accept stalls due to a full service queue
+
+	DRAMAccesses []uint64 // per port
+
+	ICNTraversals uint64
+	ICNHops       uint64
+
+	PsOps  uint64
+	PsmOps uint64
+
+	SpawnCount     uint64
+	VirtualThreads uint64
+
+	PrefetchFills  uint64
+	PrefetchHits   uint64
+	PrefetchEvicts uint64
+
+	ROHits   uint64
+	ROMisses uint64
+
+	MasterCacheHits   uint64
+	MasterCacheMisses uint64
+
+	LoadLatencySum   uint64 // ticks, issue -> commit
+	LoadLatencyCount uint64
+
+	filters []Filter
+}
+
+// NewCollector sizes a collector for the given machine shape.
+func NewCollector(clusters, cacheModules, dramPorts int) *Collector {
+	return &Collector{
+		Cluster:        make([]ClusterStats, clusters),
+		CacheHits:      make([]uint64, cacheModules),
+		CacheMisses:    make([]uint64, cacheModules),
+		CachePsm:       make([]uint64, cacheModules),
+		CacheQueueFull: make([]uint64, cacheModules),
+		DRAMAccesses:   make([]uint64, dramPorts),
+	}
+}
+
+// CountInstr records one committed instruction.
+func (c *Collector) CountInstr(op isa.Op, cluster int, master bool) {
+	c.InstrByOp[op]++
+	c.InstrByUnit[op.Meta().Unit]++
+	if master {
+		c.MasterInstrs++
+	} else {
+		c.TCUInstrs++
+		if cluster >= 0 && cluster < len(c.Cluster) {
+			cs := &c.Cluster[cluster]
+			cs.TCUInstrs++
+			switch op.Meta().Unit {
+			case isa.UnitALU, isa.UnitSFT, isa.UnitBR:
+				cs.ALUOps++
+			case isa.UnitFPU:
+				cs.FPUOps++
+			case isa.UnitMDU:
+				cs.MDUOps++
+			case isa.UnitMEM:
+				cs.MemOps++
+			}
+		}
+	}
+	for _, f := range c.filters {
+		f.Instr(op, master)
+	}
+}
+
+// CountMem records one memory access observed at a cache module.
+func (c *Collector) CountMem(addr uint32, op isa.Op, module int, hit bool) {
+	if module >= 0 && module < len(c.CacheHits) {
+		if hit {
+			c.CacheHits[module]++
+		} else {
+			c.CacheMisses[module]++
+		}
+		if op == isa.OpPsm {
+			c.CachePsm[module]++
+		}
+	}
+	for _, f := range c.filters {
+		f.Mem(addr, op, module, hit)
+	}
+}
+
+// TotalInstrs returns all committed instructions.
+func (c *Collector) TotalInstrs() uint64 { return c.MasterInstrs + c.TCUInstrs }
+
+// TotalCacheHits sums over modules.
+func (c *Collector) TotalCacheHits() (hits, misses uint64) {
+	for i := range c.CacheHits {
+		hits += c.CacheHits[i]
+		misses += c.CacheMisses[i]
+	}
+	return
+}
+
+// AddFilter registers an instruction-statistics filter plug-in.
+func (c *Collector) AddFilter(f Filter) { c.filters = append(c.filters, f) }
+
+// Filters returns the registered filter plug-ins.
+func (c *Collector) Filters() []Filter { return c.filters }
+
+// Filter is the external filter plug-in interface of Fig. 3: it observes
+// the instruction stream and memory traffic during simulation and
+// customizes the statistics reported at the end.
+type Filter interface {
+	Name() string
+	// Instr observes one committed instruction.
+	Instr(op isa.Op, master bool)
+	// Mem observes one memory access served at a cache module.
+	Mem(addr uint32, op isa.Op, module int, hit bool)
+	// Report writes the plug-in's end-of-simulation statistics.
+	Report(w io.Writer)
+}
+
+// Report writes the standard end-of-run statistics, then each filter's.
+func (c *Collector) Report(w io.Writer) {
+	fmt.Fprintf(w, "instructions: total=%d master=%d tcu=%d\n", c.TotalInstrs(), c.MasterInstrs, c.TCUInstrs)
+	fmt.Fprintf(w, "by unit:")
+	for u := 0; u < isa.NumUnits; u++ {
+		if c.InstrByUnit[u] > 0 {
+			fmt.Fprintf(w, " %s=%d", isa.Unit(u), c.InstrByUnit[u])
+		}
+	}
+	fmt.Fprintln(w)
+	hits, misses := c.TotalCacheHits()
+	fmt.Fprintf(w, "shared cache: hits=%d misses=%d psm=%d\n", hits, misses, c.PsmOps)
+	fmt.Fprintf(w, "icn: traversals=%d hops=%d\n", c.ICNTraversals, c.ICNHops)
+	var dram uint64
+	for _, d := range c.DRAMAccesses {
+		dram += d
+	}
+	fmt.Fprintf(w, "dram: accesses=%d across %d ports\n", dram, len(c.DRAMAccesses))
+	fmt.Fprintf(w, "spawns=%d virtual_threads=%d ps=%d\n", c.SpawnCount, c.VirtualThreads, c.PsOps)
+	fmt.Fprintf(w, "prefetch: fills=%d hits=%d evicts=%d\n", c.PrefetchFills, c.PrefetchHits, c.PrefetchEvicts)
+	fmt.Fprintf(w, "rocache: hits=%d misses=%d\n", c.ROHits, c.ROMisses)
+	fmt.Fprintf(w, "master cache: hits=%d misses=%d\n", c.MasterCacheHits, c.MasterCacheMisses)
+	if c.LoadLatencyCount > 0 {
+		fmt.Fprintf(w, "avg load latency: %.1f ticks over %d loads\n",
+			float64(c.LoadLatencySum)/float64(c.LoadLatencyCount), c.LoadLatencyCount)
+	}
+	for _, f := range c.filters {
+		fmt.Fprintf(w, "--- filter %s ---\n", f.Name())
+		f.Report(w)
+	}
+}
+
+// HotLocations is the default filter plug-in of the paper's example: it
+// creates a list of the most frequently accessed locations in the XMT
+// shared memory space, which helps a programmer find the assembly lines
+// causing memory bottlenecks.
+type HotLocations struct {
+	// Granularity in bytes (e.g. a cache line); accesses are bucketed.
+	Granularity uint32
+	TopN        int
+	counts      map[uint32]uint64
+}
+
+// NewHotLocations creates the plug-in with line-granularity buckets.
+func NewHotLocations(granularity uint32, topN int) *HotLocations {
+	if granularity == 0 {
+		granularity = 4
+	}
+	if topN <= 0 {
+		topN = 10
+	}
+	return &HotLocations{Granularity: granularity, TopN: topN, counts: make(map[uint32]uint64)}
+}
+
+// Name implements Filter.
+func (h *HotLocations) Name() string { return "hot-locations" }
+
+// Instr implements Filter (instruction counts are not used here).
+func (h *HotLocations) Instr(op isa.Op, master bool) {}
+
+// Mem implements Filter.
+func (h *HotLocations) Mem(addr uint32, op isa.Op, module int, hit bool) {
+	h.counts[addr/h.Granularity*h.Granularity]++
+}
+
+// Top returns the most-accessed buckets.
+func (h *HotLocations) Top() []struct {
+	Addr  uint32
+	Count uint64
+} {
+	type kv struct {
+		Addr  uint32
+		Count uint64
+	}
+	all := make([]kv, 0, len(h.counts))
+	for a, n := range h.counts {
+		all = append(all, kv{a, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Addr < all[j].Addr
+	})
+	if len(all) > h.TopN {
+		all = all[:h.TopN]
+	}
+	out := make([]struct {
+		Addr  uint32
+		Count uint64
+	}, len(all))
+	for i, e := range all {
+		out[i] = struct {
+			Addr  uint32
+			Count uint64
+		}{e.Addr, e.Count}
+	}
+	return out
+}
+
+// Report implements Filter.
+func (h *HotLocations) Report(w io.Writer) {
+	for _, e := range h.Top() {
+		fmt.Fprintf(w, "0x%08x: %d accesses\n", e.Addr, e.Count)
+	}
+}
+
+// OpHistogram is a filter plug-in reporting the instruction mix.
+type OpHistogram struct {
+	counts [isa.NumOps]uint64
+}
+
+// Name implements Filter.
+func (o *OpHistogram) Name() string { return "op-histogram" }
+
+// Instr implements Filter.
+func (o *OpHistogram) Instr(op isa.Op, master bool) { o.counts[op]++ }
+
+// Mem implements Filter.
+func (o *OpHistogram) Mem(addr uint32, op isa.Op, module int, hit bool) {}
+
+// Count returns the count for one opcode.
+func (o *OpHistogram) Count(op isa.Op) uint64 { return o.counts[op] }
+
+// Report implements Filter.
+func (o *OpHistogram) Report(w io.Writer) {
+	type kv struct {
+		op isa.Op
+		n  uint64
+	}
+	var all []kv
+	for op := 0; op < isa.NumOps; op++ {
+		if o.counts[op] > 0 {
+			all = append(all, kv{isa.Op(op), o.counts[op]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+	var parts []string
+	for _, e := range all {
+		parts = append(parts, fmt.Sprintf("%s=%d", e.op, e.n))
+	}
+	fmt.Fprintln(w, strings.Join(parts, " "))
+}

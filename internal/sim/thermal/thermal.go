@@ -1,0 +1,126 @@
+// Package thermal is the pure-Go substitute for the HotSpot thermal model
+// XMTSim drives through JNI (paper §III-F): a lumped RC grid over the chip
+// floorplan. Each cell (one cluster, or an uncore cell) has a heat
+// capacity, lateral thermal resistances to its grid neighbours, and a
+// vertical resistance to the ambient/heat-sink node; temperatures advance
+// by forward-Euler integration of the injected power. The substitution
+// preserves what the paper's feature is for — closing the activity → power
+// → temperature → DVFS loop inside an activity plug-in — with the same
+// qualitative dynamics (hot clusters heat their neighbours; gating or
+// slowing a domain cools it).
+package thermal
+
+import "fmt"
+
+// Params configure the RC grid.
+type Params struct {
+	Ambient   float64 // °C
+	CellCap   float64 // J/K per cell
+	RLateral  float64 // K/W between adjacent cells
+	RVertical float64 // K/W from a cell to ambient through the sink
+}
+
+// DefaultParams are tuned for simulation-scale experiments: real silicon
+// thermal time constants are milliseconds, but cycle-accurate runs cover
+// microseconds, so the default heat capacity is compressed to keep the
+// power→temperature→DVFS feedback loop observable within feasible
+// simulation lengths (the same compromise architectural thermal studies
+// make when driving HotSpot from short sampled traces).
+func DefaultParams() Params {
+	return Params{Ambient: 45, CellCap: 2e-6, RLateral: 40, RVertical: 80}
+}
+
+// Grid is the RC thermal grid.
+type Grid struct {
+	W, H int
+	P    Params
+	T    []float64 // temperatures, row-major
+}
+
+// NewGrid creates a W×H grid at ambient temperature.
+func NewGrid(w, h int, p Params) (*Grid, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("thermal: invalid grid %dx%d", w, h)
+	}
+	if p.CellCap <= 0 || p.RLateral <= 0 || p.RVertical <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive RC parameters")
+	}
+	g := &Grid{W: w, H: h, P: p, T: make([]float64, w*h)}
+	for i := range g.T {
+		g.T[i] = p.Ambient
+	}
+	return g, nil
+}
+
+// Step advances the grid by dt seconds with the given per-cell power
+// injection (watts; len must equal W*H). It subdivides dt internally to
+// keep the explicit integration stable.
+func (g *Grid) Step(power []float64, dt float64) error {
+	if len(power) != g.W*g.H {
+		return fmt.Errorf("thermal: power vector has %d cells, grid has %d", len(power), g.W*g.H)
+	}
+	if dt <= 0 {
+		return nil
+	}
+	// Stability: dt_sub < C * R_parallel; use a conservative bound.
+	rMin := g.P.RVertical
+	if g.P.RLateral/4 < rMin {
+		rMin = g.P.RLateral / 4
+	}
+	maxStep := 0.2 * g.P.CellCap * rMin
+	steps := int(dt/maxStep) + 1
+	sub := dt / float64(steps)
+
+	next := make([]float64, len(g.T))
+	for s := 0; s < steps; s++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				i := y*g.W + x
+				t := g.T[i]
+				flow := power[i] // watts in
+				flow += (g.P.Ambient - t) / g.P.RVertical
+				if x > 0 {
+					flow += (g.T[i-1] - t) / g.P.RLateral
+				}
+				if x < g.W-1 {
+					flow += (g.T[i+1] - t) / g.P.RLateral
+				}
+				if y > 0 {
+					flow += (g.T[i-g.W] - t) / g.P.RLateral
+				}
+				if y < g.H-1 {
+					flow += (g.T[i+g.W] - t) / g.P.RLateral
+				}
+				next[i] = t + sub*flow/g.P.CellCap
+			}
+		}
+		copy(g.T, next)
+	}
+	return nil
+}
+
+// Max returns the hottest cell temperature.
+func (g *Grid) Max() float64 {
+	max := g.T[0]
+	for _, t := range g.T[1:] {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Mean returns the average temperature.
+func (g *Grid) Mean() float64 {
+	var sum float64
+	for _, t := range g.T {
+		sum += t
+	}
+	return sum / float64(len(g.T))
+}
+
+// SteadyState returns the analytic steady-state temperature of an isolated
+// cell under constant power (useful for calibration tests).
+func (p Params) SteadyState(watts float64) float64 {
+	return p.Ambient + watts*p.RVertical
+}

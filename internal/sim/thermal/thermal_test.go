@@ -1,0 +1,116 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 4, DefaultParams()); err == nil {
+		t.Error("zero width must fail")
+	}
+	bad := DefaultParams()
+	bad.CellCap = 0
+	if _, err := NewGrid(2, 2, bad); err == nil {
+		t.Error("zero capacitance must fail")
+	}
+}
+
+func TestStartsAtAmbient(t *testing.T) {
+	g, err := NewGrid(3, 3, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Max() != DefaultParams().Ambient || g.Mean() != DefaultParams().Ambient {
+		t.Fatal("grid must start at ambient")
+	}
+}
+
+// TestSteadyState: a uniformly heated grid converges to the analytic
+// steady state (no lateral flow when all cells are equal).
+func TestSteadyState(t *testing.T) {
+	p := DefaultParams()
+	g, _ := NewGrid(4, 4, p)
+	power := make([]float64, 16)
+	for i := range power {
+		power[i] = 0.25
+	}
+	for i := 0; i < 10000; i++ {
+		if err := g.Step(power, 1e-5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := p.SteadyState(0.25)
+	if math.Abs(g.Max()-want) > 0.1 || math.Abs(g.Mean()-want) > 0.1 {
+		t.Fatalf("steady state %.2f/%.2f, want %.2f", g.Max(), g.Mean(), want)
+	}
+}
+
+// TestLateralSpreading: a single hot cell heats its neighbours, and the
+// hot cell stays hottest (the floorplan-visualization property).
+func TestLateralSpreading(t *testing.T) {
+	g, _ := NewGrid(3, 3, DefaultParams())
+	power := make([]float64, 9)
+	power[4] = 1.0 // center
+	for i := 0; i < 2000; i++ {
+		if err := g.Step(power, 1e-5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	center := g.T[4]
+	edge := g.T[0]
+	amb := DefaultParams().Ambient
+	if center <= edge {
+		t.Fatalf("center %.2f must exceed corner %.2f", center, edge)
+	}
+	if edge <= amb+0.01 {
+		t.Fatalf("corner %.2f should warm above ambient %.2f (lateral flow)", edge, amb)
+	}
+}
+
+func TestCoolingAfterPowerOff(t *testing.T) {
+	g, _ := NewGrid(2, 2, DefaultParams())
+	hot := []float64{1, 1, 1, 1}
+	for i := 0; i < 2000; i++ {
+		g.Step(hot, 1e-5)
+	}
+	peak := g.Max()
+	off := []float64{0, 0, 0, 0}
+	for i := 0; i < 5000; i++ {
+		g.Step(off, 1e-5)
+	}
+	if g.Max() >= peak {
+		t.Fatal("grid must cool when power is removed")
+	}
+	if g.Max() < DefaultParams().Ambient-0.01 {
+		t.Fatal("grid must not cool below ambient")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	g, _ := NewGrid(2, 2, DefaultParams())
+	if err := g.Step([]float64{1, 2}, 1e-5); err == nil {
+		t.Error("wrong power vector length must fail")
+	}
+	if err := g.Step([]float64{0, 0, 0, 0}, 0); err != nil {
+		t.Error("zero dt is a no-op, not an error")
+	}
+}
+
+// TestStabilityLargeStep: a large dt is internally subdivided; the result
+// stays bounded (no explicit-integration blow-up).
+func TestStabilityLargeStep(t *testing.T) {
+	g, _ := NewGrid(3, 3, DefaultParams())
+	power := make([]float64, 9)
+	for i := range power {
+		power[i] = 0.5
+	}
+	if err := g.Step(power, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	max := g.Max()
+	want := DefaultParams().SteadyState(0.5)
+	if math.IsNaN(max) || max < DefaultParams().Ambient || max > want+50 {
+		t.Fatalf("integration unstable: max=%f (steady state %f)", max, want)
+	}
+}

@@ -1,0 +1,111 @@
+// Package trace implements XMTSim's execution traces (paper §III-E):
+// functional-level traces show the executed instructions and their
+// contexts; the more detailed cycle-accurate level also reports simulated
+// time. Traces can be limited to specific instructions (by mnemonic) and/or
+// to specific TCUs.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"xmtgo/internal/isa"
+	"xmtgo/internal/sim/engine"
+	"xmtgo/internal/sim/funcmodel"
+)
+
+// Level selects trace detail.
+type Level uint8
+
+const (
+	// LevelFunctional prints executed instructions only.
+	LevelFunctional Level = iota
+	// LevelCycle also prints simulated time (ticks) per instruction issue.
+	LevelCycle
+)
+
+// Tracer filters and formats execution traces.
+type Tracer struct {
+	W     io.Writer
+	Level Level
+
+	// OnlyTCUs limits output to these contexts (-1 is the master); empty
+	// means all.
+	OnlyTCUs map[int]bool
+	// OnlyOps limits output to these opcodes; empty means all.
+	OnlyOps map[isa.Op]bool
+
+	// Lines counts emitted trace lines.
+	Lines uint64
+}
+
+// New creates a tracer writing to w.
+func New(w io.Writer, level Level) *Tracer {
+	return &Tracer{W: w, Level: level}
+}
+
+// LimitTCU restricts the trace to one context (-1 = master). It may be
+// called repeatedly to add contexts.
+func (t *Tracer) LimitTCU(id int) {
+	if t.OnlyTCUs == nil {
+		t.OnlyTCUs = make(map[int]bool)
+	}
+	t.OnlyTCUs[id] = true
+}
+
+// LimitOp restricts the trace to a mnemonic; it may be called repeatedly.
+func (t *Tracer) LimitOp(name string) error {
+	op, ok := isa.ByName[name]
+	if !ok {
+		return fmt.Errorf("trace: unknown mnemonic %q", name)
+	}
+	if t.OnlyOps == nil {
+		t.OnlyOps = make(map[isa.Op]bool)
+	}
+	t.OnlyOps[op] = true
+	return nil
+}
+
+func (t *Tracer) wants(tcu int, op isa.Op) bool {
+	if t.OnlyTCUs != nil && !t.OnlyTCUs[tcu] {
+		return false
+	}
+	if t.OnlyOps != nil && !t.OnlyOps[op] {
+		return false
+	}
+	return true
+}
+
+// CycleHook adapts the tracer to cycle.System.SetTrace.
+func (t *Tracer) CycleHook() func(tcu int, pc int, in isa.Instr, now engine.Time) {
+	return func(tcu int, pc int, in isa.Instr, now engine.Time) {
+		if !t.wants(tcu, in.Op) {
+			return
+		}
+		t.Lines++
+		who := "master"
+		if tcu >= 0 {
+			who = fmt.Sprintf("tcu%04d", tcu)
+		}
+		if t.Level == LevelCycle {
+			fmt.Fprintf(t.W, "%12d %s @%05d  %s\n", now, who, pc, in)
+		} else {
+			fmt.Fprintf(t.W, "%s @%05d  %s\n", who, pc, in)
+		}
+	}
+}
+
+// FuncHook adapts the tracer to funcmodel.Machine.Trace.
+func (t *Tracer) FuncHook() func(ctx *funcmodel.Context, in isa.Instr) {
+	return func(ctx *funcmodel.Context, in isa.Instr) {
+		if !t.wants(ctx.ID, in.Op) {
+			return
+		}
+		t.Lines++
+		who := "master"
+		if !ctx.IsMaster {
+			who = fmt.Sprintf("vtcu%03d", ctx.ID)
+		}
+		fmt.Fprintf(t.W, "%s @%05d  %s\n", who, ctx.PC-1, in)
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xmtgo/internal/isa"
+	"xmtgo/internal/sim/funcmodel"
+)
+
+func TestCycleTraceFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, LevelCycle)
+	hook := tr.CycleHook()
+	hook(-1, 3, isa.Instr{Op: isa.OpAddiu, Rd: 8, Rs: 0, Imm: 5}, 160)
+	hook(12, 7, isa.Instr{Op: isa.OpLw, Rd: 9, Rs: 8, Imm: 4}, 200)
+	out := buf.String()
+	if !strings.Contains(out, "master") || !strings.Contains(out, "tcu0012") {
+		t.Fatalf("missing contexts:\n%s", out)
+	}
+	if !strings.Contains(out, "addiu $t0, $zero, 5") || !strings.Contains(out, "160") {
+		t.Fatalf("missing instruction or time:\n%s", out)
+	}
+	if tr.Lines != 2 {
+		t.Fatalf("lines = %d", tr.Lines)
+	}
+}
+
+func TestTCUFilter(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, LevelFunctional)
+	tr.LimitTCU(5)
+	hook := tr.CycleHook()
+	hook(5, 0, isa.Instr{Op: isa.OpNop}, 0)
+	hook(6, 0, isa.Instr{Op: isa.OpNop}, 0)
+	hook(-1, 0, isa.Instr{Op: isa.OpNop}, 0)
+	if tr.Lines != 1 {
+		t.Fatalf("filter passed %d lines, want 1", tr.Lines)
+	}
+}
+
+func TestOpFilter(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, LevelFunctional)
+	if err := tr.LimitOp("ps"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.LimitOp("zzz"); err == nil {
+		t.Fatal("unknown mnemonic must fail")
+	}
+	hook := tr.CycleHook()
+	hook(0, 0, isa.Instr{Op: isa.OpPs, Rd: 8, G: 63}, 0)
+	hook(0, 1, isa.Instr{Op: isa.OpAdd}, 0)
+	if tr.Lines != 1 {
+		t.Fatalf("op filter passed %d lines", tr.Lines)
+	}
+	if !strings.Contains(buf.String(), "ps $t0, g63") {
+		t.Fatalf("trace: %s", buf.String())
+	}
+}
+
+func TestFuncHook(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, LevelFunctional)
+	hook := tr.FuncHook()
+	ctx := &funcmodel.Context{ID: -1, IsMaster: true, PC: 4}
+	hook(ctx, isa.Instr{Op: isa.OpSys, Imm: 0})
+	ctx2 := &funcmodel.Context{ID: 0, PC: 9}
+	hook(ctx2, isa.Instr{Op: isa.OpChkid, Rd: 26})
+	out := buf.String()
+	if !strings.Contains(out, "master @00003") || !strings.Contains(out, "vtcu000 @00008") {
+		t.Fatalf("func trace:\n%s", out)
+	}
+}

@@ -1,0 +1,217 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/config"
+	"xmtgo/internal/sim/cycle"
+)
+
+// The memory-model litmus tests of the paper's Figs. 6 and 7. Two virtual
+// threads run on different TCUs: thread A writes x then y; thread B reads
+// y then x. The relaxed XMT memory model admits every (x, y) outcome —
+// including (0, 1), which B can observe when its prefetch buffer holds a
+// stale copy of x's line (exactly the hazard the paper points out:
+// "prefetching could cause variable x to be read before y"). Synchronizing
+// over y with prefix-sums (Fig. 7) restores the partial order: the
+// compiler's fence-before-prefix-sum rule plus the buffer flush at
+// prefix-sum completion make "y==1 implies x==1" hold.
+//
+// Timing is controlled by per-thread delay loops fed through a memory map,
+// so sweeping the delays explores the interleaving space deterministically.
+
+// LitmusRelaxed is the Fig. 6 program: no order-enforcing operations.
+// Thread B prefetches x's line at thread start (as the compiler prefetch
+// pass would), so its two reads can effectively reorder.
+func LitmusRelaxed() string {
+	return litmusCommon(`
+        # Thread A: delay, then x = 1; y = 1 (non-blocking stores).
+        lw    $t4, 0($t3)        # delayA
+LAd:    blez  $t4, LAgo
+        addiu $t4, $t4, -1
+        j     LAd
+LAgo:   addiu $t5, $zero, 1
+        sw.nb $t5, 0($t0)        # x = 1
+        sw.nb $t5, 0($t1)        # y = 1
+        j     Lgrab
+`, `
+        # Thread B: prefetch x, delay, read y then x.
+        pref  $zero, 0($t0)
+        lw    $t4, 4($t3)        # delayB
+LBd:    blez  $t4, LBgo
+        addiu $t4, $t4, -1
+        j     LBd
+LBgo:   lw    $t6, 0($t1)        # read y
+        lw    $t7, 0($t0)        # read x (may hit the stale prefetch)
+        sw    $t6, 0($t2)        # obsY
+        sw    $t7, 4($t2)        # obsX
+        j     Lgrab
+`)
+}
+
+// LitmusRelaxedNoPref is Fig. 6 without the prefetch: thread B's blocking
+// loads then observe memory in module-queue order, which admits (0,0),
+// (1,0) and (1,1). Together with LitmusRelaxed the full outcome set of
+// Fig. 6 is reachable.
+func LitmusRelaxedNoPref() string {
+	return litmusCommon(`
+        lw    $t4, 0($t3)
+LAd:    blez  $t4, LAgo
+        addiu $t4, $t4, -1
+        j     LAd
+LAgo:   addiu $t5, $zero, 1
+        sw.nb $t5, 0($t0)        # x = 1
+        sw.nb $t5, 0($t1)        # y = 1
+        j     Lgrab
+`, `
+        lw    $t4, 4($t3)
+LBd:    blez  $t4, LBgo
+        addiu $t4, $t4, -1
+        j     LBd
+LBgo:   lw    $t6, 0($t1)        # read y
+        lw    $t7, 0($t0)        # read x
+        sw    $t6, 0($t2)
+        sw    $t7, 4($t2)
+        j     Lgrab
+`)
+}
+
+// LitmusPSM is the Fig. 7 program: both threads synchronize over y with
+// prefix-sum operations; thread A fences before its psm (the rule the
+// compiler enforces), thread B's psm completion flushes its prefetch
+// buffer. The (x, y) = (0, 1) outcome is impossible.
+func LitmusPSM() string {
+	return litmusCommon(`
+        # Thread A: delay; x = 1; fence; psm(1, y).
+        lw    $t4, 0($t3)
+LAd:    blez  $t4, LAgo
+        addiu $t4, $t4, -1
+        j     LAd
+LAgo:   addiu $t5, $zero, 1
+        sw.nb $t5, 0($t0)        # x = 1
+        fence                    # compiler rule: fence before prefix-sum
+        addiu $t5, $zero, 1
+        psm   $t5, 0($t1)        # y++
+        j     Lgrab
+`, `
+        # Thread B: prefetch x, delay; tmp = psm(0, y); read x.
+        pref  $zero, 0($t0)
+        lw    $t4, 4($t3)
+LBd:    blez  $t4, LBgo
+        addiu $t4, $t4, -1
+        j     LBd
+LBgo:   addiu $t6, $zero, 0
+        fence
+        psm   $t6, 0($t1)        # tmpB = y (prefix-sum read)
+        lw    $t7, 0($t0)        # read x (prefetch buffer was flushed)
+        sw    $t6, 0($t2)        # obsY
+        sw    $t7, 4($t2)        # obsX
+        j     Lgrab
+`)
+}
+
+func litmusCommon(threadA, threadB string) string {
+	return fmt.Sprintf(`
+        .data
+x:      .word 0
+        .space 124
+y:      .word 0
+        .space 124
+obsY:   .word -1
+obsX:   .word -1
+        .space 120
+delayA: .word 0
+delayB: .word 0
+        .text
+        .global main
+main:
+        la    $t0, x
+        la    $t1, y
+        la    $t2, obsY
+        la    $t3, delayA
+        bcast $t0
+        bcast $t1
+        bcast $t2
+        bcast $t3
+        li    $a0, 0
+        li    $a1, 1
+        fence
+        spawn $a0, $a1
+Lgrab:  addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        bne   $tid, $zero, LB
+%s
+LB:
+%s
+        join
+        lw    $v0, obsY
+        sys   1
+        lw    $v0, obsX
+        sys   1
+        sys   0
+`, threadA, threadB)
+}
+
+// LitmusOutcome is one observed (x, y) pair.
+type LitmusOutcome struct{ X, Y int32 }
+
+// RunLitmus executes one litmus trial with the given delays and returns
+// thread B's observation.
+func RunLitmus(src string, cfg config.Config, delayA, delayB int) (LitmusOutcome, error) {
+	u, err := asm.Parse("litmus.s", src)
+	if err != nil {
+		return LitmusOutcome{}, err
+	}
+	prog, err := asm.Assemble(u)
+	if err != nil {
+		return LitmusOutcome{}, err
+	}
+	mm := fmt.Sprintf("delayA = %d\ndelayB = %d\n", delayA, delayB)
+	if err := asm.ApplyMemMap(prog, "litmus.map", mm); err != nil {
+		return LitmusOutcome{}, err
+	}
+	var out bytes.Buffer
+	sys, err := cycle.New(prog, cfg, &out)
+	if err != nil {
+		return LitmusOutcome{}, err
+	}
+	res, err := sys.Run(2_000_000)
+	if err != nil {
+		return LitmusOutcome{}, err
+	}
+	if !res.Halted {
+		return LitmusOutcome{}, fmt.Errorf("litmus trial did not halt")
+	}
+	yAddr, _ := prog.SymAddr("obsY")
+	yv, err := sys.Machine.ReadWord(yAddr)
+	if err != nil {
+		return LitmusOutcome{}, err
+	}
+	xv, err := sys.Machine.ReadWord(yAddr + 4)
+	if err != nil {
+		return LitmusOutcome{}, err
+	}
+	return LitmusOutcome{X: xv, Y: yv}, nil
+}
+
+// SweepLitmus runs trials over a grid of delays and returns the set of
+// observed outcomes with their counts.
+func SweepLitmus(src string, cfg config.Config, maxDelayA, maxDelayB, step int) (map[LitmusOutcome]int, error) {
+	if step <= 0 {
+		step = 1
+	}
+	out := make(map[LitmusOutcome]int)
+	for da := 0; da <= maxDelayA; da += step {
+		for db := 0; db <= maxDelayB; db += step {
+			o, err := RunLitmus(src, cfg, da, db)
+			if err != nil {
+				return nil, err
+			}
+			out[o]++
+		}
+	}
+	return out, nil
+}

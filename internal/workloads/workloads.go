@@ -1,0 +1,839 @@
+// Package workloads generates the XMTC benchmark programs the evaluation
+// uses: the four handwritten microbenchmark groups of the paper's Table I
+// ({serial, parallel} × {memory, computation} intensive), and the PRAM-style
+// application kernels (array compaction, reduction, prefix-sum, BFS, matrix
+// multiply, vector add) whose parallel-vs-serial cycle counts reproduce the
+// shape of the speedup results the toolchain enabled (paper §II-B).
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"xmtgo/internal/prng"
+)
+
+// TableIGroup identifies one row of the paper's Table I.
+type TableIGroup int
+
+const (
+	ParallelMemory TableIGroup = iota
+	ParallelCompute
+	SerialMemory
+	SerialCompute
+)
+
+// Name returns the paper's row label.
+func (g TableIGroup) Name() string {
+	switch g {
+	case ParallelMemory:
+		return "Parallel, memory intensive"
+	case ParallelCompute:
+		return "Parallel, computation intensive"
+	case SerialMemory:
+		return "Serial, memory intensive"
+	case SerialCompute:
+		return "Serial, computation intensive"
+	}
+	return "?"
+}
+
+// TableI returns the XMTC source of one Table I microbenchmark. threads is
+// the number of virtual threads for the parallel groups; work scales per
+// thread (or total serial) effort.
+func TableI(g TableIGroup, threads, work int) string {
+	switch g {
+	case ParallelMemory:
+		// Strided sweeps over a large array: every iteration is a shared
+		// memory round trip.
+		return fmt.Sprintf(`
+int A[%d];
+int sink = 0;
+int main() {
+    spawn(0, %d) {
+        int i;
+        int s = 0;
+        for (i = 0; i < %d; i++) {
+            s += A[($ * 37 + i * 61) %% %d];
+        }
+        psm(s, sink);
+    }
+    print_int(sink);
+    return 0;
+}`, threads*8, threads-1, work, threads*8)
+	case ParallelCompute:
+		return fmt.Sprintf(`
+int out[%d];
+int main() {
+    spawn(0, %d) {
+        int i;
+        int x = $ + 1;
+        for (i = 0; i < %d; i++) {
+            x = x * 1103515245 + 12345;
+            x = x ^ (x >> 7);
+        }
+        out[$ %% %d] = x;
+    }
+    print_int(1);
+    return 0;
+}`, threads, threads-1, work, threads)
+	case SerialMemory:
+		return fmt.Sprintf(`
+int A[%d];
+int main() {
+    int i, s = 0;
+    for (i = 0; i < %d; i++) {
+        s += A[(i * 97) %% %d];
+        A[(i * 89 + 13) %% %d] = s;
+    }
+    print_int(s);
+    return 0;
+}`, work, work, work, work)
+	case SerialCompute:
+		return fmt.Sprintf(`
+int main() {
+    int i, x = 1;
+    for (i = 0; i < %d; i++) {
+        x = x * 1103515245 + 12345;
+        x = x ^ (x >> 7);
+    }
+    print_int(x == 0 ? 0 : 1);
+    return 0;
+}`, work)
+	}
+	return ""
+}
+
+// Compaction returns the paper's Fig. 2a array-compaction program over a
+// random array with the given density of non-zeros, plus the expected
+// non-zero count.
+func Compaction(n int, density float64, seed uint64) (src string, nonZeros int) {
+	rng := prng.New(seed)
+	vals := make([]string, n)
+	for i := range vals {
+		if rng.Float64() < density {
+			vals[i] = fmt.Sprintf("%d", rng.Intn(1000)+1)
+			nonZeros++
+		} else {
+			vals[i] = "0"
+		}
+	}
+	src = fmt.Sprintf(`
+int A[%d] = {%s};
+int B[%d];
+int base = 0;
+int main() {
+    spawn(0, %d) {
+        int inc = 1;
+        if (A[$] != 0) {
+            ps(inc, base);
+            B[inc] = A[$];
+        }
+    }
+    print_int(base);
+    return 0;
+}`, n, strings.Join(vals, ","), n, n-1)
+	return src, nonZeros
+}
+
+// Reduction returns parallel and serial sum-reduction programs over n
+// elements (A[i] = i+1), both printing the total.
+func Reduction(n int) (parallel, serial string, want int64) {
+	want = int64(n) * int64(n+1) / 2
+	parallel = fmt.Sprintf(`
+int A[%d];
+int total = 0;
+int main() {
+    int i;
+    for (i = 0; i < %d; i++) A[i] = i + 1;
+    spawn(0, %d) {
+        int v = A[$];
+        psm(v, total);
+    }
+    print_int(total);
+    return 0;
+}`, n, n, n-1)
+	serial = fmt.Sprintf(`
+int A[%d];
+int main() {
+    int i, total = 0;
+    for (i = 0; i < %d; i++) A[i] = i + 1;
+    for (i = 0; i < %d; i++) total += A[i];
+    print_int(total);
+    return 0;
+}`, n, n, n)
+	return parallel, serial, want
+}
+
+// VecAdd returns parallel and serial C = A + B over n elements, printing a
+// checksum.
+func VecAdd(n int) (parallel, serial string, want int64) {
+	// A[i] = i, B[i] = 2i => C[i] = 3i; checksum = 3*n*(n-1)/2.
+	want = 3 * int64(n) * int64(n-1) / 2
+	head := fmt.Sprintf(`
+int A[%d];
+int B[%d];
+int C[%d];
+int check = 0;
+`, n, n, n)
+	parallel = head + fmt.Sprintf(`
+int main() {
+    int i;
+    for (i = 0; i < %d; i++) { A[i] = i; B[i] = 2 * i; }
+    spawn(0, %d) {
+        C[$] = A[$] + B[$];
+    }
+    spawn(0, %d) {
+        int v = C[$];
+        psm(v, check);
+    }
+    print_int(check);
+    return 0;
+}`, n, n-1, n-1)
+	serial = head + fmt.Sprintf(`
+int main() {
+    int i, sum = 0;
+    for (i = 0; i < %d; i++) { A[i] = i; B[i] = 2 * i; }
+    for (i = 0; i < %d; i++) C[i] = A[i] + B[i];
+    for (i = 0; i < %d; i++) sum += C[i];
+    print_int(sum);
+    return 0;
+}`, n, n, n)
+	return parallel, serial, want
+}
+
+// MatMul returns parallel and serial n×n integer matrix multiply programs
+// printing the trace of the product (A[i][j] = i+j, B[i][j] = i-j+n).
+func MatMul(n int) (parallel, serial string) {
+	head := fmt.Sprintf(`
+int A[%d];
+int B[%d];
+int C[%d];
+int N = %d;
+`, n*n, n*n, n*n, n)
+	initCode := fmt.Sprintf(`
+    int i, j;
+    for (i = 0; i < %d; i++)
+        for (j = 0; j < %d; j++) {
+            A[i * %d + j] = i + j;
+            B[i * %d + j] = i - j + %d;
+        }
+`, n, n, n, n, n)
+	traceCode := fmt.Sprintf(`
+    int t = 0;
+    for (i = 0; i < %d; i++) t += C[i * %d + i];
+    print_int(t);
+    return 0;
+`, n, n)
+	parallel = head + fmt.Sprintf(`
+int main() {
+%s
+    spawn(0, %d) {
+        int r = $ / %d;
+        int c = $ %% %d;
+        int k;
+        int acc = 0;
+        for (k = 0; k < %d; k++)
+            acc += A[r * %d + k] * B[k * %d + c];
+        C[r * %d + c] = acc;
+    }
+%s
+}`, initCode, n*n-1, n, n, n, n, n, n, traceCode)
+	serial = head + fmt.Sprintf(`
+int main() {
+%s
+    int r, c, k;
+    for (r = 0; r < %d; r++)
+        for (c = 0; c < %d; c++) {
+            int acc = 0;
+            for (k = 0; k < %d; k++)
+                acc += A[r * %d + k] * B[k * %d + c];
+            C[r * %d + c] = acc;
+        }
+%s
+}`, initCode, n, n, n, n, n, n, traceCode)
+	return parallel, serial
+}
+
+// MatMulTrace computes the expected trace for MatMul's matrices on the
+// host, as the correctness oracle.
+func MatMulTrace(n int) int64 {
+	var t int64
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			t += int64((i + k) * (k - i + n))
+		}
+	}
+	return t
+}
+
+// Graph is a random graph in CSR form for the BFS workload.
+type Graph struct {
+	N, M    int
+	RowPtr  []int32 // n+1
+	Col     []int32 // m
+	Dist    []int32 // BFS distances from vertex 0 (host oracle)
+	Reached int     // vertices reachable from 0
+	DistSum int64   // sum of distances of reached vertices
+}
+
+// RandomGraph builds a connected-ish random undirected graph with n
+// vertices and approximately deg*n directed edges (each undirected edge
+// stored twice), then computes BFS distances from vertex 0 on the host.
+func RandomGraph(n, deg int, seed uint64) *Graph {
+	rng := prng.New(seed)
+	adj := make([][]int32, n)
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], int32(b))
+		adj[b] = append(adj[b], int32(a))
+	}
+	// Random spanning tree for connectivity, then random extra edges.
+	for v := 1; v < n; v++ {
+		addEdge(v, rng.Intn(v))
+	}
+	extra := (deg - 2) * n / 2
+	for i := 0; i < extra; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			addEdge(a, b)
+		}
+	}
+	g := &Graph{N: n}
+	g.RowPtr = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		g.RowPtr[v+1] = g.RowPtr[v] + int32(len(adj[v]))
+	}
+	g.M = int(g.RowPtr[n])
+	g.Col = make([]int32, 0, g.M)
+	for v := 0; v < n; v++ {
+		g.Col = append(g.Col, adj[v]...)
+	}
+	// Host BFS oracle.
+	g.Dist = make([]int32, n)
+	for i := range g.Dist {
+		g.Dist[i] = -1
+	}
+	g.Dist[0] = 0
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.Reached++
+		g.DistSum += int64(g.Dist[v])
+		for _, w := range adj[v] {
+			if g.Dist[w] < 0 {
+				g.Dist[w] = g.Dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return g
+}
+
+// MemMap renders the graph as a memory-map file for the BFS programs.
+func (g *Graph) MemMap() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n = %d\nm = %d\n", g.N, g.M)
+	writeArr := func(name string, vals []int32) {
+		fmt.Fprintf(&b, "%s =", name)
+		for _, v := range vals {
+			fmt.Fprintf(&b, " %d", v)
+		}
+		b.WriteByte('\n')
+	}
+	writeArr("rowptr", g.RowPtr)
+	writeArr("col", g.Col)
+	return b.String()
+}
+
+// BFS returns parallel (PRAM level-synchronous, ps-compacted frontier) and
+// serial (queue) BFS programs for graphs up to maxN vertices / maxM edges.
+// Both print "<reached> <distsum>". Inputs arrive via the memory map.
+func BFS(maxN, maxM int) (parallel, serial string) {
+	head := fmt.Sprintf(`
+int n = 0;
+int m = 0;
+int rowptr[%d];
+int col[%d];
+int dist[%d];
+int frontier[%d];
+int next[%d];
+int fsize = 0;
+`, maxN+1, maxM, maxN, maxN, maxN)
+	parallel = head + `
+int nextCount = 0;
+int level = 0;
+int main() {
+    int i;
+    spawn(0, n - 1) {
+        int minus1 = 0 - 1;
+        dist[$] = minus1;
+    }
+    dist[0] = 0;
+    frontier[0] = 0;
+    fsize = 1;
+    while (fsize > 0) {
+        level = level + 1;
+        spawn(0, fsize - 1) {
+            int v = frontier[$];
+            int e;
+            int lo = rowptr[v];
+            int hi = rowptr[v + 1];
+            for (e = lo; e < hi; e++) {
+                int w = col[e];
+                if (dist[w] == -1) {
+                    // Claim unvisited vertices with a fetch-add: psm
+                    // returns the old value, so exactly one virtual thread
+                    // wins each vertex; losers roll their add back.
+                    int claim = level + 1;
+                    psm(claim, dist[w]);
+                    if (claim == -1) {
+                        int slot = 1;
+                        ps(slot, nextCount);
+                        next[slot] = w;
+                    } else {
+                        int undo = 0 - (level + 1);
+                        psm(undo, dist[w]);
+                    }
+                }
+            }
+        }
+        fsize = nextCount;
+        nextCount = 0;
+        spawn(0, fsize - 1) { frontier[$] = next[$]; }
+    }
+    int reached = 0;
+    int sum = 0;
+    for (i = 0; i < n; i++) {
+        if (dist[i] >= 0) { reached++; sum += dist[i]; }
+    }
+    print_int(reached);
+    print_char(' ');
+    print_int(sum);
+    return 0;
+}
+`
+	serial = head + `
+int queue[` + fmt.Sprint(maxN) + `];
+int main() {
+    int i;
+    for (i = 0; i < n; i++) dist[i] = -1;
+    dist[0] = 0;
+    queue[0] = 0;
+    int qh = 0, qt = 1;
+    while (qh < qt) {
+        int v = queue[qh];
+        qh++;
+        int e;
+        for (e = rowptr[v]; e < rowptr[v + 1]; e++) {
+            int w = col[e];
+            if (dist[w] == -1) {
+                dist[w] = dist[v] + 1;
+                queue[qt] = w;
+                qt++;
+            }
+        }
+    }
+    int reached = 0;
+    int sum = 0;
+    for (i = 0; i < n; i++) {
+        if (dist[i] >= 0) { reached++; sum += dist[i]; }
+    }
+    print_int(reached);
+    print_char(' ');
+    print_int(sum);
+    return 0;
+}
+`
+	return parallel, serial
+}
+
+// FFT returns parallel and serial radix-2 decimation-in-time FFT programs
+// over n complex points (n a power of two) — the multi-dimensional FFT of
+// [24] is the paper's showcase that XMT extracts speedups "with less
+// application parallelism" than coarse-grained machines, because each
+// butterfly stage is a fine-grained spawn of n/2 virtual threads. Both
+// programs print (int)(re[k]*1000) and (int)(im[k]*1000) for k in
+// {0, 1, n/2}; FFTOracle computes the identical float32 arithmetic on the
+// host.
+func FFT(n int) (parallel, serial string) {
+	head := fmt.Sprintf(`
+float re[%d];
+float im[%d];
+float wre[%d];
+float wim[%d];
+int rev[%d];
+int N = %d;
+`, n, n, n/2, n/2, n, n)
+	// Shared serial setup: input, bit-reversal permutation, twiddles.
+	setup := fmt.Sprintf(`
+    int i;
+    for (i = 0; i < N; i++) {
+        re[i] = (float)(i %% 7 - 3);
+        im[i] = 0.0;
+    }
+    // Bit-reversal permutation table and reorder.
+    int bits = 0;
+    for (i = 1; i < N; i = i * 2) bits++;
+    for (i = 0; i < N; i++) {
+        int x = i;
+        int r = 0;
+        int b;
+        for (b = 0; b < bits; b++) {
+            r = (r << 1) | (x & 1);
+            x = x >> 1;
+        }
+        rev[i] = r;
+    }
+    for (i = 0; i < N; i++) {
+        if (rev[i] > i) {
+            float tr = re[i]; re[i] = re[rev[i]]; re[rev[i]] = tr;
+            float ti = im[i]; im[i] = im[rev[i]]; im[rev[i]] = ti;
+        }
+    }
+    // Twiddle factors w_k = exp(-2*pi*i*k/N) via the recurrence-free
+    // polynomial approximation used on both host and device: a 15-term
+    // Taylor series is exact enough in float32 for these sizes.
+    for (i = 0; i < N / 2; i++) {
+        float ang = -6.2831853 * (float)i / (float)N;
+        float t = ang;
+        float s = ang;
+        float c = 1.0;
+        float t2 = ang * ang;
+        int k;
+        float fact = 1.0;
+        // cos
+        t = 1.0;
+        c = 1.0;
+        for (k = 1; k <= 8; k++) {
+            t = -t * t2 / ((float)(2 * k - 1) * (float)(2 * k));
+            c = c + t;
+        }
+        // sin
+        t = ang;
+        s = ang;
+        for (k = 1; k <= 8; k++) {
+            t = -t * t2 / ((float)(2 * k) * (float)(2 * k + 1));
+            s = s + t;
+        }
+        wre[i] = c;
+        wim[i] = s;
+        fact = fact;
+    }
+`)
+	report := `
+    print_int((int)(re[0] * 1000.0));
+    print_char(' ');
+    print_int((int)(im[1] * 1000.0));
+    print_char(' ');
+    print_int((int)(re[N / 2] * 1000.0));
+    return 0;
+`
+	parallel = head + `
+int len = 0;
+int half = 0;
+int main() {
+` + setup + `
+    for (len = 2; len <= N; len = len * 2) {
+        half = len / 2;
+        spawn(0, N / 2 - 1) {
+            int j = $ % half;
+            int blk = $ / half;
+            int base = blk * len;
+            int tw = j * (N / len);
+            float wr = wre[tw];
+            float wi = wim[tw];
+            int a = base + j;
+            int b = a + half;
+            float xr = re[b] * wr - im[b] * wi;
+            float xi = re[b] * wi + im[b] * wr;
+            float ar = re[a];
+            float ai = im[a];
+            re[b] = ar - xr;
+            im[b] = ai - xi;
+            re[a] = ar + xr;
+            im[a] = ai + xi;
+        }
+    }
+` + report + `}
+`
+	serial = head + `
+int main() {
+` + setup + `
+    int len;
+    for (len = 2; len <= N; len = len * 2) {
+        int half = len / 2;
+        int t;
+        for (t = 0; t < N / 2; t++) {
+            int j = t % half;
+            int blk = t / half;
+            int base = blk * len;
+            int tw = j * (N / len);
+            float wr = wre[tw];
+            float wi = wim[tw];
+            int a = base + j;
+            int b = a + half;
+            float xr = re[b] * wr - im[b] * wi;
+            float xi = re[b] * wi + im[b] * wr;
+            float ar = re[a];
+            float ai = im[a];
+            re[b] = ar - xr;
+            im[b] = ai - xi;
+            re[a] = ar + xr;
+            im[a] = ai + xi;
+        }
+    }
+` + report + `}
+`
+	return parallel, serial
+}
+
+// FFTOracle runs the identical float32 algorithm on the host and returns
+// the program's expected output string.
+func FFTOracle(n int) string {
+	re := make([]float32, n)
+	im := make([]float32, n)
+	for i := 0; i < n; i++ {
+		re[i] = float32(i%7 - 3)
+	}
+	bits := 0
+	for i := 1; i < n; i *= 2 {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		x, r := i, 0
+		for b := 0; b < bits; b++ {
+			r = (r << 1) | (x & 1)
+			x >>= 1
+		}
+		if r > i {
+			re[i], re[r] = re[r], re[i]
+			im[i], im[r] = im[r], im[i]
+		}
+	}
+	wre := make([]float32, n/2)
+	wim := make([]float32, n/2)
+	for i := 0; i < n/2; i++ {
+		ang := float32(-6.2831853) * float32(i) / float32(n)
+		t2 := ang * ang
+		t := float32(1.0)
+		c := float32(1.0)
+		for k := 1; k <= 8; k++ {
+			t = -t * t2 / (float32(2*k-1) * float32(2*k))
+			c = c + t
+		}
+		t = ang
+		s := ang
+		for k := 1; k <= 8; k++ {
+			t = -t * t2 / (float32(2*k) * float32(2*k+1))
+			s = s + t
+		}
+		wre[i] = c
+		wim[i] = s
+	}
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		for t := 0; t < n/2; t++ {
+			j := t % half
+			blk := t / half
+			base := blk * length
+			tw := j * (n / length)
+			wr, wi := wre[tw], wim[tw]
+			a := base + j
+			b := a + half
+			xr := re[b]*wr - im[b]*wi
+			xi := re[b]*wi + im[b]*wr
+			ar, ai := re[a], im[a]
+			re[b] = ar - xr
+			im[b] = ai - xi
+			re[a] = ar + xr
+			im[a] = ai + xi
+		}
+	}
+	return fmt.Sprintf("%d %d %d",
+		int32(re[0]*1000), int32(im[1]*1000), int32(re[n/2]*1000))
+}
+
+// PrefixSum returns parallel and serial inclusive-scan programs over n
+// elements (A[i] = (i*13)%7) — the textbook PRAM algorithm the XMT
+// workflow teaches (Hillis-Steele doubling: log2(n) spawns of n threads).
+// Both print the last prefix and a probe in the middle.
+func PrefixSum(n int) (parallel, serial string, wantLast, wantMid int64) {
+	a := func(i int) int64 { return int64((i * 13) % 7) }
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += a(i)
+		if i == n/2 {
+			wantMid = sum
+		}
+	}
+	wantLast = sum
+	head := fmt.Sprintf(`
+int A[%d];
+int B[%d];
+int N = %d;
+int main() {
+    int i;
+    for (i = 0; i < N; i++) A[i] = (i * 13) %% 7;
+`, n, n, n)
+	report := `
+    print_int(A[N - 1]);
+    print_char(' ');
+    print_int(A[N / 2]);
+    return 0;
+}`
+	parallel = head + `
+    int d;
+    for (d = 1; d < N; d = d * 2) {
+        spawn(0, N - 1) {
+            int v = A[$];
+            if ($ >= d) v = v + A[$ - d];
+            B[$] = v;
+        }
+        spawn(0, N - 1) {
+            A[$] = B[$];
+        }
+    }
+` + report
+	serial = head + `
+    for (i = 1; i < N; i++) A[i] = A[i] + A[i - 1];
+` + report
+	return parallel, serial, wantLast, wantMid
+}
+
+// Connectivity returns parallel and serial connected-components programs
+// (paper §II-B reports 2.2x-4x over optimized GPU implementations for
+// PRAM-derived connectivity). The parallel version is label propagation:
+// every vertex starts with its own id; each round, a spawn over the edge
+// list pulls the smaller endpoint label across each edge, with a ps-based
+// "changed" counter deciding convergence (races inside a round only delay
+// convergence — the spawn barrier between rounds keeps it correct). The
+// serial version is a BFS labeling sweep. Both print the component count.
+// Graph input arrives via the memory map (src/dst edge lists).
+func Connectivity(maxN, maxM int) (parallel, serial string) {
+	head := fmt.Sprintf(`
+int n = 0;
+int m = 0;
+int esrc[%d];
+int edst[%d];
+int label[%d];
+`, maxM, maxM, maxN)
+	parallel = head + `
+int changed = 0;
+int main() {
+    spawn(0, n - 1) { label[$] = $; }
+    int rounds = 0;
+    while (1) {
+        changed = 0;
+        spawn(0, m - 1) {
+            int u = esrc[$];
+            int v = edst[$];
+            int lu = label[u];
+            int lv = label[v];
+            int one = 1;
+            if (lu < lv) {
+                label[v] = lu;
+                ps(one, changed);
+            } else if (lv < lu) {
+                label[u] = lv;
+                ps(one, changed);
+            }
+        }
+        rounds++;
+        if (changed == 0) break;
+    }
+    int i, comps = 0;
+    for (i = 0; i < n; i++) {
+        if (label[i] == i) comps++;
+    }
+    print_int(comps);
+    return 0;
+}
+`
+	serial = head + fmt.Sprintf(`
+int queue[%d];
+int deg[%d];
+int rowp[%d];
+int adj[%d];
+int fill[%d];
+int main() {
+    int i;
+    // Build CSR adjacency from the edge list (undirected), O(n + m).
+    for (i = 0; i < n; i++) deg[i] = 0;
+    for (i = 0; i < m; i++) { deg[esrc[i]]++; deg[edst[i]]++; }
+    rowp[0] = 0;
+    for (i = 0; i < n; i++) { rowp[i + 1] = rowp[i] + deg[i]; fill[i] = rowp[i]; }
+    for (i = 0; i < m; i++) {
+        int u = esrc[i];
+        int v = edst[i];
+        adj[fill[u]] = v; fill[u]++;
+        adj[fill[v]] = u; fill[v]++;
+    }
+    for (i = 0; i < n; i++) label[i] = -1;
+    int comps = 0;
+    int v;
+    for (v = 0; v < n; v++) {
+        if (label[v] != -1) continue;
+        comps++;
+        label[v] = v;
+        int qh = 0, qt = 1;
+        queue[0] = v;
+        while (qh < qt) {
+            int u = queue[qh];
+            qh++;
+            int e;
+            for (e = rowp[u]; e < rowp[u + 1]; e++) {
+                int w = adj[e];
+                if (label[w] == -1) {
+                    label[w] = v;
+                    queue[qt] = w;
+                    qt++;
+                }
+            }
+        }
+    }
+    print_int(comps);
+    return 0;
+}
+`, maxN, maxN, maxN+1, 2*maxM, maxN)
+	return parallel, serial
+}
+
+// ComponentsGraph builds a random graph with the given number of disjoint
+// communities and returns its edge-list memory map plus the component
+// count.
+func ComponentsGraph(n, comps, deg int, seed uint64) (memMap string, componentCount int) {
+	rng := prng.New(seed)
+	per := n / comps
+	type edge struct{ u, v int32 }
+	var edges []edge
+	for c := 0; c < comps; c++ {
+		base := c * per
+		size := per
+		if c == comps-1 {
+			size = n - base
+		}
+		// Spanning chain plus random intra-community edges.
+		for i := 1; i < size; i++ {
+			edges = append(edges, edge{int32(base + i - 1), int32(base + i)})
+		}
+		for i := 0; i < size*(deg-2)/2; i++ {
+			a := base + rng.Intn(size)
+			b := base + rng.Intn(size)
+			if a != b {
+				edges = append(edges, edge{int32(a), int32(b)})
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n = %d\nm = %d\nesrc =", n, len(edges))
+	for _, e := range edges {
+		fmt.Fprintf(&b, " %d", e.u)
+	}
+	b.WriteString("\nedst =")
+	for _, e := range edges {
+		fmt.Fprintf(&b, " %d", e.v)
+	}
+	b.WriteByte('\n')
+	return b.String(), comps
+}

@@ -1,0 +1,227 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/codegen"
+	"xmtgo/internal/config"
+	"xmtgo/internal/sim/cycle"
+	"xmtgo/internal/sim/funcmodel"
+)
+
+func build(t testing.TB, src string, memmaps ...string) *asm.Program {
+	t.Helper()
+	res, err := codegen.Compile("wl.c", src, codegen.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	p, err := asm.Assemble(res.Unit)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	for _, mm := range memmaps {
+		if err := asm.ApplyMemMap(p, "map", mm); err != nil {
+			t.Fatalf("memmap: %v", err)
+		}
+	}
+	return p
+}
+
+func runF(t testing.TB, p *asm.Program) string {
+	t.Helper()
+	var out bytes.Buffer
+	m, err := funcmodel.New(p, config.FPGA64().MemBytes, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(500_000_000); err != nil {
+		t.Fatalf("functional: %v (out=%q)", err, out.String())
+	}
+	return out.String()
+}
+
+func runC(t testing.TB, p *asm.Program, cfg config.Config) (string, int64) {
+	t.Helper()
+	var out bytes.Buffer
+	sys, err := cycle.New(p, cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(500_000_000)
+	if err != nil {
+		t.Fatalf("cycle: %v (out=%q)", err, out.String())
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	return out.String(), res.Cycles
+}
+
+func TestCompactionWorkload(t *testing.T) {
+	src, nz := Compaction(128, 0.4, 7)
+	p := build(t, src)
+	want := fmt.Sprint(nz)
+	if got := runF(t, p); got != want {
+		t.Fatalf("functional: got %q want %q", got, want)
+	}
+	if got, _ := runC(t, p, config.FPGA64()); got != want {
+		t.Fatalf("cycle: got %q want %q", got, want)
+	}
+}
+
+func TestReductionWorkload(t *testing.T) {
+	par, ser, want := Reduction(256)
+	w := fmt.Sprint(want)
+	if got := runF(t, build(t, par)); got != w {
+		t.Fatalf("parallel functional: got %q want %q", got, w)
+	}
+	if got := runF(t, build(t, ser)); got != w {
+		t.Fatalf("serial functional: got %q want %q", got, w)
+	}
+	pOut, pCycles := runC(t, build(t, par), config.FPGA64())
+	sOut, sCycles := runC(t, build(t, ser), config.FPGA64())
+	if pOut != w || sOut != w {
+		t.Fatalf("cycle outputs %q/%q want %q", pOut, sOut, w)
+	}
+	if pCycles >= sCycles {
+		t.Errorf("parallel reduction (%d cycles) not faster than serial (%d cycles) on 64 TCUs", pCycles, sCycles)
+	}
+}
+
+func TestVecAddWorkload(t *testing.T) {
+	par, ser, want := VecAdd(256)
+	w := fmt.Sprint(want)
+	if got := runF(t, build(t, par)); got != w {
+		t.Fatalf("parallel: got %q want %q", got, w)
+	}
+	if got := runF(t, build(t, ser)); got != w {
+		t.Fatalf("serial: got %q want %q", got, w)
+	}
+}
+
+func TestMatMulWorkload(t *testing.T) {
+	par, ser := MatMul(12)
+	want := fmt.Sprint(MatMulTrace(12))
+	if got := runF(t, build(t, par)); got != want {
+		t.Fatalf("parallel: got %q want %q", got, want)
+	}
+	if got := runF(t, build(t, ser)); got != want {
+		t.Fatalf("serial: got %q want %q", got, want)
+	}
+	pOut, pCycles := runC(t, build(t, par), config.FPGA64())
+	sOut, sCycles := runC(t, build(t, ser), config.FPGA64())
+	if pOut != want || sOut != want {
+		t.Fatalf("cycle outputs %q/%q want %q", pOut, sOut, want)
+	}
+	if pCycles >= sCycles {
+		t.Errorf("parallel matmul (%d cycles) not faster than serial (%d)", pCycles, sCycles)
+	}
+}
+
+func TestBFSWorkload(t *testing.T) {
+	g := RandomGraph(200, 6, 42)
+	par, ser := BFS(256, 4096)
+	if g.M > 4096 {
+		t.Fatalf("graph too large: %d edges", g.M)
+	}
+	want := fmt.Sprintf("%d %d", g.Reached, g.DistSum)
+	mm := g.MemMap()
+	if got := runF(t, build(t, ser, mm)); got != want {
+		t.Fatalf("serial BFS: got %q want %q", got, want)
+	}
+	if got := runF(t, build(t, par, mm)); got != want {
+		t.Fatalf("parallel BFS (functional): got %q want %q", got, want)
+	}
+	pOut, _ := runC(t, build(t, par, mm), config.FPGA64())
+	if pOut != want {
+		t.Fatalf("parallel BFS (cycle): got %q want %q", pOut, want)
+	}
+}
+
+func TestTableIMicrobenchmarks(t *testing.T) {
+	for g := ParallelMemory; g <= SerialCompute; g++ {
+		src := TableI(g, 64, 20)
+		p := build(t, src)
+		out, cycles := runC(t, p, config.FPGA64())
+		if out == "" {
+			t.Errorf("%s: no output", g.Name())
+		}
+		if cycles <= 0 {
+			t.Errorf("%s: no cycles", g.Name())
+		}
+	}
+}
+
+func TestFFTWorkload(t *testing.T) {
+	for _, n := range []int{16, 64} {
+		par, ser := FFT(n)
+		want := FFTOracle(n)
+		if got := runF(t, build(t, ser)); got != want {
+			t.Fatalf("n=%d serial FFT: got %q want %q", n, got, want)
+		}
+		if got := runF(t, build(t, par)); got != want {
+			t.Fatalf("n=%d parallel FFT (functional): got %q want %q", n, got, want)
+		}
+		pOut, pCycles := runC(t, build(t, par), config.FPGA64())
+		sOut, sCycles := runC(t, build(t, ser), config.FPGA64())
+		if pOut != want || sOut != want {
+			t.Fatalf("n=%d cycle outputs %q/%q want %q", n, pOut, sOut, want)
+		}
+		if n >= 64 && pCycles >= sCycles {
+			t.Errorf("n=%d parallel FFT (%d cycles) not faster than serial (%d)", n, pCycles, sCycles)
+		}
+	}
+}
+
+func TestPrefixSumWorkload(t *testing.T) {
+	par, ser, last, mid := PrefixSum(128)
+	want := fmt.Sprintf("%d %d", last, mid)
+	if got := runF(t, build(t, ser)); got != want {
+		t.Fatalf("serial scan: got %q want %q", got, want)
+	}
+	if got := runF(t, build(t, par)); got != want {
+		t.Fatalf("parallel scan (functional): got %q want %q", got, want)
+	}
+	pOut, _ := runC(t, build(t, par), config.FPGA64())
+	if pOut != want {
+		t.Fatalf("parallel scan (cycle): got %q want %q", pOut, want)
+	}
+}
+
+// TestLargeBFSChip1024 is a moderate stress test: a 2000-vertex graph on
+// the 1024-TCU machine, checked against the host oracle.
+func TestLargeBFSChip1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := RandomGraph(2000, 8, 5)
+	par, _ := BFS(2048, 40960)
+	if g.M > 40960 {
+		t.Fatalf("graph too large: %d", g.M)
+	}
+	want := fmt.Sprintf("%d %d", g.Reached, g.DistSum)
+	got, cycles := runC(t, build(t, par, g.MemMap()), config.Chip1024())
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	t.Logf("2000-vertex BFS on chip1024: %d cycles", cycles)
+}
+
+func TestConnectivityWorkload(t *testing.T) {
+	mm, comps := ComponentsGraph(120, 5, 6, 11)
+	par, ser := Connectivity(256, 2048)
+	want := fmt.Sprint(comps)
+	if got := runF(t, build(t, ser, mm)); got != want {
+		t.Fatalf("serial connectivity: got %q want %q", got, want)
+	}
+	if got := runF(t, build(t, par, mm)); got != want {
+		t.Fatalf("parallel connectivity (functional): got %q want %q", got, want)
+	}
+	pOut, _ := runC(t, build(t, par, mm), config.FPGA64())
+	if pOut != want {
+		t.Fatalf("parallel connectivity (cycle): got %q want %q", pOut, want)
+	}
+}

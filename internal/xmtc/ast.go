@@ -1,0 +1,327 @@
+package xmtc
+
+// The XMTC abstract syntax tree. The tree is mutable: the prepass rewrites
+// it (outlining, thread clustering) before lowering.
+
+// Node is any AST node.
+type Node interface{ GetPos() Pos }
+
+type base struct{ Pos Pos }
+
+// GetPos returns the node's source position.
+func (b base) GetPos() Pos { return b.Pos }
+
+// SymKind classifies symbols.
+type SymKind uint8
+
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+)
+
+// Symbol is a resolved program entity.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Type *Type
+
+	// PsBase marks globals used as a ps base: they live permanently in a
+	// global register.
+	PsBase bool
+	GReg   uint8 // assigned global register when PsBase
+
+	// CapturedByRef marks spawn-captured locals rewritten to by-reference
+	// access by the outlining pass.
+	CapturedByRef bool
+
+	Def Node // defining VarDecl or FuncDecl
+}
+
+// --- Declarations ---
+
+// File is a parsed translation unit.
+type File struct {
+	base
+	Name  string
+	Decls []Decl
+
+	// Strings collects string literals for data-segment emission.
+	Strings []*StringLit
+
+	// Structs are the struct tag definitions, in source order.
+	Structs []*Type
+}
+
+// Decl is a top-level declaration.
+type Decl interface{ Node }
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	base
+	Name     string
+	Type     *Type
+	Init     Expr    // scalar initializer, or nil
+	InitList []Expr  // array initializer, or nil
+	Sym      *Symbol // filled by sema
+}
+
+// FuncDecl declares or defines a function.
+type FuncDecl struct {
+	base
+	Name   string
+	Params []*VarDecl
+	Ret    *Type
+	Body   *BlockStmt // nil for prototypes
+	Sym    *Symbol
+
+	// IsOutlinedSpawn marks functions synthesized by the outlining pass;
+	// their body is exactly one spawn statement.
+	IsOutlinedSpawn bool
+}
+
+// --- Statements ---
+
+// Stmt is a statement.
+type Stmt interface{ Node }
+
+// BlockStmt is { ... }. Scopeless blocks are synthesized groupings (e.g.
+// multi-declarator statements) that do not open a new scope.
+type BlockStmt struct {
+	base
+	List      []Stmt
+	Scopeless bool
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct {
+	base
+	Decl *VarDecl
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	base
+	X Expr
+}
+
+// EmptyStmt is ";".
+type EmptyStmt struct{ base }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	base
+	Cond Expr
+	Then Stmt
+	Else Stmt // or nil
+}
+
+// WhileStmt is while.
+type WhileStmt struct {
+	base
+	Cond Expr
+	Body Stmt
+}
+
+// DoStmt is do/while.
+type DoStmt struct {
+	base
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is for(Init; Cond; Post) Body; any part may be nil.
+type ForStmt struct {
+	base
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// SwitchStmt is a C switch over an integer expression. Cases carry
+// constant values; fallthrough follows C semantics (break exits).
+type SwitchStmt struct {
+	base
+	Tag     Expr
+	Cases   []*CaseClause
+	Default int // index into Cases of the default clause, or -1
+}
+
+// CaseClause is one case (or default) arm; Body runs until break or the
+// end of the switch (C fallthrough).
+type CaseClause struct {
+	base
+	Values    []int32 // empty for default
+	IsDefault bool
+	Body      []Stmt
+}
+
+// BreakStmt is break.
+type BreakStmt struct{ base }
+
+// ContinueStmt is continue.
+type ContinueStmt struct{ base }
+
+// ReturnStmt is return [expr].
+type ReturnStmt struct {
+	base
+	X Expr // or nil
+}
+
+// SpawnStmt is the XMTC spawn statement: Body runs on High-Low+1 virtual
+// threads, $ ranging over [Low, High]. Variables declared in Body are
+// private per virtual thread; the statement is an implicit barrier.
+type SpawnStmt struct {
+	base
+	Low, High Expr
+	Body      *BlockStmt
+
+	// Serialize marks nested spawns, which the current toolchain release
+	// executes as a serial loop (paper §IV-E).
+	Serialize bool
+
+	// Cluster > 1 requests virtual-thread clustering (coarsening) by that
+	// factor (paper §IV-C); applied by the prepass.
+	Cluster int
+}
+
+// --- Expressions ---
+
+// Expr is an expression; Type is filled by sema.
+type Expr interface {
+	Node
+	TypeOf() *Type
+	setType(*Type)
+}
+
+type exprBase struct {
+	base
+	Typ *Type
+}
+
+// TypeOf returns the checked type.
+func (e *exprBase) TypeOf() *Type   { return e.Typ }
+func (e *exprBase) setType(t *Type) { e.Typ = t }
+
+// Ident is a variable or function reference.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Symbol
+}
+
+// IntLit is an integer (or char) literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// StringLit is a string literal; Label is its data symbol.
+type StringLit struct {
+	exprBase
+	Val   string
+	Label string
+}
+
+// TidExpr is the virtual thread id $.
+type TidExpr struct{ exprBase }
+
+// Binary is a binary operator (arithmetic, comparison, logical).
+type Binary struct {
+	exprBase
+	Op   Tok
+	X, Y Expr
+}
+
+// Unary is -x, !x, ~x, *x, &x.
+type Unary struct {
+	exprBase
+	Op Tok
+	X  Expr
+}
+
+// Assign is LHS op= RHS (op == ASSIGN for plain assignment).
+type Assign struct {
+	exprBase
+	Op  Tok
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is ++/-- (Pre or post).
+type IncDec struct {
+	exprBase
+	Op  Tok // INC or DEC
+	Pre bool
+	X   Expr
+}
+
+// Cond is c ? t : f.
+type Cond struct {
+	exprBase
+	C, T, F Expr
+}
+
+// Call is a direct function call or builtin.
+type Call struct {
+	exprBase
+	Name    string
+	Args    []Expr
+	Sym     *Symbol // user function; nil for builtins
+	Builtin Builtin
+}
+
+// Builtin identifies the XMTC builtins.
+type Builtin uint8
+
+const (
+	NotBuiltin Builtin = iota
+	BuiltinPs          // ps(inc, base): hardware prefix-sum on a global register
+	BuiltinPsm         // psm(inc, base): prefix-sum to memory
+	BuiltinPrintInt
+	BuiltinPrintFloat
+	BuiltinPrintChar
+	BuiltinPrintString
+	BuiltinCycle      // xmt_cycle()
+	BuiltinMalloc     // serial-mode dynamic allocation (library call)
+	BuiltinCheckpoint // request a simulator checkpoint
+	BuiltinPrefetch   // explicit prefetch hint
+	BuiltinReadOnly   // lwro-backed read: xmt_ro_read(&x)
+)
+
+// Index is X[I].
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Member is X.Name or X->Name (Arrow); Field is resolved by sema.
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	Field *Field
+}
+
+// Cast is (T)X.
+type Cast struct {
+	exprBase
+	To *Type
+	X  Expr
+}
+
+// SizeofExpr is sizeof(T) or sizeof(expr); resolved to a constant by sema.
+type SizeofExpr struct {
+	exprBase
+	OfType *Type
+	OfExpr Expr
+}

@@ -1,0 +1,1084 @@
+package xmtc
+
+import "fmt"
+
+// Parser is a recursive-descent parser for XMTC. Because the subset has no
+// typedefs, declarations are always introduced by a type keyword, which
+// keeps statement/declaration disambiguation trivial.
+type Parser struct {
+	toks []Token
+	pos  int
+	file string
+
+	strCount int
+	strs     []*StringLit
+
+	// structs is the file-level struct tag table (tags must be defined
+	// before use); structOrder keeps definition order for rendering.
+	structs     map[string]*Type
+	structOrder []*Type
+}
+
+// Parse parses a translation unit.
+func Parse(file, src string) (*File, error) {
+	toks, err := LexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: file, structs: make(map[string]*Type)}
+	f := &File{Name: file}
+	f.Pos = p.cur().Pos
+	for p.cur().Kind != EOF {
+		d, err := p.parseTopDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, d...)
+	}
+	f.Strings = p.strs
+	f.Structs = p.structOrder
+	return f, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Tok) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Tok) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Tok) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.describe(p.cur()))
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) describe(t Token) string {
+	if t.Kind == IDENT {
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+func isTypeStart(k Tok) bool {
+	switch k {
+	case KwInt, KwUnsigned, KwFloat, KwChar, KwVoid, KwVolatile, KwConst, KwBool, KwStruct:
+		return true
+	}
+	return false
+}
+
+// parseBaseType parses qualifiers + a base type keyword.
+func (p *Parser) parseBaseType() (*Type, error) {
+	volatile := false
+	for p.at(KwVolatile) || p.at(KwConst) {
+		if p.at(KwVolatile) {
+			volatile = true
+		}
+		p.next()
+	}
+	var t *Type
+	switch p.cur().Kind {
+	case KwInt:
+		p.next()
+		t = TypeInt
+	case KwUnsigned:
+		p.next()
+		p.accept(KwInt)
+		t = TypeUnsigned
+	case KwFloat:
+		p.next()
+		t = TypeFloat
+	case KwChar:
+		p.next()
+		t = TypeChar
+	case KwVoid:
+		p.next()
+		t = TypeVoid
+	case KwBool:
+		p.next()
+		t = TypeInt
+	case KwStruct:
+		p.next()
+		tag, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := p.structs[tag.Text]
+		if !ok {
+			return nil, errf(tag.Pos, "struct %q is not defined (tags must be defined before use)", tag.Text)
+		}
+		t = st
+	default:
+		return nil, errf(p.cur().Pos, "expected type, found %s", p.describe(p.cur()))
+	}
+	// Trailing qualifiers (e.g. "int volatile").
+	for p.at(KwVolatile) || p.at(KwConst) {
+		if p.at(KwVolatile) {
+			volatile = true
+		}
+		p.next()
+	}
+	if volatile {
+		c := *t
+		c.Volatile = true
+		t = &c
+	}
+	return t, nil
+}
+
+// parseDeclarator parses *... name [N]... on top of base. Unsized array
+// dimensions are only legal in parameter declarations (allowUnsized),
+// where they decay to pointers.
+func (p *Parser) parseDeclarator(bt *Type, allowUnsized bool) (string, *Type, Pos, error) {
+	t := bt
+	for p.accept(MUL) {
+		t = PtrTo(t)
+	}
+	nameTok, err := p.expect(IDENT)
+	if err != nil {
+		return "", nil, Pos{}, err
+	}
+	// Array suffixes, outermost first: int a[2][3] is array(2) of array(3).
+	var dims []int32
+	for p.accept(LBRACK) {
+		if p.at(RBRACK) {
+			if !allowUnsized {
+				return "", nil, Pos{}, errf(p.cur().Pos, "array %q needs an explicit size", nameTok.Text)
+			}
+			dims = append(dims, -1)
+		} else {
+			sz, err := p.parseConstIntExpr()
+			if err != nil {
+				return "", nil, Pos{}, err
+			}
+			dims = append(dims, sz)
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return "", nil, Pos{}, err
+		}
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		if dims[i] < 0 {
+			t = PtrTo(t) // unsized dimension decays
+		} else {
+			t = ArrayOf(t, dims[i])
+		}
+	}
+	return nameTok.Text, t, nameTok.Pos, nil
+}
+
+// parseConstIntExpr parses an expression and requires a compile-time
+// integer constant (full folding happens in sema; here a small evaluator
+// covers literals and +-*/<< >> combinations).
+func (p *Parser) parseConstIntExpr() (int32, error) {
+	pos := p.cur().Pos
+	e, err := p.parseCondExpr()
+	if err != nil {
+		return 0, err
+	}
+	v, ok := FoldConst(e)
+	if !ok {
+		return 0, errf(pos, "expected constant expression")
+	}
+	return v, nil
+}
+
+// FoldConst evaluates integer constant expressions over literals.
+func FoldConst(e Expr) (int32, bool) {
+	switch n := e.(type) {
+	case *IntLit:
+		return int32(n.Val), true
+	case *Unary:
+		v, ok := FoldConst(n.X)
+		if !ok {
+			return 0, false
+		}
+		switch n.Op {
+		case SUB:
+			return -v, true
+		case TILDE:
+			return ^v, true
+		case NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case ADD:
+			return v, true
+		}
+	case *Binary:
+		a, ok1 := FoldConst(n.X)
+		b, ok2 := FoldConst(n.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch n.Op {
+		case ADD:
+			return a + b, true
+		case SUB:
+			return a - b, true
+		case MUL:
+			return a * b, true
+		case DIV:
+			if b != 0 {
+				return a / b, true
+			}
+		case REM:
+			if b != 0 {
+				return a % b, true
+			}
+		case SHL:
+			return a << uint(b&31), true
+		case SHR:
+			return a >> uint(b&31), true
+		case AND:
+			return a & b, true
+		case OR:
+			return a | b, true
+		case XOR:
+			return a ^ b, true
+		}
+	case *SizeofExpr:
+		if n.OfType != nil {
+			return n.OfType.Size(), true
+		}
+	case *Cast:
+		return FoldConst(n.X)
+	}
+	return 0, false
+}
+
+// parseStructDef parses "struct Tag { member-decls };" and registers the
+// tag.
+func (p *Parser) parseStructDef() error {
+	p.next() // struct
+	tag, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	if _, dup := p.structs[tag.Text]; dup {
+		return errf(tag.Pos, "struct %q redefined", tag.Text)
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return err
+	}
+	// Register the tag before parsing members so self-references through
+	// pointers (linked lists, trees) resolve.
+	st := &Type{Kind: KStruct, StructName: tag.Text}
+	p.structs[tag.Text] = st
+	p.structOrder = append(p.structOrder, st)
+
+	var fields []*Field
+	seen := make(map[string]bool)
+	for !p.at(RBRACE) {
+		bt, err := p.parseBaseType()
+		if err != nil {
+			return err
+		}
+		for {
+			name, t, pos, err := p.parseDeclarator(bt, false)
+			if err != nil {
+				return err
+			}
+			if t.Kind == KVoid {
+				return errf(pos, "struct member %q has void type", name)
+			}
+			if t.ContainsByValue(st) {
+				return errf(pos, "struct %q contains itself by value through member %q (use a pointer)", tag.Text, name)
+			}
+			if seen[name] {
+				return errf(pos, "duplicate struct member %q", name)
+			}
+			seen[name] = true
+			fields = append(fields, &Field{Name: name, Type: t})
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return err
+		}
+	}
+	p.next() // }
+	if _, err := p.expect(SEMI); err != nil {
+		return err
+	}
+	if len(fields) == 0 {
+		return errf(tag.Pos, "struct %q has no members", tag.Text)
+	}
+	st.LayoutStruct(fields)
+	return nil
+}
+
+// parseTopDecl parses one top-level declaration (possibly a multi-variable
+// declaration, hence the slice).
+func (p *Parser) parseTopDecl() ([]Decl, error) {
+	// Struct tag definition: "struct Name { ... };".
+	if p.at(KwStruct) && p.toks[p.pos+1].Kind == IDENT && p.toks[p.pos+2].Kind == LBRACE {
+		if err := p.parseStructDef(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	bt, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	name, t, pos, err := p.parseDeclarator(bt, false)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(LPAREN) {
+		fd, err := p.parseFuncRest(name, t, pos)
+		if err != nil {
+			return nil, err
+		}
+		return []Decl{fd}, nil
+	}
+	var decls []Decl
+	for {
+		vd := &VarDecl{Name: name, Type: t}
+		vd.Pos = pos
+		if p.accept(ASSIGN) {
+			if p.at(LBRACE) {
+				lst, err := p.parseInitList()
+				if err != nil {
+					return nil, err
+				}
+				vd.InitList = lst
+			} else {
+				e, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = e
+			}
+		}
+		decls = append(decls, vd)
+		if !p.accept(COMMA) {
+			break
+		}
+		name, t, pos, err = p.parseDeclarator(bt, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+func (p *Parser) parseInitList() ([]Expr, error) {
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	for !p.at(RBRACE) {
+		e, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Parser) parseFuncRest(name string, ret *Type, pos Pos) (*FuncDecl, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Name: name, Ret: ret}
+	fd.Pos = pos
+	if !p.at(RPAREN) {
+		if p.at(KwVoid) && p.toks[p.pos+1].Kind == RPAREN {
+			p.next()
+		} else {
+			for {
+				bt, err := p.parseBaseType()
+				if err != nil {
+					return nil, err
+				}
+				pname, pt, ppos, err := p.parseDeclarator(bt, true)
+				if err != nil {
+					return nil, err
+				}
+				if pt.Kind == KArray {
+					pt = PtrTo(pt.Elem) // parameter arrays decay
+				}
+				pd := &VarDecl{Name: pname, Type: pt}
+				pd.Pos = ppos
+				fd.Params = append(fd.Params, pd)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if p.accept(SEMI) {
+		return fd, nil // prototype
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+// --- Statements ---
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{}
+	blk.Pos = lb.Pos
+	for !p.at(RBRACE) {
+		if p.at(EOF) {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.List = append(blk.List, s)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == LBRACE:
+		return p.parseBlock()
+	case t.Kind == SEMI:
+		p.next()
+		s := &EmptyStmt{}
+		s.Pos = t.Pos
+		return s, nil
+	case isTypeStart(t.Kind):
+		return p.parseLocalDecl()
+	case t.Kind == KwIf:
+		return p.parseIf()
+	case t.Kind == KwWhile:
+		return p.parseWhile()
+	case t.Kind == KwDo:
+		return p.parseDo()
+	case t.Kind == KwFor:
+		return p.parseFor()
+	case t.Kind == KwBreak:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		s := &BreakStmt{}
+		s.Pos = t.Pos
+		return s, nil
+	case t.Kind == KwContinue:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		s := &ContinueStmt{}
+		s.Pos = t.Pos
+		return s, nil
+	case t.Kind == KwReturn:
+		p.next()
+		s := &ReturnStmt{}
+		s.Pos = t.Pos
+		if !p.at(SEMI) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = e
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case t.Kind == KwSpawn:
+		return p.parseSpawn()
+	case t.Kind == KwSwitch:
+		return p.parseSwitch()
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	s := &ExprStmt{X: e}
+	s.Pos = t.Pos
+	return s, nil
+}
+
+// parseLocalDecl handles multi-declarator local declarations, returning a
+// block when more than one variable is declared.
+func (p *Parser) parseLocalDecl() (Stmt, error) {
+	pos := p.cur().Pos
+	bt, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	var list []Stmt
+	for {
+		name, t, dpos, err := p.parseDeclarator(bt, false)
+		if err != nil {
+			return nil, err
+		}
+		vd := &VarDecl{Name: name, Type: t}
+		vd.Pos = dpos
+		if p.accept(ASSIGN) {
+			if p.at(LBRACE) {
+				lst, err := p.parseInitList()
+				if err != nil {
+					return nil, err
+				}
+				vd.InitList = lst
+			} else {
+				e, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = e
+			}
+		}
+		ds := &DeclStmt{Decl: vd}
+		ds.Pos = dpos
+		list = append(list, ds)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if len(list) == 1 {
+		return list[0], nil
+	}
+	blk := &BlockStmt{List: list, Scopeless: true}
+	blk.Pos = pos
+	return blk, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then}
+	s.Pos = t.Pos
+	if p.accept(KwElse) {
+		e, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = e
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &WhileStmt{Cond: cond, Body: body}
+	s.Pos = t.Pos
+	return s, nil
+}
+
+func (p *Parser) parseDo() (Stmt, error) {
+	t := p.next()
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	s := &DoStmt{Body: body, Cond: cond}
+	s.Pos = t.Pos
+	return s, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{}
+	s.Pos = t.Pos
+	if !p.at(SEMI) {
+		if isTypeStart(p.cur().Kind) {
+			init, err := p.parseLocalDecl() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			es := &ExprStmt{X: e}
+			es.Pos = e.GetPos()
+			s.Init = es
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(SEMI) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = e
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if !p.at(RPAREN) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = e
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// parseSwitch parses a C switch with constant case labels; consecutive
+// labels share a clause and C fallthrough applies between clauses.
+func (p *Parser) parseSwitch() (Stmt, error) {
+	t := p.next() // switch
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	s := &SwitchStmt{Tag: tag, Default: -1}
+	s.Pos = t.Pos
+	for !p.at(RBRACE) {
+		if p.at(EOF) {
+			return nil, errf(t.Pos, "unterminated switch")
+		}
+		cl := &CaseClause{}
+		cl.Pos = p.cur().Pos
+		// One clause may stack several labels (case 1: case 2: ... or a
+		// default among them).
+		sawLabel := false
+		for p.at(KwCase) || p.at(KwDefault) {
+			sawLabel = true
+			if p.accept(KwDefault) {
+				if s.Default >= 0 || cl.IsDefault {
+					return nil, errf(cl.Pos, "duplicate default clause")
+				}
+				cl.IsDefault = true
+			} else {
+				p.next() // case
+				v, err := p.parseConstIntExpr()
+				if err != nil {
+					return nil, err
+				}
+				cl.Values = append(cl.Values, v)
+			}
+			if _, err := p.expect(COLON); err != nil {
+				return nil, err
+			}
+		}
+		if !sawLabel {
+			return nil, errf(p.cur().Pos, "expected case or default inside switch, found %s", p.describe(p.cur()))
+		}
+		for !p.at(KwCase) && !p.at(KwDefault) && !p.at(RBRACE) {
+			st, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			cl.Body = append(cl.Body, st)
+		}
+		if cl.IsDefault {
+			s.Default = len(s.Cases)
+		}
+		s.Cases = append(s.Cases, cl)
+	}
+	p.next() // }
+	return s, nil
+}
+
+func (p *Parser) parseSpawn() (Stmt, error) {
+	t := p.next() // spawn
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	low, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COMMA); err != nil {
+		return nil, err
+	}
+	high, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &SpawnStmt{Low: low, High: high, Body: body}
+	s.Pos = t.Pos
+	return s, nil
+}
+
+// --- Expressions ---
+
+func (p *Parser) parseExpr() (Expr, error) {
+	e, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Comma operator: evaluate left for effect, yield right. Lowered as a
+	// Binary with COMMA.
+	for p.at(COMMA) {
+		t := p.next()
+		r, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		b := &Binary{Op: COMMA, X: e, Y: r}
+		b.Pos = t.Pos
+		e = b
+	}
+	return e, nil
+}
+
+func (p *Parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case ASSIGN, ADDA, SUBA, MULA, DIVA, REMA, ANDA, ORA, XORA, SHLA, SHRA:
+		op := p.next()
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		a := &Assign{Op: op.Kind, LHS: lhs, RHS: rhs}
+		a.Pos = op.Pos
+		return a, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseCondExpr() (Expr, error) {
+	c, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(QUESTION) {
+		return c, nil
+	}
+	q := p.next()
+	t, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	f, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	e := &Cond{C: c, T: t, F: f}
+	e.Pos = q.Pos
+	return e, nil
+}
+
+var binPrec = map[Tok]int{
+	OROR: 1, ANDAND: 2, OR: 3, XOR: 4, AND: 5,
+	EQ: 6, NE: 6, LT: 7, GT: 7, LE: 7, GE: 7,
+	SHL: 8, SHR: 8, ADD: 9, SUB: 9, MUL: 10, DIV: 10, REM: 10,
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &Binary{Op: op.Kind, X: lhs, Y: rhs}
+		b.Pos = op.Pos
+		lhs = b
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case ADD:
+		p.next()
+		return p.parseUnary()
+	case SUB, NOT, TILDE, MUL, AND:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		u := &Unary{Op: t.Kind, X: x}
+		u.Pos = t.Pos
+		return u, nil
+	case INC, DEC:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e := &IncDec{Op: t.Kind, Pre: true, X: x}
+		e.Pos = t.Pos
+		return e, nil
+	case KwSizeof:
+		p.next()
+		s := &SizeofExpr{}
+		s.Pos = t.Pos
+		if p.at(LPAREN) && isTypeStart(p.toks[p.pos+1].Kind) {
+			p.next()
+			bt, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			ty := bt
+			for p.accept(MUL) {
+				ty = PtrTo(ty)
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			s.OfType = ty
+			return s, nil
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		s.OfExpr = x
+		return s, nil
+	case LPAREN:
+		// Cast or parenthesized expression.
+		if isTypeStart(p.toks[p.pos+1].Kind) {
+			p.next()
+			bt, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			ty := bt
+			for p.accept(MUL) {
+				ty = PtrTo(ty)
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			c := &Cast{To: ty, X: x}
+			c.Pos = t.Pos
+			return c, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case LBRACK:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			ix := &Index{X: e, I: idx}
+			ix.Pos = t.Pos
+			e = ix
+		case INC, DEC:
+			p.next()
+			id := &IncDec{Op: t.Kind, Pre: false, X: e}
+			id.Pos = t.Pos
+			e = id
+		case DOT, ARROW:
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			m := &Member{X: e, Name: name.Text, Arrow: t.Kind == ARROW}
+			m.Pos = t.Pos
+			e = m
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		e := &IntLit{Val: t.Int}
+		e.Pos = t.Pos
+		return e, nil
+	case FLOATLIT:
+		p.next()
+		e := &FloatLit{Val: t.Flt}
+		e.Pos = t.Pos
+		return e, nil
+	case STRINGLIT:
+		p.next()
+		e := &StringLit{Val: t.Text, Label: fmt.Sprintf("__str_%d", p.strCount)}
+		e.Pos = t.Pos
+		p.strCount++
+		p.strs = append(p.strs, e)
+		return e, nil
+	case DOLLAR:
+		p.next()
+		e := &TidExpr{}
+		e.Pos = t.Pos
+		return e, nil
+	case IDENT:
+		p.next()
+		if p.at(LPAREN) {
+			p.next()
+			c := &Call{Name: t.Text}
+			c.Pos = t.Pos
+			for !p.at(RPAREN) {
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		e := &Ident{Name: t.Text}
+		e.Pos = t.Pos
+		return e, nil
+	case LPAREN:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", p.describe(t))
+}

@@ -1,0 +1,139 @@
+package prepass
+
+import "xmtgo/internal/xmtc"
+
+// rewriteFn transforms an expression node (children already rewritten).
+type rewriteFn func(xmtc.Expr) xmtc.Expr
+
+// walkExpr rewrites an expression tree bottom-up.
+func walkExpr(e xmtc.Expr, fn rewriteFn) xmtc.Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *xmtc.Binary:
+		n.X = walkExpr(n.X, fn)
+		n.Y = walkExpr(n.Y, fn)
+	case *xmtc.Unary:
+		n.X = walkExpr(n.X, fn)
+	case *xmtc.Assign:
+		n.LHS = walkExpr(n.LHS, fn)
+		n.RHS = walkExpr(n.RHS, fn)
+	case *xmtc.IncDec:
+		n.X = walkExpr(n.X, fn)
+	case *xmtc.Cond:
+		n.C = walkExpr(n.C, fn)
+		n.T = walkExpr(n.T, fn)
+		n.F = walkExpr(n.F, fn)
+	case *xmtc.Call:
+		for i := range n.Args {
+			n.Args[i] = walkExpr(n.Args[i], fn)
+		}
+	case *xmtc.Index:
+		n.X = walkExpr(n.X, fn)
+		n.I = walkExpr(n.I, fn)
+	case *xmtc.Member:
+		n.X = walkExpr(n.X, fn)
+	case *xmtc.Cast:
+		n.X = walkExpr(n.X, fn)
+	case *xmtc.SizeofExpr:
+		if n.OfExpr != nil {
+			n.OfExpr = walkExpr(n.OfExpr, fn)
+		}
+	}
+	return fn(e)
+}
+
+// walkStmtExprs applies fn to every expression under s. When intoSpawn is
+// false, nested spawn statements are skipped ($-scoping).
+func walkStmtExprs(s xmtc.Stmt, fn rewriteFn, intoSpawn bool) {
+	switch n := s.(type) {
+	case *xmtc.BlockStmt:
+		for _, st := range n.List {
+			walkStmtExprs(st, fn, intoSpawn)
+		}
+	case *xmtc.DeclStmt:
+		if n.Decl.Init != nil {
+			n.Decl.Init = walkExpr(n.Decl.Init, fn)
+		}
+		for i := range n.Decl.InitList {
+			n.Decl.InitList[i] = walkExpr(n.Decl.InitList[i], fn)
+		}
+	case *xmtc.ExprStmt:
+		n.X = walkExpr(n.X, fn)
+	case *xmtc.IfStmt:
+		n.Cond = walkExpr(n.Cond, fn)
+		walkStmtExprs(n.Then, fn, intoSpawn)
+		if n.Else != nil {
+			walkStmtExprs(n.Else, fn, intoSpawn)
+		}
+	case *xmtc.WhileStmt:
+		n.Cond = walkExpr(n.Cond, fn)
+		walkStmtExprs(n.Body, fn, intoSpawn)
+	case *xmtc.DoStmt:
+		walkStmtExprs(n.Body, fn, intoSpawn)
+		n.Cond = walkExpr(n.Cond, fn)
+	case *xmtc.ForStmt:
+		if n.Init != nil {
+			walkStmtExprs(n.Init, fn, intoSpawn)
+		}
+		if n.Cond != nil {
+			n.Cond = walkExpr(n.Cond, fn)
+		}
+		if n.Post != nil {
+			n.Post = walkExpr(n.Post, fn)
+		}
+		walkStmtExprs(n.Body, fn, intoSpawn)
+	case *xmtc.ReturnStmt:
+		if n.X != nil {
+			n.X = walkExpr(n.X, fn)
+		}
+	case *xmtc.SwitchStmt:
+		n.Tag = walkExpr(n.Tag, fn)
+		for _, cl := range n.Cases {
+			for _, st := range cl.Body {
+				walkStmtExprs(st, fn, intoSpawn)
+			}
+		}
+	case *xmtc.SpawnStmt:
+		if intoSpawn {
+			n.Low = walkExpr(n.Low, fn)
+			n.High = walkExpr(n.High, fn)
+			walkStmtExprs(n.Body, fn, true)
+		}
+	}
+}
+
+// declaredSyms collects symbols declared inside a subtree.
+func declaredSyms(s xmtc.Stmt, out map[*xmtc.Symbol]bool) {
+	switch n := s.(type) {
+	case *xmtc.BlockStmt:
+		for _, st := range n.List {
+			declaredSyms(st, out)
+		}
+	case *xmtc.DeclStmt:
+		out[n.Decl.Sym] = true
+	case *xmtc.IfStmt:
+		declaredSyms(n.Then, out)
+		if n.Else != nil {
+			declaredSyms(n.Else, out)
+		}
+	case *xmtc.WhileStmt:
+		declaredSyms(n.Body, out)
+	case *xmtc.DoStmt:
+		declaredSyms(n.Body, out)
+	case *xmtc.ForStmt:
+		if n.Init != nil {
+			declaredSyms(n.Init, out)
+		}
+		declaredSyms(n.Body, out)
+	case *xmtc.SwitchStmt:
+		for _, cl := range n.Cases {
+			for _, st := range cl.Body {
+				declaredSyms(st, out)
+			}
+		}
+	case *xmtc.SpawnStmt:
+		declaredSyms(n.Body, out)
+	}
+}

@@ -1,0 +1,206 @@
+package xmtc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render prints an AST back as XMTC-like source. Its main use is the
+// compiler's -dump-prepass view, which shows the outlined program of
+// Fig. 8c (serialized nested spawns, clustered loops, outlined spawn
+// functions and their by-value/by-reference captures).
+func Render(f *File) string {
+	var b strings.Builder
+	for _, st := range f.Structs {
+		fmt.Fprintf(&b, "struct %s {\n", st.StructName)
+		for _, fl := range st.Fields {
+			fmt.Fprintf(&b, "    %s;\n", declString(fl.Name, fl.Type))
+		}
+		b.WriteString("};\n")
+	}
+	for _, d := range f.Decls {
+		switch n := d.(type) {
+		case *VarDecl:
+			b.WriteString(renderVarDecl(n, 0))
+			b.WriteString(";\n")
+		case *FuncDecl:
+			if n.Body == nil {
+				fmt.Fprintf(&b, "%s %s(...);\n", n.Ret, n.Name)
+				continue
+			}
+			fmt.Fprintf(&b, "%s %s(", n.Ret, n.Name)
+			for i, p := range n.Params {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(declString(p.Name, p.Type))
+			}
+			b.WriteString(")\n")
+			b.WriteString(renderStmt(n.Body, 0))
+		}
+	}
+	return b.String()
+}
+
+func indent(n int) string { return strings.Repeat("    ", n) }
+
+// declString renders a C-style declarator (arrays suffix the name).
+func declString(name string, t *Type) string {
+	suffix := ""
+	for t.Kind == KArray {
+		suffix += fmt.Sprintf("[%d]", t.ArrayLen)
+		t = t.Elem
+	}
+	return fmt.Sprintf("%s %s%s", t, name, suffix)
+}
+
+func renderVarDecl(d *VarDecl, depth int) string {
+	s := indent(depth) + declString(d.Name, d.Type)
+	if d.Init != nil {
+		s += " = " + RenderExpr(d.Init)
+	}
+	if d.InitList != nil {
+		var parts []string
+		for _, e := range d.InitList {
+			parts = append(parts, RenderExpr(e))
+		}
+		s += " = {" + strings.Join(parts, ", ") + "}"
+	}
+	return s
+}
+
+func renderStmt(s Stmt, depth int) string {
+	switch n := s.(type) {
+	case *BlockStmt:
+		var b strings.Builder
+		if n.Scopeless {
+			for _, st := range n.List {
+				b.WriteString(renderStmt(st, depth))
+			}
+			return b.String()
+		}
+		b.WriteString(indent(depth) + "{\n")
+		for _, st := range n.List {
+			b.WriteString(renderStmt(st, depth+1))
+		}
+		b.WriteString(indent(depth) + "}\n")
+		return b.String()
+	case *DeclStmt:
+		return renderVarDecl(n.Decl, depth) + ";\n"
+	case *ExprStmt:
+		return indent(depth) + RenderExpr(n.X) + ";\n"
+	case *EmptyStmt:
+		return indent(depth) + ";\n"
+	case *IfStmt:
+		out := indent(depth) + "if (" + RenderExpr(n.Cond) + ")\n" + renderStmt(n.Then, depth+1)
+		if n.Else != nil {
+			out += indent(depth) + "else\n" + renderStmt(n.Else, depth+1)
+		}
+		return out
+	case *WhileStmt:
+		return indent(depth) + "while (" + RenderExpr(n.Cond) + ")\n" + renderStmt(n.Body, depth+1)
+	case *DoStmt:
+		return indent(depth) + "do\n" + renderStmt(n.Body, depth+1) +
+			indent(depth) + "while (" + RenderExpr(n.Cond) + ");\n"
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if n.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(renderStmt(n.Init, 0)), ";\n")
+			init = strings.TrimSuffix(init, ";")
+		}
+		if n.Cond != nil {
+			cond = RenderExpr(n.Cond)
+		}
+		if n.Post != nil {
+			post = RenderExpr(n.Post)
+		}
+		return fmt.Sprintf("%sfor (%s; %s; %s)\n%s", indent(depth), init, cond, post, renderStmt(n.Body, depth+1))
+	case *BreakStmt:
+		return indent(depth) + "break;\n"
+	case *ContinueStmt:
+		return indent(depth) + "continue;\n"
+	case *ReturnStmt:
+		if n.X == nil {
+			return indent(depth) + "return;\n"
+		}
+		return indent(depth) + "return " + RenderExpr(n.X) + ";\n"
+	case *SwitchStmt:
+		var b strings.Builder
+		fmt.Fprintf(&b, "%sswitch (%s) {\n", indent(depth), RenderExpr(n.Tag))
+		for _, cl := range n.Cases {
+			for _, v := range cl.Values {
+				fmt.Fprintf(&b, "%scase %d:\n", indent(depth), v)
+			}
+			if cl.IsDefault {
+				fmt.Fprintf(&b, "%sdefault:\n", indent(depth))
+			}
+			for _, st := range cl.Body {
+				b.WriteString(renderStmt(st, depth+1))
+			}
+		}
+		fmt.Fprintf(&b, "%s}\n", indent(depth))
+		return b.String()
+	case *SpawnStmt:
+		tag := ""
+		if n.Serialize {
+			tag = " /* serialized */"
+		}
+		return fmt.Sprintf("%sspawn(%s, %s)%s\n%s", indent(depth),
+			RenderExpr(n.Low), RenderExpr(n.High), tag, renderStmt(n.Body, depth+1))
+	}
+	return indent(depth) + "/* ? */\n"
+}
+
+// RenderExpr prints one expression.
+func RenderExpr(e Expr) string {
+	switch n := e.(type) {
+	case *Ident:
+		return n.Name
+	case *IntLit:
+		return fmt.Sprintf("%d", n.Val)
+	case *FloatLit:
+		return fmt.Sprintf("%g", n.Val)
+	case *StringLit:
+		return fmt.Sprintf("%q", n.Val)
+	case *TidExpr:
+		return "$"
+	case *Binary:
+		if n.Op == COMMA {
+			return "(" + RenderExpr(n.X) + ", " + RenderExpr(n.Y) + ")"
+		}
+		return "(" + RenderExpr(n.X) + " " + n.Op.String() + " " + RenderExpr(n.Y) + ")"
+	case *Unary:
+		return n.Op.String() + RenderExpr(n.X)
+	case *Assign:
+		return RenderExpr(n.LHS) + " " + n.Op.String() + " " + RenderExpr(n.RHS)
+	case *IncDec:
+		if n.Pre {
+			return n.Op.String() + RenderExpr(n.X)
+		}
+		return RenderExpr(n.X) + n.Op.String()
+	case *Cond:
+		return "(" + RenderExpr(n.C) + " ? " + RenderExpr(n.T) + " : " + RenderExpr(n.F) + ")"
+	case *Call:
+		var args []string
+		for _, a := range n.Args {
+			args = append(args, RenderExpr(a))
+		}
+		return n.Name + "(" + strings.Join(args, ", ") + ")"
+	case *Index:
+		return RenderExpr(n.X) + "[" + RenderExpr(n.I) + "]"
+	case *Member:
+		op := "."
+		if n.Arrow {
+			op = "->"
+		}
+		return RenderExpr(n.X) + op + n.Name
+	case *Cast:
+		return "(" + n.To.String() + ")" + RenderExpr(n.X)
+	case *SizeofExpr:
+		if n.OfType != nil {
+			return "sizeof(" + n.OfType.String() + ")"
+		}
+		return "sizeof " + RenderExpr(n.OfExpr)
+	}
+	return "?"
+}

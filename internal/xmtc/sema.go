@@ -1,0 +1,423 @@
+package xmtc
+
+import (
+	"fmt"
+)
+
+// Info is the result of semantic analysis.
+type Info struct {
+	// PsBases are globals used as ps bases, in first-use order; each is
+	// permanently assigned a global register.
+	PsBases []*Symbol
+	// Globals are all global variables in declaration order.
+	Globals []*VarDecl
+	// Funcs are all function definitions in declaration order.
+	Funcs []*FuncDecl
+	// Warnings are non-fatal diagnostics (e.g. serialized nested spawns).
+	Warnings []string
+}
+
+// checker carries semantic analysis state.
+type checker struct {
+	file   *File
+	info   *Info
+	scopes []map[string]*Symbol
+	funcs  map[string]*Symbol
+
+	curFunc     *FuncDecl
+	spawnDepth  int
+	loopDepth   int
+	switchDepth int
+}
+
+// Check resolves names, types and XMTC-specific rules. The AST is
+// annotated in place.
+func Check(f *File) (*Info, error) {
+	c := &checker{
+		file:  f,
+		info:  &Info{},
+		funcs: make(map[string]*Symbol),
+	}
+	c.push()
+	defer c.pop()
+
+	// Two passes over top-level declarations: collect signatures first so
+	// forward calls resolve.
+	for _, d := range f.Decls {
+		switch n := d.(type) {
+		case *VarDecl:
+			if err := c.declareGlobal(n); err != nil {
+				return nil, err
+			}
+		case *FuncDecl:
+			if err := c.declareFunc(n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, d := range f.Decls {
+		switch n := d.(type) {
+		case *VarDecl:
+			if err := c.checkGlobalInit(n); err != nil {
+				return nil, err
+			}
+		case *FuncDecl:
+			if n.Body == nil {
+				continue
+			}
+			if err := c.checkFunc(n); err != nil {
+				return nil, err
+			}
+			c.info.Funcs = append(c.info.Funcs, n)
+		}
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return nil, errf(f.Pos, "no main function defined")
+	}
+	return c.info, nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *Symbol, pos Pos) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		return errf(pos, "%q redeclared in this scope", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareGlobal(n *VarDecl) error {
+	if n.Type.Kind == KVoid {
+		return errf(n.Pos, "variable %q has void type", n.Name)
+	}
+	sym := &Symbol{Name: n.Name, Kind: SymGlobal, Type: n.Type, Def: n}
+	n.Sym = sym
+	c.info.Globals = append(c.info.Globals, n)
+	return c.declare(sym, n.Pos)
+}
+
+func (c *checker) declareFunc(n *FuncDecl) error {
+	if n.Ret.Kind == KStruct {
+		return errf(n.Pos, "function %q returns a struct: return results through a pointer parameter", n.Name)
+	}
+	for _, p := range n.Params {
+		if p.Type.Kind == KStruct {
+			return errf(p.Pos, "parameter %q is a struct: pass structs by pointer", p.Name)
+		}
+	}
+	ft := &Type{Kind: KFunc, Ret: n.Ret}
+	for _, p := range n.Params {
+		ft.Params = append(ft.Params, p.Type)
+	}
+	if prev, ok := c.funcs[n.Name]; ok {
+		if !prev.Type.Same(ft) {
+			return errf(n.Pos, "conflicting declarations of %q", n.Name)
+		}
+		if prevDef := prev.Def.(*FuncDecl); prevDef.Body != nil && n.Body != nil {
+			return errf(n.Pos, "function %q redefined", n.Name)
+		}
+		if n.Body != nil {
+			prev.Def = n
+		}
+		n.Sym = prev
+		return nil
+	}
+	sym := &Symbol{Name: n.Name, Kind: SymFunc, Type: ft, Def: n}
+	n.Sym = sym
+	c.funcs[n.Name] = sym
+	return c.declare(sym, n.Pos)
+}
+
+func (c *checker) checkGlobalInit(n *VarDecl) error {
+	if n.Type.Kind == KStruct && (n.Init != nil || n.InitList != nil) {
+		return errf(n.Pos, "struct global %q cannot have an initializer (zero-initialized; use a memory map or assignments)", n.Name)
+	}
+	if n.Init != nil {
+		if err := c.expr(n.Init); err != nil {
+			return err
+		}
+		if _, ok := FoldConst(n.Init); !ok {
+			if _, isF := n.Init.(*FloatLit); !isF {
+				if _, isS := n.Init.(*StringLit); !isS {
+					return errf(n.Pos, "global initializer for %q must be constant", n.Name)
+				}
+			}
+		}
+	}
+	for _, e := range n.InitList {
+		if err := c.expr(e); err != nil {
+			return err
+		}
+		if _, ok := FoldConst(e); !ok {
+			if _, isF := e.(*FloatLit); !isF {
+				return errf(n.Pos, "array initializer for %q must be constant", n.Name)
+			}
+		}
+	}
+	if n.InitList != nil && n.Type.Kind != KArray {
+		return errf(n.Pos, "brace initializer on non-array %q", n.Name)
+	}
+	if n.Type.Kind == KArray && int32(len(n.InitList)) > n.Type.ArrayLen {
+		return errf(n.Pos, "too many initializers for %q", n.Name)
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(n *FuncDecl) error {
+	c.curFunc = n
+	c.push()
+	defer c.pop()
+	for _, p := range n.Params {
+		if p.Type.Kind == KVoid {
+			return errf(p.Pos, "parameter %q has void type", p.Name)
+		}
+		sym := &Symbol{Name: p.Name, Kind: SymParam, Type: p.Type, Def: p}
+		p.Sym = sym
+		if err := c.declare(sym, p.Pos); err != nil {
+			return err
+		}
+	}
+	return c.stmt(n.Body)
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch n := s.(type) {
+	case *BlockStmt:
+		if !n.Scopeless {
+			c.push()
+			defer c.pop()
+		}
+		for _, st := range n.List {
+			if err := c.stmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DeclStmt:
+		d := n.Decl
+		if d.Type.Kind == KVoid {
+			return errf(d.Pos, "variable %q has void type", d.Name)
+		}
+		if d.Init != nil {
+			if err := c.expr(d.Init); err != nil {
+				return err
+			}
+			if !d.Type.AssignableFrom(decay(d.Init.TypeOf())) && !isNullToPtr(d.Type, d.Init) {
+				return errf(d.Pos, "cannot initialize %s %q with %s", d.Type, d.Name, d.Init.TypeOf())
+			}
+		}
+		if d.InitList != nil {
+			if d.Type.Kind != KArray {
+				return errf(d.Pos, "brace initializer on non-array %q", d.Name)
+			}
+			for _, e := range d.InitList {
+				if err := c.expr(e); err != nil {
+					return err
+				}
+			}
+			if int32(len(d.InitList)) > d.Type.ArrayLen {
+				return errf(d.Pos, "too many initializers for %q", d.Name)
+			}
+		}
+		if (d.Type.Kind == KArray || d.Type.Kind == KStruct) && c.spawnDepth > 0 {
+			return errf(d.Pos, "local %s %q in parallel code: virtual threads have no stack (registers or global memory only, paper §IV-D)", d.Type, d.Name)
+		}
+		if d.Type.Kind == KStruct && (d.Init != nil || d.InitList != nil) {
+			return errf(d.Pos, "struct %q cannot have an initializer: assign members individually", d.Name)
+		}
+		sym := &Symbol{Name: d.Name, Kind: SymLocal, Type: d.Type, Def: d}
+		d.Sym = sym
+		return c.declare(sym, d.Pos)
+	case *ExprStmt:
+		return c.expr(n.X)
+	case *EmptyStmt:
+		return nil
+	case *IfStmt:
+		if err := c.condExpr(n.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(n.Then); err != nil {
+			return err
+		}
+		if n.Else != nil {
+			return c.stmt(n.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.condExpr(n.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmt(n.Body)
+	case *DoStmt:
+		c.loopDepth++
+		err := c.stmt(n.Body)
+		c.loopDepth--
+		if err != nil {
+			return err
+		}
+		return c.condExpr(n.Cond)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if n.Init != nil {
+			if err := c.stmt(n.Init); err != nil {
+				return err
+			}
+		}
+		if n.Cond != nil {
+			if err := c.condExpr(n.Cond); err != nil {
+				return err
+			}
+		}
+		if n.Post != nil {
+			if err := c.expr(n.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmt(n.Body)
+	case *BreakStmt:
+		if c.loopDepth == 0 && c.switchDepth == 0 {
+			return errf(n.Pos, "break outside loop or switch")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(n.Pos, "continue outside loop")
+		}
+		return nil
+	case *ReturnStmt:
+		if c.spawnDepth > 0 {
+			return errf(n.Pos, "return inside a spawn block")
+		}
+		ret := c.curFunc.Ret
+		if n.X == nil {
+			if ret.Kind != KVoid {
+				return errf(n.Pos, "return without value in function returning %s", ret)
+			}
+			return nil
+		}
+		if err := c.expr(n.X); err != nil {
+			return err
+		}
+		if ret.Kind == KVoid {
+			return errf(n.Pos, "return with value in void function")
+		}
+		if !ret.AssignableFrom(decay(n.X.TypeOf())) && !isNullToPtr(ret, n.X) {
+			return errf(n.Pos, "cannot return %s from function returning %s", n.X.TypeOf(), ret)
+		}
+		return nil
+	case *SwitchStmt:
+		if err := c.expr(n.Tag); err != nil {
+			return err
+		}
+		if !decay(n.Tag.TypeOf()).IsInteger() {
+			return errf(n.Pos, "switch tag must be an integer, got %s", n.Tag.TypeOf())
+		}
+		seen := make(map[int32]bool)
+		for _, cl := range n.Cases {
+			for _, v := range cl.Values {
+				if seen[v] {
+					return errf(cl.Pos, "duplicate case value %d", v)
+				}
+				seen[v] = true
+			}
+		}
+		c.switchDepth++
+		c.push()
+		for _, cl := range n.Cases {
+			for _, st := range cl.Body {
+				if err := c.stmt(st); err != nil {
+					c.pop()
+					c.switchDepth--
+					return err
+				}
+			}
+		}
+		c.pop()
+		c.switchDepth--
+		return nil
+	case *SpawnStmt:
+		if err := c.expr(n.Low); err != nil {
+			return err
+		}
+		if err := c.expr(n.High); err != nil {
+			return err
+		}
+		if !n.Low.TypeOf().IsInteger() || !n.High.TypeOf().IsInteger() {
+			return errf(n.Pos, "spawn bounds must be integers")
+		}
+		if c.spawnDepth > 0 {
+			n.Serialize = true
+			c.info.Warnings = append(c.info.Warnings,
+				fmt.Sprintf("%s: nested spawn is serialized by the current toolchain release", n.Pos))
+		}
+		c.spawnDepth++
+		savedLoop := c.loopDepth
+		savedSwitch := c.switchDepth
+		c.loopDepth = 0 // break/continue cannot cross the spawn boundary
+		c.switchDepth = 0
+		err := c.stmt(n.Body)
+		c.loopDepth = savedLoop
+		c.switchDepth = savedSwitch
+		c.spawnDepth--
+		return err
+	}
+	return errf(s.GetPos(), "internal: unknown statement %T", s)
+}
+
+func (c *checker) condExpr(e Expr) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	if !decay(e.TypeOf()).IsScalar() {
+		return errf(e.GetPos(), "condition must be scalar, got %s", e.TypeOf())
+	}
+	return nil
+}
+
+// decay converts array types to pointers for expression contexts.
+func decay(t *Type) *Type {
+	if t != nil && t.Kind == KArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+func isNullToPtr(dst *Type, e Expr) bool {
+	if dst.Kind != KPtr {
+		return false
+	}
+	v, ok := FoldConst(e)
+	return ok && v == 0
+}
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e Expr) bool {
+	switch n := e.(type) {
+	case *Ident:
+		return n.Sym != nil && n.Sym.Kind != SymFunc && n.Sym.Type.Kind != KArray
+	case *Index:
+		return true
+	case *Unary:
+		return n.Op == MUL
+	case *Member:
+		return n.Arrow || isLvalue(n.X)
+	}
+	return false
+}

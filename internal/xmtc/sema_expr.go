@@ -1,0 +1,500 @@
+package xmtc
+
+// Expression type checking and builtin resolution.
+
+func (c *checker) expr(e Expr) error {
+	switch n := e.(type) {
+	case *IntLit:
+		n.setType(TypeInt)
+		return nil
+	case *FloatLit:
+		n.setType(TypeFloat)
+		return nil
+	case *StringLit:
+		n.setType(PtrTo(TypeChar))
+		return nil
+	case *TidExpr:
+		if c.spawnDepth == 0 {
+			return errf(n.Pos, "$ (virtual thread id) used outside a spawn block")
+		}
+		n.setType(TypeInt)
+		return nil
+	case *Ident:
+		sym := c.lookup(n.Name)
+		if sym == nil {
+			return errf(n.Pos, "undeclared identifier %q", n.Name)
+		}
+		if sym.Kind == SymFunc {
+			return errf(n.Pos, "function %q used as a value (function pointers are not supported)", n.Name)
+		}
+		n.Sym = sym
+		n.setType(sym.Type)
+		return nil
+	case *Binary:
+		return c.binary(n)
+	case *Unary:
+		return c.unary(n)
+	case *Assign:
+		return c.assign(n)
+	case *IncDec:
+		if err := c.expr(n.X); err != nil {
+			return err
+		}
+		if !isLvalue(n.X) {
+			return errf(n.Pos, "%s needs an lvalue", n.Op)
+		}
+		t := n.X.TypeOf()
+		if !t.IsInteger() && t.Kind != KPtr {
+			return errf(n.Pos, "%s needs an integer or pointer, got %s", n.Op, t)
+		}
+		n.setType(t)
+		return nil
+	case *Cond:
+		if err := c.condExpr(n.C); err != nil {
+			return err
+		}
+		if err := c.expr(n.T); err != nil {
+			return err
+		}
+		if err := c.expr(n.F); err != nil {
+			return err
+		}
+		tt, ft := decay(n.T.TypeOf()), decay(n.F.TypeOf())
+		switch {
+		case tt.IsArith() && ft.IsArith():
+			if tt.Kind == KFloat || ft.Kind == KFloat {
+				n.setType(TypeFloat)
+			} else {
+				n.setType(TypeInt)
+			}
+		case tt.Kind == KPtr && ft.Kind == KPtr:
+			n.setType(tt)
+		case tt.Kind == KPtr && isNullToPtr(tt, n.F):
+			n.setType(tt)
+		case ft.Kind == KPtr && isNullToPtr(ft, n.T):
+			n.setType(ft)
+		default:
+			return errf(n.Pos, "incompatible ?: operands: %s and %s", tt, ft)
+		}
+		return nil
+	case *Member:
+		if err := c.expr(n.X); err != nil {
+			return err
+		}
+		xt := n.X.TypeOf()
+		if n.Arrow {
+			if decay(xt).Kind != KPtr || decay(xt).Elem.Kind != KStruct {
+				return errf(n.Pos, "-> needs a struct pointer, got %s", xt)
+			}
+			xt = decay(xt).Elem
+		} else if xt.Kind != KStruct {
+			return errf(n.Pos, ". needs a struct, got %s", xt)
+		}
+		fld := xt.FieldByName(n.Name)
+		if fld == nil {
+			return errf(n.Pos, "struct %s has no member %q", xt.StructName, n.Name)
+		}
+		if !n.Arrow && !isLvalue(n.X) {
+			return errf(n.Pos, "member access on a non-lvalue struct")
+		}
+		n.Field = fld
+		n.setType(fld.Type)
+		return nil
+	case *Index:
+		if err := c.expr(n.X); err != nil {
+			return err
+		}
+		if err := c.expr(n.I); err != nil {
+			return err
+		}
+		xt := decay(n.X.TypeOf())
+		if xt.Kind != KPtr {
+			return errf(n.Pos, "indexing non-array/pointer %s", n.X.TypeOf())
+		}
+		if !n.I.TypeOf().IsInteger() {
+			return errf(n.Pos, "array index must be integer, got %s", n.I.TypeOf())
+		}
+		n.setType(xt.Elem)
+		return nil
+	case *Cast:
+		if err := c.expr(n.X); err != nil {
+			return err
+		}
+		src := decay(n.X.TypeOf())
+		dst := n.To
+		ok := (dst.IsScalar() && src.IsScalar()) || dst.Kind == KVoid
+		if !ok {
+			return errf(n.Pos, "invalid cast from %s to %s", src, dst)
+		}
+		if (dst.Kind == KPtr && src.Kind == KFloat) || (dst.Kind == KFloat && src.Kind == KPtr) {
+			return errf(n.Pos, "invalid cast between pointer and float")
+		}
+		n.setType(dst)
+		return nil
+	case *SizeofExpr:
+		if n.OfExpr != nil {
+			if err := c.expr(n.OfExpr); err != nil {
+				return err
+			}
+		}
+		n.setType(TypeInt)
+		return nil
+	case *Call:
+		return c.call(n)
+	}
+	return errf(e.GetPos(), "internal: unknown expression %T", e)
+}
+
+func (c *checker) binary(n *Binary) error {
+	if err := c.expr(n.X); err != nil {
+		return err
+	}
+	if err := c.expr(n.Y); err != nil {
+		return err
+	}
+	xt, yt := decay(n.X.TypeOf()), decay(n.Y.TypeOf())
+	switch n.Op {
+	case COMMA:
+		n.setType(yt)
+		return nil
+	case OROR, ANDAND:
+		if !xt.IsScalar() || !yt.IsScalar() {
+			return errf(n.Pos, "%s needs scalar operands", n.Op)
+		}
+		n.setType(TypeInt)
+		return nil
+	case EQ, NE, LT, GT, LE, GE:
+		okArith := xt.IsArith() && yt.IsArith()
+		okPtr := xt.Kind == KPtr && yt.Kind == KPtr ||
+			xt.Kind == KPtr && isNullToPtr(xt, n.Y) ||
+			yt.Kind == KPtr && isNullToPtr(yt, n.X)
+		if !okArith && !okPtr {
+			return errf(n.Pos, "invalid comparison between %s and %s", xt, yt)
+		}
+		n.setType(TypeInt)
+		return nil
+	case ADD:
+		if xt.Kind == KPtr && yt.IsInteger() {
+			n.setType(xt)
+			return nil
+		}
+		if yt.Kind == KPtr && xt.IsInteger() {
+			n.setType(yt)
+			return nil
+		}
+	case SUB:
+		if xt.Kind == KPtr && yt.IsInteger() {
+			n.setType(xt)
+			return nil
+		}
+		if xt.Kind == KPtr && yt.Kind == KPtr {
+			if !xt.Elem.Same(yt.Elem) {
+				return errf(n.Pos, "subtracting incompatible pointers")
+			}
+			n.setType(TypeInt)
+			return nil
+		}
+	}
+	// Arithmetic and bitwise operators.
+	if !xt.IsArith() || !yt.IsArith() {
+		return errf(n.Pos, "invalid operands to %s: %s and %s", n.Op, xt, yt)
+	}
+	isFloat := xt.Kind == KFloat || yt.Kind == KFloat
+	switch n.Op {
+	case REM, AND, OR, XOR, SHL, SHR:
+		if isFloat {
+			return errf(n.Pos, "%s needs integer operands", n.Op)
+		}
+	}
+	if isFloat {
+		n.setType(TypeFloat)
+	} else if xt.Kind == KUnsigned || yt.Kind == KUnsigned {
+		n.setType(TypeUnsigned)
+	} else {
+		n.setType(TypeInt)
+	}
+	return nil
+}
+
+func (c *checker) unary(n *Unary) error {
+	if err := c.expr(n.X); err != nil {
+		return err
+	}
+	xt := decay(n.X.TypeOf())
+	switch n.Op {
+	case SUB:
+		if !xt.IsArith() {
+			return errf(n.Pos, "negating %s", xt)
+		}
+		n.setType(xt)
+	case NOT:
+		if !xt.IsScalar() {
+			return errf(n.Pos, "! needs a scalar")
+		}
+		n.setType(TypeInt)
+	case TILDE:
+		if !xt.IsInteger() {
+			return errf(n.Pos, "~ needs an integer")
+		}
+		n.setType(xt)
+	case MUL:
+		if xt.Kind != KPtr {
+			return errf(n.Pos, "dereferencing non-pointer %s", xt)
+		}
+		if xt.Elem.Kind == KVoid {
+			return errf(n.Pos, "dereferencing void*")
+		}
+		n.setType(xt.Elem)
+	case AND:
+		switch x := n.X.(type) {
+		case *Ident:
+			if x.Sym == nil || x.Sym.Kind == SymFunc {
+				return errf(n.Pos, "cannot take the address of %q", x.Name)
+			}
+			// Taking the address of arrays yields a pointer to the element.
+			if x.Sym.Type.Kind == KArray {
+				n.setType(PtrTo(x.Sym.Type.Elem))
+			} else {
+				n.setType(PtrTo(x.Sym.Type))
+			}
+		case *Index:
+			n.setType(PtrTo(x.TypeOf()))
+		case *Member:
+			if !isLvalue(x) {
+				return errf(n.Pos, "& needs an lvalue")
+			}
+			n.setType(PtrTo(x.TypeOf()))
+		case *Unary:
+			if x.Op != MUL {
+				return errf(n.Pos, "& needs an lvalue")
+			}
+			n.setType(PtrTo(x.TypeOf()))
+		default:
+			return errf(n.Pos, "& needs an lvalue")
+		}
+	default:
+		return errf(n.Pos, "internal: unary %s", n.Op)
+	}
+	return nil
+}
+
+func (c *checker) assign(n *Assign) error {
+	if err := c.expr(n.LHS); err != nil {
+		return err
+	}
+	if err := c.expr(n.RHS); err != nil {
+		return err
+	}
+	if !isLvalue(n.LHS) {
+		return errf(n.Pos, "assignment needs an lvalue")
+	}
+	lt := n.LHS.TypeOf()
+	rt := decay(n.RHS.TypeOf())
+	if lt.Kind == KArray {
+		return errf(n.Pos, "cannot assign to an array")
+	}
+	if lt.Kind == KStruct || rt.Kind == KStruct {
+		return errf(n.Pos, "whole-struct assignment is not supported: copy members individually")
+	}
+	if n.Op == ASSIGN {
+		if !lt.AssignableFrom(rt) && !isNullToPtr(lt, n.RHS) {
+			return errf(n.Pos, "cannot assign %s to %s", rt, lt)
+		}
+	} else {
+		// Compound assignment: lhs op rhs must be valid arithmetic (or
+		// pointer += int for ADDA/SUBA).
+		ptrOK := lt.Kind == KPtr && rt.IsInteger() && (n.Op == ADDA || n.Op == SUBA)
+		if !ptrOK {
+			if !lt.IsArith() || !rt.IsArith() {
+				return errf(n.Pos, "invalid compound assignment between %s and %s", lt, rt)
+			}
+			switch n.Op {
+			case REMA, ANDA, ORA, XORA, SHLA, SHRA:
+				if lt.Kind == KFloat || rt.Kind == KFloat {
+					return errf(n.Pos, "integer compound assignment on float")
+				}
+			}
+		}
+	}
+	n.setType(lt)
+	return nil
+}
+
+// builtinByName maps source names to builtin IDs.
+var builtinByName = map[string]Builtin{
+	"ps":           BuiltinPs,
+	"psm":          BuiltinPsm,
+	"print_int":    BuiltinPrintInt,
+	"printint":     BuiltinPrintInt,
+	"print_float":  BuiltinPrintFloat,
+	"print_char":   BuiltinPrintChar,
+	"print_string": BuiltinPrintString,
+	"xmt_cycle":    BuiltinCycle,
+	"malloc":       BuiltinMalloc,
+	"checkpoint":   BuiltinCheckpoint,
+	"xmt_prefetch": BuiltinPrefetch,
+	"xmt_ro_read":  BuiltinReadOnly,
+}
+
+func (c *checker) call(n *Call) error {
+	if b, ok := builtinByName[n.Name]; ok {
+		if c.lookup(n.Name) == nil { // user may shadow a builtin name
+			n.Builtin = b
+			return c.builtin(n)
+		}
+	}
+	sym := c.lookup(n.Name)
+	if sym == nil {
+		return errf(n.Pos, "call to undeclared function %q", n.Name)
+	}
+	if sym.Kind != SymFunc {
+		return errf(n.Pos, "%q is not a function", n.Name)
+	}
+	if c.spawnDepth > 0 {
+		return errf(n.Pos, "function call %q in parallel code: the parallel cactus-stack is not in this release (paper §IV-E)", n.Name)
+	}
+	ft := sym.Type
+	if len(n.Args) != len(ft.Params) {
+		return errf(n.Pos, "%q expects %d arguments, got %d", n.Name, len(ft.Params), len(n.Args))
+	}
+	for i, a := range n.Args {
+		if err := c.expr(a); err != nil {
+			return err
+		}
+		if !ft.Params[i].AssignableFrom(decay(a.TypeOf())) && !isNullToPtr(ft.Params[i], a) {
+			return errf(a.GetPos(), "argument %d of %q: cannot pass %s as %s", i+1, n.Name, a.TypeOf(), ft.Params[i])
+		}
+	}
+	n.Sym = sym
+	n.setType(ft.Ret)
+	return nil
+}
+
+func (c *checker) builtin(n *Call) error {
+	for _, a := range n.Args {
+		if err := c.expr(a); err != nil {
+			return err
+		}
+	}
+	argc := func(want int) error {
+		if len(n.Args) != want {
+			return errf(n.Pos, "%s expects %d argument(s), got %d", n.Name, want, len(n.Args))
+		}
+		return nil
+	}
+	switch n.Builtin {
+	case BuiltinPs:
+		if err := argc(2); err != nil {
+			return err
+		}
+		inc, ok := n.Args[0].(*Ident)
+		if !ok || inc.Sym == nil || (inc.Sym.Kind != SymLocal && inc.Sym.Kind != SymParam) || !inc.Sym.Type.IsInteger() {
+			return errf(n.Pos, "ps increment must be a local integer variable")
+		}
+		baseI, ok := n.Args[1].(*Ident)
+		if !ok || baseI.Sym == nil || baseI.Sym.Kind != SymGlobal || !baseI.Sym.Type.IsInteger() {
+			return errf(n.Pos, "ps base must be a global integer variable (use psm for arbitrary memory locations)")
+		}
+		if baseI.Sym.Type.Volatile {
+			return errf(n.Pos, "ps base cannot be volatile (it lives in a global register)")
+		}
+		if !baseI.Sym.PsBase {
+			if len(c.info.PsBases) >= 62 {
+				return errf(n.Pos, "too many distinct ps bases: only %d global registers available (use psm)", 62)
+			}
+			baseI.Sym.PsBase = true
+			baseI.Sym.GReg = uint8(len(c.info.PsBases))
+			c.info.PsBases = append(c.info.PsBases, baseI.Sym)
+		}
+		n.setType(TypeVoid)
+		return nil
+	case BuiltinPsm:
+		if err := argc(2); err != nil {
+			return err
+		}
+		inc, ok := n.Args[0].(*Ident)
+		if !ok || inc.Sym == nil || (inc.Sym.Kind != SymLocal && inc.Sym.Kind != SymParam) || !inc.Sym.Type.IsInteger() {
+			return errf(n.Pos, "psm increment must be a local integer variable")
+		}
+		if !isLvalue(n.Args[1]) || !n.Args[1].TypeOf().IsInteger() {
+			return errf(n.Pos, "psm base must be an integer lvalue")
+		}
+		n.setType(TypeVoid)
+		return nil
+	case BuiltinPrintInt, BuiltinPrintChar:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if !decay(n.Args[0].TypeOf()).IsInteger() && decay(n.Args[0].TypeOf()).Kind != KPtr {
+			return errf(n.Pos, "%s expects an integer", n.Name)
+		}
+		n.setType(TypeVoid)
+		return nil
+	case BuiltinPrintFloat:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if !decay(n.Args[0].TypeOf()).IsArith() {
+			return errf(n.Pos, "print_float expects a number")
+		}
+		n.setType(TypeVoid)
+		return nil
+	case BuiltinPrintString:
+		if err := argc(1); err != nil {
+			return err
+		}
+		t := decay(n.Args[0].TypeOf())
+		if t.Kind != KPtr || t.Elem.Kind != KChar {
+			return errf(n.Pos, "print_string expects a char*")
+		}
+		n.setType(TypeVoid)
+		return nil
+	case BuiltinCycle:
+		if err := argc(0); err != nil {
+			return err
+		}
+		n.setType(TypeInt)
+		return nil
+	case BuiltinMalloc:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if c.spawnDepth > 0 {
+			return errf(n.Pos, "malloc in parallel code: dynamic memory allocation is currently supported only in serial code (paper §IV-D)")
+		}
+		if !decay(n.Args[0].TypeOf()).IsInteger() {
+			return errf(n.Pos, "malloc expects a size in bytes")
+		}
+		n.setType(PtrTo(TypeVoid))
+		return nil
+	case BuiltinCheckpoint:
+		if err := argc(0); err != nil {
+			return err
+		}
+		if c.spawnDepth > 0 {
+			return errf(n.Pos, "checkpoint() must be called from serial code")
+		}
+		n.setType(TypeVoid)
+		return nil
+	case BuiltinPrefetch:
+		if err := argc(1); err != nil {
+			return err
+		}
+		if decay(n.Args[0].TypeOf()).Kind != KPtr {
+			return errf(n.Pos, "xmt_prefetch expects an address")
+		}
+		n.setType(TypeVoid)
+		return nil
+	case BuiltinReadOnly:
+		if err := argc(1); err != nil {
+			return err
+		}
+		t := decay(n.Args[0].TypeOf())
+		if t.Kind != KPtr || !t.Elem.IsInteger() {
+			return errf(n.Pos, "xmt_ro_read expects an int*")
+		}
+		n.setType(TypeInt)
+		return nil
+	}
+	return errf(n.Pos, "internal: unknown builtin %q", n.Name)
+}

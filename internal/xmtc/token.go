@@ -1,0 +1,163 @@
+// Package xmtc implements the front end of the XMTC compiler: lexer,
+// parser, abstract syntax tree and semantic analysis for the XMTC language
+// — "a modest single-program multiple-data (SPMD) parallel extension of C
+// with serial and parallel execution modes" (paper §II-A). The extensions
+// over the supported C subset are the spawn statement, the virtual
+// thread-id expression $, and the prefix-sum primitives ps and psm.
+package xmtc
+
+import "fmt"
+
+// Tok is a lexical token kind.
+type Tok uint8
+
+const (
+	EOF Tok = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+	CHARLIT
+	STRINGLIT
+	DOLLAR // $
+
+	// Keywords.
+	KwInt
+	KwUnsigned
+	KwFloat
+	KwChar
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwBreak
+	KwContinue
+	KwReturn
+	KwSpawn
+	KwVolatile
+	KwConst
+	KwSizeof
+	KwStruct
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBool  // accepted as int
+	KwTrue  // 1
+	KwFalse // 0
+
+	// Punctuation and operators.
+	LPAREN
+	RPAREN
+	LBRACE
+	RBRACE
+	LBRACK
+	RBRACK
+	SEMI
+	COMMA
+	QUESTION
+	COLON
+
+	ASSIGN // =
+	ADDA   // +=
+	SUBA   // -=
+	MULA   // *=
+	DIVA   // /=
+	REMA   // %=
+	ANDA   // &=
+	ORA    // |=
+	XORA   // ^=
+	SHLA   // <<=
+	SHRA   // >>=
+
+	OROR   // ||
+	ANDAND // &&
+	OR     // |
+	XOR    // ^
+	AND    // &
+	EQ     // ==
+	NE     // !=
+	LT     // <
+	GT     // >
+	LE     // <=
+	GE     // >=
+	SHL    // <<
+	SHR    // >>
+	ADD    // +
+	SUB    // -
+	MUL    // *
+	DIV    // /
+	REM    // %
+	NOT    // !
+	TILDE  // ~
+	INC    // ++
+	DEC    // --
+	DOT    // .
+	ARROW  // ->
+)
+
+var tokNames = map[Tok]string{
+	EOF: "end of file", IDENT: "identifier", INTLIT: "integer literal",
+	FLOATLIT: "float literal", CHARLIT: "char literal", STRINGLIT: "string literal",
+	DOLLAR: "$",
+	KwInt:  "int", KwUnsigned: "unsigned", KwFloat: "float", KwChar: "char",
+	KwVoid: "void", KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
+	KwDo: "do", KwBreak: "break", KwContinue: "continue", KwReturn: "return",
+	KwSpawn: "spawn", KwVolatile: "volatile", KwConst: "const", KwSizeof: "sizeof",
+	KwBool: "bool", KwTrue: "true", KwFalse: "false", KwStruct: "struct",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	SEMI: ";", COMMA: ",", QUESTION: "?", COLON: ":",
+	ASSIGN: "=", ADDA: "+=", SUBA: "-=", MULA: "*=", DIVA: "/=", REMA: "%=",
+	ANDA: "&=", ORA: "|=", XORA: "^=", SHLA: "<<=", SHRA: ">>=",
+	OROR: "||", ANDAND: "&&", OR: "|", XOR: "^", AND: "&",
+	EQ: "==", NE: "!=", LT: "<", GT: ">", LE: "<=", GE: ">=",
+	SHL: "<<", SHR: ">>", ADD: "+", SUB: "-", MUL: "*", DIV: "/", REM: "%",
+	NOT: "!", TILDE: "~", INC: "++", DEC: "--", DOT: ".", ARROW: "->",
+}
+
+func (t Tok) String() string {
+	if s, ok := tokNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Tok(%d)", uint8(t))
+}
+
+var keywords = map[string]Tok{
+	"int": KwInt, "unsigned": KwUnsigned, "float": KwFloat, "char": KwChar,
+	"void": KwVoid, "if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
+	"do": KwDo, "break": KwBreak, "continue": KwContinue, "return": KwReturn,
+	"spawn": KwSpawn, "volatile": KwVolatile, "const": KwConst, "sizeof": KwSizeof,
+	"bool": KwBool, "true": KwTrue, "false": KwFalse, "struct": KwStruct,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// Token is one lexed token.
+type Token struct {
+	Kind Tok
+	Pos  Pos
+	Text string  // IDENT, STRINGLIT raw content
+	Int  int64   // INTLIT, CHARLIT
+	Flt  float64 // FLOATLIT
+}
+
+// Error is a front-end diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,213 @@
+package xmtgo_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmtgo"
+	"xmtgo/internal/prng"
+	"xmtgo/internal/workloads"
+)
+
+// TestFacadeWorkflow drives the documented programmer's workflow through
+// the public API: compile, link with a memory map, run functionally, then
+// cycle-accurately, and read statistics.
+func TestFacadeWorkflow(t *testing.T) {
+	src := `
+int n = 0;
+int A[64];
+int total = 0;
+int main() {
+    spawn(0, n - 1) {
+        int v = A[$];
+        psm(v, total);
+    }
+    print_int(total);
+    return 0;
+}`
+	mm := "n = 8\nA = 1 2 3 4 5 6 7 8\n"
+	prog, cres, err := xmtgo.Build("t.c", src, xmtgo.DefaultCompileOptions(), mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Stats.OutlinedSpawns != 1 {
+		t.Fatal("outlining missing")
+	}
+	var fOut bytes.Buffer
+	if _, err := xmtgo.RunFunctional(prog, xmtgo.ConfigFPGA64(), &fOut); err != nil {
+		t.Fatal(err)
+	}
+	if fOut.String() != "36" {
+		t.Fatalf("functional: %q", fOut.String())
+	}
+
+	var cOut bytes.Buffer
+	sys, err := xmtgo.NewSimulator(prog, xmtgo.ConfigFPGA64(), &cOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := xmtgo.NewHotLocationsFilter(32, 5)
+	sys.Stats.AddFilter(hot)
+	res, err := sys.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cOut.String() != "36" || !res.Halted {
+		t.Fatalf("cycle: %q, %+v", cOut.String(), res)
+	}
+	if sys.Stats.TotalInstrs() == 0 || sys.Stats.SpawnCount != 1 {
+		t.Fatal("stats empty")
+	}
+	var rep bytes.Buffer
+	sys.Stats.Report(&rep)
+	if !strings.Contains(rep.String(), "hot-locations") {
+		t.Fatal("filter missing from report")
+	}
+}
+
+func TestFacadeAssemble(t *testing.T) {
+	prog, err := xmtgo.Assemble("t.s", `
+        .data
+v:      .word 0
+        .text
+main:   lw   $v0, v
+        sys  1
+        sys  0
+`, "v = 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := xmtgo.RunFunctional(prog, xmtgo.ConfigFPGA64(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "9" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+func TestFacadeCheckpointRoundTrip(t *testing.T) {
+	src := `
+int v = 1;
+int main() {
+    v = v + 41;
+    checkpoint();
+    print_int(v);
+    return 0;
+}`
+	prog, _, err := xmtgo.Build("c.c", src, xmtgo.DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := xmtgo.NewSimulator(prog, xmtgo.ConfigFPGA64(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Checkpoint {
+		t.Fatalf("no checkpoint stop: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := xmtgo.SaveCheckpoint(&buf, sys.Capture()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := xmtgo.LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sys2, err := xmtgo.NewSimulator(prog, xmtgo.ConfigFPGA64(), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "42" {
+		t.Fatalf("resumed output %q", out.String())
+	}
+}
+
+// TestCompactionProperty: the Fig. 2a program compacts random arrays
+// correctly for arbitrary densities and sizes (functional-mode property
+// test with a host oracle).
+func TestCompactionProperty(t *testing.T) {
+	rng := prng.New(99)
+	f := func(seedLow uint16, sizeSel, densSel uint8) bool {
+		n := 8 + int(sizeSel%120)
+		density := float64(densSel%10) / 10.0
+		src, nz := workloads.Compaction(n, density, uint64(seedLow)+1)
+		prog, _, err := xmtgo.Build("c.c", src, xmtgo.DefaultCompileOptions())
+		if err != nil {
+			t.Logf("compile: %v", err)
+			return false
+		}
+		var out bytes.Buffer
+		if _, err := xmtgo.RunFunctional(prog, xmtgo.ConfigFPGA64(), &out); err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		return out.String() == fmt.Sprint(nz)
+	}
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(pcgSource{rng})}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPsAtomicityProperty: concurrent ps over one base hands out exactly
+// the range [0, k) — no duplicates, no gaps — under cycle-accurate timing.
+func TestPsAtomicityProperty(t *testing.T) {
+	for _, k := range []int{1, 7, 64, 200} {
+		src := fmt.Sprintf(`
+int got[%d];
+int base = 0;
+int ok = 1;
+int main() {
+    int i;
+    spawn(0, %d) {
+        int inc = 1;
+        ps(inc, base);
+        got[inc] = got[inc] + 1;
+    }
+    if (base != %d) ok = 0;
+    for (i = 0; i < %d; i++) {
+        if (got[i] != 1) ok = 0;
+    }
+    print_int(ok);
+    return 0;
+}`, k, k-1, k, k)
+		prog, _, err := xmtgo.Build("ps.c", src, xmtgo.DefaultCompileOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		sys, err := xmtgo.NewSimulator(prog, xmtgo.ConfigFPGA64(), &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != "1" {
+			t.Fatalf("k=%d: ps handed out a non-permutation", k)
+		}
+	}
+}
+
+// pcgSource adapts the deterministic PCG to math/rand for testing/quick.
+type pcgSource struct{ r *prng.PCG }
+
+func (s pcgSource) Int63() int64 { return int64(s.r.Uint64() >> 1) }
+func (s pcgSource) Seed(int64)   {}
