@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"xmtgo/internal/codegen"
+	"xmtgo/internal/diag"
 )
 
 func main() {
@@ -36,7 +37,9 @@ func main() {
 		scramble    = flag.Bool("scramble-layout", false, "mimic GCC's misplaced spawn blocks (Fig. 9); the post-pass fixes them")
 		dumpPrepass = flag.Bool("dump-prepass", false, "print the pre-passed (outlined) program and exit")
 		dumpIR      = flag.Bool("dump-ir", false, "print the optimized IR of every function and exit")
-		verbose     = flag.Bool("v", false, "print compilation statistics")
+		analyze     = flag.Bool("analyze", false, "run the static analyzer (the xmtlint checks) before code generation")
+		werror      = flag.Bool("Werror", false, "treat analyzer and front-end warnings as errors")
+		verbose     = flag.Bool("v", false, "print compilation statistics and post-pass diagnostics")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,13 +61,32 @@ func main() {
 		DisableOutline: *noOutline,
 		ScrambleLayout: *scramble,
 		DumpIR:         *dumpIR,
+		Analyze:        *analyze,
 	}
 	res, err := codegen.Compile(file, string(src), opts)
 	if err != nil {
 		fatal(err)
 	}
-	for _, w := range res.Warnings {
-		fmt.Fprintln(os.Stderr, "warning:", w)
+	// Front-end warnings and analyzer/post-pass diagnostics share one
+	// stream; notes are chatty, so they stay behind -analyze / -v.
+	ds := append(append([]diag.Diagnostic(nil), res.Warnings...), res.Diagnostics...)
+	diag.Sort(ds)
+	if *werror {
+		ds = diag.Promote(ds)
+	}
+	errs := 0
+	for _, d := range ds {
+		if d.Severity == diag.Note && !*analyze && !*verbose {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d)
+		if d.Severity >= diag.Error {
+			errs++
+		}
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "xmtcc: %d error(s), no output written\n", errs)
+		os.Exit(1)
 	}
 	if *dumpPrepass {
 		fmt.Print(res.PrepassSource)

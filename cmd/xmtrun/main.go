@@ -79,7 +79,7 @@ func main() {
 		fatal(err)
 	}
 	for _, w := range res.Warnings {
-		fmt.Fprintln(os.Stderr, "warning:", w)
+		fmt.Fprintln(os.Stderr, w)
 	}
 	prog, err := asm.Assemble(res.Unit)
 	if err != nil {

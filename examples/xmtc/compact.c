@@ -1,0 +1,23 @@
+// Fig. 2a: copy the non-zero elements of A into B (order not preserved).
+// The canonical first XMT program; xmtlint reports it clean.
+int A[64];
+int B[64];
+int base = 0;
+
+int main() {
+    int i;
+    for (i = 0; i < 64; i++) A[i] = (i % 3 == 0) ? i + 1 : 0;
+
+    spawn(0, 63) {
+        int inc = 1;
+        if (A[$] != 0) {
+            ps(inc, base);       // hardware prefix-sum: inc gets old base
+            B[inc] = A[$];
+        }
+    }
+
+    print_string("non-zero elements: ");
+    print_int(base);
+    print_char('\n');
+    return 0;
+}

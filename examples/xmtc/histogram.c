@@ -1,0 +1,29 @@
+// Struct-based parallel histogram: each virtual thread classifies one
+// sample and updates a shared bucket with psm (the prefix-sum-to-memory
+// primitive, which the cache modules queue and apply atomically).
+// xmtlint reports it clean.
+struct Bucket { int count; int sum; };
+struct Bucket hist[16];
+int samples[4096];
+int n = 0;
+
+int main() {
+    spawn(0, n - 1) {
+        int v = samples[$];
+        int b = (v >> 8) & 15;       // 16 buckets over 0..4095
+        int one = 1;
+        psm(one, hist[b].count);
+        int add = v;
+        psm(add, hist[b].sum);
+    }
+    int i;
+    for (i = 0; i < 16; i++) {
+        print_int(i);
+        print_string(": ");
+        print_int(hist[i].count);
+        print_string(" (sum ");
+        print_int(hist[i].sum);
+        print_string(")\n");
+    }
+    return 0;
+}

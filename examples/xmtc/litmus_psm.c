@@ -1,0 +1,27 @@
+// The paper's Fig. 7 litmus test at the source level: the writer releases
+// its store to x by synchronizing over y with a psm, and the reader
+// acquires through a psm on y before reading x. The compiler's
+// fence-before-prefix-sum rule plus the buffer flush at prefix-sum
+// completion make "obsY == 1 implies obsX == 1" hold. xmtlint must report
+// this program clean — even through the full pipeline with -compile.
+int x = 0;
+int y = 0;
+int obsX = 0;
+int obsY = 0;
+int main() {
+    spawn(0, 1) {
+        if ($ == 0) {
+            int one = 1;
+            x = 1;
+            psm(one, y);
+        } else {
+            int t = 0;
+            psm(t, y);
+            obsY = t;
+            obsX = x;
+        }
+    }
+    print_int(obsY);
+    print_int(obsX);
+    return 0;
+}

@@ -1,0 +1,24 @@
+// The paper's Fig. 6 litmus test at the source level: thread 0 writes x
+// then y, thread 1 reads y then x, with no order-enforcing operation in
+// between. Under the relaxed XMT memory model the reader may observe
+// (obsY, obsX) = (1, 0) — a prefetched line can hand thread 1 a stale x
+// after it has already seen the new y. xmtlint must flag both access
+// pairs with the spawn-race check.
+int x = 0;
+int y = 0;
+int obsX = 0;
+int obsY = 0;
+int main() {
+    spawn(0, 1) {
+        if ($ == 0) {
+            x = 1;
+            y = 1;
+        } else {
+            obsY = y;
+            obsX = x;
+        }
+    }
+    print_int(obsY);
+    print_int(obsX);
+    return 0;
+}

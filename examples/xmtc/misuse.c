@@ -1,0 +1,29 @@
+// Deliberately broken XMTC exercising the analyzer's source-level checks.
+// Every finding below is intentional; this file is a golden-test fixture
+// and a living catalog of the bug classes docs/ANALYZER.md describes.
+int total = 0;
+int x = 0;
+int flag = 0;
+int A[64];
+
+int main() {
+    int sum = 0;
+    spawn(0, 63) {
+        sum = sum + A[$];        // spawn-dataflow: serial local, captured by reference
+        int inc = 2;
+        ps(inc, total);          // ps-misuse: increment is statically 2, not 0/1
+        int mine = 0;
+        int one = 1;
+        psm(one, mine);          // ps-misuse: psm to thread-private storage
+        if ($ == 0) {
+            x = 1;               // spawn-race: unordered write ...
+        }
+        A[$] = x + mine;         // ... and read of x, no prefix-sum between
+        if ($ == 1) {
+            flag = 1;
+        }
+        while (flag == 0) { }    // volatile: spin-wait on non-volatile global
+    }
+    print_int(total);
+    return 0;
+}

@@ -1,0 +1,18 @@
+// Suppression demo: an "xmtlint:ignore <check>" comment on the flagged
+// line or the line directly above silences that check's finding there (a
+// bare "xmtlint:ignore" silences every check). The capture below is the
+// Fig. 8 bug class, acknowledged deliberately: with a single virtual
+// thread there is no interleaving to race with. xmtlint reports this
+// file clean.
+int out = 0;
+
+int main() {
+    int last = 0;
+    spawn(0, 0) {
+        // xmtlint:ignore spawn-dataflow
+        last = $;
+    }
+    out = last;
+    print_int(out);
+    return 0;
+}

@@ -1,0 +1,177 @@
+// Package analysis is the XMTC static analyzer behind cmd/xmtlint and
+// xmtcc -analyze: a registry of passes over the checked XMTC AST that
+// report memory-model hazards, illegal spawn dataflow, prefix-sum misuse
+// and volatile misuse as structured diagnostics (package diag).
+//
+// The passes run on the front-end AST *before* the outlining pre-pass
+// mutates it, so positions and names match what the programmer wrote.
+// Each diagnostic carries the name of the producing check; a source
+// comment of the form
+//
+//	// xmtlint:ignore <check> [<check>...]
+//
+// on the flagged line or the line directly above suppresses it (a bare
+// "xmtlint:ignore" suppresses every check on that line). See
+// docs/ANALYZER.md for the check catalog.
+package analysis
+
+import (
+	"strings"
+
+	"xmtgo/internal/diag"
+	"xmtgo/internal/xmtc"
+)
+
+// Unit is the analyzed translation unit.
+type Unit struct {
+	Filename string
+	File     *xmtc.File
+	// Info is the sema result; nil when Check failed, in which case only
+	// passes with NeedsInfo == false run (identifiers are unresolved).
+	Info *xmtc.Info
+	// Lines are the raw source lines, for suppression-comment scanning.
+	Lines []string
+}
+
+// Pass is one registered check.
+type Pass struct {
+	// Name identifies the check in output ("[spawn-race]"), suppression
+	// comments and -checks filters.
+	Name string
+	// Doc is a one-line description for xmtlint -list.
+	Doc string
+	// NeedsInfo marks passes that require resolved symbols and types.
+	NeedsInfo bool
+	Run       func(*Unit) []diag.Diagnostic
+}
+
+// Passes returns the registered checks in execution order.
+func Passes() []Pass {
+	return []Pass{
+		{
+			Name:      "spawn-race",
+			Doc:       "conflicting unsynchronized accesses to shared memory inside a spawn region (the Fig. 6 litmus hazard)",
+			NeedsInfo: true,
+			Run:       checkSpawnRace,
+		},
+		{
+			Name:      "spawn-dataflow",
+			Doc:       "control flow or serial-local dataflow illegally crossing a spawn boundary (the Fig. 8 outlining bug class)",
+			NeedsInfo: false,
+			Run:       checkSpawnDataflow,
+		},
+		{
+			Name:      "ps-misuse",
+			Doc:       "prefix-sum misuse: ps increments outside {0,1}, psm to thread-private storage",
+			NeedsInfo: true,
+			Run:       checkPsMisuse,
+		},
+		{
+			Name:      "volatile",
+			Doc:       "re-reads of and spin-waits on non-volatile shared globals that register allocation will fold",
+			NeedsInfo: true,
+			Run:       checkVolatile,
+		},
+	}
+}
+
+// Run executes the enabled passes over an already parsed (and, when Info
+// is non-nil, checked) unit. A nil enabled map runs every pass. Front-end
+// warnings are not included — the caller owns those. Suppression comments
+// are applied and the result is sorted.
+func Run(u *Unit, enabled map[string]bool) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, p := range Passes() {
+		if enabled != nil && !enabled[p.Name] {
+			continue
+		}
+		if p.NeedsInfo && u.Info == nil {
+			continue
+		}
+		ds = append(ds, p.Run(u)...)
+	}
+	ds = suppress(ds, u.Lines)
+	diag.Sort(ds)
+	return ds
+}
+
+// Analyze parses, checks and analyzes one XMTC source file. Front-end
+// failures are reported as diagnostics, not errors: a parse error yields
+// a single "parse" diagnostic; a sema error yields a "sema" diagnostic
+// and the syntactic passes still run. Sema warnings (e.g. nested-spawn
+// serialization) are included.
+func Analyze(filename, src string, enabled map[string]bool) []diag.Diagnostic {
+	u := &Unit{Filename: filename, Lines: strings.Split(src, "\n")}
+	f, err := xmtc.Parse(filename, src)
+	if err != nil {
+		return []diag.Diagnostic{errDiag("parse", err)}
+	}
+	u.File = f
+	var ds []diag.Diagnostic
+	info, err := xmtc.Check(f)
+	if err != nil {
+		ds = append(ds, errDiag("sema", err))
+	} else {
+		u.Info = info
+		ds = append(ds, info.Warnings...)
+	}
+	ds = append(ds, Run(u, enabled)...)
+	ds = suppress(ds, u.Lines)
+	diag.Sort(ds)
+	return ds
+}
+
+// errDiag converts a front-end error into a diagnostic, preserving the
+// position when the error carries one.
+func errDiag(check string, err error) diag.Diagnostic {
+	d := diag.Diagnostic{Check: check, Severity: diag.Error, Msg: err.Error()}
+	if fe, ok := err.(*xmtc.Error); ok {
+		d.Pos = fe.Pos.Diag()
+		d.Msg = fe.Msg
+	}
+	return d
+}
+
+// Suppress applies the xmtlint:ignore comment filter to diagnostics
+// produced outside the pass registry (the compiler's post-pass verifier
+// and IR notes), so one suppression syntax covers every layer.
+func Suppress(ds []diag.Diagnostic, lines []string) []diag.Diagnostic {
+	return suppress(ds, lines)
+}
+
+// suppress drops diagnostics covered by an "xmtlint:ignore" comment on
+// the same line or the line directly above.
+func suppress(ds []diag.Diagnostic, lines []string) []diag.Diagnostic {
+	if len(ds) == 0 || len(lines) == 0 {
+		return ds
+	}
+	ignored := func(line int, check string) bool {
+		for _, l := range []int{line, line - 1} {
+			if l < 1 || l > len(lines) {
+				continue
+			}
+			text := lines[l-1]
+			i := strings.Index(text, "xmtlint:ignore")
+			if i < 0 {
+				continue
+			}
+			rest := strings.Fields(text[i+len("xmtlint:ignore"):])
+			if len(rest) == 0 {
+				return true // bare ignore: every check
+			}
+			for _, name := range rest {
+				if name == check {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	out := ds[:0]
+	for _, d := range ds {
+		if !ignored(d.Pos.Line, d.Check) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmtgo/internal/analysis"
+	"xmtgo/internal/diag"
+	"xmtgo/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the analyzer golden files")
+
+// TestGoldenExamples runs the analyzer over every XMTC fixture in
+// examples/xmtc and compares the rendered diagnostics against
+// testdata/<name>.golden (regenerate with -update). The fixtures include
+// the Fig. 6 litmus (must flag spawn-race) and the Fig. 7 version (must
+// be clean), so this is also the acceptance test for the race detector.
+func TestGoldenExamples(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "xmtc", "*.c"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".c")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Analyze with the base name so golden output is independent
+			// of where the repo is checked out.
+			ds := analysis.Analyze(filepath.Base(file), string(src), nil)
+			var b strings.Builder
+			for _, d := range ds {
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed for %s:\n--- got ---\n%s--- want ---\n%s", file, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenLitmusAcceptance pins the two headline properties without
+// golden files, so a stale -update cannot weaken them: the Fig. 6 source
+// must produce spawn-race warnings and the Fig. 7 source must produce no
+// diagnostics at all.
+func TestGoldenLitmusAcceptance(t *testing.T) {
+	ds := analysis.Analyze("fig6.c", workloads.LitmusRelaxedXMTC(), nil)
+	races := 0
+	for _, d := range ds {
+		if d.Check == "spawn-race" && d.Severity >= diag.Warning {
+			races++
+		}
+	}
+	if races != 2 {
+		t.Errorf("Fig. 6 litmus: got %d spawn-race warnings, want 2 (the x and y pairs):\n%v", races, ds)
+	}
+	if ds := analysis.Analyze("fig7.c", workloads.LitmusPSMXMTC(), nil); len(ds) != 0 {
+		t.Errorf("Fig. 7 litmus must be clean, got:\n%v", ds)
+	}
+}
+
+// TestWorkloadsClean analyzes every XMTC source the workload generators
+// produce — the programs behind the examples/ binaries — and requires
+// zero diagnostics: the analyzer must not cry wolf on the repository's
+// own known-good programs.
+func TestWorkloadsClean(t *testing.T) {
+	srcs := map[string]string{}
+	add := func(name, src string) { srcs[name] = src }
+	c, _ := workloads.Compaction(64, 0.3, 1)
+	add("compaction", c)
+	p, s, _ := workloads.Reduction(64)
+	add("reduction_par", p)
+	add("reduction_ser", s)
+	p, s, _ = workloads.VecAdd(64)
+	add("vecadd_par", p)
+	add("vecadd_ser", s)
+	p, s = workloads.MatMul(8)
+	add("matmul_par", p)
+	add("matmul_ser", s)
+	p, s = workloads.BFS(512, 8192)
+	add("bfs_par", p)
+	add("bfs_ser", s)
+	p, s = workloads.FFT(64)
+	add("fft_par", p)
+	add("fft_ser", s)
+	p, s, _, _ = workloads.PrefixSum(64)
+	add("prefixsum_par", p)
+	add("prefixsum_ser", s)
+	p, s = workloads.Connectivity(512, 8192)
+	add("connectivity_par", p)
+	add("connectivity_ser", s)
+	for i, g := range []workloads.TableIGroup{workloads.ParallelMemory, workloads.ParallelCompute, workloads.SerialMemory, workloads.SerialCompute} {
+		add(fmt.Sprintf("tablei_%d", i), workloads.TableI(g, 16, 4))
+	}
+	for name, src := range srcs {
+		if ds := analysis.Analyze(name+".c", src, nil); len(ds) != 0 {
+			t.Errorf("%s: expected clean, got:\n%v", name, ds)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"xmtgo/internal/xmtc"
+)
+
+// eachExpr visits e and every sub-expression, pre-order.
+func eachExpr(e xmtc.Expr, fn func(xmtc.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *xmtc.Binary:
+		eachExpr(n.X, fn)
+		eachExpr(n.Y, fn)
+	case *xmtc.Unary:
+		eachExpr(n.X, fn)
+	case *xmtc.Assign:
+		eachExpr(n.LHS, fn)
+		eachExpr(n.RHS, fn)
+	case *xmtc.IncDec:
+		eachExpr(n.X, fn)
+	case *xmtc.Cond:
+		eachExpr(n.C, fn)
+		eachExpr(n.T, fn)
+		eachExpr(n.F, fn)
+	case *xmtc.Call:
+		for _, a := range n.Args {
+			eachExpr(a, fn)
+		}
+	case *xmtc.Index:
+		eachExpr(n.X, fn)
+		eachExpr(n.I, fn)
+	case *xmtc.Member:
+		eachExpr(n.X, fn)
+	case *xmtc.Cast:
+		eachExpr(n.X, fn)
+	case *xmtc.SizeofExpr:
+		eachExpr(n.OfExpr, fn)
+	}
+}
+
+// eachStmt visits s and every sub-statement, pre-order, including spawn
+// bodies.
+func eachStmt(s xmtc.Stmt, fn func(xmtc.Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch n := s.(type) {
+	case *xmtc.BlockStmt:
+		for _, st := range n.List {
+			eachStmt(st, fn)
+		}
+	case *xmtc.IfStmt:
+		eachStmt(n.Then, fn)
+		eachStmt(n.Else, fn)
+	case *xmtc.WhileStmt:
+		eachStmt(n.Body, fn)
+	case *xmtc.DoStmt:
+		eachStmt(n.Body, fn)
+	case *xmtc.ForStmt:
+		eachStmt(n.Init, fn)
+		eachStmt(n.Body, fn)
+	case *xmtc.SwitchStmt:
+		for _, cl := range n.Cases {
+			for _, st := range cl.Body {
+				eachStmt(st, fn)
+			}
+		}
+	case *xmtc.SpawnStmt:
+		eachStmt(n.Body, fn)
+	}
+}
+
+// stmtExprs calls fn on every top-level expression directly attached to s
+// (not recursing into sub-statements).
+func stmtExprs(s xmtc.Stmt, fn func(xmtc.Expr)) {
+	switch n := s.(type) {
+	case *xmtc.DeclStmt:
+		fn(n.Decl.Init)
+		for _, e := range n.Decl.InitList {
+			fn(e)
+		}
+	case *xmtc.ExprStmt:
+		fn(n.X)
+	case *xmtc.IfStmt:
+		fn(n.Cond)
+	case *xmtc.WhileStmt:
+		fn(n.Cond)
+	case *xmtc.DoStmt:
+		fn(n.Cond)
+	case *xmtc.ForStmt:
+		fn(n.Cond)
+		fn(n.Post)
+	case *xmtc.ReturnStmt:
+		fn(n.X)
+	case *xmtc.SwitchStmt:
+		fn(n.Tag)
+	case *xmtc.SpawnStmt:
+		fn(n.Low)
+		fn(n.High)
+	}
+}
+
+// spawnSite is one spawn statement and its enclosing function.
+type spawnSite struct {
+	fn *xmtc.FuncDecl
+	sp *xmtc.SpawnStmt
+}
+
+// spawnSites collects every spawn statement in the file, outermost first.
+// Nested spawns are serialized by the toolchain, so their bodies are
+// analyzed as part of the outer region and not returned separately.
+func spawnSites(f *xmtc.File) []spawnSite {
+	var sites []spawnSite
+	for _, d := range f.Decls {
+		fd, ok := d.(*xmtc.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		depth := 0
+		var walk func(s xmtc.Stmt)
+		walk = func(s xmtc.Stmt) {
+			if sp, ok := s.(*xmtc.SpawnStmt); ok {
+				if depth == 0 {
+					sites = append(sites, spawnSite{fn: fd, sp: sp})
+				}
+				depth++
+				walkChildren(sp, walk)
+				depth--
+				return
+			}
+			walkChildren(s, walk)
+		}
+		walk(fd.Body)
+	}
+	return sites
+}
+
+// walkChildren visits the direct sub-statements of s.
+func walkChildren(s xmtc.Stmt, fn func(xmtc.Stmt)) {
+	switch n := s.(type) {
+	case *xmtc.BlockStmt:
+		for _, st := range n.List {
+			fn(st)
+		}
+	case *xmtc.IfStmt:
+		fn(n.Then)
+		if n.Else != nil {
+			fn(n.Else)
+		}
+	case *xmtc.WhileStmt:
+		fn(n.Body)
+	case *xmtc.DoStmt:
+		fn(n.Body)
+	case *xmtc.ForStmt:
+		if n.Init != nil {
+			fn(n.Init)
+		}
+		fn(n.Body)
+	case *xmtc.SwitchStmt:
+		for _, cl := range n.Cases {
+			for _, st := range cl.Body {
+				fn(st)
+			}
+		}
+	case *xmtc.SpawnStmt:
+		fn(n.Body)
+	}
+}
+
+// containsTid reports whether the expression mentions $ (the virtual
+// thread id), directly or in any sub-expression.
+func containsTid(e xmtc.Expr) bool {
+	found := false
+	eachExpr(e, func(x xmtc.Expr) {
+		if _, ok := x.(*xmtc.TidExpr); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// rootSym resolves the base symbol of an access path: the symbol behind
+// x, x[i], x.f, x[i].f chains. Returns nil for pointer dereferences and
+// other shapes the analyzer does not model.
+func rootSym(e xmtc.Expr) *xmtc.Symbol {
+	for {
+		switch n := e.(type) {
+		case *xmtc.Ident:
+			return n.Sym
+		case *xmtc.Index:
+			e = n.X
+		case *xmtc.Member:
+			if n.Arrow {
+				return nil // through a pointer: aliasing unknown
+			}
+			e = n.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredIn collects the symbols declared anywhere under s (the
+// spawn-private variables when s is a spawn body).
+func declaredIn(s xmtc.Stmt) map[*xmtc.Symbol]bool {
+	out := make(map[*xmtc.Symbol]bool)
+	eachStmt(s, func(st xmtc.Stmt) {
+		if d, ok := st.(*xmtc.DeclStmt); ok && d.Decl.Sym != nil {
+			out[d.Decl.Sym] = true
+		}
+	})
+	return out
+}
+
+// isSyncCall reports whether e is a ps or psm builtin call.
+func isSyncCall(e xmtc.Expr) (*xmtc.Call, bool) {
+	c, ok := e.(*xmtc.Call)
+	if !ok {
+		return nil, false
+	}
+	if c.Builtin == xmtc.BuiltinPs || c.Builtin == xmtc.BuiltinPsm {
+		return c, true
+	}
+	return nil, false
+}

@@ -1,0 +1,318 @@
+package analysis
+
+import (
+	"fmt"
+
+	"xmtgo/internal/diag"
+	"xmtgo/internal/xmtc"
+)
+
+// checkSpawnRace is the spawn-region race detector: it flags pairs of
+// conflicting accesses (write/write or read/write of the same global, or
+// of potentially aliasing elements of the same global array) inside a
+// spawn body when neither access is ordered by a prefix-sum. This is the
+// static form of the paper's Fig. 6 litmus hazard: under the relaxed XMT
+// memory model such a pair may be observed out of order (a prefetched
+// line can make thread B read the old x after the new y), while the
+// Fig. 7 pattern — releasing writes with ps/psm and acquiring reads after
+// one — restores the partial order and is reported clean.
+//
+// The model is deliberately simple and errs quiet:
+//
+//   - only accesses whose base is a global (or a global array/struct
+//     element) are tracked; pointer dereferences are ignored;
+//   - a pair is racy only if at least one side is thread-varying —
+//     its index or stored value mentions $, or it executes under a
+//     $-dependent condition — since uniform accesses write the same
+//     value from every thread;
+//   - accesses to the same array element through a syntactically
+//     identical $-dependent index (A[$] vs A[$]) are per-thread private
+//     and never conflict; distinct constant indices never conflict;
+//   - a ps/psm earlier in traversal order than access R and later than
+//     access W orders the pair (release/acquire); this over-approximates
+//     across sibling branches, a deliberate false-negative trade;
+//   - a single access site never races with itself.
+func checkSpawnRace(u *Unit) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, site := range spawnSites(u.File) {
+		ds = append(ds, raceScanSpawn(site.sp)...)
+	}
+	return ds
+}
+
+// raceAccess is one tracked shared-memory access inside a spawn body.
+type raceAccess struct {
+	sym     *xmtc.Symbol
+	index   xmtc.Expr // innermost array index, nil for scalars
+	write   bool
+	tidDep  bool
+	pos     xmtc.Pos
+	text    string // rendered access, for messages
+	syncsAt int    // prefix-sums seen before this access, traversal order
+}
+
+// raceScanner walks one spawn body collecting accesses and sync points.
+type raceScanner struct {
+	accesses []raceAccess
+	syncs    int
+	guardTid int // depth of enclosing $-dependent conditions
+}
+
+func raceScanSpawn(sp *xmtc.SpawnStmt) []diag.Diagnostic {
+	sc := &raceScanner{}
+	sc.stmt(sp.Body)
+	total := sc.syncs
+
+	type pairKey struct {
+		a, b xmtc.Pos
+	}
+	reported := make(map[pairKey]bool)
+	var ds []diag.Diagnostic
+	for i := 0; i < len(sc.accesses); i++ {
+		for j := i + 1; j < len(sc.accesses); j++ {
+			a, b := sc.accesses[i], sc.accesses[j]
+			if !racePair(a, b, total) {
+				continue
+			}
+			key := pairKey{a.pos, b.pos}
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			ds = append(ds, diag.Diagnostic{
+				Check:    "spawn-race",
+				Severity: diag.Warning,
+				Pos:      b.pos.Diag(),
+				Msg: fmt.Sprintf("possible data race on %q: this %s and the %s at %s are not ordered by a prefix-sum; under the relaxed XMT memory model they may be observed out of order (paper Fig. 6)",
+					a.sym.Name, accessWord(b), accessWord(a), a.pos),
+				Related: []diag.Related{{
+					Pos: a.pos.Diag(),
+					Msg: fmt.Sprintf("conflicting %s of %q", accessWord(a), a.text),
+				}},
+			})
+		}
+	}
+	return ds
+}
+
+func accessWord(a raceAccess) string {
+	if a.write {
+		return "write"
+	}
+	return "read"
+}
+
+// racePair decides whether two accesses form an unordered conflict.
+func racePair(a, b raceAccess, totalSyncs int) bool {
+	if a.sym != b.sym {
+		return false
+	}
+	if !a.write && !b.write {
+		return false
+	}
+	if !a.tidDep && !b.tidDep {
+		return false
+	}
+	if a.pos == b.pos {
+		return false // one site racing with itself is out of scope
+	}
+	// Array element aliasing.
+	if a.index != nil && b.index != nil {
+		ai, aok := xmtc.FoldConst(a.index)
+		bi, bok := xmtc.FoldConst(b.index)
+		if aok && bok && ai != bi {
+			return false // provably distinct elements
+		}
+		if containsTid(a.index) && containsTid(b.index) &&
+			xmtc.RenderExpr(a.index) == xmtc.RenderExpr(b.index) {
+			return false // same $-dependent element: private to each thread
+		}
+	}
+	// Release/acquire ordering through a prefix-sum: one side issues a
+	// ps/psm after its access, the other before.
+	after := func(x raceAccess) bool { return totalSyncs-x.syncsAt > 0 }
+	before := func(x raceAccess) bool { return x.syncsAt > 0 }
+	if after(a) && before(b) {
+		return false
+	}
+	if after(b) && before(a) {
+		return false
+	}
+	return true
+}
+
+func (sc *raceScanner) stmt(s xmtc.Stmt) {
+	switch n := s.(type) {
+	case *xmtc.BlockStmt:
+		for _, st := range n.List {
+			sc.stmt(st)
+		}
+	case *xmtc.DeclStmt:
+		if n.Decl.Init != nil {
+			sc.expr(n.Decl.Init, false)
+		}
+		for _, e := range n.Decl.InitList {
+			sc.expr(e, false)
+		}
+	case *xmtc.ExprStmt:
+		sc.expr(n.X, false)
+	case *xmtc.IfStmt:
+		sc.expr(n.Cond, false)
+		sc.guarded(n.Cond, func() {
+			sc.stmt(n.Then)
+			if n.Else != nil {
+				sc.stmt(n.Else)
+			}
+		})
+	case *xmtc.WhileStmt:
+		sc.expr(n.Cond, false)
+		sc.guarded(n.Cond, func() { sc.stmt(n.Body) })
+	case *xmtc.DoStmt:
+		sc.guarded(n.Cond, func() { sc.stmt(n.Body) })
+		sc.expr(n.Cond, false)
+	case *xmtc.ForStmt:
+		if n.Init != nil {
+			sc.stmt(n.Init)
+		}
+		if n.Cond != nil {
+			sc.expr(n.Cond, false)
+		}
+		sc.guarded(n.Cond, func() {
+			sc.stmt(n.Body)
+			if n.Post != nil {
+				sc.expr(n.Post, false)
+			}
+		})
+	case *xmtc.SwitchStmt:
+		sc.expr(n.Tag, false)
+		sc.guarded(n.Tag, func() {
+			for _, cl := range n.Cases {
+				for _, st := range cl.Body {
+					sc.stmt(st)
+				}
+			}
+		})
+	case *xmtc.ReturnStmt:
+		if n.X != nil {
+			sc.expr(n.X, false)
+		}
+	case *xmtc.SpawnStmt: // nested spawn: serialized, same region
+		sc.expr(n.Low, false)
+		sc.expr(n.High, false)
+		sc.stmt(n.Body)
+	}
+}
+
+// guarded runs body with the $-dependence of cond pushed onto the guard
+// stack.
+func (sc *raceScanner) guarded(cond xmtc.Expr, body func()) {
+	tid := cond != nil && containsTid(cond)
+	if tid {
+		sc.guardTid++
+	}
+	body()
+	if tid {
+		sc.guardTid--
+	}
+}
+
+// expr records the accesses of one expression tree. write applies to the
+// root access path only.
+func (sc *raceScanner) expr(e xmtc.Expr, write bool) {
+	if e == nil {
+		return
+	}
+	switch n := e.(type) {
+	case *xmtc.Assign:
+		// A compound assignment also reads the location, but the write
+		// access already conflicts with everything the read would.
+		sc.access(n.LHS, true, containsTid(n.RHS))
+		sc.indexReads(n.LHS)
+		sc.expr(n.RHS, false)
+	case *xmtc.IncDec:
+		sc.access(n.X, true, false)
+		sc.indexReads(n.X)
+	case *xmtc.Call:
+		if _, ok := isSyncCall(e); ok {
+			// The prefix-sum itself is an ordering operation: its base is
+			// updated atomically by the ps unit or the cache modules, so
+			// it is not a plain access. Index sub-expressions of the base
+			// are ordinary reads.
+			sc.syncs++
+			sc.indexReads(n.Args[1])
+			return
+		}
+		for _, a := range n.Args {
+			sc.expr(a, false)
+		}
+	case *xmtc.Unary:
+		if n.Op == xmtc.AND {
+			// Address taken: escapes the analysis, ignore (documented).
+			return
+		}
+		sc.expr(n.X, false)
+	case *xmtc.Binary:
+		sc.expr(n.X, false)
+		sc.expr(n.Y, false)
+	case *xmtc.Cond:
+		sc.expr(n.C, false)
+		sc.guarded(n.C, func() {
+			sc.expr(n.T, false)
+			sc.expr(n.F, false)
+		})
+	case *xmtc.Cast:
+		sc.expr(n.X, false)
+	case *xmtc.SizeofExpr:
+		// Operand is not evaluated.
+	case *xmtc.Ident, *xmtc.Index, *xmtc.Member:
+		sc.access(e, write, false)
+		sc.indexReads(e)
+	}
+}
+
+// access records a read or write of an lvalue path if its base is a
+// global symbol.
+func (sc *raceScanner) access(e xmtc.Expr, write, valueTid bool) {
+	sym := rootSym(e)
+	if sym == nil || sym.Kind != xmtc.SymGlobal {
+		return
+	}
+	var index xmtc.Expr
+	if ix, ok := innerIndex(e); ok {
+		index = ix
+	}
+	tid := valueTid || sc.guardTid > 0 || (index != nil && containsTid(index))
+	sc.accesses = append(sc.accesses, raceAccess{
+		sym:     sym,
+		index:   index,
+		write:   write,
+		tidDep:  tid,
+		pos:     e.GetPos(),
+		text:    xmtc.RenderExpr(e),
+		syncsAt: sc.syncs,
+	})
+}
+
+// indexReads records the reads performed by the index sub-expressions of
+// an access path (the b in hist[b].count).
+func (sc *raceScanner) indexReads(e xmtc.Expr) {
+	switch n := e.(type) {
+	case *xmtc.Index:
+		sc.expr(n.I, false)
+		sc.indexReads(n.X)
+	case *xmtc.Member:
+		sc.indexReads(n.X)
+	}
+}
+
+// innerIndex returns the innermost array index of an access path, e.g.
+// the i of A[i] or hist[i].count.
+func innerIndex(e xmtc.Expr) (xmtc.Expr, bool) {
+	switch n := e.(type) {
+	case *xmtc.Index:
+		return n.I, true
+	case *xmtc.Member:
+		return innerIndex(n.X)
+	}
+	return nil, false
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+
+	"xmtgo/internal/diag"
+	"xmtgo/internal/xmtc"
+)
+
+// checkVolatile flags reads of non-volatile shared globals inside a spawn
+// body that register allocation is entitled to fold away, so the program
+// cannot observe other threads' updates even though the programmer
+// appears to expect it:
+//
+//   - a second read of the same non-volatile global scalar in one
+//     straight-line statement sequence, with no intervening write or
+//     prefix-sum: the optimizer keeps the first value in a register and
+//     the second load is dead. Only globals some thread actually writes
+//     inside the spawn body are tracked — re-reading a uniform that stays
+//     constant for the whole parallel section is harmless, and flagging
+//     it would bury the real findings (the FFT workload reads its stage
+//     geometry globals repeatedly, for example);
+//   - a loop whose condition reads a non-volatile global scalar that the
+//     loop body neither writes nor synchronizes on: the load hoists out
+//     of the loop and the spin never terminates (or never spins).
+//
+// Both are warnings; the fix is the volatile qualifier or a ps/psm. Only
+// scalar globals are tracked — array elements are left to spawn-race.
+func checkVolatile(u *Unit) []diag.Diagnostic {
+	var ds []diag.Diagnostic
+	for _, site := range spawnSites(u.File) {
+		w := &volWalker{written: writtenGlobals(site.sp.Body)}
+		w.stmts(site.sp.Body.List)
+		ds = append(ds, w.ds...)
+	}
+	return ds
+}
+
+type volWalker struct {
+	ds []diag.Diagnostic
+	// written holds the globals some statement of the spawn body stores
+	// to (plain write or psm base); only their re-reads are suspicious.
+	written map[*xmtc.Symbol]bool
+}
+
+// writtenGlobals collects the global scalars the spawn body writes,
+// including psm bases (the cache modules update those in place).
+func writtenGlobals(body xmtc.Stmt) map[*xmtc.Symbol]bool {
+	out := make(map[*xmtc.Symbol]bool)
+	record := func(e xmtc.Expr) {
+		if sym := rootSym(e); sym != nil && sym.Kind == xmtc.SymGlobal {
+			out[sym] = true
+		}
+	}
+	eachStmt(body, func(s xmtc.Stmt) {
+		stmtExprs(s, func(root xmtc.Expr) {
+			eachExpr(root, func(e xmtc.Expr) {
+				switch n := e.(type) {
+				case *xmtc.Assign:
+					record(n.LHS)
+				case *xmtc.IncDec:
+					record(n.X)
+				case *xmtc.Call:
+					if c, ok := isSyncCall(n); ok && len(c.Args) == 2 {
+						record(c.Args[1])
+					}
+				}
+			})
+		})
+	})
+	return out
+}
+
+func (w *volWalker) report(pos xmtc.Pos, format string, args ...any) {
+	w.ds = append(w.ds, diag.Diagnostic{
+		Check:    "volatile",
+		Severity: diag.Warning,
+		Pos:      pos.Diag(),
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// sharedScalar reports whether sym is a non-volatile global scalar.
+func sharedScalar(sym *xmtc.Symbol) bool {
+	return sym != nil && sym.Kind == xmtc.SymGlobal &&
+		sym.Type.Kind != xmtc.KArray && sym.Type.Kind != xmtc.KStruct &&
+		!sym.Type.Volatile && !sym.PsBase
+}
+
+// stmts scans one straight-line statement list, tracking the first read
+// of each shared scalar; control-flow statements recurse with a fresh
+// tracking state and act as barriers in the enclosing sequence.
+func (w *volWalker) stmts(list []xmtc.Stmt) {
+	first := make(map[*xmtc.Symbol]xmtc.Pos)
+	reset := func() { first = make(map[*xmtc.Symbol]xmtc.Pos) }
+	for _, s := range list {
+		switch n := s.(type) {
+		case *xmtc.DeclStmt:
+			if n.Decl.Init != nil {
+				w.scanReads(n.Decl.Init, first)
+			}
+		case *xmtc.ExprStmt:
+			w.scanReads(n.X, first)
+			w.scanEffects(n.X, first, reset)
+		case *xmtc.BlockStmt:
+			w.stmts(n.List)
+			reset()
+		case *xmtc.IfStmt:
+			w.scanReads(n.Cond, first)
+			w.branch(n.Then)
+			w.branch(n.Else)
+			reset()
+		case *xmtc.WhileStmt:
+			w.spin(n.Cond, n.Body, n.GetPos())
+			w.branch(n.Body)
+			reset()
+		case *xmtc.DoStmt:
+			w.spin(n.Cond, n.Body, n.GetPos())
+			w.branch(n.Body)
+			reset()
+		case *xmtc.ForStmt:
+			w.spin(n.Cond, n.Body, n.GetPos())
+			w.branch(n.Body)
+			reset()
+		case *xmtc.SwitchStmt:
+			w.scanReads(n.Tag, first)
+			for _, cl := range n.Cases {
+				w.stmts(cl.Body)
+			}
+			reset()
+		case *xmtc.SpawnStmt:
+			w.stmts(n.Body.List)
+			reset()
+		}
+	}
+}
+
+func (w *volWalker) branch(s xmtc.Stmt) {
+	switch n := s.(type) {
+	case nil:
+	case *xmtc.BlockStmt:
+		w.stmts(n.List)
+	default:
+		w.stmts([]xmtc.Stmt{s})
+	}
+}
+
+// scanReads records every read of a shared scalar in e and reports
+// duplicates within the current sequence.
+func (w *volWalker) scanReads(e xmtc.Expr, first map[*xmtc.Symbol]xmtc.Pos) {
+	eachExpr(e, func(x xmtc.Expr) {
+		id, ok := x.(*xmtc.Ident)
+		if !ok || !sharedScalar(id.Sym) || !w.written[id.Sym] {
+			return
+		}
+		if isWriteTarget(e, id) {
+			return
+		}
+		if prev, seen := first[id.Sym]; seen {
+			w.report(id.Pos,
+				"%q is re-read with no intervening write or prefix-sum (first read at %s): register allocation folds the second load into the first, so it cannot observe another thread's update; declare %q volatile if that is the intent",
+				id.Name, prev, id.Name)
+			return
+		}
+		first[id.Sym] = id.Pos
+	})
+}
+
+// scanEffects invalidates tracking state for writes and sync operations
+// in e: a write makes the next read legitimately fresh, and a prefix-sum
+// flushes the reader's buffers.
+func (w *volWalker) scanEffects(e xmtc.Expr, first map[*xmtc.Symbol]xmtc.Pos, reset func()) {
+	eachExpr(e, func(x xmtc.Expr) {
+		switch n := x.(type) {
+		case *xmtc.Assign:
+			if id, ok := n.LHS.(*xmtc.Ident); ok && id.Sym != nil {
+				delete(first, id.Sym)
+			}
+		case *xmtc.IncDec:
+			if id, ok := n.X.(*xmtc.Ident); ok && id.Sym != nil {
+				delete(first, id.Sym)
+			}
+		case *xmtc.Call:
+			if _, ok := isSyncCall(n); ok {
+				reset()
+			}
+		}
+	})
+}
+
+// isWriteTarget reports whether id is the store target of the root
+// expression (the x of x = ..., x++), which is not a read.
+func isWriteTarget(root xmtc.Expr, id *xmtc.Ident) bool {
+	switch n := root.(type) {
+	case *xmtc.Assign:
+		return n.Op == xmtc.ASSIGN && n.LHS == xmtc.Expr(id)
+	case *xmtc.IncDec:
+		return n.X == xmtc.Expr(id)
+	}
+	return false
+}
+
+// spin flags a loop inside a spawn that busy-waits on a non-volatile
+// global: the condition reads it, and the body neither writes it nor
+// performs a prefix-sum.
+func (w *volWalker) spin(cond xmtc.Expr, body xmtc.Stmt, pos xmtc.Pos) {
+	if cond == nil {
+		return
+	}
+	var watched []*xmtc.Ident
+	eachExpr(cond, func(x xmtc.Expr) {
+		if id, ok := x.(*xmtc.Ident); ok && sharedScalar(id.Sym) {
+			watched = append(watched, id)
+		}
+	})
+	if len(watched) == 0 {
+		return
+	}
+	writes := make(map[*xmtc.Symbol]bool)
+	syncs := false
+	eachStmt(body, func(s xmtc.Stmt) {
+		stmtExprs(s, func(root xmtc.Expr) {
+			eachExpr(root, func(x xmtc.Expr) {
+				switch n := x.(type) {
+				case *xmtc.Assign:
+					if id, ok := n.LHS.(*xmtc.Ident); ok && id.Sym != nil {
+						writes[id.Sym] = true
+					}
+				case *xmtc.IncDec:
+					if id, ok := n.X.(*xmtc.Ident); ok && id.Sym != nil {
+						writes[id.Sym] = true
+					}
+				case *xmtc.Call:
+					if _, ok := isSyncCall(n); ok {
+						syncs = true
+					}
+				}
+			})
+		})
+	})
+	if syncs {
+		return
+	}
+	for _, id := range watched {
+		if !writes[id.Sym] {
+			w.report(pos,
+				"spin-wait on non-volatile global %q: the loop body never writes it and performs no prefix-sum, so the load hoists out of the loop and the condition never changes; declare %q volatile or synchronize with ps/psm",
+				id.Name, id.Name)
+			return
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package postpass
+
+import (
+	"strings"
+	"testing"
+
+	"xmtgo/internal/diag"
+)
+
+// verifyMM parses src and returns the rendered memory-model diagnostics.
+func verifyMM(t *testing.T, src string) []string {
+	t.Helper()
+	u := parse(t, src)
+	var got []string
+	for _, d := range VerifyMemoryModel(u) {
+		if d.Check != "memmodel" {
+			t.Fatalf("unexpected check %q", d.Check)
+		}
+		if d.Severity != diag.Warning {
+			t.Fatalf("memmodel findings must be warnings, got %v", d.Severity)
+		}
+		got = append(got, d.String())
+	}
+	return got
+}
+
+func TestMemModelFencedPsClean(t *testing.T) {
+	src := `
+        .text
+main:
+        spawn $t0, $t1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        addiu $t2, $zero, 1
+        fence
+        ps    $t2, g10
+        join
+        jr    $ra
+`
+	if ds := verifyMM(t, src); len(ds) != 0 {
+		t.Errorf("fenced ps flagged: %v", ds)
+	}
+}
+
+func TestMemModelUnfencedPs(t *testing.T) {
+	src := `
+        .text
+main:
+        spawn $t0, $t1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        addiu $t2, $zero, 1
+        ps    $t2, g10
+        join
+        jr    $ra
+`
+	ds := verifyMM(t, src)
+	if len(ds) != 1 || !strings.Contains(ds[0], "fence-before-prefix-sum") {
+		t.Errorf("unfenced ps diagnostics = %v", ds)
+	}
+}
+
+func TestMemModelHoistedMemoryOp(t *testing.T) {
+	// The store sits between the fence and its prefix-sum: exactly the
+	// reordering the fence exists to forbid.
+	src := `
+        .text
+main:
+        spawn $t0, $t1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        fence
+        sw    $t3, 0($t4)
+        addiu $t2, $zero, 1
+        psm   $t2, 0($t5)
+        join
+        jr    $ra
+`
+	ds := verifyMM(t, src)
+	if len(ds) != 1 || !strings.Contains(ds[0], "illegally hoisted") {
+		t.Errorf("hoisted-op diagnostics = %v", ds)
+	}
+}
+
+func TestMemModelThreadIDGrabExempt(t *testing.T) {
+	// The grab ps at a spawn-region head is validated by chkid and runs
+	// in a fresh context with no pending memory operations; it needs no
+	// fence and must not be flagged.
+	src := `
+        .text
+main:
+        spawn $t0, $t1
+Lgrab:  addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        join
+        jr    $ra
+`
+	if ds := verifyMM(t, src); len(ds) != 0 {
+		t.Errorf("thread-id grab flagged: %v", ds)
+	}
+}
+
+func TestMemModelPsAtBlockHead(t *testing.T) {
+	// A ps right after a label (jump target) has an unfenced incoming
+	// path even if some other path fences.
+	src := `
+        .text
+main:
+        spawn $t0, $t1
+L:      addiu $tid, $zero, 1
+        ps    $tid, g63
+        chkid $tid
+        fence
+        j     Lps
+Lps:    addiu $t2, $zero, 1
+        ps    $t2, g10
+        join
+        jr    $ra
+`
+	ds := verifyMM(t, src)
+	if len(ds) != 1 || !strings.Contains(ds[0], "head of a basic block") {
+		t.Errorf("block-head diagnostics = %v", ds)
+	}
+}

@@ -10,38 +10,50 @@
 // (e.g. after the enclosing function's return) to save a jump; this pass
 // detects such blocks and relocates them back inside the region, inserting a
 // jump to the join where fall-through would otherwise be broken.
+//
+// Beyond the structural rules, VerifyMemoryModel checks the emitted code
+// against the XMT memory-model discipline: every prefix-sum instruction in
+// parallel code must be fenced (the paper's fence-before-prefix-sum rule,
+// §IV-A), and no load or store may sit between the fence and its
+// prefix-sum — a memory operation hoisted across a ps would be exactly the
+// reordering the fence exists to forbid.
 package postpass
 
 import (
 	"fmt"
 
 	"xmtgo/internal/asm"
+	"xmtgo/internal/diag"
 	"xmtgo/internal/isa"
 )
 
-// Diagnostic is one verification failure.
-type Diagnostic struct {
-	Line int
-	Msg  string
-}
+// Diagnostic is the shared structured diagnostic type; the post-pass
+// produces line-granular positions (no column) with check "postpass" or
+// "memmodel".
+type Diagnostic = diag.Diagnostic
 
-func (d Diagnostic) Error() string {
-	if d.Line > 0 {
-		return fmt.Sprintf("line %d: %s", d.Line, d.Msg)
+// pdiag builds a fatal post-pass diagnostic for the unit.
+func pdiag(u *asm.Unit, line int, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Check:    "postpass",
+		Severity: diag.Error,
+		Pos:      diag.Pos{File: u.File, Line: line},
+		Msg:      fmt.Sprintf(format, args...),
 	}
-	return d.Msg
 }
 
 // Result reports what the post-pass did.
 type Result struct {
-	RelocatedBlocks int      // basic blocks moved back into spawn regions
-	InsertedJumps   int      // fall-through protection jumps added
-	Diagnostics     []string // non-fatal notes
+	RelocatedBlocks int          // basic blocks moved back into spawn regions
+	InsertedJumps   int          // fall-through protection jumps added
+	Diagnostics     []Diagnostic // non-fatal notes and memory-model warnings
 }
 
 // Run verifies and fixes a unit in place. It returns an error for
 // violations that cannot be repaired (illegal instructions in parallel code,
-// unbalanced spawn/join, blocks that cannot be extracted).
+// unbalanced spawn/join, blocks that cannot be extracted). Non-fatal
+// findings — relocation notes and memory-model warnings — are collected in
+// Result.Diagnostics.
 func Run(u *asm.Unit) (*Result, error) {
 	res := &Result{}
 	if err := relocateMisplacedBlocks(u, res); err != nil {
@@ -50,6 +62,7 @@ func Run(u *asm.Unit) (*Result, error) {
 	if err := verify(u); err != nil {
 		return res, err
 	}
+	res.Diagnostics = append(res.Diagnostics, VerifyMemoryModel(u)...)
 	return res, nil
 }
 
@@ -68,19 +81,19 @@ func findRegions(u *asm.Unit) ([]region, error) {
 		switch it.Instr.Op {
 		case isa.OpSpawn:
 			if open >= 0 {
-				return nil, Diagnostic{Line: it.Line, Msg: "nested spawn (previous spawn not joined)"}
+				return nil, pdiag(u, it.Line, "nested spawn (previous spawn not joined)")
 			}
 			open = i
 		case isa.OpJoin:
 			if open < 0 {
-				return nil, Diagnostic{Line: it.Line, Msg: "join without matching spawn"}
+				return nil, pdiag(u, it.Line, "join without matching spawn")
 			}
 			regions = append(regions, region{spawn: open, join: i})
 			open = -1
 		}
 	}
 	if open >= 0 {
-		return nil, Diagnostic{Line: u.Text[open].Line, Msg: "spawn without matching join"}
+		return nil, pdiag(u, u.Text[open].Line, "spawn without matching join")
 	}
 	return regions, nil
 }
@@ -101,7 +114,7 @@ func labelPositions(u *asm.Unit) map[string]int {
 func relocateMisplacedBlocks(u *asm.Unit, res *Result) error {
 	for iter := 0; ; iter++ {
 		if iter > 4*len(u.Text)+16 {
-			return Diagnostic{Msg: "postpass: block relocation did not converge"}
+			return pdiag(u, 0, "block relocation did not converge")
 		}
 		moved, err := relocateOne(u, res)
 		if err != nil {
@@ -127,13 +140,13 @@ func relocateOne(u *asm.Unit, res *Result) (bool, error) {
 			}
 			pos, ok := labels[it.Instr.Sym]
 			if !ok {
-				return false, Diagnostic{Line: it.Line, Msg: fmt.Sprintf("undefined label %q", it.Instr.Sym)}
+				return false, pdiag(u, it.Line, "undefined label %q", it.Instr.Sym)
 			}
 			if pos > r.spawn && pos < r.join {
 				continue // already inside the broadcast window
 			}
 			if pos < r.spawn {
-				return false, Diagnostic{Line: it.Line, Msg: fmt.Sprintf("spawn block branches to %q before the spawn instruction; cannot relocate backwards-shared code", it.Instr.Sym)}
+				return false, pdiag(u, it.Line, "spawn block branches to %q before the spawn instruction; cannot relocate backwards-shared code", it.Instr.Sym)
 			}
 			if err := moveBlockIntoRegion(u, r, pos, res); err != nil {
 				return false, err
@@ -155,7 +168,7 @@ func moveBlockIntoRegion(u *asm.Unit, r region, pos int, res *Result) error {
 		if it.Kind == asm.ItemInstr {
 			op := it.Instr.Op
 			if op == isa.OpSpawn || op == isa.OpJoin {
-				return Diagnostic{Line: it.Line, Msg: "misplaced spawn-block code runs into another spawn region"}
+				return pdiag(u, it.Line, "misplaced spawn-block code runs into another spawn region")
 			}
 			if op == isa.OpJ || op == isa.OpJr || op == isa.OpJalr {
 				end++
@@ -166,7 +179,7 @@ func moveBlockIntoRegion(u *asm.Unit, r region, pos int, res *Result) error {
 		end++
 	}
 	if !found {
-		return Diagnostic{Line: u.Text[pos].Line, Msg: "misplaced spawn-block code falls off the end of the unit"}
+		return pdiag(u, u.Text[pos].Line, "misplaced spawn-block code falls off the end of the unit")
 	}
 	block := make([]asm.TextItem, end-pos)
 	copy(block, u.Text[pos:end])
@@ -214,8 +227,12 @@ func moveBlockIntoRegion(u *asm.Unit, r region, pos int, res *Result) error {
 
 	u.Text = append(append(append([]asm.TextItem{}, rest[:join]...), insert...), rest[join:]...)
 	res.RelocatedBlocks++
-	res.Diagnostics = append(res.Diagnostics,
-		fmt.Sprintf("relocated basic block %q into spawn region", blockLabel(block)))
+	res.Diagnostics = append(res.Diagnostics, Diagnostic{
+		Check:    "postpass",
+		Severity: diag.Note,
+		Pos:      diag.Pos{File: u.File, Line: u.Text[join].Line},
+		Msg:      fmt.Sprintf("relocated basic block %q into spawn region", blockLabel(block)),
+	})
 	return nil
 }
 
@@ -263,24 +280,24 @@ func verify(u *asm.Unit) error {
 		}
 		meta := in.Op.Meta()
 		if meta.MasterOnly {
-			return Diagnostic{Line: it.Line, Msg: fmt.Sprintf("%s is illegal in parallel code", in.Op)}
+			return pdiag(u, it.Line, "%s is illegal in parallel code", in.Op)
 		}
 		switch in.Op {
 		case isa.OpJal, isa.OpJalr:
-			return Diagnostic{Line: it.Line, Msg: "function calls in parallel code require the parallel cactus stack (not in this release)"}
+			return pdiag(u, it.Line, "function calls in parallel code require the parallel cactus stack (not in this release)")
 		case isa.OpJr:
-			return Diagnostic{Line: it.Line, Msg: "return (jr) inside a spawn region"}
+			return pdiag(u, it.Line, "return (jr) inside a spawn region")
 		}
 		if usesReg(in, isa.RegSP) || usesReg(in, isa.RegFP) {
-			return Diagnostic{Line: it.Line, Msg: "parallel code must not use the stack ($sp/$fp): no parallel stack allocation in this release"}
+			return pdiag(u, it.Line, "parallel code must not use the stack ($sp/$fp): no parallel stack allocation in this release")
 		}
 		if in.Sym != "" && in.Op.IsBranch() {
 			pos, ok := labels[in.Sym]
 			if !ok {
-				return Diagnostic{Line: it.Line, Msg: fmt.Sprintf("undefined label %q", in.Sym)}
+				return pdiag(u, it.Line, "undefined label %q", in.Sym)
 			}
 			if pos <= r.spawn || pos >= r.join {
-				return Diagnostic{Line: it.Line, Msg: fmt.Sprintf("branch to %q escapes the spawn region: the target was not broadcast", in.Sym)}
+				return pdiag(u, it.Line, "branch to %q escapes the spawn region: the target was not broadcast", in.Sym)
 			}
 		}
 	}
@@ -300,6 +317,88 @@ func usesReg(in isa.Instr, r isa.Reg) bool {
 		return in.Rs == r
 	case isa.FmtSpawn:
 		return in.Rs == r || in.Rt == r
+	}
+	return false
+}
+
+// VerifyMemoryModel checks the emitted code against the XMT memory-model
+// discipline the compiler is supposed to enforce (paper §IV-A):
+//
+//   - every prefix-sum instruction (ps, psm) is preceded by a fence on its
+//     fall-through path, so all of the issuing context's pending memory
+//     operations complete before the prefix-sum becomes visible;
+//   - no load or store sits between the fence and its prefix-sum — a
+//     memory operation placed (or hoisted by an optimizer) into that
+//     window would be exactly the reordering the fence forbids.
+//
+// The scan is per fall-through path: it walks backward from each
+// prefix-sum and stops at the first fence, memory operation, label,
+// branch or spawn boundary. Findings are warnings with check "memmodel";
+// they do not fail the post-pass, because handwritten assembly may fence
+// by other means (e.g. a dedicated synchronization thread).
+func VerifyMemoryModel(u *asm.Unit) []Diagnostic {
+	var ds []Diagnostic
+	warn := func(line int, format string, args ...any) {
+		ds = append(ds, Diagnostic{
+			Check:    "memmodel",
+			Severity: diag.Warning,
+			Pos:      diag.Pos{File: u.File, Line: line},
+			Msg:      fmt.Sprintf(format, args...),
+		})
+	}
+	for i, it := range u.Text {
+		if it.Kind != asm.ItemInstr {
+			continue
+		}
+		op := it.Instr.Op
+		if op != isa.OpPs && op != isa.OpPsm {
+			continue
+		}
+		if op == isa.OpPs && nextInstrIsChkid(u, i) {
+			// The thread-id grab at the head of a spawn region (ps into
+			// the id register, validated by chkid). The TCU context is
+			// fresh at that point — no memory operation of this virtual
+			// thread can be pending — so the fence rule does not apply.
+			continue
+		}
+	scan:
+		for k := i - 1; ; k-- {
+			if k < 0 {
+				warn(it.Line, "%s without a preceding fence (fence-before-prefix-sum rule)", op)
+				break scan
+			}
+			prev := u.Text[k]
+			if prev.Kind == asm.ItemLabel {
+				warn(it.Line, "%s at the head of a basic block has no fence on this path (fence-before-prefix-sum rule)", op)
+				break scan
+			}
+			pop := prev.Instr.Op
+			switch {
+			case pop == isa.OpFence:
+				break scan // properly fenced
+			case pop == isa.OpSpawn || pop == isa.OpJoin:
+				warn(it.Line, "%s without a preceding fence in this spawn region (fence-before-prefix-sum rule)", op)
+				break scan
+			case pop.Meta().Mem:
+				warn(it.Line, "%s between a fence and its %s: the memory operation may still be pending at the prefix-sum (illegally hoisted across the fence?)", pop, op)
+				break scan
+			case pop.IsBranch() || pop == isa.OpJ || pop == isa.OpJr || pop == isa.OpJalr || pop == isa.OpJal:
+				warn(it.Line, "%s without a preceding fence on the fall-through path (fence-before-prefix-sum rule)", op)
+				break scan
+			}
+		}
+	}
+	return ds
+}
+
+// nextInstrIsChkid reports whether the next instruction after item i is a
+// chkid — the signature of the thread-id grab sequence at a spawn-region
+// head.
+func nextInstrIsChkid(u *asm.Unit, i int) bool {
+	for k := i + 1; k < len(u.Text); k++ {
+		if u.Text[k].Kind == asm.ItemInstr {
+			return u.Text[k].Instr.Op == isa.OpChkid
+		}
 	}
 	return false
 }

@@ -1,0 +1,162 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"xmtgo/internal/diag"
+)
+
+const fig6Src = `
+int x = 0;
+int y = 0;
+int obsX = 0;
+int obsY = 0;
+int main() {
+    spawn(0, 1) {
+        if ($ == 0) {
+            x = 1;
+            y = 1;
+        } else {
+            obsY = y;
+            obsX = x;
+        }
+    }
+    print_int(obsY);
+    print_int(obsX);
+    return 0;
+}
+`
+
+const fig7Src = `
+int x = 0;
+int y = 0;
+int obsX = 0;
+int obsY = 0;
+int main() {
+    spawn(0, 1) {
+        if ($ == 0) {
+            int one = 1;
+            x = 1;
+            psm(one, y);
+        } else {
+            int t = 0;
+            psm(t, y);
+            obsY = t;
+            obsX = x;
+        }
+    }
+    print_int(obsY);
+    print_int(obsX);
+    return 0;
+}
+`
+
+func checksOf(ds []diag.Diagnostic) map[string]int {
+	out := make(map[string]int)
+	for _, d := range ds {
+		out[d.Check]++
+	}
+	return out
+}
+
+// TestAnalyzeOptionSurfacesRaces: with Options.Analyze the Fig. 6 litmus
+// compiles (the race is legal code) but Result.Diagnostics carries the
+// spawn-race findings; without the option the compile stays silent.
+func TestAnalyzeOptionSurfacesRaces(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Analyze = true
+	res, err := Compile("fig6.c", fig6Src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if n := checksOf(res.Diagnostics)["spawn-race"]; n != 2 {
+		t.Errorf("got %d spawn-race diagnostics, want 2:\n%v", n, res.Diagnostics)
+	}
+	res, err = Compile("fig6.c", fig6Src, DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile without analyze: %v", err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("without Analyze expected no diagnostics, got %v", res.Diagnostics)
+	}
+}
+
+// TestAnalyzePipelineCleanOnFig7: the prefix-sum-synchronized litmus must
+// come through the entire pipeline — AST passes, IR dead-load scan, and
+// the post-pass memory-model verifier — with zero findings.
+func TestAnalyzePipelineCleanOnFig7(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Analyze = true
+	res, err := Compile("fig7.c", fig7Src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("Fig. 7 must be clean end to end, got:\n%v", res.Diagnostics)
+	}
+}
+
+// TestDeadLoadNote: a global read whose value is discarded earns a
+// dead-load note (the optimizer will delete it, so it can't observe
+// another thread's write), both as a bare expression statement and when
+// the value dies through a copy into an unused local.
+func TestDeadLoadNote(t *testing.T) {
+	for _, src := range []string{
+		"int x = 0;\nint main() {\n    x;\n    return 0;\n}\n",
+		"int x = 0;\nint main() {\n    int t = x;\n    return 0;\n}\n",
+	} {
+		opts := DefaultOptions()
+		opts.Analyze = true
+		res, err := Compile("dead.c", src, opts)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		var notes []diag.Diagnostic
+		for _, d := range res.Diagnostics {
+			if d.Check == "dead-load" {
+				notes = append(notes, d)
+			}
+		}
+		if len(notes) != 1 || notes[0].Severity != diag.Note || notes[0].Pos.Line != 3 {
+			t.Errorf("source %q: dead-load notes = %v, want one note at line 3", src, notes)
+		}
+	}
+}
+
+// TestPostpassDiagnosticsReachResult: the Fig. 9 scrambled layout makes
+// the post-pass relocate a block; its note must surface in
+// Result.Diagnostics even without Options.Analyze.
+func TestPostpassDiagnosticsReachResult(t *testing.T) {
+	src := `
+int A[64];
+int main() {
+    spawn(0, 63) {
+        if (A[$] > 0) {
+            A[$] = 0;
+        } else {
+            A[$] = 1;
+        }
+    }
+    return 0;
+}
+`
+	opts := DefaultOptions()
+	opts.ScrambleLayout = true
+	res, err := Compile("scram.c", src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if res.Stats.RelocatedBlocks == 0 {
+		t.Skip("layout scrambler found no candidate block")
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Check == "postpass" && strings.Contains(d.Msg, "relocat") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("relocation note missing from Diagnostics: %v", res.Diagnostics)
+	}
+}

@@ -243,7 +243,7 @@ int main() {
     print_int(sum);
     return 0;
 }`, codegen.DefaultOptions())
-	if len(res.Warnings) == 0 || !strings.Contains(res.Warnings[0], "serialized") {
+	if len(res.Warnings) == 0 || !strings.Contains(res.Warnings[0].Msg, "serialized") {
 		t.Fatalf("expected a serialization warning, got %v", res.Warnings)
 	}
 	want := "264" // sum over r,c of 10r+c = 10*6*4/... = 10*(0+1+2+3)*4 + (0+1+2+3)*4 = 240+24

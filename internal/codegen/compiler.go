@@ -3,9 +3,12 @@ package codegen
 import (
 	"fmt"
 	"math"
+	"strings"
 
+	"xmtgo/internal/analysis"
 	"xmtgo/internal/asm"
 	"xmtgo/internal/asm/postpass"
+	"xmtgo/internal/diag"
 	"xmtgo/internal/ir"
 	"xmtgo/internal/isa"
 	"xmtgo/internal/xmtc"
@@ -35,6 +38,10 @@ type Options struct {
 	SkipPostpass bool
 	// DumpIR collects the optimized IR of every function.
 	DumpIR bool
+	// Analyze runs the static analyzer (package analysis) over the
+	// checked AST before the pre-pass rewrites it, and collects IR- and
+	// assembly-level findings; everything lands in Result.Diagnostics.
+	Analyze bool
 }
 
 // DefaultOptions is the standard -O1 pipeline.
@@ -53,10 +60,16 @@ type Stats struct {
 
 // Result is a successful compilation.
 type Result struct {
-	Unit     *asm.Unit
-	Warnings []string
-	Stats    Stats
-	IRDumps  map[string]string
+	Unit *asm.Unit
+	// Warnings are the front-end's structured diagnostics (e.g. the
+	// nested-spawn serialization warning).
+	Warnings []diag.Diagnostic
+	// Diagnostics are analyzer findings: the static analysis passes
+	// (with Options.Analyze), IR-level observations, and the post-pass
+	// relocation notes and memory-model warnings.
+	Diagnostics []diag.Diagnostic
+	Stats       Stats
+	IRDumps     map[string]string
 	// PrepassSource is the outlined XMTC rendered back to source-like
 	// form (the -dump-prepass view of Fig. 8c).
 	PrepassSource string
@@ -77,6 +90,18 @@ func Compile(file, src string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The analyzer must see the AST before the pre-pass outlines spawn
+	// bodies into synthetic functions, or positions and scopes would no
+	// longer match the source.
+	var analysisDiags []diag.Diagnostic
+	if opts.Analyze {
+		analysisDiags = analysis.Run(&analysis.Unit{
+			Filename: file,
+			File:     f,
+			Info:     info,
+			Lines:    strings.Split(src, "\n"),
+		}, nil)
+	}
 	if err := prepass.Run(f, prepass.Options{
 		ClusterFactor:  opts.ClusterFactor,
 		DisableOutline: opts.DisableOutline,
@@ -87,6 +112,7 @@ func Compile(file, src string, opts Options) (*Result, error) {
 	res := &Result{
 		Unit:          &asm.Unit{File: file, Globals: map[string]bool{"main": true}},
 		Warnings:      info.Warnings,
+		Diagnostics:   analysisDiags,
 		IRDumps:       make(map[string]string),
 		PrepassSource: xmtc.Render(f),
 	}
@@ -144,6 +170,12 @@ func Compile(file, src string, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.Analyze {
+			// Dead loads must be spotted before Optimize silently deletes
+			// them; liveness on the raw lowered IR is cheap.
+			irf.Liveness()
+			res.Diagnostics = append(res.Diagnostics, deadLoadNotes(file, irf)...)
+		}
 		irf.Optimize(opts.OptLevel)
 		irf.Liveness()
 		if !opts.NoNBStore {
@@ -189,7 +221,9 @@ func Compile(file, src string, opts Options) (*Result, error) {
 			return nil, err
 		}
 		res.Stats.RelocatedBlocks = pres.RelocatedBlocks
+		res.Diagnostics = append(res.Diagnostics, pres.Diagnostics...)
 	}
+	diag.Sort(res.Diagnostics)
 	return res, nil
 }
 

@@ -1,0 +1,143 @@
+// Package diag defines the structured diagnostic type shared by every
+// layer of the toolchain: front-end warnings (package xmtc), the static
+// analyzer (package analysis), and the assembly post-pass verifier
+// (package asm/postpass). A Diagnostic carries the check that produced
+// it, a severity, a source position and optional related positions, and
+// renders in the conventional "file:line:col: severity: message" form so
+// editors can jump to it.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic.
+type Severity uint8
+
+const (
+	// Note is informational: something worth knowing, never actionable
+	// on its own (e.g. a related position, an optimizer observation).
+	Note Severity = iota
+	// Warning marks code that is legal but likely wrong under the XMT
+	// execution or memory model.
+	Warning
+	// Error marks a definite rule violation.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Note:
+		return "note"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// Pos is a source position. Col may be zero for line-granular producers
+// (the assembler and post-pass work on assembly lines).
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	switch {
+	case p.Line <= 0:
+		return p.File
+	case p.Col <= 0:
+		return fmt.Sprintf("%s:%d", p.File, p.Line)
+	default:
+		return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+	}
+}
+
+// IsValid reports whether the position carries at least a line number.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Related points at a second program location that participates in the
+// finding (e.g. the other access of a race pair).
+type Related struct {
+	Pos Pos
+	Msg string
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Check is the registry name of the producing check ("spawn-race",
+	// "postpass", ...); used by suppression comments and -checks filters.
+	Check    string
+	Severity Severity
+	Pos      Pos
+	Msg      string
+	Related  []Related
+}
+
+// String renders "file:line:col: severity: message [check]". Related
+// positions are appended as indented note lines.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.Pos.File != "" || d.Pos.Line > 0 {
+		fmt.Fprintf(&b, "%s: ", d.Pos)
+	}
+	fmt.Fprintf(&b, "%s: %s", d.Severity, d.Msg)
+	if d.Check != "" {
+		fmt.Fprintf(&b, " [%s]", d.Check)
+	}
+	for _, r := range d.Related {
+		fmt.Fprintf(&b, "\n\t%s: note: %s", r.Pos, r.Msg)
+	}
+	return b.String()
+}
+
+// Error makes a Diagnostic usable as an error value.
+func (d Diagnostic) Error() string { return d.String() }
+
+// Sort orders diagnostics by file, line, column, then check name, for
+// stable output and golden-file comparison.
+func Sort(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Count returns how many diagnostics have at least the given severity.
+func Count(ds []Diagnostic, min Severity) int {
+	n := 0
+	for _, d := range ds {
+		if d.Severity >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// Promote raises every Warning to Error (the -Werror treatment) and
+// returns the slice for chaining. Notes are untouched.
+func Promote(ds []Diagnostic) []Diagnostic {
+	for i := range ds {
+		if ds[i].Severity == Warning {
+			ds[i].Severity = Error
+		}
+	}
+	return ds
+}

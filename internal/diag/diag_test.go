@@ -1,0 +1,91 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosString(t *testing.T) {
+	cases := []struct {
+		pos  Pos
+		want string
+	}{
+		{Pos{File: "a.c", Line: 3, Col: 7}, "a.c:3:7"},
+		{Pos{File: "a.c", Line: 3}, "a.c:3"},
+		{Pos{File: "a.c"}, "a.c"},
+		{Pos{}, ""},
+	}
+	for _, c := range cases {
+		if got := c.pos.String(); got != c.want {
+			t.Errorf("Pos%+v.String() = %q, want %q", c.pos, got, c.want)
+		}
+	}
+	if (Pos{File: "a.c"}).IsValid() {
+		t.Error("file-only position should not be valid")
+	}
+	if !(Pos{File: "a.c", Line: 1}).IsValid() {
+		t.Error("line-carrying position should be valid")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Check:    "spawn-race",
+		Severity: Warning,
+		Pos:      Pos{File: "p.c", Line: 9, Col: 5},
+		Msg:      "possible data race",
+		Related:  []Related{{Pos: Pos{File: "p.c", Line: 4, Col: 5}, Msg: "conflicting write"}},
+	}
+	want := "p.c:9:5: warning: possible data race [spawn-race]\n\tp.c:4:5: note: conflicting write"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if d.Error() != d.String() {
+		t.Error("Error() should match String()")
+	}
+	// A position-less diagnostic omits the location prefix entirely.
+	plain := Diagnostic{Severity: Error, Msg: "no main function defined"}
+	if got := plain.String(); got != "error: no main function defined" {
+		t.Errorf("position-less String() = %q", got)
+	}
+}
+
+func TestSortOrder(t *testing.T) {
+	ds := []Diagnostic{
+		{Pos: Pos{File: "b.c", Line: 1}, Check: "z"},
+		{Pos: Pos{File: "a.c", Line: 9, Col: 2}, Check: "z"},
+		{Pos: Pos{File: "a.c", Line: 9, Col: 2}, Check: "a"},
+		{Pos: Pos{File: "a.c", Line: 2}, Check: "z"},
+	}
+	Sort(ds)
+	var order []string
+	for _, d := range ds {
+		order = append(order, d.Pos.String()+"/"+d.Check)
+	}
+	want := "a.c:2/z a.c:9:2/a a.c:9:2/z b.c:1/z"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("sorted order = %q, want %q", got, want)
+	}
+}
+
+func TestCountAndPromote(t *testing.T) {
+	ds := []Diagnostic{
+		{Severity: Note},
+		{Severity: Warning},
+		{Severity: Warning},
+		{Severity: Error},
+	}
+	if got := Count(ds, Warning); got != 3 {
+		t.Errorf("Count(Warning) = %d, want 3", got)
+	}
+	if got := Count(ds, Error); got != 1 {
+		t.Errorf("Count(Error) = %d, want 1", got)
+	}
+	Promote(ds)
+	if got := Count(ds, Error); got != 3 {
+		t.Errorf("after Promote, Count(Error) = %d, want 3", got)
+	}
+	if ds[0].Severity != Note {
+		t.Error("Promote must leave notes untouched")
+	}
+}

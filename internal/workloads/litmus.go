@@ -155,6 +155,66 @@ LB:
 `, threadA, threadB)
 }
 
+// LitmusRelaxedXMTC is the Fig. 6 litmus test at the source level: thread
+// 0 writes x then y, thread 1 reads y then x, with no order-enforcing
+// operation between them. Under the relaxed XMT memory model the reader
+// may observe (obsY, obsX) = (1, 0). The static analyzer (spawn-race) must
+// flag both the x and the y access pairs on this program.
+func LitmusRelaxedXMTC() string {
+	return `
+int x = 0;
+int y = 0;
+int obsX = 0;
+int obsY = 0;
+int main() {
+    spawn(0, 1) {
+        if ($ == 0) {
+            x = 1;
+            y = 1;
+        } else {
+            obsY = y;
+            obsX = x;
+        }
+    }
+    print_int(obsY);
+    print_int(obsX);
+    return 0;
+}
+`
+}
+
+// LitmusPSMXMTC is the Fig. 7 litmus test at the source level: the writer
+// releases its store to x by synchronizing over y with a psm, and the
+// reader acquires through a psm on y before reading x. The compiler's
+// fence-before-prefix-sum rule plus the buffer flush at prefix-sum
+// completion make "obsY == 1 implies obsX == 1" hold, and the static
+// analyzer must report this program clean.
+func LitmusPSMXMTC() string {
+	return `
+int x = 0;
+int y = 0;
+int obsX = 0;
+int obsY = 0;
+int main() {
+    spawn(0, 1) {
+        if ($ == 0) {
+            int one = 1;
+            x = 1;
+            psm(one, y);
+        } else {
+            int t = 0;
+            psm(t, y);
+            obsY = t;
+            obsX = x;
+        }
+    }
+    print_int(obsY);
+    print_int(obsX);
+    return 0;
+}
+`
+}
+
 // LitmusOutcome is one observed (x, y) pair.
 type LitmusOutcome struct{ X, Y int32 }
 

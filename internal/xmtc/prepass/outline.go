@@ -183,7 +183,7 @@ func (p *pass) outlineOne(fd *xmtc.FuncDecl, sp *xmtc.SpawnStmt, idx int) (xmtc.
 			// The ps/psm increment must stay a plain register variable; a
 			// by-reference rewrite would break the primitive's contract.
 			if isPsIncrement(sp, sym) {
-				return nil, nil, fmt.Errorf("%s: ps/psm increment %q must be declared inside the spawn block (it is captured by reference)", sp.Pos, sym.Name)
+				return nil, nil, &xmtc.Error{Pos: sp.Pos, Msg: fmt.Sprintf("ps/psm increment %q must be declared inside the spawn block (it is captured by reference)", sym.Name)}
 			}
 		default:
 			pt = sym.Type

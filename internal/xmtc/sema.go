@@ -1,7 +1,7 @@
 package xmtc
 
 import (
-	"fmt"
+	"xmtgo/internal/diag"
 )
 
 // Info is the result of semantic analysis.
@@ -13,8 +13,9 @@ type Info struct {
 	Globals []*VarDecl
 	// Funcs are all function definitions in declaration order.
 	Funcs []*FuncDecl
-	// Warnings are non-fatal diagnostics (e.g. serialized nested spawns).
-	Warnings []string
+	// Warnings are non-fatal, position-carrying diagnostics (e.g.
+	// serialized nested spawns).
+	Warnings []diag.Diagnostic
 }
 
 // checker carries semantic analysis state.
@@ -364,8 +365,12 @@ func (c *checker) stmt(s Stmt) error {
 		}
 		if c.spawnDepth > 0 {
 			n.Serialize = true
-			c.info.Warnings = append(c.info.Warnings,
-				fmt.Sprintf("%s: nested spawn is serialized by the current toolchain release", n.Pos))
+			c.info.Warnings = append(c.info.Warnings, diag.Diagnostic{
+				Check:    "nested-spawn",
+				Severity: diag.Warning,
+				Pos:      n.Pos.Diag(),
+				Msg:      "nested spawn is serialized by the current toolchain release",
+			})
 		}
 		c.spawnDepth++
 		savedLoop := c.loopDepth

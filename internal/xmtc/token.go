@@ -6,7 +6,11 @@
 // thread-id expression $, and the prefix-sum primitives ps and psm.
 package xmtc
 
-import "fmt"
+import (
+	"fmt"
+
+	"xmtgo/internal/diag"
+)
 
 // Tok is a lexical token kind.
 type Tok uint8
@@ -140,6 +144,9 @@ type Pos struct {
 }
 
 func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// Diag converts to the shared diagnostics position type.
+func (p Pos) Diag() diag.Pos { return diag.Pos{File: p.File, Line: p.Line, Col: p.Col} }
 
 // Token is one lexed token.
 type Token struct {

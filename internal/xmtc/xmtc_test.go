@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"xmtgo/internal/diag"
 )
 
 func mustParse(t *testing.T, src string) *File {
@@ -163,8 +165,11 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(info.Warnings) != 1 || !strings.Contains(info.Warnings[0], "serialized") {
+	if len(info.Warnings) != 1 || !strings.Contains(info.Warnings[0].Msg, "serialized") {
 		t.Fatalf("warnings = %v", info.Warnings)
+	}
+	if w := info.Warnings[0]; w.Pos.Line != 4 || w.Check != "nested-spawn" || w.Severity != diag.Warning {
+		t.Fatalf("warning not structured: %+v", w)
 	}
 }
 

@@ -1,0 +1,50 @@
+#!/bin/sh
+# check.sh — the repository's build gate. Run from the repo root:
+#
+#     sh scripts/check.sh
+#
+# It verifies formatting, vets, builds, tests, and then dogfoods the
+# static analyzer over the XMTC fixtures in examples/xmtc: the clean
+# programs must produce no findings, the Fig. 6 litmus must fail the
+# lint, and the Fig. 7 litmus must stay clean through the full compile
+# pipeline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== xmtlint (dogfood over examples/xmtc)"
+XMTLINT="go run ./cmd/xmtlint"
+
+# Clean fixtures: zero findings, through the full pipeline where possible.
+$XMTLINT -compile \
+    examples/xmtc/compact.c \
+    examples/xmtc/histogram.c \
+    examples/xmtc/litmus_psm.c \
+    examples/xmtc/suppress.c
+
+# The Fig. 6 relaxed litmus and the misuse catalog MUST fail the lint.
+for bad in examples/xmtc/litmus_relaxed.c examples/xmtc/misuse.c; do
+    if $XMTLINT "$bad" >/dev/null 2>&1; then
+        echo "ERROR: xmtlint reported $bad clean; it must be flagged" >&2
+        exit 1
+    fi
+done
+
+echo "All checks passed."
