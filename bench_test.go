@@ -86,6 +86,36 @@ func BenchmarkTableI_ParallelCompute(b *testing.B) {
 func BenchmarkTableI_SerialMemory(b *testing.B)  { tableIBench(b, workloads.SerialMemory) }
 func BenchmarkTableI_SerialCompute(b *testing.B) { tableIBench(b, workloads.SerialCompute) }
 
+// --- Host-parallel scaling: simulated cycles/sec vs Config.HostWorkers ---
+//
+// The parallel-memory and parallel-compute Table I groups on the 1024-TCU
+// machine are the workloads where the cluster macro-actor dominates host
+// time, so they bound what sharding the clusters across goroutines can buy.
+// Results are bit-identical at every worker count (TestHostParallelDeterminism);
+// only wall-clock changes. Meaningful scaling needs ≥ 4 physical cores.
+func BenchmarkHostParallelScaling(b *testing.B) {
+	for _, g := range []workloads.TableIGroup{workloads.ParallelMemory, workloads.ParallelCompute} {
+		cfg := xmtgo.ConfigChip1024()
+		prog := buildB(b, workloads.TableI(g, cfg.Clusters*cfg.TCUsPerCluster, 40),
+			xmtgo.DefaultCompileOptions())
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers-%d", g.Name(), w), func(b *testing.B) {
+				wcfg := cfg
+				wcfg.HostWorkers = w
+				var cycles int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cycles += cycleRun(b, prog, wcfg).Cycles
+				}
+				b.StopTimer()
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(cycles)/sec, "sim_cycle/sec")
+				}
+			})
+		}
+	}
+}
+
 // --- §III-A: the functional mode is orders of magnitude faster ---
 
 func BenchmarkFunctionalVsCycle(b *testing.B) {

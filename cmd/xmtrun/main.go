@@ -23,6 +23,7 @@ import (
 	"xmtgo/internal/asm"
 	"xmtgo/internal/codegen"
 	"xmtgo/internal/config"
+	"xmtgo/internal/prof"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
 	"xmtgo/internal/sim/stats"
@@ -44,6 +45,9 @@ func main() {
 		cluster   = flag.Int("cluster", 0, "virtual-thread clustering factor")
 		noPref    = flag.Bool("no-prefetch", false, "disable compiler prefetching")
 		noNB      = flag.Bool("no-nbstore", false, "disable non-blocking stores")
+		workers   = flag.Int("workers", 0, "host worker goroutines for the cluster shards (0 = GOMAXPROCS, 1 = serial; results identical)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Var(&sets, "set", "override one configuration key=value (repeatable)")
 	flag.Var(&memmaps, "mem", "memory-map input file (repeatable)")
@@ -63,6 +67,19 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *workers != 0 {
+		cfg.HostWorkers = *workers
+	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "xmtrun: profile:", err)
+		}
+	}()
 
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {

@@ -18,6 +18,8 @@
 //	xmtsim -resume state.ckpt prog.s               # resume from a checkpoint
 //	xmtsim -thermal -floorplan prog.s
 //	xmtsim -describe -config fpga64
+//	xmtsim -workers 4 prog.s                       # host-parallel (results identical)
+//	xmtsim -cpuprofile cpu.pprof prog.s            # see docs/PERF.md
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"xmtgo/internal/asm/postpass"
 	"xmtgo/internal/config"
 	"xmtgo/internal/floorplan"
+	"xmtgo/internal/prof"
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
@@ -62,6 +65,9 @@ func main() {
 		thermal   = flag.Bool("thermal", false, "attach the power/thermal DVFS manager plug-in")
 		plan      = flag.Bool("floorplan", false, "render the cluster floorplan at exit (activity or temperature)")
 		describe  = flag.Bool("describe", false, "print the machine configuration and exit")
+		workers   = flag.Int("workers", 0, "host worker goroutines for the cluster shards (0 = GOMAXPROCS, 1 = serial; results identical)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	var dumps listFlag
 	flag.Var(&dumps, "dump", "memory dump at exit: symbol or symbol:words (repeatable)")
@@ -87,6 +93,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *workers != 0 {
+		cfg.HostWorkers = *workers
+	}
 	if *describe {
 		fmt.Print(cfg.Describe())
 		return
@@ -96,6 +105,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "xmtsim: profile:", err)
+		}
+	}()
 
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {

@@ -86,6 +86,11 @@ type Config struct {
 	// Determinism.
 	Seed uint64
 
+	// Host execution. HostWorkers is the number of host goroutines that
+	// tick the cluster shards in parallel (0 = GOMAXPROCS, 1 = serial).
+	// Simulation results are bit-identical for any value.
+	HostWorkers int
+
 	// Power model parameters (nJ per event; lumped, see internal/sim/power).
 	EnergyALU             float64
 	EnergyMDU             float64
@@ -134,6 +139,7 @@ func (c *Config) Validate() error {
 		{c.MemBytes >= 1<<16, "MemBytes too small"},
 		{c.SpawnOverhead >= 0 && c.JoinOverhead >= 0 && c.PSLatency >= 1, "spawn/join/ps latencies invalid"},
 		{c.PSPerCycle > 0, "PSPerCycle must be positive"},
+		{c.HostWorkers >= 0, "HostWorkers must be non-negative"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {
@@ -309,6 +315,7 @@ var fieldSetters = map[string]func(*Config, string) error{
 		c.MemBytes = uint32(n)
 		return nil
 	},
+	"host_workers": intField(func(c *Config) *int { return &c.HostWorkers }),
 	"seed": func(c *Config, v string) error {
 		n, err := strconv.ParseUint(v, 0, 64)
 		if err != nil {
@@ -404,5 +411,6 @@ func (c *Config) Describe() string {
 	fmt.Fprintf(&b, "periods: cluster=%d icn=%d cache=%d dram=%d master=%d\n",
 		c.ClusterPeriod, c.ICNPeriod, c.CachePeriod, c.DRAMPeriod, c.MasterPeriod)
 	fmt.Fprintf(&b, "mem_bytes=%d seed=%d\n", c.MemBytes, c.Seed)
+	fmt.Fprintf(&b, "host_workers=%d (0 = GOMAXPROCS; results identical for any value)\n", c.HostWorkers)
 	return b.String()
 }

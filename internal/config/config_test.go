@@ -45,12 +45,16 @@ tcus_per_cluster = 4
 dram_latency=99   # trailing comment
 seed=7
 mem_bytes=0x200000
+host_workers=3
 `)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.TCUsPerCluster != 4 || cfg.DRAMLatency != 99 || cfg.Seed != 7 || cfg.MemBytes != 0x200000 {
 		t.Fatalf("Load did not apply: %+v", cfg)
+	}
+	if cfg.HostWorkers != 3 {
+		t.Fatalf("host_workers did not apply: %+v", cfg)
 	}
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
@@ -84,6 +88,7 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		func(c *Config) { c.PSLatency = 0 },
 		func(c *Config) { c.PSPerCycle = 0 },
 		func(c *Config) { c.MasterIssueWidth = 0 },
+		func(c *Config) { c.HostWorkers = -1 },
 	}
 	for i, mut := range mutations {
 		cfg := FPGA64()

@@ -1,0 +1,49 @@
+// Package prof wires the runtime/pprof CPU and heap profilers into the
+// command-line drivers, so simulator hot paths can be measured with
+// `go tool pprof` (see docs/PERF.md).
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile (if non-empty) and returns a stop
+// function that finishes the CPU profile and writes a heap profile to
+// memFile (if non-empty). Call the stop function exactly once, at exit.
+func Start(cpuFile, memFile string) (func() error, error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpu = f
+	}
+	stop := func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects dominate the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

@@ -3,6 +3,7 @@ package cycle
 import (
 	"xmtgo/internal/isa"
 	"xmtgo/internal/sim/engine"
+	"xmtgo/internal/sim/funcmodel"
 )
 
 // Cluster groups TCUs and the resources they share: the expensive multiply/
@@ -27,6 +28,11 @@ type Cluster struct {
 	// ICNInjectPerCyc packages per ICN cycle.
 	sendQ    []*Package
 	sendQCap int
+
+	// ob holds the tick's deferred shared-state effects; Tick (the compute
+	// phase) may run concurrently with other clusters' and must route every
+	// shared mutation through here (see outbox.go).
+	ob outbox
 }
 
 func newCluster(sys *System, id int) *Cluster {
@@ -103,9 +109,51 @@ func (c *Cluster) acquire(unit isa.Unit, cycle, latency int64) (int64, bool) {
 	return 0, false
 }
 
+// Commit drains the outbox — the serial phase of the two-phase cluster
+// tick (engine.ShardCycler). Records replay in the exact order the compute
+// phase produced them, and clusters commit in cluster-id order, so
+// scheduler sequence numbers, prefix-sum slots, program output and shared
+// statistics end up identical to a fully serial simulation.
+func (c *Cluster) Commit(now engine.Time) {
+	s := c.sys
+	for i := range c.ob.recs {
+		r := &c.ob.recs[i]
+		switch r.kind {
+		case obCount:
+			s.Stats.CountInstr(r.op, c.id, false)
+		case obStat:
+			*r.stat += r.n
+		case obTrace:
+			s.traceFn(r.t.id, r.pc, r.in, now)
+		case obPS:
+			s.ps.request(r.t, r.in, now)
+		case obSys:
+			halt, err := s.Machine.DoSys(&r.t.ctx, r.in)
+			if err != nil {
+				s.fail(&funcmodel.RuntimeError{PC: r.pc, Line: r.in.Line, In: r.in, Err: err})
+			} else if halt {
+				s.halt()
+			}
+		case obWakeICN:
+			s.wakeICN()
+		case obAsync:
+			s.scheduleAsyncDeliver(r.pkg, r.at)
+		case obDone:
+			s.spawn.tcuDone(now)
+		case obFail:
+			s.fail(r.err)
+		}
+		*r = obRec{}
+	}
+	c.ob.recs = c.ob.recs[:0]
+	c.ob.wokeICN = false
+}
+
 // send enqueues a package for ICN injection; it fails (backpressure) when
 // the send queue is full, making the TCU retry next cycle. In asynchronous
 // interconnect mode the package leaves through the handshake port instead.
+// Runs in the compute phase: injection-port state is cluster-local, but the
+// ICN wake / delivery scheduling and traversal statistics are deferred.
 func (c *Cluster) send(p *Package) bool {
 	p.Module = c.sys.moduleOf(p.Addr)
 	if c.sys.Cfg.ICNAsync {
@@ -114,14 +162,17 @@ func (c *Cluster) send(p *Package) bool {
 		if c.sys.asyncPortFree[c.id] > now+8*c.sys.Cfg.ICNAsyncGapTicks {
 			return false
 		}
-		c.sys.asyncSend(p, c.id, now)
+		arrive := c.sys.asyncDepart(p, c.id, now)
+		c.ob.stat(&c.sys.Stats.ICNTraversals, 1)
+		c.ob.stat(&c.sys.Stats.ICNHops, uint64(c.sys.icn.hopsPerTraversal))
+		c.ob.async(p, arrive)
 		return true
 	}
 	if len(c.sendQ) >= c.sendQCap {
 		return false
 	}
 	c.sendQ = append(c.sendQ, p)
-	c.sys.wakeICN()
+	c.ob.wakeICN()
 	return true
 }
 

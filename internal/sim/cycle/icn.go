@@ -49,16 +49,30 @@ func newICN(sys *System) *ICN {
 // ports space packages by ICNAsyncGapTicks; delivery retries while the
 // module's service queue is full.
 func (s *System) asyncSend(p *Package, port int, now engine.Time) {
+	s.Stats.ICNTraversals++
+	s.Stats.ICNHops += uint64(s.icn.hopsPerTraversal)
+	s.scheduleAsyncDeliver(p, s.asyncDepart(p, port, now))
+}
+
+// asyncDepart reserves the injection port and returns the arrival time.
+// Safe in the cluster compute phase: each port index is owned by exactly
+// one cluster (or the master), so the port-free bookkeeping is local.
+func (s *System) asyncDepart(p *Package, port int, now engine.Time) engine.Time {
 	cfg := s.Cfg
 	start := now
 	if s.asyncPortFree[port] > start {
 		start = s.asyncPortFree[port]
 	}
 	s.asyncPortFree[port] = start + cfg.ICNAsyncGapTicks
-	s.Stats.ICNTraversals++
-	s.Stats.ICNHops += uint64(s.icn.hopsPerTraversal)
 	p.Hops += s.icn.hopsPerTraversal
-	arrive := start + int64(s.icn.hopsPerTraversal)*cfg.ICNAsyncHopTicks
+	return start + int64(s.icn.hopsPerTraversal)*cfg.ICNAsyncHopTicks
+}
+
+// scheduleAsyncDeliver schedules the package's handshake delivery; it
+// retries while the module's service queue is full. Serial contexts only
+// (the cluster compute phase defers it through the outbox).
+func (s *System) scheduleAsyncDeliver(p *Package, arrive engine.Time) {
+	cfg := s.Cfg
 	var deliver func(t engine.Time)
 	deliver = func(t engine.Time) {
 		mod := s.modules[p.Module]

@@ -1,0 +1,93 @@
+package cycle
+
+import (
+	"xmtgo/internal/isa"
+	"xmtgo/internal/sim/engine"
+)
+
+// The cluster macro-actor ticks all clusters inside one scheduler event,
+// possibly in parallel across host workers (engine.ParallelMacroActor). To
+// keep results bit-identical to serial simulation, the compute phase of a
+// cluster tick may mutate only cluster-local state; every effect on shared
+// state — scheduler events, global statistics, the prefix-sum unit's pacing
+// window, syscalls, the spawn unit's done count — is recorded in the
+// cluster's outbox and replayed by Cluster.Commit. Commits run serially in
+// cluster-id order, which is exactly the interleaving the serial simulator
+// produces, so scheduler sequence numbers, prefix-sum slot assignment,
+// program output and statistics all match to the bit.
+
+type obKind uint8
+
+const (
+	obCount   obKind = iota // count an issued instruction
+	obStat                  // add n to a shared stats counter
+	obTrace                 // invoke the instruction trace observer
+	obPS                    // submit a prefix-sum / global-register request
+	obSys                   // execute a syscall (may print, halt, checkpoint)
+	obWakeICN               // wake the ICN macro-actor (send queue non-empty)
+	obAsync                 // schedule an async-ICN delivery at time at
+	obDone                  // report this TCU done to the spawn unit
+	obFail                  // abort the simulation with err
+)
+
+type obRec struct {
+	kind obKind
+	op   isa.Op
+	in   isa.Instr
+	t    *TCU
+	pkg  *Package
+	at   engine.Time
+	n    uint64
+	stat *uint64
+	err  error
+	pc   int
+}
+
+// outbox accumulates one cluster-tick's deferred shared effects, in issue
+// order. The backing slice is reused across ticks.
+type outbox struct {
+	recs []obRec
+	// wokeICN collapses duplicate ICN wakes within one tick (Wake is
+	// idempotent anyway; this just keeps the outbox small).
+	wokeICN bool
+}
+
+func (o *outbox) count(op isa.Op) {
+	o.recs = append(o.recs, obRec{kind: obCount, op: op})
+}
+
+func (o *outbox) stat(ctr *uint64, n uint64) {
+	o.recs = append(o.recs, obRec{kind: obStat, stat: ctr, n: n})
+}
+
+func (o *outbox) trace(t *TCU, pc int, in isa.Instr) {
+	o.recs = append(o.recs, obRec{kind: obTrace, t: t, pc: pc, in: in})
+}
+
+func (o *outbox) ps(t *TCU, in isa.Instr) {
+	o.recs = append(o.recs, obRec{kind: obPS, t: t, in: in})
+}
+
+func (o *outbox) sys(t *TCU, pc int, in isa.Instr) {
+	o.recs = append(o.recs, obRec{kind: obSys, t: t, pc: pc, in: in})
+}
+
+func (o *outbox) wakeICN() {
+	if o.wokeICN {
+		return
+	}
+	o.wokeICN = true
+	o.recs = append(o.recs, obRec{kind: obWakeICN})
+}
+
+func (o *outbox) async(p *Package, at engine.Time) {
+	o.recs = append(o.recs, obRec{kind: obAsync, pkg: p, at: at})
+}
+
+func (o *outbox) done() {
+	o.recs = append(o.recs, obRec{kind: obDone})
+}
+
+func (o *outbox) fail(err error) {
+	o.recs = append(o.recs, obRec{kind: obFail, err: err})
+}

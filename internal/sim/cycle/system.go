@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 
 	"xmtgo/internal/asm"
 	"xmtgo/internal/config"
@@ -38,10 +39,16 @@ type System struct {
 	spawn    *SpawnUnit
 	master   *Master
 
-	clusterMA *engine.MacroActor
-	icnMA     *engine.MacroActor
-	cacheMA   *engine.MacroActor
-	masterMA  *engine.MacroActor
+	// clusterMA ticks all clusters in one event per cluster cycle — the
+	// hot phase of the simulation — sharding them across pool's host
+	// workers (paper §III-D's macro-actor, parallelized on the host).
+	clusterMA   *engine.ParallelMacroActor
+	pool        *engine.WorkerPool
+	hostWorkers int
+
+	icnMA    *engine.MacroActor
+	cacheMA  *engine.MacroActor
+	masterMA *engine.MacroActor
 
 	lineShift uint
 	hashSalt  uint64
@@ -91,6 +98,12 @@ func New(prog *asm.Program, cfg config.Config, out io.Writer) (*System, error) {
 	s.lineShift = log2u(uint32(cfg.CacheLineSize))
 	s.hashSalt = cfg.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 
+	// Size the calendar-queue buckets to the clock-period GCD so each
+	// bucket holds roughly one edge's events (runtime DVFS may later
+	// misalign this; that only costs speed, never correctness).
+	s.Sched.SetBucketWidth(gcd64(cfg.ClusterPeriod,
+		gcd64(cfg.ICNPeriod, gcd64(cfg.CachePeriod, gcd64(cfg.DRAMPeriod, cfg.MasterPeriod)))))
+
 	s.clusterClock = engine.NewClock("cluster", cfg.ClusterPeriod)
 	s.icnClock = engine.NewClock("icn", cfg.ICNPeriod)
 	s.cacheClock = engine.NewClock("cache", cfg.CachePeriod)
@@ -110,7 +123,21 @@ func New(prog *asm.Program, cfg config.Config, out io.Writer) (*System, error) {
 	s.icn = newICN(s)
 	s.asyncPortFree = make([]engine.Time, cfg.Clusters+1)
 
-	s.clusterMA = engine.NewMacroActor("clusters", s.Sched, s.clusterClock)
+	// Resolve the host worker count: 0 means all of GOMAXPROCS; never
+	// more workers than clusters. A single worker uses no pool at all —
+	// the identical two-phase tick/commit loop runs inline.
+	workers := cfg.HostWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Clusters {
+		workers = cfg.Clusters
+	}
+	s.hostWorkers = workers
+	if workers > 1 {
+		s.pool = engine.NewWorkerPool(workers)
+	}
+	s.clusterMA = engine.NewParallelMacroActor("clusters", s.Sched, s.clusterClock, s.pool)
 	for _, c := range s.clusters {
 		s.clusterMA.Add(c)
 	}
@@ -132,6 +159,20 @@ func (s *System) SetTrace(fn func(tcu int, pc int, in isa.Instr, now engine.Time
 
 // Master context accessor (for tests and checkpoints).
 func (s *System) MasterContext() *funcmodel.Context { return &s.master.ctx }
+
+// HostWorkers returns the resolved number of host worker goroutines
+// ticking the cluster shards (1 = serial).
+func (s *System) HostWorkers() int { return s.hostWorkers }
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a <= 0 {
+		return 1
+	}
+	return a
+}
 
 // route delivers an expiring package back to its originating context.
 func (s *System) route(p *Package, now engine.Time) {
@@ -168,6 +209,7 @@ func (s *System) Err() error { return s.err }
 // program is reported as a deadlock — it indicates a component bug or a
 // program waiting on something that can never arrive.
 func (s *System) Run(maxCycles int64) (*Result, error) {
+	defer s.pool.Close() // park worker goroutines between runs (nil-safe)
 	var stopEv *engine.Event
 	if maxCycles > 0 {
 		stopEv = s.Sched.ScheduleStop(s.clusterClock.EdgeAt(maxCycles))

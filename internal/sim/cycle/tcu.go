@@ -87,7 +87,10 @@ func (t *TCU) Tick(cycle int64, now engine.Time) bool {
 	return t.issue(cycle, now)
 }
 
-// issue fetches and dispatches one instruction.
+// issue fetches and dispatches one instruction. It runs in the compute
+// phase of the cluster tick, which may execute concurrently with other
+// clusters: it only mutates TCU/cluster-local state and reads shared state;
+// every shared effect goes through the cluster outbox (see outbox.go).
 func (t *TCU) issue(cycle int64, now engine.Time) bool {
 	m := t.sys.Machine
 	region := t.sys.spawn.region
@@ -97,7 +100,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 	}
 	pc := t.ctx.PC
 	if pc <= region.Spawn || pc > region.Join {
-		t.sys.fail(fmt.Errorf("cycle: TCU %d fetched instruction %d outside the broadcast region (%d,%d]",
+		t.cluster.ob.fail(fmt.Errorf("cycle: TCU %d fetched instruction %d outside the broadcast region (%d,%d]",
 			t.id, pc, region.Spawn, region.Join))
 		return false
 	}
@@ -105,10 +108,10 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 	t.ctx.PC++
 
 	if t.sys.traceFn != nil {
-		t.sys.traceFn(t.id, pc, in, now)
+		t.cluster.ob.trace(t, pc, in)
 	}
 
-	count := func() { t.sys.Stats.CountInstr(in.Op, t.cluster.id, false) }
+	count := func() { t.cluster.ob.count(in.Op) }
 	meta := in.Op.Meta()
 
 	switch {
@@ -133,7 +136,9 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 	case in.Op == isa.OpPs, in.Op == isa.OpGrr, in.Op == isa.OpGrw:
 		count()
 		t.blockMem(now)
-		t.sys.ps.request(t, in, now)
+		// The prefix-sum unit paces requests through a shared per-cycle
+		// window; submit at commit so slots are granted in cluster order.
+		t.cluster.ob.ps(t, in)
 		return false
 
 	case in.Op == isa.OpFence:
@@ -147,15 +152,9 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 
 	case in.Op == isa.OpSys:
 		count()
-		halt, err := m.DoSys(&t.ctx, in)
-		if err != nil {
-			t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
-			return false
-		}
-		if halt {
-			t.sys.halt()
-			return false
-		}
+		// Syscalls print to the shared output stream (and may halt): defer
+		// to commit so output interleaves in deterministic cluster order.
+		t.cluster.ob.sys(t, pc, in)
 		return true
 
 	case in.Op == isa.OpPsm:
@@ -166,7 +165,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 			return true
 		}
 		count()
-		t.sys.Stats.PsmOps++
+		t.cluster.ob.stat(&t.sys.Stats.PsmOps, 1)
 		t.blockMem(now)
 		return false
 
@@ -186,24 +185,24 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 			e.valid = false // could not inject; drop
 			return true
 		}
-		t.sys.Stats.PrefetchFills++
+		t.cluster.ob.stat(&t.sys.Stats.PrefetchFills, 1)
 		return true
 
 	case in.Op == isa.OpLwRO:
 		count()
 		addr := m.EffAddr(&t.ctx, in)
 		if t.cluster.ro != nil && t.cluster.ro.Lookup(addr, cycle) {
-			t.sys.Stats.ROHits++
+			t.cluster.ob.stat(&t.sys.Stats.ROHits, 1)
 			v, err := m.LoadValue(in, addr)
 			if err != nil {
-				t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+				t.cluster.ob.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
 				return false
 			}
 			t.ctx.SetReg(in.Rd, v)
 			t.stall(cycle + t.sys.Cfg.ROCacheLatency)
 			return true
 		}
-		t.sys.Stats.ROMisses++
+		t.cluster.ob.stat(&t.sys.Stats.ROMisses, 1)
 		if !t.trySend(&Package{Kind: PkgLoad, In: in, Cluster: t.cluster.id, TCU: t.local,
 			Addr: addr, Issued: now}) {
 			t.ctx.PC = pc
@@ -217,7 +216,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 		if e := t.pbuf.find(addr); e != nil {
 			count()
 			if e.ready {
-				t.sys.Stats.PrefetchHits++
+				t.cluster.ob.stat(&t.sys.Stats.PrefetchHits, 1)
 				e.lastUse = cycle
 				t.ctx.SetReg(in.Rd, extractPbuf(e, in, addr))
 				return true
@@ -268,7 +267,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 		}
 		count()
 		if err := m.ExecCompute(&t.ctx, in); err != nil {
-			t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+			t.cluster.ob.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
 			return false
 		}
 		t.stall(cycle + lat)
@@ -278,7 +277,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 		count()
 		taken, target, err := m.EvalBranch(&t.ctx, in)
 		if err != nil {
-			t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+			t.cluster.ob.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
 			return false
 		}
 		if taken {
@@ -287,14 +286,14 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 		return true
 
 	case in.Op == isa.OpSpawn, in.Op == isa.OpBcast:
-		t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in,
+		t.cluster.ob.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in,
 			Err: fmt.Errorf("%s executed by a parallel TCU", in.Op)})
 		return false
 
 	default:
 		count()
 		if err := m.ExecCompute(&t.ctx, in); err != nil {
-			t.sys.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
+			t.cluster.ob.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
 			return false
 		}
 		return true
@@ -337,14 +336,15 @@ func (t *TCU) unblock(now engine.Time) {
 
 // finish marks the TCU done for this spawn and notifies the spawn unit.
 // Posted stores must drain first, so the end of the spawn statement orders
-// memory as the XMT memory model requires.
+// memory as the XMT memory model requires. Called from issue (compute
+// phase), so the spawn-unit notification is deferred to commit.
 func (t *TCU) finish(now engine.Time) {
 	if t.pendingNB > 0 {
 		t.state = tcuDraining
 		return
 	}
 	t.state = tcuDone
-	t.sys.spawn.tcuDone(now)
+	t.cluster.ob.done()
 }
 
 // trySend enqueues a package into the cluster's ICN send queue.

@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// A cancel-heavy workload (e.g. timeouts that almost always get canceled)
+// must not grow the event list without bound: compaction drops canceled
+// events once they outnumber live ones.
+func TestCancelHeavyPendingBounded(t *testing.T) {
+	s := New()
+	noop := ActorFunc(func(Time) {})
+	maxPending := 0
+	live := 64
+	var timeouts []*Event
+	for round := 0; round < 200; round++ {
+		for i := 0; i < live; i++ {
+			timeouts = append(timeouts, s.Schedule(Time(round*100+1000), PrioTransfer, noop))
+		}
+		for _, e := range timeouts {
+			s.Cancel(e)
+		}
+		timeouts = timeouts[:0]
+		if p := s.Pending(); p > maxPending {
+			maxPending = p
+		}
+	}
+	// 200 rounds × 64 canceled events would be 12800 pending without
+	// compaction; with it, pending stays within a small multiple of the
+	// compaction floor.
+	if maxPending > 4*compactMin {
+		t.Fatalf("cancel-heavy workload grew Pending() to %d", maxPending)
+	}
+	if s.Pending() != 0 && maxPending == 0 {
+		t.Fatal("no events were ever pending")
+	}
+}
+
+// Events beyond the calendar ring's horizon overflow into the heap and
+// must still fire in order, including when they migrate back into the ring.
+func TestOverflowHorizonOrdering(t *testing.T) {
+	s := New()
+	span := Time(numBuckets) * 10
+	var got []Time
+	rec := func(now Time) { got = append(got, now) }
+	// Descending far-future times, then near times.
+	for i := 20; i > 0; i-- {
+		s.ScheduleFunc(Time(i)*span, PrioTransfer, rec)
+	}
+	for i := 5; i > 0; i-- {
+		s.ScheduleFunc(Time(i), PrioTransfer, rec)
+	}
+	s.Run()
+	if len(got) != 25 {
+		t.Fatalf("got %d events, want 25", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+}
+
+// RunUntil advances the cursor past empty buckets while peeking; a later
+// schedule behind the parked cursor must rewind it, not be lost or fire
+// out of order.
+func TestScheduleBehindParkedCursor(t *testing.T) {
+	s := New()
+	var got []Time
+	rec := func(now Time) { got = append(got, now) }
+	s.ScheduleFunc(10, PrioTransfer, rec)
+	far := Time(numBuckets) * 3 // beyond the ring: parks the cursor after a long advance
+	s.ScheduleFunc(far, PrioTransfer, rec)
+	s.RunUntil(500)
+	if s.Now() != 500 {
+		t.Fatalf("now = %d, want 500", s.Now())
+	}
+	s.ScheduleFunc(600, PrioTransfer, rec)
+	s.ScheduleFunc(501, PrioTransfer, rec)
+	s.Run()
+	want := []Time{10, 501, 600, far}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetBucketWidth(t *testing.T) {
+	s := New()
+	s.SetBucketWidth(8)
+	var got []Time
+	rec := func(now Time) { got = append(got, now) }
+	// Unaligned times within and across buckets still order correctly.
+	for _, at := range []Time{17, 3, 8, 9, 4099, 23, 16} {
+		s.ScheduleFunc(at, PrioTransfer, rec)
+	}
+	s.Run()
+	want := []Time{3, 8, 9, 16, 17, 23, 4099}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+
+	s2 := New()
+	s2.ScheduleFunc(1, PrioTransfer, func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetBucketWidth with pending events did not panic")
+		}
+	}()
+	s2.SetBucketWidth(8)
+}
+
+// Recycled events must behave like fresh ones: pooling may not leak
+// canceled/stop flags or stale ordering state across reuses.
+func TestEventPoolReuse(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		e := s.Schedule(Time(i), PrioTransfer, ActorFunc(func(Time) { fired++ }))
+		if i%3 == 0 {
+			s.Cancel(e)
+		}
+		s.Step()
+	}
+	if want := 1000 - 334; fired != want {
+		t.Fatalf("fired %d, want %d", fired, want)
+	}
+}
+
+func TestWorkerPoolForEach(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		pool := NewWorkerPool(workers)
+		var hits [100]int32
+		for round := 0; round < 50; round++ {
+			pool.ForEach(len(hits), func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+		}
+		pool.Close()
+		for i, h := range hits {
+			if h != 50 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 50", workers, i, h)
+			}
+		}
+	}
+	// A nil pool runs inline.
+	var nilPool *WorkerPool
+	n := 0
+	nilPool.ForEach(7, func(int) { n++ })
+	if n != 7 {
+		t.Fatalf("nil pool ran %d calls, want 7", n)
+	}
+	nilPool.Close()
+}
+
+func TestWorkerPoolPanicPropagates(t *testing.T) {
+	pool := NewWorkerPool(4)
+	defer pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+	}()
+	pool.ForEach(64, func(i int) {
+		if i == 63 {
+			panic("boom")
+		}
+	})
+}
+
+// shard is a ShardCycler that proves the two-phase protocol: Tick only
+// touches shard-local state, Commit appends to the shared log.
+type shard struct {
+	id      int
+	ticks   int
+	pending bool
+	log     *[]int
+	limit   int
+}
+
+func (c *shard) Tick(cycle int64, now Time) bool {
+	c.ticks++
+	c.pending = true
+	return c.ticks < c.limit
+}
+
+func (c *shard) Commit(now Time) {
+	if c.pending {
+		c.pending = false
+		*c.log = append(*c.log, c.id)
+	}
+}
+
+// ParallelMacroActor must tick every shard each cycle and commit them in
+// shard order regardless of worker count — that order is the determinism
+// contract the cycle-accurate simulator builds on.
+func TestParallelMacroActorCommitOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var pool *WorkerPool
+		if workers > 1 {
+			pool = NewWorkerPool(workers)
+		}
+		s := New()
+		clk := NewClock("c", 2)
+		ma := NewParallelMacroActor("shards", s, clk, pool)
+		var log []int
+		const nShards, cycles = 9, 5
+		for i := 0; i < nShards; i++ {
+			ma.Add(&shard{id: i, log: &log, limit: cycles})
+		}
+		if ma.Len() != nShards {
+			t.Fatalf("Len() = %d, want %d", ma.Len(), nShards)
+		}
+		ma.Wake(0)
+		s.Run()
+		pool.Close()
+		if len(log) != nShards*cycles {
+			t.Fatalf("workers=%d: %d commits, want %d", workers, len(log), nShards*cycles)
+		}
+		for i, id := range log {
+			if id != i%nShards {
+				t.Fatalf("workers=%d: commit order broken at %d: %v", workers, i, log[:i+1])
+			}
+		}
+		if s.Executed != cycles {
+			t.Fatalf("workers=%d: %d events executed, want %d (one per cycle)", workers, s.Executed, cycles)
+		}
+	}
+}

@@ -8,6 +8,14 @@
 // clocked domains whose frequencies can be changed — or gated off — at
 // runtime by activity plug-ins.
 //
+// The event list is a bucketed calendar queue: near-future events live in a
+// ring of fixed-width time buckets (sorted lazily when the cursor reaches
+// them), far-future events overflow into a 4-ary min-heap and migrate into
+// the ring as the cursor advances. Event structs are pooled. Both choices
+// target the DE main loop's hot path: pops are amortized O(1) for the
+// clock-edge-aligned traffic a cycle-accurate simulator generates, and the
+// per-event allocation disappears.
+//
 // A discrete-time (DT) main loop over the same component interface is
 // provided solely to reproduce the paper's Fig. 5 / §III-D comparison.
 package engine
@@ -15,6 +23,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Time is simulated time. The unit is abstract ("ticks"); clock domains map
@@ -50,7 +59,9 @@ type ActorFunc func(now Time)
 func (f ActorFunc) Notify(now Time) { f(now) }
 
 // Event is a scheduled notification. Events are owned by the scheduler;
-// holders may only Cancel them.
+// holders may only Cancel them, and only while the event is still pending:
+// once an event has fired (or been dropped after a Cancel) its struct is
+// recycled and the handle is dead.
 type Event struct {
 	time     Time
 	prio     Priority
@@ -63,29 +74,74 @@ type Event struct {
 // Time returns the time the event fires.
 func (e *Event) Time() Time { return e.time }
 
+const (
+	// numBuckets is the calendar ring size (a power of two). With the
+	// default bucket width of one tick the ring covers 512 ticks; the
+	// cycle-accurate system widens buckets to its clock-period GCD, so the
+	// horizon covers even the DRAM round-trip latencies and almost no
+	// event pays the overflow heap.
+	numBuckets = 512
+
+	// maxFree bounds the event pool so a burst does not pin memory.
+	maxFree = 8192
+
+	// compactMin is the minimum queue length before cancel-compaction
+	// kicks in (below it, lazy deletion is cheap enough).
+	compactMin = 128
+)
+
 // Scheduler is the DE manager: it keeps events ordered by (time, priority,
 // insertion sequence) and drives the main loop of Fig. 5b.
 type Scheduler struct {
-	heap    []*Event
 	now     Time
 	seq     uint64
 	stopped bool
 	// Executed counts processed (non-canceled) events, used by the
 	// macro-actor threshold experiment.
 	Executed uint64
+
+	// Calendar ring: slot i of buckets holds the events of absolute
+	// bucket number b ≡ i (mod numBuckets) for the window
+	// [curB, curB+numBuckets). Only the cursor bucket (curB) is kept
+	// sorted; head is its consumed prefix (consumed slots are nil).
+	width   Time // bucket width in ticks
+	buckets [][]*Event
+	curB    int64 // absolute bucket number under the cursor
+	head    int
+	sorted  bool
+	ringN   int // events in the ring, including canceled ones
+
+	overflow []*Event // 4-ary min-heap of events past the ring horizon
+	canceled int      // canceled events still queued anywhere
+	free     []*Event // event pool
 }
 
-// New returns an empty scheduler at time 0.
+// New returns an empty scheduler at time 0 with a one-tick bucket width.
 func New() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{width: 1}
+}
+
+// SetBucketWidth tunes the calendar-queue bucket width, typically to the
+// GCD of the clock-domain periods so one bucket holds exactly the events
+// of one edge. It may only be called while no events are pending.
+func (s *Scheduler) SetBucketWidth(w Time) {
+	if w <= 0 {
+		panic(fmt.Sprintf("engine: bucket width %d", w))
+	}
+	if s.Pending() != 0 {
+		panic("engine: SetBucketWidth with pending events")
+	}
+	s.width = w
+	s.curB = s.now / w
+	s.head, s.sorted = 0, false
 }
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
 // Pending returns the number of events in the list (including canceled
-// events not yet drained).
-func (s *Scheduler) Pending() int { return len(s.heap) }
+// events not yet dropped; compaction keeps that share bounded).
+func (s *Scheduler) Pending() int { return s.ringN + len(s.overflow) }
 
 // Schedule enqueues a notification for actor a at time at with priority p.
 // Scheduling in the past panics: it indicates a component bug.
@@ -93,7 +149,15 @@ func (s *Scheduler) Schedule(at Time, p Priority, a Actor) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("engine: schedule at %d before now %d", at, s.now))
 	}
-	e := &Event{time: at, prio: p, seq: s.seq, actor: a}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		e.time, e.prio, e.seq, e.actor = at, p, s.seq, a
+		e.canceled, e.stop = false, false
+	} else {
+		e = &Event{time: at, prio: p, seq: s.seq, actor: a}
+	}
 	s.seq++
 	s.push(e)
 	return e
@@ -118,33 +182,42 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Stopped reports whether the stop event has been reached or Stop called.
 func (s *Scheduler) Stopped() bool { return s.stopped }
 
-// Cancel marks e as canceled; it will be skipped when popped.
+// Cancel marks e as canceled; it is dropped lazily. When canceled events
+// accumulate past half the queue the structure is compacted, so a
+// cancel-heavy workload keeps Pending() proportional to the live events.
 func (s *Scheduler) Cancel(e *Event) {
-	if e != nil {
-		e.canceled = true
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	s.canceled++
+	if s.canceled > compactMin && s.canceled*2 > s.Pending() {
+		s.compact()
 	}
 }
 
 // Step processes the single next event. It returns false when the event
 // list is empty or the simulation has stopped.
 func (s *Scheduler) Step() bool {
-	for {
-		if s.stopped || len(s.heap) == 0 {
-			return false
-		}
-		e := s.pop()
-		if e.canceled {
-			continue
-		}
-		s.now = e.time
-		if e.stop {
-			s.stopped = true
-			return false
-		}
-		s.Executed++
-		e.actor.Notify(s.now)
-		return true
+	if s.stopped {
+		return false
 	}
+	e := s.next()
+	if e == nil {
+		return false
+	}
+	s.take()
+	s.now = e.time
+	if e.stop {
+		s.stopped = true
+		s.recycle(e)
+		return false
+	}
+	actor := e.actor
+	s.recycle(e)
+	s.Executed++
+	actor.Notify(s.now)
+	return true
 }
 
 // Run processes events until the stop event, Stop, or an empty list.
@@ -156,10 +229,14 @@ func (s *Scheduler) Run() {
 // RunUntil processes events with time <= deadline.
 func (s *Scheduler) RunUntil(deadline Time) {
 	for {
-		if s.stopped || len(s.heap) == 0 {
+		if s.stopped {
 			return
 		}
-		if s.peek().time > deadline {
+		e := s.next()
+		if e == nil {
+			return
+		}
+		if e.time > deadline {
 			if s.now < deadline {
 				s.now = deadline
 			}
@@ -182,45 +259,249 @@ func (s *Scheduler) less(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
-// The event list is a 4-ary min-heap: shallower than a binary heap, which
-// measurably helps the pop-heavy DE main loop.
-const heapArity = 4
+// --- calendar ring ---
+
+func (s *Scheduler) ring() [][]*Event {
+	if s.buckets == nil {
+		s.buckets = make([][]*Event, numBuckets)
+	}
+	return s.buckets
+}
 
 func (s *Scheduler) push(e *Event) {
-	s.heap = append(s.heap, e)
-	i := len(s.heap) - 1
+	b := e.time / s.width
+	if b < s.curB {
+		// A schedule landed behind the cursor: RunUntil parked the cursor
+		// ahead of now (advancing over empty buckets while peeking).
+		s.rewind(b)
+	}
+	if b-s.curB >= numBuckets {
+		s.heapPush(e)
+		return
+	}
+	buckets := s.ring()
+	slot := int(b & (numBuckets - 1))
+	if b == s.curB && s.sorted {
+		// Keep the cursor bucket's unconsumed tail sorted.
+		bk := buckets[slot]
+		lo, hi := s.head, len(bk)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.less(bk[mid], e) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bk = append(bk, nil)
+		copy(bk[lo+1:], bk[lo:])
+		bk[lo] = e
+		buckets[slot] = bk
+	} else {
+		buckets[slot] = append(buckets[slot], e)
+	}
+	s.ringN++
+}
+
+// rewind moves the cursor back to bucket b. Ring events whose bucket would
+// fall outside the new window spill into the overflow heap; events already
+// consumed from the old cursor bucket are physically removed first so they
+// can never refire.
+func (s *Scheduler) rewind(b int64) {
+	if s.buckets != nil {
+		if s.head > 0 {
+			slot := int(s.curB & (numBuckets - 1))
+			bk := s.buckets[slot]
+			n := copy(bk, bk[s.head:])
+			for i := n; i < len(bk); i++ {
+				bk[i] = nil
+			}
+			s.buckets[slot] = bk[:n]
+		}
+		if s.ringN > 0 {
+			for slot, bk := range s.buckets {
+				kept := bk[:0]
+				for _, e := range bk {
+					if e == nil {
+						continue
+					}
+					if e.time/s.width-b >= numBuckets {
+						s.heapPush(e)
+						s.ringN--
+					} else {
+						kept = append(kept, e)
+					}
+				}
+				for i := len(kept); i < len(bk); i++ {
+					bk[i] = nil
+				}
+				s.buckets[slot] = kept
+			}
+		}
+	}
+	s.curB = b
+	s.head, s.sorted = 0, false
+}
+
+// next positions the cursor at the earliest pending event and returns it
+// without removing it, or nil when the queue is empty. Canceled events are
+// dropped along the way.
+func (s *Scheduler) next() *Event {
+	for {
+		if s.ringN == 0 {
+			if len(s.overflow) == 0 {
+				return nil
+			}
+			// Jump the cursor straight to the earliest overflow event.
+			if s.buckets != nil {
+				slot := int(s.curB & (numBuckets - 1))
+				bk := s.buckets[slot]
+				for i := range bk {
+					bk[i] = nil
+				}
+				s.buckets[slot] = bk[:0]
+			}
+			s.curB = s.overflow[0].time / s.width
+			s.head, s.sorted = 0, false
+			s.migrate()
+			continue
+		}
+		slot := int(s.curB & (numBuckets - 1))
+		bk := s.buckets[slot]
+		if s.head >= len(bk) {
+			for i := range bk {
+				bk[i] = nil
+			}
+			s.buckets[slot] = bk[:0]
+			s.head, s.sorted = 0, false
+			s.curB++
+			s.migrate()
+			continue
+		}
+		if !s.sorted {
+			if len(bk)-s.head > 1 {
+				slices.SortFunc(bk[s.head:], func(a, b *Event) int {
+					if s.less(a, b) {
+						return -1
+					}
+					return 1
+				})
+			}
+			s.sorted = true
+		}
+		e := bk[s.head]
+		if e.canceled {
+			bk[s.head] = nil
+			s.head++
+			s.ringN--
+			s.canceled--
+			s.recycle(e)
+			continue
+		}
+		return e
+	}
+}
+
+// take removes the event the cursor points at (the one next returned).
+func (s *Scheduler) take() {
+	slot := int(s.curB & (numBuckets - 1))
+	s.buckets[slot][s.head] = nil
+	s.head++
+	s.ringN--
+}
+
+// migrate pulls overflow events that now fall inside the ring window.
+func (s *Scheduler) migrate() {
+	for len(s.overflow) > 0 && s.overflow[0].time/s.width-s.curB < numBuckets {
+		e := s.heapPop()
+		buckets := s.ring()
+		slot := int((e.time / s.width) & (numBuckets - 1))
+		buckets[slot] = append(buckets[slot], e)
+		s.ringN++
+	}
+}
+
+// compact rebuilds the queue without its canceled events.
+func (s *Scheduler) compact() {
+	live := make([]*Event, 0, s.Pending())
+	drop := func(e *Event) {
+		if e.canceled {
+			s.recycle(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	if s.buckets != nil {
+		for slot, bk := range s.buckets {
+			for _, e := range bk {
+				if e != nil {
+					drop(e)
+				}
+			}
+			for i := range bk {
+				bk[i] = nil
+			}
+			s.buckets[slot] = bk[:0]
+		}
+	}
+	for _, e := range s.overflow {
+		drop(e)
+	}
+	s.overflow = s.overflow[:0]
+	s.ringN = 0
+	s.head, s.sorted = 0, false
+	s.curB = s.now / s.width
+	s.canceled = 0
+	for _, e := range live {
+		s.push(e)
+	}
+}
+
+func (s *Scheduler) recycle(e *Event) {
+	if len(s.free) < maxFree {
+		e.actor = nil
+		s.free = append(s.free, e)
+	}
+}
+
+// --- overflow heap (4-ary: shallower than binary, which measurably helps
+// the pop-heavy migration path) ---
+
+const heapArity = 4
+
+func (s *Scheduler) heapPush(e *Event) {
+	s.overflow = append(s.overflow, e)
+	i := len(s.overflow) - 1
 	for i > 0 {
 		parent := (i - 1) / heapArity
-		if !s.less(s.heap[i], s.heap[parent]) {
+		if !s.less(s.overflow[i], s.overflow[parent]) {
 			break
 		}
-		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		s.overflow[i], s.overflow[parent] = s.overflow[parent], s.overflow[i]
 		i = parent
 	}
 }
 
-func (s *Scheduler) peek() *Event { return s.heap[0] }
-
-func (s *Scheduler) pop() *Event {
-	top := s.heap[0]
-	last := len(s.heap) - 1
-	s.heap[0] = s.heap[last]
-	s.heap[last] = nil
-	s.heap = s.heap[:last]
-	n := len(s.heap)
+func (s *Scheduler) heapPop() *Event {
+	top := s.overflow[0]
+	last := len(s.overflow) - 1
+	s.overflow[0] = s.overflow[last]
+	s.overflow[last] = nil
+	s.overflow = s.overflow[:last]
+	n := len(s.overflow)
 	i := 0
 	for {
 		min := i
 		first := i*heapArity + 1
 		for c := first; c < first+heapArity && c < n; c++ {
-			if s.less(s.heap[c], s.heap[min]) {
+			if s.less(s.overflow[c], s.overflow[min]) {
 				min = c
 			}
 		}
 		if min == i {
 			break
 		}
-		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		s.overflow[i], s.overflow[min] = s.overflow[min], s.overflow[i]
 		i = min
 	}
 	return top

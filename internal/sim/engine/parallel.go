@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardCycler is a Cycler whose tick is split into two phases so many
+// shards can tick concurrently inside one scheduler event:
+//
+//   - Tick (the compute phase) runs in parallel across shards and must be
+//     side-effect-local: it may mutate only shard-private state and read
+//     shared state, deferring every shared mutation into a shard-local
+//     outbox.
+//   - Commit (the serial phase) drains the outbox. Commits run on the
+//     scheduler goroutine in shard order after every shard's Tick has
+//     returned, so the interleaving of shared effects — scheduler sequence
+//     numbers included — is identical to a fully serial simulation.
+type ShardCycler interface {
+	Cycler
+	Commit(now Time)
+}
+
+// poolJob is one ForEach invocation, shared by every participating worker.
+type poolJob struct {
+	n    int32
+	next *int32 // atomic work-stealing index
+	fn   func(i int)
+	wg   *sync.WaitGroup
+	pan  *atomic.Value // first panic from a helper goroutine
+}
+
+func (j poolJob) work() {
+	for {
+		i := atomic.AddInt32(j.next, 1) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(int(i))
+	}
+}
+
+// WorkerPool is a persistent pool of worker goroutines for data-parallel
+// fan-out inside a single scheduler event. The goroutines block on a job
+// channel between barriers, so the per-event cost is two channel hops per
+// helper rather than goroutine creation.
+type WorkerPool struct {
+	n       int
+	jobs    chan poolJob
+	started bool
+}
+
+// NewWorkerPool returns a pool of n workers (n <= 0 means GOMAXPROCS).
+// Goroutines start lazily on first use.
+func NewWorkerPool(n int) *WorkerPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &WorkerPool{n: n}
+}
+
+// Size returns the worker count; a nil pool counts as one (serial).
+func (p *WorkerPool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.n
+}
+
+// ForEach runs fn(i) for every i in [0, n) spread across the pool and
+// returns once all calls have completed. The calling goroutine participates
+// as one of the workers. A nil or single-worker pool runs the calls
+// inline, in index order.
+func (p *WorkerPool) ForEach(n int, fn func(i int)) {
+	if p == nil || p.n <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if !p.started {
+		p.start()
+	}
+	helpers := p.n - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var next int32
+	var wg sync.WaitGroup
+	var pan atomic.Value
+	wg.Add(helpers)
+	job := poolJob{n: int32(n), next: &next, fn: fn, wg: &wg, pan: &pan}
+	for i := 0; i < helpers; i++ {
+		p.jobs <- job
+	}
+	job.work()
+	wg.Wait()
+	if v := pan.Load(); v != nil {
+		panic(v)
+	}
+}
+
+func (p *WorkerPool) start() {
+	p.jobs = make(chan poolJob)
+	for i := 0; i < p.n-1; i++ {
+		go func() {
+			for job := range p.jobs {
+				func() {
+					defer job.wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							job.pan.CompareAndSwap(nil, r)
+						}
+					}()
+					job.work()
+				}()
+			}
+		}()
+	}
+	p.started = true
+}
+
+// Close stops the worker goroutines. The pool restarts lazily on the next
+// ForEach, so Close is safe to call between simulation runs. Nil-safe.
+func (p *WorkerPool) Close() {
+	if p == nil || !p.started {
+		return
+	}
+	close(p.jobs)
+	p.started = false
+}
+
+// ParallelMacroActor is a MacroActor whose components tick concurrently on
+// a WorkerPool and then commit serially in component order. Like
+// MacroActor it consumes one event per cycle regardless of component
+// count; unlike it, the compute phase of that event uses every host core.
+// With a nil pool it degrades to the exact serial two-phase loop, which is
+// why workers=1 and workers=N produce bit-identical results (the commit
+// order, not the compute order, defines all shared-state interleavings).
+type ParallelMacroActor struct {
+	Name  string
+	sched *Scheduler
+	clock *Clock
+	pool  *WorkerPool
+	comps []ShardCycler
+	busy  []bool
+
+	scheduled bool
+	pending   *Event
+}
+
+// NewParallelMacroActor creates a parallel macro-actor on the given clock
+// domain. A nil pool means serial execution.
+func NewParallelMacroActor(name string, sched *Scheduler, clock *Clock, pool *WorkerPool) *ParallelMacroActor {
+	return &ParallelMacroActor{Name: name, sched: sched, clock: clock, pool: pool}
+}
+
+// Add registers a component shard.
+func (m *ParallelMacroActor) Add(c ShardCycler) {
+	m.comps = append(m.comps, c)
+	m.busy = append(m.busy, false)
+}
+
+// Len returns the number of component shards.
+func (m *ParallelMacroActor) Len() int { return len(m.comps) }
+
+// Workers returns the number of host workers ticking the shards.
+func (m *ParallelMacroActor) Workers() int { return m.pool.Size() }
+
+// Wake ensures a notification is scheduled for the next clock edge.
+// Idempotent within a cycle, like MacroActor.Wake.
+func (m *ParallelMacroActor) Wake(now Time) {
+	if m.scheduled {
+		return
+	}
+	at := m.clock.NextEdge(now)
+	if at == MaxTime {
+		return // clock gated off; re-woken on Enable
+	}
+	m.scheduled = true
+	m.pending = m.sched.Schedule(at, PrioClock, m)
+}
+
+// Notify ticks all shards (parallel compute phase), then commits their
+// outboxes in shard order (serial phase), and re-arms the clock edge if
+// any shard still has work.
+func (m *ParallelMacroActor) Notify(now Time) {
+	m.scheduled = false
+	m.pending = nil
+	cycle := m.clock.Cycle(now)
+	comps, busy := m.comps, m.busy
+	m.pool.ForEach(len(comps), func(i int) {
+		busy[i] = comps[i].Tick(cycle, now)
+	})
+	any := false
+	for i, c := range comps {
+		c.Commit(now)
+		if busy[i] {
+			any = true
+		}
+	}
+	if any {
+		m.Wake(now)
+	}
+}

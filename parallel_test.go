@@ -1,0 +1,111 @@
+// Host-parallel determinism: the cycle-accurate simulator must produce
+// bit-identical results regardless of how many host workers tick the
+// cluster shards (Config.HostWorkers). This is the contract that makes
+// -workers safe to default to GOMAXPROCS: cycle counts, halt state, every
+// statistics counter and all program output match the serial run exactly.
+// scripts/check.sh runs this test under -race, which also proves the
+// compute phase is free of shared-state races.
+package xmtgo_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"xmtgo"
+	"xmtgo/internal/workloads"
+)
+
+type detCase struct {
+	name    string
+	src     string
+	cfg     xmtgo.Config
+	memmaps []string
+}
+
+func determinismCorpus(t *testing.T) []detCase {
+	t.Helper()
+	fpga := xmtgo.ConfigFPGA64()
+	async := fpga
+	async.ICNAsync = true
+	chip := xmtgo.ConfigChip1024()
+
+	var cases []detCase
+	threads := fpga.Clusters * fpga.TCUsPerCluster
+	for _, g := range []workloads.TableIGroup{
+		workloads.ParallelMemory, workloads.ParallelCompute,
+		workloads.SerialMemory, workloads.SerialCompute,
+	} {
+		work := 8
+		if g == workloads.SerialMemory || g == workloads.SerialCompute {
+			work = 400
+		}
+		cases = append(cases, detCase{name: "tableI-" + g.Name(), src: workloads.TableI(g, threads, work), cfg: fpga})
+	}
+
+	comp, _ := workloads.Compaction(256, 0.3, 7)
+	cases = append(cases, detCase{name: "compaction", src: comp, cfg: fpga})
+	red, _, _ := workloads.Reduction(512)
+	cases = append(cases, detCase{name: "reduction", src: red, cfg: fpga})
+	vec, _, _ := workloads.VecAdd(512)
+	cases = append(cases, detCase{name: "vecadd", src: vec, cfg: fpga})
+	mm, _ := workloads.MatMul(10)
+	cases = append(cases, detCase{name: "matmul", src: mm, cfg: fpga})
+	ps, _, _, _ := workloads.PrefixSum(256)
+	cases = append(cases, detCase{name: "prefixsum", src: ps, cfg: fpga})
+	g := workloads.RandomGraph(128, 6, 1)
+	bfs, _ := workloads.BFS(256, 2048)
+	cases = append(cases, detCase{name: "bfs", src: bfs, cfg: fpga, memmaps: []string{g.MemMap()}})
+
+	// The asynchronous interconnect exercises the continuous-time package
+	// path (per-port handshake times + deferred delivery scheduling).
+	cases = append(cases, detCase{name: "vecadd-asyncICN", src: vec, cfg: async})
+	// The 1024-TCU chip shards 64 clusters across the pool.
+	cases = append(cases, detCase{name: "tableI-parmem-chip1024",
+		src: workloads.TableI(workloads.ParallelMemory, chip.Clusters*chip.TCUsPerCluster, 4), cfg: chip})
+	return cases
+}
+
+func runWorkers(t *testing.T, tc detCase, workers int) (*xmtgo.SimResult, *xmtgo.Stats, string) {
+	t.Helper()
+	prog, _, err := xmtgo.Build(tc.name+".c", tc.src, xmtgo.DefaultCompileOptions(), tc.memmaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tc.cfg
+	cfg.HostWorkers = workers
+	var out bytes.Buffer
+	sys, err := xmtgo.NewSimulator(prog, cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(2_000_000)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res, sys.Stats, out.String()
+}
+
+func TestHostParallelDeterminism(t *testing.T) {
+	for _, tc := range determinismCorpus(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, refStats, refOut := runWorkers(t, tc, 1)
+			if !ref.Halted {
+				t.Fatalf("serial run did not halt (cycles=%d)", ref.Cycles)
+			}
+			// 3 shards unevenly across 64/8 clusters; 4 evenly.
+			for _, w := range []int{3, 4} {
+				res, st, out := runWorkers(t, tc, w)
+				if *res != *ref {
+					t.Errorf("workers=%d: result %+v != serial %+v", w, *res, *ref)
+				}
+				if out != refOut {
+					t.Errorf("workers=%d: program output diverged:\n%q\nvs serial\n%q", w, out, refOut)
+				}
+				if !reflect.DeepEqual(st, refStats) {
+					t.Errorf("workers=%d: statistics diverged from serial", w)
+				}
+			}
+		})
+	}
+}

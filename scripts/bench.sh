@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench.sh — record the perf trajectory. Run from the repo root:
+#
+#     sh scripts/bench.sh
+#
+# Runs the Table I throughput benchmarks and the host-parallel scaling
+# benchmark with -benchmem, writes the parsed results to BENCH_<date>.json,
+# and appends a one-line summary to EXPERIMENTS.md so successive PRs can
+# compare simulated-cycles/sec on the same workloads.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+date=$(date +%Y-%m-%d)
+out="BENCH_${date}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench (Table I + host-parallel scaling)"
+go test -run '^$' -bench 'BenchmarkTableI_|BenchmarkHostParallelScaling' \
+    -benchmem . | tee "$raw"
+
+go run ./cmd/benchjson -date "$date" -o "$out" <"$raw"
+echo "wrote $out"
+
+go run ./cmd/benchjson -date "$date" -summary <"$raw" >>EXPERIMENTS.md
+echo "appended summary to EXPERIMENTS.md"

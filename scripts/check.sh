@@ -29,6 +29,10 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== go test -race (simulator core + host-parallel determinism)"
+go test -race ./internal/sim/engine ./internal/sim/cycle ./internal/sim/funcmodel
+go test -race -run TestHostParallelDeterminism .
+
 echo "== xmtlint (dogfood over examples/xmtc)"
 XMTLINT="go run ./cmd/xmtlint"
 
