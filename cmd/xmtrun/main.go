@@ -12,6 +12,9 @@
 //	xmtrun -config chip1024 -stats prog.c
 //	xmtrun -mode func prog.c               # fast functional debugging mode
 //	xmtrun -mem input.map prog.c
+//	xmtrun -profile prog.c                 # cycles per XMTC source line
+//	xmtrun -counters prog.c                # hardware performance counters
+//	xmtrun -trace out.json prog.c          # Chrome trace for Perfetto
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
 	"xmtgo/internal/sim/stats"
+	"xmtgo/internal/sim/trace"
 )
 
 type listFlag []string
@@ -41,6 +45,9 @@ func main() {
 		mode      = flag.String("mode", "cycle", "simulation mode: cycle or func")
 		maxCycles = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = unlimited)")
 		showStats = flag.Bool("stats", false, "print instruction and activity counters")
+		counters  = flag.Bool("counters", false, "print the hardware performance counter report")
+		profFlag  = flag.Bool("profile", false, "print the cycle profile attributed to XMTC source lines")
+		traceOut  = flag.String("trace", "", "write a Chrome trace (Perfetto) to this .json file")
 		optLevel  = flag.Int("O", 1, "optimization level")
 		cluster   = flag.Int("cluster", 0, "virtual-thread clustering factor")
 		noPref    = flag.Bool("no-prefetch", false, "disable compiler prefetching")
@@ -113,6 +120,9 @@ func main() {
 	}
 
 	if *mode == "func" {
+		if *traceOut != "" || *counters || *profFlag {
+			fatal(fmt.Errorf("-trace, -counters and -profile need the cycle-accurate mode"))
+		}
 		m, err := funcmodel.New(prog, cfg.MemBytes, os.Stdout)
 		if err != nil {
 			fatal(err)
@@ -131,6 +141,17 @@ func main() {
 	if *showStats {
 		sys.Stats.AddFilter(&stats.OpHistogram{})
 	}
+	if *traceOut != "" {
+		sys.SetEventLog(trace.NewEventLog())
+	}
+	var lineProf *stats.LineProfile
+	if *profFlag {
+		// Instruction line numbers point into the XMTC source for compiled
+		// programs, so the flat report annotates XMTC lines directly.
+		lineProf = stats.NewLineProfile(prog, cfg.Clusters+1)
+		lineProf.SetSource(string(src))
+		sys.AttachProfile(lineProf)
+	}
 	r, err := sys.Run(*maxCycles)
 	if err != nil {
 		fatal(err)
@@ -138,6 +159,26 @@ func main() {
 	fmt.Fprintf(os.Stderr, "\n=== %d cycles, %d instructions ===\n", r.Cycles, r.Instrs)
 	if *showStats {
 		sys.Stats.Report(os.Stderr)
+	}
+	if *counters {
+		sys.Stats.ReportCounters(os.Stderr)
+	}
+	if lineProf != nil {
+		lineProf.Report(os.Stderr, 30)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.EventLog().WriteChrome(f, sys.ChromeMeta()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chrome trace written to %s (%d events; load in Perfetto or chrome://tracing)\n",
+			*traceOut, len(sys.EventLog().Events))
 	}
 }
 

@@ -57,7 +57,9 @@ func main() {
 		showStats = flag.Bool("stats", false, "print instruction and activity counters")
 		hot       = flag.Bool("hot", false, "enable the hottest-memory-locations filter plug-in")
 		histogram = flag.Bool("histogram", false, "enable the opcode-histogram filter plug-in")
-		traceLvl  = flag.String("trace", "", "execution trace: func or cycle")
+		traceLvl  = flag.String("trace", "", "execution trace: func, cycle, or a .json path (Chrome trace for Perfetto)")
+		counters  = flag.Bool("counters", false, "print the hardware performance counter report")
+		profile   = flag.Bool("profile", false, "print the cycle profile (flat by source line + cumulative by function)")
 		traceTCU  = flag.Int("trace-tcu", math.MinInt, "limit trace to one TCU (-1 = master)")
 		traceOp   = flag.String("trace-op", "", "limit trace to one mnemonic")
 		ckptOut   = flag.String("checkpoint", "", "write a checkpoint here when the program requests one")
@@ -154,7 +156,11 @@ func main() {
 		}
 	}
 
+	traceJSON := strings.HasSuffix(*traceLvl, ".json")
 	if *mode == "func" {
+		if traceJSON || *counters || *profile {
+			fatal(fmt.Errorf("-trace *.json, -counters and -profile need the cycle-accurate mode"))
+		}
 		m := runFunctional(prog, cfg, resume, *ckptOut, *traceLvl != "")
 		if err := dumpMemory(prog, m.ReadWord, dumps); err != nil {
 			fatal(err)
@@ -185,7 +191,10 @@ func main() {
 		}
 		sys.AddActivityPlugin(tm)
 	}
-	if *traceLvl != "" {
+	switch {
+	case traceJSON:
+		sys.SetEventLog(trace.NewEventLog())
+	case *traceLvl != "":
 		lvl := trace.LevelFunctional
 		if *traceLvl == "cycle" {
 			lvl = trace.LevelCycle
@@ -200,6 +209,12 @@ func main() {
 			}
 		}
 		sys.SetTrace(tr.CycleHook())
+	}
+	var lineProf *stats.LineProfile
+	if *profile {
+		lineProf = stats.NewLineProfile(prog, cfg.Clusters+1)
+		lineProf.SetSource(string(src))
+		sys.AttachProfile(lineProf)
 	}
 
 	res, err := sys.Run(*maxCycles)
@@ -220,6 +235,26 @@ func main() {
 	}
 	if *showStats {
 		sys.Stats.Report(os.Stderr)
+	}
+	if *counters {
+		sys.Stats.ReportCounters(os.Stderr)
+	}
+	if lineProf != nil {
+		lineProf.Report(os.Stderr, 30)
+	}
+	if traceJSON {
+		f, err := os.Create(*traceLvl)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.EventLog().WriteChrome(f, sys.ChromeMeta()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chrome trace written to %s (%d events; load in Perfetto or chrome://tracing)\n",
+			*traceLvl, len(sys.EventLog().Events))
 	}
 	if err := dumpMemory(prog, sys.Machine.ReadWord, dumps); err != nil {
 		fatal(err)

@@ -1,0 +1,50 @@
+package asm_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/asm/postpass"
+	"xmtgo/internal/codegen"
+)
+
+// FuzzAssemble drives the full assembly path — parser, post-pass block
+// relocation/verification, and the assembler — with arbitrary inputs. All
+// three stages must reject malformed input with an error, never panic.
+// Seeds are handwritten snippets plus the compiled form of every bundled
+// XMTC example, so the corpus starts from realistic codegen output. Run at
+// length with
+//
+//	go test -fuzz FuzzAssemble ./internal/asm
+//
+// scripts/check.sh runs a short smoke of this target.
+func FuzzAssemble(f *testing.F) {
+	srcs, _ := filepath.Glob("../../examples/xmtc/*.c")
+	for _, path := range srcs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		res, err := codegen.Compile(path, string(src), codegen.Options{OptLevel: 1, PrefetchSlots: 4})
+		if err != nil {
+			continue // examples that need memmaps or flags still seed the parser below
+		}
+		f.Add(asm.Print(res.Unit))
+	}
+	f.Add("\t.data\nv:\t.word 42, -1, 0x10\ns:\t.asciiz \"hi\"\n\t.text\nmain:\tlw $t0, v\n\tsys 0\n")
+	f.Add("\t.text\nmain:\tspawn L1, $t0\n\tjoin\nL1:\tps $t1, g5\n\tret\n")
+	f.Add("\t.text\nmain:\tbeq $t0, $t1, main\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := asm.Parse("fuzz.s", src)
+		if err != nil {
+			return
+		}
+		if _, err := postpass.Run(u); err != nil {
+			return
+		}
+		_, _ = asm.Assemble(u)
+	})
+}

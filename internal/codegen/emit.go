@@ -77,6 +77,9 @@ func emitFunc(u *asm.Unit, f *ir.Func, alloc *allocation) error {
 
 func (e *emitter) put(in isa.Instr, reloc asm.RelocKind, line int) {
 	in.Target = -1
+	// Carry the XMTC source line on the instruction itself: this is the
+	// PC-to-line table the cycle profiler and trace exporter attribute by.
+	in.Line = line
 	e.u.AppendInstr(in, reloc, line)
 }
 

@@ -2,6 +2,7 @@ package cycle
 
 import (
 	"xmtgo/internal/sim/engine"
+	"xmtgo/internal/sim/trace"
 )
 
 // CacheModule is one mutually-exclusive partition of XMT's shared first
@@ -48,6 +49,13 @@ func (cm *CacheModule) accept(p *Package) bool {
 func (cm *CacheModule) Tick(cycle int64, now engine.Time) bool {
 	if len(cm.serviceQ) == 0 {
 		return false
+	}
+	// The cache macro-actor is serial: observing the shared depth histogram
+	// and event log directly is safe and deterministic.
+	cm.sys.Stats.CacheQueueDepth.Observe(uint64(len(cm.serviceQ)))
+	if cm.sys.evlog != nil {
+		cm.sys.evlog.Emit(trace.Event{TS: now, Kind: trace.EvQueueDepth,
+			Ctx: int32(cm.id), Arg: int64(len(cm.serviceQ))})
 	}
 	p := cm.serviceQ[0]
 	cm.serviceQ = cm.serviceQ[1:]

@@ -4,6 +4,8 @@ import (
 	"xmtgo/internal/isa"
 	"xmtgo/internal/sim/engine"
 	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/stats"
+	"xmtgo/internal/sim/trace"
 )
 
 // Cluster groups TCUs and the resources they share: the expensive multiply/
@@ -33,6 +35,16 @@ type Cluster struct {
 	// phase) may run concurrently with other clusters' and must route every
 	// shared mutation through here (see outbox.go).
 	ob outbox
+
+	// evRing buffers this cluster's structured trace events between outbox
+	// commits (nil when event tracing is off). Filled from the compute phase
+	// and from this cluster's own delivery events; both are exclusive to the
+	// cluster, so no locking is needed.
+	evRing *trace.Ring
+
+	// prof is this cluster's cycle-profiler shard (nil when profiling is
+	// off); same ownership rules as evRing.
+	prof *stats.ProfShard
 }
 
 func newCluster(sys *System, id int) *Cluster {
@@ -116,8 +128,22 @@ func (c *Cluster) acquire(unit isa.Unit, cycle, latency int64) (int64, bool) {
 // statistics end up identical to a fully serial simulation.
 func (c *Cluster) Commit(now engine.Time) {
 	s := c.sys
+	if s.evlog != nil {
+		s.evlog.Drain(c.evRing)
+	}
 	for i := range c.ob.recs {
 		r := &c.ob.recs[i]
+		// Once the simulation has failed or halted, stop replaying: a later
+		// record from the same tick (a ps request, a syscall print) would
+		// otherwise still take effect — bumping PsOps for a request whose
+		// response can never run, or printing past a halt — which both
+		// double-counts against the serial semantics and varies with how
+		// much work the tick batched. First failure wins; the rest of the
+		// outbox is discarded. (See TestCommitStopsReplayAfterFailure.)
+		if s.err != nil || s.halted {
+			*r = obRec{}
+			continue
+		}
 		switch r.kind {
 		case obCount:
 			s.Stats.CountInstr(r.op, c.id, false)
@@ -160,6 +186,7 @@ func (c *Cluster) send(p *Package) bool {
 		now := c.sys.Sched.Now()
 		// Backpressure: refuse when the port has a deep backlog.
 		if c.sys.asyncPortFree[c.id] > now+8*c.sys.Cfg.ICNAsyncGapTicks {
+			c.sys.Stats.Cluster[c.id].SendStallCycles++
 			return false
 		}
 		arrive := c.sys.asyncDepart(p, c.id, now)
@@ -169,6 +196,7 @@ func (c *Cluster) send(p *Package) bool {
 		return true
 	}
 	if len(c.sendQ) >= c.sendQCap {
+		c.sys.Stats.Cluster[c.id].SendStallCycles++
 		return false
 	}
 	c.sendQ = append(c.sendQ, p)

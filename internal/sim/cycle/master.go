@@ -6,6 +6,8 @@ import (
 	"xmtgo/internal/isa"
 	"xmtgo/internal/sim/engine"
 	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/stats"
+	"xmtgo/internal/sim/trace"
 )
 
 // masterState is the scheduling state of the Master TCU.
@@ -47,6 +49,13 @@ type Master struct {
 	bcastRegs [isa.NumRegs]int32
 
 	pendingSpawnPC int // instruction index of the spawn being drained
+
+	// Observability (the master runs on the scheduler goroutine, so it
+	// updates shared collectors and the event log directly).
+	prof         *stats.ProfShard // the profile's last shard; nil when off
+	memWaitStart engine.Time
+	blockPC      int32
+	blockOp      isa.Op
 }
 
 func newMaster(sys *System) *Master {
@@ -107,6 +116,13 @@ func (mt *Master) issue(cycle int64, now engine.Time) bool {
 	mt.ctx.PC++
 	if mt.sys.traceFn != nil {
 		mt.sys.traceFn(-1, pc, in, now)
+	}
+	if mt.sys.evlog != nil {
+		mt.sys.evlog.Emit(trace.Event{TS: now, Dur: mt.sys.masterClock.Period(),
+			Kind: trace.EvInstr, Op: in.Op, Ctx: -1, PC: int32(pc), Arg: int64(in.Line)})
+	}
+	if mt.prof != nil {
+		mt.prof.Issue(pc)
 	}
 	count := func() { mt.sys.Stats.CountInstr(in.Op, -1, true) }
 	meta := in.Op.Meta()
@@ -208,7 +224,7 @@ func (mt *Master) issue(cycle int64, now engine.Time) bool {
 		}
 		count()
 		mt.sys.Stats.PsmOps++
-		mt.state = masterWaitMem
+		mt.blockWaitMem(now, pc, in.Op)
 		return false
 
 	case in.Op == isa.OpPref:
@@ -234,7 +250,7 @@ func (mt *Master) issue(cycle int64, now engine.Time) bool {
 		}
 		count()
 		mt.sys.Stats.MasterCacheMisses++
-		mt.state = masterWaitMem
+		mt.blockWaitMem(now, pc, in.Op)
 		return false
 
 	case meta.Store: // sw, sb, sw.nb: posted through the write buffer
@@ -311,6 +327,32 @@ func (mt *Master) stall(until int64) {
 	mt.stallUntil = until
 }
 
+// blockWaitMem parks the master waiting for a memory response, remembering
+// the blocking instruction for stall attribution.
+func (mt *Master) blockWaitMem(now engine.Time, pc int, op isa.Op) {
+	mt.state = masterWaitMem
+	mt.memWaitStart = now
+	mt.blockPC = int32(pc)
+	mt.blockOp = op
+}
+
+// memUnblocked attributes the just-finished master memory wait.
+func (mt *Master) memUnblocked(now engine.Time) {
+	wait := now - mt.memWaitStart
+	if wait <= 0 {
+		return
+	}
+	cycles := uint64(wait / mt.sys.masterClock.Period())
+	mt.sys.Stats.MasterMemWaitCycles += cycles
+	if mt.prof != nil {
+		mt.prof.Stall(int(mt.blockPC), cycles)
+	}
+	if mt.sys.evlog != nil {
+		mt.sys.evlog.Emit(trace.Event{TS: mt.memWaitStart, Dur: wait,
+			Kind: trace.EvMemWait, Op: mt.blockOp, Ctx: -1, PC: mt.blockPC})
+	}
+}
+
 // send enqueues a shadow package on the master's dedicated ICN path.
 func (mt *Master) send(p *Package) bool {
 	p.Module = mt.sys.moduleOf(p.Addr)
@@ -318,12 +360,14 @@ func (mt *Master) send(p *Package) bool {
 		now := mt.sys.Sched.Now()
 		port := len(mt.sys.clusters) // the master's own injection port
 		if mt.sys.asyncPortFree[port] > now+8*mt.sys.Cfg.ICNAsyncGapTicks {
+			mt.sys.Stats.MasterSendStalls++
 			return false
 		}
 		mt.sys.asyncSend(p, port, now)
 		return true
 	}
 	if len(mt.sendQ) >= 8*mt.sys.Cfg.ICNInjectPerCyc {
+		mt.sys.Stats.MasterSendStalls++
 		return false
 	}
 	mt.sendQ = append(mt.sendQ, p)
@@ -343,10 +387,13 @@ func (mt *Master) deliver(p *Package, now engine.Time) {
 		mt.cache.Fill(p.Addr, mt.sys.masterClock.Cycle(now))
 		mt.sys.Stats.LoadLatencySum += uint64(now - p.Issued)
 		mt.sys.Stats.LoadLatencyCount++
+		mt.sys.Stats.LoadLatency.Observe(uint64(now - p.Issued))
+		mt.memUnblocked(now)
 		mt.state = masterRunning
 		mt.sys.wakeMaster(now)
 	case PkgPsm:
 		mt.ctx.SetReg(p.In.Rd, p.Data)
+		mt.memUnblocked(now)
 		mt.state = masterRunning
 		mt.sys.wakeMaster(now)
 	case PkgStore, PkgStoreNB:

@@ -27,6 +27,7 @@ func newPSUnit(sys *System) *PSUnit { return &PSUnit{sys: sys} }
 func (u *PSUnit) request(t *TCU, in isa.Instr, now engine.Time) {
 	u.sys.Stats.PsOps++
 	lat := u.sys.Cfg.PSLatency * u.sys.Cfg.ClusterPeriod
+	reqAt := now
 	applyAt := u.slotFor(now + lat)
 	u.sys.Sched.ScheduleFunc(applyAt, engine.PrioNegotiate, func(applyTime engine.Time) {
 		old, err := u.apply(&t.ctx, in)
@@ -35,6 +36,10 @@ func (u *PSUnit) request(t *TCU, in isa.Instr, now engine.Time) {
 			return
 		}
 		u.sys.Sched.ScheduleFunc(applyTime+lat, engine.PrioTransfer, func(doneTime engine.Time) {
+			// Round trip = request at the unit to response delivered; the
+			// pacing window makes this grow under grab storms, which is
+			// exactly what the histogram is there to show.
+			u.sys.Stats.PSLatency.Observe(uint64(doneTime - reqAt))
 			t.psDelivered(in, old, doneTime)
 		})
 	})

@@ -4,6 +4,7 @@ import (
 	"xmtgo/internal/asm"
 	"xmtgo/internal/isa"
 	"xmtgo/internal/sim/engine"
+	"xmtgo/internal/sim/trace"
 )
 
 // SpawnUnit models the spawn-join hardware: broadcasting the spawn-region
@@ -20,6 +21,8 @@ type SpawnUnit struct {
 	high   int32
 	done   int
 	total  int
+
+	startedAt engine.Time // when the master issued the spawn (for EvSpawn)
 }
 
 func newSpawnUnit(sys *System) *SpawnUnit { return &SpawnUnit{sys: sys} }
@@ -36,6 +39,8 @@ func (s *SpawnUnit) start(region *asm.SpawnRegion, low, high int32, mask uint32,
 	s.low, s.high = low, high
 	s.done = 0
 	s.total = s.sys.Cfg.TCUs()
+	s.startedAt = now
+	s.sys.Stats.SpawnOverheadCycles += uint64(s.sys.Cfg.SpawnOverhead)
 
 	// The spawn counter global register is initialized to low; TCUs grab
 	// IDs with ps on it.
@@ -68,10 +73,20 @@ func (s *SpawnUnit) tcuDone(now engine.Time) {
 	}
 	s.active = false
 	region := s.region
+	started := s.startedAt
+	vthreads := int64(0)
+	if s.high >= s.low {
+		vthreads = int64(s.high - s.low + 1)
+	}
+	s.sys.Stats.JoinOverheadCycles += uint64(s.sys.Cfg.JoinOverhead)
 	overhead := s.sys.Cfg.JoinOverhead * s.sys.Cfg.MasterPeriod
 	s.sys.Sched.ScheduleFunc(now+overhead, engine.PrioNegotiate, func(t engine.Time) {
 		for _, c := range s.sys.clusters {
 			c.quiesce()
+		}
+		if s.sys.evlog != nil {
+			s.sys.evlog.Emit(trace.Event{TS: started, Dur: t - started,
+				Kind: trace.EvSpawn, Ctx: -1, PC: int32(region.Spawn), Arg: vthreads})
 		}
 		s.sys.master.resumeAfterJoin(region.Join+1, t)
 	})

@@ -13,6 +13,7 @@ import (
 	"xmtgo/internal/sim/engine"
 	"xmtgo/internal/sim/funcmodel"
 	"xmtgo/internal/sim/stats"
+	"xmtgo/internal/sim/trace"
 )
 
 // System is the assembled cycle-accurate XMT machine: every solid box of
@@ -65,6 +66,14 @@ type System struct {
 	// traceFn, when set, observes every issued instruction
 	// (tcu = -1 for the master).
 	traceFn func(tcu int, pc int, in isa.Instr, now engine.Time)
+
+	// evlog, when set, receives the structured event stream (Chrome trace
+	// export). Serial contexts append directly; cluster compute phases fill
+	// per-cluster rings drained at outbox commit.
+	evlog *trace.EventLog
+	// profile, when set, attributes issue and stall cycles to PCs: one
+	// shard per cluster plus a final shard for the master.
+	profile *stats.LineProfile
 
 	plugins []*pluginBinding
 }
@@ -157,6 +166,37 @@ func (s *System) SetTrace(fn func(tcu int, pc int, in isa.Instr, now engine.Time
 	s.traceFn = fn
 }
 
+// SetEventLog enables structured event tracing into l: per-cluster rings
+// collect events from the parallel compute phase and drain into l at outbox
+// commit (cluster-id order), so the log — and the Chrome trace exported
+// from it — is bit-identical for any host worker count.
+func (s *System) SetEventLog(l *trace.EventLog) {
+	s.evlog = l
+	for _, c := range s.clusters {
+		c.evRing = trace.NewRing(0)
+	}
+}
+
+// EventLog returns the attached structured event log (nil when disabled).
+func (s *System) EventLog() *trace.EventLog { return s.evlog }
+
+// ChromeMeta describes the machine shape for the Chrome trace exporter.
+func (s *System) ChromeMeta() trace.ChromeMeta {
+	return trace.ChromeMeta{Clusters: s.Cfg.Clusters, TCUsPerCluster: s.Cfg.TCUsPerCluster}
+}
+
+// AttachProfile enables the cycle profiler: p must have been sized with
+// Clusters+1 shards (NewLineProfile(prog, cfg.Clusters+1)). Each cluster
+// attributes into its own shard from its compute phase, the master into the
+// last; merged totals are worker-count independent.
+func (s *System) AttachProfile(p *stats.LineProfile) {
+	s.profile = p
+	for i, c := range s.clusters {
+		c.prof = p.Shard(i)
+	}
+	s.master.prof = p.Shard(len(s.clusters))
+}
+
 // Master context accessor (for tests and checkpoints).
 func (s *System) MasterContext() *funcmodel.Context { return &s.master.ctx }
 
@@ -220,6 +260,14 @@ func (s *System) Run(maxCycles int64) (*Result, error) {
 	}
 	s.Sched.Run()
 	_ = stopEv
+
+	// Events emitted after the last commit (deliveries, final wait spans)
+	// are still sitting in the cluster rings: drain them, in cluster order.
+	if s.evlog != nil {
+		for _, c := range s.clusters {
+			s.evlog.Drain(c.evRing)
+		}
+	}
 
 	res := &Result{
 		Cycles:     s.cycleOffset + s.clusterClock.Cycle(s.Sched.Now()),

@@ -6,6 +6,7 @@ import (
 	"xmtgo/internal/isa"
 	"xmtgo/internal/sim/engine"
 	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/trace"
 )
 
 // tcuState is the scheduling state of one TCU.
@@ -37,6 +38,9 @@ type TCU struct {
 	stallUntil   int64 // cluster cycle (tcuStalled)
 	pendingNB    int   // outstanding non-blocking stores
 	memWaitStart engine.Time
+	blockPC      int32 // PC of the instruction blocked in tcuWaitMem
+	blockOp      isa.Op
+	waitPS       bool // the block is on the prefix-sum unit, not memory
 
 	pbuf prefetchBuffer
 
@@ -110,6 +114,13 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 	if t.sys.traceFn != nil {
 		t.cluster.ob.trace(t, pc, in)
 	}
+	if t.cluster.evRing != nil {
+		t.cluster.evRing.Emit(trace.Event{TS: now, Dur: t.sys.clusterClock.Period(),
+			Kind: trace.EvInstr, Op: in.Op, Ctx: int32(t.id), PC: int32(pc), Arg: int64(in.Line)})
+	}
+	if t.cluster.prof != nil {
+		t.cluster.prof.Issue(pc)
+	}
 
 	count := func() { t.cluster.ob.count(in.Op) }
 	meta := in.Op.Meta()
@@ -135,7 +146,8 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 
 	case in.Op == isa.OpPs, in.Op == isa.OpGrr, in.Op == isa.OpGrw:
 		count()
-		t.blockMem(now)
+		t.blockMem(now, pc, in.Op)
+		t.waitPS = true
 		// The prefix-sum unit paces requests through a shared per-cycle
 		// window; submit at commit so slots are granted in cluster order.
 		t.cluster.ob.ps(t, in)
@@ -166,7 +178,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 		}
 		count()
 		t.cluster.ob.stat(&t.sys.Stats.PsmOps, 1)
-		t.blockMem(now)
+		t.blockMem(now, pc, in.Op)
 		return false
 
 	case in.Op == isa.OpPref:
@@ -208,7 +220,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 			t.ctx.PC = pc
 			return true
 		}
-		t.blockMem(now)
+		t.blockMem(now, pc, in.Op)
 		return false
 
 	case meta.Load: // lw, lb, lbu
@@ -227,7 +239,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 			t.waitingPbuf = true
 			t.pendingPbufLoad = in
 			t.pendingPbufAddr = addr
-			t.blockMem(now)
+			t.blockMem(now, pc, in.Op)
 			return false
 		}
 		if !t.trySend(&Package{Kind: PkgLoad, In: in, Cluster: t.cluster.id, TCU: t.local,
@@ -236,7 +248,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 			return true
 		}
 		count()
-		t.blockMem(now)
+		t.blockMem(now, pc, in.Op)
 		return false
 
 	case meta.Store: // sw, sb, sw.nb
@@ -255,7 +267,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 			t.pendingNB++
 			return true
 		}
-		t.blockMem(now)
+		t.blockMem(now, pc, in.Op)
 		return false
 
 	case meta.Unit == isa.UnitMDU || meta.Unit == isa.UnitFPU:
@@ -318,17 +330,38 @@ func (t *TCU) stall(until int64) {
 	t.stallUntil = until
 }
 
-func (t *TCU) blockMem(now engine.Time) {
+func (t *TCU) blockMem(now engine.Time, pc int, op isa.Op) {
 	t.state = tcuWaitMem
 	t.memWaitStart = now
+	t.blockPC = int32(pc)
+	t.blockOp = op
+	t.waitPS = false
 }
 
 func (t *TCU) unblock(now engine.Time) {
 	if t.state == tcuWaitMem {
 		wait := now - t.memWaitStart
 		if wait > 0 {
-			t.sys.Stats.Cluster[t.cluster.id].MemWaitCycles += uint64(wait / t.sys.clusterClock.Period())
+			cycles := uint64(wait / t.sys.clusterClock.Period())
+			cs := &t.sys.Stats.Cluster[t.cluster.id]
+			if t.waitPS {
+				cs.PSWaitCycles += cycles
+			} else {
+				cs.MemWaitCycles += cycles
+			}
+			if t.cluster.prof != nil {
+				t.cluster.prof.Stall(int(t.blockPC), cycles)
+			}
+			if t.cluster.evRing != nil {
+				kind := trace.EvMemWait
+				if t.waitPS {
+					kind = trace.EvPSWait
+				}
+				t.cluster.evRing.Emit(trace.Event{TS: t.memWaitStart, Dur: wait,
+					Kind: kind, Op: t.blockOp, Ctx: int32(t.id), PC: t.blockPC})
+			}
 		}
+		t.waitPS = false
 	}
 	t.state = tcuRunning
 	t.sys.wakeClusters(now)
@@ -413,6 +446,7 @@ func (t *TCU) deliver(p *Package, now engine.Time) {
 func (t *TCU) recordLoadLatency(p *Package, now engine.Time) {
 	t.sys.Stats.LoadLatencySum += uint64(now - p.Issued)
 	t.sys.Stats.LoadLatencyCount++
+	t.sys.Stats.LoadLatency.Observe(uint64(now - p.Issued))
 }
 
 // psDelivered commits a prefix-sum/global-register response.

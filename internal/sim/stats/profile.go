@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xmtgo/internal/asm"
+)
+
+// LineProfile is the sampling cycle profiler: it attributes simulated
+// cycles to program counters as the cycle-accurate model issues and stalls,
+// then folds them onto source lines (via the codegen line table each
+// emitted instruction carries) and onto functions (via the program's text
+// labels) for a flat + cumulative report (xmtrun -profile).
+//
+// Concurrency/determinism: attribution is sharded. Each cluster owns one
+// ProfShard and updates it from its own compute phase or from deliveries of
+// its own packages (both exclusive to that cluster); the master owns the
+// last shard. Addition is commutative, so the merged totals are
+// bit-identical for any host worker count.
+type LineProfile struct {
+	prog   *asm.Program
+	src    []string // optional source text, 1-based via src[line-1]
+	shards []ProfShard
+}
+
+// ProfShard is one shard of per-PC attribution.
+type ProfShard struct {
+	IssueCycles []uint64 // one per issued instruction at this PC
+	StallCycles []uint64 // stall/wait cycles attributed to this PC
+	Instrs      []uint64 // instructions issued at this PC
+}
+
+// NewLineProfile sizes a profiler for prog with the given shard count
+// (typically clusters+1; the last shard is the master's).
+func NewLineProfile(prog *asm.Program, shards int) *LineProfile {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &LineProfile{prog: prog, shards: make([]ProfShard, shards)}
+	n := len(prog.Text)
+	for i := range p.shards {
+		p.shards[i] = ProfShard{
+			IssueCycles: make([]uint64, n),
+			StallCycles: make([]uint64, n),
+			Instrs:      make([]uint64, n),
+		}
+	}
+	return p
+}
+
+// SetSource attaches the program's source text so the report can annotate
+// hot lines (the XMTC source for compiled programs, the assembly for
+// handwritten ones).
+func (p *LineProfile) SetSource(src string) { p.src = strings.Split(src, "\n") }
+
+// Shard returns shard i for the simulator to attach to a cluster (or the
+// master, conventionally the last shard).
+func (p *LineProfile) Shard(i int) *ProfShard { return &p.shards[i] }
+
+// Issue records one issued instruction (one issue cycle) at pc.
+func (s *ProfShard) Issue(pc int) {
+	s.IssueCycles[pc]++
+	s.Instrs[pc]++
+}
+
+// Stall attributes n stall or wait cycles to the instruction at pc.
+func (s *ProfShard) Stall(pc int, n uint64) { s.StallCycles[pc] += n }
+
+// pcCost is the merged attribution of one PC.
+type pcCost struct {
+	pc     int
+	issue  uint64
+	stall  uint64
+	instrs uint64
+}
+
+func (p *LineProfile) merge() []pcCost {
+	n := len(p.prog.Text)
+	out := make([]pcCost, n)
+	for pc := 0; pc < n; pc++ {
+		out[pc].pc = pc
+		for i := range p.shards {
+			out[pc].issue += p.shards[i].IssueCycles[pc]
+			out[pc].stall += p.shards[i].StallCycles[pc]
+			out[pc].instrs += p.shards[i].Instrs[pc]
+		}
+	}
+	return out
+}
+
+// funcTable returns the text labels sorted by instruction index, for
+// mapping a PC to its enclosing function.
+func (p *LineProfile) funcTable() (idx []int, names []string) {
+	type fn struct {
+		idx  int
+		name string
+	}
+	var fns []fn
+	for name, s := range p.prog.Syms {
+		if s.Kind == asm.SymText {
+			fns = append(fns, fn{int(s.Value), name})
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].idx != fns[j].idx {
+			return fns[i].idx < fns[j].idx
+		}
+		return fns[i].name < fns[j].name
+	})
+	for _, f := range fns {
+		idx = append(idx, f.idx)
+		names = append(names, f.name)
+	}
+	return idx, names
+}
+
+func funcOf(idx []int, names []string, pc int) string {
+	i := sort.SearchInts(idx, pc+1) - 1
+	if i < 0 {
+		return "<entry>"
+	}
+	return names[i]
+}
+
+// Report writes the flat (per source line) and cumulative (per function)
+// cycle attribution, topN entries each (topN <= 0 means all). Output is
+// byte-deterministic: ties break on line/function name.
+func (p *LineProfile) Report(w io.Writer, topN int) {
+	costs := p.merge()
+	var total uint64
+	for i := range costs {
+		total += costs[i].issue + costs[i].stall
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "profile: no cycles attributed (did the simulation run?)")
+		return
+	}
+
+	// Flat view: fold PCs onto source lines.
+	type lineCost struct {
+		line          int
+		cycles, stall uint64
+		instrs        uint64
+	}
+	byLine := map[int]*lineCost{}
+	for i := range costs {
+		c := &costs[i]
+		if c.issue == 0 && c.stall == 0 {
+			continue
+		}
+		line := p.prog.Text[c.pc].Line
+		lc := byLine[line]
+		if lc == nil {
+			lc = &lineCost{line: line}
+			byLine[line] = lc
+		}
+		lc.cycles += c.issue + c.stall
+		lc.stall += c.stall
+		lc.instrs += c.instrs
+	}
+	lines := make([]*lineCost, 0, len(byLine))
+	for _, lc := range byLine {
+		lines = append(lines, lc)
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].cycles != lines[j].cycles {
+			return lines[i].cycles > lines[j].cycles
+		}
+		return lines[i].line < lines[j].line
+	})
+	if topN > 0 && len(lines) > topN {
+		lines = lines[:topN]
+	}
+	fmt.Fprintf(w, "== cycle profile: flat (by source line) ==\n")
+	fmt.Fprintf(w, "    cycles      %%   stall    instrs  line  source\n")
+	var cum uint64
+	for _, lc := range lines {
+		cum += lc.cycles
+		src := ""
+		if lc.line >= 1 && lc.line <= len(p.src) {
+			src = strings.TrimSpace(p.src[lc.line-1])
+			if len(src) > 60 {
+				src = src[:60]
+			}
+		}
+		fmt.Fprintf(w, "%10d %6.2f %7d %9d %5d  %s\n",
+			lc.cycles, 100*float64(lc.cycles)/float64(total), lc.stall, lc.instrs, lc.line, src)
+	}
+
+	// Cumulative view: fold PCs onto functions.
+	idx, names := p.funcTable()
+	type fnCost struct {
+		name          string
+		cycles, stall uint64
+		instrs        uint64
+	}
+	byFn := map[string]*fnCost{}
+	for i := range costs {
+		c := &costs[i]
+		if c.issue == 0 && c.stall == 0 {
+			continue
+		}
+		name := funcOf(idx, names, c.pc)
+		fc := byFn[name]
+		if fc == nil {
+			fc = &fnCost{name: name}
+			byFn[name] = fc
+		}
+		fc.cycles += c.issue + c.stall
+		fc.stall += c.stall
+		fc.instrs += c.instrs
+	}
+	fns := make([]*fnCost, 0, len(byFn))
+	for _, fc := range byFn {
+		fns = append(fns, fc)
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].cycles != fns[j].cycles {
+			return fns[i].cycles > fns[j].cycles
+		}
+		return fns[i].name < fns[j].name
+	})
+	if topN > 0 && len(fns) > topN {
+		fns = fns[:topN]
+	}
+	fmt.Fprintf(w, "== cycle profile: cumulative (by function) ==\n")
+	fmt.Fprintf(w, "    cycles      %%   stall    instrs  function\n")
+	for _, fc := range fns {
+		fmt.Fprintf(w, "%10d %6.2f %7d %9d  %s\n",
+			fc.cycles, 100*float64(fc.cycles)/float64(total), fc.stall, fc.instrs, fc.name)
+	}
+}

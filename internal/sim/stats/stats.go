@@ -18,16 +18,20 @@ import (
 	"xmtgo/internal/isa"
 )
 
-// ClusterStats are per-cluster activity counters.
+// ClusterStats are per-cluster activity counters. Each cluster updates only
+// its own entry, so the fields are safe to bump from the parallel compute
+// phase without going through the outbox.
 type ClusterStats struct {
-	TCUInstrs     uint64 // instructions committed by this cluster's TCUs
-	ALUOps        uint64
-	FPUOps        uint64
-	MDUOps        uint64
-	MemOps        uint64
-	BusyCycles    uint64 // cycles with at least one active TCU
-	MemWaitCycles uint64 // TCU-cycles spent blocked on memory
-	FPUWaitCycles uint64 // TCU-cycles spent waiting for a shared FPU/MDU
+	TCUInstrs       uint64 // instructions committed by this cluster's TCUs
+	ALUOps          uint64
+	FPUOps          uint64
+	MDUOps          uint64
+	MemOps          uint64
+	BusyCycles      uint64 // cycles with at least one active TCU
+	MemWaitCycles   uint64 // TCU-cycles spent blocked on memory
+	FPUWaitCycles   uint64 // TCU-cycles spent waiting for a shared FPU/MDU
+	PSWaitCycles    uint64 // TCU-cycles spent blocked on the prefix-sum unit
+	SendStallCycles uint64 // TCU-cycles the ICN injection port refused a send
 }
 
 // Collector accumulates all counters of one simulation run. The simulator
@@ -70,6 +74,18 @@ type Collector struct {
 
 	LoadLatencySum   uint64 // ticks, issue -> commit
 	LoadLatencyCount uint64
+
+	// Hardware performance counters (docs/OBSERVABILITY.md). All are
+	// updated either on the scheduler goroutine or cluster-locally, so
+	// they are bit-identical for any host worker count.
+	LoadLatency     Histogram // ticks, issue -> commit, per load/psm
+	PSLatency       Histogram // ticks, ps request -> response delivered
+	CacheQueueDepth Histogram // service-queue depth per serving cache tick
+
+	SpawnOverheadCycles uint64 // master cycles spent broadcasting spawns
+	JoinOverheadCycles  uint64 // master cycles spent completing joins
+	MasterMemWaitCycles uint64 // master cycles blocked on memory
+	MasterSendStalls    uint64 // master sends refused by the injection port
 
 	filters []Filter
 }

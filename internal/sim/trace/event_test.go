@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"xmtgo/internal/isa"
+)
+
+func TestRingDropsNewestOnOverflow(t *testing.T) {
+	r := NewRing(2)
+	r.Emit(Event{PC: 1})
+	r.Emit(Event{PC: 2})
+	r.Emit(Event{PC: 3}) // full: dropped, counted
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	l := NewEventLog()
+	l.Drain(r)
+	if len(l.Events) != 2 || l.Events[0].PC != 1 || l.Events[1].PC != 2 {
+		t.Errorf("drained events = %+v, want PCs 1,2 (drop-newest)", l.Events)
+	}
+	if l.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", l.Dropped)
+	}
+	// Drain resets the ring: it can fill to capacity again.
+	if r.Len() != 0 {
+		t.Fatalf("ring not reset by drain: Len = %d", r.Len())
+	}
+	r.Emit(Event{PC: 4})
+	l.Drain(r)
+	if len(l.Events) != 3 || l.Dropped != 1 {
+		t.Errorf("after refill: events=%d dropped=%d, want 3 and 1", len(l.Events), l.Dropped)
+	}
+}
+
+func TestNewRingDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	if cap(r.buf) == 0 {
+		t.Fatal("NewRing(0) must pick a non-zero default capacity")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		EvInstr: "instr", EvMemWait: "mem-wait", EvPSWait: "ps-wait",
+		EvSpawn: "spawn", EvQueueDepth: "cacheq", EventKind(99): "?",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestPidTid(t *testing.T) {
+	m := ChromeMeta{Clusters: 4, TCUsPerCluster: 8}
+	for _, tc := range []struct {
+		ctx      int32
+		pid, tid int
+	}{
+		{-1, 0, 0}, // master
+		{0, 1, 0},  // cluster 0, tcu 0
+		{7, 1, 7},  // cluster 0, last tcu
+		{8, 2, 0},  // cluster 1, tcu 0
+		{31, 4, 7}, // last cluster, last tcu
+	} {
+		if pid, tid := m.pidTid(tc.ctx); pid != tc.pid || tid != tc.tid {
+			t.Errorf("pidTid(%d) = (%d,%d), want (%d,%d)", tc.ctx, pid, tid, tc.pid, tc.tid)
+		}
+	}
+}
+
+// TestWriteChromeValidJSON renders a hand-built log with one event of every
+// kind and checks the output parses as JSON with the expected structure.
+func TestWriteChromeValidJSON(t *testing.T) {
+	l := NewEventLog()
+	l.Emit(Event{TS: 10, Dur: 1, Kind: EvInstr, Op: isa.OpAddu, Ctx: 3, PC: 7, Arg: 12})
+	l.Emit(Event{TS: 11, Dur: 4, Kind: EvMemWait, Op: isa.OpLw, Ctx: 3, PC: 8})
+	l.Emit(Event{TS: 12, Dur: 2, Kind: EvPSWait, Op: isa.OpPs, Ctx: -1, PC: 9})
+	l.Emit(Event{TS: 13, Dur: 20, Kind: EvSpawn, Ctx: -1, PC: 2, Arg: 64})
+	l.Emit(Event{TS: 14, Kind: EvQueueDepth, Ctx: 5, Arg: 3})
+	l.Dropped = 2
+
+	var b bytes.Buffer
+	if err := l.WriteChrome(&b, ChromeMeta{Clusters: 2, TCUsPerCluster: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	// 1 process + 1 thread metadata entry for the master, (1 + 2) per
+	// cluster, plus the 5 events.
+	if want := 2 + 2*3 + 5; len(doc.TraceEvents) != want {
+		t.Errorf("traceEvents count = %d, want %d", len(doc.TraceEvents), want)
+	}
+	if got := doc.OtherData["dropped"]; got != "2" {
+		t.Errorf(`otherData.dropped = %v, want "2"`, got)
+	}
+	if !strings.Contains(b.String(), `"name":"mem-wait"`) {
+		t.Error("mem-wait span missing from output")
+	}
+}
+
+type failWriter struct{ n, failAt int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n >= f.failAt {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWriteChromePropagatesWriteError(t *testing.T) {
+	l := NewEventLog()
+	l.Emit(Event{Kind: EvInstr, Op: isa.OpAddu})
+	if err := l.WriteChrome(&failWriter{failAt: 3}, ChromeMeta{Clusters: 1, TCUsPerCluster: 1}); err == nil {
+		t.Fatal("WriteChrome must surface the writer's error")
+	}
+}

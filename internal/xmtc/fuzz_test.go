@@ -1,0 +1,39 @@
+package xmtc_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmtgo/internal/xmtc"
+)
+
+// FuzzParseXMTC drives the XMTC parser (and, when parsing succeeds, the
+// semantic checker) with arbitrary inputs: both must return errors, never
+// panic or hang, whatever the input. Seeds are the bundled example
+// programs. Run at length with
+//
+//	go test -fuzz FuzzParseXMTC ./internal/xmtc
+//
+// scripts/check.sh runs a short smoke of this target.
+func FuzzParseXMTC(f *testing.F) {
+	seeds, _ := filepath.Glob("../../examples/xmtc/*.c")
+	for _, path := range seeds {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("int main() { return 0; }")
+	f.Add("int A[8]; int main() { spawn(0, 7) { A[$] = $; } return A[3]; }")
+	f.Add("int x; int main() { int inc = 1; spawn(0,3) { ps(inc, x); } return x; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := xmtc.Parse("fuzz.c", src)
+		if err != nil {
+			return
+		}
+		_, _ = xmtc.Check(file)
+	})
+}

@@ -1,0 +1,95 @@
+// Golden tests for the observability surface: the Chrome trace-event JSON
+// and the hardware counter report for a fixed fixture program are compared
+// byte-for-byte against checked-in files, at host_workers 1 and 4. Any
+// change to event ordering, counter arithmetic, or report formatting shows
+// up as a diff here; deliberate changes are re-blessed with
+//
+//	go test -run TestObservabilityGolden -update .
+package xmtgo_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmtgo"
+	"xmtgo/internal/sim/stats"
+	"xmtgo/internal/sim/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the observability golden files")
+
+// runFixture runs testdata/observability/fixture.c on fpga64 with the
+// given host worker count and returns the rendered trace JSON and counter
+// report.
+func runFixture(t *testing.T, workers int) (traceJSON, counters, profile []byte) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "observability", "fixture.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := xmtgo.Build("fixture.c", string(src), xmtgo.DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := xmtgo.ConfigFPGA64()
+	cfg.HostWorkers = workers
+	var out bytes.Buffer
+	sys, err := xmtgo.NewSimulator(prog, cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetEventLog(trace.NewEventLog())
+	lineProf := stats.NewLineProfile(prog, cfg.Clusters+1)
+	lineProf.SetSource(string(src))
+	sys.AttachProfile(lineProf)
+	res, err := sys.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatalf("fixture did not halt (cycles=%d)", res.Cycles)
+	}
+	if got, want := out.String(), "sum=272 done=16\n"; got != want {
+		t.Fatalf("fixture output %q, want %q", got, want)
+	}
+	var tr, ctr, prof bytes.Buffer
+	if err := sys.EventLog().WriteChrome(&tr, sys.ChromeMeta()); err != nil {
+		t.Fatal(err)
+	}
+	sys.Stats.ReportCounters(&ctr)
+	lineProf.Report(&prof, 30)
+	return tr.Bytes(), ctr.Bytes(), prof.Bytes()
+}
+
+func TestObservabilityGolden(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		traceJSON, counters, profile := runFixture(t, workers)
+		// The observability contract: every artifact is independent of the
+		// host worker count, so a single golden per artifact covers both runs.
+		for name, got := range map[string][]byte{
+			"trace.json.golden": traceJSON,
+			"counters.golden":   counters,
+			"profile.golden":    profile,
+		} {
+			path := filepath.Join("testdata", "observability", name)
+			if *update {
+				if workers == 1 {
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d: %s diverged from golden (%d vs %d bytes); if the change is deliberate, re-bless with -update",
+					workers, name, len(got), len(want))
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"xmtgo"
+	"xmtgo/internal/sim/trace"
 	"xmtgo/internal/workloads"
 )
 
@@ -66,7 +67,17 @@ func determinismCorpus(t *testing.T) []detCase {
 	return cases
 }
 
-func runWorkers(t *testing.T, tc detCase, workers int) (*xmtgo.SimResult, *xmtgo.Stats, string) {
+// workersRun is one run's observable artifacts: everything that the
+// determinism contract promises is bit-identical across host worker counts.
+type workersRun struct {
+	res      *xmtgo.SimResult
+	stats    *xmtgo.Stats
+	out      string // program printf output
+	trace    string // Chrome trace-event JSON
+	counters string // hardware performance counter report
+}
+
+func runWorkers(t *testing.T, tc detCase, workers int) workersRun {
 	t.Helper()
 	prog, _, err := xmtgo.Build(tc.name+".c", tc.src, xmtgo.DefaultCompileOptions(), tc.memmaps...)
 	if err != nil {
@@ -79,31 +90,46 @@ func runWorkers(t *testing.T, tc detCase, workers int) (*xmtgo.SimResult, *xmtgo
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys.SetEventLog(trace.NewEventLog())
 	res, err := sys.Run(2_000_000)
 	if err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
 	}
-	return res, sys.Stats, out.String()
+	var tr, ctr bytes.Buffer
+	if err := sys.EventLog().WriteChrome(&tr, sys.ChromeMeta()); err != nil {
+		t.Fatalf("workers=%d: write chrome trace: %v", workers, err)
+	}
+	sys.Stats.ReportCounters(&ctr)
+	return workersRun{res: res, stats: sys.Stats, out: out.String(),
+		trace: tr.String(), counters: ctr.String()}
 }
 
 func TestHostParallelDeterminism(t *testing.T) {
 	for _, tc := range determinismCorpus(t) {
 		t.Run(tc.name, func(t *testing.T) {
-			ref, refStats, refOut := runWorkers(t, tc, 1)
-			if !ref.Halted {
-				t.Fatalf("serial run did not halt (cycles=%d)", ref.Cycles)
+			ref := runWorkers(t, tc, 1)
+			if !ref.res.Halted {
+				t.Fatalf("serial run did not halt (cycles=%d)", ref.res.Cycles)
 			}
-			// 3 shards unevenly across 64/8 clusters; 4 evenly.
-			for _, w := range []int{3, 4} {
-				res, st, out := runWorkers(t, tc, w)
-				if *res != *ref {
-					t.Errorf("workers=%d: result %+v != serial %+v", w, *res, *ref)
+			// 2 and 3 shard unevenly across 64/8 clusters; 4 evenly.
+			for _, w := range []int{2, 3, 4} {
+				r := runWorkers(t, tc, w)
+				if *r.res != *ref.res {
+					t.Errorf("workers=%d: result %+v != serial %+v", w, *r.res, *ref.res)
 				}
-				if out != refOut {
-					t.Errorf("workers=%d: program output diverged:\n%q\nvs serial\n%q", w, out, refOut)
+				if r.out != ref.out {
+					t.Errorf("workers=%d: program output diverged:\n%q\nvs serial\n%q", w, r.out, ref.out)
 				}
-				if !reflect.DeepEqual(st, refStats) {
+				if !reflect.DeepEqual(r.stats, ref.stats) {
 					t.Errorf("workers=%d: statistics diverged from serial", w)
+				}
+				if r.trace != ref.trace {
+					t.Errorf("workers=%d: Chrome trace JSON diverged from serial (%d vs %d bytes)",
+						w, len(r.trace), len(ref.trace))
+				}
+				if r.counters != ref.counters {
+					t.Errorf("workers=%d: counter report diverged from serial:\n%s\nvs serial\n%s",
+						w, r.counters, ref.counters)
 				}
 			}
 		})

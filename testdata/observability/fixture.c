@@ -1,0 +1,27 @@
+// Fixture for the observability golden tests (observability_golden_test.go).
+// Small and fully deterministic: every store lands at a thread-indexed
+// position and the ps reduction is commutative, so the final state, the
+// Chrome trace and the counter report are stable across host worker counts.
+int A[16];
+int B[16];
+int done = 0;
+
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 0; i < 16; i++) A[i] = i + 1;
+
+    spawn(0, 15) {
+        int inc = 1;
+        B[$] = A[$] * 2;
+        ps(inc, done);       // exercises the prefix-sum unit and its latency histogram
+    }
+    for (i = 0; i < 16; i++) sum = sum + B[i];
+
+    print_string("sum=");
+    print_int(sum);
+    print_string(" done=");
+    print_int(done);
+    print_char('\n');
+    return 0;
+}
