@@ -17,7 +17,7 @@ func TestCLITools(t *testing.T) {
 	}
 	dir := t.TempDir()
 	bins := map[string]string{}
-	for _, tool := range []string{"xmtcc", "xmtsim", "xmtrun"} {
+	for _, tool := range []string{"xmtcc", "xmtsim", "xmtrun", "xmtbatch"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
 		if msg, err := cmd.CombinedOutput(); err != nil {
@@ -110,5 +110,30 @@ int main() {
 	out = run("xmtrun", "-config", "fpga64", "-mem", mapFile, cFile)
 	if !strings.Contains(out, "100") {
 		t.Fatalf("xmtrun:\n%s", out)
+	}
+
+	// xmtrun under an injected fault plan with the watchdog armed: benign
+	// timing faults must not change the program result.
+	out = run("xmtrun", "-config", "fpga64", "-mem", mapFile,
+		"-fault", "icndelay:4@50-400;cachestall:2x100@50-400", "-fault-seed", "9",
+		"-watchdog", "100000", cFile)
+	if !strings.Contains(out, "100") {
+		t.Fatalf("xmtrun with faults:\n%s", out)
+	}
+
+	// xmtbatch: a two-job batch (one .s, one .c with overrides) from a jobs
+	// file, with checkpoint persistence enabled.
+	jobsFile := filepath.Join(dir, "jobs.txt")
+	jobs := "# batch smoke test\n" +
+		"asmjob " + sFile + "\n" +
+		"cjob " + cFile + " dram_latency=20\n"
+	if err := os.WriteFile(jobsFile, []byte(jobs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run("xmtbatch", "-config", "fpga64", "-timeout", "10000000",
+		"-checkpoint-every", "5000", "-retries", "1",
+		"-out", filepath.Join(dir, "ckpt"), jobsFile)
+	if !strings.Contains(out, "ok   asmjob") || !strings.Contains(out, "ok   cjob") {
+		t.Fatalf("xmtbatch:\n%s", out)
 	}
 }

@@ -53,6 +53,9 @@ func main() {
 		noPref    = flag.Bool("no-prefetch", false, "disable compiler prefetching")
 		noNB      = flag.Bool("no-nbstore", false, "disable non-blocking stores")
 		workers   = flag.Int("workers", 0, "host worker goroutines for the cluster shards (0 = GOMAXPROCS, 1 = serial; results identical)")
+		faultPlan = flag.String("fault", "", `fault-injection plan, e.g. "memflip:10;tcufail:2@5000-90000" (docs/ROBUSTNESS.md)`)
+		faultSeed = flag.Uint64("fault-seed", 0, "fault plan seed (0 = keep the preset's fault_seed)")
+		watchdog  = flag.Int64("watchdog", -1, "no-progress watchdog window in cluster cycles (0 disables; -1 = keep the preset's watchdog_cycles)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -76,6 +79,15 @@ func main() {
 	}
 	if *workers != 0 {
 		cfg.HostWorkers = *workers
+	}
+	if *faultPlan != "" {
+		cfg.FaultPlan = *faultPlan
+	}
+	if *faultSeed != 0 {
+		cfg.FaultSeed = *faultSeed
+	}
+	if *watchdog >= 0 {
+		cfg.WatchdogCycles = *watchdog
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)

@@ -96,67 +96,94 @@ func TestFuncCycleConformance(t *testing.T) {
 	cfg := xmtgo.ConfigFPGA64()
 	for _, tc := range conformanceCorpus() {
 		t.Run(tc.name, func(t *testing.T) {
-			prog, _, err := xmtgo.Build(tc.name+".c", tc.src, xmtgo.DefaultCompileOptions(), tc.memmaps...)
-			if err != nil {
-				t.Fatal(err)
-			}
+			runConformanceCase(t, tc, cfg)
+		})
+	}
+}
 
-			var funcOut bytes.Buffer
-			fm, err := xmtgo.NewMachine(prog, cfg, &funcOut)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := fm.Run(50_000_000); err != nil {
-				t.Fatalf("functional: %v", err)
-			}
-			if !fm.Halted {
-				t.Fatalf("functional run did not halt (%d instructions)", fm.InstrCount)
-			}
-
-			var cycOut bytes.Buffer
-			sys, err := xmtgo.NewSimulator(prog, cfg, &cycOut)
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, err := sys.Run(10_000_000)
-			if err != nil {
-				t.Fatalf("cycle: %v", err)
-			}
-			if !res.Halted {
-				t.Fatalf("cycle run did not halt (cycles=%d timedOut=%v)", res.Cycles, res.TimedOut)
-			}
-
-			if got, want := cycOut.String(), funcOut.String(); got != want {
-				t.Errorf("printf output diverged:\ncycle: %q\nfunc:  %q", got, want)
-			}
-			for gr := 0; gr < isa.NumGRegs; gr++ {
-				if isa.GReg(gr) == isa.GRegSpawn {
-					continue // grab counts differ by design; see file comment
-				}
-				if sys.Machine.G[gr] != fm.G[gr] {
-					t.Errorf("global register g%d: cycle=%d func=%d", gr, sys.Machine.G[gr], fm.G[gr])
-				}
-			}
-			mc := sys.MasterContext()
-			if mc.PC != fm.Master.PC {
-				t.Errorf("master PC: cycle=%d func=%d", mc.PC, fm.Master.PC)
-			}
-			if mc.Reg != fm.Master.Reg {
-				for r := 0; r < isa.NumRegs; r++ {
-					if mc.Reg[r] != fm.Master.Reg[r] {
-						t.Errorf("master $%d: cycle=%d func=%d", r, mc.Reg[r], fm.Master.Reg[r])
-					}
-				}
-			}
-			if !tc.skipMem && !bytes.Equal(sys.Machine.Mem, fm.Mem) {
-				for i := range fm.Mem {
-					if sys.Machine.Mem[i] != fm.Mem[i] {
-						t.Errorf("memory diverged first at 0x%08x: cycle=%#02x func=%#02x",
-							i, sys.Machine.Mem[i], fm.Mem[i])
-						break
-					}
-				}
+// TestDegradedConformance re-runs the whole corpus with two permanent TCU
+// failures injected early in each run (docs/ROBUSTNESS.md): graceful
+// degradation must preserve full architectural conformance with the
+// functional model — same memory, registers and output, only more cycles.
+func TestDegradedConformance(t *testing.T) {
+	cfg := xmtgo.ConfigFPGA64()
+	cfg.FaultPlan = "tcufail:2@40-200"
+	cfg.FaultSeed = 13
+	for _, tc := range conformanceCorpus() {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := runConformanceCase(t, tc, cfg)
+			if got := sys.Stats.TCUsDecommissioned; got != 2 {
+				t.Errorf("TCUsDecommissioned = %d, want 2 (fault window missed the run?)", got)
 			}
 		})
 	}
+}
+
+// runConformanceCase runs one corpus program under both models with cfg and
+// fails the test on any architectural divergence. It returns the cycle
+// simulator for extra assertions.
+func runConformanceCase(t *testing.T, tc confCase, cfg xmtgo.Config) *xmtgo.Simulator {
+	t.Helper()
+	prog, _, err := xmtgo.Build(tc.name+".c", tc.src, xmtgo.DefaultCompileOptions(), tc.memmaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var funcOut bytes.Buffer
+	fm, err := xmtgo.NewMachine(prog, cfg, &funcOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Run(50_000_000); err != nil {
+		t.Fatalf("functional: %v", err)
+	}
+	if !fm.Halted {
+		t.Fatalf("functional run did not halt (%d instructions)", fm.InstrCount)
+	}
+
+	var cycOut bytes.Buffer
+	sys, err := xmtgo.NewSimulator(prog, cfg, &cycOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(10_000_000)
+	if err != nil {
+		t.Fatalf("cycle: %v", err)
+	}
+	if !res.Halted {
+		t.Fatalf("cycle run did not halt (cycles=%d timedOut=%v)", res.Cycles, res.TimedOut)
+	}
+
+	if got, want := cycOut.String(), funcOut.String(); got != want {
+		t.Errorf("printf output diverged:\ncycle: %q\nfunc:  %q", got, want)
+	}
+	for gr := 0; gr < isa.NumGRegs; gr++ {
+		if isa.GReg(gr) == isa.GRegSpawn {
+			continue // grab counts differ by design; see file comment
+		}
+		if sys.Machine.G[gr] != fm.G[gr] {
+			t.Errorf("global register g%d: cycle=%d func=%d", gr, sys.Machine.G[gr], fm.G[gr])
+		}
+	}
+	mc := sys.MasterContext()
+	if mc.PC != fm.Master.PC {
+		t.Errorf("master PC: cycle=%d func=%d", mc.PC, fm.Master.PC)
+	}
+	if mc.Reg != fm.Master.Reg {
+		for r := 0; r < isa.NumRegs; r++ {
+			if mc.Reg[r] != fm.Master.Reg[r] {
+				t.Errorf("master $%d: cycle=%d func=%d", r, mc.Reg[r], fm.Master.Reg[r])
+			}
+		}
+	}
+	if !tc.skipMem && !bytes.Equal(sys.Machine.Mem, fm.Mem) {
+		for i := range fm.Mem {
+			if sys.Machine.Mem[i] != fm.Mem[i] {
+				t.Errorf("memory diverged first at 0x%08x: cycle=%#02x func=%#02x",
+					i, sys.Machine.Mem[i], fm.Mem[i])
+				break
+			}
+		}
+	}
+	return sys
 }

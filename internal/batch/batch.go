@@ -1,0 +1,232 @@
+// Package batch implements the resilient batch runner behind cmd/xmtbatch:
+// it drives a list of simulation jobs to completion with per-job cycle
+// budgets, periodic checkpoints, and bounded retry-with-backoff that resumes
+// each retry from the job's last checkpoint — so a timed-out attempt loses
+// at most one checkpoint interval of progress, and the growing budget
+// eventually covers any finite job (docs/ROBUSTNESS.md).
+//
+// The paper motivates exactly this shape of tooling (§III-E): long
+// simulation campaigns are run as batches, and checkpoints exist to
+// load-balance and restart them without redoing completed work.
+package batch
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/config"
+	"xmtgo/internal/sim/checkpoint"
+	"xmtgo/internal/sim/cycle"
+)
+
+// Job is one simulation to drive to completion.
+type Job struct {
+	Name string
+	Prog *asm.Program
+	// Sets are per-job "key=value" config overrides applied on top of
+	// Options.Config.
+	Sets []string
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Config is the base machine configuration for every job.
+	Config config.Config
+	// TimeoutCycles is the first attempt's total-cycle budget per job
+	// (0 = unlimited, which also disables retries).
+	TimeoutCycles int64
+	// CheckpointEvery periodically checkpoints each job at quiescent points
+	// so retries resume instead of restarting (0 = only program-requested
+	// checkpoints persist progress).
+	CheckpointEvery int64
+	// Retries bounds how many times a failed or timed-out attempt is
+	// retried (total attempts = Retries + 1).
+	Retries int
+	// Backoff multiplies the cycle budget between attempts (default 2).
+	Backoff float64
+	// OutDir receives per-job checkpoint files; empty disables persistence
+	// (retries then restart from the beginning).
+	OutDir string
+	// Log, when set, receives per-attempt progress lines.
+	Log io.Writer
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	Name     string
+	Attempts int    // attempts consumed (1 = first try succeeded)
+	Resumes  int    // attempts that resumed from a checkpoint
+	Cycles   int64  // total simulated cycles of the final attempt
+	Instrs   uint64 // instructions retired by the final attempt's suffix
+	// Output is the program output of the final attempt. A resumed attempt
+	// replays only the suffix after its checkpoint, so output emitted
+	// before the checkpoint appears in the attempt that produced it, not
+	// here; callers that need the full stream should concatenate attempt
+	// logs.
+	Output string
+	Err    error
+}
+
+// Run drives every job to completion (or to its retry bound) sequentially
+// and returns one Result per job, in order.
+func Run(jobs []Job, opts Options) []Result {
+	if opts.Backoff <= 1 {
+		opts.Backoff = 2
+	}
+	results := make([]Result, 0, len(jobs))
+	for _, j := range jobs {
+		results = append(results, runJob(j, opts))
+	}
+	return results
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format, args...)
+	}
+}
+
+func runJob(job Job, opts Options) Result {
+	r := Result{Name: job.Name}
+	cfg := opts.Config
+	for _, kv := range job.Sets {
+		if err := cfg.Set(kv); err != nil {
+			r.Err = fmt.Errorf("job %s: %v", job.Name, err)
+			return r
+		}
+	}
+
+	ckptPath := ""
+	if opts.OutDir != "" {
+		ckptPath = filepath.Join(opts.OutDir, job.Name+".ckpt")
+	}
+	budget := opts.TimeoutCycles
+	for attempt := 0; ; attempt++ {
+		r.Attempts = attempt + 1
+		res, out, resumed, err := runAttempt(job, cfg, ckptPath, budget, opts)
+		if resumed {
+			r.Resumes++
+		}
+		if res != nil {
+			r.Cycles = res.Cycles
+			r.Instrs = res.Instrs
+		}
+		r.Output = out
+		switch {
+		case err == nil && res != nil && res.Halted:
+			opts.logf("batch: %s: done (%d cycles, attempt %d)\n", job.Name, res.Cycles, r.Attempts)
+			return r
+		case err == nil && res != nil && res.TimedOut:
+			err = fmt.Errorf("job %s: cycle budget %d exhausted", job.Name, budget)
+		case err == nil:
+			err = fmt.Errorf("job %s: stopped without halting", job.Name)
+		}
+		if attempt >= opts.Retries {
+			r.Err = err
+			opts.logf("batch: %s: giving up after %d attempts: %v\n", job.Name, r.Attempts, err)
+			return r
+		}
+		if budget > 0 {
+			budget = int64(float64(budget) * opts.Backoff)
+		}
+		opts.logf("batch: %s: attempt %d failed (%v); retrying with budget %d\n",
+			job.Name, attempt+1, err, budget)
+	}
+}
+
+// runAttempt runs one attempt: a chain of simulation segments separated by
+// checkpoint stops, resuming from the job's persisted checkpoint if one
+// exists. budget is the attempt's absolute total-cycle ceiling (0 =
+// unlimited).
+func runAttempt(job Job, cfg config.Config, ckptPath string, budget int64, opts Options) (*cycle.Result, string, bool, error) {
+	var out bytes.Buffer
+	st, err := loadCheckpoint(ckptPath)
+	if err != nil {
+		return nil, "", false, fmt.Errorf("job %s: %v", job.Name, err)
+	}
+	resumed := st != nil // resumed from a previous attempt's persisted state
+	for {
+		sys, err := cycle.New(job.Prog, cfg, &out)
+		if err != nil {
+			return nil, out.String(), resumed, fmt.Errorf("job %s: %v", job.Name, err)
+		}
+		if st != nil {
+			if err := sys.RestoreState(st); err != nil {
+				return nil, out.String(), resumed, fmt.Errorf("job %s: %v", job.Name, err)
+			}
+		}
+		sys.CheckpointEvery(opts.CheckpointEvery)
+
+		// Run accepts this segment's local cycle budget; the checkpoint
+		// offset already consumed part of the absolute budget.
+		segBudget := int64(0)
+		if budget > 0 {
+			segBudget = budget - checkpointOffset(st)
+			if segBudget <= 0 {
+				res := &cycle.Result{Cycles: checkpointOffset(st), TimedOut: true}
+				return res, out.String(), resumed, nil
+			}
+		}
+		res, err := sys.Run(segBudget)
+		if err != nil {
+			return res, out.String(), resumed, fmt.Errorf("job %s: %v", job.Name, err)
+		}
+		if res.Checkpoint {
+			st = sys.Capture()
+			if ckptPath != "" {
+				if err := saveCheckpoint(ckptPath, st); err != nil {
+					return res, out.String(), resumed, fmt.Errorf("job %s: %v", job.Name, err)
+				}
+			}
+			opts.logf("batch: %s: checkpoint at cycle %d\n", job.Name, res.Cycles)
+			continue
+		}
+		return res, out.String(), resumed, nil
+	}
+}
+
+func checkpointOffset(st *checkpoint.State) int64 {
+	if st == nil {
+		return 0
+	}
+	return st.CycleOffset
+}
+
+func loadCheckpoint(path string) (*checkpoint.State, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return checkpoint.Load(f)
+}
+
+// saveCheckpoint writes atomically (tmp + rename) so a crash mid-save never
+// corrupts the last good checkpoint.
+func saveCheckpoint(path string, st *checkpoint.State) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := checkpoint.Save(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

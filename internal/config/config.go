@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"xmtgo/internal/sim/fault"
 )
 
 // Config describes one simulated XMT machine.
@@ -86,6 +88,16 @@ type Config struct {
 	// Determinism.
 	Seed uint64
 
+	// Fault injection and resilience (docs/ROBUSTNESS.md). FaultPlan is a
+	// fault spec in internal/sim/fault grammar ("" disables injection);
+	// FaultSeed seeds the per-kind fault streams. WatchdogCycles is the
+	// no-retire progress watchdog period in cluster cycles (0 disables):
+	// if no instruction retires for that long while the program has not
+	// halted, the run fails with a diagnostic instead of spinning.
+	FaultSeed      uint64
+	FaultPlan      string
+	WatchdogCycles int64
+
 	// Host execution. HostWorkers is the number of host goroutines that
 	// tick the cluster shards in parallel (0 = GOMAXPROCS, 1 = serial).
 	// Simulation results are bit-identical for any value.
@@ -140,10 +152,16 @@ func (c *Config) Validate() error {
 		{c.SpawnOverhead >= 0 && c.JoinOverhead >= 0 && c.PSLatency >= 1, "spawn/join/ps latencies invalid"},
 		{c.PSPerCycle > 0, "PSPerCycle must be positive"},
 		{c.HostWorkers >= 0, "HostWorkers must be non-negative"},
+		{c.WatchdogCycles >= 0, "WatchdogCycles must be non-negative"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {
 			return fmt.Errorf("config %q: %s", c.Name, ch.msg)
+		}
+	}
+	if c.FaultPlan != "" {
+		if _, err := fault.ParseSpec(c.FaultPlan); err != nil {
+			return fmt.Errorf("config %q: fault_plan: %v", c.Name, err)
 		}
 	}
 	return nil
@@ -192,6 +210,8 @@ func FPGA64() Config {
 		MasterPeriod:        8,
 		MemBytes:            16 << 20,
 		Seed:                1,
+		FaultSeed:           1,
+		WatchdogCycles:      2_000_000,
 		EnergyALU:           0.05, EnergyMDU: 0.4, EnergyFPU: 0.6,
 		EnergyMem: 0.1, EnergyICNHop: 0.08, EnergyCache: 0.25, EnergyDRAM: 2.0,
 		StaticWattsPerCluster: 0.05, StaticWattsOther: 0.4,
@@ -241,6 +261,8 @@ func Chip1024() Config {
 		MasterPeriod:        8,
 		MemBytes:            64 << 20,
 		Seed:                1,
+		FaultSeed:           1,
+		WatchdogCycles:      2_000_000,
 		EnergyALU:           0.05, EnergyMDU: 0.4, EnergyFPU: 0.6,
 		EnergyMem: 0.1, EnergyICNHop: 0.08, EnergyCache: 0.25, EnergyDRAM: 2.0,
 		StaticWattsPerCluster: 0.08, StaticWattsOther: 1.5,
@@ -324,6 +346,24 @@ var fieldSetters = map[string]func(*Config, string) error{
 		c.Seed = n
 		return nil
 	},
+	"fault_seed": func(c *Config, v string) error {
+		n, err := strconv.ParseUint(v, 0, 64)
+		if err != nil {
+			return err
+		}
+		c.FaultSeed = n
+		return nil
+	},
+	"fault_plan": func(c *Config, v string) error {
+		if v != "" {
+			if _, err := fault.ParseSpec(v); err != nil {
+				return err
+			}
+		}
+		c.FaultPlan = v
+		return nil
+	},
+	"watchdog_cycles": int64Field(func(c *Config) *int64 { return &c.WatchdogCycles }),
 }
 
 func intField(get func(*Config) *int) func(*Config, string) error {
@@ -412,5 +452,6 @@ func (c *Config) Describe() string {
 		c.ClusterPeriod, c.ICNPeriod, c.CachePeriod, c.DRAMPeriod, c.MasterPeriod)
 	fmt.Fprintf(&b, "mem_bytes=%d seed=%d\n", c.MemBytes, c.Seed)
 	fmt.Fprintf(&b, "host_workers=%d (0 = GOMAXPROCS; results identical for any value)\n", c.HostWorkers)
+	fmt.Fprintf(&b, "fault_seed=%d fault_plan=%q watchdog_cycles=%d\n", c.FaultSeed, c.FaultPlan, c.WatchdogCycles)
 	return b.String()
 }

@@ -15,8 +15,10 @@ package checkpoint
 import (
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
 
+	"xmtgo/internal/asm"
 	"xmtgo/internal/isa"
 	"xmtgo/internal/sim/funcmodel"
 )
@@ -26,11 +28,14 @@ type State struct {
 	// Version guards the gob layout.
 	Version int
 
-	// ProgramFingerprint ties the checkpoint to a specific linked program
-	// (instruction count + entry point; resuming under a different program
-	// is refused).
-	TextLen int
-	Entry   int
+	// Fingerprint ties the checkpoint to the specific linked program it was
+	// captured under: an FNV-1a hash over every instruction's semantic
+	// fields, the initial data image, and the entry point. Resuming under
+	// any other program — even one with the same length and entry — is
+	// refused. TextLen and Entry are kept alongside for diagnostics.
+	Fingerprint uint64
+	TextLen     int
+	Entry       int
 
 	Mem        []byte
 	G          [isa.NumGRegs]int32
@@ -40,15 +45,46 @@ type State struct {
 
 	// CycleOffset is the cycle count at capture (cycle-accurate mode).
 	CycleOffset int64
+
+	// DeadTCUs lists TCUs decommissioned by injected permanent faults
+	// before the capture, so a resumed cycle-accurate run continues on the
+	// same degraded machine (docs/ROBUSTNESS.md).
+	DeadTCUs []int
 }
 
-const version = 1
+const version = 2
 
-// Capture snapshots a functional machine. ctxPC overrides the master PC
-// (pass -1 to keep the machine's).
+// Fingerprint hashes the aspects of a linked program that determine
+// execution: instruction semantics (not source lines or symbol names — a
+// re-assembly with touched comments still matches), the initial data image,
+// and the entry point.
+func Fingerprint(p *asm.Program) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	word(int64(p.Entry))
+	word(int64(len(p.Text)))
+	for i := range p.Text {
+		in := &p.Text[i]
+		word(int64(in.Op))
+		word(int64(in.Rd) | int64(in.Rs)<<8 | int64(in.Rt)<<16 | int64(in.G)<<24)
+		word(int64(in.Imm))
+		word(int64(in.Target))
+	}
+	h.Write(p.Data)
+	return h.Sum64()
+}
+
+// Capture snapshots a functional machine.
 func Capture(m *funcmodel.Machine, cycleOffset int64) *State {
 	st := &State{
 		Version:     version,
+		Fingerprint: Fingerprint(m.Prog),
 		TextLen:     len(m.Prog.Text),
 		Entry:       m.Prog.Entry,
 		Mem:         append([]byte(nil), m.Mem...),
@@ -65,11 +101,11 @@ func Capture(m *funcmodel.Machine, cycleOffset int64) *State {
 // program.
 func Restore(m *funcmodel.Machine, st *State) error {
 	if st.Version != version {
-		return fmt.Errorf("checkpoint: version %d not supported", st.Version)
+		return fmt.Errorf("checkpoint: version %d not supported (want %d)", st.Version, version)
 	}
-	if st.TextLen != len(m.Prog.Text) || st.Entry != m.Prog.Entry {
-		return fmt.Errorf("checkpoint: program mismatch (text %d/%d, entry %d/%d)",
-			st.TextLen, len(m.Prog.Text), st.Entry, m.Prog.Entry)
+	if fp := Fingerprint(m.Prog); st.Fingerprint != fp {
+		return fmt.Errorf("checkpoint: program mismatch (fingerprint %016x, running %016x; text %d/%d, entry %d/%d)",
+			st.Fingerprint, fp, st.TextLen, len(m.Prog.Text), st.Entry, m.Prog.Entry)
 	}
 	if len(st.Mem) != len(m.Mem) {
 		return fmt.Errorf("checkpoint: memory size mismatch (%d vs %d)", len(st.Mem), len(m.Mem))

@@ -103,6 +103,44 @@ main:   nop
 	}
 }
 
+// TestFingerprintDetectsInstructionChange covers the hole the v1 format had:
+// two programs with the same text length and entry but different instruction
+// content must not accept each other's checkpoints.
+func TestFingerprintDetectsInstructionChange(t *testing.T) {
+	build := func(src string) *funcmodel.Machine {
+		t.Helper()
+		u, err := asm.Parse("f.s", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := asm.Assemble(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := funcmodel.New(p, 1<<20, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := build("main:\n addiu $t0, $zero, 1\n sys 0\n")
+	b := build("main:\n addiu $t0, $zero, 2\n sys 0\n")
+	if len(a.Prog.Text) != len(b.Prog.Text) || a.Prog.Entry != b.Prog.Entry {
+		t.Fatalf("test premise broken: text %d/%d entry %d/%d",
+			len(a.Prog.Text), len(b.Prog.Text), a.Prog.Entry, b.Prog.Entry)
+	}
+	st := Capture(a, 0)
+	if err := Restore(b, st); err == nil {
+		t.Fatal("checkpoint accepted by a same-shape program with different instructions")
+	}
+	// The fingerprint must ignore non-semantic fields: re-parsing the same
+	// source (fresh Line/Sym metadata) still matches.
+	a2 := build("main:\n addiu $t0, $zero, 1\n sys 0\n")
+	if err := Restore(a2, st); err != nil {
+		t.Fatalf("re-assembled identical program refused: %v", err)
+	}
+}
+
 func TestLoadGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
 		t.Fatal("garbage must fail to load")

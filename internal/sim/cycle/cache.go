@@ -23,6 +23,10 @@ type CacheModule struct {
 
 	serviceQ []*Package
 	capacity int
+
+	// stalledUntil freezes the module's service pipeline until the given
+	// time (CacheStall fault injection); requests keep queueing meanwhile.
+	stalledUntil engine.Time
 }
 
 func newCacheModule(sys *System, id int) *CacheModule {
@@ -49,6 +53,11 @@ func (cm *CacheModule) accept(p *Package) bool {
 func (cm *CacheModule) Tick(cycle int64, now engine.Time) bool {
 	if len(cm.serviceQ) == 0 {
 		return false
+	}
+	if now < cm.stalledUntil {
+		// Injected stall: pending requests keep the domain ticking so
+		// service resumes at the stall horizon.
+		return true
 	}
 	// The cache macro-actor is serial: observing the shared depth histogram
 	// and event log directly is safe and deterministic.

@@ -68,6 +68,7 @@ func newCluster(sys *System, id int) *Cluster {
 			pbuf:    newPrefetchBuffer(cfg.PrefetchBufEntries, cfg.CacheLineSize),
 		}
 		t.state = tcuIdle
+		t.alive = true
 		c.tcus = append(c.tcus, t)
 	}
 	return c
@@ -81,7 +82,7 @@ func (c *Cluster) Tick(cycle int64, now engine.Time) bool {
 		if t.Tick(cycle, now) {
 			busy = true
 		}
-		if t.state != tcuIdle && t.state != tcuDone {
+		if t.state != tcuIdle && t.state != tcuDone && t.state != tcuDead {
 			active = true
 		}
 	}
@@ -165,7 +166,11 @@ func (c *Cluster) Commit(now engine.Time) {
 		case obAsync:
 			s.scheduleAsyncDeliver(r.pkg, r.at)
 		case obDone:
-			s.spawn.tcuDone(now)
+			s.spawn.tcuDone(r.t, now)
+		case obDecomm:
+			// The TCU hit its safe point mid-thread: decommission and
+			// re-dispatch the orphaned virtual thread.
+			s.decommissionTCU(r.t, true, true, now)
 		case obFail:
 			s.fail(r.err)
 		}
@@ -210,14 +215,18 @@ func (c *Cluster) resetForSpawn(pc int, mask uint32, bcast *[isa.NumRegs]int32) 
 		c.ro.InvalidateAll()
 	}
 	for _, t := range c.tcus {
-		t.resetForSpawn(pc, mask, bcast)
+		if t.alive {
+			t.resetForSpawn(pc, mask, bcast)
+		}
 	}
 }
 
-// quiesce returns all TCUs to idle after a join.
+// quiesce returns all surviving TCUs to idle after a join.
 func (c *Cluster) quiesce() {
 	for _, t := range c.tcus {
-		t.state = tcuIdle
+		if t.alive {
+			t.state = tcuIdle
+		}
 	}
 	if c.ro != nil {
 		c.ro.InvalidateAll()

@@ -30,6 +30,10 @@ type ICN struct {
 type arrivalPkt struct {
 	p     *Package
 	ready engine.Time
+	// ghost marks an injected duplicate (ICNDup fault): it consumes an
+	// accept slot at the module port and is then discarded, never reaching
+	// the service queue (packages are idempotent at most one delivery).
+	ghost bool
 }
 
 func newICN(sys *System) *ICN {
@@ -73,6 +77,12 @@ func (s *System) asyncDepart(p *Package, port int, now engine.Time) engine.Time 
 // (the cluster compute phase defers it through the outbox).
 func (s *System) scheduleAsyncDeliver(p *Package, arrive engine.Time) {
 	cfg := s.Cfg
+	// Armed ICN faults shift the handshake arrival. Consumed here — the
+	// serial point every async send funnels through — not in asyncDepart,
+	// which runs in the parallel compute phase.
+	if inj := s.injector; inj != nil && len(inj.icnArmed) > 0 {
+		arrive = inj.asyncICNFault(arrive)
+	}
 	var deliver func(t engine.Time)
 	deliver = func(t engine.Time) {
 		mod := s.modules[p.Module]
@@ -101,6 +111,7 @@ func (n *ICN) Tick(cycle int64, now engine.Time) bool {
 	latency := cfg.ICNBaseLatency * cfg.ICNPeriod
 	busy := false
 
+	inj := n.sys.injector
 	inject := func(q *[]*Package, budget int) {
 		k := budget
 		for k > 0 && len(*q) > 0 {
@@ -109,7 +120,17 @@ func (n *ICN) Tick(cycle int64, now engine.Time) bool {
 			n.sys.Stats.ICNTraversals++
 			n.sys.Stats.ICNHops += uint64(n.hopsPerTraversal)
 			p.Hops += n.hopsPerTraversal
-			n.arrival[p.Module] = append(n.arrival[p.Module], arrivalPkt{p: p, ready: now + latency})
+			ready := now + latency
+			ghost := false
+			if inj != nil && len(inj.icnArmed) > 0 {
+				// The ICN macro-actor is serial: consuming the armed-fault
+				// queue here keeps faulty runs deterministic.
+				ready, ghost = inj.syncICNFault(ready, latency)
+			}
+			n.arrival[p.Module] = append(n.arrival[p.Module], arrivalPkt{p: p, ready: ready})
+			if ghost {
+				n.arrival[p.Module] = append(n.arrival[p.Module], arrivalPkt{p: p, ready: ready, ghost: true})
+			}
 			k--
 		}
 	}
@@ -137,6 +158,12 @@ func (n *ICN) Tick(cycle int64, now engine.Time) bool {
 		for ; i < len(q); i++ {
 			if q[i].ready > now || accepted >= cfg.ICNAcceptPerCyc {
 				break
+			}
+			if q[i].ghost {
+				// Duplicate from an ICNDup fault: burns an accept slot,
+				// then the port's dedup logic discards it.
+				accepted++
+				continue
 			}
 			if !mod.accept(q[i].p) {
 				n.sys.Stats.CacheQueueFull[m]++

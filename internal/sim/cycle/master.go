@@ -94,6 +94,15 @@ func (mt *Master) Tick(cycle int64, now engine.Time) bool {
 		}
 		mt.state = masterRunning
 	}
+	// Periodic checkpointing stops at exactly the points a sys checkpoint
+	// trap may: serial mode with the write buffer drained, so the machine is
+	// architecturally quiescent and Capture needs no in-flight state.
+	if sys := mt.sys; sys.ckptEvery > 0 && mt.pendingNB == 0 &&
+		sys.cycleOffset+sys.clusterClock.Cycle(now) >= sys.nextCkpt {
+		sys.nextCkpt += sys.ckptEvery
+		sys.checkpointStop()
+		return false
+	}
 	for slot := 0; slot < mt.sys.Cfg.MasterIssueWidth; slot++ {
 		cont := mt.issue(cycle, now)
 		if !cont || mt.state != masterRunning {

@@ -27,6 +27,7 @@ const (
 	obWakeICN               // wake the ICN macro-actor (send queue non-empty)
 	obAsync                 // schedule an async-ICN delivery at time at
 	obDone                  // report this TCU done to the spawn unit
+	obDecomm                // decommission this TCU (permanent fault at a safe point)
 	obFail                  // abort the simulation with err
 )
 
@@ -84,8 +85,12 @@ func (o *outbox) async(p *Package, at engine.Time) {
 	o.recs = append(o.recs, obRec{kind: obAsync, pkg: p, at: at})
 }
 
-func (o *outbox) done() {
-	o.recs = append(o.recs, obRec{kind: obDone})
+func (o *outbox) done(t *TCU) {
+	o.recs = append(o.recs, obRec{kind: obDone, t: t})
+}
+
+func (o *outbox) decomm(t *TCU) {
+	o.recs = append(o.recs, obRec{kind: obDecomm, t: t})
 }
 
 func (o *outbox) fail(err error) {

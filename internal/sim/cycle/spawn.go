@@ -4,6 +4,7 @@ import (
 	"xmtgo/internal/asm"
 	"xmtgo/internal/isa"
 	"xmtgo/internal/sim/engine"
+	"xmtgo/internal/sim/funcmodel"
 	"xmtgo/internal/sim/trace"
 )
 
@@ -12,6 +13,13 @@ import (
 // virtual-thread IDs through the dedicated global register, detecting that
 // all TCUs are blocked at chkid — which means all virtual threads have
 // completed — and returning control to the Master TCU (paper §II, §IV-D).
+//
+// The unit also anchors graceful degradation (docs/ROBUSTNESS.md): when a
+// participating TCU is decommissioned by an injected permanent fault, its
+// in-flight virtual thread is re-dispatched to a surviving TCU — immediately
+// if one is already done, otherwise queued until the next TCU finishes — and
+// the join completes over the survivors instead of hanging on a count that
+// can never be reached.
 type SpawnUnit struct {
 	sys *System
 
@@ -20,9 +28,25 @@ type SpawnUnit struct {
 	low    int32
 	high   int32
 	done   int
-	total  int
+	// total is the number of participating TCUs: -1 while the broadcast is
+	// still in flight (participants are not enrolled yet), then the count of
+	// TCUs alive at broadcast, decremented as participants are
+	// decommissioned.
+	total int
+
+	// orphans queues virtual threads whose TCU was decommissioned before a
+	// finished survivor could adopt them. FIFO, so re-dispatch order is a
+	// pure function of the execution.
+	orphans []orphan
 
 	startedAt engine.Time // when the master issued the spawn (for EvSpawn)
+}
+
+// orphan is a virtual thread stranded by a TCU decommission, waiting for a
+// surviving TCU to adopt it.
+type orphan struct {
+	ctx funcmodel.Context
+	at  engine.Time // when the thread was orphaned (re-dispatch latency)
 }
 
 func newSpawnUnit(sys *System) *SpawnUnit { return &SpawnUnit{sys: sys} }
@@ -38,7 +62,8 @@ func (s *SpawnUnit) start(region *asm.SpawnRegion, low, high int32, mask uint32,
 	s.region = region
 	s.low, s.high = low, high
 	s.done = 0
-	s.total = s.sys.Cfg.TCUs()
+	s.total = -1 // fixed at broadcast, over the TCUs alive then
+	s.orphans = s.orphans[:0]
 	s.startedAt = now
 	s.sys.Stats.SpawnOverheadCycles += uint64(s.sys.Cfg.SpawnOverhead)
 
@@ -53,6 +78,7 @@ func (s *SpawnUnit) start(region *asm.SpawnRegion, low, high int32, mask uint32,
 		bcastCopy = *bcast
 	}
 	s.sys.Sched.ScheduleFunc(now+overhead, engine.PrioNegotiate, func(t engine.Time) {
+		s.total = s.sys.aliveTCUs
 		pc := region.Spawn + 1
 		for _, c := range s.sys.clusters {
 			c.resetForSpawn(pc, maskCopy, &bcastCopy)
@@ -61,14 +87,94 @@ func (s *SpawnUnit) start(region *asm.SpawnRegion, low, high int32, mask uint32,
 	})
 }
 
-// tcuDone is called when a TCU blocks at chkid with an out-of-range ID.
-// When the last TCU blocks, the join completes and the master resumes.
-func (s *SpawnUnit) tcuDone(now engine.Time) {
+// tcuDone is called when a TCU blocks at chkid with an out-of-range ID (via
+// the outbox, or directly from a store drain on the scheduler goroutine).
+// If orphaned virtual threads are pending, the freshly finished TCU adopts
+// one instead of counting toward the join.
+func (s *SpawnUnit) tcuDone(t *TCU, now engine.Time) {
 	if !s.active {
 		return
 	}
+	if !t.alive || t.state != tcuDone || t.doneCounted {
+		// Stale record: the TCU was decommissioned or re-dispatched between
+		// emitting its done and this commit.
+		return
+	}
+	if len(s.orphans) > 0 {
+		o := s.orphans[0]
+		s.orphans = s.orphans[1:]
+		s.adopt(t, o, now)
+		return
+	}
 	s.done++
-	if s.done < s.total {
+	t.doneCounted = true
+	s.maybeComplete(now)
+}
+
+// decommission removes a participating TCU from the active spawn. If its
+// virtual thread was live it is re-dispatched: immediately to a finished
+// survivor when one exists, else queued for the next TCU to finish. Serial
+// contexts only.
+func (s *SpawnUnit) decommission(t *TCU, hasThread bool, now engine.Time) {
+	if !s.active || s.total < 0 {
+		return
+	}
+	s.total--
+	if t.doneCounted {
+		t.doneCounted = false
+		s.done--
+	} else if hasThread {
+		o := orphan{ctx: t.ctx, at: now}
+		if a := s.finishedSurvivor(); a != nil {
+			s.adopt(a, o, now)
+		} else {
+			s.orphans = append(s.orphans, o)
+		}
+	}
+	s.maybeComplete(now)
+}
+
+// finishedSurvivor returns the lowest-numbered TCU that is done with its
+// own work and free to adopt an orphan. Only counted-done TCUs qualify: a
+// TCU whose done record is still in an uncommitted outbox will pick up the
+// orphan when that record replays.
+func (s *SpawnUnit) finishedSurvivor() *TCU {
+	for _, c := range s.sys.clusters {
+		for _, t := range c.tcus {
+			if t.alive && t.state == tcuDone && t.doneCounted {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// adopt re-dispatches an orphaned virtual thread onto a surviving TCU.
+func (s *SpawnUnit) adopt(a *TCU, o orphan, now engine.Time) {
+	if a.doneCounted {
+		a.doneCounted = false
+		s.done--
+	}
+	a.ctx = o.ctx
+	a.ctx.ID = a.id
+	a.state = tcuRunning
+	a.stallUntil = 0
+	a.pendingNB = 0
+	a.waitingPbuf = false
+	a.pbuf.invalidateAll()
+	s.sys.Stats.Redispatches++
+	s.sys.Stats.RedispatchLatency.Observe(uint64(now - o.at))
+	if s.sys.evlog != nil {
+		s.sys.evlog.Emit(trace.Event{TS: now, Kind: trace.EvRedispatch,
+			Ctx: int32(a.id), Arg: int64(now - o.at)})
+	}
+	s.sys.wakeClusters(now)
+}
+
+// maybeComplete finishes the join once every participant is done and no
+// orphaned thread is waiting for a TCU.
+func (s *SpawnUnit) maybeComplete(now engine.Time) {
+	if !s.active || s.total < 0 || s.done < s.total || len(s.orphans) > 0 {
 		return
 	}
 	s.active = false

@@ -63,6 +63,17 @@ type System struct {
 	checkpointed bool
 	cycleOffset  int64
 
+	// injector holds the materialized fault plan (nil when Cfg.FaultPlan is
+	// empty); aliveTCUs tracks TCUs not yet decommissioned by permanent
+	// faults (docs/ROBUSTNESS.md).
+	injector  *injector
+	aliveTCUs int
+
+	// ckptEvery/nextCkpt drive periodic checkpointing (CheckpointEvery):
+	// the master stops at a quiescent point once the target cycle passes.
+	ckptEvery int64
+	nextCkpt  int64
+
 	// traceFn, when set, observes every issued instruction
 	// (tcu = -1 for the master).
 	traceFn func(tcu int, pc int, in isa.Instr, now engine.Time)
@@ -131,6 +142,14 @@ func New(prog *asm.Program, cfg config.Config, out io.Writer) (*System, error) {
 	s.master = newMaster(s)
 	s.icn = newICN(s)
 	s.asyncPortFree = make([]engine.Time, cfg.Clusters+1)
+	s.aliveTCUs = cfg.TCUs()
+	if cfg.FaultPlan != "" {
+		inj, err := newInjector(s)
+		if err != nil {
+			return nil, fmt.Errorf("cycle: %v", err)
+		}
+		s.injector = inj
+	}
 
 	// Resolve the host worker count: 0 means all of GOMAXPROCS; never
 	// more workers than clusters. A single worker uses no pool at all —
@@ -254,6 +273,15 @@ func (s *System) Run(maxCycles int64) (*Result, error) {
 	if maxCycles > 0 {
 		stopEv = s.Sched.ScheduleStop(s.clusterClock.EdgeAt(maxCycles))
 	}
+	if s.injector != nil {
+		s.injector.schedule()
+	}
+	if s.Cfg.WatchdogCycles > 0 {
+		s.armWatchdog(s.Stats.TotalInstrs())
+	}
+	if s.ckptEvery > 0 {
+		s.nextCkpt = s.cycleOffset + s.ckptEvery
+	}
 	s.wakeMaster(s.Sched.Now())
 	for _, pb := range s.plugins {
 		pb.scheduleNext(s, s.Sched.Now())
@@ -284,10 +312,19 @@ func (s *System) Run(maxCycles int64) (*Result, error) {
 			res.TimedOut = true
 			return res, nil
 		}
-		return res, errors.New("cycle: simulation deadlock: event list drained before halt")
+		// Reached only when the watchdog is disabled (an armed watchdog
+		// keeps at least one event pending and reports the wedge itself).
+		return res, errors.New("cycle: simulation deadlock: event list drained before halt (enable watchdog_cycles for a progress diagnosis)")
 	}
 	return res, nil
 }
+
+// CheckpointEvery enables periodic checkpointing: the master stops the run
+// at its next quiescent point (serial mode, write buffer drained) once n
+// cluster cycles have elapsed since the last checkpoint, and Run returns
+// with Result.Checkpoint set. Used by the xmtbatch runner to bound how much
+// work a retry can lose. n <= 0 disables.
+func (s *System) CheckpointEvery(n int64) { s.ckptEvery = n }
 
 // checkpointStop halts the scheduler at a quiescent checkpoint trap.
 func (s *System) checkpointStop() {
@@ -300,7 +337,15 @@ func (s *System) checkpointStop() {
 // functional checkpoint captures everything needed to resume.
 func (s *System) Capture() *checkpoint.State {
 	s.Machine.Master = s.master.ctx
-	return checkpoint.Capture(s.Machine, s.cycleOffset+s.clusterClock.Cycle(s.Sched.Now()))
+	st := checkpoint.Capture(s.Machine, s.cycleOffset+s.clusterClock.Cycle(s.Sched.Now()))
+	for _, c := range s.clusters {
+		for _, t := range c.tcus {
+			if !t.alive {
+				st.DeadTCUs = append(st.DeadTCUs, t.id)
+			}
+		}
+	}
+	return st
 }
 
 // RestoreState resumes a freshly built system from a checkpoint: memory,
@@ -312,6 +357,23 @@ func (s *System) RestoreState(st *checkpoint.State) error {
 	}
 	s.master.ctx = st.Master
 	s.cycleOffset = st.CycleOffset
+	// Resume on the same degraded machine: TCUs decommissioned before the
+	// capture stay dead (silently — the decommissions were already counted
+	// and traced in the run that took the checkpoint).
+	for _, id := range st.DeadTCUs {
+		if id < 0 || id >= s.Cfg.TCUs() {
+			return fmt.Errorf("cycle: checkpoint dead TCU %d outside machine (%d TCUs)", id, s.Cfg.TCUs())
+		}
+		t := s.tcuByID(id)
+		if t.alive {
+			t.alive = false
+			t.state = tcuDead
+			s.aliveTCUs--
+		}
+	}
+	if s.aliveTCUs == 0 {
+		return errors.New("cycle: checkpoint leaves no TCU alive")
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ const (
 	tcuWaitFence                 // waiting for pending non-blocking stores
 	tcuDraining                  // out of work, draining posted stores before done
 	tcuDone                      // blocked at chkid; all its work is finished
+	tcuDead                      // permanently decommissioned by an injected fault
 )
 
 // TCU is one lightweight parallel core: private ALU, shift and branch
@@ -34,6 +35,16 @@ type TCU struct {
 
 	ctx   funcmodel.Context
 	state tcuState
+
+	// Fault-injection state (docs/ROBUSTNESS.md). alive starts true and goes
+	// false exactly once, at decommission. failing marks a TCU hit by a
+	// permanent fault mid-thread; it decommissions itself at the next safe
+	// point in its compute phase. doneCounted records whether this TCU's
+	// completion has been counted by the spawn unit (its obDone committed) —
+	// needed so decommissioning a done TCU adjusts the join count correctly.
+	alive       bool
+	failing     bool
+	doneCounted bool
 
 	stallUntil   int64 // cluster cycle (tcuStalled)
 	pendingNB    int   // outstanding non-blocking stores
@@ -65,6 +76,7 @@ func (t *TCU) resetForSpawn(pc int, bcastMask uint32, bcast *[isa.NumRegs]int32)
 	t.stallUntil = 0
 	t.pendingNB = 0
 	t.waitingPbuf = false
+	t.doneCounted = false
 	t.pbuf.invalidateAll()
 }
 
@@ -73,7 +85,7 @@ func (t *TCU) resetForSpawn(pc int, bcastMask uint32, bcast *[isa.NumRegs]int32)
 // instead).
 func (t *TCU) Tick(cycle int64, now engine.Time) bool {
 	switch t.state {
-	case tcuIdle, tcuDone, tcuDraining:
+	case tcuIdle, tcuDone, tcuDraining, tcuDead:
 		return false
 	case tcuWaitMem:
 		return false
@@ -87,6 +99,17 @@ func (t *TCU) Tick(cycle int64, now engine.Time) bool {
 			return true
 		}
 		t.state = tcuRunning
+	}
+	if t.failing {
+		// Safe point: no in-flight blocking request. Posted stores must
+		// still drain (the memory system would deliver into a dead TCU);
+		// until then the TCU issues nothing.
+		if t.pendingNB > 0 {
+			return false
+		}
+		t.cluster.ob.decomm(t)
+		t.state = tcuDead
+		return false
 	}
 	return t.issue(cycle, now)
 }
@@ -377,7 +400,7 @@ func (t *TCU) finish(now engine.Time) {
 		return
 	}
 	t.state = tcuDone
-	t.cluster.ob.done()
+	t.cluster.ob.done(t)
 }
 
 // trySend enqueues a package into the cluster's ICN send queue.
@@ -388,6 +411,12 @@ func (t *TCU) trySend(p *Package) bool {
 // deliver commits an expiring package back at the TCU (the "commit stage"
 // of the paper's package life cycle).
 func (t *TCU) deliver(p *Package, now engine.Time) {
+	if !t.alive {
+		// The TCU was decommissioned while this package was in flight (only
+		// possible for non-blocking responses: a TCU with a blocking request
+		// outstanding never reaches its decommission safe point). Drop it.
+		return
+	}
 	if p.Err != nil {
 		t.sys.fail(&funcmodel.RuntimeError{PC: 0, Line: p.In.Line, In: p.In, Err: p.Err})
 		return
@@ -415,7 +444,14 @@ func (t *TCU) deliver(p *Package, now engine.Time) {
 			t.unblock(now)
 		case t.state == tcuDraining && t.pendingNB == 0:
 			t.state = tcuDone
-			t.sys.spawn.tcuDone(now)
+			if t.failing {
+				// Thread already finished; only the drain held the
+				// decommission back. Delivery runs on the scheduler
+				// goroutine, so decommission directly.
+				t.sys.decommissionTCU(t, true, false, now)
+			} else {
+				t.sys.spawn.tcuDone(t, now)
+			}
 		default:
 			t.sys.wakeClusters(now)
 		}

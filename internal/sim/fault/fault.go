@@ -1,0 +1,333 @@
+// Package fault implements the deterministic fault-injection plan for the
+// cycle-accurate simulator (docs/ROBUSTNESS.md). A plan is described by a
+// compact textual spec ("kind:count[xMag][@lo-hi];..."), parsed into a
+// Spec, and then materialized against a machine shape with a seed: every
+// random draw — injection cycle, target component, bit position, magnitude
+// — comes from an independent internal/prng stream per fault kind, so the
+// same (seed, spec, shape) triple always yields the same fault schedule,
+// and two plans that share a seed but differ in one kind's count do not
+// perturb the other kinds' draws.
+//
+// The package is deliberately free of simulator dependencies: it produces
+// a sorted list of (cycle, target) fault records; internal/sim/cycle owns
+// the architectural interpretation of each kind.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xmtgo/internal/prng"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// MemFlip flips one bit of one shared-memory byte (transient).
+	MemFlip Kind = iota
+	// RegFlip flips one bit of one TCU register (transient).
+	RegFlip
+	// ICNDelay delays the next injected ICN package by Mag ICN cycles.
+	ICNDelay
+	// ICNDup duplicates the next injected ICN package; the ghost copy
+	// consumes network/accept bandwidth and is discarded at the module.
+	ICNDup
+	// ICNDrop drops the next injected ICN package; it is retransmitted
+	// after Mag× the base traversal latency (the simulator never loses a
+	// request outright — XMT's network is lossless end to end).
+	ICNDrop
+	// CacheStall freezes one shared cache module for Mag cache cycles.
+	CacheStall
+	// TCUFail permanently fails one TCU; it is decommissioned and its
+	// in-flight virtual thread re-dispatched to a surviving TCU.
+	TCUFail
+	// ClusterFail permanently fails every TCU of one cluster.
+	ClusterFail
+
+	numKinds
+)
+
+// String returns the spec keyword of the kind.
+func (k Kind) String() string {
+	switch k {
+	case MemFlip:
+		return "memflip"
+	case RegFlip:
+		return "regflip"
+	case ICNDelay:
+		return "icndelay"
+	case ICNDup:
+		return "icndup"
+	case ICNDrop:
+		return "icndrop"
+	case CacheStall:
+		return "cachestall"
+	case TCUFail:
+		return "tcufail"
+	case ClusterFail:
+		return "clusterfail"
+	}
+	return "?"
+}
+
+var kindNames = map[string]Kind{
+	"memflip":     MemFlip,
+	"regflip":     RegFlip,
+	"icndelay":    ICNDelay,
+	"icndup":      ICNDup,
+	"icndrop":     ICNDrop,
+	"cachestall":  CacheStall,
+	"tcufail":     TCUFail,
+	"clusterfail": ClusterFail,
+}
+
+// Default injection-cycle window when an entry has no @lo-hi range.
+const (
+	DefaultLo = 1_000
+	DefaultHi = 100_000
+)
+
+// Entry is one parsed plan entry: inject Count faults of one Kind,
+// uniformly over cluster cycles [Lo, Hi].
+type Entry struct {
+	Kind  Kind
+	Count int
+	// Mag overrides the kind's drawn magnitude when > 0 (stall length in
+	// cache cycles, delay in ICN cycles, retransmit multiplier).
+	Mag int64
+	Lo  int64
+	Hi  int64
+}
+
+// Spec is a parsed fault plan.
+type Spec struct {
+	Entries []Entry
+}
+
+// ParseSpec parses the plan grammar:
+//
+//	spec  := entry (';' entry)*
+//	entry := kind ':' count ['x' magnitude] ['@' lo ['-' hi]]
+//
+// e.g. "tcufail:2@1000-20000;memflip:5;cachestall:1x500000@100-100".
+// Whitespace around tokens is ignored; an empty spec is valid and empty.
+func ParseSpec(s string) (*Spec, error) {
+	spec := &Spec{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: entry %q: want kind:count", part)
+		}
+		kind, ok := kindNames[strings.ToLower(strings.TrimSpace(kindStr))]
+		if !ok {
+			return nil, fmt.Errorf("fault: unknown kind %q (have %s)", strings.TrimSpace(kindStr), kindList())
+		}
+		e := Entry{Kind: kind, Lo: DefaultLo, Hi: DefaultHi}
+
+		rest = strings.TrimSpace(rest)
+		var window string
+		if at := strings.IndexByte(rest, '@'); at >= 0 {
+			window = strings.TrimSpace(rest[at+1:])
+			rest = strings.TrimSpace(rest[:at])
+		}
+		countStr := rest
+		if x := strings.IndexByte(rest, 'x'); x >= 0 {
+			countStr = strings.TrimSpace(rest[:x])
+			mag, err := strconv.ParseInt(strings.TrimSpace(rest[x+1:]), 10, 64)
+			if err != nil || mag <= 0 {
+				return nil, fmt.Errorf("fault: entry %q: bad magnitude", part)
+			}
+			e.Mag = mag
+		}
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("fault: entry %q: bad count", part)
+		}
+		e.Count = n
+
+		if window != "" {
+			loStr, hiStr, ranged := strings.Cut(window, "-")
+			lo, err := strconv.ParseInt(strings.TrimSpace(loStr), 10, 64)
+			if err != nil || lo < 0 {
+				return nil, fmt.Errorf("fault: entry %q: bad window", part)
+			}
+			hi := lo
+			if ranged {
+				hi, err = strconv.ParseInt(strings.TrimSpace(hiStr), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: entry %q: bad window", part)
+				}
+			}
+			if hi < lo {
+				return nil, fmt.Errorf("fault: entry %q: window end %d before start %d", part, hi, lo)
+			}
+			e.Lo, e.Hi = lo, hi
+		}
+		spec.Entries = append(spec.Entries, e)
+	}
+	return spec, nil
+}
+
+func kindList() string {
+	names := make([]string, 0, len(kindNames))
+	for n := range kindNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// String renders the spec back in plan grammar (normalized).
+func (s *Spec) String() string {
+	var parts []string
+	for _, e := range s.Entries {
+		p := fmt.Sprintf("%s:%d", e.Kind, e.Count)
+		if e.Mag > 0 {
+			p += fmt.Sprintf("x%d", e.Mag)
+		}
+		p += fmt.Sprintf("@%d-%d", e.Lo, e.Hi)
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, ";")
+}
+
+// Shape is the machine geometry a plan is materialized against.
+type Shape struct {
+	Clusters       int
+	TCUsPerCluster int
+	CacheModules   int
+	MemBytes       uint32
+}
+
+// Fault is one scheduled fault instance. Which fields are meaningful
+// depends on Kind (see the Kind docs); Cycle is an absolute cluster-domain
+// cycle, so a plan survives checkpoint/resume unchanged.
+type Fault struct {
+	Kind  Kind
+	Cycle int64
+
+	TCU     int    // RegFlip, TCUFail: global TCU index
+	Cluster int    // ClusterFail: cluster index
+	Module  int    // CacheStall: cache-module index
+	Addr    uint32 // MemFlip: byte address
+	Reg     uint8  // RegFlip: register number (1..31)
+	Bit     uint8  // MemFlip: bit 0..7; RegFlip: bit 0..31
+	Mag     int64  // ICNDelay/ICNDrop/CacheStall magnitude
+}
+
+// Materialize draws the concrete fault schedule for spec under shape.
+// Draws come from one prng stream per fault kind (stream id = kind), so
+// kinds do not perturb each other; the result is sorted by cycle (ties by
+// draw order), which is the order the simulator schedules them in.
+//
+// Permanent failures (tcufail, clusterfail) draw distinct targets; a plan
+// that would decommission every TCU is rejected here rather than letting
+// the run die mid-way.
+func Materialize(seed uint64, spec *Spec, shape Shape) ([]Fault, error) {
+	if shape.Clusters <= 0 || shape.TCUsPerCluster <= 0 || shape.CacheModules <= 0 || shape.MemBytes == 0 {
+		return nil, fmt.Errorf("fault: invalid shape %+v", shape)
+	}
+	tcus := shape.Clusters * shape.TCUsPerCluster
+	streams := make([]*prng.PCG, numKinds)
+	stream := func(k Kind) *prng.PCG {
+		if streams[k] == nil {
+			streams[k] = prng.NewStream(seed, uint64(k)+1)
+		}
+		return streams[k]
+	}
+
+	usedTCU := map[int]bool{}     // distinct permanent TCU targets
+	usedCluster := map[int]bool{} // distinct permanent cluster targets
+	deadTCUs := 0
+
+	var out []Fault
+	for _, e := range spec.Entries {
+		r := stream(e.Kind)
+		for i := 0; i < e.Count; i++ {
+			f := Fault{Kind: e.Kind, Mag: e.Mag}
+			f.Cycle = e.Lo
+			if e.Hi > e.Lo {
+				f.Cycle = e.Lo + int64(r.Intn(int(e.Hi-e.Lo+1)))
+			}
+			switch e.Kind {
+			case MemFlip:
+				f.Addr = uint32(r.Intn(int(shape.MemBytes)))
+				f.Bit = uint8(r.Intn(8))
+			case RegFlip:
+				f.TCU = r.Intn(tcus)
+				f.Reg = uint8(1 + r.Intn(31)) // never $zero
+				f.Bit = uint8(r.Intn(32))
+			case ICNDelay:
+				if f.Mag == 0 {
+					f.Mag = int64(1 + r.Intn(64))
+				}
+			case ICNDup:
+				// no parameters beyond the cycle
+			case ICNDrop:
+				if f.Mag == 0 {
+					f.Mag = int64(2 + r.Intn(6)) // retransmit multiplier
+				}
+			case CacheStall:
+				f.Module = r.Intn(shape.CacheModules)
+				if f.Mag == 0 {
+					f.Mag = int64(16 + r.Intn(240))
+				}
+			case TCUFail:
+				t, ok := drawDistinct(r, tcus, usedTCU)
+				if !ok {
+					return nil, fmt.Errorf("fault: plan fails more TCUs than exist (%d)", tcus)
+				}
+				deadTCUs++
+				f.TCU = t
+			case ClusterFail:
+				cl, ok := drawDistinct(r, shape.Clusters, usedCluster)
+				if !ok {
+					return nil, fmt.Errorf("fault: plan fails more clusters than exist (%d)", shape.Clusters)
+				}
+				// Count only TCUs not already individually failed.
+				for t := cl * shape.TCUsPerCluster; t < (cl+1)*shape.TCUsPerCluster; t++ {
+					if !usedTCU[t] {
+						deadTCUs++
+					}
+					usedTCU[t] = true
+				}
+				f.Cluster = cl
+			}
+			out = append(out, f)
+		}
+	}
+	if deadTCUs >= tcus {
+		return nil, fmt.Errorf("fault: plan decommissions all %d TCUs; at least one must survive", tcus)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out, nil
+}
+
+func drawDistinct(r *prng.PCG, n int, used map[int]bool) (int, bool) {
+	if len(used) >= n {
+		return 0, false
+	}
+	for {
+		v := r.Intn(n)
+		if !used[v] {
+			used[v] = true
+			return v, true
+		}
+	}
+}
+
+// Plan parses and materializes in one step (the common caller path).
+func Plan(seed uint64, spec string, shape Shape) ([]Fault, error) {
+	sp, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Materialize(seed, sp, shape)
+}

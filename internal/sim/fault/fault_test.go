@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var testShape = Shape{Clusters: 8, TCUsPerCluster: 8, CacheModules: 8, MemBytes: 1 << 20}
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec(" tcufail:2@1000-20000; memflip:5 ; cachestall:1x500000@100-100 ;;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		{Kind: TCUFail, Count: 2, Lo: 1000, Hi: 20000},
+		{Kind: MemFlip, Count: 5, Lo: DefaultLo, Hi: DefaultHi},
+		{Kind: CacheStall, Count: 1, Mag: 500000, Lo: 100, Hi: 100},
+	}
+	if !reflect.DeepEqual(sp.Entries, want) {
+		t.Fatalf("entries = %+v, want %+v", sp.Entries, want)
+	}
+	// A single-value window means lo == hi.
+	sp2, err := ParseSpec("icndelay:3@500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := sp2.Entries[0]; e.Lo != 500 || e.Hi != 500 {
+		t.Fatalf("window = [%d,%d], want [500,500]", e.Lo, e.Hi)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"frob:1",        // unknown kind
+		"memflip",       // no count
+		"memflip:-1",    // negative count
+		"memflip:x",     // non-numeric count
+		"memflip:1x0",   // zero magnitude
+		"memflip:1xzz",  // bad magnitude
+		"memflip:1@9-2", // inverted window
+		"memflip:1@-5",  // negative window
+		"memflip:1@a-b", // non-numeric window
+		"tcufail:1:2",   // stray colon
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	sp, err := ParseSpec("tcufail:2@10-20;icndrop:3x4@5-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := ParseSpec(sp.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", sp.String(), err)
+	}
+	if !reflect.DeepEqual(sp, sp2) {
+		t.Fatalf("round trip changed the spec: %+v vs %+v", sp, sp2)
+	}
+}
+
+func TestMaterializeDeterministic(t *testing.T) {
+	spec := "memflip:4;regflip:4;icndelay:2;icndup:2;icndrop:2;cachestall:2;tcufail:3;clusterfail:1"
+	a, err := Plan(42, spec, testShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(42, spec, testShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (seed, spec, shape) produced different schedules")
+	}
+	c, _ := Plan(43, spec, testShape)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Cycle < a[i-1].Cycle {
+			t.Fatalf("schedule not sorted by cycle at %d: %+v", i, a)
+		}
+	}
+}
+
+func TestMaterializeStreamsIndependent(t *testing.T) {
+	// Adding a second kind must not change the first kind's draws.
+	only, err := Plan(7, "memflip:5", testShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Plan(7, "memflip:5;tcufail:2", testShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mems []Fault
+	for _, f := range both {
+		if f.Kind == MemFlip {
+			mems = append(mems, f)
+		}
+	}
+	sortByCycleStable := func(fs []Fault) []Fault { return fs } // already sorted
+	if !reflect.DeepEqual(sortByCycleStable(only), mems) {
+		t.Fatalf("memflip draws perturbed by tcufail entry:\nonly: %+v\nboth: %+v", only, mems)
+	}
+}
+
+func TestMaterializeTargetsInRange(t *testing.T) {
+	fs, err := Plan(9, "memflip:50;regflip:50;cachestall:20;tcufail:10;clusterfail:2", testShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcus := testShape.Clusters * testShape.TCUsPerCluster
+	seenTCU := map[int]bool{}
+	for _, f := range fs {
+		switch f.Kind {
+		case MemFlip:
+			if f.Addr >= testShape.MemBytes || f.Bit > 7 {
+				t.Fatalf("memflip out of range: %+v", f)
+			}
+		case RegFlip:
+			if f.TCU < 0 || f.TCU >= tcus || f.Reg == 0 || f.Reg > 31 || f.Bit > 31 {
+				t.Fatalf("regflip out of range: %+v", f)
+			}
+		case CacheStall:
+			if f.Module < 0 || f.Module >= testShape.CacheModules || f.Mag <= 0 {
+				t.Fatalf("cachestall out of range: %+v", f)
+			}
+		case TCUFail:
+			if seenTCU[f.TCU] {
+				t.Fatalf("tcufail repeated TCU %d", f.TCU)
+			}
+			seenTCU[f.TCU] = true
+		}
+	}
+}
+
+func TestMaterializeRejectsTotalWipeout(t *testing.T) {
+	small := Shape{Clusters: 2, TCUsPerCluster: 2, CacheModules: 2, MemBytes: 1 << 16}
+	if _, err := Plan(1, "tcufail:4", small); err == nil {
+		t.Fatal("plan killing every TCU accepted")
+	}
+	if _, err := Plan(1, "clusterfail:2", small); err == nil {
+		t.Fatal("plan killing every cluster accepted")
+	}
+	if _, err := Plan(1, "clusterfail:1;tcufail:2", small); err == nil {
+		t.Fatal("combined wipeout accepted")
+	}
+	if _, err := Plan(1, "tcufail:3", small); err != nil {
+		t.Fatalf("recoverable plan rejected: %v", err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for name, k := range kindNames {
+		if k.String() != name {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if !strings.Contains(Kind(200).String(), "?") {
+		t.Error("unknown kind should stringify as ?")
+	}
+}

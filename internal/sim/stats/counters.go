@@ -84,4 +84,11 @@ func (c *Collector) ReportCounters(w io.Writer) {
 	fmt.Fprintf(w, "== spawn/join ==\n")
 	fmt.Fprintf(w, "spawns=%d virtual_threads=%d spawn_overhead_cycles=%d join_overhead_cycles=%d\n",
 		c.SpawnCount, c.VirtualThreads, c.SpawnOverheadCycles, c.JoinOverheadCycles)
+
+	fmt.Fprintf(w, "== faults ==\n")
+	fmt.Fprintf(w, "injected=%d mem=%d reg=%d icn_delay=%d icn_dup=%d icn_drop=%d cache_stall=%d tcu_fail=%d cluster_fail=%d\n",
+		c.FaultsInjected(), c.MemFaults, c.RegFaults, c.ICNDelayFaults, c.ICNDupFaults,
+		c.ICNDropFaults, c.CacheStallFaults, c.TCUFailFaults, c.ClusterFailFaults)
+	fmt.Fprintf(w, "decommissioned_tcus=%d redispatches=%d\n", c.TCUsDecommissioned, c.Redispatches)
+	c.RedispatchLatency.Report(w, "re-dispatch latency (ticks)")
 }

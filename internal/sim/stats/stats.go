@@ -87,7 +87,31 @@ type Collector struct {
 	MasterMemWaitCycles uint64 // master cycles blocked on memory
 	MasterSendStalls    uint64 // master sends refused by the injection port
 
+	// Fault injection and resilience (docs/ROBUSTNESS.md). All updated on
+	// the scheduler goroutine (fault events and outbox commits), so they
+	// are bit-identical for any host worker count.
+	MemFaults          uint64 // transient memory bit-flips applied
+	RegFaults          uint64 // transient register bit-flips applied
+	ICNDelayFaults     uint64 // ICN package delays applied
+	ICNDupFaults       uint64 // ICN package duplications applied
+	ICNDropFaults      uint64 // ICN package drops (retransmissions) applied
+	CacheStallFaults   uint64 // cache-module stalls applied
+	TCUFailFaults      uint64 // permanent TCU failures injected
+	ClusterFailFaults  uint64 // permanent cluster failures injected
+	TCUsDecommissioned uint64 // TCUs gracefully decommissioned
+	Redispatches       uint64 // orphaned virtual threads re-dispatched
+
+	// RedispatchLatency measures ticks from a TCU's decommission to its
+	// orphaned virtual thread resuming on a surviving TCU.
+	RedispatchLatency Histogram
+
 	filters []Filter
+}
+
+// FaultsInjected sums every applied fault across kinds.
+func (c *Collector) FaultsInjected() uint64 {
+	return c.MemFaults + c.RegFaults + c.ICNDelayFaults + c.ICNDupFaults +
+		c.ICNDropFaults + c.CacheStallFaults + c.TCUFailFaults + c.ClusterFailFaults
 }
 
 // NewCollector sizes a collector for the given machine shape.

@@ -38,6 +38,16 @@ const (
 	// EvQueueDepth samples a cache module's service-queue depth (counter
 	// event; Ctx is the module, Arg the depth).
 	EvQueueDepth
+	// EvFault is one injected fault (instant event; Arg is the
+	// fault.Kind, Ctx the target TCU or -1).
+	EvFault
+	// EvDecommission marks a TCU's permanent removal (instant event on the
+	// TCU's track).
+	EvDecommission
+	// EvRedispatch marks an orphaned virtual thread resuming on a
+	// surviving TCU (instant event on the adopter's track; Arg is the
+	// re-dispatch latency in ticks).
+	EvRedispatch
 )
 
 // String returns the Perfetto-visible name of the kind.
@@ -53,6 +63,12 @@ func (k EventKind) String() string {
 		return "spawn"
 	case EvQueueDepth:
 		return "cacheq"
+	case EvFault:
+		return "fault"
+	case EvDecommission:
+		return "decommission"
+	case EvRedispatch:
+		return "redispatch"
 	}
 	return "?"
 }
@@ -178,6 +194,18 @@ func (l *EventLog) WriteChrome(w io.Writer, meta ChromeMeta) error {
 		case EvSpawn:
 			emit(`{"name":"spawn","cat":"spawn","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":0,"args":{"vthreads":%d}}`,
 				e.TS, e.Dur, e.Arg)
+		case EvFault:
+			pid, tid := meta.pidTid(e.Ctx)
+			emit(`{"name":"fault","cat":"fault","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"g","args":{"kind":%d}}`,
+				e.TS, pid, tid, e.Arg)
+		case EvDecommission:
+			pid, tid := meta.pidTid(e.Ctx)
+			emit(`{"name":"decommission","cat":"fault","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"p","args":{"tcu":%d}}`,
+				e.TS, pid, tid, e.Ctx)
+		case EvRedispatch:
+			pid, tid := meta.pidTid(e.Ctx)
+			emit(`{"name":"redispatch","cat":"fault","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"latency":%d}}`,
+				e.TS, pid, tid, e.Arg)
 		default: // wait spans
 			pid, tid := meta.pidTid(e.Ctx)
 			emit(`{"name":"%s","cat":"wait","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"pc":%d,"op":"%s"}}`,

@@ -1,0 +1,177 @@
+// Robustness contracts of the cycle-accurate simulator (docs/ROBUSTNESS.md):
+//
+//   - Periodic checkpoint capture/restore is lossless: a run chopped into
+//     checkpoint segments — each resumed into a freshly built system, with
+//     the state round-tripped through the serialized format — ends in the
+//     same architectural state as an uninterrupted run, at any host worker
+//     count.
+//   - Chaos determinism: under a mixed fault-injection plan (including
+//     state-corrupting flips and permanent TCU failures), results remain
+//     byte-identical per (workload, seed) across host worker counts.
+//     scripts/check.sh runs the soak matrix under -race with a hard timeout.
+package xmtgo_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xmtgo"
+	"xmtgo/internal/workloads"
+)
+
+// TestCycleCheckpointResume captures checkpoints mid-run under the cycle
+// model, restores each into a fresh simulator, and asserts the final memory,
+// registers and printf output are byte-equal to an uninterrupted run — at
+// host_workers 1 and 4.
+func TestCycleCheckpointResume(t *testing.T) {
+	red, _, _ := workloads.Reduction(512)
+	ps, _, _, _ := workloads.PrefixSum(256)
+	cases := []struct{ name, src string }{
+		{"reduction", red},
+		{"prefixsum", ps},
+	}
+	for _, tc := range cases {
+		prog, _, err := xmtgo.Build(tc.name+".c", tc.src, xmtgo.DefaultCompileOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				cfg := xmtgo.ConfigFPGA64()
+				cfg.HostWorkers = workers
+
+				// Reference: uninterrupted run.
+				var refOut bytes.Buffer
+				ref, err := xmtgo.NewSimulator(prog, cfg, &refOut)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refRes, err := ref.Run(10_000_000)
+				if err != nil || !refRes.Halted {
+					t.Fatalf("reference run: halted=%v err=%v", refRes != nil && refRes.Halted, err)
+				}
+
+				// Chopped run: checkpoint every ~fifth of the reference run,
+				// round-tripping the state through the serialized format and
+				// resuming each segment in a brand-new system.
+				var out bytes.Buffer
+				segments := 0
+				var st *xmtgo.Checkpoint
+				for {
+					sys, err := xmtgo.NewSimulator(prog, cfg, &out)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st != nil {
+						if err := sys.RestoreState(st); err != nil {
+							t.Fatalf("segment %d: restore: %v", segments, err)
+						}
+					}
+					sys.CheckpointEvery(refRes.Cycles / 5)
+					res, err := sys.Run(10_000_000)
+					if err != nil {
+						t.Fatalf("segment %d: %v", segments, err)
+					}
+					segments++
+					if res.Checkpoint {
+						var buf bytes.Buffer
+						if err := xmtgo.SaveCheckpoint(&buf, sys.Capture()); err != nil {
+							t.Fatal(err)
+						}
+						if st, err = xmtgo.LoadCheckpoint(&buf); err != nil {
+							t.Fatal(err)
+						}
+						continue
+					}
+					if !res.Halted {
+						t.Fatalf("segment %d stopped without halting: %+v", segments, res)
+					}
+					// Final architectural state must match the uninterrupted
+					// run exactly. (Cycle counts legitimately drift: a
+					// checkpoint holds only architectural state, so resumed
+					// segments replay with cold caches.)
+					if out.String() != refOut.String() {
+						t.Errorf("output %q, reference %q", out.String(), refOut.String())
+					}
+					if sys.Machine.G != ref.Machine.G {
+						t.Error("global registers diverged from the uninterrupted run")
+					}
+					if *sys.MasterContext() != *ref.MasterContext() {
+						t.Error("master context diverged from the uninterrupted run")
+					}
+					if !bytes.Equal(sys.Machine.Mem, ref.Machine.Mem) {
+						t.Error("memory diverged from the uninterrupted run")
+					}
+					break
+				}
+				if segments < 2 {
+					t.Fatalf("run never hit a periodic checkpoint (%d segments); contract untested", segments)
+				}
+			})
+		}
+	}
+}
+
+// chaosPlan mixes every fault kind, including state-corrupting flips and a
+// permanent TCU failure, inside a window every soak workload crosses.
+const chaosPlan = "memflip:2@50-400;regflip:1@50-400;icndelay:2@50-400;icndup:1@50-400;icndrop:1@50-400;cachestall:1x100@50-400;tcufail:1@50-400"
+
+// TestChaosSoak is the seeded fault-injection matrix: 3 workloads × 3 seeds
+// × host_workers {1,4}; every observable — output, halt state, cycle count,
+// error text, counter report — must be byte-identical per (workload, seed)
+// across worker counts, even when the injected corruption crashes or
+// derails the program.
+func TestChaosSoak(t *testing.T) {
+	comp, _ := workloads.Compaction(128, 0.3, 7)
+	red, _, _ := workloads.Reduction(256)
+	vec, _, _ := workloads.VecAdd(256)
+	cases := []struct{ name, src string }{
+		{"compaction", comp},
+		{"reduction", red},
+		{"vecadd", vec},
+	}
+	type capture struct {
+		out, counters, errStr string
+		halted                bool
+		cycles                int64
+	}
+	for _, tc := range cases {
+		prog, _, err := xmtgo.Build(tc.name+".c", tc.src, xmtgo.DefaultCompileOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(seed uint64, workers int) capture {
+			cfg := xmtgo.ConfigFPGA64()
+			cfg.HostWorkers = workers
+			cfg.FaultPlan = chaosPlan
+			cfg.FaultSeed = seed
+			cfg.WatchdogCycles = 200_000
+			var out bytes.Buffer
+			sys, err := xmtgo.NewSimulator(prog, cfg, &out)
+			if err != nil {
+				t.Fatalf("seed=%d workers=%d: %v", seed, workers, err)
+			}
+			res, err := sys.Run(2_000_000)
+			c := capture{out: out.String(), halted: res.Halted, cycles: res.Cycles}
+			if err != nil {
+				c.errStr = err.Error()
+			}
+			var ctr bytes.Buffer
+			sys.Stats.ReportCounters(&ctr)
+			c.counters = ctr.String()
+			return c
+		}
+		for _, seed := range []uint64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, seed), func(t *testing.T) {
+				ref := run(seed, 1)
+				got := run(seed, 4)
+				if got != ref {
+					t.Fatalf("workers=4 diverged from workers=1:\nref: halted=%v cycles=%d err=%q out=%q\ngot: halted=%v cycles=%d err=%q out=%q\ncounters equal: %v",
+						ref.halted, ref.cycles, ref.errStr, ref.out,
+						got.halted, got.cycles, got.errStr, got.out, got.counters == ref.counters)
+				}
+			})
+		}
+	}
+}

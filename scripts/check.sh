@@ -36,9 +36,16 @@ echo "== go test -race (simulator core + host-parallel determinism)"
 go test -race ./internal/sim/engine ./internal/sim/cycle ./internal/sim/funcmodel
 go test -race -run TestHostParallelDeterminism .
 
-echo "== fuzz smoke (parser + assembler)"
+echo "== chaos soak (seeded fault-injection matrix, docs/ROBUSTNESS.md)"
+# 3 workloads x 3 seeds x host_workers {1,4} under a mixed fault plan, run
+# under -race with a hard timeout: results must be byte-identical per
+# (workload, seed) across worker counts even while faults corrupt state.
+go test -race -count=1 -timeout 300s -run 'TestChaosSoak|TestDegradedConformance' .
+
+echo "== fuzz smoke (parser + assembler + config)"
 go test -fuzz FuzzParseXMTC -fuzztime 5s -run '^$' ./internal/xmtc
 go test -fuzz FuzzAssemble -fuzztime 5s -run '^$' ./internal/asm
+go test -fuzz FuzzConfig -fuzztime 5s -run '^$' ./internal/config
 
 echo "== coverage gate"
 # Total statement coverage must not drop below the recorded baseline
