@@ -1,11 +1,16 @@
 package xmtgo_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCLITools builds the three drivers and exercises their main paths end
@@ -121,6 +126,24 @@ int main() {
 		t.Fatalf("xmtrun with faults:\n%s", out)
 	}
 
+	// Telemetry artifacts: interval samples (JSONL and CSV) and the
+	// machine-readable counter snapshot.
+	samplesJSONL := filepath.Join(dir, "samples.jsonl")
+	countersJSON := filepath.Join(dir, "counters.json")
+	run("xmtsim", "-mem", mapFile, "-sample-cycles", "100",
+		"-samples", samplesJSONL, "-counters-json", countersJSON, sFile)
+	if data, err := os.ReadFile(samplesJSONL); err != nil || !strings.Contains(string(data), `"schema":"xmt-samples/v1"`) {
+		t.Fatalf("samples JSONL: err=%v\n%s", err, data)
+	}
+	if data, err := os.ReadFile(countersJSON); err != nil || !strings.Contains(string(data), `"schema": "xmt-counters/v1"`) {
+		t.Fatalf("counters JSON: err=%v\n%s", err, data)
+	}
+	samplesCSV := filepath.Join(dir, "samples.csv")
+	run("xmtrun", "-mem", mapFile, "-sample-cycles", "100", "-samples", samplesCSV, cFile)
+	if data, err := os.ReadFile(samplesCSV); err != nil || !strings.HasPrefix(string(data), "cycle,ticks,window_cycles") {
+		t.Fatalf("samples CSV: err=%v\n%s", err, data)
+	}
+
 	// xmtbatch: a two-job batch (one .s, one .c with overrides) from a jobs
 	// file, with checkpoint persistence enabled.
 	jobsFile := filepath.Join(dir, "jobs.txt")
@@ -135,5 +158,141 @@ int main() {
 		"-out", filepath.Join(dir, "ckpt"), jobsFile)
 	if !strings.Contains(out, "ok   asmjob") || !strings.Contains(out, "ok   cjob") {
 		t.Fatalf("xmtbatch:\n%s", out)
+	}
+}
+
+// serveLoopAsm is a long serial load-modify-store loop: enough cycles
+// that the live metrics server can be scraped while the run is still in
+// flight.
+const serveLoopAsm = `
+        .data
+A:      .space 64
+        .text
+        .global main
+main:
+        li    $t0, 200000000
+        la    $t1, A
+Lloop:  lw    $t2, 0($t1)
+        addiu $t2, $t2, 1
+        sw    $t2, 0($t1)
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, Lloop
+        sys   0
+`
+
+// TestCLIServeEndpoints starts xmtsim with -serve on an ephemeral port,
+// parses the advertised address from stderr, and scrapes /metrics and
+// /status mid-run. This is the end-to-end smoke test for the live
+// telemetry endpoint; scripts/check.sh runs it by name.
+func TestCLIServeEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "xmtsim")
+	if msg, err := exec.Command("go", "build", "-o", bin, "./cmd/xmtsim").CombinedOutput(); err != nil {
+		t.Fatalf("build xmtsim: %v\n%s", err, msg)
+	}
+	sFile := filepath.Join(dir, "loop.s")
+	if err := os.WriteFile(sFile, []byte(serveLoopAsm), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-serve", "127.0.0.1:0", "-sample-cycles", "500", sFile)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The driver announces the bound address on stderr:
+	//   serving metrics on http://ADDR (/metrics /status /stream)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "serving metrics on http://"); ok {
+				addr, _, _ := strings.Cut(rest, " ")
+				addrCh <- addr
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	var addr string
+	select {
+	case a, ok := <-addrCh:
+		if !ok {
+			t.Fatal("xmtsim exited without announcing a metrics address")
+		}
+		addr = a
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the metrics address on stderr")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body)
+	}
+
+	// Publishes happen at sampling boundaries; poll until the first one.
+	deadline := time.Now().Add(30 * time.Second)
+	var body string
+	for {
+		body = get("/metrics")
+		if strings.Contains(body, "xmt_cycle ") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no sample published within 30s; /metrics:\n%s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, family := range []string{
+		"# TYPE xmt_cycle gauge",
+		"# TYPE xmt_instructions_total counter",
+		"# TYPE xmt_stall_cycles_total counter",
+		"# TYPE xmt_cache_hits_total counter",
+		"xmt_tcus_alive 64",
+		"xmt_interval_window_cycles 500",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing %q:\n%s", family, body)
+		}
+	}
+
+	var st struct {
+		Cycle     int64  `json:"cycle"`
+		Instrs    uint64 `json:"instrs"`
+		AliveTCUs int    `json:"alive_tcus"`
+		Done      bool   `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(get("/status")), &st); err != nil {
+		t.Fatalf("/status: %v", err)
+	}
+	if st.Cycle <= 0 || st.Instrs == 0 || st.AliveTCUs != 64 {
+		t.Errorf("/status = %+v", st)
+	}
+	if st.Done {
+		t.Error("/status reports done while the loop is still running")
 	}
 }

@@ -4,6 +4,10 @@
 //
 //	go test -bench . -benchmem | benchjson -date 2026-08-06 -o BENCH_2026-08-06.json
 //	go test -bench . -benchmem | benchjson -date 2026-08-06 -summary
+//	go test -bench . -benchmem | benchjson -date 2026-08-06 -history BENCH_HISTORY.jsonl
+//
+// -history appends the record as one compact JSON line to a cross-run
+// history file; cmd/xmtperf diffs consecutive entries to gate regressions.
 package main
 
 import (
@@ -23,7 +27,11 @@ type benchResult struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// benchSchema versions the record layout (JSON file and history lines).
+const benchSchema = "xmt-bench/v1"
+
 type benchFile struct {
+	Schema  string        `json:"schema"`
 	Date    string        `json:"date"`
 	Go      string        `json:"go"`
 	CPUs    int           `json:"cpus"`
@@ -36,10 +44,11 @@ func main() {
 		date    = flag.String("date", "", "date stamp recorded in the output")
 		out     = flag.String("o", "", "write JSON here (default stdout)")
 		summary = flag.Bool("summary", false, "emit a one-line summary instead of JSON")
+		history = flag.String("history", "", "append the record as one JSON line to this history file")
 	)
 	flag.Parse()
 
-	file := benchFile{Date: *date, Go: runtime.Version(), CPUs: runtime.NumCPU()}
+	file := benchFile{Schema: benchSchema, Date: *date, Go: runtime.Version(), CPUs: runtime.NumCPU()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -55,6 +64,11 @@ func main() {
 		fatal(err)
 	}
 
+	if *history != "" {
+		if err := appendHistory(*history, &file); err != nil {
+			fatal(err)
+		}
+	}
 	if *summary {
 		fmt.Println(summarize(&file))
 		return
@@ -71,6 +85,24 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// appendHistory adds the record as one compact JSON line at the end of
+// path, creating the file on first use.
+func appendHistory(path string, file *benchFile) error {
+	line, err := json.Marshal(file)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(append(line, '\n'))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // parseBenchLine parses one result line:

@@ -34,6 +34,7 @@ import (
 	"xmtgo/internal/batch"
 	"xmtgo/internal/codegen"
 	"xmtgo/internal/config"
+	"xmtgo/internal/sim/metrics"
 )
 
 type listFlag []string
@@ -52,6 +53,9 @@ func main() {
 		outDir    = flag.String("out", "", "directory for per-job checkpoint files (empty = retries restart from scratch)")
 		workers   = flag.Int("workers", 0, "host worker goroutines for the cluster shards (0 = GOMAXPROCS, 1 = serial; results identical)")
 		quiet     = flag.Bool("q", false, "suppress per-attempt progress lines")
+
+		serveAddr    = flag.String("serve", "", "serve live metrics on this address while the batch runs (/metrics, /status, /stream)")
+		sampleCycles = flag.Int64("sample-cycles", -1, "interval-sampler period for -serve in cluster cycles (-1 = keep the preset's sample_cycles)")
 	)
 	flag.Var(&sets, "set", "override one configuration key=value for every job (repeatable)")
 	flag.Parse()
@@ -87,6 +91,10 @@ func main() {
 		}
 	}
 
+	if *sampleCycles >= 0 {
+		cfg.SampleCycles = *sampleCycles
+	}
+
 	opts := batch.Options{
 		Config:          cfg,
 		TimeoutCycles:   *timeout,
@@ -94,9 +102,20 @@ func main() {
 		Retries:         *retries,
 		Backoff:         *backoff,
 		OutDir:          *outDir,
+		SampleCycles:    cfg.SampleCycles,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
+	}
+	if *serveAddr != "" {
+		msrv := metrics.NewServer()
+		addr, err := msrv.ListenAndServe(*serveAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s (/metrics /status /stream)\n", addr)
+		opts.Monitor = msrv
+		defer msrv.Close()
 	}
 	results := batch.Run(jobs, opts)
 

@@ -1,0 +1,319 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// direction says which way a metric is allowed to move freely.
+type direction int
+
+const (
+	lowerBetter  direction = iota // e.g. ns/op, cycles
+	higherBetter                  // e.g. sim_cycle/sec
+	infoOnly                      // reported, never gated (e.g. instruction counts)
+)
+
+type metric struct {
+	Value float64
+	Dir   direction
+}
+
+// artifact is one loaded performance file flattened to named metrics. Keys
+// are "benchmark:metric" for benchjson files and plain counter names for
+// counter snapshots.
+type artifact struct {
+	Label   string
+	Metrics map[string]metric
+}
+
+type verdict string
+
+const (
+	verdictOK        verdict = "ok"
+	verdictRegressed verdict = "REGRESSED"
+	verdictImproved  verdict = "improved"
+	verdictNew       verdict = "new"
+	verdictGone      verdict = "gone"
+)
+
+type row struct {
+	Name         string
+	Old, New     float64
+	DeltaPct     float64 // signed relative change, percent (NaN when Old==0)
+	ThresholdPct float64
+	Verdict      verdict
+}
+
+// benchFile mirrors cmd/benchjson's output (and one line of
+// BENCH_HISTORY.jsonl).
+type benchFile struct {
+	Date    string `json:"date"`
+	Results []struct {
+		Name       string             `json:"name"`
+		Iterations int64              `json:"iterations"`
+		Metrics    map[string]float64 `json:"metrics"`
+	} `json:"results"`
+}
+
+// countersFile is the subset of the xmt-counters/v1 snapshot the differ
+// gates on.
+type countersFile struct {
+	Schema       string `json:"schema"`
+	Cycle        float64
+	Instructions struct {
+		Total float64 `json:"total"`
+	} `json:"instructions"`
+	Stalls map[string]float64 `json:"stalls"`
+	Memory struct {
+		CacheHits     float64 `json:"cache_hits"`
+		CacheMisses   float64 `json:"cache_misses"`
+		QueueFull     float64 `json:"queue_full"`
+		DRAMTotal     float64 `json:"dram_total"`
+		ICNTraversals float64 `json:"icn_traversals"`
+		LoadLatency   struct {
+			P50 float64 `json:"p50"`
+			P99 float64 `json:"p99"`
+		} `json:"load_latency"`
+	} `json:"memory"`
+	PrefixSum struct {
+		Latency struct {
+			P99 float64 `json:"p99"`
+		} `json:"latency"`
+	} `json:"prefix_sum"`
+}
+
+// loadArtifact reads a performance artifact, detecting its kind: a
+// counters snapshot (by schema), a benchjson file (by "results"), or a
+// .jsonl history whose last line is a benchjson entry.
+func loadArtifact(path string) (*artifact, error) {
+	if strings.HasSuffix(path, ".jsonl") {
+		lines, err := readJSONLines(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(lines) == 0 {
+			return nil, fmt.Errorf("%s: empty history", path)
+		}
+		return parseArtifact(path+"#last", lines[len(lines)-1])
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseArtifact(path, data)
+}
+
+// loadHistoryPair reads a .jsonl history and returns its last two entries
+// as (old, new).
+func loadHistoryPair(path string) (*artifact, *artifact, error) {
+	lines, err := readJSONLines(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(lines) < 2 {
+		return nil, nil, fmt.Errorf("%s: need at least 2 history entries, have %d", path, len(lines))
+	}
+	oldArt, err := parseArtifact(fmt.Sprintf("%s#%d", path, len(lines)-1), lines[len(lines)-2])
+	if err != nil {
+		return nil, nil, err
+	}
+	newArt, err := parseArtifact(fmt.Sprintf("%s#%d", path, len(lines)), lines[len(lines)-1])
+	if err != nil {
+		return nil, nil, err
+	}
+	return oldArt, newArt, nil
+}
+
+func readJSONLines(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		lines = append(lines, []byte(line))
+	}
+	return lines, sc.Err()
+}
+
+func parseArtifact(label string, data []byte) (*artifact, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %v", label, err)
+	}
+	if schema, ok := probe["schema"]; ok && strings.Contains(string(schema), "xmt-counters/") {
+		return parseCounters(label, data)
+	}
+	if _, ok := probe["results"]; ok {
+		return parseBench(label, data)
+	}
+	return nil, fmt.Errorf("%s: unrecognized artifact (want benchjson or xmt-counters/v1)", label)
+}
+
+func parseBench(label string, data []byte) (*artifact, error) {
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %v", label, err)
+	}
+	if bf.Date != "" {
+		label = bf.Date
+	}
+	art := &artifact{Label: label, Metrics: map[string]metric{}}
+	for _, r := range bf.Results {
+		name := strings.TrimPrefix(r.Name, "Benchmark")
+		for m, v := range r.Metrics {
+			art.Metrics[name+":"+m] = metric{Value: v, Dir: metricDirection(m)}
+		}
+	}
+	return art, nil
+}
+
+func parseCounters(label string, data []byte) (*artifact, error) {
+	var cf countersFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("%s: %v", label, err)
+	}
+	var stalls float64
+	for _, v := range cf.Stalls {
+		stalls += v
+	}
+	art := &artifact{Label: label, Metrics: map[string]metric{
+		"cycles":           {cf.Cycle, lowerBetter},
+		"instrs":           {cf.Instructions.Total, infoOnly},
+		"stall_cycles":     {stalls, lowerBetter},
+		"cache_miss_rate":  {ratio(cf.Memory.CacheMisses, cf.Memory.CacheHits+cf.Memory.CacheMisses), lowerBetter},
+		"cache_queue_full": {cf.Memory.QueueFull, lowerBetter},
+		"dram_accesses":    {cf.Memory.DRAMTotal, lowerBetter},
+		"icn_traversals":   {cf.Memory.ICNTraversals, lowerBetter},
+		"load_latency_p99": {cf.Memory.LoadLatency.P99, lowerBetter},
+		"ps_latency_p99":   {cf.PrefixSum.Latency.P99, lowerBetter},
+	}}
+	return art, nil
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// metricDirection classifies a benchmark metric name.
+func metricDirection(m string) direction {
+	switch {
+	case strings.HasSuffix(m, "/sec"), strings.Contains(m, "rate"), strings.Contains(m, "ipc"):
+		return higherBetter
+	case m == "iterations":
+		return infoOnly
+	default: // ns/op, B/op, allocs/op, cycles, ...
+		return lowerBetter
+	}
+}
+
+// thresholdFor resolves the threshold for a metric key: exact key first,
+// then the basename after the "bench:" prefix, then the default.
+func thresholdFor(key string, defPct float64, overrides map[string]float64) float64 {
+	if pct, ok := overrides[key]; ok {
+		return pct
+	}
+	if _, base, ok := strings.Cut(key, ":"); ok {
+		if pct, okO := overrides[base]; okO {
+			return pct
+		}
+	}
+	return defPct
+}
+
+// compare produces one row per metric present in either artifact, sorted by
+// name. A metric regresses when it moves beyond its threshold in the bad
+// direction; info-only metrics and zero-baseline metrics never regress.
+func compare(oldArt, newArt *artifact, defPct float64, overrides map[string]float64) []row {
+	keys := map[string]bool{}
+	for k := range oldArt.Metrics {
+		keys[k] = true
+	}
+	for k := range newArt.Metrics {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		o, hasOld := oldArt.Metrics[name]
+		n, hasNew := newArt.Metrics[name]
+		r := row{Name: name, Old: o.Value, New: n.Value,
+			ThresholdPct: thresholdFor(name, defPct, overrides)}
+		switch {
+		case !hasOld:
+			r.Verdict, r.DeltaPct = verdictNew, math.NaN()
+		case !hasNew:
+			r.Verdict, r.DeltaPct = verdictGone, math.NaN()
+		default:
+			if o.Value == 0 {
+				r.DeltaPct = math.NaN()
+				r.Verdict = verdictOK
+				break
+			}
+			r.DeltaPct = (n.Value - o.Value) / o.Value * 100
+			dir := o.Dir
+			bad := r.DeltaPct // lower-better: an increase is bad
+			if dir == higherBetter {
+				bad = -r.DeltaPct
+			}
+			switch {
+			case dir == infoOnly:
+				r.Verdict = verdictOK
+			case bad > r.ThresholdPct:
+				r.Verdict = verdictRegressed
+			case bad < -r.ThresholdPct:
+				r.Verdict = verdictImproved
+			default:
+				r.Verdict = verdictOK
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// renderMarkdown formats the verdict table.
+func renderMarkdown(oldLabel, newLabel string, rows []row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## xmtperf: %s → %s\n\n", oldLabel, newLabel)
+	b.WriteString("| metric | old | new | Δ% | threshold | verdict |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		delta := "—"
+		if !math.IsNaN(r.DeltaPct) {
+			delta = fmt.Sprintf("%+.1f%%", r.DeltaPct)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %g%% | %s |\n",
+			r.Name, num(r.Old), num(r.New), delta, r.ThresholdPct, r.Verdict)
+	}
+	return b.String()
+}
+
+// num renders values compactly: integers without decimals, rates with a few.
+func num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,105 @@
+// Command xmtperf compares two performance artifacts and fails on
+// regression — the cross-run gate behind scripts/bench.sh and
+// scripts/check.sh (docs/PERF.md, docs/OBSERVABILITY.md).
+//
+// It understands three artifact kinds, auto-detected from content:
+//
+//   - benchjson files (BENCH_*.json, schema of cmd/benchjson): every
+//     benchmark metric is compared;
+//   - counter snapshots (xmt-counters/v1, from -counters-json): a curated
+//     set of performance-relevant counters is compared;
+//   - .jsonl history files (BENCH_HISTORY.jsonl): the last line is used,
+//     or the last two lines when only one file is given.
+//
+// Usage:
+//
+//	xmtperf [flags] old.json new.json
+//	xmtperf [flags] BENCH_HISTORY.jsonl       # previous entry vs latest
+//
+// Each metric has a direction (lower-better for ns/op, B/op, cycles, …;
+// higher-better for */sec rates) and a relative threshold: a change beyond
+// the threshold in the bad direction is a regression. The verdict table is
+// markdown; the exit status is 1 when any metric regressed.
+//
+// Examples:
+//
+//	xmtperf BENCH_2026-08-05.json BENCH_2026-08-06.json
+//	xmtperf -threshold 5 old_counters.json new_counters.json
+//	xmtperf -t ns/op=25 -t sim_cycle/sec=15 old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type thresholdFlag map[string]float64
+
+func (t thresholdFlag) String() string { return "" }
+func (t thresholdFlag) Set(v string) error {
+	name, pct, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want metric=percent, got %q", v)
+	}
+	f, err := strconv.ParseFloat(pct, 64)
+	if err != nil || f < 0 {
+		return fmt.Errorf("bad threshold percent in %q", v)
+	}
+	t[name] = f
+	return nil
+}
+
+func main() {
+	thresholds := thresholdFlag{}
+	defPct := flag.Float64("threshold", 10, "default allowed change in the bad direction, percent")
+	mdOut := flag.String("md", "", "also write the verdict table to this file")
+	flag.Var(thresholds, "t", "per-metric threshold override, metric=percent (repeatable; full key or metric basename)")
+	flag.Parse()
+
+	var oldArt, newArt *artifact
+	var err error
+	switch flag.NArg() {
+	case 1:
+		oldArt, newArt, err = loadHistoryPair(flag.Arg(0))
+	case 2:
+		if oldArt, err = loadArtifact(flag.Arg(0)); err == nil {
+			newArt, err = loadArtifact(flag.Arg(1))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: xmtperf [flags] old new   |   xmtperf [flags] history.jsonl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	rows := compare(oldArt, newArt, *defPct, thresholds)
+	table := renderMarkdown(oldArt.Label, newArt.Label, rows)
+	fmt.Print(table)
+	if *mdOut != "" {
+		if err := os.WriteFile(*mdOut, []byte(table), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	regressed := 0
+	for _, r := range rows {
+		if r.Verdict == verdictRegressed {
+			regressed++
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "xmtperf: %d metric(s) regressed beyond threshold\n", regressed)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "xmtperf: no regressions (%d metrics compared)\n", len(rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmtperf:", err)
+	os.Exit(1)
+}

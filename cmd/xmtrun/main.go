@@ -29,6 +29,7 @@ import (
 	"xmtgo/internal/prof"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/metrics"
 	"xmtgo/internal/sim/stats"
 	"xmtgo/internal/sim/trace"
 )
@@ -58,6 +59,10 @@ func main() {
 		watchdog  = flag.Int64("watchdog", -1, "no-progress watchdog window in cluster cycles (0 disables; -1 = keep the preset's watchdog_cycles)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		sampleCycles = flag.Int64("sample-cycles", -1, "interval-sampler period in cluster cycles (0 disables; -1 = keep the preset's sample_cycles)")
+		samplesOut   = flag.String("samples", "", "write the interval-sample time series here (.jsonl or .csv; needs a sampling interval)")
+		countersJSON = flag.String("counters-json", "", "write the machine-readable counter snapshot (xmt-counters/v1 JSON) to this file")
 	)
 	flag.Var(&sets, "set", "override one configuration key=value (repeatable)")
 	flag.Var(&memmaps, "mem", "memory-map input file (repeatable)")
@@ -88,6 +93,9 @@ func main() {
 	}
 	if *watchdog >= 0 {
 		cfg.WatchdogCycles = *watchdog
+	}
+	if *sampleCycles >= 0 {
+		cfg.SampleCycles = *sampleCycles
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -135,6 +143,9 @@ func main() {
 		if *traceOut != "" || *counters || *profFlag {
 			fatal(fmt.Errorf("-trace, -counters and -profile need the cycle-accurate mode"))
 		}
+		if *samplesOut != "" || *countersJSON != "" {
+			fatal(fmt.Errorf("-samples and -counters-json need the cycle-accurate mode"))
+		}
 		m, err := funcmodel.New(prog, cfg.MemBytes, os.Stdout)
 		if err != nil {
 			fatal(err)
@@ -164,9 +175,16 @@ func main() {
 		lineProf.SetSource(string(src))
 		sys.AttachProfile(lineProf)
 	}
+	smp := metrics.Attach(sys, cfg.SampleCycles)
+	if *samplesOut != "" && smp == nil {
+		fatal(fmt.Errorf("-samples needs a sampling interval (-sample-cycles or sample_cycles)"))
+	}
 	r, err := sys.Run(*maxCycles)
 	if err != nil {
 		fatal(err)
+	}
+	if smp != nil {
+		smp.Finalize(r.Cycles, int64(r.Ticks), sys.Stats, sys.AliveTCUs())
 	}
 	fmt.Fprintf(os.Stderr, "\n=== %d cycles, %d instructions ===\n", r.Cycles, r.Instrs)
 	if *showStats {
@@ -174,6 +192,17 @@ func main() {
 	}
 	if *counters {
 		sys.Stats.ReportCounters(os.Stderr)
+	}
+	if *countersJSON != "" {
+		if err := metrics.ExportCounters(*countersJSON, sys.Stats, r.Cycles, int64(r.Ticks)); err != nil {
+			fatal(err)
+		}
+	}
+	if *samplesOut != "" {
+		if err := metrics.ExportSamples(*samplesOut, smp); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "interval samples written to %s (%d samples)\n", *samplesOut, len(smp.Samples()))
 	}
 	if lineProf != nil {
 		lineProf.Report(os.Stderr, 30)

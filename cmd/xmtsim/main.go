@@ -19,6 +19,8 @@
 //	xmtsim -thermal -floorplan prog.s
 //	xmtsim -describe -config fpga64
 //	xmtsim -workers 4 prog.s                       # host-parallel (results identical)
+//	xmtsim -sample-cycles 5000 -samples ts.jsonl prog.s  # interval telemetry
+//	xmtsim -serve 127.0.0.1:9090 prog.s            # live /metrics /status /stream
 //	xmtsim -cpuprofile cpu.pprof prog.s            # see docs/PERF.md
 package main
 
@@ -37,6 +39,7 @@ import (
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/metrics"
 	"xmtgo/internal/sim/power"
 	"xmtgo/internal/sim/stats"
 	"xmtgo/internal/sim/trace"
@@ -73,6 +76,11 @@ func main() {
 		watchdog  = flag.Int64("watchdog", -1, "no-progress watchdog window in cluster cycles (0 disables; -1 = keep the preset's watchdog_cycles)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		sampleCycles = flag.Int64("sample-cycles", -1, "interval-sampler period in cluster cycles (0 disables; -1 = keep the preset's sample_cycles)")
+		samplesOut   = flag.String("samples", "", "write the interval-sample time series here (.jsonl or .csv; needs a sampling interval)")
+		countersJSON = flag.String("counters-json", "", "write the machine-readable counter snapshot (xmt-counters/v1 JSON) to this file")
+		serveAddr    = flag.String("serve", "", "serve live metrics on this address while running (/metrics, /status, /stream)")
 	)
 	var dumps listFlag
 	flag.Var(&dumps, "dump", "memory dump at exit: symbol or symbol:words (repeatable)")
@@ -109,6 +117,9 @@ func main() {
 	}
 	if *watchdog >= 0 {
 		cfg.WatchdogCycles = *watchdog
+	}
+	if *sampleCycles >= 0 {
+		cfg.SampleCycles = *sampleCycles
 	}
 	if *describe {
 		fmt.Print(cfg.Describe())
@@ -173,6 +184,9 @@ func main() {
 		if traceJSON || *counters || *profile {
 			fatal(fmt.Errorf("-trace *.json, -counters and -profile need the cycle-accurate mode"))
 		}
+		if *samplesOut != "" || *countersJSON != "" || *serveAddr != "" {
+			fatal(fmt.Errorf("-samples, -counters-json and -serve need the cycle-accurate mode"))
+		}
 		m := runFunctional(prog, cfg, resume, *ckptOut, *traceLvl != "")
 		if err := dumpMemory(prog, m.ReadWord, dumps); err != nil {
 			fatal(err)
@@ -229,9 +243,37 @@ func main() {
 		sys.AttachProfile(lineProf)
 	}
 
+	// The sampler attaches after RestoreState so resumed runs report
+	// absolute cycles, and after the thermal manager so its plug-in event
+	// runs later at each boundary and reads the already-advanced grid.
+	sampleInterval := cfg.SampleCycles
+	if *serveAddr != "" && sampleInterval <= 0 {
+		sampleInterval = 10000 // live serving needs a publish cadence
+	}
+	smp := metrics.Attach(sys, sampleInterval)
+	if smp != nil && tm != nil {
+		smp.AttachThermal(tm)
+	}
+	if *samplesOut != "" && smp == nil {
+		fatal(fmt.Errorf("-samples needs a sampling interval (-sample-cycles or sample_cycles)"))
+	}
+	if *serveAddr != "" {
+		msrv := metrics.NewServer()
+		addr, err := msrv.ListenAndServe(*serveAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s (/metrics /status /stream)\n", addr)
+		smp.SetServer(msrv)
+		defer msrv.Close()
+	}
+
 	res, err := sys.Run(*maxCycles)
 	if err != nil {
 		fatal(err)
+	}
+	if smp != nil {
+		smp.Finalize(res.Cycles, int64(res.Ticks), sys.Stats, sys.AliveTCUs())
 	}
 	fmt.Fprintf(os.Stderr, "\n=== %d cycles, %d instructions (%s) ===\n", res.Cycles, res.Instrs, endState(res))
 	if res.Checkpoint && *ckptOut != "" {
@@ -250,6 +292,17 @@ func main() {
 	}
 	if *counters {
 		sys.Stats.ReportCounters(os.Stderr)
+	}
+	if *countersJSON != "" {
+		if err := metrics.ExportCounters(*countersJSON, sys.Stats, res.Cycles, int64(res.Ticks)); err != nil {
+			fatal(err)
+		}
+	}
+	if *samplesOut != "" {
+		if err := metrics.ExportSamples(*samplesOut, smp); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "interval samples written to %s (%d samples)\n", *samplesOut, len(smp.Samples()))
 	}
 	if lineProf != nil {
 		lineProf.Report(os.Stderr, 30)

@@ -21,6 +21,7 @@ import (
 	"xmtgo/internal/config"
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
+	"xmtgo/internal/sim/metrics"
 )
 
 // Job is one simulation to drive to completion.
@@ -53,6 +54,12 @@ type Options struct {
 	OutDir string
 	// Log, when set, receives per-attempt progress lines.
 	Log io.Writer
+	// Monitor, when set, receives live telemetry: per-job batch progress on
+	// /status and interval samples from the currently running job.
+	Monitor *metrics.Server
+	// SampleCycles is the interval-sampler period used when Monitor is set
+	// (0 = a default cadence).
+	SampleCycles int64
 }
 
 // Result is the outcome of one job.
@@ -77,11 +84,35 @@ func Run(jobs []Job, opts Options) []Result {
 	if opts.Backoff <= 1 {
 		opts.Backoff = 2
 	}
+	prog := &progress{srv: opts.Monitor}
+	prog.st.JobsTotal = len(jobs)
+	prog.publish()
 	results := make([]Result, 0, len(jobs))
 	for _, j := range jobs {
-		results = append(results, runJob(j, opts))
+		r := runJob(j, opts, prog)
+		results = append(results, r)
+		if r.Err != nil {
+			prog.st.JobsFailed++
+		} else {
+			prog.st.JobsDone++
+		}
+		prog.st.Resumes += r.Resumes
+		prog.st.Current, prog.st.Attempt, prog.st.BudgetCycles = "", 0, 0
+		prog.publish()
 	}
 	return results
+}
+
+// progress tracks the campaign state published to the live metrics server.
+type progress struct {
+	srv *metrics.Server
+	st  metrics.BatchStatus
+}
+
+func (p *progress) publish() {
+	if p.srv != nil {
+		p.srv.PublishBatch(p.st)
+	}
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -90,7 +121,7 @@ func (o *Options) logf(format string, args ...any) {
 	}
 }
 
-func runJob(job Job, opts Options) Result {
+func runJob(job Job, opts Options, prog *progress) Result {
 	r := Result{Name: job.Name}
 	cfg := opts.Config
 	for _, kv := range job.Sets {
@@ -107,6 +138,8 @@ func runJob(job Job, opts Options) Result {
 	budget := opts.TimeoutCycles
 	for attempt := 0; ; attempt++ {
 		r.Attempts = attempt + 1
+		prog.st.Current, prog.st.Attempt, prog.st.BudgetCycles = job.Name, r.Attempts, budget
+		prog.publish()
 		res, out, resumed, err := runAttempt(job, cfg, ckptPath, budget, opts)
 		if resumed {
 			r.Resumes++
@@ -161,6 +194,17 @@ func runAttempt(job Job, cfg config.Config, ckptPath string, budget int64, opts 
 		}
 		sys.CheckpointEvery(opts.CheckpointEvery)
 
+		var smp *metrics.Sampler
+		if opts.Monitor != nil {
+			interval := opts.SampleCycles
+			if interval <= 0 {
+				interval = 10000
+			}
+			if smp = metrics.Attach(sys, interval); smp != nil {
+				smp.SetServer(opts.Monitor)
+			}
+		}
+
 		// Run accepts this segment's local cycle budget; the checkpoint
 		// offset already consumed part of the absolute budget.
 		segBudget := int64(0)
@@ -172,6 +216,9 @@ func runAttempt(job Job, cfg config.Config, ckptPath string, budget int64, opts 
 			}
 		}
 		res, err := sys.Run(segBudget)
+		if smp != nil && res != nil {
+			smp.Finalize(res.Cycles, int64(res.Ticks), sys.Stats, sys.AliveTCUs())
+		}
 		if err != nil {
 			return res, out.String(), resumed, fmt.Errorf("job %s: %v", job.Name, err)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"xmtgo/internal/asm"
 	"xmtgo/internal/config"
+	"xmtgo/internal/sim/metrics"
 )
 
 // longSerialAsm runs a serial accumulation loop long enough to cross
@@ -158,5 +159,43 @@ func TestBatchPerJobOverrides(t *testing.T) {
 	}
 	if res[0].Output != longSerialSum {
 		t.Fatalf("output %q, want %s", res[0].Output, longSerialSum)
+	}
+}
+
+// TestBatchPublishesMonitor runs two jobs with a live metrics server
+// attached (not listening; we read the published bundles directly) and
+// checks the batch progress block and the per-segment sampler publishes.
+func TestBatchPublishesMonitor(t *testing.T) {
+	srv := metrics.NewServer()
+	prog := mustProgram(t, longSerialAsm)
+	res := Run([]Job{
+		{Name: "a", Prog: prog},
+		{Name: "b", Prog: prog},
+	}, Options{
+		Config:        config.FPGA64(),
+		TimeoutCycles: 10_000_000,
+		OutDir:        t.TempDir(),
+		Monitor:       srv,
+		SampleCycles:  500,
+	})
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %s failed: %v", r.Name, r.Err)
+		}
+	}
+	p := srv.Latest()
+	if p == nil {
+		t.Fatal("no bundle published")
+	}
+	if p.Status.Batch == nil {
+		t.Fatalf("no batch block in %+v", p.Status)
+	}
+	if got := *p.Status.Batch; got.JobsTotal != 2 || got.JobsDone != 2 || got.JobsFailed != 0 {
+		t.Fatalf("final batch status = %+v", got)
+	}
+	// The last published sample comes from job b's finalize at its end
+	// cycle, with live counters attached.
+	if p.Sample == nil || p.Sample.Cycle == 0 || p.Counters == nil {
+		t.Fatalf("bundle missing sample/counters: %+v", p)
 	}
 }

@@ -103,6 +103,12 @@ type Config struct {
 	// Simulation results are bit-identical for any value.
 	HostWorkers int
 
+	// Telemetry. SampleCycles is the interval, in cluster cycles, at which
+	// the interval sampler snapshots the activity counters (0 disables
+	// sampling). Samples are taken at outbox-commit boundaries, so the
+	// resulting time series is bit-identical for any HostWorkers value.
+	SampleCycles int64
+
 	// Power model parameters (nJ per event; lumped, see internal/sim/power).
 	EnergyALU             float64
 	EnergyMDU             float64
@@ -153,6 +159,7 @@ func (c *Config) Validate() error {
 		{c.PSPerCycle > 0, "PSPerCycle must be positive"},
 		{c.HostWorkers >= 0, "HostWorkers must be non-negative"},
 		{c.WatchdogCycles >= 0, "WatchdogCycles must be non-negative"},
+		{c.SampleCycles >= 0, "SampleCycles must be non-negative"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {
@@ -364,6 +371,7 @@ var fieldSetters = map[string]func(*Config, string) error{
 		return nil
 	},
 	"watchdog_cycles": int64Field(func(c *Config) *int64 { return &c.WatchdogCycles }),
+	"sample_cycles":   int64Field(func(c *Config) *int64 { return &c.SampleCycles }),
 }
 
 func intField(get func(*Config) *int) func(*Config, string) error {
@@ -453,5 +461,6 @@ func (c *Config) Describe() string {
 	fmt.Fprintf(&b, "mem_bytes=%d seed=%d\n", c.MemBytes, c.Seed)
 	fmt.Fprintf(&b, "host_workers=%d (0 = GOMAXPROCS; results identical for any value)\n", c.HostWorkers)
 	fmt.Fprintf(&b, "fault_seed=%d fault_plan=%q watchdog_cycles=%d\n", c.FaultSeed, c.FaultPlan, c.WatchdogCycles)
+	fmt.Fprintf(&b, "sample_cycles=%d (0 = interval sampling off)\n", c.SampleCycles)
 	return b.String()
 }

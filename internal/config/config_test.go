@@ -130,3 +130,23 @@ func TestDescribeMentionsEverything(t *testing.T) {
 		}
 	}
 }
+
+func TestSampleCyclesKey(t *testing.T) {
+	cfg := FPGA64()
+	if err := cfg.Set("sample_cycles=5000"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SampleCycles != 5000 {
+		t.Fatalf("SampleCycles = %d, want 5000", cfg.SampleCycles)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SampleCycles = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative SampleCycles validated")
+	}
+	if !strings.Contains(cfg.Describe(), "sample_cycles=") {
+		t.Fatal("Describe does not mention sample_cycles")
+	}
+}

@@ -223,6 +223,14 @@ func (s *System) MasterContext() *funcmodel.Context { return &s.master.ctx }
 // ticking the cluster shards (1 = serial).
 func (s *System) HostWorkers() int { return s.hostWorkers }
 
+// StartCycle returns the cluster cycle this system starts counting from:
+// zero for a fresh system, the checkpoint's cycle offset after RestoreState.
+func (s *System) StartCycle() int64 { return s.cycleOffset }
+
+// AliveTCUs returns the number of TCUs not decommissioned by permanent
+// faults.
+func (s *System) AliveTCUs() int { return s.aliveTCUs }
+
 func gcd64(a, b int64) int64 {
 	for b != 0 {
 		a, b = b, a%b
@@ -382,8 +390,10 @@ func (s *System) RestoreState(st *checkpoint.State) error {
 // Snapshot is what an activity plug-in sees at each sampling interval.
 type Snapshot struct {
 	Now   engine.Time
-	Cycle int64 // cluster-domain cycle
+	Cycle int64 // cluster-domain cycle, including any checkpoint-resume offset
 	Stats *stats.Collector
+	// AliveTCUs counts TCUs not decommissioned by permanent faults.
+	AliveTCUs int
 }
 
 // Control is the runtime API an activity plug-in uses to modify the
@@ -506,7 +516,8 @@ func (pb *pluginBinding) scheduleNext(s *System, now engine.Time) {
 		if s.Sched.Stopped() {
 			return
 		}
-		snap := &Snapshot{Now: t, Cycle: s.clusterClock.Cycle(t), Stats: s.Stats}
+		snap := &Snapshot{Now: t, Cycle: s.cycleOffset + s.clusterClock.Cycle(t),
+			Stats: s.Stats, AliveTCUs: s.aliveTCUs}
 		pb.plugin.Sample(snap, &Control{sys: s, now: t})
 		pb.scheduleNext(s, t)
 	})

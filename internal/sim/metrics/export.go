@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"os"
+	"strings"
+
+	"xmtgo/internal/sim/stats"
+)
+
+// ExportSamples writes the sampler's time series to path, choosing the
+// format by extension: ".csv" writes the fixed-column CSV, anything else
+// writes the JSONL stream (header line + one object per sample).
+func ExportSamples(path string, sp *Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = WriteCSV(f, sp.Samples())
+	} else {
+		err = WriteJSONL(f, sp.Header(), sp.Samples())
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ExportCounters writes the collector's machine-readable snapshot
+// (schema stats.SnapshotSchema) to path.
+func ExportCounters(path string, st *stats.Collector, cycle, ticks int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = st.Snapshot(cycle, ticks).WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

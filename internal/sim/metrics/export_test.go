@@ -1,0 +1,60 @@
+package metrics_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmtgo/internal/sim/metrics"
+)
+
+func TestExportSamplesAndCounters(t *testing.T) {
+	smp, sys, res := runSampled(t, 200, 1, false)
+	dir := t.TempDir()
+
+	jl := filepath.Join(dir, "s.jsonl")
+	if err := metrics.ExportSamples(jl, smp); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema":"xmt-samples/v1"`) {
+		t.Fatalf("JSONL export missing header:\n%s", data)
+	}
+
+	cs := filepath.Join(dir, "s.csv")
+	if err := metrics.ExportSamples(cs, smp); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = os.ReadFile(cs); err != nil || !strings.HasPrefix(string(data), "cycle,") {
+		t.Fatalf("CSV export: err=%v\n%s", err, data)
+	}
+
+	cj := filepath.Join(dir, "c.json")
+	if err := metrics.ExportCounters(cj, sys.Stats, res.Cycles, int64(res.Ticks)); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = os.ReadFile(cj); err != nil || !strings.Contains(string(data), `"schema": "xmt-counters/v1"`) {
+		t.Fatalf("counters export: err=%v\n%s", err, data)
+	}
+
+	if err := metrics.ExportSamples(filepath.Join(dir, "missing", "x.jsonl"), smp); err == nil {
+		t.Error("export into a missing directory should fail")
+	}
+	if err := metrics.ExportCounters(filepath.Join(dir, "missing", "x.json"), sys.Stats, 1, 8); err == nil {
+		t.Error("counters export into a missing directory should fail")
+	}
+}
+
+func TestSamplerPluginIdentity(t *testing.T) {
+	smp, _, _ := runSampled(t, 200, 1, false)
+	if got := smp.Name(); got != "interval-sampler" {
+		t.Errorf("plugin name %q", got)
+	}
+	if got := smp.IntervalCycles(); got != 200 {
+		t.Errorf("plugin interval %d", got)
+	}
+}

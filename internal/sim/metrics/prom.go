@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RenderProm writes the bundle in Prometheus text exposition format
+// (version 0.0.4). It is a pure function of the bundle — families appear in
+// a fixed order and label values are emitted sorted — so the output is
+// byte-deterministic and can be golden-tested.
+func RenderProm(w io.Writer, p *Published) {
+	g := func(name, help string, v interface{}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v interface{}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	st := &p.Status
+	g("xmt_cycle", "Current cluster cycle (includes checkpoint-resume offset).", st.Cycle)
+	g("xmt_ticks", "Current engine time in ticks.", st.Ticks)
+	g("xmt_done", "1 when the run has finished.", b2i(st.Done))
+	g("xmt_tcus_alive", "TCUs currently live (not decommissioned).", st.AliveTCUs)
+	c("xmt_tcus_decommissioned_total", "TCUs decommissioned by fault handling.", st.DecommissionedTCUs)
+	if st.WatchdogCycles > 0 {
+		g("xmt_watchdog_slack_cycles", "Estimated cycles of watchdog budget remaining.", st.WatchdogSlack)
+	}
+
+	cs := p.Counters
+	if cs != nil {
+		name := "xmt_instructions_total"
+		fmt.Fprintf(w, "# HELP %s Committed instructions by processor kind.\n# TYPE %s counter\n", name, name)
+		fmt.Fprintf(w, "%s{kind=\"master\"} %d\n", name, cs.Instructions.Master)
+		fmt.Fprintf(w, "%s{kind=\"tcu\"} %d\n", name, cs.Instructions.TCU)
+
+		name = "xmt_stall_cycles_total"
+		fmt.Fprintf(w, "# HELP %s Aggregate TCU stall cycles by cause.\n# TYPE %s counter\n", name, name)
+		fmt.Fprintf(w, "%s{cause=\"mem\"} %d\n", name, cs.Stalls.Mem)
+		fmt.Fprintf(w, "%s{cause=\"fpu_mdu\"} %d\n", name, cs.Stalls.FPUMDU)
+		fmt.Fprintf(w, "%s{cause=\"ps\"} %d\n", name, cs.Stalls.PS)
+		fmt.Fprintf(w, "%s{cause=\"icn_send\"} %d\n", name, cs.Stalls.ICNSend)
+
+		c("xmt_cache_hits_total", "Shared-cache hits.", cs.Memory.CacheHits)
+		c("xmt_cache_misses_total", "Shared-cache misses.", cs.Memory.CacheMisses)
+		c("xmt_cache_queue_full_total", "Cache request-queue-full events.", cs.Memory.QueueFull)
+		c("xmt_dram_accesses_total", "DRAM accesses.", cs.Memory.DRAMTotal)
+		c("xmt_icn_traversals_total", "Interconnect packet traversals.", cs.Memory.ICNTraversals)
+		c("xmt_icn_hops_total", "Interconnect hop count.", cs.Memory.ICNHops)
+		c("xmt_ps_ops_total", "Prefix-sum operations.", cs.PrefixSum.Ops)
+		c("xmt_spawns_total", "Spawn instructions executed.", cs.SpawnJoin.Spawns)
+		c("xmt_virtual_threads_total", "Virtual threads launched.", cs.SpawnJoin.VirtualThreads)
+		c("xmt_redispatches_total", "Threads re-dispatched after TCU failure.", cs.Faults.Redispatches)
+
+		name = "xmt_faults_injected_total"
+		fmt.Fprintf(w, "# HELP %s Faults injected by kind.\n# TYPE %s counter\n", name, name)
+		kinds := map[string]uint64{
+			"mem": cs.Faults.Mem, "reg": cs.Faults.Reg,
+			"icn_delay": cs.Faults.ICNDelay, "icn_dup": cs.Faults.ICNDup,
+			"icn_drop": cs.Faults.ICNDrop, "cache_stall": cs.Faults.CacheStall,
+			"tcu_fail": cs.Faults.TCUFail, "cluster_fail": cs.Faults.ClusterFail,
+		}
+		keys := make([]string, 0, len(kinds))
+		for k := range kinds {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{kind=%q} %d\n", name, k, kinds[k])
+		}
+	}
+
+	s := p.Sample
+	if s != nil {
+		g("xmt_interval_ipc", "Instructions per cluster cycle in the last sample window.", fl(s.IPC))
+		g("xmt_interval_cache_hit_rate", "Cache hit rate in the last sample window.", fl(s.CacheHitRate))
+		g("xmt_interval_window_cycles", "Width of the last sample window in cluster cycles.", s.WindowCycles)
+		if s.Power != nil {
+			g("xmt_power_watts", "Mean power over the last sample window.", fl(s.Power.Watts))
+			g("xmt_energy_joules", "Energy consumed in the last sample window.", fl(s.Power.EnergyJ))
+			g("xmt_temp_peak_celsius", "Peak thermal-grid cell temperature.", fl(s.Power.PeakTempC))
+			g("xmt_temp_mean_celsius", "Mean thermal-grid cell temperature.", fl(s.Power.MeanTempC))
+			g("xmt_thermal_throttled", "1 while the DVFS controller is throttling.", b2i(s.Power.Throttled))
+		}
+	}
+
+	if bt := st.Batch; bt != nil {
+		g("xmt_batch_jobs_total", "Jobs in the batch campaign.", bt.JobsTotal)
+		g("xmt_batch_jobs_done", "Jobs completed successfully.", bt.JobsDone)
+		g("xmt_batch_jobs_failed", "Jobs that exhausted their retry budget.", bt.JobsFailed)
+		g("xmt_batch_resumes_total", "Checkpoint resumes performed across the campaign.", bt.Resumes)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fl renders a float like strconv.FormatFloat(v, 'g', -1, 64), matching the
+// JSON encoding so goldens agree across surfaces.
+func fl(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,177 @@
+// Package metrics implements XMTSim's time-resolved telemetry: a
+// deterministic interval sampler that snapshots the activity counters every
+// N cluster cycles at an outbox-commit boundary (producing a time series of
+// windowed deltas), and a live metrics server that exposes the latest
+// immutable snapshot over HTTP while the simulation runs
+// (docs/OBSERVABILITY.md, "Time-resolved telemetry & live monitoring").
+//
+// Determinism contract: every number in a sample derives from the
+// stats.Collector — which is bit-identical for any host worker count — read
+// on the scheduler goroutine after all outbox commits of the sample tick.
+// The JSONL and CSV artifacts therefore compare equal byte-for-byte across
+// `host_workers` values, like every other observability surface.
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// SampleSchema versions the interval-sample stream (the JSONL header line
+// and the CSV column set). Bump on rename/removal; additions are free.
+const SampleSchema = "xmt-samples/v1"
+
+// Header is the first JSONL line of a sample stream: it identifies the
+// schema and the machine shape the samples describe.
+type Header struct {
+	Schema   string `json:"schema"`
+	Config   string `json:"config"`
+	Clusters int    `json:"clusters"`
+	TCUs     int    `json:"tcus"`
+	Interval int64  `json:"interval_cycles"`
+}
+
+// Sample is one interval of the time series: windowed deltas of the
+// activity counters between two sampling boundaries, plus instantaneous
+// machine state (live TCUs, thermal state). The final sample of a run may
+// cover a partial window (WindowCycles < the configured interval).
+type Sample struct {
+	Cycle        int64 `json:"cycle"` // end-of-window cluster cycle (absolute, incl. resume offset)
+	Ticks        int64 `json:"ticks"` // end-of-window engine time
+	WindowCycles int64 `json:"window_cycles"`
+
+	Instrs       uint64  `json:"instrs"`
+	MasterInstrs uint64  `json:"master_instrs"`
+	TCUInstrs    uint64  `json:"tcu_instrs"`
+	IPC          float64 `json:"ipc"` // committed instructions per cluster cycle in the window
+
+	StallMem     uint64 `json:"stall_mem"`
+	StallFPUMDU  uint64 `json:"stall_fpu_mdu"`
+	StallPS      uint64 `json:"stall_ps"`
+	StallICNSend uint64 `json:"stall_icn_send"`
+
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"` // hits / (hits+misses) in the window
+	CacheQueueFull uint64  `json:"cache_queue_full"`
+	QueueDepthMean float64 `json:"cache_queue_depth_mean"` // mean service-queue depth per serving tick
+
+	ICNTraversals uint64 `json:"icn_traversals"`
+	ICNHops       uint64 `json:"icn_hops"`
+	DRAMAccesses  uint64 `json:"dram_accesses"`
+
+	PsOps           uint64  `json:"ps_ops"`
+	PsLatencyMean   float64 `json:"ps_latency_mean"`   // ticks, over ps responses in the window
+	LoadLatencyMean float64 `json:"load_latency_mean"` // ticks, over loads in the window
+
+	Spawns         uint64 `json:"spawns"`
+	VirtualThreads uint64 `json:"virtual_threads"`
+
+	AliveTCUs          int    `json:"alive_tcus"`
+	DecommissionedTCUs uint64 `json:"decommissioned_tcus"`
+	FaultsInjected     uint64 `json:"faults_injected"`
+	Redispatches       uint64 `json:"redispatches"`
+
+	// Power is present only when the power/thermal plug-in is attached
+	// (xmtsim -thermal): per-interval energy and the thermal grid state.
+	Power *PowerSample `json:"power,omitempty"`
+}
+
+// PowerSample is the per-interval power/thermal state.
+type PowerSample struct {
+	EnergyJ   float64 `json:"energy_j"` // energy consumed in the window
+	Watts     float64 `json:"watts"`    // mean power over the window
+	PeakTempC float64 `json:"peak_temp_c"`
+	MeanTempC float64 `json:"mean_temp_c"`
+	Throttled bool    `json:"throttled"`
+}
+
+// csvColumns is the fixed CSV column set (schema SampleSchema). Power
+// columns are always present; they read 0 when no thermal plug-in is
+// attached so the column set does not depend on flags.
+var csvColumns = []string{
+	"cycle", "ticks", "window_cycles",
+	"instrs", "master_instrs", "tcu_instrs", "ipc",
+	"stall_mem", "stall_fpu_mdu", "stall_ps", "stall_icn_send",
+	"cache_hits", "cache_misses", "cache_hit_rate", "cache_queue_full", "cache_queue_depth_mean",
+	"icn_traversals", "icn_hops", "dram_accesses",
+	"ps_ops", "ps_latency_mean", "load_latency_mean",
+	"spawns", "virtual_threads",
+	"alive_tcus", "decommissioned_tcus", "faults_injected", "redispatches",
+	"energy_j", "watts", "peak_temp_c", "mean_temp_c", "throttled",
+}
+
+func (s *Sample) csvRecord() []string {
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	i := func(v int64) string { return strconv.FormatInt(v, 10) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var pw PowerSample
+	if s.Power != nil {
+		pw = *s.Power
+	}
+	throttled := "0"
+	if pw.Throttled {
+		throttled = "1"
+	}
+	return []string{
+		i(s.Cycle), i(s.Ticks), i(s.WindowCycles),
+		u(s.Instrs), u(s.MasterInstrs), u(s.TCUInstrs), f(s.IPC),
+		u(s.StallMem), u(s.StallFPUMDU), u(s.StallPS), u(s.StallICNSend),
+		u(s.CacheHits), u(s.CacheMisses), f(s.CacheHitRate), u(s.CacheQueueFull), f(s.QueueDepthMean),
+		u(s.ICNTraversals), u(s.ICNHops), u(s.DRAMAccesses),
+		u(s.PsOps), f(s.PsLatencyMean), f(s.LoadLatencyMean),
+		u(s.Spawns), u(s.VirtualThreads),
+		strconv.Itoa(s.AliveTCUs), u(s.DecommissionedTCUs), u(s.FaultsInjected), u(s.Redispatches),
+		f(pw.EnergyJ), f(pw.Watts), f(pw.PeakTempC), f(pw.MeanTempC), throttled,
+	}
+}
+
+// WriteJSONL writes the header line followed by one compact JSON object per
+// sample. The output is byte-deterministic.
+func WriteJSONL(w io.Writer, hdr Header, samples []Sample) error {
+	enc := json.NewEncoder(w)
+	hdr.Schema = SampleSchema
+	if err := enc.Encode(&hdr); err != nil {
+		return err
+	}
+	for i := range samples {
+		if err := enc.Encode(&samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the samples as CSV with a fixed header row.
+func WriteCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvColumns); err != nil {
+		return err
+	}
+	for i := range samples {
+		if err := cw.Write(samples[i].csvRecord()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ratio returns num/den, 0 when den is 0 — the stable "rate over a window"
+// helper (plain float64 division on deterministic integers, so the result
+// is bit-identical everywhere).
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func ratioI(num uint64, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

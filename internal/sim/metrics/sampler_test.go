@@ -1,0 +1,217 @@
+package metrics_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/config"
+	"xmtgo/internal/sim/cycle"
+	"xmtgo/internal/sim/metrics"
+	"xmtgo/internal/sim/power"
+)
+
+// loopAsm is a serial load-modify-store loop long enough for several
+// sampling windows.
+const loopAsm = `
+        .data
+A:      .space 64
+        .text
+        .global main
+main:
+        li    $t0, 300
+        la    $t1, A
+Lloop:  lw    $t2, 0($t1)
+        addiu $t2, $t2, 1
+        sw    $t2, 0($t1)
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, Lloop
+        sys   0
+`
+
+func mustProgram(t testing.TB, src string) *asm.Program {
+	t.Helper()
+	u, err := asm.Parse("test.s", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := asm.Assemble(u)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func runSampled(t *testing.T, interval int64, workers int, thermal bool) (*metrics.Sampler, *cycle.System, *cycle.Result) {
+	t.Helper()
+	cfg := config.FPGA64()
+	cfg.HostWorkers = workers
+	var out bytes.Buffer
+	sys, err := cycle.New(mustProgram(t, loopAsm), cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tm *power.ThermalManager
+	if thermal {
+		tm, err = power.NewThermalManager(&cfg, interval, 85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.AddActivityPlugin(tm)
+	}
+	smp := metrics.Attach(sys, interval)
+	if smp == nil {
+		t.Fatal("Attach returned nil for a positive interval")
+	}
+	if thermal {
+		smp.AttachThermal(tm)
+	}
+	res, err := sys.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatalf("program did not halt (cycles=%d)", res.Cycles)
+	}
+	smp.Finalize(res.Cycles, int64(res.Ticks), sys.Stats, sys.AliveTCUs())
+	return smp, sys, res
+}
+
+func TestSamplerWindows(t *testing.T) {
+	smp, sys, res := runSampled(t, 200, 1, false)
+	samples := smp.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("want >= 3 samples for a %d-cycle run at interval 200, got %d", res.Cycles, len(samples))
+	}
+
+	// Boundaries land on the interval grid; the final sample may be partial.
+	var instrs uint64
+	prevCycle := int64(0)
+	for i, s := range samples {
+		if s.WindowCycles != s.Cycle-prevCycle {
+			t.Errorf("sample %d: window %d != cycle delta %d", i, s.WindowCycles, s.Cycle-prevCycle)
+		}
+		if i < len(samples)-1 && s.Cycle%200 != 0 {
+			t.Errorf("sample %d: boundary cycle %d not on the interval grid", i, s.Cycle)
+		}
+		if s.Instrs != s.MasterInstrs+s.TCUInstrs {
+			t.Errorf("sample %d: instrs %d != master %d + tcu %d", i, s.Instrs, s.MasterInstrs, s.TCUInstrs)
+		}
+		prevCycle = s.Cycle
+		instrs += s.Instrs
+	}
+	last := samples[len(samples)-1]
+	if last.Cycle != res.Cycles {
+		t.Errorf("final sample at cycle %d, run ended at %d", last.Cycle, res.Cycles)
+	}
+
+	// Windowed deltas must sum back to the cumulative counters.
+	if instrs != sys.Stats.TotalInstrs() {
+		t.Errorf("sample instr sum %d != cumulative %d", instrs, sys.Stats.TotalInstrs())
+	}
+	var hits, misses uint64
+	for _, s := range samples {
+		hits += s.CacheHits
+		misses += s.CacheMisses
+	}
+	ch, cm := sys.Stats.TotalCacheHits()
+	if hits != ch || misses != cm {
+		t.Errorf("sample cache sums %d/%d != cumulative %d/%d", hits, misses, ch, cm)
+	}
+}
+
+func TestSamplerFinalizeOnBoundaryAddsNothing(t *testing.T) {
+	smp, sys, res := runSampled(t, 200, 1, false)
+	n := len(smp.Samples())
+	// A second Finalize at the same cycle must not append a duplicate.
+	smp.Finalize(res.Cycles, int64(res.Ticks), sys.Stats, sys.AliveTCUs())
+	if got := len(smp.Samples()); got != n {
+		t.Fatalf("repeated Finalize grew the series: %d -> %d", n, got)
+	}
+}
+
+func TestSamplerJSONLAndCSVDeterminism(t *testing.T) {
+	render := func(workers int) (string, string) {
+		smp, _, _ := runSampled(t, 200, workers, false)
+		var jl, cs bytes.Buffer
+		if err := metrics.WriteJSONL(&jl, smp.Header(), smp.Samples()); err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.WriteCSV(&cs, smp.Samples()); err != nil {
+			t.Fatal(err)
+		}
+		return jl.String(), cs.String()
+	}
+	refJL, refCSV := render(1)
+	for _, w := range []int{2, 4} {
+		jl, cs := render(w)
+		if jl != refJL {
+			t.Errorf("workers=%d: JSONL diverged", w)
+		}
+		if cs != refCSV {
+			t.Errorf("workers=%d: CSV diverged", w)
+		}
+	}
+
+	// The JSONL stream starts with the schema header.
+	line, _, _ := strings.Cut(refJL, "\n")
+	var hdr metrics.Header
+	if err := json.Unmarshal([]byte(line), &hdr); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if hdr.Schema != metrics.SampleSchema || hdr.Interval != 200 {
+		t.Fatalf("bad header %+v", hdr)
+	}
+	// The CSV has the fixed column count on every row.
+	rows := strings.Split(strings.TrimSpace(refCSV), "\n")
+	want := strings.Count(rows[0], ",") + 1
+	for i, r := range rows {
+		if got := strings.Count(r, ",") + 1; got != want {
+			t.Fatalf("csv row %d has %d columns, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSamplerThermal(t *testing.T) {
+	smp, _, _ := runSampled(t, 200, 1, true)
+	samples := smp.Samples()
+	var withPower int
+	for _, s := range samples {
+		if s.Power == nil {
+			continue
+		}
+		withPower++
+		if s.Power.Watts <= 0 || s.Power.EnergyJ <= 0 {
+			t.Errorf("cycle %d: non-positive power %v", s.Cycle, *s.Power)
+		}
+		if s.Power.PeakTempC < s.Power.MeanTempC {
+			t.Errorf("cycle %d: peak %.2f < mean %.2f", s.Cycle, s.Power.PeakTempC, s.Power.MeanTempC)
+		}
+	}
+	if withPower != len(samples) {
+		t.Fatalf("thermal attached but only %d/%d samples carry power", withPower, len(samples))
+	}
+
+	// Without the plug-in the power block is absent from the JSON.
+	plain, _, _ := runSampled(t, 200, 1, false)
+	var b bytes.Buffer
+	if err := metrics.WriteJSONL(&b, plain.Header(), plain.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `"power"`) {
+		t.Fatal("power block present without a thermal plug-in")
+	}
+}
+
+func TestAttachDisabled(t *testing.T) {
+	cfg := config.FPGA64()
+	sys, err := cycle.New(mustProgram(t, loopAsm), cfg, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp := metrics.Attach(sys, 0); smp != nil {
+		t.Fatal("Attach(0) should disable sampling")
+	}
+}

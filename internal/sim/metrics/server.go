@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmtgo/internal/sim/stats"
+)
+
+// Status is the /status payload: the run's current position and health.
+type Status struct {
+	Cycle              int64  `json:"cycle"`
+	Ticks              int64  `json:"ticks"`
+	Instrs             uint64 `json:"instrs"`
+	AliveTCUs          int    `json:"alive_tcus"`
+	DecommissionedTCUs uint64 `json:"decommissioned_tcus"`
+	FaultsInjected     uint64 `json:"faults_injected"`
+	// WatchdogCycles is the configured no-retire window (0 = disabled);
+	// WatchdogSlack estimates the remaining budget before the watchdog would
+	// trip, at sample-interval granularity.
+	WatchdogCycles int64 `json:"watchdog_cycles"`
+	WatchdogSlack  int64 `json:"watchdog_slack,omitempty"`
+	Done           bool  `json:"done"`
+
+	// Batch is present when an xmtbatch run is being monitored.
+	Batch *BatchStatus `json:"batch,omitempty"`
+}
+
+// BatchStatus is the per-job progress of an xmtbatch campaign.
+type BatchStatus struct {
+	JobsTotal    int    `json:"jobs_total"`
+	JobsDone     int    `json:"jobs_done"`
+	JobsFailed   int    `json:"jobs_failed"`
+	Current      string `json:"current,omitempty"`
+	Attempt      int    `json:"attempt,omitempty"`
+	Resumes      int    `json:"resumes,omitempty"`
+	BudgetCycles int64  `json:"budget_cycles,omitempty"`
+}
+
+// Published is one immutable telemetry bundle: everything the HTTP
+// handlers serve. The simulation publishes a fresh bundle at each sampling
+// boundary and never mutates an already-published one.
+type Published struct {
+	Status   Status
+	Counters *stats.Snapshot
+	Sample   *Sample
+}
+
+// Server is the live metrics endpoint: Prometheus-text /metrics, JSON
+// /status, and an SSE /stream of interval samples. It reads only immutable
+// Published bundles swapped in atomically from the scheduler goroutine, so
+// serving concurrent scrapes cannot perturb the simulation.
+type Server struct {
+	latest atomic.Pointer[Published]
+	batch  atomic.Pointer[BatchStatus]
+
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer creates an unstarted server.
+func NewServer() *Server {
+	return &Server{subs: make(map[chan []byte]struct{})}
+}
+
+// Publish swaps in the latest bundle and fans the interval sample out to
+// /stream subscribers. Non-blocking: a slow subscriber drops samples rather
+// than stalling the simulation.
+func (s *Server) Publish(p *Published) {
+	if b := s.batch.Load(); b != nil && p.Status.Batch == nil {
+		p.Status.Batch = b
+	}
+	s.latest.Store(p)
+	if p.Sample == nil {
+		return
+	}
+	data, err := json.Marshal(p.Sample)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	for ch := range s.subs {
+		select {
+		case ch <- data:
+		default: // subscriber is behind; drop
+		}
+	}
+	s.mu.Unlock()
+}
+
+// PublishBatch updates the batch-progress block merged into /status.
+func (s *Server) PublishBatch(b BatchStatus) {
+	s.batch.Store(&b)
+	// Refresh the served status immediately so /status reflects job
+	// transitions even between sampling boundaries.
+	if cur := s.latest.Load(); cur != nil {
+		next := *cur
+		next.Status.Batch = &b
+		s.latest.Store(&next)
+	} else {
+		s.latest.Store(&Published{Status: Status{Batch: &b}})
+	}
+}
+
+// Latest returns the most recently published bundle (nil before the first
+// publish).
+func (s *Server) Latest() *Published { return s.latest.Load() }
+
+// Handler returns the HTTP mux (exported for tests and embedding).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/stream", s.handleStream)
+	return mux
+}
+
+// ListenAndServe binds addr (e.g. ":8080" or "127.0.0.1:0") and serves in a
+// background goroutine. It returns the bound address, so callers may pass
+// port 0 and discover the real port.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and disconnects /stream subscribers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	for ch := range s.subs {
+		close(ch)
+		delete(s.subs, ch)
+	}
+	s.mu.Unlock()
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p := s.latest.Load()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if p == nil {
+		fmt.Fprintln(w, "# no sample published yet")
+		return
+	}
+	RenderProm(w, p)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	p := s.latest.Load()
+	w.Header().Set("Content-Type", "application/json")
+	if p == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	data, err := json.MarshalIndent(&p.Status, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	ch := make(chan []byte, 64)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if _, live := s.subs[ch]; live {
+			delete(s.subs, ch)
+			close(ch)
+		}
+		s.mu.Unlock()
+	}()
+
+	// Replay the latest sample immediately so a subscriber sees data even
+	// between boundaries.
+	if p := s.latest.Load(); p != nil && p.Sample != nil {
+		if data, err := json.Marshal(p.Sample); err == nil {
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+		}
+	}
+	for {
+		select {
+		case data, ok := <-ch:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

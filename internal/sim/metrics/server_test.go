@@ -1,0 +1,210 @@
+package metrics_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"xmtgo/internal/sim/metrics"
+	"xmtgo/internal/sim/stats"
+)
+
+func testBundle(cycleN int64) *metrics.Published {
+	col := &stats.Collector{}
+	col.MasterInstrs = 100
+	col.TCUInstrs = 900
+	return &metrics.Published{
+		Status: metrics.Status{
+			Cycle: cycleN, Ticks: cycleN * 8, Instrs: 1000, AliveTCUs: 64,
+			WatchdogCycles: 5000, WatchdogSlack: 4000,
+		},
+		Counters: col.Snapshot(cycleN, cycleN*8),
+		Sample: &metrics.Sample{
+			Cycle: cycleN, Ticks: cycleN * 8, WindowCycles: 500,
+			Instrs: 1000, MasterInstrs: 100, TCUInstrs: 900, IPC: 2,
+			AliveTCUs: 64,
+		},
+	}
+}
+
+func startServer(t *testing.T) (*metrics.Server, string) {
+	t.Helper()
+	srv := metrics.NewServer()
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, addr := startServer(t)
+
+	// Before any publish, endpoints respond but carry no data.
+	body, _ := get(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "no sample published yet") {
+		t.Errorf("empty /metrics = %q", body)
+	}
+	if body, _ = get(t, "http://"+addr+"/status"); strings.TrimSpace(body) != "{}" {
+		t.Errorf("empty /status = %q", body)
+	}
+
+	srv.Publish(testBundle(500))
+
+	body, ctype := get(t, "http://"+addr+"/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"xmt_cycle 500",
+		`xmt_instructions_total{kind="tcu"} 900`,
+		`xmt_stall_cycles_total{cause="mem"} 0`,
+		"xmt_tcus_alive 64",
+		"xmt_watchdog_slack_cycles 4000",
+		"xmt_interval_ipc 2",
+		`xmt_faults_injected_total{kind="tcu_fail"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, ctype = get(t, "http://"+addr+"/status")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/status content type = %q", ctype)
+	}
+	var st metrics.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status: %v\n%s", err, body)
+	}
+	if st.Cycle != 500 || st.AliveTCUs != 64 || st.WatchdogSlack != 4000 {
+		t.Errorf("/status = %+v", st)
+	}
+	if st.Batch != nil {
+		t.Errorf("unexpected batch block: %+v", st.Batch)
+	}
+}
+
+func TestServerBatchStatus(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.PublishBatch(metrics.BatchStatus{JobsTotal: 3, JobsDone: 1, Current: "job-b", Attempt: 2})
+
+	body, _ := get(t, "http://"+addr+"/status")
+	var st metrics.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Batch == nil || st.Batch.JobsTotal != 3 || st.Batch.Current != "job-b" {
+		t.Fatalf("/status batch = %+v", st.Batch)
+	}
+
+	// A later sample publish keeps the batch block merged in.
+	srv.Publish(testBundle(900))
+	body, _ = get(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "xmt_batch_jobs_total 3") {
+		t.Errorf("/metrics missing batch families:\n%s", body)
+	}
+}
+
+func TestServerStream(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Publish(testBundle(100))
+
+	resp, err := http.Get("http://" + addr + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/stream content type = %q", ct)
+	}
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				lines <- data
+			}
+		}
+		close(lines)
+	}()
+
+	readSample := func() metrics.Sample {
+		t.Helper()
+		select {
+		case data := <-lines:
+			var s metrics.Sample
+			if err := json.Unmarshal([]byte(data), &s); err != nil {
+				t.Fatalf("stream line %q: %v", data, err)
+			}
+			return s
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for a stream event")
+		}
+		panic("unreachable")
+	}
+
+	// Subscribers first get a replay of the latest sample, then live ones.
+	if s := readSample(); s.Cycle != 100 {
+		t.Errorf("replayed sample cycle = %d, want 100", s.Cycle)
+	}
+	srv.Publish(testBundle(200))
+	if s := readSample(); s.Cycle != 200 {
+		t.Errorf("live sample cycle = %d, want 200", s.Cycle)
+	}
+}
+
+func TestRenderPromDeterministic(t *testing.T) {
+	p := testBundle(500)
+	p.Sample.Power = &metrics.PowerSample{EnergyJ: 0.5, Watts: 12.5, PeakTempC: 61.25, MeanTempC: 55, Throttled: true}
+	var a, b strings.Builder
+	metrics.RenderProm(&a, p)
+	metrics.RenderProm(&b, p)
+	if a.String() != b.String() {
+		t.Fatal("RenderProm is not deterministic")
+	}
+	for _, want := range []string{
+		"xmt_power_watts 12.5",
+		"xmt_temp_peak_celsius 61.25",
+		"xmt_thermal_throttled 1",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, a.String())
+		}
+	}
+	// Every family is declared before use.
+	for _, line := range strings.Split(strings.TrimSpace(a.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, _ := strings.Cut(line, "{")
+		name, _, _ = strings.Cut(name, " ")
+		if !strings.Contains(a.String(), fmt.Sprintf("# TYPE %s ", name)) {
+			t.Errorf("metric %q has no TYPE declaration", name)
+		}
+	}
+}

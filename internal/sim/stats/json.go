@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+
+	"xmtgo/internal/isa"
+)
+
+// SnapshotSchema versions the machine-readable counter snapshot. Bump it
+// whenever a field is renamed, removed, or changes meaning; adding fields is
+// backward compatible and does not require a bump.
+const SnapshotSchema = "xmt-counters/v1"
+
+// Snapshot is the stable machine-readable form of ReportCounters: the full
+// hardware-counter state of one run (or of one point in a run), designed to
+// be diffed across runs by cmd/xmtperf and embedded in interval telemetry.
+// Field order is fixed by the struct, map keys are sorted by encoding/json,
+// and every value derives from deterministic counters, so the marshaled
+// bytes are identical for any host worker count.
+type Snapshot struct {
+	Schema string `json:"schema"`
+	Cycle  int64  `json:"cycle"`
+	Ticks  int64  `json:"ticks"`
+
+	Instructions InstrSnapshot  `json:"instructions"`
+	Clusters     []ClusterStats `json:"clusters"`
+	Stalls       StallSnapshot  `json:"stalls"`
+	Memory       MemorySnapshot `json:"memory"`
+	PrefixSum    PSSnapshot     `json:"prefix_sum"`
+	SpawnJoin    SpawnSnapshot  `json:"spawn_join"`
+	Faults       FaultSnapshot  `json:"faults"`
+}
+
+// InstrSnapshot is the instruction-counter section.
+type InstrSnapshot struct {
+	Total  uint64            `json:"total"`
+	Master uint64            `json:"master"`
+	TCU    uint64            `json:"tcu"`
+	ByUnit map[string]uint64 `json:"by_unit"`
+}
+
+// StallSnapshot is the machine-wide stall-cycle breakdown by cause.
+type StallSnapshot struct {
+	Mem        uint64 `json:"mem"`
+	FPUMDU     uint64 `json:"fpu_mdu"`
+	PS         uint64 `json:"ps"`
+	ICNSend    uint64 `json:"icn_send"`
+	MasterMem  uint64 `json:"master_mem"`
+	MasterSend uint64 `json:"master_send"`
+}
+
+// MemorySnapshot is the memory-system section.
+type MemorySnapshot struct {
+	CacheHits       uint64       `json:"cache_hits"`
+	CacheMisses     uint64       `json:"cache_misses"`
+	CachePsm        uint64       `json:"cache_psm"`
+	PerModuleHits   []uint64     `json:"per_module_hits"`
+	PerModuleMisses []uint64     `json:"per_module_misses"`
+	QueueFull       uint64       `json:"queue_full"`
+	QueueDepth      HistSnapshot `json:"queue_depth"`
+	DRAMAccesses    []uint64     `json:"dram_accesses"`
+	DRAMTotal       uint64       `json:"dram_total"`
+	ICNTraversals   uint64       `json:"icn_traversals"`
+	ICNHops         uint64       `json:"icn_hops"`
+	PrefetchFills   uint64       `json:"prefetch_fills"`
+	PrefetchHits    uint64       `json:"prefetch_hits"`
+	PrefetchEvicts  uint64       `json:"prefetch_evicts"`
+	ROHits          uint64       `json:"ro_hits"`
+	ROMisses        uint64       `json:"ro_misses"`
+	MasterCacheHits uint64       `json:"master_cache_hits"`
+	MasterCacheMiss uint64       `json:"master_cache_misses"`
+	LoadLatency     HistSnapshot `json:"load_latency"`
+}
+
+// PSSnapshot is the prefix-sum section.
+type PSSnapshot struct {
+	Ops     uint64       `json:"ops"`
+	PsmOps  uint64       `json:"psm_ops"`
+	Latency HistSnapshot `json:"latency"`
+}
+
+// SpawnSnapshot is the spawn/join section.
+type SpawnSnapshot struct {
+	Spawns         uint64 `json:"spawns"`
+	VirtualThreads uint64 `json:"virtual_threads"`
+	SpawnOverhead  uint64 `json:"spawn_overhead_cycles"`
+	JoinOverhead   uint64 `json:"join_overhead_cycles"`
+}
+
+// FaultSnapshot is the fault-injection and resilience section.
+type FaultSnapshot struct {
+	Injected          uint64       `json:"injected"`
+	Mem               uint64       `json:"mem"`
+	Reg               uint64       `json:"reg"`
+	ICNDelay          uint64       `json:"icn_delay"`
+	ICNDup            uint64       `json:"icn_dup"`
+	ICNDrop           uint64       `json:"icn_drop"`
+	CacheStall        uint64       `json:"cache_stall"`
+	TCUFail           uint64       `json:"tcu_fail"`
+	ClusterFail       uint64       `json:"cluster_fail"`
+	Decommissioned    uint64       `json:"decommissioned_tcus"`
+	Redispatches      uint64       `json:"redispatches"`
+	RedispatchLatency HistSnapshot `json:"redispatch_latency"`
+}
+
+// HistSnapshot is the machine-readable form of a Histogram: the summary
+// plus the non-empty power-of-two buckets as [lo, hi, count] triples.
+type HistSnapshot struct {
+	Count   uint64      `json:"count"`
+	Sum     uint64      `json:"sum"`
+	Max     uint64      `json:"max"`
+	P50     uint64      `json:"p50"`
+	P99     uint64      `json:"p99"`
+	Buckets [][3]uint64 `json:"buckets,omitempty"`
+}
+
+// SnapshotHist converts a Histogram into its stable JSON form.
+func SnapshotHist(h *Histogram) HistSnapshot {
+	out := HistSnapshot{Count: h.Count, Sum: h.Sum, Max: h.Max,
+		P50: h.Percentile(50), P99: h.Percentile(99)}
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := uint64(0), uint64(0)
+		if i > 0 {
+			lo, hi = uint64(1)<<uint(i-1), uint64(1)<<uint(i)-1
+		}
+		out.Buckets = append(out.Buckets, [3]uint64{lo, hi, n})
+	}
+	return out
+}
+
+// Snapshot captures the collector's full state at the given cycle/tick into
+// the stable schema. The caller supplies the time coordinates because the
+// collector itself does not track them.
+func (c *Collector) Snapshot(cycle, ticks int64) *Snapshot {
+	s := &Snapshot{Schema: SnapshotSchema, Cycle: cycle, Ticks: ticks}
+
+	s.Instructions = InstrSnapshot{
+		Total: c.TotalInstrs(), Master: c.MasterInstrs, TCU: c.TCUInstrs,
+		ByUnit: map[string]uint64{},
+	}
+	for u := 0; u < isa.NumUnits; u++ {
+		if c.InstrByUnit[u] > 0 {
+			s.Instructions.ByUnit[isa.Unit(u).String()] = c.InstrByUnit[u]
+		}
+	}
+
+	s.Clusters = append([]ClusterStats(nil), c.Cluster...)
+	var tot ClusterStats
+	for i := range c.Cluster {
+		cs := &c.Cluster[i]
+		tot.MemWaitCycles += cs.MemWaitCycles
+		tot.FPUWaitCycles += cs.FPUWaitCycles
+		tot.PSWaitCycles += cs.PSWaitCycles
+		tot.SendStallCycles += cs.SendStallCycles
+	}
+	s.Stalls = StallSnapshot{
+		Mem: tot.MemWaitCycles, FPUMDU: tot.FPUWaitCycles, PS: tot.PSWaitCycles,
+		ICNSend: tot.SendStallCycles, MasterMem: c.MasterMemWaitCycles,
+		MasterSend: c.MasterSendStalls,
+	}
+
+	hits, misses := c.TotalCacheHits()
+	var qfull uint64
+	for _, n := range c.CacheQueueFull {
+		qfull += n
+	}
+	var dram uint64
+	for _, d := range c.DRAMAccesses {
+		dram += d
+	}
+	s.Memory = MemorySnapshot{
+		CacheHits: hits, CacheMisses: misses, CachePsm: c.PsmOps,
+		PerModuleHits:   append([]uint64(nil), c.CacheHits...),
+		PerModuleMisses: append([]uint64(nil), c.CacheMisses...),
+		QueueFull:       qfull,
+		QueueDepth:      SnapshotHist(&c.CacheQueueDepth),
+		DRAMAccesses:    append([]uint64(nil), c.DRAMAccesses...),
+		DRAMTotal:       dram,
+		ICNTraversals:   c.ICNTraversals, ICNHops: c.ICNHops,
+		PrefetchFills: c.PrefetchFills, PrefetchHits: c.PrefetchHits,
+		PrefetchEvicts: c.PrefetchEvicts,
+		ROHits:         c.ROHits, ROMisses: c.ROMisses,
+		MasterCacheHits: c.MasterCacheHits, MasterCacheMiss: c.MasterCacheMisses,
+		LoadLatency: SnapshotHist(&c.LoadLatency),
+	}
+
+	s.PrefixSum = PSSnapshot{Ops: c.PsOps, PsmOps: c.PsmOps, Latency: SnapshotHist(&c.PSLatency)}
+	s.SpawnJoin = SpawnSnapshot{
+		Spawns: c.SpawnCount, VirtualThreads: c.VirtualThreads,
+		SpawnOverhead: c.SpawnOverheadCycles, JoinOverhead: c.JoinOverheadCycles,
+	}
+	s.Faults = FaultSnapshot{
+		Injected: c.FaultsInjected(), Mem: c.MemFaults, Reg: c.RegFaults,
+		ICNDelay: c.ICNDelayFaults, ICNDup: c.ICNDupFaults, ICNDrop: c.ICNDropFaults,
+		CacheStall: c.CacheStallFaults, TCUFail: c.TCUFailFaults,
+		ClusterFail: c.ClusterFailFaults, Decommissioned: c.TCUsDecommissioned,
+		Redispatches: c.Redispatches, RedispatchLatency: SnapshotHist(&c.RedispatchLatency),
+	}
+	return s
+}
+
+// WriteJSON marshals the snapshot with a fixed indentation and a trailing
+// newline — the byte-deterministic `-counters-json` artifact.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -20,18 +20,19 @@ import (
 
 // ClusterStats are per-cluster activity counters. Each cluster updates only
 // its own entry, so the fields are safe to bump from the parallel compute
-// phase without going through the outbox.
+// phase without going through the outbox. The JSON tags are part of the
+// stable machine-readable counter schema (see json.go).
 type ClusterStats struct {
-	TCUInstrs       uint64 // instructions committed by this cluster's TCUs
-	ALUOps          uint64
-	FPUOps          uint64
-	MDUOps          uint64
-	MemOps          uint64
-	BusyCycles      uint64 // cycles with at least one active TCU
-	MemWaitCycles   uint64 // TCU-cycles spent blocked on memory
-	FPUWaitCycles   uint64 // TCU-cycles spent waiting for a shared FPU/MDU
-	PSWaitCycles    uint64 // TCU-cycles spent blocked on the prefix-sum unit
-	SendStallCycles uint64 // TCU-cycles the ICN injection port refused a send
+	TCUInstrs       uint64 `json:"instrs"` // instructions committed by this cluster's TCUs
+	ALUOps          uint64 `json:"alu"`
+	FPUOps          uint64 `json:"fpu"`
+	MDUOps          uint64 `json:"mdu"`
+	MemOps          uint64 `json:"mem"`
+	BusyCycles      uint64 `json:"busy_cycles"`       // cycles with at least one active TCU
+	MemWaitCycles   uint64 `json:"mem_wait_cycles"`   // TCU-cycles spent blocked on memory
+	FPUWaitCycles   uint64 `json:"fpu_wait_cycles"`   // TCU-cycles spent waiting for a shared FPU/MDU
+	PSWaitCycles    uint64 `json:"ps_wait_cycles"`    // TCU-cycles spent blocked on the prefix-sum unit
+	SendStallCycles uint64 `json:"send_stall_cycles"` // TCU-cycles the ICN injection port refused a send
 }
 
 // Collector accumulates all counters of one simulation run. The simulator

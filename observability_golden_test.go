@@ -15,16 +15,25 @@ import (
 	"testing"
 
 	"xmtgo"
+	"xmtgo/internal/sim/metrics"
 	"xmtgo/internal/sim/stats"
 	"xmtgo/internal/sim/trace"
 )
 
 var update = flag.Bool("update", false, "rewrite the observability golden files")
 
+// fixtureArtifacts is every golden-tested observability rendering of one
+// fixture run.
+type fixtureArtifacts struct {
+	traceJSON, counters, profile []byte
+	countersJSON, samples, prom  []byte
+}
+
 // runFixture runs testdata/observability/fixture.c on fpga64 with the
-// given host worker count and returns the rendered trace JSON and counter
-// report.
-func runFixture(t *testing.T, workers int) (traceJSON, counters, profile []byte) {
+// given host worker count and returns the rendered observability
+// artifacts: Chrome trace, counter report, cycle profile, counters JSON,
+// interval-sample JSONL and the Prometheus text rendering.
+func runFixture(t *testing.T, workers int) fixtureArtifacts {
 	t.Helper()
 	src, err := os.ReadFile(filepath.Join("testdata", "observability", "fixture.c"))
 	if err != nil {
@@ -45,10 +54,12 @@ func runFixture(t *testing.T, workers int) (traceJSON, counters, profile []byte)
 	lineProf := stats.NewLineProfile(prog, cfg.Clusters+1)
 	lineProf.SetSource(string(src))
 	sys.AttachProfile(lineProf)
+	smp := metrics.Attach(sys, 200)
 	res, err := sys.Run(1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
+	smp.Finalize(res.Cycles, int64(res.Ticks), sys.Stats, sys.AliveTCUs())
 	if !res.Halted {
 		t.Fatalf("fixture did not halt (cycles=%d)", res.Cycles)
 	}
@@ -61,18 +72,39 @@ func runFixture(t *testing.T, workers int) (traceJSON, counters, profile []byte)
 	}
 	sys.Stats.ReportCounters(&ctr)
 	lineProf.Report(&prof, 30)
-	return tr.Bytes(), ctr.Bytes(), prof.Bytes()
+
+	var cj, sj, pm bytes.Buffer
+	if err := sys.Stats.Snapshot(res.Cycles, int64(res.Ticks)).WriteJSON(&cj); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteJSONL(&sj, smp.Header(), smp.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	samples := smp.Samples()
+	metrics.RenderProm(&pm, &metrics.Published{
+		Status: metrics.Status{
+			Cycle: res.Cycles, Ticks: int64(res.Ticks), Instrs: res.Instrs,
+			AliveTCUs: sys.AliveTCUs(), Done: true,
+		},
+		Counters: sys.Stats.Snapshot(res.Cycles, int64(res.Ticks)),
+		Sample:   &samples[len(samples)-1],
+	})
+	return fixtureArtifacts{traceJSON: tr.Bytes(), counters: ctr.Bytes(), profile: prof.Bytes(),
+		countersJSON: cj.Bytes(), samples: sj.Bytes(), prom: pm.Bytes()}
 }
 
 func TestObservabilityGolden(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		traceJSON, counters, profile := runFixture(t, workers)
+		art := runFixture(t, workers)
 		// The observability contract: every artifact is independent of the
 		// host worker count, so a single golden per artifact covers both runs.
 		for name, got := range map[string][]byte{
-			"trace.json.golden": traceJSON,
-			"counters.golden":   counters,
-			"profile.golden":    profile,
+			"trace.json.golden":    art.traceJSON,
+			"counters.golden":      art.counters,
+			"profile.golden":       art.profile,
+			"counters.json.golden": art.countersJSON,
+			"samples.jsonl.golden": art.samples,
+			"metrics.prom.golden":  art.prom,
 		} {
 			path := filepath.Join("testdata", "observability", name)
 			if *update {

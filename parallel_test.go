@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"xmtgo"
+	"xmtgo/internal/sim/metrics"
 	"xmtgo/internal/sim/trace"
 	"xmtgo/internal/workloads"
 )
@@ -70,11 +71,14 @@ func determinismCorpus(t *testing.T) []detCase {
 // workersRun is one run's observable artifacts: everything that the
 // determinism contract promises is bit-identical across host worker counts.
 type workersRun struct {
-	res      *xmtgo.SimResult
-	stats    *xmtgo.Stats
-	out      string // program printf output
-	trace    string // Chrome trace-event JSON
-	counters string // hardware performance counter report
+	res          *xmtgo.SimResult
+	stats        *xmtgo.Stats
+	out          string // program printf output
+	trace        string // Chrome trace-event JSON
+	counters     string // hardware performance counter report
+	samples      string // interval-sampler JSONL time series
+	countersJSON string // machine-readable counter snapshot
+	prom         string // Prometheus text rendering of the final state
 }
 
 func runWorkers(t *testing.T, tc detCase, workers int) workersRun {
@@ -91,17 +95,57 @@ func runWorkers(t *testing.T, tc detCase, workers int) workersRun {
 		t.Fatal(err)
 	}
 	sys.SetEventLog(trace.NewEventLog())
+	smp := metrics.Attach(sys, 500)
 	res, err := sys.Run(2_000_000)
 	if err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
 	}
+	smp.Finalize(res.Cycles, int64(res.Ticks), sys.Stats, sys.AliveTCUs())
 	var tr, ctr bytes.Buffer
 	if err := sys.EventLog().WriteChrome(&tr, sys.ChromeMeta()); err != nil {
 		t.Fatalf("workers=%d: write chrome trace: %v", workers, err)
 	}
 	sys.Stats.ReportCounters(&ctr)
 	return workersRun{res: res, stats: sys.Stats, out: out.String(),
-		trace: tr.String(), counters: ctr.String()}
+		trace: tr.String(), counters: ctr.String(),
+		samples:      telemetrySamples(t, smp),
+		countersJSON: telemetryCounters(t, sys, res),
+		prom:         telemetryProm(smp, sys, res)}
+}
+
+// telemetrySamples renders the sampler's JSONL artifact.
+func telemetrySamples(t *testing.T, smp *metrics.Sampler) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := metrics.WriteJSONL(&b, smp.Header(), smp.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// telemetryCounters renders the -counters-json artifact.
+func telemetryCounters(t *testing.T, sys *xmtgo.Simulator, res *xmtgo.SimResult) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := sys.Stats.Snapshot(res.Cycles, int64(res.Ticks)).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// telemetryProm renders the /metrics text for the run's final state.
+func telemetryProm(smp *metrics.Sampler, sys *xmtgo.Simulator, res *xmtgo.SimResult) string {
+	samples := smp.Samples()
+	var b bytes.Buffer
+	metrics.RenderProm(&b, &metrics.Published{
+		Status: metrics.Status{
+			Cycle: res.Cycles, Ticks: int64(res.Ticks), Instrs: res.Instrs,
+			AliveTCUs: sys.AliveTCUs(), Done: true,
+		},
+		Counters: sys.Stats.Snapshot(res.Cycles, int64(res.Ticks)),
+		Sample:   &samples[len(samples)-1],
+	})
+	return b.String()
 }
 
 func TestHostParallelDeterminism(t *testing.T) {
@@ -130,6 +174,17 @@ func TestHostParallelDeterminism(t *testing.T) {
 				if r.counters != ref.counters {
 					t.Errorf("workers=%d: counter report diverged from serial:\n%s\nvs serial\n%s",
 						w, r.counters, ref.counters)
+				}
+				if r.samples != ref.samples {
+					t.Errorf("workers=%d: interval-sample JSONL diverged from serial (%d vs %d bytes)",
+						w, len(r.samples), len(ref.samples))
+				}
+				if r.countersJSON != ref.countersJSON {
+					t.Errorf("workers=%d: counters JSON diverged from serial", w)
+				}
+				if r.prom != ref.prom {
+					t.Errorf("workers=%d: Prometheus rendering diverged from serial:\n%s\nvs serial\n%s",
+						w, r.prom, ref.prom)
 				}
 			}
 		})

@@ -5,14 +5,19 @@
 #
 # Runs the Table I throughput benchmarks and the host-parallel scaling
 # benchmark with -benchmem, writes the parsed results to BENCH_<date>.json,
-# and appends a one-line summary to EXPERIMENTS.md so successive PRs can
-# compare simulated-cycles/sec on the same workloads.
+# appends the record to the cross-run BENCH_HISTORY.jsonl, appends a
+# one-line summary to EXPERIMENTS.md so successive PRs can compare
+# simulated-cycles/sec on the same workloads, and diffs the last two
+# history entries with xmtperf (generous 30% threshold: the recorded
+# history spans different hosts and load conditions, so only gross
+# regressions should fail the run).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 date=$(date +%Y-%m-%d)
 out="BENCH_${date}.json"
+history="BENCH_HISTORY.jsonl"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -20,8 +25,17 @@ echo "== go test -bench (Table I + host-parallel scaling)"
 go test -run '^$' -bench 'BenchmarkTableI_|BenchmarkHostParallelScaling' \
     -benchmem . | tee "$raw"
 
-go run ./cmd/benchjson -date "$date" -o "$out" <"$raw"
-echo "wrote $out"
+go run ./cmd/benchjson -date "$date" -o "$out" -history "$history" <"$raw"
+echo "wrote $out and appended to $history"
 
 go run ./cmd/benchjson -date "$date" -summary <"$raw" >>EXPERIMENTS.md
 echo "appended summary to EXPERIMENTS.md"
+
+# Cross-run regression gate: compare the two most recent history entries.
+# ns/op is the inverse of sim_cycle/sec but measures wall time, the
+# noisiest signal on a shared host, so it (like the allocation metrics)
+# gets a wider band than the throughput gate.
+if [ "$(wc -l <"$history")" -ge 2 ]; then
+    echo "== xmtperf (last two $history entries, 30% threshold)"
+    go run ./cmd/xmtperf -threshold 30 -t ns/op=60 -t allocs/op=60 -t B/op=60 "$history"
+fi

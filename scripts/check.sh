@@ -47,11 +47,35 @@ go test -fuzz FuzzParseXMTC -fuzztime 5s -run '^$' ./internal/xmtc
 go test -fuzz FuzzAssemble -fuzztime 5s -run '^$' ./internal/asm
 go test -fuzz FuzzConfig -fuzztime 5s -run '^$' ./internal/config
 
+echo "== telemetry endpoint smoke (xmtsim -serve)"
+# Start xmtsim with a live metrics server mid-run, scrape /metrics and
+# /status, and assert the advertised metric families.
+go test -count=1 -run TestCLIServeEndpoints .
+
+echo "== xmtperf self-test (seeded regression fixture must trip the gate)"
+go build -o /tmp/xmtperf.check ./cmd/xmtperf
+if /tmp/xmtperf.check testdata/perf/bench_base.json testdata/perf/bench_regressed.json >/dev/null; then
+    echo "ERROR: xmtperf passed the seeded regression fixture; it must exit nonzero" >&2
+    exit 1
+fi
+/tmp/xmtperf.check testdata/perf/bench_base.json testdata/perf/bench_base.json >/dev/null
+
+echo "== xmtperf gate (fixture counters vs committed baseline)"
+# The observability fixture is deterministic, so its counter snapshot
+# must match the committed baseline exactly (0.5% slack covers nothing
+# real; any drift is a simulator-semantics change that needs a rebless
+# of testdata/perf/baseline_counters.json alongside the goldens).
+counters=$(mktemp)
+go run ./cmd/xmtrun -config fpga64 -counters-json "$counters" \
+    testdata/observability/fixture.c >/dev/null
+/tmp/xmtperf.check -threshold 0.5 testdata/perf/baseline_counters.json "$counters"
+rm -f "$counters" /tmp/xmtperf.check
+
 echo "== coverage gate"
 # Total statement coverage must not drop below the recorded baseline
-# (78.0% at the PR-2 seed; currently 78.6%). Raise the baseline when
+# (78.0% at the PR-2 seed, 78.1% at PR-5). Raise the baseline when
 # coverage improves; never lower it to make a change pass.
-baseline=78.0
+baseline=78.1
 profile=$(mktemp)
 go test -count=1 -coverprofile="$profile" -coverpkg=./... ./... >/dev/null
 total=$(go tool cover -func="$profile" | tail -1 | sed 's/.*[[:space:]]\([0-9.]*\)%/\1/')

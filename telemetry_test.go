@@ -1,0 +1,205 @@
+// Time-resolved telemetry determinism: the interval-sample JSONL/CSV
+// streams, the machine-readable counter snapshot and the Prometheus text
+// rendering must be byte-identical for any host worker count — including
+// runs with injected TCU failures and runs chopped by checkpoint/resume
+// (docs/OBSERVABILITY.md, "Time-resolved telemetry & live monitoring").
+package xmtgo_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xmtgo"
+	"xmtgo/internal/sim/metrics"
+	"xmtgo/internal/workloads"
+)
+
+// telemetryArtifacts is one run's telemetry surface.
+type telemetryArtifacts struct {
+	jsonl, csv, counters, prom string
+	samples                    int
+}
+
+func telemetryRun(t *testing.T, prog *xmtgo.Program, cfg xmtgo.Config, interval int64) telemetryArtifacts {
+	t.Helper()
+	var out bytes.Buffer
+	sys, err := xmtgo.NewSimulator(prog, cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := metrics.Attach(sys, interval)
+	res, err := sys.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatalf("run did not halt (cycles=%d)", res.Cycles)
+	}
+	smp.Finalize(res.Cycles, int64(res.Ticks), sys.Stats, sys.AliveTCUs())
+	return renderTelemetry(t, smp, sys, res)
+}
+
+func renderTelemetry(t *testing.T, smp *metrics.Sampler, sys *xmtgo.Simulator, res *xmtgo.SimResult) telemetryArtifacts {
+	t.Helper()
+	var jl, cs, cj, pb bytes.Buffer
+	if err := metrics.WriteJSONL(&jl, smp.Header(), smp.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteCSV(&cs, smp.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Stats.Snapshot(res.Cycles, int64(res.Ticks)).WriteJSON(&cj); err != nil {
+		t.Fatal(err)
+	}
+	samples := smp.Samples()
+	metrics.RenderProm(&pb, &metrics.Published{
+		Status: metrics.Status{
+			Cycle: res.Cycles, Ticks: int64(res.Ticks), Instrs: res.Instrs,
+			AliveTCUs: sys.AliveTCUs(), DecommissionedTCUs: sys.Stats.TCUsDecommissioned,
+			FaultsInjected: sys.Stats.FaultsInjected(), Done: true,
+		},
+		Counters: sys.Stats.Snapshot(res.Cycles, int64(res.Ticks)),
+		Sample:   &samples[len(samples)-1],
+	})
+	return telemetryArtifacts{jsonl: jl.String(), csv: cs.String(),
+		counters: cj.String(), prom: pb.String(), samples: len(samples)}
+}
+
+func compareTelemetry(t *testing.T, workers int, got, ref telemetryArtifacts) {
+	t.Helper()
+	if got.jsonl != ref.jsonl {
+		t.Errorf("workers=%d: sample JSONL diverged (%d vs %d bytes)", workers, len(got.jsonl), len(ref.jsonl))
+	}
+	if got.csv != ref.csv {
+		t.Errorf("workers=%d: sample CSV diverged", workers)
+	}
+	if got.counters != ref.counters {
+		t.Errorf("workers=%d: counters JSON diverged", workers)
+	}
+	if got.prom != ref.prom {
+		t.Errorf("workers=%d: Prometheus rendering diverged", workers)
+	}
+}
+
+func TestTelemetryDeterminism(t *testing.T) {
+	threads := xmtgo.ConfigFPGA64().Clusters * xmtgo.ConfigFPGA64().TCUsPerCluster
+	src := workloads.TableI(workloads.ParallelMemory, threads, 8)
+	prog, _, err := xmtgo.Build("telemetry.c", src, xmtgo.DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		cfg := xmtgo.ConfigFPGA64()
+		cfg.HostWorkers = 1
+		ref := telemetryRun(t, prog, cfg, 300)
+		if ref.samples < 2 {
+			t.Fatalf("want a multi-window time series, got %d samples", ref.samples)
+		}
+		for _, w := range []int{2, 4} {
+			cfg.HostWorkers = w
+			compareTelemetry(t, w, telemetryRun(t, prog, cfg, 300), ref)
+		}
+	})
+
+	// A faulty run: TCU failures decommission units mid-run, so samples carry
+	// fault counters and a shrinking alive_tcus — still bit-identical.
+	t.Run("faulty", func(t *testing.T) {
+		cfg := xmtgo.ConfigFPGA64()
+		cfg.FaultPlan = "tcufail:4@50-400;memflip:2@50-400"
+		cfg.FaultSeed = 7
+		cfg.HostWorkers = 1
+		ref := telemetryRun(t, prog, cfg, 300)
+		if !strings.Contains(ref.jsonl, `"decommissioned_tcus":4`) {
+			t.Fatalf("faulty run telemetry shows no decommissioned TCUs:\n%s", ref.jsonl)
+		}
+		for _, w := range []int{2, 4} {
+			cfg.HostWorkers = w
+			compareTelemetry(t, w, telemetryRun(t, prog, cfg, 300), ref)
+		}
+	})
+}
+
+// TestTelemetryCheckpointResume chops a run at a periodic checkpoint and
+// resumes it in a fresh system with its own sampler: the resumed segment's
+// samples must continue the absolute cycle axis, and the stitched stream
+// must be deterministic across host worker counts.
+func TestTelemetryCheckpointResume(t *testing.T) {
+	red, _, _ := workloads.Reduction(512)
+	prog, _, err := xmtgo.Build("reduction.c", red, xmtgo.DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(workers int) (string, int64) {
+		cfg := xmtgo.ConfigFPGA64()
+		cfg.HostWorkers = workers
+
+		// Uninterrupted reference to size the checkpoint interval.
+		refSys, err := xmtgo.NewSimulator(prog, cfg, &bytes.Buffer{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRes, err := refSys.Run(2_000_000)
+		if err != nil || !refRes.Halted {
+			t.Fatalf("reference run: err=%v", err)
+		}
+
+		var stream bytes.Buffer
+		var st *xmtgo.Checkpoint
+		var resumeCycle int64
+		for seg := 0; ; seg++ {
+			sys, err := xmtgo.NewSimulator(prog, cfg, &bytes.Buffer{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != nil {
+				if err := sys.RestoreState(st); err != nil {
+					t.Fatal(err)
+				}
+				resumeCycle = sys.StartCycle()
+			}
+			sys.CheckpointEvery(refRes.Cycles / 3)
+			smp := metrics.Attach(sys, 200)
+			res, err := sys.Run(2_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			smp.Finalize(res.Cycles, int64(res.Ticks), sys.Stats, sys.AliveTCUs())
+			for _, s := range smp.Samples() {
+				if s.Cycle <= resumeCycle && st != nil {
+					t.Fatalf("segment %d: sample cycle %d not past resume offset %d", seg, s.Cycle, resumeCycle)
+				}
+			}
+			if err := metrics.WriteJSONL(&stream, smp.Header(), smp.Samples()); err != nil {
+				t.Fatal(err)
+			}
+			if res.Checkpoint {
+				var buf bytes.Buffer
+				if err := xmtgo.SaveCheckpoint(&buf, sys.Capture()); err != nil {
+					t.Fatal(err)
+				}
+				if st, err = xmtgo.LoadCheckpoint(&buf); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if !res.Halted {
+				t.Fatalf("segment %d: did not halt", seg)
+			}
+			return stream.String(), resumeCycle
+		}
+	}
+
+	ref, resumeCycle := run(1)
+	if resumeCycle == 0 {
+		t.Fatal("run never resumed from a checkpoint")
+	}
+	for _, w := range []int{2, 4} {
+		got, _ := run(w)
+		if got != ref {
+			t.Errorf("workers=%d: stitched sample stream diverged (%d vs %d bytes)", w, len(got), len(ref))
+		}
+	}
+}
