@@ -31,6 +31,7 @@ func main() {
 		list    = flag.Bool("list", false, "list the registered checks and exit")
 		werror  = flag.Bool("Werror", false, "report warnings as errors")
 		compile = flag.Bool("compile", false, "also compile error-free files to surface IR and post-pass findings (dead-load, memmodel)")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as machine-readable JSON (schema xmt-diag/v1) on stdout")
 	)
 	flag.Parse()
 	if *list {
@@ -51,6 +52,7 @@ func main() {
 	}
 
 	findings := 0
+	var all []diag.Diagnostic
 	for _, file := range flag.Args() {
 		src, err := os.ReadFile(file)
 		if err != nil {
@@ -62,10 +64,19 @@ func main() {
 			ds = diag.Promote(ds)
 		}
 		for _, d := range ds {
-			fmt.Println(d)
+			if !*jsonOut {
+				fmt.Println(d)
+			}
 			if d.Severity >= diag.Warning {
 				findings++
 			}
+		}
+		all = append(all, ds...)
+	}
+	if *jsonOut {
+		if err := diag.WriteJSON(os.Stdout, all); err != nil {
+			fmt.Fprintln(os.Stderr, "xmtlint:", err)
+			os.Exit(2)
 		}
 	}
 	if findings > 0 {

@@ -60,6 +60,8 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
+		raceCheck = flag.Bool("race-check", false, "enable xmtsan, the deterministic dynamic race sanitizer (cycle mode; report on stderr)")
+
 		sampleCycles = flag.Int64("sample-cycles", -1, "interval-sampler period in cluster cycles (0 disables; -1 = keep the preset's sample_cycles)")
 		samplesOut   = flag.String("samples", "", "write the interval-sample time series here (.jsonl or .csv; needs a sampling interval)")
 		countersJSON = flag.String("counters-json", "", "write the machine-readable counter snapshot (xmt-counters/v1 JSON) to this file")
@@ -96,6 +98,9 @@ func main() {
 	}
 	if *sampleCycles >= 0 {
 		cfg.SampleCycles = *sampleCycles
+	}
+	if *raceCheck {
+		cfg.RaceCheck = true
 	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -143,6 +148,9 @@ func main() {
 		if *traceOut != "" || *counters || *profFlag {
 			fatal(fmt.Errorf("-trace, -counters and -profile need the cycle-accurate mode"))
 		}
+		if cfg.RaceCheck {
+			fatal(fmt.Errorf("-race-check needs the cycle-accurate mode"))
+		}
 		if *samplesOut != "" || *countersJSON != "" {
 			fatal(fmt.Errorf("-samples and -counters-json need the cycle-accurate mode"))
 		}
@@ -187,6 +195,11 @@ func main() {
 		smp.Finalize(r.Cycles, int64(r.Ticks), sys.Stats, sys.AliveTCUs())
 	}
 	fmt.Fprintf(os.Stderr, "\n=== %d cycles, %d instructions ===\n", r.Cycles, r.Instrs)
+	if det := sys.RaceDetector(); det != nil {
+		if err := det.WriteReport(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
 	if *showStats {
 		sys.Stats.Report(os.Stderr)
 	}

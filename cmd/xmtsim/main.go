@@ -77,6 +77,8 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
+		raceCheck = flag.Bool("race-check", false, "enable xmtsan, the deterministic dynamic race sanitizer (cycle mode; report on stderr)")
+
 		sampleCycles = flag.Int64("sample-cycles", -1, "interval-sampler period in cluster cycles (0 disables; -1 = keep the preset's sample_cycles)")
 		samplesOut   = flag.String("samples", "", "write the interval-sample time series here (.jsonl or .csv; needs a sampling interval)")
 		countersJSON = flag.String("counters-json", "", "write the machine-readable counter snapshot (xmt-counters/v1 JSON) to this file")
@@ -120,6 +122,9 @@ func main() {
 	}
 	if *sampleCycles >= 0 {
 		cfg.SampleCycles = *sampleCycles
+	}
+	if *raceCheck {
+		cfg.RaceCheck = true
 	}
 	if *describe {
 		fmt.Print(cfg.Describe())
@@ -183,6 +188,9 @@ func main() {
 	if *mode == "func" {
 		if traceJSON || *counters || *profile {
 			fatal(fmt.Errorf("-trace *.json, -counters and -profile need the cycle-accurate mode"))
+		}
+		if cfg.RaceCheck {
+			fatal(fmt.Errorf("-race-check needs the cycle-accurate mode"))
 		}
 		if *samplesOut != "" || *countersJSON != "" || *serveAddr != "" {
 			fatal(fmt.Errorf("-samples, -counters-json and -serve need the cycle-accurate mode"))
@@ -289,6 +297,11 @@ func main() {
 	}
 	if *showStats {
 		sys.Stats.Report(os.Stderr)
+	}
+	if det := sys.RaceDetector(); det != nil {
+		if err := det.WriteReport(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 	if *counters {
 		sys.Stats.ReportCounters(os.Stderr)

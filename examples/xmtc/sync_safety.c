@@ -1,0 +1,22 @@
+// Deliberately broken XMTC exercising the dataflow-based checks that ride
+// on the CFG engine: uninit-read (reaching definitions), dead-store
+// (liveness), and join-safety (reachability of the spawn's implicit
+// barrier). Every finding below is intentional; this file is a golden-test
+// fixture and a must-fail input for scripts/check.sh. The spin-wait
+// variant of join-safety lives in misuse.c.
+int done = 0;
+int A[64];
+
+int main() {
+    int seed;
+    int sum = 0;
+    sum = seed + 1;          // uninit-read: no path has assigned seed
+    print_int(sum);
+    int scratch = 0;
+    scratch = sum * 3;       // dead-store: no path ever reads this value
+    spawn(0, 63) {
+        while (1) { }        // join-safety: the join barrier is unreachable
+    }
+    print_int(done);
+    return 0;
+}

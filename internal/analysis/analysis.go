@@ -18,6 +18,7 @@ package analysis
 import (
 	"strings"
 
+	"xmtgo/internal/analysis/dataflow"
 	"xmtgo/internal/diag"
 	"xmtgo/internal/xmtc"
 )
@@ -31,6 +32,24 @@ type Unit struct {
 	Info *xmtc.Info
 	// Lines are the raw source lines, for suppression-comment scanning.
 	Lines []string
+
+	cfgs      []*dataflow.Graph
+	cfgsBuilt bool
+}
+
+// Graphs lazily builds and caches one dataflow CFG per function with a
+// body, in declaration order. The graphs tolerate unchecked ASTs (nil
+// symbols), so passes with NeedsInfo == false may use them too.
+func (u *Unit) Graphs() []*dataflow.Graph {
+	if !u.cfgsBuilt {
+		u.cfgsBuilt = true
+		for _, d := range u.File.Decls {
+			if fn, ok := d.(*xmtc.FuncDecl); ok && fn.Body != nil {
+				u.cfgs = append(u.cfgs, dataflow.Build(fn))
+			}
+		}
+	}
+	return u.cfgs
 }
 
 // Pass is one registered check.
@@ -71,6 +90,24 @@ func Passes() []Pass {
 			Doc:       "re-reads of and spin-waits on non-volatile shared globals that register allocation will fold",
 			NeedsInfo: true,
 			Run:       checkVolatile,
+		},
+		{
+			Name:      "uninit-read",
+			Doc:       "reads of scalar locals no reaching definition ever initialized",
+			NeedsInfo: true,
+			Run:       checkUninitRead,
+		},
+		{
+			Name:      "dead-store",
+			Doc:       "stores to scalar locals whose value no path ever reads",
+			NeedsInfo: true,
+			Run:       checkDeadStore,
+		},
+		{
+			Name:      "join-safety",
+			Doc:       "spawn regions whose virtual threads cannot all reach the join barrier, and spin-waits substituting for it",
+			NeedsInfo: true,
+			Run:       checkJoinSafety,
 		},
 	}
 }

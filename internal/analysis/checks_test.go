@@ -127,14 +127,13 @@ int main() {
 			want: []string{`possible data race on "A"`},
 		},
 		{
-			// FALSE POSITIVE (documented): both writes are guarded by the
-			// same $-condition, so only thread 0 ever executes them and
-			// they are sequenced within that thread. The detector does not
-			// compare guard predicates — it sees two thread-varying writes
-			// of one global with no prefix-sum between them.
-			name:          "same_guard_false_positive",
-			check:         "spawn-race",
-			falsePositive: true,
+			// Formerly a documented false positive: both writes are guarded
+			// by the same `$ == 0` condition, so only thread 0 ever executes
+			// them and they are sequenced within that thread. The CFG builder
+			// records the pinned thread id of `$ == k` guards, and two
+			// accesses pinned to the same id are suppressed.
+			name:  "same_guard_now_clean",
+			check: "spawn-race",
 			src: `
 int x = 0;
 int main() {
@@ -144,7 +143,77 @@ int main() {
     }
     return 0;
 }`,
+			want: nil,
+		},
+		{
+			name:  "different_pins_still_race",
+			check: "spawn-race",
+			src: `
+int x = 0;
+int main() {
+    spawn(0, 7) {
+        if ($ == 0) x = 1;
+        if ($ == 1) x = 2;
+    }
+    return 0;
+}`,
 			want: []string{`possible data race on "x"`},
+		},
+		{
+			name:  "single_thread_region_clean",
+			check: "spawn-race",
+			src: `
+int x = 0;
+int main() {
+    spawn(0, 0) {
+        x = $;
+        x = x + 1;
+    }
+    return 0;
+}`,
+			want: nil, // spawn(0, 0): one virtual thread cannot race
+		},
+		{
+			name:  "affine_disjoint_strides",
+			check: "spawn-race",
+			src: `
+int A[16];
+int main() {
+    spawn(0, 7) {
+        A[2 * $] = 1;
+        A[2 * $ + 1] = A[2 * $];
+    }
+    return 0;
+}`,
+			want: nil, // 2$ vs 2$+1: different parity, never the same element
+		},
+		{
+			name:  "affine_chased_through_local",
+			check: "spawn-race",
+			src: `
+int A[16];
+int main() {
+    spawn(0, 7) {
+        int i = $ + 8;
+        A[i] = A[$];
+    }
+    return 0;
+}`,
+			want: nil, // i = $+8 > 7 >= any other thread's $ under spawn(0,7)
+		},
+		{
+			name:  "affine_overlapping_strides_race",
+			check: "spawn-race",
+			src: `
+int A[16];
+int main() {
+    spawn(0, 7) {
+        A[$] = 1;
+        A[$ + 1] = 2;
+    }
+    return 0;
+}`,
+			want: []string{`possible data race on "A"`}, // thread t and t+1 collide
 		},
 	}
 	for _, c := range cases {
@@ -230,13 +299,11 @@ int main() {
 			want: []string{`ps increment "inc" must be declared inside the spawn block`},
 		},
 		{
-			// FALSE POSITIVE (documented): with a single virtual thread
-			// there is no second writer, so the shared capture cannot
-			// race. The detector reasons per-access, not per-bound; the
-			// suppress.c fixture shows how to acknowledge this shape.
-			name:          "single_thread_false_positive",
-			check:         "spawn-dataflow",
-			falsePositive: true,
+			// Formerly a documented false positive: with a single virtual
+			// thread there is no second writer, so the shared capture cannot
+			// race. The CFG's constant spawn bounds prove it.
+			name:  "single_thread_capture_now_clean",
+			check: "spawn-dataflow",
 			src: `
 int main() {
     int last = 0;
@@ -246,7 +313,22 @@ int main() {
     print_int(last);
     return 0;
 }`,
-			want: []string{`serial-scope local "last" is assigned inside the spawn`},
+			want: nil,
+		},
+		{
+			name:  "single_thread_ps_increment_still_rejected",
+			check: "spawn-dataflow",
+			src: `
+int total = 0;
+int main() {
+    int inc = 1;
+    spawn(0, 0) {
+        ps(inc, total);
+    }
+    return 0;
+}`,
+			// The register contract is broken regardless of thread count.
+			want: []string{`ps increment "inc" must be declared inside the spawn block`},
 		},
 	}
 	for _, c := range cases {
@@ -450,6 +532,248 @@ int main() {
     return 0;
 }`,
 			want: []string{`"cnt" is re-read`},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { runCase(t, c) })
+	}
+}
+
+func TestUninitRead(t *testing.T) {
+	cases := []lintCase{
+		{
+			name:  "read_before_any_assignment",
+			check: "uninit-read",
+			src: `
+int main() {
+    int x;
+    int y = x + 1;
+    print_int(y);
+    return 0;
+}`,
+			want: []string{`"x" is read here but no path from the function entry has assigned it`},
+		},
+		{
+			name:  "assigned_on_all_paths_ok",
+			check: "uninit-read",
+			src: `
+int n = 3;
+int main() {
+    int x;
+    if (n > 0) { x = 1; } else { x = 2; }
+    print_int(x);
+    return 0;
+}`,
+			want: nil,
+		},
+		{
+			// Deliberately quiet: one path assigns, so the read is only
+			// *maybe* uninitialized. The check demands that every reaching
+			// definition is the bare declaration before it speaks up.
+			name:  "assigned_on_some_paths_stays_quiet",
+			check: "uninit-read",
+			src: `
+int n = 3;
+int main() {
+    int x;
+    if (n > 0) { x = 1; }
+    print_int(x);
+    return 0;
+}`,
+			want: nil,
+		},
+		{
+			name:  "garbage_psm_increment",
+			check: "uninit-read",
+			src: `
+int total = 0;
+int main() {
+    spawn(0, 7) {
+        int t;
+        psm(t, total);
+    }
+    return 0;
+}`,
+			// psm reads its increment before overwriting it with the old base.
+			want: []string{`"t" is read here but no path from the function entry has assigned it`},
+		},
+		{
+			name:  "unreachable_read_ignored",
+			check: "uninit-read",
+			src: `
+int main() {
+    int x;
+    return 0;
+    print_int(x);
+    return 1;
+}`,
+			want: nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { runCase(t, c) })
+	}
+}
+
+func TestDeadStore(t *testing.T) {
+	cases := []lintCase{
+		{
+			name:  "overwritten_before_read",
+			check: "dead-store",
+			src: `
+int main() {
+    int x;
+    x = 1;
+    x = 2;
+    print_int(x);
+    return 0;
+}`,
+			want: []string{`value stored to "x" is never read`},
+		},
+		{
+			name:  "final_store_never_read",
+			check: "dead-store",
+			src: `
+int n = 3;
+int main() {
+    int x = 0;
+    x = n + 1;
+    return 0;
+}`,
+			want: []string{`value stored to "x" is never read`},
+		},
+		{
+			name:  "loop_carried_store_is_live",
+			check: "dead-store",
+			src: `
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        s = s + i;
+    }
+    print_int(s);
+    return 0;
+}`,
+			want: nil, // i = i + 1 and s = s + i are read by the next iteration
+		},
+		{
+			name:  "spawn_carried_store_is_live",
+			check: "dead-store",
+			src: `
+int A[8];
+int main() {
+    spawn(0, 7) {
+        int mine = A[$];
+        A[$] = mine + 1;
+    }
+    return 0;
+}`,
+			want: nil,
+		},
+		{
+			name:  "self_assignment_idiom_ok",
+			check: "dead-store",
+			src: `
+int main() {
+    int unused = 0;
+    unused = unused;
+    return 0;
+}`,
+			want: nil, // the C idiom for an intentionally unused variable
+		},
+		{
+			name:  "branch_read_keeps_store_alive",
+			check: "dead-store",
+			src: `
+int n = 3;
+int main() {
+    int x = 0;
+    x = 7;
+    if (n > 0) { print_int(x); }
+    return 0;
+}`,
+			want: nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { runCase(t, c) })
+	}
+}
+
+func TestJoinSafety(t *testing.T) {
+	cases := []lintCase{
+		{
+			name:  "infinite_loop_never_joins",
+			check: "join-safety",
+			src: `
+int A[8];
+int main() {
+    spawn(0, 7) {
+        while (1) { A[$] = A[$] + 1; }
+    }
+    return 0;
+}`,
+			want: []string{"can never arrive at the spawn's join barrier"},
+		},
+		{
+			name:  "breakable_loop_joins",
+			check: "join-safety",
+			src: `
+int A[8];
+int main() {
+    spawn(0, 7) {
+        while (1) {
+            if (A[$] > 0) { break; }
+            A[$] = A[$] + 1;
+        }
+    }
+    return 0;
+}`,
+			want: nil,
+		},
+		{
+			name:  "spin_wait_as_barrier",
+			check: "join-safety",
+			src: `
+int flag = 0;
+int A[8];
+int main() {
+    spawn(0, 7) {
+        if ($ == 0) { flag = 1; }
+        while (flag == 0) { }
+        A[$] = 1;
+    }
+    return 0;
+}`,
+			want: []string{`spin-wait on "flag" stands in for the spawn's join barrier`},
+		},
+		{
+			name:  "psm_updated_flag_ok",
+			check: "join-safety",
+			src: `
+int done = 0;
+int A[8];
+int main() {
+    spawn(0, 7) {
+        int one = 1;
+        A[$] = $;
+        psm(one, done);
+        while (done < 8) { }
+    }
+    return 0;
+}`,
+			want: nil, // the prefix-sum orders the flag updates
+		},
+		{
+			name:  "serial_infinite_loop_out_of_scope",
+			check: "join-safety",
+			src: `
+int main() {
+    while (1) { }
+    return 0;
+}`,
+			want: nil, // only spawn regions owe the join barrier
 		},
 	}
 	for _, c := range cases {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 
+	"xmtgo/internal/analysis/dataflow"
 	"xmtgo/internal/diag"
 	"xmtgo/internal/xmtc"
 )
@@ -14,125 +15,59 @@ import (
 //   - return, and break/continue whose target loop or switch lies outside
 //     the spawn, would transfer control out of parallel code, which has
 //     no meaning on the TCUs (errors; these double the sema rules so
-//     xmtlint reports them even on sources sema rejects);
+//     xmtlint reports them even on sources sema rejects). The CFG builder
+//     records these as region escapes, so the check is a readout;
 //   - a serial-scope local written inside the spawn is captured by
 //     reference by the outlining pass and therefore shared — unsynchronized
 //     — by every virtual thread; the classic broken pattern is a serial
 //     accumulator updated with += instead of ps/psm (warning; needs
-//     resolved symbols, so it is skipped when sema failed).
+//     resolved symbols, so it is skipped when sema failed). A spawn whose
+//     constant bounds prove a single virtual thread (spawn(k, k)) has no
+//     second writer and is not warned about — though a serial-scope ps/psm
+//     increment stays an error, because the register contract is broken
+//     regardless of thread count.
 func checkSpawnDataflow(u *Unit) []diag.Diagnostic {
 	var ds []diag.Diagnostic
-	for _, d := range u.File.Decls {
-		fd, ok := d.(*xmtc.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
+	for _, g := range u.Graphs() {
+		for _, reg := range g.Regions {
+			for _, esc := range reg.Escapes {
+				ds = append(ds, escapeDiag(esc))
+			}
+			ds = append(ds, captureDiags(reg)...)
 		}
-		w := &dataflowWalker{}
-		w.stmt(fd.Body)
-		ds = append(ds, w.ds...)
 	}
 	return ds
 }
 
-type dataflowWalker struct {
-	ds         []diag.Diagnostic
-	inSpawn    bool
-	loopDepth  int // loops opened inside the current spawn
-	breakDepth int // loops or switches opened inside the current spawn
-}
-
-func (w *dataflowWalker) report(sev diag.Severity, pos xmtc.Pos, format string, args ...any) {
-	w.ds = append(w.ds, diag.Diagnostic{
+func escapeDiag(esc dataflow.Escape) diag.Diagnostic {
+	var msg string
+	switch esc.Kind {
+	case dataflow.EscReturn:
+		msg = "return crosses the spawn boundary: a virtual thread cannot leave parallel code (the outlined spawn function has no caller frame to return to, paper Fig. 8)"
+	case dataflow.EscBreak:
+		msg = "break crosses the spawn boundary: the enclosing loop or switch is outside the parallel region"
+	default:
+		msg = "continue crosses the spawn boundary: the enclosing loop is outside the parallel region"
+	}
+	return diag.Diagnostic{
 		Check:    "spawn-dataflow",
-		Severity: sev,
-		Pos:      pos.Diag(),
-		Msg:      fmt.Sprintf(format, args...),
-	})
-}
-
-func (w *dataflowWalker) stmt(s xmtc.Stmt) {
-	switch n := s.(type) {
-	case *xmtc.BlockStmt:
-		for _, st := range n.List {
-			w.stmt(st)
-		}
-	case *xmtc.IfStmt:
-		w.stmt(n.Then)
-		if n.Else != nil {
-			w.stmt(n.Else)
-		}
-	case *xmtc.WhileStmt:
-		w.loop(n.Body)
-	case *xmtc.DoStmt:
-		w.loop(n.Body)
-	case *xmtc.ForStmt:
-		if n.Init != nil {
-			w.stmt(n.Init)
-		}
-		w.loop(n.Body)
-	case *xmtc.SwitchStmt:
-		if w.inSpawn {
-			w.breakDepth++
-		}
-		for _, cl := range n.Cases {
-			for _, st := range cl.Body {
-				w.stmt(st)
-			}
-		}
-		if w.inSpawn {
-			w.breakDepth--
-		}
-	case *xmtc.ReturnStmt:
-		if w.inSpawn {
-			w.report(diag.Error, n.Pos,
-				"return crosses the spawn boundary: a virtual thread cannot leave parallel code (the outlined spawn function has no caller frame to return to, paper Fig. 8)")
-		}
-	case *xmtc.BreakStmt:
-		if w.inSpawn && w.breakDepth == 0 {
-			w.report(diag.Error, n.Pos,
-				"break crosses the spawn boundary: the enclosing loop or switch is outside the parallel region")
-		}
-	case *xmtc.ContinueStmt:
-		if w.inSpawn && w.loopDepth == 0 {
-			w.report(diag.Error, n.Pos,
-				"continue crosses the spawn boundary: the enclosing loop is outside the parallel region")
-		}
-	case *xmtc.SpawnStmt:
-		if w.inSpawn {
-			// Nested spawn: serialized, stays in the same region.
-			w.stmt(n.Body)
-			return
-		}
-		w.inSpawn = true
-		savedLoop, savedBreak := w.loopDepth, w.breakDepth
-		w.loopDepth, w.breakDepth = 0, 0
-		w.checkCaptures(n)
-		w.stmt(n.Body)
-		w.loopDepth, w.breakDepth = savedLoop, savedBreak
-		w.inSpawn = false
+		Severity: diag.Error,
+		Pos:      esc.Pos.Diag(),
+		Msg:      msg,
 	}
 }
 
-func (w *dataflowWalker) loop(body xmtc.Stmt) {
-	if w.inSpawn {
-		w.loopDepth++
-		w.breakDepth++
-	}
-	w.stmt(body)
-	if w.inSpawn {
-		w.loopDepth--
-		w.breakDepth--
-	}
-}
-
-// checkCaptures flags serial-scope locals mutated inside the spawn body.
+// captureDiags flags serial-scope locals mutated inside the spawn body.
 // After outlining they are captured by reference, so every virtual thread
 // writes the same storage with no ordering — almost always a racy
 // accumulator that should be a ps/psm instead. Requires resolved symbols;
 // silently does nothing before sema (Sym is nil).
-func (w *dataflowWalker) checkCaptures(sp *xmtc.SpawnStmt) {
+func captureDiags(reg *dataflow.Region) []diag.Diagnostic {
+	sp := reg.Spawn
+	single := reg.SingleThread()
 	private := declaredIn(sp.Body)
 	reported := make(map[*xmtc.Symbol]bool)
+	var ds []diag.Diagnostic
 	serialLocal := func(sym *xmtc.Symbol) bool {
 		if sym == nil || private[sym] || reported[sym] {
 			return false
@@ -141,8 +76,16 @@ func (w *dataflowWalker) checkCaptures(sp *xmtc.SpawnStmt) {
 	}
 	flag := func(sym *xmtc.Symbol, pos xmtc.Pos, how string) {
 		reported[sym] = true
-		w.report(diag.Warning, pos,
-			"serial-scope local %q is %s inside the spawn: outlining captures it by reference, so every virtual thread shares one unsynchronized copy (paper Fig. 8); declare it inside the spawn or combine per-thread results with ps/psm", sym.Name, how)
+		if single {
+			return // one virtual thread: the shared capture cannot race
+		}
+		ds = append(ds, diag.Diagnostic{
+			Check:    "spawn-dataflow",
+			Severity: diag.Warning,
+			Pos:      pos.Diag(),
+			Msg: fmt.Sprintf("serial-scope local %q is %s inside the spawn: outlining captures it by reference, so every virtual thread shares one unsynchronized copy (paper Fig. 8); declare it inside the spawn or combine per-thread results with ps/psm",
+				sym.Name, how),
+		})
 	}
 	eachStmt(sp.Body, func(s xmtc.Stmt) {
 		stmtExprs(s, func(root xmtc.Expr) {
@@ -163,12 +106,18 @@ func (w *dataflowWalker) checkCaptures(sp *xmtc.SpawnStmt) {
 					if _, ok := isSyncCall(n); ok && len(n.Args) > 0 {
 						if id, ok := n.Args[0].(*xmtc.Ident); ok && serialLocal(id.Sym) {
 							reported[id.Sym] = true
-							w.report(diag.Error, n.Pos,
-								"%s increment %q must be declared inside the spawn block: a by-reference capture would break the primitive's register contract", n.Name, id.Sym.Name)
+							ds = append(ds, diag.Diagnostic{
+								Check:    "spawn-dataflow",
+								Severity: diag.Error,
+								Pos:      n.Pos.Diag(),
+								Msg: fmt.Sprintf("%s increment %q must be declared inside the spawn block: a by-reference capture would break the primitive's register contract",
+									n.Name, id.Sym.Name),
+							})
 						}
 					}
 				}
 			})
 		})
 	})
+	return ds
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 
+	"xmtgo/internal/analysis/dataflow"
 	"xmtgo/internal/diag"
 	"xmtgo/internal/xmtc"
 )
@@ -17,62 +18,127 @@ import (
 // Fig. 7 pattern — releasing writes with ps/psm and acquiring reads after
 // one — restores the partial order and is reported clean.
 //
-// The model is deliberately simple and errs quiet:
+// The check runs over the dataflow CFG (the reference streams of a spawn
+// region's blocks reproduce the legacy traversal order exactly), which errs
+// quiet in the same deliberate ways as before:
 //
 //   - only accesses whose base is a global (or a global array/struct
 //     element) are tracked; pointer dereferences are ignored;
-//   - a pair is racy only if at least one side is thread-varying —
-//     its index or stored value mentions $, or it executes under a
-//     $-dependent condition — since uniform accesses write the same
-//     value from every thread;
-//   - accesses to the same array element through a syntactically
-//     identical $-dependent index (A[$] vs A[$]) are per-thread private
-//     and never conflict; distinct constant indices never conflict;
+//   - a pair is racy only if at least one side is thread-varying — its
+//     index or stored value mentions $, it executes under a $-dependent
+//     condition, or its index chases (through unique reaching definitions
+//     of region-private locals) to a value loaded from shared data at a
+//     $-dependent position: u = esrc[$]; label[u] = ... can collide for
+//     ordinary inputs. Pure index arithmetic of $ (the FFT butterfly
+//     partition) deliberately stays quiet — see Reach.TidDependent;
 //   - a ps/psm earlier in traversal order than access R and later than
 //     access W orders the pair (release/acquire); this over-approximates
 //     across sibling branches, a deliberate false-negative trade;
 //   - a single access site never races with itself.
+//
+// Reaching definitions buy three suppressions the AST walk could not see:
+//
+//   - spawn(k, k) starts exactly one virtual thread, so nothing in the
+//     region can race;
+//   - two accesses both pinned to the same thread by `$ == k` guards are
+//     sequenced within that thread;
+//   - array indices that resolve (through unique reaching definitions of
+//     region-private locals) to affine forms a*$+c proven disjoint across
+//     distinct thread ids — A[$] vs A[$], A[2*$] vs A[2*$+1], A[$] vs A[9]
+//     under spawn(0, 7) — cannot alias.
 func checkSpawnRace(u *Unit) []diag.Diagnostic {
 	var ds []diag.Diagnostic
-	for _, site := range spawnSites(u.File) {
-		ds = append(ds, raceScanSpawn(site.sp)...)
+	for _, g := range u.Graphs() {
+		if len(g.Regions) == 0 {
+			continue
+		}
+		reach := g.ReachingDefs()
+		for _, reg := range g.Regions {
+			ds = append(ds, raceScanRegion(reach, reg)...)
+		}
 	}
 	return ds
 }
 
-// raceAccess is one tracked shared-memory access inside a spawn body.
+// raceAccess is one tracked shared-memory access inside a spawn region.
 type raceAccess struct {
 	sym     *xmtc.Symbol
 	index   xmtc.Expr // innermost array index, nil for scalars
 	write   bool
 	tidDep  bool
+	pinned  bool  // guarded by `$ == pinVal`
+	pinVal  int32 // the pinning thread id
 	pos     xmtc.Pos
 	text    string // rendered access, for messages
 	syncsAt int    // prefix-sums seen before this access, traversal order
+	blk     *dataflow.Block
+	refIdx  int
 }
 
-// raceScanner walks one spawn body collecting accesses and sync points.
-type raceScanner struct {
-	accesses []raceAccess
-	syncs    int
-	guardTid int // depth of enclosing $-dependent conditions
-}
+func raceScanRegion(reach *dataflow.Reach, reg *dataflow.Region) []diag.Diagnostic {
+	if reg.SingleThread() {
+		return nil // spawn(k, k): one virtual thread cannot race with itself
+	}
+	var accs []raceAccess
+	for _, blk := range reg.Blocks {
+		for i := range blk.Refs {
+			ref := &blk.Refs[i]
+			if ref.Sym == nil || ref.Sym.Kind != xmtc.SymGlobal {
+				continue
+			}
+			switch ref.Kind {
+			case dataflow.RefUse:
+				// A compound assignment also reads the location, but the
+				// write access already conflicts with everything the read
+				// would.
+				if ref.Compound {
+					continue
+				}
+			case dataflow.RefDef:
+			default:
+				continue
+			}
+			accs = append(accs, raceAccess{
+				sym:   ref.Sym,
+				index: ref.Index,
+				write: ref.Kind == dataflow.RefDef,
+				// Thread-varying directly ($ in the value, the guard, or the
+				// index) or through data routing: an index that chases to a
+				// shared-data load at a $-dependent position (u = esrc[$];
+				// label[u] = ...) varies per thread and can collide across
+				// threads for ordinary inputs.
+				tidDep: ref.ValueTid || ref.GuardTid ||
+					(ref.Index != nil && (containsTid(ref.Index) ||
+						reach.TidDependent(blk, i, ref.Index))),
+				pinned: ref.Pinned,
+				pinVal: ref.PinVal,
+				pos:    ref.Pos,
+				text:   ref.Text,
+				// The legacy per-region counter: syncs seen since the spawn.
+				syncsAt: ref.SyncIdx - reg.SyncStart,
+				blk:     blk,
+				refIdx:  i,
+			})
+		}
+	}
 
-func raceScanSpawn(sp *xmtc.SpawnStmt) []diag.Diagnostic {
-	sc := &raceScanner{}
-	sc.stmt(sp.Body)
-	total := sc.syncs
-
+	total := reg.Syncs()
 	type pairKey struct {
 		a, b xmtc.Pos
 	}
 	reported := make(map[pairKey]bool)
 	var ds []diag.Diagnostic
-	for i := 0; i < len(sc.accesses); i++ {
-		for j := i + 1; j < len(sc.accesses); j++ {
-			a, b := sc.accesses[i], sc.accesses[j]
+	for i := 0; i < len(accs); i++ {
+		for j := i + 1; j < len(accs); j++ {
+			a, b := accs[i], accs[j]
 			if !racePair(a, b, total) {
 				continue
+			}
+			if a.pinned && b.pinned && a.pinVal == b.pinVal {
+				continue // both run on the same pinned thread: program order
+			}
+			if disjointIndexes(reach, reg, a, b) {
+				continue // provably different elements on different threads
 			}
 			key := pairKey{a.pos, b.pos}
 			if reported[key] {
@@ -116,7 +182,8 @@ func racePair(a, b raceAccess, totalSyncs int) bool {
 	if a.pos == b.pos {
 		return false // one site racing with itself is out of scope
 	}
-	// Array element aliasing.
+	// Array element aliasing, on syntax alone (the affine suppression in
+	// the caller subsumes these, but they need no reaching definitions).
 	if a.index != nil && b.index != nil {
 		ai, aok := xmtc.FoldConst(a.index)
 		bi, bok := xmtc.FoldConst(b.index)
@@ -141,178 +208,20 @@ func racePair(a, b raceAccess, totalSyncs int) bool {
 	return true
 }
 
-func (sc *raceScanner) stmt(s xmtc.Stmt) {
-	switch n := s.(type) {
-	case *xmtc.BlockStmt:
-		for _, st := range n.List {
-			sc.stmt(st)
-		}
-	case *xmtc.DeclStmt:
-		if n.Decl.Init != nil {
-			sc.expr(n.Decl.Init, false)
-		}
-		for _, e := range n.Decl.InitList {
-			sc.expr(e, false)
-		}
-	case *xmtc.ExprStmt:
-		sc.expr(n.X, false)
-	case *xmtc.IfStmt:
-		sc.expr(n.Cond, false)
-		sc.guarded(n.Cond, func() {
-			sc.stmt(n.Then)
-			if n.Else != nil {
-				sc.stmt(n.Else)
-			}
-		})
-	case *xmtc.WhileStmt:
-		sc.expr(n.Cond, false)
-		sc.guarded(n.Cond, func() { sc.stmt(n.Body) })
-	case *xmtc.DoStmt:
-		sc.guarded(n.Cond, func() { sc.stmt(n.Body) })
-		sc.expr(n.Cond, false)
-	case *xmtc.ForStmt:
-		if n.Init != nil {
-			sc.stmt(n.Init)
-		}
-		if n.Cond != nil {
-			sc.expr(n.Cond, false)
-		}
-		sc.guarded(n.Cond, func() {
-			sc.stmt(n.Body)
-			if n.Post != nil {
-				sc.expr(n.Post, false)
-			}
-		})
-	case *xmtc.SwitchStmt:
-		sc.expr(n.Tag, false)
-		sc.guarded(n.Tag, func() {
-			for _, cl := range n.Cases {
-				for _, st := range cl.Body {
-					sc.stmt(st)
-				}
-			}
-		})
-	case *xmtc.ReturnStmt:
-		if n.X != nil {
-			sc.expr(n.X, false)
-		}
-	case *xmtc.SpawnStmt: // nested spawn: serialized, same region
-		sc.expr(n.Low, false)
-		sc.expr(n.High, false)
-		sc.stmt(n.Body)
+// disjointIndexes suppresses an array-element pair when both indices
+// resolve to affine functions of $ that can never collide across two
+// distinct virtual threads of the region.
+func disjointIndexes(reach *dataflow.Reach, reg *dataflow.Region, a, b raceAccess) bool {
+	if a.index == nil || b.index == nil {
+		return false
 	}
-}
-
-// guarded runs body with the $-dependence of cond pushed onto the guard
-// stack.
-func (sc *raceScanner) guarded(cond xmtc.Expr, body func()) {
-	tid := cond != nil && containsTid(cond)
-	if tid {
-		sc.guardTid++
+	a1, c1, ok := reach.AffineIndex(a.blk, a.refIdx, a.index)
+	if !ok {
+		return false
 	}
-	body()
-	if tid {
-		sc.guardTid--
+	a2, c2, ok := reach.AffineIndex(b.blk, b.refIdx, b.index)
+	if !ok {
+		return false
 	}
-}
-
-// expr records the accesses of one expression tree. write applies to the
-// root access path only.
-func (sc *raceScanner) expr(e xmtc.Expr, write bool) {
-	if e == nil {
-		return
-	}
-	switch n := e.(type) {
-	case *xmtc.Assign:
-		// A compound assignment also reads the location, but the write
-		// access already conflicts with everything the read would.
-		sc.access(n.LHS, true, containsTid(n.RHS))
-		sc.indexReads(n.LHS)
-		sc.expr(n.RHS, false)
-	case *xmtc.IncDec:
-		sc.access(n.X, true, false)
-		sc.indexReads(n.X)
-	case *xmtc.Call:
-		if _, ok := isSyncCall(e); ok {
-			// The prefix-sum itself is an ordering operation: its base is
-			// updated atomically by the ps unit or the cache modules, so
-			// it is not a plain access. Index sub-expressions of the base
-			// are ordinary reads.
-			sc.syncs++
-			sc.indexReads(n.Args[1])
-			return
-		}
-		for _, a := range n.Args {
-			sc.expr(a, false)
-		}
-	case *xmtc.Unary:
-		if n.Op == xmtc.AND {
-			// Address taken: escapes the analysis, ignore (documented).
-			return
-		}
-		sc.expr(n.X, false)
-	case *xmtc.Binary:
-		sc.expr(n.X, false)
-		sc.expr(n.Y, false)
-	case *xmtc.Cond:
-		sc.expr(n.C, false)
-		sc.guarded(n.C, func() {
-			sc.expr(n.T, false)
-			sc.expr(n.F, false)
-		})
-	case *xmtc.Cast:
-		sc.expr(n.X, false)
-	case *xmtc.SizeofExpr:
-		// Operand is not evaluated.
-	case *xmtc.Ident, *xmtc.Index, *xmtc.Member:
-		sc.access(e, write, false)
-		sc.indexReads(e)
-	}
-}
-
-// access records a read or write of an lvalue path if its base is a
-// global symbol.
-func (sc *raceScanner) access(e xmtc.Expr, write, valueTid bool) {
-	sym := rootSym(e)
-	if sym == nil || sym.Kind != xmtc.SymGlobal {
-		return
-	}
-	var index xmtc.Expr
-	if ix, ok := innerIndex(e); ok {
-		index = ix
-	}
-	tid := valueTid || sc.guardTid > 0 || (index != nil && containsTid(index))
-	sc.accesses = append(sc.accesses, raceAccess{
-		sym:     sym,
-		index:   index,
-		write:   write,
-		tidDep:  tid,
-		pos:     e.GetPos(),
-		text:    xmtc.RenderExpr(e),
-		syncsAt: sc.syncs,
-	})
-}
-
-// indexReads records the reads performed by the index sub-expressions of
-// an access path (the b in hist[b].count).
-func (sc *raceScanner) indexReads(e xmtc.Expr) {
-	switch n := e.(type) {
-	case *xmtc.Index:
-		sc.expr(n.I, false)
-		sc.indexReads(n.X)
-	case *xmtc.Member:
-		sc.indexReads(n.X)
-	}
-}
-
-// innerIndex returns the innermost array index of an access path, e.g.
-// the i of A[i] or hist[i].count.
-func innerIndex(e xmtc.Expr) (xmtc.Expr, bool) {
-	switch n := e.(type) {
-	case *xmtc.Index:
-		return n.I, true
-	case *xmtc.Member:
-		return innerIndex(n.X)
-	}
-	return nil, false
+	return dataflow.Disjoint(a1, c1, a2, c2, reg)
 }

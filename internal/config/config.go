@@ -109,6 +109,12 @@ type Config struct {
 	// resulting time series is bit-identical for any HostWorkers value.
 	SampleCycles int64
 
+	// RaceCheck enables xmtsan, the deterministic happens-before race
+	// sanitizer in the cycle simulator (docs/ANALYZER.md). Reports are
+	// byte-identical for any HostWorkers value; when off, the simulation is
+	// untouched (no shadow state is allocated).
+	RaceCheck bool
+
 	// Power model parameters (nJ per event; lumped, see internal/sim/power).
 	EnergyALU             float64
 	EnergyMDU             float64
@@ -372,6 +378,17 @@ var fieldSetters = map[string]func(*Config, string) error{
 	},
 	"watchdog_cycles": int64Field(func(c *Config) *int64 { return &c.WatchdogCycles }),
 	"sample_cycles":   int64Field(func(c *Config) *int64 { return &c.SampleCycles }),
+	"race_check": func(c *Config, v string) error {
+		switch strings.ToLower(v) {
+		case "1", "true", "on", "yes":
+			c.RaceCheck = true
+		case "0", "false", "off", "no":
+			c.RaceCheck = false
+		default:
+			return fmt.Errorf("want a boolean, got %q", v)
+		}
+		return nil
+	},
 }
 
 func intField(get func(*Config) *int) func(*Config, string) error {
@@ -462,5 +479,6 @@ func (c *Config) Describe() string {
 	fmt.Fprintf(&b, "host_workers=%d (0 = GOMAXPROCS; results identical for any value)\n", c.HostWorkers)
 	fmt.Fprintf(&b, "fault_seed=%d fault_plan=%q watchdog_cycles=%d\n", c.FaultSeed, c.FaultPlan, c.WatchdogCycles)
 	fmt.Fprintf(&b, "sample_cycles=%d (0 = interval sampling off)\n", c.SampleCycles)
+	fmt.Fprintf(&b, "race_check=%v (xmtsan dynamic race sanitizer)\n", c.RaceCheck)
 	return b.String()
 }

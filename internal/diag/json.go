@@ -1,0 +1,64 @@
+package diag
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONSchema versions the machine-readable diagnostic stream (xmtlint
+// -json). Bump it whenever a field is renamed, removed, or changes
+// meaning; adding fields is backward compatible and does not require a
+// bump.
+const JSONSchema = "xmt-diag/v1"
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Schema      string           `json:"schema"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+// jsonDiagnostic is the stable machine-readable form of one Diagnostic.
+type jsonDiagnostic struct {
+	File     string        `json:"file"`
+	Line     int           `json:"line"`
+	Col      int           `json:"col,omitempty"`
+	Severity string        `json:"severity"`
+	Check    string        `json:"check,omitempty"`
+	Message  string        `json:"message"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+// jsonRelated is one related position.
+type jsonRelated struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col,omitempty"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as the xmt-diag/v1 JSON document, indented
+// with a trailing newline. An empty slice produces an explicit empty
+// diagnostics array (never null), so consumers can rely on the shape. The
+// output order is the slice order — sort with Sort first for stable bytes.
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	rep := jsonReport{Schema: JSONSchema, Diagnostics: make([]jsonDiagnostic, 0, len(ds))}
+	for _, d := range ds {
+		jd := jsonDiagnostic{
+			File: d.Pos.File, Line: d.Pos.Line, Col: d.Pos.Col,
+			Severity: d.Severity.String(), Check: d.Check, Message: d.Msg,
+		}
+		for _, r := range d.Related {
+			jd.Related = append(jd.Related, jsonRelated{
+				File: r.Pos.File, Line: r.Pos.Line, Col: r.Pos.Col, Message: r.Msg,
+			})
+		}
+		rep.Diagnostics = append(rep.Diagnostics, jd)
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

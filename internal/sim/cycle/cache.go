@@ -86,6 +86,22 @@ func (cm *CacheModule) Tick(cycle int64, now engine.Time) bool {
 		case PkgPrefetch:
 			p.Line, p.Err = cm.readLine(p.LineAddr)
 		}
+		// xmtsan: service order is memory order, and the cache macro-actor
+		// is serial, so checking here is deterministic. Master packages
+		// (Cluster < 0) are serial-phase accesses the detector ignores by
+		// construction; faulted accesses never commit. A prefetch fill is
+		// not a program access — the later buffer hit is the read.
+		if cm.sys.race != nil && p.Cluster >= 0 && p.Err == nil {
+			tcu := p.Cluster*cm.sys.Cfg.TCUsPerCluster + p.TCU
+			switch p.Kind {
+			case PkgLoad:
+				cm.sys.raceRead(tcu, p.Addr, p.In.Line, now)
+			case PkgStore, PkgStoreNB:
+				cm.sys.raceWrite(tcu, p.Addr, p.In.Line, now)
+			case PkgPsm:
+				cm.sys.race.SyncAccess(tcu, p.Addr, p.In.Line)
+			}
+		}
 	}
 
 	cfg := cm.sys.Cfg

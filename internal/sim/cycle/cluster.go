@@ -173,6 +173,8 @@ func (c *Cluster) Commit(now engine.Time) {
 			s.decommissionTCU(r.t, true, true, now)
 		case obFail:
 			s.fail(r.err)
+		case obRace:
+			s.raceRead(r.t.id, uint32(r.n), r.in.Line, now)
 		}
 		*r = obRec{}
 	}

@@ -29,6 +29,7 @@ const (
 	obDone                  // report this TCU done to the spawn unit
 	obDecomm                // decommission this TCU (permanent fault at a safe point)
 	obFail                  // abort the simulation with err
+	obRace                  // record a locally-served read with the race sanitizer
 )
 
 type obRec struct {
@@ -95,4 +96,12 @@ func (o *outbox) decomm(t *TCU) {
 
 func (o *outbox) fail(err error) {
 	o.recs = append(o.recs, obRec{kind: obFail, err: err})
+}
+
+// race defers a race-sanitizer read record for a load served entirely
+// inside the cluster (prefetch-buffer hit, read-only cache hit) during the
+// parallel compute phase. The address rides in n; the source line comes
+// from in.Line at commit. Only emitted when race checking is enabled.
+func (o *outbox) race(t *TCU, addr uint32, in isa.Instr) {
+	o.recs = append(o.recs, obRec{kind: obRace, t: t, in: in, n: uint64(addr)})
 }

@@ -80,6 +80,11 @@ func (s *SpawnUnit) start(region *asm.SpawnRegion, low, high int32, mask uint32,
 	s.sys.Sched.ScheduleFunc(now+overhead, engine.PrioNegotiate, func(t engine.Time) {
 		s.total = s.sys.aliveTCUs
 		pc := region.Spawn + 1
+		if s.sys.race != nil {
+			// The broadcast orders the serial prefix before every virtual
+			// thread: open a fresh xmtsan epoch.
+			s.sys.race.EpochBegin()
+		}
 		for _, c := range s.sys.clusters {
 			c.resetForSpawn(pc, maskCopy, &bcastCopy)
 		}
@@ -189,6 +194,12 @@ func (s *SpawnUnit) maybeComplete(now engine.Time) {
 	s.sys.Sched.ScheduleFunc(now+overhead, engine.PrioNegotiate, func(t engine.Time) {
 		for _, c := range s.sys.clusters {
 			c.quiesce()
+		}
+		if s.sys.race != nil {
+			// The join barrier: condemn pending pairs whose writer never
+			// released, then clear the shadow state.
+			s.sys.race.EpochEnd()
+			s.sys.drainRaces(t)
 		}
 		if s.sys.evlog != nil {
 			s.sys.evlog.Emit(trace.Event{TS: started, Dur: t - started,

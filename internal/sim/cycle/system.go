@@ -12,6 +12,7 @@ import (
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/engine"
 	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/race"
 	"xmtgo/internal/sim/stats"
 	"xmtgo/internal/sim/trace"
 )
@@ -78,6 +79,15 @@ type System struct {
 	// (tcu = -1 for the master).
 	traceFn func(tcu int, pc int, in isa.Instr, now engine.Time)
 
+	// race is the xmtsan happens-before sanitizer (nil unless
+	// Cfg.RaceCheck). Every call site is a serial context — cache service,
+	// outbox commit, package delivery, the spawn unit's scheduled closures —
+	// so the detector needs no locking and its reports are byte-identical
+	// for any host worker count. raceEmitted is the drain cursor into its
+	// report list (counters + EvRace events are emitted as reports appear).
+	race        *race.Detector
+	raceEmitted int
+
 	// evlog, when set, receives the structured event stream (Chrome trace
 	// export). Serial contexts append directly; cluster compute phases fill
 	// per-cluster rings drained at outbox commit.
@@ -143,6 +153,9 @@ func New(prog *asm.Program, cfg config.Config, out io.Writer) (*System, error) {
 	s.icn = newICN(s)
 	s.asyncPortFree = make([]engine.Time, cfg.Clusters+1)
 	s.aliveTCUs = cfg.TCUs()
+	if cfg.RaceCheck {
+		s.race = race.New(cfg.TCUs())
+	}
 	if cfg.FaultPlan != "" {
 		inj, err := newInjector(s)
 		if err != nil {
@@ -248,6 +261,42 @@ func (s *System) route(p *Package, now engine.Time) {
 		return
 	}
 	s.clusters[p.Cluster].tcus[p.TCU].deliver(p, now)
+}
+
+// RaceDetector returns the xmtsan detector (nil unless Cfg.RaceCheck).
+func (s *System) RaceDetector() *race.Detector { return s.race }
+
+// raceRead and raceWrite funnel shared-memory accesses into the sanitizer
+// and surface any freshly confirmed reports. Nil-safe; serial contexts only.
+func (s *System) raceRead(tcu int, addr uint32, line int, now engine.Time) {
+	if s.race == nil {
+		return
+	}
+	s.race.Read(tcu, addr, line)
+	s.drainRaces(now)
+}
+
+func (s *System) raceWrite(tcu int, addr uint32, line int, now engine.Time) {
+	if s.race == nil {
+		return
+	}
+	s.race.Write(tcu, addr, line)
+	s.drainRaces(now)
+}
+
+// drainRaces publishes newly confirmed race reports into the counters and
+// the structured event stream, in detection order.
+func (s *System) drainRaces(now engine.Time) {
+	s.Stats.RaceChecks = s.race.Checks()
+	reps := s.race.Reports()
+	for ; s.raceEmitted < len(reps); s.raceEmitted++ {
+		r := &reps[s.raceEmitted]
+		s.Stats.RaceReports++
+		if s.evlog != nil {
+			s.evlog.Emit(trace.Event{TS: now, Kind: trace.EvRace,
+				Ctx: int32(r.WriteTCU), PC: int32(r.WriteLine), Arg: int64(r.OtherLine)})
+		}
+	}
 }
 
 func (s *System) wakeClusters(now engine.Time) { s.clusterMA.Wake(now) }

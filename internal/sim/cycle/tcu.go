@@ -233,6 +233,9 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 				t.cluster.ob.fail(&funcmodel.RuntimeError{PC: pc, Line: in.Line, In: in, Err: err})
 				return false
 			}
+			if t.sys.race != nil {
+				t.cluster.ob.race(t, addr, in)
+			}
 			t.ctx.SetReg(in.Rd, v)
 			t.stall(cycle + t.sys.Cfg.ROCacheLatency)
 			return true
@@ -253,6 +256,11 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 			if e.ready {
 				t.cluster.ob.stat(&t.sys.Stats.PrefetchHits, 1)
 				e.lastUse = cycle
+				// xmtsan: a hit on prefetched data is exactly the stale-read
+				// mechanism of paper Fig. 6 — record it as this TCU's read.
+				if t.sys.race != nil {
+					t.cluster.ob.race(t, addr, in)
+				}
 				t.ctx.SetReg(in.Rd, extractPbuf(e, in, addr))
 				return true
 			}
@@ -467,6 +475,11 @@ func (t *TCU) deliver(p *Package, now engine.Time) {
 					e.waiter = nil
 					if w.waitingPbuf {
 						w.waitingPbuf = false
+						if t.sys.race != nil {
+							// Delivery runs on the scheduler goroutine:
+							// record the waiter's read directly.
+							t.sys.raceRead(w.id, w.pendingPbufAddr, w.pendingPbufLoad.Line, now)
+						}
 						w.ctx.SetReg(w.pendingPbufLoad.Rd, extractPbuf(e, w.pendingPbufLoad, w.pendingPbufAddr))
 						t.sys.Stats.PrefetchHits++
 						w.unblock(now)
@@ -494,6 +507,12 @@ func (t *TCU) psDelivered(in isa.Instr, old int32, now engine.Time) {
 	if in.Op == isa.OpPs {
 		// ps completion orders memory like psm: flush stale prefetches.
 		t.pbuf.invalidateAll()
+		// xmtsan: a ps on an application global register is the release/
+		// acquire primitive; the virtual-thread-id grab at spawn onset is
+		// allocation, not synchronization.
+		if t.sys.race != nil && in.G != isa.GRegSpawn {
+			t.sys.race.Sync(t.id)
+		}
 	}
 	t.unblock(now)
 }

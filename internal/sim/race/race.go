@@ -1,0 +1,322 @@
+// Package race is xmtsan: a deterministic happens-before race sanitizer
+// for the cycle-accurate simulator. It shadows every word of shared memory
+// touched during a spawn epoch and checks each conflicting pair of accesses
+// from different TCUs against the XMT synchronization discipline the
+// paper's Fig. 6/Fig. 7 litmus tests illustrate:
+//
+//   - the spawn broadcast and the join barrier order everything across
+//     epochs, so shadow state resets at every spawn/join boundary;
+//   - within an epoch the only inter-thread ordering primitive is the
+//     prefix-sum: a conflicting pair (two accesses to the same word from
+//     different TCUs, at least one a write) is clean only if the writing
+//     thread issues a ps/psm after its write *in its own program order*
+//     (release) and the other thread issued one before its access
+//     (acquire) — the Fig. 7 pattern. Anything less leaves the pair
+//     exposed to the relaxed memory order (prefetch buffers serving stale
+//     lines, the Fig. 6 failure);
+//   - psm accesses themselves are the discipline and never race.
+//
+// Determinism: every entry point is called from the simulator's serial
+// contexts (the cache macro-actor, outbox commit in cluster-id order, the
+// scheduler goroutine), state is keyed and iterated so that no map order
+// ever leaks into output, and reports are appended in detection order.
+// Reports are therefore byte-identical for any Config.HostWorkers and
+// across checkpoint/resume.
+//
+// The sanitizer is a *dynamic* detector: it reports races the executed
+// schedule actually exposed as conflicting access pairs, attributed to
+// source lines via the instruction stream's line table. It is the ground
+// truth the static spawn-race check is differentially validated against
+// (docs/ANALYZER.md).
+package race
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xmtgo/internal/diag"
+)
+
+// Report is one deduplicated race: a write left unsynchronized with a
+// conflicting access on another TCU. Addr is the first word the pair was
+// observed on (further words with the same line pair are folded in).
+type Report struct {
+	Addr      uint32
+	WriteTCU  int // global TCU id of the writer
+	WriteLine int // source line of the write
+	OtherTCU  int
+	OtherLine int
+	// OtherWrite distinguishes write/write from read/write pairs.
+	OtherWrite bool
+}
+
+// String renders one report line (stable format, used in goldens).
+func (r *Report) String() string {
+	kind := "read"
+	if r.OtherWrite {
+		kind = "write"
+	}
+	return fmt.Sprintf("race: word 0x%08x: write at line %d (tcu %d) unsynchronized with %s at line %d (tcu %d)",
+		r.Addr, r.WriteLine, r.WriteTCU, kind, r.OtherLine, r.OtherTCU)
+}
+
+// access is one remembered shadow access.
+type access struct {
+	tcu   int
+	line  int
+	syncs int // the TCU's epoch sync count when it made the access
+	valid bool
+}
+
+// word is the shadow state of one aligned memory word within an epoch.
+type word struct {
+	lastWrite access
+	// readers holds at most one (the first) read per TCU this epoch.
+	readers []access
+}
+
+// pending is a conflicting pair whose cleanliness hinges on the writer
+// issuing a prefix-sum after its write; it is resolved at the writer's next
+// sync or condemned at the epoch end. (A writer that had already released
+// by the time the other access arrived never becomes pending: the clean
+// verdict is reached at the access itself.)
+type pending struct {
+	writerTCU int
+	rep       Report
+}
+
+// lineKey dedupes reports by source-line pair within one epoch (address
+// excluded: one racy line pair over a 10k-element array is one bug, not
+// 10k). Dedup is epoch-scoped, not global: each spawn epoch is a distinct
+// parallel section, and scoping the state to the epoch makes the report
+// stream an exact concatenation over epochs — which is what lets a run
+// chopped at checkpoints (always between epochs) reproduce the full-run
+// report segment by segment.
+type lineKey struct {
+	writeLine, otherLine int
+	otherWrite           bool
+}
+
+// Detector is the xmtsan engine. It is not goroutine-safe: the simulator
+// only calls it from serial contexts.
+type Detector struct {
+	words   map[uint32]*word
+	syncs   []int // per global TCU id: prefix-sums issued this epoch
+	pending []pending
+	reports []Report
+	seen    map[lineKey]bool
+	checks  uint64
+	inEpoch bool
+}
+
+// New returns a detector for a machine with numTCUs total TCUs.
+func New(numTCUs int) *Detector {
+	return &Detector{
+		words: make(map[uint32]*word),
+		syncs: make([]int, numTCUs),
+		seen:  make(map[lineKey]bool),
+	}
+}
+
+// EpochBegin resets the shadow state at a spawn broadcast: the broadcast
+// orders the serial prefix against every virtual thread.
+func (d *Detector) EpochBegin() {
+	d.resetEpoch()
+	d.inEpoch = true
+}
+
+// EpochEnd runs at the join barrier: every pending pair whose writer never
+// issued a release prefix-sum is now a confirmed race, in detection order.
+func (d *Detector) EpochEnd() {
+	for i := range d.pending {
+		d.confirm(d.pending[i].rep)
+	}
+	d.resetEpoch()
+	d.inEpoch = false
+}
+
+func (d *Detector) resetEpoch() {
+	d.words = make(map[uint32]*word)
+	d.pending = d.pending[:0]
+	d.seen = make(map[lineKey]bool)
+	for i := range d.syncs {
+		d.syncs[i] = 0
+	}
+}
+
+// Sync records a release/acquire prefix-sum by tcu (an OpPs other than the
+// thread-id grab, or a psm reaching its cache module). Pending pairs
+// waiting on this writer's release are now clean.
+func (d *Detector) Sync(tcu int) {
+	if !d.inEpoch || tcu < 0 || tcu >= len(d.syncs) {
+		return
+	}
+	d.syncs[tcu]++
+	kept := d.pending[:0]
+	for _, p := range d.pending {
+		if p.writerTCU != tcu {
+			kept = append(kept, p)
+		}
+	}
+	d.pending = kept
+}
+
+// SyncAccess records a psm access to addr: it both synchronizes the TCU and
+// touches the word in the one way the discipline blesses, so no shadow
+// conflict is recorded.
+func (d *Detector) SyncAccess(tcu int, addr uint32, line int) {
+	d.Sync(tcu)
+}
+
+// Read checks a shared-memory read.
+func (d *Detector) Read(tcu int, addr uint32, line int) {
+	if !d.inEpoch || tcu < 0 || tcu >= len(d.syncs) {
+		return
+	}
+	d.checks++
+	w := d.word(addr)
+	if lw := w.lastWrite; lw.valid && lw.tcu != tcu {
+		rep := Report{
+			Addr: addr &^ 3, WriteTCU: lw.tcu, WriteLine: lw.line,
+			OtherTCU: tcu, OtherLine: line,
+		}
+		switch {
+		case d.syncs[tcu] == 0:
+			// The reader never acquired: racy regardless of the writer.
+			d.confirm(rep)
+		case d.syncs[lw.tcu] > lw.syncs:
+			// Acquired reader, writer already released after its write:
+			// the Fig. 7 discipline held. Clean.
+		default:
+			// Acquired reader; clean iff the writer releases later.
+			d.addPending(lw.tcu, rep)
+		}
+	}
+	for _, r := range w.readers {
+		if r.tcu == tcu {
+			return // one remembered read per TCU per word is enough
+		}
+	}
+	w.readers = append(w.readers, access{tcu: tcu, line: line, syncs: d.syncs[tcu], valid: true})
+}
+
+// Write checks a shared-memory write.
+func (d *Detector) Write(tcu int, addr uint32, line int) {
+	if !d.inEpoch || tcu < 0 || tcu >= len(d.syncs) {
+		return
+	}
+	d.checks++
+	w := d.word(addr)
+	if lw := w.lastWrite; lw.valid && lw.tcu != tcu {
+		rep := Report{
+			Addr: addr &^ 3, WriteTCU: lw.tcu, WriteLine: lw.line,
+			OtherTCU: tcu, OtherLine: line, OtherWrite: true,
+		}
+		switch {
+		case d.syncs[tcu] == 0:
+			d.confirm(rep)
+		case d.syncs[lw.tcu] > lw.syncs:
+			// Prior writer released in between: ordered, clean.
+		default:
+			d.addPending(lw.tcu, rep)
+		}
+	}
+	// Earlier reads by other TCUs conflict with this write: this writer
+	// must release after it (necessarily in the future, so pending), and
+	// each reader must have acquired before reading.
+	me := access{tcu: tcu, line: line, syncs: d.syncs[tcu], valid: true}
+	for _, r := range w.readers {
+		if r.tcu == tcu {
+			continue
+		}
+		rep := Report{
+			Addr: addr &^ 3, WriteTCU: tcu, WriteLine: line,
+			OtherTCU: r.tcu, OtherLine: r.line,
+		}
+		if r.syncs == 0 {
+			d.confirm(rep)
+		} else {
+			d.addPending(tcu, rep)
+		}
+	}
+	w.lastWrite = me
+}
+
+func (d *Detector) word(addr uint32) *word {
+	k := addr &^ 3
+	w := d.words[k]
+	if w == nil {
+		w = &word{}
+		d.words[k] = w
+	}
+	return w
+}
+
+func (d *Detector) addPending(writerTCU int, rep Report) {
+	if d.seen[keyOf(rep)] {
+		return // line pair already reported
+	}
+	for _, p := range d.pending {
+		if p.rep == rep {
+			return
+		}
+	}
+	d.pending = append(d.pending, pending{writerTCU: writerTCU, rep: rep})
+}
+
+func keyOf(rep Report) lineKey {
+	return lineKey{writeLine: rep.WriteLine, otherLine: rep.OtherLine, otherWrite: rep.OtherWrite}
+}
+
+func (d *Detector) confirm(rep Report) {
+	k := keyOf(rep)
+	if d.seen[k] {
+		return
+	}
+	d.seen[k] = true
+	d.reports = append(d.reports, rep)
+}
+
+// Checks returns the number of shadow checks performed.
+func (d *Detector) Checks() uint64 { return d.checks }
+
+// Reports returns the confirmed races in detection order.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// WriteReport renders the sanitizer's findings as stable text, one line
+// per race plus a summary line. The output is byte-identical for any host
+// worker count.
+func (d *Detector) WriteReport(w io.Writer) error {
+	for i := range d.reports {
+		if _, err := fmt.Fprintln(w, d.reports[i].String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "xmtsan: %d race(s), %d word-access check(s)\n",
+		len(d.reports), d.checks)
+	return err
+}
+
+// Diagnostics converts the reports to analyzer-style diagnostics (check
+// "xmtsan") attributed to file, sorted by line, for xmtlint-compatible
+// consumers and the differential gate against the static spawn-race check.
+func (d *Detector) Diagnostics(file string) []diag.Diagnostic {
+	ds := make([]diag.Diagnostic, 0, len(d.reports))
+	for i := range d.reports {
+		r := &d.reports[i]
+		kind := "read"
+		if r.OtherWrite {
+			kind = "write"
+		}
+		ds = append(ds, diag.Diagnostic{
+			Check:    "xmtsan",
+			Severity: diag.Warning,
+			Pos:      diag.Pos{File: file, Line: r.WriteLine, Col: 1},
+			Msg: fmt.Sprintf("data race observed on word 0x%08x: write by tcu %d not synchronized with the %s at line %d by tcu %d",
+				r.Addr, r.WriteTCU, kind, r.OtherLine, r.OtherTCU),
+		})
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].Pos.Line < ds[j].Pos.Line })
+	return ds
+}

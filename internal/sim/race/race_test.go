@@ -1,0 +1,253 @@
+package race
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fig. 6 (relaxed, racy): TCU 0 stores data then flag with plain stores;
+// TCU 1 reads flag then data with no prefix-sum on either side. Both pairs
+// are races no matter which order the cache modules service the packets.
+func TestFig6RacyBothOrders(t *testing.T) {
+	const data, flag = 0x100, 0x104
+	run := func(writerFirst bool) []Report {
+		d := New(4)
+		d.EpochBegin()
+		if writerFirst {
+			d.Write(0, data, 10)
+			d.Write(0, flag, 11)
+			d.Read(1, flag, 20)
+			d.Read(1, data, 21)
+		} else {
+			d.Read(1, flag, 20)
+			d.Read(1, data, 21)
+			d.Write(0, data, 10)
+			d.Write(0, flag, 11)
+		}
+		d.EpochEnd()
+		return d.Reports()
+	}
+	for _, writerFirst := range []bool{true, false} {
+		reps := run(writerFirst)
+		if len(reps) != 2 {
+			t.Fatalf("writerFirst=%v: %d reports, want 2 (flag pair, data pair)", writerFirst, len(reps))
+		}
+		for _, r := range reps {
+			if r.WriteTCU == r.OtherTCU {
+				t.Errorf("writerFirst=%v: same-TCU pair reported: %s", writerFirst, r.String())
+			}
+			if r.OtherWrite {
+				t.Errorf("writerFirst=%v: read/write pair reported as write/write: %s", writerFirst, r.String())
+			}
+		}
+	}
+}
+
+// Fig. 7 (psm-synchronized): the writer stores data and then updates the
+// flag via psm (release); the reader polls the flag via psm (acquire) and
+// then reads data. Clean in both service orders — in the writer-first order
+// the clean verdict is reached at the read, in the reader-first order the
+// conflict would not even form because the writer's store lands later in
+// the epoch with the reader's read already acquired... which still pends on
+// the writer's release; the trailing psm resolves it.
+func TestFig7SynchronizedClean(t *testing.T) {
+	const data, flag = 0x200, 0x204
+	d := New(4)
+	d.EpochBegin()
+	d.Write(0, data, 10)      // plain store of the payload
+	d.SyncAccess(0, flag, 11) // psm release
+	d.SyncAccess(1, flag, 20) // psm acquire (poll observes the flag)
+	d.Read(1, data, 21)       // payload read: writer released, reader acquired
+	d.EpochEnd()
+	if n := len(d.Reports()); n != 0 {
+		t.Fatalf("synchronized Fig. 7 pattern reported %d race(s): %v", n, d.Reports())
+	}
+}
+
+// The reader acquires before its read but the writer's release only comes
+// later in the epoch: the pair pends and is resolved clean at the writer's
+// next prefix-sum.
+func TestPendingResolvedByLaterRelease(t *testing.T) {
+	d := New(4)
+	d.EpochBegin()
+	d.Sync(1)           // reader acquires early
+	d.Write(0, 0x40, 5) // writer stores
+	d.Read(1, 0x40, 9)  // conflict pends on writer's release
+	d.Sync(0)           // release arrives before the join
+	d.EpochEnd()
+	if n := len(d.Reports()); n != 0 {
+		t.Fatalf("release before join should clear the pending pair, got %d report(s)", n)
+	}
+}
+
+// Same shape, but the writer never releases: the pending pair is condemned
+// at the join barrier.
+func TestPendingCondemnedAtEpochEnd(t *testing.T) {
+	d := New(4)
+	d.EpochBegin()
+	d.Sync(1)
+	d.Write(0, 0x40, 5)
+	d.Read(1, 0x40, 9)
+	d.EpochEnd()
+	reps := d.Reports()
+	if len(reps) != 1 {
+		t.Fatalf("%d reports, want 1", len(reps))
+	}
+	if reps[0].WriteTCU != 0 || reps[0].OtherTCU != 1 || reps[0].OtherWrite {
+		t.Fatalf("wrong attribution: %s", reps[0].String())
+	}
+}
+
+// Write/write conflicts follow the same discipline.
+func TestWriteWritePair(t *testing.T) {
+	d := New(4)
+	d.EpochBegin()
+	d.Write(0, 0x80, 3)
+	d.Write(1, 0x80, 7) // second writer never acquired: immediate race
+	d.EpochEnd()
+	reps := d.Reports()
+	if len(reps) != 1 || !reps[0].OtherWrite {
+		t.Fatalf("want one write/write report, got %v", reps)
+	}
+	if got, want := reps[0].String(),
+		"race: word 0x00000080: write at line 3 (tcu 0) unsynchronized with write at line 7 (tcu 1)"; got != want {
+		t.Fatalf("report text:\n got %q\nwant %q", got, want)
+	}
+}
+
+// A read followed by a conflicting write: the reader's acquire state is
+// judged as of the read, and the writer's release is necessarily pending.
+func TestReadThenWriteConflict(t *testing.T) {
+	d := New(4)
+	d.EpochBegin()
+	d.Read(1, 0x10, 9)  // reader never acquired
+	d.Write(0, 0x10, 4) // conflict detected here, immediate
+	d.EpochEnd()
+	reps := d.Reports()
+	if len(reps) != 1 || reps[0].WriteTCU != 0 || reps[0].OtherTCU != 1 {
+		t.Fatalf("want one report attributing write=tcu0 read=tcu1, got %v", reps)
+	}
+}
+
+// Same-TCU accesses are program-ordered and never conflict; accesses to
+// different words never conflict; the join resets the shadow state so the
+// next epoch starts clean.
+func TestNoFalseConflicts(t *testing.T) {
+	d := New(4)
+	d.EpochBegin()
+	d.Write(0, 0x10, 1)
+	d.Read(0, 0x10, 2)  // same TCU
+	d.Write(0, 0x10, 3) // same TCU overwrite
+	d.Write(1, 0x20, 4) // different word
+	d.EpochEnd()
+	d.EpochBegin()
+	d.Read(1, 0x10, 5) // previous epoch's write is barrier-ordered
+	d.EpochEnd()
+	if n := len(d.Reports()); n != 0 {
+		t.Fatalf("false conflicts: %v", d.Reports())
+	}
+	if d.Checks() == 0 {
+		t.Fatal("checks counter never advanced")
+	}
+}
+
+// Byte-addressed accesses fold onto their aligned word.
+func TestWordGranularity(t *testing.T) {
+	d := New(2)
+	d.EpochBegin()
+	d.Write(0, 0x101, 1)
+	d.Read(1, 0x102, 2) // same aligned word 0x100
+	d.EpochEnd()
+	reps := d.Reports()
+	if len(reps) != 1 || reps[0].Addr != 0x100 {
+		t.Fatalf("want one report on word 0x100, got %v", reps)
+	}
+}
+
+// Reports are deduplicated by line pair: a racy loop over an array yields
+// one report, not one per element.
+func TestLinePairDedup(t *testing.T) {
+	d := New(8)
+	d.EpochBegin()
+	for i := 0; i < 64; i++ {
+		addr := uint32(0x1000 + 4*i)
+		d.Write(0, addr, 12)
+		d.Read(1, addr, 30)
+	}
+	d.EpochEnd()
+	if n := len(d.Reports()); n != 1 {
+		t.Fatalf("%d reports, want 1 (line-pair dedup)", n)
+	}
+}
+
+// Accesses outside an epoch (the serial master prefix) are never races: the
+// master is alone.
+func TestSerialAccessesIgnored(t *testing.T) {
+	d := New(2)
+	d.Write(0, 0x10, 1)
+	d.Read(1, 0x10, 2)
+	if len(d.Reports()) != 0 || d.Checks() != 0 {
+		t.Fatal("serial-phase accesses must be ignored")
+	}
+}
+
+func TestWriteReportFormat(t *testing.T) {
+	d := New(2)
+	d.EpochBegin()
+	d.Write(0, 0x40, 3)
+	d.Read(1, 0x40, 8)
+	d.EpochEnd()
+	var sb strings.Builder
+	if err := d.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "race: word 0x00000040: write at line 3 (tcu 0) unsynchronized with read at line 8 (tcu 1)\n" +
+		"xmtsan: 1 race(s), 2 word-access check(s)\n"
+	if sb.String() != want {
+		t.Fatalf("report:\n got %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestDiagnosticsSortedByLine(t *testing.T) {
+	d := New(4)
+	d.EpochBegin()
+	d.Write(0, 0x50, 9)
+	d.Write(1, 0x50, 2)
+	d.Write(0, 0x60, 1)
+	d.Write(1, 0x60, 4)
+	d.EpochEnd()
+	ds := d.Diagnostics("t.c")
+	if len(ds) != 2 {
+		t.Fatalf("%d diagnostics, want 2", len(ds))
+	}
+	if ds[0].Pos.Line > ds[1].Pos.Line {
+		t.Fatalf("diagnostics not sorted by line: %v", ds)
+	}
+	for _, dg := range ds {
+		if dg.Check != "xmtsan" || dg.Pos.File != "t.c" {
+			t.Fatalf("bad diagnostic metadata: %+v", dg)
+		}
+	}
+}
+
+// Dedup is epoch-scoped: a racy line pair recurring in a later spawn epoch
+// is reported again. This makes the report stream a concatenation over
+// epochs, which is exactly what lets a run chopped at checkpoints (always
+// between epochs) reproduce the full-run report segment by segment.
+func TestDedupIsEpochScoped(t *testing.T) {
+	d := New(4)
+	for epoch := 0; epoch < 3; epoch++ {
+		d.EpochBegin()
+		d.Write(0, 0x100, 8)
+		d.Read(1, 0x100, 12)
+		d.EpochEnd()
+	}
+	if got := len(d.Reports()); got != 3 {
+		t.Fatalf("%d reports for 3 racy epochs, want 3 (one per epoch)", got)
+	}
+	for i, r := range d.Reports() {
+		if r.WriteLine != 8 || r.OtherLine != 12 || r.OtherWrite {
+			t.Errorf("epoch %d: unexpected report %s", i, r.String())
+		}
+	}
+}

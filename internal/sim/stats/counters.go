@@ -91,4 +91,11 @@ func (c *Collector) ReportCounters(w io.Writer) {
 		c.ICNDropFaults, c.CacheStallFaults, c.TCUFailFaults, c.ClusterFailFaults)
 	fmt.Fprintf(w, "decommissioned_tcus=%d redispatches=%d\n", c.TCUsDecommissioned, c.Redispatches)
 	c.RedispatchLatency.Report(w, "re-dispatch latency (ticks)")
+
+	// The race-sanitizer section only appears when race checking ran: the
+	// report must stay byte-identical to pre-sanitizer goldens otherwise.
+	if c.RaceChecks > 0 {
+		fmt.Fprintf(w, "== race sanitizer ==\n")
+		fmt.Fprintf(w, "checks=%d reports=%d\n", c.RaceChecks, c.RaceReports)
+	}
 }

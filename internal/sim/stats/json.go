@@ -30,6 +30,10 @@ type Snapshot struct {
 	PrefixSum    PSSnapshot     `json:"prefix_sum"`
 	SpawnJoin    SpawnSnapshot  `json:"spawn_join"`
 	Faults       FaultSnapshot  `json:"faults"`
+
+	// Race is the xmtsan section, present only when race checking ran (so
+	// race-off snapshots — including xmtperf baselines — are byte-unchanged).
+	Race *RaceSnapshot `json:"race,omitempty"`
 }
 
 // InstrSnapshot is the instruction-counter section.
@@ -102,6 +106,12 @@ type FaultSnapshot struct {
 	Decommissioned    uint64       `json:"decommissioned_tcus"`
 	Redispatches      uint64       `json:"redispatches"`
 	RedispatchLatency HistSnapshot `json:"redispatch_latency"`
+}
+
+// RaceSnapshot is the race-sanitizer section.
+type RaceSnapshot struct {
+	Checks  uint64 `json:"checks"`
+	Reports uint64 `json:"reports"`
 }
 
 // HistSnapshot is the machine-readable form of a Histogram: the summary
@@ -199,6 +209,9 @@ func (c *Collector) Snapshot(cycle, ticks int64) *Snapshot {
 		CacheStall: c.CacheStallFaults, TCUFail: c.TCUFailFaults,
 		ClusterFail: c.ClusterFailFaults, Decommissioned: c.TCUsDecommissioned,
 		Redispatches: c.Redispatches, RedispatchLatency: SnapshotHist(&c.RedispatchLatency),
+	}
+	if c.RaceChecks > 0 {
+		s.Race = &RaceSnapshot{Checks: c.RaceChecks, Reports: c.RaceReports}
 	}
 	return s
 }

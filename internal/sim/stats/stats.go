@@ -106,6 +106,14 @@ type Collector struct {
 	// orphaned virtual thread resuming on a surviving TCU.
 	RedispatchLatency Histogram
 
+	// Race sanitizer counters (xmtsan, docs/ANALYZER.md). Both stay zero when
+	// race checking is off, and the race section of the counter report and
+	// JSON snapshot is omitted entirely then, so race-off artifacts remain
+	// byte-identical with and without the feature compiled in. Updated on the
+	// scheduler goroutine only.
+	RaceChecks  uint64 // shadow word-access checks performed
+	RaceReports uint64 // confirmed races reported
+
 	filters []Filter
 }
 

@@ -48,6 +48,10 @@ const (
 	// surviving TCU (instant event on the adopter's track; Arg is the
 	// re-dispatch latency in ticks).
 	EvRedispatch
+	// EvRace marks one confirmed xmtsan race report (instant event on the
+	// writer's track; Ctx is the writing TCU, PC the write's source line,
+	// Arg the conflicting access's source line).
+	EvRace
 )
 
 // String returns the Perfetto-visible name of the kind.
@@ -69,6 +73,8 @@ func (k EventKind) String() string {
 		return "decommission"
 	case EvRedispatch:
 		return "redispatch"
+	case EvRace:
+		return "race"
 	}
 	return "?"
 }
@@ -206,6 +212,10 @@ func (l *EventLog) WriteChrome(w io.Writer, meta ChromeMeta) error {
 			pid, tid := meta.pidTid(e.Ctx)
 			emit(`{"name":"redispatch","cat":"fault","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"latency":%d}}`,
 				e.TS, pid, tid, e.Arg)
+		case EvRace:
+			pid, tid := meta.pidTid(e.Ctx)
+			emit(`{"name":"race","cat":"race","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"g","args":{"write_line":%d,"other_line":%d}}`,
+				e.TS, pid, tid, e.PC, e.Arg)
 		default: // wait spans
 			pid, tid := meta.pidTid(e.Ctx)
 			emit(`{"name":"%s","cat":"wait","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"pc":%d,"op":"%s"}}`,

@@ -79,6 +79,7 @@ type workersRun struct {
 	samples      string // interval-sampler JSONL time series
 	countersJSON string // machine-readable counter snapshot
 	prom         string // Prometheus text rendering of the final state
+	raceReport   string // xmtsan report (race checking is on for every run)
 }
 
 func runWorkers(t *testing.T, tc detCase, workers int) workersRun {
@@ -89,6 +90,9 @@ func runWorkers(t *testing.T, tc detCase, workers int) workersRun {
 	}
 	cfg := tc.cfg
 	cfg.HostWorkers = workers
+	// The xmtsan shadow checks and report are part of the determinism
+	// contract too: byte-identical at any worker count.
+	cfg.RaceCheck = true
 	var out bytes.Buffer
 	sys, err := xmtgo.NewSimulator(prog, cfg, &out)
 	if err != nil {
@@ -106,11 +110,16 @@ func runWorkers(t *testing.T, tc detCase, workers int) workersRun {
 		t.Fatalf("workers=%d: write chrome trace: %v", workers, err)
 	}
 	sys.Stats.ReportCounters(&ctr)
+	var raceRep bytes.Buffer
+	if err := sys.RaceDetector().WriteReport(&raceRep); err != nil {
+		t.Fatalf("workers=%d: write race report: %v", workers, err)
+	}
 	return workersRun{res: res, stats: sys.Stats, out: out.String(),
 		trace: tr.String(), counters: ctr.String(),
 		samples:      telemetrySamples(t, smp),
 		countersJSON: telemetryCounters(t, sys, res),
-		prom:         telemetryProm(smp, sys, res)}
+		prom:         telemetryProm(smp, sys, res),
+		raceReport:   raceRep.String()}
 }
 
 // telemetrySamples renders the sampler's JSONL artifact.
@@ -185,6 +194,10 @@ func TestHostParallelDeterminism(t *testing.T) {
 				if r.prom != ref.prom {
 					t.Errorf("workers=%d: Prometheus rendering diverged from serial:\n%s\nvs serial\n%s",
 						w, r.prom, ref.prom)
+				}
+				if r.raceReport != ref.raceReport {
+					t.Errorf("workers=%d: xmtsan report diverged from serial:\n%s\nvs serial\n%s",
+						w, r.raceReport, ref.raceReport)
 				}
 			}
 		})

@@ -23,6 +23,15 @@ fi
 echo "== go vet"
 go vet ./...
 
+# staticcheck is optional: run it when the host has it, skip quietly when
+# not (the gate must not install anything).
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ($(staticcheck -version 2>/dev/null || echo unknown))"
+    staticcheck ./...
+else
+    echo "== staticcheck (not installed; skipping)"
+fi
+
 echo "== go build"
 go build ./...
 
@@ -42,10 +51,11 @@ echo "== chaos soak (seeded fault-injection matrix, docs/ROBUSTNESS.md)"
 # (workload, seed) across worker counts even while faults corrupt state.
 go test -race -count=1 -timeout 300s -run 'TestChaosSoak|TestDegradedConformance' .
 
-echo "== fuzz smoke (parser + assembler + config)"
+echo "== fuzz smoke (parser + assembler + config + analyzer)"
 go test -fuzz FuzzParseXMTC -fuzztime 5s -run '^$' ./internal/xmtc
 go test -fuzz FuzzAssemble -fuzztime 5s -run '^$' ./internal/asm
 go test -fuzz FuzzConfig -fuzztime 5s -run '^$' ./internal/config
+go test -fuzz FuzzAnalyze -fuzztime 5s -run '^$' ./internal/analysis
 
 echo "== telemetry endpoint smoke (xmtsim -serve)"
 # Start xmtsim with a live metrics server mid-run, scrape /metrics and
@@ -96,12 +106,38 @@ $XMTLINT -compile \
     examples/xmtc/litmus_psm.c \
     examples/xmtc/suppress.c
 
-# The Fig. 6 relaxed litmus and the misuse catalog MUST fail the lint.
-for bad in examples/xmtc/litmus_relaxed.c examples/xmtc/misuse.c; do
+# The Fig. 6 relaxed litmus, the misuse catalog and the dataflow-check
+# catalog MUST fail the lint.
+for bad in examples/xmtc/litmus_relaxed.c examples/xmtc/misuse.c \
+    examples/xmtc/sync_safety.c; do
     if $XMTLINT "$bad" >/dev/null 2>&1; then
         echo "ERROR: xmtlint reported $bad clean; it must be flagged" >&2
         exit 1
     fi
 done
+
+echo "== xmtsan (two-sided race gate: static differential + dynamic litmus)"
+# The differential tests cross-check xmtlint's spawn-race findings against
+# the dynamic sanitizer over the litmus pair and the conformance corpus,
+# and pin the report's determinism (workers, checkpoint/resume).
+go test -count=1 -run 'TestXmtsan' .
+# CLI smoke: the Fig. 6 litmus must race under xmtsan, the Fig. 7 litmus
+# must not (report goes to stderr; the exit status stays 0 either way).
+racelog=$(mktemp)
+go run ./cmd/xmtrun -config fpga64 -race-check \
+    examples/xmtc/litmus_relaxed.c >/dev/null 2>"$racelog"
+if ! grep -q '^race:' "$racelog"; then
+    echo "ERROR: xmtsan reported the Fig. 6 litmus race-free" >&2
+    cat "$racelog" >&2
+    exit 1
+fi
+go run ./cmd/xmtrun -config fpga64 -race-check \
+    examples/xmtc/litmus_psm.c >/dev/null 2>"$racelog"
+if ! grep -q '^xmtsan: 0 race(s)' "$racelog"; then
+    echo "ERROR: xmtsan flagged the synchronized Fig. 7 litmus" >&2
+    cat "$racelog" >&2
+    exit 1
+fi
+rm -f "$racelog"
 
 echo "All checks passed."

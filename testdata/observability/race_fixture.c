@@ -1,0 +1,30 @@
+// xmtsan golden fixture (race_report.golden): the first spawn epoch is the
+// paper's Fig. 6 pattern — an unsynchronized cross-thread write/read pair
+// on "shared" — and must be reported; the second epoch repeats the pattern
+// with prefix-sum synchronization over "flag" (Fig. 7) and must stay
+// clean. The report is byte-identical at any host worker count.
+int shared = 0;
+int flag = 0;
+int obs = 0;
+int main() {
+    spawn(0, 1) {
+        if ($ == 0) {
+            shared = 42;
+        } else {
+            obs = shared;
+        }
+    }
+    spawn(0, 1) {
+        if ($ == 0) {
+            int one = 1;
+            shared = 7;
+            psm(one, flag);
+        } else {
+            int t = 0;
+            psm(t, flag);
+            obs = shared;
+        }
+    }
+    print_int(obs);
+    return 0;
+}
