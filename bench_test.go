@@ -51,6 +51,7 @@ func cycleRun(b *testing.B, prog *xmtgo.Program, cfg xmtgo.Config) *xmtgo.SimRes
 	if !res.Halted {
 		b.Fatal("benchmark program did not halt")
 	}
+	sys.Release()
 	return res
 }
 
@@ -106,6 +107,46 @@ func BenchmarkHostParallelScaling(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					cycles += cycleRun(b, prog, wcfg).Cycles
+				}
+				b.StopTimer()
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(cycles)/sec, "sim_cycle/sec")
+				}
+			})
+		}
+	}
+}
+
+// --- Bounded lookahead: window width and engine mode vs throughput ---
+//
+// Compares the legacy single-cycle engine (lookahead=1), the derived
+// conservative window and the optimistic rollback mode on the two parallel
+// Table I groups (docs/PERF.md §Lookahead). Results are bit-identical in
+// every configuration (TestLookaheadDeterminism); only wall-clock changes.
+// The compute group is where multi-cycle windows pay: clusters run long
+// stretches without cross-cluster traffic clamping the span.
+func BenchmarkLookahead(b *testing.B) {
+	for _, g := range []workloads.TableIGroup{workloads.ParallelMemory, workloads.ParallelCompute} {
+		cfg := xmtgo.ConfigChip1024()
+		prog := buildB(b, workloads.TableI(g, cfg.Clusters*cfg.TCUsPerCluster, 40),
+			xmtgo.DefaultCompileOptions())
+		for _, v := range []struct {
+			name      string
+			lookahead int
+			mode      string
+		}{
+			{"single-cycle", 1, ""},
+			{"window-derived", 0, ""},
+			{"optimistic", 0, xmtgo.EngineOptimistic},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", g.Name(), v.name), func(b *testing.B) {
+				vcfg := cfg
+				vcfg.Lookahead = v.lookahead
+				vcfg.EngineMode = v.mode
+				var cycles int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cycles += cycleRun(b, prog, vcfg).Cycles
 				}
 				b.StopTimer()
 				if sec := b.Elapsed().Seconds(); sec > 0 {

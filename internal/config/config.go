@@ -103,6 +103,16 @@ type Config struct {
 	// Simulation results are bit-identical for any value.
 	HostWorkers int
 
+	// Bounded-lookahead engine (docs/PERF.md). Lookahead is the maximum
+	// number of consecutive cluster cycles one scheduler event may cover:
+	// 0 derives the window from the minimum cross-cluster round-trip
+	// latency, 1 restores the single-cycle engine. EngineMode selects the
+	// window strategy: EngineWindowed (conservative lockstep, the default;
+	// "" means windowed) or EngineOptimistic (speculative free-run with
+	// snapshot rollback). Results are bit-identical for every combination.
+	Lookahead  int
+	EngineMode string
+
 	// Telemetry. SampleCycles is the interval, in cluster cycles, at which
 	// the interval sampler snapshots the activity counters (0 disables
 	// sampling). Samples are taken at outbox-commit boundaries, so the
@@ -126,6 +136,18 @@ type Config struct {
 	StaticWattsPerCluster float64
 	StaticWattsOther      float64
 }
+
+// Engine modes for the bounded-lookahead parallel engine (docs/PERF.md).
+const (
+	// EngineWindowed runs conservative lockstep windows: every cluster
+	// ticks cycle k before any ticks k+1, and a window-closing effect in
+	// any cluster truncates the window for all of them.
+	EngineWindowed = "windowed"
+	// EngineOptimistic lets clusters free-run the whole window
+	// independently; clusters that overran the consensus boundary roll
+	// back to their window-entry snapshot and replay.
+	EngineOptimistic = "optimistic"
+)
 
 // TCUs returns the total number of parallel TCUs.
 func (c *Config) TCUs() int { return c.Clusters * c.TCUsPerCluster }
@@ -164,6 +186,9 @@ func (c *Config) Validate() error {
 		{c.SpawnOverhead >= 0 && c.JoinOverhead >= 0 && c.PSLatency >= 1, "spawn/join/ps latencies invalid"},
 		{c.PSPerCycle > 0, "PSPerCycle must be positive"},
 		{c.HostWorkers >= 0, "HostWorkers must be non-negative"},
+		{c.Lookahead >= 0, "Lookahead must be non-negative"},
+		{c.EngineMode == "" || c.EngineMode == EngineWindowed || c.EngineMode == EngineOptimistic,
+			"EngineMode must be windowed or optimistic"},
 		{c.WatchdogCycles >= 0, "WatchdogCycles must be non-negative"},
 		{c.SampleCycles >= 0, "SampleCycles must be non-negative"},
 	}
@@ -351,6 +376,16 @@ var fieldSetters = map[string]func(*Config, string) error{
 		return nil
 	},
 	"host_workers": intField(func(c *Config) *int { return &c.HostWorkers }),
+	"lookahead":    intField(func(c *Config) *int { return &c.Lookahead }),
+	"engine_mode": func(c *Config, v string) error {
+		switch strings.ToLower(v) {
+		case "", EngineWindowed, EngineOptimistic:
+			c.EngineMode = strings.ToLower(v)
+		default:
+			return fmt.Errorf("want windowed or optimistic, got %q", v)
+		}
+		return nil
+	},
 	"seed": func(c *Config, v string) error {
 		n, err := strconv.ParseUint(v, 0, 64)
 		if err != nil {
@@ -477,6 +512,11 @@ func (c *Config) Describe() string {
 		c.ClusterPeriod, c.ICNPeriod, c.CachePeriod, c.DRAMPeriod, c.MasterPeriod)
 	fmt.Fprintf(&b, "mem_bytes=%d seed=%d\n", c.MemBytes, c.Seed)
 	fmt.Fprintf(&b, "host_workers=%d (0 = GOMAXPROCS; results identical for any value)\n", c.HostWorkers)
+	mode := c.EngineMode
+	if mode == "" {
+		mode = EngineWindowed
+	}
+	fmt.Fprintf(&b, "lookahead=%d engine_mode=%s (0 = derive window from min cross-cluster latency)\n", c.Lookahead, mode)
 	fmt.Fprintf(&b, "fault_seed=%d fault_plan=%q watchdog_cycles=%d\n", c.FaultSeed, c.FaultPlan, c.WatchdogCycles)
 	fmt.Fprintf(&b, "sample_cycles=%d (0 = interval sampling off)\n", c.SampleCycles)
 	fmt.Fprintf(&b, "race_check=%v (xmtsan dynamic race sanitizer)\n", c.RaceCheck)

@@ -111,6 +111,7 @@ func Restore(m *funcmodel.Machine, st *State) error {
 		return fmt.Errorf("checkpoint: memory size mismatch (%d vs %d)", len(st.Mem), len(m.Mem))
 	}
 	copy(m.Mem, st.Mem)
+	m.MarkMemDirty(0, uint32(len(m.Mem)))
 	m.G = st.G
 	m.Master = st.Master
 	m.InstrCount = st.InstrCount

@@ -21,7 +21,12 @@ type CacheModule struct {
 	id   int
 	tags *tagArray
 
+	// serviceQ with head forms a dequeue-from-front queue that keeps its
+	// backing array: popping by re-slicing (q = q[1:]) would strand the
+	// array and make every accept reallocate. head is compacted back to 0
+	// once it passes the queue capacity.
 	serviceQ []*Package
+	head     int
 	capacity int
 
 	// stalledUntil freezes the module's service pipeline until the given
@@ -41,8 +46,16 @@ func newCacheModule(sys *System, id int) *CacheModule {
 
 // accept enqueues a request if the service queue has room.
 func (cm *CacheModule) accept(p *Package) bool {
-	if len(cm.serviceQ) >= cm.capacity {
+	if len(cm.serviceQ)-cm.head >= cm.capacity {
 		return false
+	}
+	if cm.head >= cm.capacity {
+		n := copy(cm.serviceQ, cm.serviceQ[cm.head:])
+		for i := n; i < len(cm.serviceQ); i++ {
+			cm.serviceQ[i] = nil
+		}
+		cm.serviceQ = cm.serviceQ[:n]
+		cm.head = 0
 	}
 	cm.serviceQ = append(cm.serviceQ, p)
 	return true
@@ -51,7 +64,8 @@ func (cm *CacheModule) accept(p *Package) bool {
 // Tick serves one request per cache cycle (pipelined service: one dequeue
 // per cycle, each response delayed by the hit or miss latency).
 func (cm *CacheModule) Tick(cycle int64, now engine.Time) bool {
-	if len(cm.serviceQ) == 0 {
+	depth := len(cm.serviceQ) - cm.head
+	if depth == 0 {
 		return false
 	}
 	if now < cm.stalledUntil {
@@ -61,13 +75,18 @@ func (cm *CacheModule) Tick(cycle int64, now engine.Time) bool {
 	}
 	// The cache macro-actor is serial: observing the shared depth histogram
 	// and event log directly is safe and deterministic.
-	cm.sys.Stats.CacheQueueDepth.Observe(uint64(len(cm.serviceQ)))
+	cm.sys.Stats.CacheQueueDepth.Observe(uint64(depth))
 	if cm.sys.evlog != nil {
 		cm.sys.evlog.Emit(trace.Event{TS: now, Kind: trace.EvQueueDepth,
-			Ctx: int32(cm.id), Arg: int64(len(cm.serviceQ))})
+			Ctx: int32(cm.id), Arg: int64(depth)})
 	}
-	p := cm.serviceQ[0]
-	cm.serviceQ = cm.serviceQ[1:]
+	p := cm.serviceQ[cm.head]
+	cm.serviceQ[cm.head] = nil
+	cm.head++
+	if cm.head == len(cm.serviceQ) {
+		cm.serviceQ = cm.serviceQ[:0]
+		cm.head = 0
+	}
 
 	m := cm.sys.Machine
 	hit := cm.tags.Lookup(p.Addr, cycle)
@@ -105,15 +124,10 @@ func (cm *CacheModule) Tick(cycle int64, now engine.Time) bool {
 	}
 
 	cfg := cm.sys.Cfg
-	respond := func(at engine.Time) {
-		cm.sys.Sched.ScheduleFunc(at, engine.PrioTransfer, func(t engine.Time) {
-			cm.sys.route(p, t)
-		})
-	}
 	hitDone := now + cfg.CacheHitLatency*cfg.CachePeriod
 	returnLat := cm.sys.returnLatency()
 	if hit || p.Err != nil {
-		respond(hitDone + returnLat)
+		cm.sys.scheduleDeliver(p, hitDone+returnLat)
 		return len(cm.serviceQ) > 0
 	}
 	// Store miss: write-validate allocation — the line is installed
@@ -122,7 +136,7 @@ func (cm *CacheModule) Tick(cycle int64, now engine.Time) bool {
 	// modeled separately at transaction level.)
 	if p.Kind == PkgStore || p.Kind == PkgStoreNB {
 		cm.tags.Fill(p.Addr, cycle)
-		respond(hitDone + returnLat)
+		cm.sys.scheduleDeliver(p, hitDone+returnLat)
 		return len(cm.serviceQ) > 0
 	}
 	// Load/psm/prefetch miss: a line fill goes through a DRAM port; the
@@ -131,7 +145,7 @@ func (cm *CacheModule) Tick(cycle int64, now engine.Time) bool {
 	// bandwidth utilization, as the paper notes).
 	fillAt := cm.sys.dram.access(p.LineOrAddr(cfg.CacheLineSize), hitDone)
 	cm.tags.Fill(p.Addr, cycle)
-	respond(fillAt + returnLat)
+	cm.sys.scheduleDeliver(p, fillAt+returnLat)
 	return len(cm.serviceQ) > 0
 }
 

@@ -1,6 +1,9 @@
 package cycle
 
 import (
+	"fmt"
+	"math/bits"
+
 	"xmtgo/internal/isa"
 	"xmtgo/internal/sim/engine"
 	"xmtgo/internal/sim/funcmodel"
@@ -12,15 +15,24 @@ import (
 // divide and floating-point units, the cluster read-only cache, and the ICN
 // send port (paper Fig. 1 and §II). All clusters tick inside one
 // macro-actor on the cluster clock domain.
+//
+// Cluster implements engine.WindowShard: under the bounded-lookahead engine
+// it executes several cycles per scheduler event, marking the outbox with
+// per-cycle segments, and replays one segment per CommitCycle in (cycle,
+// cluster) order — bit-identical to the single-cycle engine. In optimistic
+// mode it additionally snapshots its window-entry state so an overrun past
+// the consensus window end can be rolled back and replayed.
 type Cluster struct {
 	sys  *System
 	id   int
 	tcus []*TCU
 
 	// Shared functional units: freeAt[i] is the cluster cycle unit i
-	// becomes available.
-	fpuFreeAt []int64
-	mduFreeAt []int64
+	// becomes available. unitsBusyUntil caches the max over both pools so
+	// the tick's "units still draining" check is O(1).
+	fpuFreeAt      []int64
+	mduFreeAt      []int64
+	unitsBusyUntil int64
 
 	// ro is the cluster read-only cache (tags only; constants are read from
 	// shared memory and the tags are invalidated at spawn boundaries).
@@ -31,7 +43,7 @@ type Cluster struct {
 	sendQ    []*Package
 	sendQCap int
 
-	// ob holds the tick's deferred shared-state effects; Tick (the compute
+	// ob holds the window's deferred shared-state effects; Tick (the compute
 	// phase) may run concurrently with other clusters' and must route every
 	// shared mutation through here (see outbox.go).
 	ob outbox
@@ -45,6 +57,30 @@ type Cluster struct {
 	// prof is this cluster's cycle-profiler shard (nil when profiling is
 	// off); same ownership rules as evRing.
 	prof *stats.ProfShard
+
+	// tickMask has bit i set when TCU i can make progress from its own tick
+	// (running, counting down a stall, or checking a fence); memory-blocked,
+	// idle, done and dead TCUs are skipped — their Tick is a no-op by
+	// construction. Maintained by TCU.setState. maskOK is false for
+	// clusters with more than 64 TCUs (full-scan fallback).
+	tickMask uint64
+	maskOK   bool
+	// nActive counts TCUs in any state but idle/done/dead: the BusyCycles
+	// attribution check without scanning every TCU.
+	nActive int
+
+	// Bounded-lookahead window state (engine.WindowShard).
+	winBase   int64 // absolute cluster cycle of window cycle 0
+	winEvBase int   // evRing length at BeginWindow (rollback truncation point)
+	deferProf bool  // optimistic: buffer profile PCs until the cycle commits
+	profPend  []int32
+	snap      clusterSnap
+
+	// pkgFree recycles Packages. Allocation happens in this cluster's
+	// compute phase; System.route frees a package after its delivery
+	// commits. The two never overlap in time (deliveries are scheduler
+	// events, the compute phase runs between them), so no locking is needed.
+	pkgFree []*Package
 }
 
 func newCluster(sys *System, id int) *Cluster {
@@ -71,35 +107,44 @@ func newCluster(sys *System, id int) *Cluster {
 		t.alive = true
 		c.tcus = append(c.tcus, t)
 	}
+	c.maskOK = len(c.tcus) <= 64
 	return c
 }
 
 // Tick advances every TCU of the cluster one cluster cycle.
 func (c *Cluster) Tick(cycle int64, now engine.Time) bool {
 	busy := false
-	active := false
-	for _, t := range c.tcus {
-		if t.Tick(cycle, now) {
-			busy = true
+	if c.maskOK {
+		// Iterate a copy of the mask: state transitions during the loop
+		// (e.g. a stall expiring into running) edit c.tickMask, but the
+		// skipped TCUs' Ticks are pure no-ops, so the visit set is exactly
+		// the legacy full scan's set of TCUs that could do anything.
+		for m := c.tickMask; m != 0; m &= m - 1 {
+			if c.tcus[bits.TrailingZeros64(m)].Tick(cycle, now) {
+				busy = true
+			}
 		}
-		if t.state != tcuIdle && t.state != tcuDone && t.state != tcuDead {
-			active = true
+		if c.nActive > 0 {
+			c.sys.Stats.Cluster[c.id].BusyCycles++
 		}
-	}
-	if active {
-		c.sys.Stats.Cluster[c.id].BusyCycles++
+	} else {
+		active := false
+		for _, t := range c.tcus {
+			if t.Tick(cycle, now) {
+				busy = true
+			}
+			if t.state != tcuIdle && t.state != tcuDone && t.state != tcuDead {
+				active = true
+			}
+		}
+		if active {
+			c.sys.Stats.Cluster[c.id].BusyCycles++
+		}
 	}
 	// Shared units still draining keep the domain ticking so stalled TCUs
 	// observe their completion cycles.
-	for _, f := range c.fpuFreeAt {
-		if f > cycle {
-			busy = true
-		}
-	}
-	for _, f := range c.mduFreeAt {
-		if f > cycle {
-			busy = true
-		}
+	if c.unitsBusyUntil > cycle {
+		busy = true
 	}
 	return busy
 }
@@ -116,23 +161,62 @@ func (c *Cluster) acquire(unit isa.Unit, cycle, latency int64) (int64, bool) {
 	for i := range pool {
 		if pool[i] <= cycle {
 			pool[i] = cycle + latency
+			if pool[i] > c.unitsBusyUntil {
+				c.unitsBusyUntil = pool[i]
+			}
 			return latency, true
 		}
 	}
 	return 0, false
 }
 
-// Commit drains the outbox — the serial phase of the two-phase cluster
-// tick (engine.ShardCycler). Records replay in the exact order the compute
-// phase produced them, and clusters commit in cluster-id order, so
+// allocPkg takes a Package from the cluster freelist (or allocates one).
+// Compute-phase only; the matching free happens in System.route after the
+// package's delivery commits.
+func (c *Cluster) allocPkg() *Package {
+	if n := len(c.pkgFree); n > 0 {
+		p := c.pkgFree[n-1]
+		c.pkgFree[n-1] = nil
+		c.pkgFree = c.pkgFree[:n-1]
+		return p
+	}
+	return new(Package)
+}
+
+// freePkg returns a delivered (or never-escaped) package to the freelist.
+func (c *Cluster) freePkg(p *Package) {
+	*p = Package{}
+	c.pkgFree = append(c.pkgFree, p)
+}
+
+// Commit drains the whole outbox — the serial phase of a single-cycle
+// cluster tick (engine.ShardCycler). Records replay in the exact order the
+// compute phase produced them, and clusters commit in cluster-id order, so
 // scheduler sequence numbers, prefix-sum slots, program output and shared
 // statistics end up identical to a fully serial simulation.
 func (c *Cluster) Commit(now engine.Time) {
-	s := c.sys
-	if s.evlog != nil {
-		s.evlog.Drain(c.evRing)
+	ev := 0
+	if c.evRing != nil {
+		ev = c.evRing.Len()
 	}
-	for i := range c.ob.recs {
+	c.replay(0, int32(len(c.ob.recs)), 0, int32(len(c.ob.ops)), 0, int32(ev), now)
+	if c.sys.evlog != nil {
+		c.sys.evlog.ResetRing(c.evRing)
+	}
+	c.ob.reset()
+}
+
+// replay commits one contiguous range of the outbox: records [rlo,rhi),
+// the op-count stream [olo,ohi), and ring events [elo,ehi). Counted ops
+// issued before a record flush before that record replays, preserving the
+// serial interleaving of counts with effects.
+func (c *Cluster) replay(rlo, rhi, olo, ohi, elo, ehi int32, now engine.Time) {
+	s := c.sys
+	if s.evlog != nil && ehi > elo {
+		s.evlog.DrainRange(c.evRing, int(elo), int(ehi))
+	}
+	cur := olo
+	for i := rlo; i < rhi; i++ {
 		r := &c.ob.recs[i]
 		// Once the simulation has failed or halted, stop replaying: a later
 		// record from the same tick (a ps request, a syscall print) would
@@ -145,9 +229,11 @@ func (c *Cluster) Commit(now engine.Time) {
 			*r = obRec{}
 			continue
 		}
+		if r.opsIdx > cur {
+			s.Stats.CountInstrs(c.ob.ops[cur:r.opsIdx], c.id)
+			cur = r.opsIdx
+		}
 		switch r.kind {
-		case obCount:
-			s.Stats.CountInstr(r.op, c.id, false)
 		case obStat:
 			*r.stat += r.n
 		case obTrace:
@@ -162,7 +248,7 @@ func (c *Cluster) Commit(now engine.Time) {
 				s.halt()
 			}
 		case obWakeICN:
-			s.wakeICN()
+			s.wakeICN(now)
 		case obAsync:
 			s.scheduleAsyncDeliver(r.pkg, r.at)
 		case obDone:
@@ -178,8 +264,256 @@ func (c *Cluster) Commit(now engine.Time) {
 		}
 		*r = obRec{}
 	}
+	if ohi > cur && s.err == nil && !s.halted {
+		s.Stats.CountInstrs(c.ob.ops[cur:ohi], c.id)
+	}
+}
+
+// BeginWindow opens a lookahead window (engine.WindowShard). With snapshot
+// set (optimistic mode) the cluster captures its window-entry state so an
+// overrun can be rolled back.
+func (c *Cluster) BeginWindow(snapshot bool) {
+	c.ob.segs = c.ob.segs[:0]
+	c.ob.closing = false
+	c.profPend = c.profPend[:0]
+	c.winEvBase = 0
+	if c.evRing != nil {
+		c.winEvBase = c.evRing.Len()
+	}
+	c.deferProf = snapshot && c.prof != nil
+	if snapshot {
+		c.capture()
+	}
+}
+
+// WindowTick runs one window cycle's compute phase and marks its segment.
+func (c *Cluster) WindowTick(cycle int64, now engine.Time) (busy, closing bool) {
+	if len(c.ob.segs) == 0 {
+		c.winBase = cycle
+	}
+	busy = c.Tick(cycle, now)
+	ev := c.winEvBase
+	if c.evRing != nil {
+		ev = c.evRing.Len()
+	}
+	closing = c.ob.mark(cycle, ev, len(c.profPend))
+	// Keep enough ring headroom for one more cycle's worth of events: a
+	// near-full ring closes the window, so multi-cycle batching can never
+	// drop an event the single-cycle engine would have kept (which drains
+	// the ring every cycle).
+	if !closing && c.evRing != nil && c.evRing.Cap()-c.evRing.Len() < len(c.tcus) {
+		closing = true
+	}
+	return busy, closing
+}
+
+// CommitCycle replays window cycle k's outbox segment at that cycle's edge
+// time (engine.WindowShard). Commits run serially, all clusters at cycle k
+// before any cluster at cycle k+1, reproducing the single-cycle engine's
+// (cycle, cluster) interleaving exactly.
+func (c *Cluster) CommitCycle(k int, now engine.Time) {
+	if k >= len(c.ob.segs) {
+		return
+	}
+	s := c.sys
+	seg := &c.ob.segs[k]
+	// Cycle 0 drains ring events from 0, not winEvBase: events emitted by
+	// serial contexts between windows (delivery unblocks, PS responses) sit
+	// below winEvBase and would otherwise be discarded by EndWindow's reset —
+	// the single-cycle engine drains them at its next commit. winEvBase is
+	// only the optimistic Rollback truncation point.
+	var rlo, olo, plo, elo int32
+	if k > 0 {
+		prev := &c.ob.segs[k-1]
+		rlo, olo, plo, elo = prev.rec, prev.op, prev.prof, prev.ev
+	}
+	// Replay-order guard: a segment claiming a cycle other than winBase+k
+	// would silently reorder shared effects against other clusters'. Fail
+	// loudly (diagnostic, first-failure-wins discard) instead of
+	// corrupting state.
+	if want := c.winBase + int64(k); seg.cycle != want {
+		s.beginCommit(want, now)
+		s.fail(fmt.Errorf("cycle: window replay out of order: cluster %d segment %d buffered effects for cycle %d, expected %d (window start %d)",
+			c.id, k, seg.cycle, want, c.winBase))
+		s.endCommit()
+		return
+	}
+	s.beginCommit(seg.cycle, now)
+	c.replay(rlo, seg.rec, olo, seg.op, elo, seg.ev, now)
+	// Deferred profile samples (optimistic mode): issues from cycles past
+	// the consensus window end were truncated by the rollback replay, so
+	// applying here keeps profiles identical to the direct-emit modes.
+	if c.deferProf {
+		for _, pc := range c.profPend[plo:seg.prof] {
+			c.prof.Issue(int(pc))
+		}
+	}
+	s.endCommit()
+}
+
+// EndWindow closes the window after every cycle's segment has committed.
+func (c *Cluster) EndWindow() {
+	if c.sys.evlog != nil {
+		c.sys.evlog.ResetRing(c.evRing)
+	}
+	c.ob.reset()
+	c.profPend = c.profPend[:0]
+	c.deferProf = false
+}
+
+// Rollback rewinds the cluster to its window-entry snapshot (optimistic
+// mode: this cluster ran past the consensus window end). The engine
+// re-ticks cycles 0..E afterwards; with all cross-cluster inputs frozen the
+// replay is deterministic. Packages allocated by the rolled-back cycles are
+// deliberately NOT returned to the freelist: a restored pre-window
+// pendingSend may alias one of them, and the garbage collector reclaiming a
+// few overrun allocations is cheaper than corrupting the pool.
+func (c *Cluster) Rollback() {
+	c.restore()
+	if c.evRing != nil {
+		c.evRing.Truncate(c.winEvBase)
+	}
+	for i := range c.ob.recs {
+		c.ob.recs[i] = obRec{}
+	}
 	c.ob.recs = c.ob.recs[:0]
+	c.ob.ops = c.ob.ops[:0]
+	c.ob.segs = c.ob.segs[:0]
 	c.ob.wokeICN = false
+	c.ob.closing = false
+	c.profPend = c.profPend[:0]
+}
+
+// tcuSnap captures one TCU's window-entry state for optimistic rollback.
+type tcuSnap struct {
+	ctx             funcmodel.Context
+	state           tcuState
+	stallUntil      int64
+	pendingNB       int
+	memWaitStart    engine.Time
+	blockPC         int32
+	blockOp         isa.Op
+	waitPS          bool
+	doneCounted     bool
+	pendingPbufLoad isa.Instr
+	pendingPbufAddr uint32
+	waitingPbuf     bool
+	pendingSend     *Package
+	pendingSendPkg  Package // contents of *pendingSend (retries mutate Issued)
+	pendingSendPC   int
+	pendingSendIn   isa.Instr
+	pbuf            []pbufEntry
+}
+
+// clusterSnap captures a cluster's window-entry state. Only state the
+// compute phase can mutate is saved: everything else (shared memory, the
+// scheduler, other clusters) is frozen for the window's duration by
+// construction.
+type clusterSnap struct {
+	tcus           []tcuSnap
+	fpuFreeAt      []int64
+	mduFreeAt      []int64
+	unitsBusyUntil int64
+	roLastUse      []int64
+	sendQLen       int
+	asyncPortFree  engine.Time
+	stats          stats.ClusterStats
+	nActive        int
+	tickMask       uint64
+}
+
+func (c *Cluster) capture() {
+	s := &c.snap
+	if s.tcus == nil {
+		s.tcus = make([]tcuSnap, len(c.tcus))
+		s.fpuFreeAt = make([]int64, len(c.fpuFreeAt))
+		s.mduFreeAt = make([]int64, len(c.mduFreeAt))
+		if c.ro != nil {
+			s.roLastUse = make([]int64, len(c.ro.lastUse))
+		}
+		for i, t := range c.tcus {
+			s.tcus[i].pbuf = make([]pbufEntry, len(t.pbuf.entries))
+		}
+	}
+	for i, t := range c.tcus {
+		ts := &s.tcus[i]
+		pb := ts.pbuf
+		copy(pb, t.pbuf.entries)
+		*ts = tcuSnap{
+			ctx:             t.ctx,
+			state:           t.state,
+			stallUntil:      t.stallUntil,
+			pendingNB:       t.pendingNB,
+			memWaitStart:    t.memWaitStart,
+			blockPC:         t.blockPC,
+			blockOp:         t.blockOp,
+			waitPS:          t.waitPS,
+			doneCounted:     t.doneCounted,
+			pendingPbufLoad: t.pendingPbufLoad,
+			pendingPbufAddr: t.pendingPbufAddr,
+			waitingPbuf:     t.waitingPbuf,
+			pendingSend:     t.pendingSend,
+			pendingSendPC:   t.pendingSendPC,
+			pendingSendIn:   t.pendingSendIn,
+			pbuf:            pb,
+		}
+		if t.pendingSend != nil {
+			ts.pendingSendPkg = *t.pendingSend
+		}
+	}
+	copy(s.fpuFreeAt, c.fpuFreeAt)
+	copy(s.mduFreeAt, c.mduFreeAt)
+	s.unitsBusyUntil = c.unitsBusyUntil
+	if c.ro != nil {
+		copy(s.roLastUse, c.ro.lastUse)
+	}
+	s.sendQLen = len(c.sendQ)
+	s.asyncPortFree = c.sys.asyncPortFree[c.id]
+	s.stats = c.sys.Stats.Cluster[c.id]
+	s.nActive = c.nActive
+	s.tickMask = c.tickMask
+}
+
+func (c *Cluster) restore() {
+	s := &c.snap
+	for i, t := range c.tcus {
+		ts := &s.tcus[i]
+		t.ctx = ts.ctx
+		t.state = ts.state
+		t.stallUntil = ts.stallUntil
+		t.pendingNB = ts.pendingNB
+		t.memWaitStart = ts.memWaitStart
+		t.blockPC = ts.blockPC
+		t.blockOp = ts.blockOp
+		t.waitPS = ts.waitPS
+		t.doneCounted = ts.doneCounted
+		t.pendingPbufLoad = ts.pendingPbufLoad
+		t.pendingPbufAddr = ts.pendingPbufAddr
+		t.waitingPbuf = ts.waitingPbuf
+		t.pendingSend = ts.pendingSend
+		t.pendingSendPC = ts.pendingSendPC
+		t.pendingSendIn = ts.pendingSendIn
+		if ts.pendingSend != nil {
+			*ts.pendingSend = ts.pendingSendPkg
+		}
+		copy(t.pbuf.entries, ts.pbuf)
+	}
+	copy(c.fpuFreeAt, s.fpuFreeAt)
+	copy(c.mduFreeAt, s.mduFreeAt)
+	c.unitsBusyUntil = s.unitsBusyUntil
+	if c.ro != nil {
+		copy(c.ro.lastUse, s.roLastUse)
+	}
+	// Packages the overrun pushed past the snapshot length stay allocated
+	// (see Rollback); truncating the queue un-sends them.
+	for i := s.sendQLen; i < len(c.sendQ); i++ {
+		c.sendQ[i] = nil
+	}
+	c.sendQ = c.sendQ[:s.sendQLen]
+	c.sys.asyncPortFree[c.id] = s.asyncPortFree
+	c.sys.Stats.Cluster[c.id] = s.stats
+	c.nActive = s.nActive
+	c.tickMask = s.tickMask
 }
 
 // send enqueues a package for ICN injection; it fails (backpressure) when
@@ -187,10 +521,11 @@ func (c *Cluster) Commit(now engine.Time) {
 // interconnect mode the package leaves through the handshake port instead.
 // Runs in the compute phase: injection-port state is cluster-local, but the
 // ICN wake / delivery scheduling and traversal statistics are deferred.
-func (c *Cluster) send(p *Package) bool {
+// now is the issuing cycle's edge time (under lookahead this runs ahead of
+// the scheduler clock, so Sched.Now() would be wrong).
+func (c *Cluster) send(p *Package, now engine.Time) bool {
 	p.Module = c.sys.moduleOf(p.Addr)
 	if c.sys.Cfg.ICNAsync {
-		now := c.sys.Sched.Now()
 		// Backpressure: refuse when the port has a deep backlog.
 		if c.sys.asyncPortFree[c.id] > now+8*c.sys.Cfg.ICNAsyncGapTicks {
 			c.sys.Stats.Cluster[c.id].SendStallCycles++
@@ -227,7 +562,8 @@ func (c *Cluster) resetForSpawn(pc int, mask uint32, bcast *[isa.NumRegs]int32) 
 func (c *Cluster) quiesce() {
 	for _, t := range c.tcus {
 		if t.alive {
-			t.state = tcuIdle
+			t.setState(tcuIdle)
+			t.pendingSend = nil
 		}
 	}
 	if c.ro != nil {

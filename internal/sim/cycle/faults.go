@@ -77,6 +77,7 @@ func (inj *injector) apply(f fault.Fault, now engine.Time) {
 	case fault.MemFlip:
 		if int64(f.Addr) < int64(len(s.Machine.Mem)) {
 			s.Machine.Mem[f.Addr] ^= 1 << (f.Bit & 7)
+			s.Machine.MarkMemDirty(f.Addr, f.Addr+1)
 		}
 		s.Stats.MemFaults++
 		inj.emit(f, -1, now)
@@ -205,7 +206,8 @@ func (s *System) decommissionTCU(t *TCU, participating, hasThread bool, now engi
 	}
 	t.alive = false
 	t.failing = false
-	t.state = tcuDead
+	t.setState(tcuDead)
+	t.pendingSend = nil
 	s.aliveTCUs--
 	s.Stats.TCUsDecommissioned++
 	if s.evlog != nil {

@@ -113,10 +113,11 @@ func (n *ICN) Tick(cycle int64, now engine.Time) bool {
 
 	inj := n.sys.injector
 	inject := func(q *[]*Package, budget int) {
-		k := budget
-		for k > 0 && len(*q) > 0 {
-			p := (*q)[0]
-			*q = (*q)[1:]
+		qq := *q
+		k := 0
+		for k < budget && k < len(qq) {
+			p := qq[k]
+			k++
 			n.sys.Stats.ICNTraversals++
 			n.sys.Stats.ICNHops += uint64(n.hopsPerTraversal)
 			p.Hops += n.hopsPerTraversal
@@ -131,7 +132,16 @@ func (n *ICN) Tick(cycle int64, now engine.Time) bool {
 			if ghost {
 				n.arrival[p.Module] = append(n.arrival[p.Module], arrivalPkt{p: p, ready: ready, ghost: true})
 			}
-			k--
+		}
+		if k > 0 {
+			// Shift the remainder down in place: slicing the head off
+			// (q = q[1:]) would strand the backing array and force the
+			// sender to reallocate on every append.
+			rest := copy(qq, qq[k:])
+			for i := rest; i < len(qq); i++ {
+				qq[i] = nil
+			}
+			*q = qq[:rest]
 		}
 	}
 	for _, c := range n.sys.clusters {
@@ -146,7 +156,9 @@ func (n *ICN) Tick(cycle int64, now engine.Time) bool {
 	}
 
 	// Hand arrived packages to the modules, honoring their accept rate and
-	// service-queue capacity.
+	// service-queue capacity. earliest/blocked drive the idle-skip below.
+	earliest := engine.MaxTime
+	blocked := false
 	for m := range n.arrival {
 		q := n.arrival[m]
 		if len(q) == 0 {
@@ -174,12 +186,28 @@ func (n *ICN) Tick(cycle int64, now engine.Time) bool {
 		if i > 0 {
 			n.arrival[m] = append(q[:0], q[i:]...)
 		}
-		if len(n.arrival[m]) > 0 {
-			busy = true
+		for _, a := range n.arrival[m] {
+			if a.ready <= now {
+				// Deferred by the accept budget or module backpressure:
+				// must retry next cycle.
+				blocked = true
+			} else if a.ready < earliest {
+				earliest = a.ready
+			}
 		}
 		if accepted > 0 {
 			n.sys.wakeCaches(now)
 		}
 	}
-	return busy
+	if busy || blocked {
+		return true
+	}
+	if earliest < engine.MaxTime {
+		// Everything in flight is timed for a future cycle: sleep through
+		// the empty edges and tick again exactly when the first package can
+		// be handed over. Skipped idle cycles cost no scheduler events —
+		// and leave the cluster domain's lookahead windows unclamped.
+		n.sys.icnMA.WakeAt(now, earliest)
+	}
+	return false
 }

@@ -380,7 +380,7 @@ func (mt *Master) send(p *Package) bool {
 		return false
 	}
 	mt.sendQ = append(mt.sendQ, p)
-	mt.sys.wakeICN()
+	mt.sys.wakeICN(mt.sys.Sched.Now())
 	return true
 }
 

@@ -162,10 +162,11 @@ func (s *SpawnUnit) adopt(a *TCU, o orphan, now engine.Time) {
 	}
 	a.ctx = o.ctx
 	a.ctx.ID = a.id
-	a.state = tcuRunning
+	a.setState(tcuRunning)
 	a.stallUntil = 0
 	a.pendingNB = 0
 	a.waitingPbuf = false
+	a.pendingSend = nil
 	a.pbuf.invalidateAll()
 	s.sys.Stats.Redispatches++
 	s.sys.Stats.RedispatchLatency.Observe(uint64(now - o.at))

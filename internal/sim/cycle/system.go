@@ -64,6 +64,19 @@ type System struct {
 	checkpointed bool
 	cycleOffset  int64
 
+	// commitCycle/commitNow describe the window cycle currently being
+	// committed by the bounded-lookahead engine (-1 when no window commit
+	// is active). A multi-cycle window commits cycle k at edge time nowK
+	// while the scheduler clock still reads the window-entry time, so
+	// anything that consults "the current cycle" during a commit — the
+	// syscall cycle trap, the halt/fail stop path — must use these instead.
+	commitCycle int64
+	commitNow   engine.Time
+
+	// delivFree pools the package-delivery actors the cache modules
+	// schedule for every response (scheduler goroutine only).
+	delivFree []*pkgDeliver
+
 	// injector holds the materialized fault plan (nil when Cfg.FaultPlan is
 	// empty); aliveTCUs tracks TCUs not yet decommissioned by permanent
 	// faults (docs/ROBUSTNESS.md).
@@ -182,6 +195,7 @@ func New(prog *asm.Program, cfg config.Config, out io.Writer) (*System, error) {
 	for _, c := range s.clusters {
 		s.clusterMA.Add(c)
 	}
+	s.clusterMA.SetLookahead(deriveLookahead(&cfg), cfg.EngineMode == config.EngineOptimistic)
 	s.icnMA = engine.NewMacroActor("icn", s.Sched, s.icnClock, s.icn)
 	s.cacheMA = engine.NewMacroActor("caches", s.Sched, s.cacheClock)
 	for _, cm := range s.modules {
@@ -189,8 +203,55 @@ func New(prog *asm.Program, cfg config.Config, out io.Writer) (*System, error) {
 	}
 	s.masterMA = engine.NewMacroActor("master", s.Sched, s.masterClock, s.master)
 
-	mach.CycleFn = func() int64 { return s.clusterClock.Cycle(s.Sched.Now()) }
+	s.commitCycle, s.commitNow = -1, -1
+	mach.CycleFn = func() int64 {
+		if s.commitCycle >= 0 {
+			return s.commitCycle
+		}
+		return s.clusterClock.Cycle(s.Sched.Now())
+	}
 	return s, nil
+}
+
+// deriveLookahead resolves Config.Lookahead into a window size in cluster
+// cycles. 0 (the default) derives the window from the minimum cross-cluster
+// latency: the soonest a package injected now can act back on any cluster
+// is an ICN traversal out, a cache hit, and a traversal back. Faster
+// feedback paths (the prefix-sum unit, package deliveries) are scheduler
+// events, and windows never extend past the next pending event, so they
+// need no bound here. Correctness never depends on the value at all
+// (windows also close at every shared-state record); the derivation just
+// picks a good batch size. Clamped to [1, 64].
+func deriveLookahead(cfg *config.Config) int {
+	if cfg.Lookahead > 0 {
+		return cfg.Lookahead
+	}
+	minLat := 2*cfg.ICNBaseLatency*cfg.ICNPeriod + cfg.CacheHitLatency*cfg.CachePeriod
+	w := int(minLat / cfg.ClusterPeriod)
+	if w < 1 {
+		w = 1
+	}
+	if w > 64 {
+		w = 64
+	}
+	return w
+}
+
+// Lookahead returns the resolved window size in cluster cycles.
+func (s *System) Lookahead() int { return s.clusterMA.Lookahead() }
+
+// Rollbacks returns how many optimistic window overruns were rolled back
+// and replayed (always 0 in conservative modes).
+func (s *System) Rollbacks() uint64 { return s.clusterMA.Rollbacks() }
+
+// beginCommit/endCommit bracket one window cycle's outbox replay, exposing
+// the committing cycle and its edge time to effects that run inside it.
+func (s *System) beginCommit(cycle int64, now engine.Time) {
+	s.commitCycle, s.commitNow = cycle, now
+}
+
+func (s *System) endCommit() {
+	s.commitCycle, s.commitNow = -1, -1
 }
 
 // SetTrace installs an instruction observer (tcu = -1 for the master).
@@ -244,6 +305,13 @@ func (s *System) StartCycle() int64 { return s.cycleOffset }
 // faults.
 func (s *System) AliveTCUs() int { return s.aliveTCUs }
 
+// Release returns the machine's shared-memory buffer to the recycling pool.
+// Optional; call only after the run's results (including Machine.Mem) have
+// been read. The system must not be used afterwards. Batch drivers that
+// simulate many programs back-to-back avoid re-zeroing tens of megabytes of
+// fresh memory per run.
+func (s *System) Release() { s.Machine.ReleaseMemory() }
+
 func gcd64(a, b int64) int64 {
 	for b != 0 {
 		a, b = b, a%b
@@ -254,13 +322,47 @@ func gcd64(a, b int64) int64 {
 	return a
 }
 
-// route delivers an expiring package back to its originating context.
+// route delivers an expiring package back to its originating context and
+// recycles the package. This is the single free point of the cluster
+// package pools: a package allocated in a cluster's compute phase lives
+// until the memory system routes its (possibly in-place mutated) response
+// back here. Master packages are unpooled.
 func (s *System) route(p *Package, now engine.Time) {
 	if p.Cluster < 0 {
 		s.master.deliver(p, now)
 		return
 	}
-	s.clusters[p.Cluster].tcus[p.TCU].deliver(p, now)
+	c := s.clusters[p.Cluster]
+	c.tcus[p.TCU].deliver(p, now)
+	c.freePkg(p)
+}
+
+// pkgDeliver is a pooled actor that routes one package at its scheduled
+// time — the allocation-free replacement for the per-response closure the
+// cache modules used to capture.
+type pkgDeliver struct {
+	sys *System
+	p   *Package
+}
+
+func (d *pkgDeliver) Notify(now engine.Time) {
+	p := d.p
+	d.p = nil
+	d.sys.delivFree = append(d.sys.delivFree, d)
+	d.sys.route(p, now)
+}
+
+// scheduleDeliver routes p at time at (PrioTransfer), via the actor pool.
+func (s *System) scheduleDeliver(p *Package, at engine.Time) {
+	var d *pkgDeliver
+	if n := len(s.delivFree); n > 0 {
+		d = s.delivFree[n-1]
+		s.delivFree = s.delivFree[:n-1]
+	} else {
+		d = &pkgDeliver{sys: s}
+	}
+	d.p = p
+	s.Sched.Schedule(at, engine.PrioTransfer, d)
 }
 
 // RaceDetector returns the xmtsan detector (nil unless Cfg.RaceCheck).
@@ -302,11 +404,17 @@ func (s *System) drainRaces(now engine.Time) {
 func (s *System) wakeClusters(now engine.Time) { s.clusterMA.Wake(now) }
 func (s *System) wakeCaches(now engine.Time)   { s.cacheMA.Wake(now) }
 func (s *System) wakeMaster(now engine.Time)   { s.masterMA.Wake(now) }
-func (s *System) wakeICN()                     { s.icnMA.Wake(s.Sched.Now()) }
+func (s *System) wakeICN(now engine.Time)      { s.icnMA.Wake(now) }
 
 func (s *System) fail(err error) {
 	if s.err == nil {
 		s.err = err
+	}
+	// Stopping from inside a window commit: the scheduler clock still reads
+	// the window-entry time; advance it to the failing cycle's edge so
+	// Result.Cycles/Ticks match the single-cycle engine.
+	if s.commitNow >= 0 {
+		s.Sched.AdvanceTo(s.commitNow)
 	}
 	s.Sched.Stop()
 }
@@ -314,6 +422,9 @@ func (s *System) fail(err error) {
 func (s *System) halt() {
 	s.halted = true
 	s.Machine.Halted = true
+	if s.commitNow >= 0 {
+		s.Sched.AdvanceTo(s.commitNow)
+	}
 	s.Sched.Stop()
 }
 
@@ -386,6 +497,9 @@ func (s *System) CheckpointEvery(n int64) { s.ckptEvery = n }
 // checkpointStop halts the scheduler at a quiescent checkpoint trap.
 func (s *System) checkpointStop() {
 	s.checkpointed = true
+	if s.commitNow >= 0 {
+		s.Sched.AdvanceTo(s.commitNow)
+	}
 	s.Sched.Stop()
 }
 
@@ -424,7 +538,7 @@ func (s *System) RestoreState(st *checkpoint.State) error {
 		t := s.tcuByID(id)
 		if t.alive {
 			t.alive = false
-			t.state = tcuDead
+			t.setState(tcuDead)
 			s.aliveTCUs--
 		}
 	}

@@ -23,6 +23,17 @@ const (
 	tcuDead                      // permanently decommissioned by an injected fault
 )
 
+// tickableStates marks the states whose Tick can make progress without an
+// external delivery: these are the only TCUs the cluster tick must visit.
+// tcuWaitFence's fence check is self-contained, so it stays tickable even
+// though it usually waits on store responses.
+const tickableStates = 1<<tcuRunning | 1<<tcuStalled | 1<<tcuWaitFence
+
+// activeStates marks the states that count toward the cluster's BusyCycles
+// attribution (everything but idle/done/dead).
+const activeStates = 1<<tcuRunning | 1<<tcuStalled | 1<<tcuWaitMem |
+	1<<tcuWaitFence | 1<<tcuDraining
+
 // TCU is one lightweight parallel core: private ALU, shift and branch
 // units, a prefetch buffer, and access to the cluster-shared FPU/MDU and
 // the memory system. TCUs execute virtual threads handed out by the
@@ -60,6 +71,44 @@ type TCU struct {
 	pendingPbufLoad isa.Instr
 	pendingPbufAddr uint32
 	waitingPbuf     bool
+
+	// pendingSend stashes a package the ICN injection port refused, so the
+	// retry next cycle skips re-fetch, effective-address computation and
+	// package construction. Only ops whose retry has no other per-attempt
+	// side effect use it (psm, plain loads, stores — not lwro, whose
+	// RO-cache probe counts a miss per attempt, and not pref, which drops).
+	// Cleared by any delivery at this TCU: a prefetch fill can turn the
+	// retried load into a buffer hit, so the slow path must re-decide.
+	pendingSend   *Package
+	pendingSendPC int
+	pendingSendIn isa.Instr
+}
+
+// setState transitions the TCU's scheduling state, maintaining the
+// cluster's tickable-TCU bitmask and active count. Every state write after
+// construction must go through here (or restore the mask wholesale, as the
+// optimistic rollback does).
+func (t *TCU) setState(ns tcuState) {
+	os := t.state
+	if os == ns {
+		return
+	}
+	t.state = ns
+	c := t.cluster
+	if c.maskOK {
+		if tickableStates&(1<<ns) != 0 {
+			c.tickMask |= 1 << uint(t.local)
+		} else {
+			c.tickMask &^= 1 << uint(t.local)
+		}
+	}
+	if activeStates&(1<<ns) != 0 {
+		if activeStates&(1<<os) == 0 {
+			c.nActive++
+		}
+	} else if activeStates&(1<<os) != 0 {
+		c.nActive--
+	}
 }
 
 // resetForSpawn re-initializes the TCU at spawn onset: zeroed registers
@@ -72,11 +121,12 @@ func (t *TCU) resetForSpawn(pc int, bcastMask uint32, bcast *[isa.NumRegs]int32)
 			t.ctx.Reg[r] = bcast[r]
 		}
 	}
-	t.state = tcuRunning
+	t.setState(tcuRunning)
 	t.stallUntil = 0
 	t.pendingNB = 0
 	t.waitingPbuf = false
 	t.doneCounted = false
+	t.pendingSend = nil
 	t.pbuf.invalidateAll()
 }
 
@@ -93,12 +143,12 @@ func (t *TCU) Tick(cycle int64, now engine.Time) bool {
 		if t.pendingNB > 0 {
 			return false
 		}
-		t.state = tcuRunning
+		t.setState(tcuRunning)
 	case tcuStalled:
 		if cycle < t.stallUntil {
 			return true
 		}
-		t.state = tcuRunning
+		t.setState(tcuRunning)
 	}
 	if t.failing {
 		// Safe point: no in-flight blocking request. Posted stores must
@@ -108,10 +158,76 @@ func (t *TCU) Tick(cycle int64, now engine.Time) bool {
 			return false
 		}
 		t.cluster.ob.decomm(t)
-		t.state = tcuDead
+		t.setState(tcuDead)
 		return false
 	}
+	if t.pendingSend != nil {
+		return t.retrySend(now)
+	}
 	return t.issue(cycle, now)
+}
+
+// profIssue records one issue with the cycle profiler, deferring to the
+// commit phase in optimistic mode (a rolled-back cycle must not leave
+// profile samples behind).
+func (t *TCU) profIssue(pc int) {
+	c := t.cluster
+	if c.prof == nil {
+		return
+	}
+	if c.deferProf {
+		c.profPend = append(c.profPend, int32(pc))
+		return
+	}
+	c.prof.Issue(pc)
+}
+
+// stashSend records a refused injection for the fast retry path and keeps
+// the PC on the refused instruction, exactly like the full re-issue would.
+func (t *TCU) stashSend(p *Package, pc int, in isa.Instr) bool {
+	t.ctx.PC = pc
+	t.pendingSend = p
+	t.pendingSendPC = pc
+	t.pendingSendIn = in
+	return true
+}
+
+// retrySend re-attempts a previously refused injection. The single-cycle
+// engine re-runs the whole issue on every retry — emitting trace, event and
+// profile records per attempt and refreshing the package's issue time — so
+// the fast path replicates exactly that, minus the redundant fetch,
+// effective-address computation and package construction.
+func (t *TCU) retrySend(now engine.Time) bool {
+	p := t.pendingSend
+	pc := t.pendingSendPC
+	in := t.pendingSendIn
+	if t.sys.traceFn != nil {
+		t.cluster.ob.trace(t, pc, in)
+	}
+	if t.cluster.evRing != nil {
+		t.cluster.evRing.Emit(trace.Event{TS: now, Dur: t.sys.clusterClock.Period(),
+			Kind: trace.EvInstr, Op: in.Op, Ctx: int32(t.id), PC: int32(pc), Arg: int64(in.Line)})
+	}
+	t.profIssue(pc)
+	p.Issued = now
+	if !t.cluster.send(p, now) {
+		return true
+	}
+	t.pendingSend = nil
+	t.ctx.PC = pc + 1
+	t.cluster.ob.count(in.Op)
+	switch {
+	case in.Op == isa.OpPsm:
+		t.cluster.ob.stat(&t.sys.Stats.PsmOps, 1)
+		t.blockMem(now, pc, in.Op)
+		return false
+	case p.Kind == PkgStoreNB:
+		t.pendingNB++
+		return true
+	default: // plain loads and blocking stores
+		t.blockMem(now, pc, in.Op)
+		return false
+	}
 }
 
 // issue fetches and dispatches one instruction. It runs in the compute
@@ -122,7 +238,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 	m := t.sys.Machine
 	region := t.sys.spawn.region
 	if region == nil {
-		t.state = tcuIdle
+		t.setState(tcuIdle)
 		return false
 	}
 	pc := t.ctx.PC
@@ -141,9 +257,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 		t.cluster.evRing.Emit(trace.Event{TS: now, Dur: t.sys.clusterClock.Period(),
 			Kind: trace.EvInstr, Op: in.Op, Ctx: int32(t.id), PC: int32(pc), Arg: int64(in.Line)})
 	}
-	if t.cluster.prof != nil {
-		t.cluster.prof.Issue(pc)
-	}
+	t.profIssue(pc)
 
 	count := func() { t.cluster.ob.count(in.Op) }
 	meta := in.Op.Meta()
@@ -180,7 +294,7 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 		count()
 		t.pbuf.invalidateAll()
 		if t.pendingNB > 0 {
-			t.state = tcuWaitFence
+			t.setState(tcuWaitFence)
 			return false
 		}
 		return true
@@ -194,10 +308,11 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 
 	case in.Op == isa.OpPsm:
 		addr := m.EffAddr(&t.ctx, in)
-		if !t.trySend(&Package{Kind: PkgPsm, In: in, Cluster: t.cluster.id, TCU: t.local,
-			Addr: addr, Data: t.ctx.Reg[in.Rd], Issued: now}) {
-			t.ctx.PC = pc // retry next cycle
-			return true
+		p := t.cluster.allocPkg()
+		*p = Package{Kind: PkgPsm, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: addr, Data: t.ctx.Reg[in.Rd], Issued: now}
+		if !t.trySend(p, now) {
+			return t.stashSend(p, pc, in) // retry next cycle
 		}
 		count()
 		t.cluster.ob.stat(&t.sys.Stats.PsmOps, 1)
@@ -215,9 +330,12 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 		if e == nil {
 			return true // all slots in flight; drop the hint
 		}
-		if !t.trySend(&Package{Kind: PkgPrefetch, In: in, Cluster: t.cluster.id, TCU: t.local,
-			Addr: la, LineAddr: la, Issued: now}) {
+		p := t.cluster.allocPkg()
+		*p = Package{Kind: PkgPrefetch, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: la, LineAddr: la, Issued: now}
+		if !t.trySend(p, now) {
 			e.valid = false // could not inject; drop
+			t.cluster.freePkg(p)
 			return true
 		}
 		t.cluster.ob.stat(&t.sys.Stats.PrefetchFills, 1)
@@ -241,8 +359,12 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 			return true
 		}
 		t.cluster.ob.stat(&t.sys.Stats.ROMisses, 1)
-		if !t.trySend(&Package{Kind: PkgLoad, In: in, Cluster: t.cluster.id, TCU: t.local,
-			Addr: addr, Issued: now}) {
+		p := t.cluster.allocPkg()
+		*p = Package{Kind: PkgLoad, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: addr, Issued: now}
+		if !t.trySend(p, now) {
+			// No stash: the RO-cache probe above counts a miss per attempt.
+			t.cluster.freePkg(p)
 			t.ctx.PC = pc
 			return true
 		}
@@ -273,10 +395,11 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 			t.blockMem(now, pc, in.Op)
 			return false
 		}
-		if !t.trySend(&Package{Kind: PkgLoad, In: in, Cluster: t.cluster.id, TCU: t.local,
-			Addr: addr, Issued: now}) {
-			t.ctx.PC = pc
-			return true
+		p := t.cluster.allocPkg()
+		*p = Package{Kind: PkgLoad, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: addr, Issued: now}
+		if !t.trySend(p, now) {
+			return t.stashSend(p, pc, in)
 		}
 		count()
 		t.blockMem(now, pc, in.Op)
@@ -288,10 +411,11 @@ func (t *TCU) issue(cycle int64, now engine.Time) bool {
 		if in.Op == isa.OpSwNB {
 			kind = PkgStoreNB
 		}
-		if !t.trySend(&Package{Kind: kind, In: in, Cluster: t.cluster.id, TCU: t.local,
-			Addr: addr, Data: t.ctx.Reg[in.Rd], Issued: now}) {
-			t.ctx.PC = pc
-			return true
+		p := t.cluster.allocPkg()
+		*p = Package{Kind: kind, In: in, Cluster: t.cluster.id, TCU: t.local,
+			Addr: addr, Data: t.ctx.Reg[in.Rd], Issued: now}
+		if !t.trySend(p, now) {
+			return t.stashSend(p, pc, in)
 		}
 		count()
 		if kind == PkgStoreNB {
@@ -357,12 +481,12 @@ func extractPbuf(e *pbufEntry, in isa.Instr, addr uint32) int32 {
 }
 
 func (t *TCU) stall(until int64) {
-	t.state = tcuStalled
+	t.setState(tcuStalled)
 	t.stallUntil = until
 }
 
 func (t *TCU) blockMem(now engine.Time, pc int, op isa.Op) {
-	t.state = tcuWaitMem
+	t.setState(tcuWaitMem)
 	t.memWaitStart = now
 	t.blockPC = int32(pc)
 	t.blockOp = op
@@ -394,7 +518,7 @@ func (t *TCU) unblock(now engine.Time) {
 		}
 		t.waitPS = false
 	}
-	t.state = tcuRunning
+	t.setState(tcuRunning)
 	t.sys.wakeClusters(now)
 }
 
@@ -404,21 +528,25 @@ func (t *TCU) unblock(now engine.Time) {
 // phase), so the spawn-unit notification is deferred to commit.
 func (t *TCU) finish(now engine.Time) {
 	if t.pendingNB > 0 {
-		t.state = tcuDraining
+		t.setState(tcuDraining)
 		return
 	}
-	t.state = tcuDone
+	t.setState(tcuDone)
 	t.cluster.ob.done(t)
 }
 
-// trySend enqueues a package into the cluster's ICN send queue.
-func (t *TCU) trySend(p *Package) bool {
-	return t.cluster.send(p)
+// trySend enqueues a package into the cluster's ICN send queue. now is the
+// issuing cycle's edge time.
+func (t *TCU) trySend(p *Package, now engine.Time) bool {
+	return t.cluster.send(p, now)
 }
 
 // deliver commits an expiring package back at the TCU (the "commit stage"
 // of the paper's package life cycle).
 func (t *TCU) deliver(p *Package, now engine.Time) {
+	// Any delivery invalidates the fast send-retry stash: a prefetch fill
+	// can turn the retried load into a buffer hit, so re-run the full issue.
+	t.pendingSend = nil
 	if !t.alive {
 		// The TCU was decommissioned while this package was in flight (only
 		// possible for non-blocking responses: a TCU with a blocking request
@@ -451,7 +579,7 @@ func (t *TCU) deliver(p *Package, now engine.Time) {
 		case t.state == tcuWaitFence && t.pendingNB == 0:
 			t.unblock(now)
 		case t.state == tcuDraining && t.pendingNB == 0:
-			t.state = tcuDone
+			t.setState(tcuDone)
 			if t.failing {
 				// Thread already finished; only the drain held the
 				// decommission back. Delivery runs on the scheduler

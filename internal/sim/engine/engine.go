@@ -139,6 +139,32 @@ func (s *Scheduler) SetBucketWidth(w Time) {
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
+// NextTime peeks at the earliest pending event and returns its time without
+// removing it (MaxTime when the queue is empty). The bounded-lookahead
+// window uses it to find how far the cluster domain can run before any
+// other component has an event due.
+func (s *Scheduler) NextTime() Time {
+	e := s.next()
+	if e == nil {
+		return MaxTime
+	}
+	return e.time
+}
+
+// AdvanceTo moves the current time forward to t without processing events.
+// It exists for one narrow purpose: when a multi-cycle lookahead window
+// stops the simulation mid-window (halt, failure, checkpoint trap), the
+// stopping cycle's edge lies past the window-entry event time that Now()
+// reports. The committing component advances the clock to the cycle it
+// actually stopped at so Result.Cycles/Ticks match a single-cycle run.
+// Only valid when the simulation is stopping: events between now and t
+// would otherwise fire late.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
 // Pending returns the number of events in the list (including canceled
 // events not yet dropped; compaction keeps that share bounded).
 func (s *Scheduler) Pending() int { return s.ringN + len(s.overflow) }

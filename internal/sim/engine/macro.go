@@ -46,14 +46,41 @@ func (m *MacroActor) Len() int { return len(m.comps) }
 
 // Wake ensures the macro-actor is scheduled for the next clock edge. Idle
 // macro-actors deschedule themselves; components call Wake (typically from
-// Input) when new work arrives.
+// Input) when new work arrives. A pending WakeAt further out is pulled in.
 func (m *MacroActor) Wake(now Time) {
-	if m.scheduled {
-		return
-	}
 	edge := m.clock.NextEdge(now)
 	if edge == MaxTime {
 		return // domain gated off; the DVFS controller re-wakes on Enable
+	}
+	m.wakeEdge(edge)
+}
+
+// WakeAt schedules the next notification at the first clock edge at or
+// after `at` instead of the very next edge — the idle-skip for components
+// whose queued work all lies in the future (e.g. in-flight ICN packages):
+// the skipped edges cost no scheduler events at all, and the component
+// ticks again exactly when the earliest item can make progress. A later
+// Wake for an earlier edge supersedes it.
+func (m *MacroActor) WakeAt(now, at Time) {
+	if at <= now {
+		m.Wake(now)
+		return
+	}
+	edge := m.clock.NextEdge(at - 1) // first edge at or after `at`
+	if edge == MaxTime {
+		return
+	}
+	m.wakeEdge(edge)
+}
+
+// wakeEdge schedules (or tightens) the pending notification to the given
+// edge; an already-pending earlier notification stands.
+func (m *MacroActor) wakeEdge(edge Time) {
+	if m.scheduled {
+		if m.pending != nil && m.pending.Time() <= edge {
+			return
+		}
+		m.sched.Cancel(m.pending)
 	}
 	m.scheduled = true
 	m.pending = m.sched.Schedule(edge, PrioClock, m)

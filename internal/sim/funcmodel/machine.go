@@ -10,6 +10,7 @@ package funcmodel
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"xmtgo/internal/asm"
 	"xmtgo/internal/isa"
@@ -98,6 +99,89 @@ type Machine struct {
 
 	// Trace, when non-nil, is called for each executed instruction.
 	Trace func(ctx *Context, in isa.Instr)
+
+	// Dirty-region watermarks for memory recycling (ReleaseMemory): every
+	// mutation below memHalf raises dirtyLoMax (exclusive), every mutation
+	// at or above it lowers dirtyHiMin (inclusive). The split matches the
+	// usual layout — data and heap grow up from the bottom, the serial
+	// stack grows down from the top — so a released buffer is re-zeroed in
+	// two small ranges instead of its full length.
+	memHalf    uint32
+	dirtyLoMax uint32
+	dirtyHiMin uint32
+}
+
+// memPool recycles shared-memory buffers between runs, bucketed by size.
+// Zeroing tens of megabytes per simulation dominated allocation cost in
+// batch runs (mallocgc clears large objects); recycled buffers are instead
+// re-zeroed over just their dirty watermark ranges at release.
+var memPool struct {
+	mu   sync.Mutex
+	bufs map[uint32][][]byte
+}
+
+const memPoolPerSize = 4
+
+func acquireMem(size uint32) []byte {
+	memPool.mu.Lock()
+	defer memPool.mu.Unlock()
+	q := memPool.bufs[size]
+	if n := len(q); n > 0 {
+		b := q[n-1]
+		q[n-1] = nil
+		memPool.bufs[size] = q[:n-1]
+		return b
+	}
+	return make([]byte, size)
+}
+
+// ReleaseMemory re-zeroes the machine's dirty memory ranges and returns the
+// buffer to the recycling pool. The machine must not be used afterwards.
+// Optional: callers that run one simulation and exit gain nothing from it.
+func (m *Machine) ReleaseMemory() {
+	b := m.Mem
+	if b == nil {
+		return
+	}
+	m.Mem = nil
+	lo, hi := m.dirtyLoMax, m.dirtyHiMin
+	if lo > uint32(len(b)) {
+		lo = uint32(len(b))
+	}
+	for i := range b[:lo] {
+		b[i] = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	for i := range b[hi:] {
+		b[hi+uint32(i)] = 0
+	}
+	size := uint32(len(b))
+	memPool.mu.Lock()
+	defer memPool.mu.Unlock()
+	if memPool.bufs == nil {
+		memPool.bufs = make(map[uint32][][]byte)
+	}
+	if len(memPool.bufs[size]) < memPoolPerSize {
+		memPool.bufs[size] = append(memPool.bufs[size], b)
+	}
+}
+
+// MarkMemDirty widens the dirty watermarks for an external mutation of
+// m.Mem (fault injection, checkpoint restore). lo..hi is a byte range,
+// hi exclusive.
+func (m *Machine) MarkMemDirty(lo, hi uint32) {
+	if lo < m.memHalf {
+		if hi > m.dirtyLoMax {
+			m.dirtyLoMax = hi
+		}
+	}
+	if lo >= m.memHalf || hi > m.memHalf {
+		if lo < m.dirtyHiMin {
+			m.dirtyHiMin = lo
+		}
+	}
 }
 
 // New creates a machine for prog with memBytes of shared memory and loads
@@ -112,8 +196,11 @@ func New(prog *asm.Program, memBytes uint32, out io.Writer) (*Machine, error) {
 	if out == nil {
 		out = io.Discard
 	}
-	m := &Machine{Prog: prog, Mem: make([]byte, memBytes), Out: out}
+	m := &Machine{Prog: prog, Mem: acquireMem(memBytes), Out: out}
+	m.memHalf = memBytes / 2
+	m.dirtyHiMin = memBytes
 	copy(m.Mem[asm.DataBase:], prog.Data)
+	m.MarkMemDirty(asm.DataBase, asm.DataBase+uint32(len(prog.Data)))
 	m.Master = Context{ID: -1, IsMaster: true, PC: prog.Entry}
 	// The serial stack starts at the top of the simulated memory (the
 	// asm.StackTop constant is the default for the default memory size).
@@ -154,6 +241,13 @@ func (m *Machine) WriteWord(addr uint32, v int32) error {
 	m.Mem[addr+1] = byte(v >> 8)
 	m.Mem[addr+2] = byte(v >> 16)
 	m.Mem[addr+3] = byte(v >> 24)
+	if addr < m.memHalf {
+		if addr+4 > m.dirtyLoMax {
+			m.dirtyLoMax = addr + 4
+		}
+	} else if addr < m.dirtyHiMin {
+		m.dirtyHiMin = addr
+	}
 	return nil
 }
 
@@ -171,6 +265,13 @@ func (m *Machine) StoreByte(addr uint32, v byte) error {
 		return &MemFault{Addr: addr, Op: "store byte"}
 	}
 	m.Mem[addr] = v
+	if addr < m.memHalf {
+		if addr+1 > m.dirtyLoMax {
+			m.dirtyLoMax = addr + 1
+		}
+	} else if addr < m.dirtyHiMin {
+		m.dirtyHiMin = addr
+	}
 	return nil
 }
 

@@ -163,6 +163,40 @@ func (c *Collector) CountInstr(op isa.Op, cluster int, master bool) {
 	}
 }
 
+// CountInstrs records a batch of committed TCU instructions from one
+// cluster. The parallel engine buffers counted opcodes as a flat op stream
+// (one byte-sized op per issue instead of a full outbox record) and flushes
+// them here at commit; semantics match calling CountInstr per op with
+// master=false.
+func (c *Collector) CountInstrs(ops []isa.Op, cluster int) {
+	var cs *ClusterStats
+	if cluster >= 0 && cluster < len(c.Cluster) {
+		cs = &c.Cluster[cluster]
+	}
+	for _, op := range ops {
+		unit := op.Meta().Unit
+		c.InstrByOp[op]++
+		c.InstrByUnit[unit]++
+		c.TCUInstrs++
+		if cs != nil {
+			cs.TCUInstrs++
+			switch unit {
+			case isa.UnitALU, isa.UnitSFT, isa.UnitBR:
+				cs.ALUOps++
+			case isa.UnitFPU:
+				cs.FPUOps++
+			case isa.UnitMDU:
+				cs.MDUOps++
+			case isa.UnitMEM:
+				cs.MemOps++
+			}
+		}
+		for _, f := range c.filters {
+			f.Instr(op, false)
+		}
+	}
+}
+
 // CountMem records one memory access observed at a cache module.
 func (c *Collector) CountMem(addr uint32, op isa.Op, module int, hit bool) {
 	if module >= 0 && module < len(c.CacheHits) {

@@ -121,6 +121,18 @@ func (r *Ring) Emit(e Event) {
 // Len returns the buffered event count.
 func (r *Ring) Len() int { return len(r.buf) }
 
+// Cap returns the ring's capacity (events held between drains).
+func (r *Ring) Cap() int { return cap(r.buf) }
+
+// Truncate discards every event past index n (optimistic-rollback support:
+// a cluster that overran its lookahead window rewinds its ring to the
+// window-entry length).
+func (r *Ring) Truncate(n int) {
+	if n < len(r.buf) {
+		r.buf = r.buf[:n]
+	}
+}
+
 // EventLog collects the deterministic, committed event stream of one run.
 type EventLog struct {
 	Events  []Event
@@ -139,6 +151,22 @@ func (l *EventLog) Emit(e Event) { l.Events = append(l.Events, e) }
 // outbox commit, serially, in cluster-id order.
 func (l *EventLog) Drain(r *Ring) {
 	l.Events = append(l.Events, r.buf...)
+	l.Dropped += r.dropped
+	r.buf = r.buf[:0]
+	r.dropped = 0
+}
+
+// DrainRange appends the ring's events in [lo, hi) to the log without
+// resetting the ring. The bounded-lookahead engine drains one window
+// cycle's segment at a time (in (cycle, cluster) order) and resets the
+// ring once per window via ResetRing.
+func (l *EventLog) DrainRange(r *Ring, lo, hi int) {
+	l.Events = append(l.Events, r.buf[lo:hi]...)
+}
+
+// ResetRing clears a fully drained ring, folding its overflow-drop count
+// into the log.
+func (l *EventLog) ResetRing(r *Ring) {
 	l.Dropped += r.dropped
 	r.buf = r.buf[:0]
 	r.dropped = 0

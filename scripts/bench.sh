@@ -3,8 +3,10 @@
 #
 #     sh scripts/bench.sh
 #
-# Runs the Table I throughput benchmarks and the host-parallel scaling
-# benchmark with -benchmem, writes the parsed results to BENCH_<date>.json,
+# Runs the Table I throughput benchmarks, the host-parallel scaling
+# benchmark and the lookahead comparison (single-cycle vs derived window vs
+# optimistic, docs/PERF.md §Lookahead) with -benchmem, writes the parsed
+# results to BENCH_<date>.json,
 # appends the record to the cross-run BENCH_HISTORY.jsonl, appends a
 # one-line summary to EXPERIMENTS.md so successive PRs can compare
 # simulated-cycles/sec on the same workloads, and diffs the last two
@@ -21,8 +23,8 @@ history="BENCH_HISTORY.jsonl"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-echo "== go test -bench (Table I + host-parallel scaling)"
-go test -run '^$' -bench 'BenchmarkTableI_|BenchmarkHostParallelScaling' \
+echo "== go test -bench (Table I + host-parallel scaling + lookahead)"
+go test -run '^$' -bench 'BenchmarkTableI_|BenchmarkHostParallelScaling|BenchmarkLookahead' \
     -benchmem . | tee "$raw"
 
 go run ./cmd/benchjson -date "$date" -o "$out" -history "$history" <"$raw"

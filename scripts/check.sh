@@ -45,6 +45,22 @@ echo "== go test -race (simulator core + host-parallel determinism)"
 go test -race ./internal/sim/engine ./internal/sim/cycle ./internal/sim/funcmodel
 go test -race -run TestHostParallelDeterminism .
 
+echo "== lookahead gate (window determinism matrix + rollback sanity)"
+# The bounded-lookahead engine must be architecturally invisible: byte-
+# identical artifacts across host_workers {1,2,4} x lookahead {1, 3,
+# derived} x {windowed, optimistic}, checkpoint/resume mid-window, and the
+# optimistic run must actually exercise the rollback path (nonzero
+# System.Rollbacks) while matching the lockstep result.
+go test -count=1 -run 'TestLookaheadDeterminism|TestLookaheadCheckpointResume|TestOptimisticRollbackOccurs' .
+
+# Cross-run throughput gate: when bench.sh has recorded at least two
+# BENCH_HISTORY.jsonl entries, sim_cycle/sec (direction: up) must not
+# regress beyond the wide cross-host band.
+if [ -f BENCH_HISTORY.jsonl ] && [ "$(wc -l <BENCH_HISTORY.jsonl)" -ge 2 ]; then
+    echo "== xmtperf (BENCH_HISTORY.jsonl: sim_cycle/sec regression gate)"
+    go run ./cmd/xmtperf -threshold 30 -t ns/op=60 -t allocs/op=60 -t B/op=60 BENCH_HISTORY.jsonl
+fi
+
 echo "== chaos soak (seeded fault-injection matrix, docs/ROBUSTNESS.md)"
 # 3 workloads x 3 seeds x host_workers {1,4} under a mixed fault plan, run
 # under -race with a hard timeout: results must be byte-identical per

@@ -77,6 +77,14 @@ type (
 	ThermalManager = power.ThermalManager
 )
 
+// Engine window strategies for Config.EngineMode (docs/PERF.md): the
+// conservative bounded-lookahead default and the optimistic rollback mode.
+// Results are bit-identical under either.
+const (
+	EngineWindowed   = config.EngineWindowed
+	EngineOptimistic = config.EngineOptimistic
+)
+
 // DefaultCompileOptions returns the standard -O1 pipeline configuration.
 func DefaultCompileOptions() CompileOptions { return codegen.DefaultOptions() }
 
@@ -156,10 +164,10 @@ func RunFunctional(prog *Program, cfg Config, out io.Writer) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := m.Run(0); err != nil {
-		return m.InstrCount, err
-	}
-	return m.InstrCount, nil
+	err = m.Run(0)
+	n := m.InstrCount
+	m.ReleaseMemory()
+	return n, err
 }
 
 // NewHotLocationsFilter returns the paper's example filter plug-in: a list
