@@ -187,6 +187,56 @@ func BenchmarkFunctionalVsCycle(b *testing.B) {
 	})
 }
 
+// --- Functional backends: interpreter vs the funcvm bytecode VM ---
+//
+// Both backends produce bit-identical architectural results (the three-way
+// conformance matrix and FuzzBackendDifferential enforce it); this
+// benchmark measures what the lowered direct-threaded dispatch buys on
+// each workload shape (docs/SIMULATOR.md §Functional backends). bench.sh
+// records sim_instr/sec per (workload, backend) in BENCH_HISTORY.jsonl and
+// check.sh gates it direction-up through xmtperf.
+func BenchmarkFuncBackend(b *testing.B) {
+	type wl struct {
+		name string
+		src  string
+	}
+	var cases []wl
+	for _, g := range []workloads.TableIGroup{
+		workloads.ParallelMemory, workloads.ParallelCompute,
+		workloads.SerialMemory, workloads.SerialCompute,
+	} {
+		work := 40
+		if g == workloads.SerialMemory || g == workloads.SerialCompute {
+			work = 40000
+		}
+		cases = append(cases, wl{g.Name(), workloads.TableI(g, 1024, work)})
+	}
+	comp, _ := workloads.Compaction(4096, 0.5, 3)
+	cases = append(cases, wl{"compaction", comp})
+
+	for _, c := range cases {
+		prog := buildB(b, c.src, xmtgo.DefaultCompileOptions())
+		for _, backend := range []string{xmtgo.FuncBackendInterp, xmtgo.FuncBackendVM} {
+			b.Run(fmt.Sprintf("%s/%s", c.name, backend), func(b *testing.B) {
+				cfg := xmtgo.ConfigChip1024()
+				cfg.FuncBackend = backend
+				var instrs uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n, err := xmtgo.RunFunctional(prog, cfg, io.Discard)
+					if err != nil {
+						b.Fatal(err)
+					}
+					instrs += n
+				}
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(instrs)/sec, "sim_instr/sec")
+				}
+			})
+		}
+	}
+}
+
 // --- §III-D / Fig. 4: macro-actor vs per-component actors ---
 //
 // The trade-off the paper measured: with one actor per component, the DE

@@ -29,6 +29,7 @@ import (
 	"xmtgo/internal/prof"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/funcvm"
 	"xmtgo/internal/sim/metrics"
 	"xmtgo/internal/sim/stats"
 	"xmtgo/internal/sim/trace"
@@ -44,6 +45,7 @@ func main() {
 	var (
 		cfgName   = flag.String("config", "fpga64", "machine preset: fpga64 or chip1024")
 		mode      = flag.String("mode", "cycle", "simulation mode: cycle or func")
+		backend   = flag.String("backend", "", "functional-mode backend: interp or vm (default: config func_backend, else interp)")
 		maxCycles = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = unlimited)")
 		showStats = flag.Bool("stats", false, "print instruction and activity counters")
 		counters  = flag.Bool("counters", false, "print the hardware performance counter report")
@@ -102,6 +104,11 @@ func main() {
 	if *raceCheck {
 		cfg.RaceCheck = true
 	}
+	if *backend != "" {
+		if err := cfg.Set("func_backend=" + *backend); err != nil {
+			fatal(err)
+		}
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -158,11 +165,25 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if cfg.FuncBackend == config.FuncBackendVM {
+			vm, err := funcvm.Attach(m)
+			if err != nil {
+				fatal(err)
+			}
+			if err := vm.Run(0); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode, vm backend) ===\n", m.InstrCount)
+			return
+		}
 		if err := m.Run(0); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode) ===\n", m.InstrCount)
 		return
+	}
+	if cfg.FuncBackend == config.FuncBackendVM {
+		fatal(fmt.Errorf("-backend vm applies to the functional mode (-mode func)"))
 	}
 
 	sys, err := cycle.New(prog, cfg, os.Stdout)

@@ -39,6 +39,7 @@ import (
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/funcvm"
 	"xmtgo/internal/sim/metrics"
 	"xmtgo/internal/sim/power"
 	"xmtgo/internal/sim/stats"
@@ -56,6 +57,7 @@ func main() {
 		cfgName   = flag.String("config", "fpga64", "machine preset: fpga64 or chip1024")
 		cfgFile   = flag.String("config-file", "", "key=value configuration file")
 		mode      = flag.String("mode", "cycle", "simulation mode: cycle or func")
+		backend   = flag.String("backend", "", "functional-mode backend: interp or vm (default: config func_backend, else interp)")
 		maxCycles = flag.Int64("max-cycles", 0, "stop after this many cycles (0 = unlimited)")
 		showStats = flag.Bool("stats", false, "print instruction and activity counters")
 		hot       = flag.Bool("hot", false, "enable the hottest-memory-locations filter plug-in")
@@ -125,6 +127,11 @@ func main() {
 	}
 	if *raceCheck {
 		cfg.RaceCheck = true
+	}
+	if *backend != "" {
+		if err := cfg.Set("func_backend=" + *backend); err != nil {
+			fatal(err)
+		}
 	}
 	if *describe {
 		fmt.Print(cfg.Describe())
@@ -200,6 +207,9 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+	if cfg.FuncBackend == config.FuncBackendVM {
+		fatal(fmt.Errorf("-backend vm applies to the functional mode (-mode func)"))
 	}
 
 	sys, err := cycle.New(prog, cfg, os.Stdout)
@@ -409,22 +419,45 @@ func runFunctional(prog *asm.Program, cfg config.Config, resume *checkpoint.Stat
 		tr := trace.New(os.Stderr, trace.LevelFunctional)
 		m.Trace = tr.FuncHook()
 	}
+	saveCkpt := func(m *funcmodel.Machine) error {
+		f, err := os.Create(ckptOut)
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.Save(f, checkpoint.Capture(m, int64(m.InstrCount))); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint written to %s (instruction %d)\n", ckptOut, m.InstrCount)
+		return nil
+	}
+	if cfg.FuncBackend == config.FuncBackendVM {
+		vm, err := funcvm.Attach(m)
+		if err != nil {
+			fatal(err)
+		}
+		if ckptOut != "" {
+			vm.OnCheckpoint = saveCkpt
+		}
+		if err := vm.Run(0); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode, vm backend) ===\n", m.InstrCount)
+		return m
+	}
 	for {
 		ok, err := m.Step()
 		if err != nil {
 			fatal(err)
 		}
 		if m.CheckpointRequested && ckptOut != "" {
-			f, err := os.Create(ckptOut)
-			if err != nil {
+			if err := saveCkpt(m); err != nil {
 				fatal(err)
 			}
-			if err := checkpoint.Save(f, checkpoint.Capture(m, int64(m.InstrCount))); err != nil {
-				fatal(err)
-			}
-			f.Close()
 			m.CheckpointRequested = false
-			fmt.Fprintf(os.Stderr, "checkpoint written to %s (instruction %d)\n", ckptOut, m.InstrCount)
 		}
 		if !ok {
 			break

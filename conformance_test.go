@@ -1,11 +1,16 @@
-// Differential conformance: the fast functional model and the
-// cycle-accurate model are two implementations of the same architecture,
-// so every workload program must leave both in the same architectural
-// state — final shared memory, global registers, master context, printf
-// output and halt state. Divergence means one of the models (or the
-// compiler) broke; this corpus is the tripwire. scripts/check.sh runs it.
+// Differential conformance: the functional interpreter, the funcvm
+// bytecode backend and the cycle-accurate model are three implementations
+// of the same architecture, so every workload program must leave all of
+// them in the same architectural state — final shared memory, global
+// registers, master context, printf output and halt state. Divergence
+// means one of the models (or the compiler) broke; this corpus is the
+// tripwire. scripts/check.sh runs it.
 //
-// Two deliberate exclusions from the comparison:
+// The matrix is three-way: interp↔vm is compared fully strictly (both
+// functional backends serialize spawn sections in the same order, so even
+// interleaving-dependent memory must match byte-for-byte, and so must the
+// instruction count and every global register including G[GRegSpawn]);
+// interp↔cycle keeps two deliberate exclusions:
 //   - G[GRegSpawn] (the virtual-thread grab counter): the functional mode
 //     serializes each spawn on one virtual TCU while the cycle model runs
 //     Cfg.TCUs() of them, and every TCU performs one final failing grab, so
@@ -119,9 +124,9 @@ func TestDegradedConformance(t *testing.T) {
 	}
 }
 
-// runConformanceCase runs one corpus program under both models with cfg and
-// fails the test on any architectural divergence. It returns the cycle
-// simulator for extra assertions.
+// runConformanceCase runs one corpus program under all three models with
+// cfg and fails the test on any architectural divergence. It returns the
+// cycle simulator for extra assertions.
 func runConformanceCase(t *testing.T, tc confCase, cfg xmtgo.Config) *xmtgo.Simulator {
 	t.Helper()
 	prog, _, err := xmtgo.Build(tc.name+".c", tc.src, xmtgo.DefaultCompileOptions(), tc.memmaps...)
@@ -135,11 +140,28 @@ func runConformanceCase(t *testing.T, tc confCase, cfg xmtgo.Config) *xmtgo.Simu
 		t.Fatal(err)
 	}
 	if err := fm.Run(50_000_000); err != nil {
-		t.Fatalf("functional: %v", err)
+		t.Fatalf("functional interp: %v", err)
 	}
 	if !fm.Halted {
-		t.Fatalf("functional run did not halt (%d instructions)", fm.InstrCount)
+		t.Fatalf("functional interp run did not halt (%d instructions)", fm.InstrCount)
 	}
+
+	var vmOut bytes.Buffer
+	vmm, err := xmtgo.NewMachine(prog, cfg, &vmOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := xmtgo.NewFuncVM(vmm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(50_000_000); err != nil {
+		t.Fatalf("functional vm: %v", err)
+	}
+	if !vmm.Halted {
+		t.Fatalf("functional vm run did not halt (%d instructions)", vmm.InstrCount)
+	}
+	compareFuncBackends(t, fm, vmm, funcOut.String(), vmOut.String())
 
 	var cycOut bytes.Buffer
 	sys, err := xmtgo.NewSimulator(prog, cfg, &cycOut)
@@ -186,4 +208,46 @@ func runConformanceCase(t *testing.T, tc confCase, cfg xmtgo.Config) *xmtgo.Simu
 		}
 	}
 	return sys
+}
+
+// compareFuncBackends checks the interpreter and the funcvm backend for
+// full architectural equality: both serialize spawn sections virtual
+// thread by virtual thread in the same order, so nothing is excluded —
+// memory, every global register (including G[GRegSpawn]), master context,
+// instruction count, halt state and output must all be identical.
+func compareFuncBackends(t *testing.T, interp, vm *xmtgo.Machine, interpOut, vmOut string) {
+	t.Helper()
+	if vmOut != interpOut {
+		t.Errorf("printf output diverged:\nvm:     %q\ninterp: %q", vmOut, interpOut)
+	}
+	if vm.Halted != interp.Halted {
+		t.Errorf("halt state: vm=%v interp=%v", vm.Halted, interp.Halted)
+	}
+	if vm.InstrCount != interp.InstrCount {
+		t.Errorf("instruction count: vm=%d interp=%d", vm.InstrCount, interp.InstrCount)
+	}
+	for gr := 0; gr < isa.NumGRegs; gr++ {
+		if vm.G[gr] != interp.G[gr] {
+			t.Errorf("global register g%d: vm=%d interp=%d", gr, vm.G[gr], interp.G[gr])
+		}
+	}
+	if vm.Master.PC != interp.Master.PC {
+		t.Errorf("master PC: vm=%d interp=%d", vm.Master.PC, interp.Master.PC)
+	}
+	if vm.Master.Reg != interp.Master.Reg {
+		for r := 0; r < isa.NumRegs; r++ {
+			if vm.Master.Reg[r] != interp.Master.Reg[r] {
+				t.Errorf("master $%d: vm=%d interp=%d", r, vm.Master.Reg[r], interp.Master.Reg[r])
+			}
+		}
+	}
+	if !bytes.Equal(vm.Mem, interp.Mem) {
+		for i := range interp.Mem {
+			if vm.Mem[i] != interp.Mem[i] {
+				t.Errorf("memory diverged first at 0x%08x: vm=%#02x interp=%#02x",
+					i, vm.Mem[i], interp.Mem[i])
+				break
+			}
+		}
+	}
 }

@@ -3,6 +3,7 @@ package asm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"xmtgo/internal/isa"
 )
@@ -51,6 +52,36 @@ type Program struct {
 	Entry    int    // instruction index where the Master TCU starts
 	Spawns   []SpawnRegion
 	SrcFiles []string
+
+	// lowered caches backend-specific lowered forms of the program, keyed
+	// by backend name (e.g. "funcvm" for the bytecode VM). A program is
+	// lowered once and the immutable result shared by every machine
+	// attached to it, so batch and benchmark drivers pay the lowering cost
+	// a single time. Guarded for concurrent simulations of one program.
+	loweredMu sync.Mutex
+	lowered   map[string]any
+}
+
+// CachedLowered returns the cached lowered form for backend, if any.
+func (p *Program) CachedLowered(backend string) (any, bool) {
+	p.loweredMu.Lock()
+	defer p.loweredMu.Unlock()
+	v, ok := p.lowered[backend]
+	return v, ok
+}
+
+// StoreLowered caches a lowered form for backend. The stored value must be
+// immutable: it is shared by every simulation of this program. The first
+// store for a backend wins; concurrent duplicate lowerings are discarded.
+func (p *Program) StoreLowered(backend string, v any) {
+	p.loweredMu.Lock()
+	defer p.loweredMu.Unlock()
+	if p.lowered == nil {
+		p.lowered = make(map[string]any)
+	}
+	if _, dup := p.lowered[backend]; !dup {
+		p.lowered[backend] = v
+	}
 }
 
 // SymAddr returns the value of a data symbol.

@@ -119,6 +119,13 @@ type Config struct {
 	// resulting time series is bit-identical for any HostWorkers value.
 	SampleCycles int64
 
+	// FuncBackend selects the functional-mode execution backend
+	// (docs/SIMULATOR.md §Functional backends): FuncBackendInterp (the
+	// per-step ISA interpreter, the default; "" means interp) or
+	// FuncBackendVM (the direct-threaded bytecode VM in internal/sim/
+	// funcvm). Architectural results are bit-identical for either value.
+	FuncBackend string
+
 	// RaceCheck enables xmtsan, the deterministic happens-before race
 	// sanitizer in the cycle simulator (docs/ANALYZER.md). Reports are
 	// byte-identical for any HostWorkers value; when off, the simulation is
@@ -147,6 +154,16 @@ const (
 	// independently; clusters that overran the consensus boundary roll
 	// back to their window-entry snapshot and replay.
 	EngineOptimistic = "optimistic"
+)
+
+// Functional-mode backends (docs/SIMULATOR.md §Functional backends).
+const (
+	// FuncBackendInterp decodes and executes ISA instructions one Step at
+	// a time (funcmodel's interpreter, the default).
+	FuncBackendInterp = "interp"
+	// FuncBackendVM lowers the program once into direct-threaded bytecode
+	// and dispatches pre-resolved handlers (internal/sim/funcvm).
+	FuncBackendVM = "vm"
 )
 
 // TCUs returns the total number of parallel TCUs.
@@ -189,6 +206,8 @@ func (c *Config) Validate() error {
 		{c.Lookahead >= 0, "Lookahead must be non-negative"},
 		{c.EngineMode == "" || c.EngineMode == EngineWindowed || c.EngineMode == EngineOptimistic,
 			"EngineMode must be windowed or optimistic"},
+		{c.FuncBackend == "" || c.FuncBackend == FuncBackendInterp || c.FuncBackend == FuncBackendVM,
+			"FuncBackend must be interp or vm"},
 		{c.WatchdogCycles >= 0, "WatchdogCycles must be non-negative"},
 		{c.SampleCycles >= 0, "SampleCycles must be non-negative"},
 	}
@@ -411,6 +430,15 @@ var fieldSetters = map[string]func(*Config, string) error{
 		c.FaultPlan = v
 		return nil
 	},
+	"func_backend": func(c *Config, v string) error {
+		switch strings.ToLower(v) {
+		case "", FuncBackendInterp, FuncBackendVM:
+			c.FuncBackend = strings.ToLower(v)
+		default:
+			return fmt.Errorf("want interp or vm, got %q", v)
+		}
+		return nil
+	},
 	"watchdog_cycles": int64Field(func(c *Config) *int64 { return &c.WatchdogCycles }),
 	"sample_cycles":   int64Field(func(c *Config) *int64 { return &c.SampleCycles }),
 	"race_check": func(c *Config, v string) error {
@@ -519,6 +547,11 @@ func (c *Config) Describe() string {
 	fmt.Fprintf(&b, "lookahead=%d engine_mode=%s (0 = derive window from min cross-cluster latency)\n", c.Lookahead, mode)
 	fmt.Fprintf(&b, "fault_seed=%d fault_plan=%q watchdog_cycles=%d\n", c.FaultSeed, c.FaultPlan, c.WatchdogCycles)
 	fmt.Fprintf(&b, "sample_cycles=%d (0 = interval sampling off)\n", c.SampleCycles)
+	backend := c.FuncBackend
+	if backend == "" {
+		backend = FuncBackendInterp
+	}
+	fmt.Fprintf(&b, "func_backend=%s (functional-mode backend: interp or vm; results identical)\n", backend)
 	fmt.Fprintf(&b, "race_check=%v (xmtsan dynamic race sanitizer)\n", c.RaceCheck)
 	return b.String()
 }

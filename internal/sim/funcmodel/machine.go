@@ -214,6 +214,26 @@ func New(prog *asm.Program, memBytes uint32, out io.Writer) (*Machine, error) {
 // InParallel reports whether the machine is inside a serialized spawn.
 func (m *Machine) InParallel() bool { return m.inParallel }
 
+// Quiescent reports whether the machine is at an architecturally quiescent
+// point: serial mode with no pending bcast registers. Checkpoints taken at
+// quiescent points are complete (checkpoint.State carries no spawn or
+// broadcast state) and therefore backend-agnostic — a quiescent stop under
+// one functional backend resumes exactly under the other.
+func (m *Machine) Quiescent() bool { return !m.inParallel && m.pendingBcastMask == 0 }
+
+// WidenDirty merges externally tracked dirty watermarks, for backends (the
+// funcvm bytecode VM) that write m.Mem directly instead of through
+// WriteWord/StoreByte. loMax is the exclusive end of mutations below the
+// memory midpoint; hiMin is the lowest mutated address at or above it.
+func (m *Machine) WidenDirty(loMax, hiMin uint32) {
+	if loMax > m.dirtyLoMax {
+		m.dirtyLoMax = loMax
+	}
+	if hiMin < m.dirtyHiMin {
+		m.dirtyHiMin = hiMin
+	}
+}
+
 // SpawnBounds returns the bounds of the active spawn region.
 func (m *Machine) SpawnBounds() (low, high int32) { return m.spawnLow, m.spawnHigh }
 

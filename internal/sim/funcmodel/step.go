@@ -172,6 +172,26 @@ func (m *Machine) endSpawn() {
 	m.Master.PC = m.savedPC
 }
 
+// RunTo executes until at least target instructions have run and the
+// machine is Quiescent, or until it halts or errors. It mirrors the funcvm
+// backend's RunTo so either backend can stop at a backend-agnostic
+// checkpoint boundary (docs/SIMULATOR.md §Functional backends).
+func (m *Machine) RunTo(target uint64) error {
+	for !m.Halted {
+		if m.InstrCount >= target && m.Quiescent() {
+			return nil
+		}
+		ok, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return nil
+}
+
 // Run executes until halt or an error, with an instruction budget guarding
 // against runaway programs (budget <= 0 means no limit).
 func (m *Machine) Run(budget uint64) error {

@@ -4,9 +4,11 @@
 #     sh scripts/bench.sh
 #
 # Runs the Table I throughput benchmarks, the host-parallel scaling
-# benchmark and the lookahead comparison (single-cycle vs derived window vs
-# optimistic, docs/PERF.md §Lookahead) with -benchmem, writes the parsed
-# results to BENCH_<date>.json,
+# benchmark, the lookahead comparison (single-cycle vs derived window vs
+# optimistic, docs/PERF.md §Lookahead) and the functional-backend
+# comparison (interpreter vs funcvm bytecode VM, docs/SIMULATOR.md
+# §Functional backends) with -benchmem, writes the parsed results to
+# BENCH_<date>.json,
 # appends the record to the cross-run BENCH_HISTORY.jsonl, appends a
 # one-line summary to EXPERIMENTS.md so successive PRs can compare
 # simulated-cycles/sec on the same workloads, and diffs the last two
@@ -23,8 +25,8 @@ history="BENCH_HISTORY.jsonl"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-echo "== go test -bench (Table I + host-parallel scaling + lookahead)"
-go test -run '^$' -bench 'BenchmarkTableI_|BenchmarkHostParallelScaling|BenchmarkLookahead' \
+echo "== go test -bench (Table I + host-parallel scaling + lookahead + functional backends)"
+go test -run '^$' -bench 'BenchmarkTableI_|BenchmarkHostParallelScaling|BenchmarkLookahead|BenchmarkFuncBackend' \
     -benchmem . | tee "$raw"
 
 go run ./cmd/benchjson -date "$date" -o "$out" -history "$history" <"$raw"

@@ -30,6 +30,7 @@ import (
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
+	"xmtgo/internal/sim/funcvm"
 	"xmtgo/internal/sim/power"
 	"xmtgo/internal/sim/stats"
 	"xmtgo/internal/sim/thermal"
@@ -58,6 +59,9 @@ type (
 	SimResult = cycle.Result
 	// Machine is the functional model (XMTSim's fast functional mode).
 	Machine = funcmodel.Machine
+	// FuncVM is the direct-threaded bytecode backend for functional mode
+	// (docs/SIMULATOR.md §Functional backends).
+	FuncVM = funcvm.VM
 	// Stats is the instruction/activity counter collector.
 	Stats = stats.Collector
 	// Filter is the end-of-run statistics filter plug-in interface.
@@ -83,6 +87,14 @@ type (
 const (
 	EngineWindowed   = config.EngineWindowed
 	EngineOptimistic = config.EngineOptimistic
+)
+
+// Functional-mode backends for Config.FuncBackend (docs/SIMULATOR.md
+// §Functional backends). Architectural results are bit-identical under
+// either; the VM is the fast path.
+const (
+	FuncBackendInterp = config.FuncBackendInterp
+	FuncBackendVM     = config.FuncBackendVM
 )
 
 // DefaultCompileOptions returns the standard -O1 pipeline configuration.
@@ -157,12 +169,29 @@ func NewMachine(prog *Program, cfg Config, out io.Writer) (*Machine, error) {
 	return funcmodel.New(prog, cfg.MemBytes, out)
 }
 
-// RunFunctional executes prog to completion in functional mode and returns
-// the number of executed instructions.
+// NewFuncVM attaches the direct-threaded bytecode backend to a functional
+// machine, lowering the program on first use (the lowered form is cached
+// on the Program and shared by subsequent VMs).
+func NewFuncVM(m *Machine) (*FuncVM, error) { return funcvm.Attach(m) }
+
+// RunFunctional executes prog to completion in functional mode — under the
+// backend selected by cfg.FuncBackend — and returns the number of executed
+// instructions.
 func RunFunctional(prog *Program, cfg Config, out io.Writer) (uint64, error) {
 	m, err := funcmodel.New(prog, cfg.MemBytes, out)
 	if err != nil {
 		return 0, err
+	}
+	if cfg.FuncBackend == config.FuncBackendVM {
+		vm, err := funcvm.Attach(m)
+		if err != nil {
+			m.ReleaseMemory()
+			return 0, err
+		}
+		err = vm.Run(0)
+		n := m.InstrCount
+		m.ReleaseMemory()
+		return n, err
 	}
 	err = m.Run(0)
 	n := m.InstrCount
