@@ -24,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"xmtgo/internal/batch"
 	"xmtgo/internal/codegen"
 	"xmtgo/internal/config"
+	"xmtgo/internal/sigctl"
 	"xmtgo/internal/sim/metrics"
 )
 
@@ -117,10 +119,24 @@ func main() {
 		opts.Monitor = msrv
 		defer msrv.Close()
 	}
+	// First SIGINT/SIGTERM checkpoints the running job at its next quiescent
+	// point (persisted under -out as usual), skips the jobs not yet started,
+	// and exits cleanly; a second signal forces exit.
+	intr := &batch.Interrupt{}
+	opts.Interrupt = intr
+	stopSig := sigctl.Notify("xmtbatch", intr.Trigger)
+	defer stopSig()
 	results := batch.Run(jobs, opts)
 
 	failed := 0
+	interrupted := 0
 	for _, r := range results {
+		if errors.Is(r.Err, batch.ErrInterrupted) {
+			interrupted++
+			fmt.Printf("INTR %-20s attempts=%d resumes=%d cycles=%d (checkpoint saved; re-run to resume)\n",
+				r.Name, r.Attempts, r.Resumes, r.Cycles)
+			continue
+		}
 		if r.Err != nil {
 			failed++
 			fmt.Printf("FAIL %-20s attempts=%d resumes=%d: %v\n", r.Name, r.Attempts, r.Resumes, r.Err)
@@ -128,6 +144,10 @@ func main() {
 		}
 		fmt.Printf("ok   %-20s attempts=%d resumes=%d cycles=%d instrs=%d output=%q\n",
 			r.Name, r.Attempts, r.Resumes, r.Cycles, r.Instrs, r.Output)
+	}
+	if interrupted > 0 {
+		fmt.Fprintf(os.Stderr, "xmtbatch: interrupted; %d of %d jobs not finished\n",
+			interrupted+len(jobs)-len(results), len(jobs))
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "xmtbatch: %d of %d jobs failed\n", failed, len(results))

@@ -1,0 +1,278 @@
+// Command xmtctl is the client for the xmtd simulation daemon: it submits
+// jobs, queries and waits on them, cancels them, and drains the daemon,
+// speaking the xmt-jobs/v1 line-JSON protocol (docs/XMTD.md).
+//
+// Usage:
+//
+//	xmtctl -addr unix:/tmp/xmtd.sock <command> [flags]
+//
+// Commands:
+//
+//	submit  -name N [-tenant T] [-priority P] [-kind asm|xmtc] [-budget C]
+//	        [-deadline C] [-set k=v ...] program.{s,c}
+//	status  <job-id>
+//	wait    [-timeout D] <job-id>
+//	list    [-tenant T]
+//	cancel  <job-id>
+//	ping
+//	drain
+//
+// Examples:
+//
+//	xmtctl -addr unix:/tmp/x.sock submit -name sort -priority 5 sort.s
+//	xmtctl -addr 127.0.0.1:9901 wait -timeout 60s j3
+//	xmtctl -addr 127.0.0.1:9901 drain
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"xmtgo/internal/daemon"
+)
+
+// exitCode carries run's exit status out of deeply nested helpers (usage,
+// fatal); run recovers it so tests can drive the CLI in-process.
+type exitCode int
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(exitCode)
+			if !ok {
+				panic(r)
+			}
+			code = int(c)
+		}
+	}()
+	addr := "unix:/tmp/xmtd.sock"
+	jsonOut := false
+	// Global flags may precede the command.
+	for len(args) > 0 {
+		switch {
+		case args[0] == "-addr" && len(args) > 1:
+			addr, args = args[1], args[2:]
+		case strings.HasPrefix(args[0], "-addr="):
+			addr, args = strings.TrimPrefix(args[0], "-addr="), args[1:]
+		case args[0] == "-json":
+			jsonOut, args = true, args[1:]
+		default:
+			goto done
+		}
+	}
+done:
+	if len(args) == 0 {
+		usage()
+	}
+	cmd, args := args[0], args[1:]
+
+	c, err := daemon.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "submit":
+		cmdSubmit(c, args, jsonOut)
+	case "status":
+		if len(args) != 1 {
+			usage()
+		}
+		st, err := c.Status(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		printJob(st, jsonOut)
+	case "wait":
+		cmdWait(c, args, jsonOut)
+	case "list":
+		tenant := ""
+		if len(args) == 2 && args[0] == "-tenant" {
+			tenant = args[1]
+		} else if len(args) != 0 {
+			usage()
+		}
+		jobs, err := c.List(tenant)
+		if err != nil {
+			fatal(err)
+		}
+		if jsonOut {
+			emitJSON(jobs)
+			return 0
+		}
+		for i := range jobs {
+			printJob(&jobs[i], false)
+		}
+	case "cancel":
+		if len(args) != 1 {
+			usage()
+		}
+		st, err := c.Cancel(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		printJob(st, jsonOut)
+	case "ping":
+		info, err := c.Ping()
+		if err != nil {
+			fatal(err)
+		}
+		emitJSON(info)
+	case "drain":
+		info, err := c.Drain()
+		if err != nil {
+			fatal(err)
+		}
+		if jsonOut {
+			emitJSON(info)
+		} else {
+			fmt.Printf("drained: completed=%d failed=%d canceled=%d queued=%d\n",
+				info.Completed, info.Failed, info.Canceled, info.QueueDepth)
+		}
+	default:
+		usage()
+	}
+	return 0
+}
+
+func cmdSubmit(c *daemon.Client, args []string, jsonOut bool) {
+	spec := &daemon.JobSpec{}
+	var sets []string
+	var file string
+	for i := 0; i < len(args); i++ {
+		need := func() string {
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			return args[i]
+		}
+		switch args[i] {
+		case "-name":
+			spec.Name = need()
+		case "-tenant":
+			spec.Tenant = need()
+		case "-priority":
+			fmt.Sscanf(need(), "%d", &spec.Priority)
+		case "-kind":
+			spec.Kind = need()
+		case "-budget":
+			fmt.Sscanf(need(), "%d", &spec.BudgetCycles)
+		case "-deadline":
+			fmt.Sscanf(need(), "%d", &spec.DeadlineCycles)
+		case "-set":
+			sets = append(sets, need())
+		default:
+			if strings.HasPrefix(args[i], "-") || file != "" {
+				usage()
+			}
+			file = args[i]
+		}
+	}
+	if file == "" {
+		usage()
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	spec.Source = string(src)
+	spec.Sets = sets
+	if spec.Kind == "" && filepath.Ext(file) != ".s" {
+		spec.Kind = "xmtc"
+	}
+	if spec.Name == "" {
+		spec.Name = strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+	}
+	st, err := c.Submit(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		emitJSON(st)
+	} else {
+		fmt.Println(st.ID)
+	}
+}
+
+func cmdWait(c *daemon.Client, args []string, jsonOut bool) {
+	timeout := time.Duration(0)
+	id := ""
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-timeout" && i+1 < len(args) {
+			d, err := time.ParseDuration(args[i+1])
+			if err != nil {
+				fatal(err)
+			}
+			timeout = d
+			i++
+			continue
+		}
+		if id != "" {
+			usage()
+		}
+		id = args[i]
+	}
+	if id == "" {
+		usage()
+	}
+	st, err := c.Wait(id, timeout)
+	if err != nil {
+		fatal(err)
+	}
+	printJob(st, jsonOut)
+	if st.State != daemon.StateDone {
+		panic(exitCode(1))
+	}
+}
+
+func printJob(st *daemon.JobStatus, jsonOut bool) {
+	if jsonOut {
+		emitJSON(st)
+		return
+	}
+	line := fmt.Sprintf("%-6s %-12s tenant=%s prio=%d state=%s attempts=%d resumes=%d preemptions=%d cycles=%d",
+		st.ID, st.Name, st.Tenant, st.Priority, st.State, st.Attempt, st.Resumes, st.Preemptions, st.Cycles)
+	if st.Result != nil {
+		if st.Result.Err != "" {
+			line += fmt.Sprintf(" err=%q", st.Result.Err)
+		} else {
+			line += fmt.Sprintf(" output=%q memhash=%s", st.Result.Output, st.Result.MemHash)
+		}
+	}
+	fmt.Println(line)
+}
+
+func emitJSON(v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: xmtctl [-addr A] [-json] <command> [flags]
+commands:
+  submit  -name N [-tenant T] [-priority P] [-kind asm|xmtc] [-budget C]
+          [-deadline C] [-set k=v ...] program.{s,c}
+  status  <job-id>
+  wait    [-timeout D] <job-id>
+  list    [-tenant T]
+  cancel  <job-id>
+  ping
+  drain`)
+	panic(exitCode(2))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmtctl:", err)
+	panic(exitCode(1))
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xmtgo/internal/config"
+	"xmtgo/internal/daemon"
+)
+
+const (
+	shortProg = `
+        .data
+A:      .space 64
+        .text
+        .global main
+main:
+        li    $t0, 2000
+        li    $t2, 0
+Lloop:  addiu $t2, $t2, 1
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, Lloop
+        la    $t1, A
+        sw    $t2, 0($t1)
+        lw    $v0, 0($t1)
+        sys   1
+        sys   0
+`
+	longProg = `
+        .text
+        .global main
+main:
+        li    $t0, 2000000
+Lloop:  addiu $t0, $t0, -1
+        bne   $t0, $zero, Lloop
+        sys   0
+`
+)
+
+// startTestDaemon serves an in-process daemon on a unix socket and returns
+// its -addr value plus a direct client for assertions the CLI prints to
+// stdout (job ids).
+func startTestDaemon(t *testing.T) (addr string, c *daemon.Client) {
+	t.Helper()
+	cfg, err := config.Preset("fpga64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Set("mem_bytes=1048576"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	d, err := daemon.New(daemon.Options{
+		Config:          cfg,
+		DataDir:         filepath.Join(dir, "data"),
+		Workers:         1,
+		CheckpointEvery: 50000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(dir, "d.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve(ln)
+	t.Cleanup(func() { d.Close() })
+
+	addr = "unix:" + sock
+	c, err = daemon.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return addr, c
+}
+
+func writeProg(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCommands drives every xmtctl subcommand in-process against a live
+// daemon and asserts exit codes; job state is verified through a direct
+// client since run prints to the real stdout.
+func TestRunCommands(t *testing.T) {
+	addr, c := startTestDaemon(t)
+	prog := writeProg(t, "short.s", shortProg)
+
+	if got := run([]string{"-addr", addr, "ping"}); got != 0 {
+		t.Fatalf("ping: run = %d, want 0", got)
+	}
+	if got := run([]string{"-addr=" + addr, "-json", "submit", "-name", "s1", "-tenant", "alice",
+		"-priority", "3", "-kind", "asm", "-budget", "10000000", "-deadline", "0",
+		"-set", "dram_latency=40", prog}); got != 0 {
+		t.Fatalf("submit: run = %d, want 0", got)
+	}
+	jobs, err := c.List("alice")
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("list after submit: %v %v", jobs, err)
+	}
+	id := jobs[0].ID
+
+	if got := run([]string{"-addr", addr, "wait", "-timeout", "30s", id}); got != 0 {
+		t.Fatalf("wait: run = %d, want 0", got)
+	}
+	if got := run([]string{"-addr", addr, "status", id}); got != 0 {
+		t.Fatalf("status: run = %d, want 0", got)
+	}
+	if got := run([]string{"-addr", addr, "-json", "status", id}); got != 0 {
+		t.Fatalf("status -json: run = %d, want 0", got)
+	}
+	if got := run([]string{"-addr", addr, "list"}); got != 0 {
+		t.Fatalf("list: run = %d, want 0", got)
+	}
+	if got := run([]string{"-addr", addr, "-json", "list", "-tenant", "alice"}); got != 0 {
+		t.Fatalf("list -tenant: run = %d, want 0", got)
+	}
+
+	// Fill the single worker, then cancel a queued job; waiting on the
+	// canceled job must exit 1.
+	long := writeProg(t, "long.s", longProg)
+	if got := run([]string{"-addr", addr, "submit", long}); got != 0 {
+		t.Fatalf("submit long: run = %d, want 0", got)
+	}
+	if got := run([]string{"-addr", addr, "submit", "-name", "victim", prog}); got != 0 {
+		t.Fatalf("submit victim: run = %d, want 0", got)
+	}
+	jobs, err = c.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := jobs[len(jobs)-1].ID
+	if got := run([]string{"-addr", addr, "cancel", victim}); got != 0 {
+		t.Fatalf("cancel: run = %d, want 0", got)
+	}
+	if got := run([]string{"-addr", addr, "wait", "-timeout", "30s", victim}); got != 1 {
+		t.Fatalf("wait canceled: run = %d, want 1", got)
+	}
+
+	// A .c file defaults to kind xmtc; garbage source is a typed
+	// compile_error, which the CLI reports as exit 1.
+	bad := writeProg(t, "bad.c", "not xmtc at all {{{")
+	if got := run([]string{"-addr", addr, "submit", bad}); got != 1 {
+		t.Fatalf("submit bad xmtc: run = %d, want 1", got)
+	}
+
+	if got := run([]string{"-addr", addr, "drain"}); got != 0 {
+		t.Fatalf("drain: run = %d, want 0", got)
+	}
+	waitGone := time.Now().Add(10 * time.Second)
+	for {
+		if got := run([]string{"-addr", addr, "ping"}); got == 1 {
+			break // dial refused: daemon gone
+		}
+		if time.Now().After(waitGone) {
+			t.Fatal("daemon still answering after drain")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestRunUsageAndErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"bad dial", []string{"-addr", "unix:/nonexistent/d.sock", "ping"}, 1},
+	} {
+		if got := run(tc.args); got != tc.want {
+			t.Errorf("%s: run = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+
+	addr, _ := startTestDaemon(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown command", []string{"-addr", addr, "bogus"}, 2},
+		{"status no id", []string{"-addr", addr, "status"}, 2},
+		{"wait no id", []string{"-addr", addr, "wait"}, 2},
+		{"cancel no id", []string{"-addr", addr, "cancel"}, 2},
+		{"list extra args", []string{"-addr", addr, "list", "x", "y", "z"}, 2},
+		{"submit no file", []string{"-addr", addr, "submit", "-name", "x"}, 2},
+		{"submit two files", []string{"-addr", addr, "submit", "a.s", "b.s"}, 2},
+		{"submit unreadable", []string{"-addr", addr, "submit", "/nonexistent/p.s"}, 1},
+		{"wait bad timeout", []string{"-addr", addr, "wait", "-timeout", "zzz", "j1"}, 1},
+		{"status unknown job", []string{"-addr", addr, "status", "j999"}, 1},
+	} {
+		if got := run(tc.args); got != tc.want {
+			t.Errorf("%s: run = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -22,11 +22,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"xmtgo/internal/asm"
 	"xmtgo/internal/codegen"
 	"xmtgo/internal/config"
 	"xmtgo/internal/prof"
+	"xmtgo/internal/sigctl"
+	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
 	"xmtgo/internal/sim/funcvm"
@@ -52,6 +55,7 @@ func main() {
 		profFlag  = flag.Bool("profile", false, "print the cycle profile attributed to XMTC source lines")
 		traceOut  = flag.String("trace", "", "write a Chrome trace (Perfetto) to this .json file")
 		optLevel  = flag.Int("O", 1, "optimization level")
+		ckptOut   = flag.String("checkpoint", "", "write a checkpoint here when the run stops at a checkpoint boundary (e.g. on SIGINT; resume with xmtsim -resume)")
 		cluster   = flag.Int("cluster", 0, "virtual-thread clustering factor")
 		noPref    = flag.Bool("no-prefetch", false, "disable compiler prefetching")
 		noNB      = flag.Bool("no-nbstore", false, "disable non-blocking stores")
@@ -165,19 +169,55 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// First SIGINT/SIGTERM raises a flag; the chunked run loops stop at
+		// the next quiescent instruction boundary, persist a checkpoint when
+		// -checkpoint was given, and exit cleanly (second signal forces exit).
+		var interrupted atomic.Bool
+		stopSig := sigctl.Notify("xmtrun", func() { interrupted.Store(true) })
+		defer stopSig()
+		stoppedBySignal := func(backend string) {
+			if *ckptOut != "" {
+				f, err := os.Create(*ckptOut)
+				if err != nil {
+					fatal(err)
+				}
+				if err := checkpoint.Save(f, checkpoint.Capture(m, int64(m.InstrCount))); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "checkpoint written to %s (instruction %d)\n", *ckptOut, m.InstrCount)
+			}
+			fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode%s, stopped by signal) ===\n", m.InstrCount, backend)
+		}
+		const chunk = 1 << 16
 		if cfg.FuncBackend == config.FuncBackendVM {
 			vm, err := funcvm.Attach(m)
 			if err != nil {
 				fatal(err)
 			}
-			if err := vm.Run(0); err != nil {
-				fatal(err)
+			for !m.Halted {
+				if err := vm.RunTo(m.InstrCount + chunk); err != nil {
+					fatal(err)
+				}
+				if interrupted.Load() && !m.Halted {
+					stoppedBySignal(", vm backend")
+					return
+				}
 			}
 			fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode, vm backend) ===\n", m.InstrCount)
 			return
 		}
-		if err := m.Run(0); err != nil {
-			fatal(err)
+		for !m.Halted {
+			if err := m.RunTo(m.InstrCount + chunk); err != nil {
+				fatal(err)
+			}
+			if interrupted.Load() && !m.Halted {
+				stoppedBySignal("")
+				return
+			}
 		}
 		fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode) ===\n", m.InstrCount)
 		return
@@ -190,6 +230,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// First SIGINT/SIGTERM stops the run at the next architecturally
+	// quiescent point (persisting a checkpoint when -checkpoint was given);
+	// a second signal forces exit.
+	stopSig := sigctl.Notify("xmtrun", sys.RequestCheckpoint)
+	defer stopSig()
 	if *showStats {
 		sys.Stats.AddFilter(&stats.OpHistogram{})
 	}
@@ -216,6 +261,19 @@ func main() {
 		smp.Finalize(r.Cycles, int64(r.Ticks), sys.Stats, sys.AliveTCUs())
 	}
 	fmt.Fprintf(os.Stderr, "\n=== %d cycles, %d instructions ===\n", r.Cycles, r.Instrs)
+	if r.Checkpoint && *ckptOut != "" {
+		f, err := os.Create(*ckptOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := checkpoint.Save(f, sys.Capture()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint written to %s (cycle %d; resume with xmtsim -resume)\n", *ckptOut, r.Cycles)
+	}
 	if det := sys.RaceDetector(); det != nil {
 		if err := det.WriteReport(os.Stderr); err != nil {
 			fatal(err)

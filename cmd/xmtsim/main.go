@@ -30,12 +30,14 @@ import (
 	"math"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"xmtgo/internal/asm"
 	"xmtgo/internal/asm/postpass"
 	"xmtgo/internal/config"
 	"xmtgo/internal/floorplan"
 	"xmtgo/internal/prof"
+	"xmtgo/internal/sigctl"
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/funcmodel"
@@ -221,6 +223,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	// First SIGINT/SIGTERM stops the run at the next architecturally
+	// quiescent point; the epilogue below then persists the checkpoint when
+	// -checkpoint was given, so an interrupted run can be resumed exactly.
+	stopSig := sigctl.Notify("xmtsim", sys.RequestCheckpoint)
+	defer stopSig()
 	if *hot {
 		sys.Stats.AddFilter(stats.NewHotLocations(uint32(cfg.CacheLineSize), 10))
 	}
@@ -434,6 +441,21 @@ func runFunctional(prog *asm.Program, cfg config.Config, resume *checkpoint.Stat
 		fmt.Fprintf(os.Stderr, "checkpoint written to %s (instruction %d)\n", ckptOut, m.InstrCount)
 		return nil
 	}
+	// Functional mode has no cycle loop to piggyback on, so the signal
+	// handler just raises a flag; the run loops below stop at the next
+	// quiescent instruction boundary, persist a checkpoint when -checkpoint
+	// was given, and exit cleanly.
+	var interrupted atomic.Bool
+	stopSig := sigctl.Notify("xmtsim", func() { interrupted.Store(true) })
+	defer stopSig()
+	stoppedBySignal := func() {
+		if ckptOut != "" {
+			if err := saveCkpt(m); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode, stopped by signal) ===\n", m.InstrCount)
+	}
 	if cfg.FuncBackend == config.FuncBackendVM {
 		vm, err := funcvm.Attach(m)
 		if err != nil {
@@ -442,8 +464,17 @@ func runFunctional(prog *asm.Program, cfg config.Config, resume *checkpoint.Stat
 		if ckptOut != "" {
 			vm.OnCheckpoint = saveCkpt
 		}
-		if err := vm.Run(0); err != nil {
-			fatal(err)
+		// Run in bounded chunks so the interrupt flag is observed promptly
+		// without a per-instruction check in the VM dispatch loop.
+		const chunk = 1 << 16
+		for !m.Halted {
+			if err := vm.RunTo(m.InstrCount + chunk); err != nil {
+				fatal(err)
+			}
+			if interrupted.Load() && !m.Halted {
+				stoppedBySignal()
+				return m
+			}
 		}
 		fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode, vm backend) ===\n", m.InstrCount)
 		return m
@@ -461,6 +492,10 @@ func runFunctional(prog *asm.Program, cfg config.Config, resume *checkpoint.Stat
 		}
 		if !ok {
 			break
+		}
+		if interrupted.Load() && m.Quiescent() {
+			stoppedBySignal()
+			return m
 		}
 	}
 	fmt.Fprintf(os.Stderr, "\n=== %d instructions (functional mode) ===\n", m.InstrCount)

@@ -1,0 +1,89 @@
+// Package atomicfile writes files atomically and durably: content goes to a
+// temporary file in the destination directory, is fsync'd, renamed over the
+// destination, and the parent directory is fsync'd so the rename itself
+// survives a crash. Every checkpoint, journal snapshot and result artifact
+// in the toolchain goes through this path (docs/ROBUSTNESS.md): a `kill -9`
+// at any instant leaves either the old file or the new one, never a torn
+// mix, and never a rename that a power loss can undo.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFunc writes path atomically from whatever fill writes: the content
+// lands in a same-directory temp file first, is flushed to stable storage,
+// and replaces path in one rename, followed by a directory sync. On any
+// error the temp file is removed and the previous content of path is left
+// untouched.
+func WriteFunc(path string, perm os.FileMode, fill func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: %s: %w", path, err)
+	}
+	if err := fill(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	// Sync before rename: otherwise the rename can be durable while the
+	// content is not, leaving an empty or partial file after a power loss.
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// WriteFile atomically replaces path with data (see WriteFunc).
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteFunc(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// SyncDir fsyncs a directory so a just-created or just-renamed entry in it
+// is durable. Filesystems that reject directory fsync (some network mounts)
+// are tolerated: the rename is still atomic there, just not crash-durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !ignorableSyncErr(err) {
+		return fmt.Errorf("atomicfile: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// ignorableSyncErr reports errors that mean "this filesystem cannot sync a
+// directory" rather than "the sync failed".
+func ignorableSyncErr(err error) bool {
+	pe, ok := err.(*os.PathError)
+	if !ok {
+		return false
+	}
+	msg := pe.Err.Error()
+	return msg == "invalid argument" || msg == "operation not supported" ||
+		msg == "not supported" || msg == "bad file descriptor"
+}

@@ -1,0 +1,94 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	// No temp litter may remain after successful writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want only the target", len(entries))
+	}
+}
+
+func TestWriteFuncFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFile(path, []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFunc(path, 0o644, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "good" {
+		t.Fatalf("old content lost: %q, %v", data, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("failed write left %d entries behind", len(entries))
+	}
+}
+
+func TestIgnorableSyncErr(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{&os.PathError{Op: "sync", Path: "/nfs", Err: errors.New("invalid argument")}, true},
+		{&os.PathError{Op: "sync", Path: "/nfs", Err: errors.New("operation not supported")}, true},
+		{&os.PathError{Op: "sync", Path: "/nfs", Err: errors.New("not supported")}, true},
+		{&os.PathError{Op: "sync", Path: "/nfs", Err: errors.New("bad file descriptor")}, true},
+		{&os.PathError{Op: "sync", Path: "/disk", Err: errors.New("input/output error")}, false},
+		{errors.New("invalid argument"), false}, // not a PathError: never ignorable
+	} {
+		if got := ignorableSyncErr(tc.err); got != tc.want {
+			t.Errorf("ignorableSyncErr(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory must error")
+	}
+}
+
+func TestWriteFileCreatesFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh")
+	if err := WriteFile(path, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Fatalf("perm = %v, want 0600", st.Mode().Perm())
+	}
+}

@@ -12,17 +12,63 @@ package batch
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"xmtgo/internal/asm"
+	"xmtgo/internal/atomicfile"
 	"xmtgo/internal/config"
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/metrics"
 )
+
+// ErrInterrupted reports a batch stopped by Interrupt.Trigger (typically a
+// SIGINT/SIGTERM handler): the current job checkpointed at its next
+// quiescent point and no further work was started. Jobs already completed
+// keep their normal results.
+var ErrInterrupted = errors.New("batch: interrupted")
+
+// Interrupt coordinates an external stop request with a running batch.
+// Trigger is safe to call from any goroutine (including signal handlers):
+// the currently running simulation is asked to checkpoint at its next
+// quiescent point, the checkpoint is persisted as usual, and Run returns
+// early with ErrInterrupted on the interrupted job.
+type Interrupt struct {
+	flag atomic.Bool
+
+	mu  sync.Mutex
+	sys *cycle.System
+}
+
+// Trigger requests the stop. Idempotent.
+func (i *Interrupt) Trigger() {
+	i.flag.Store(true)
+	i.mu.Lock()
+	if i.sys != nil {
+		i.sys.RequestCheckpoint()
+	}
+	i.mu.Unlock()
+}
+
+// Triggered reports whether a stop has been requested.
+func (i *Interrupt) Triggered() bool { return i.flag.Load() }
+
+// attach points the interrupt at the segment currently simulating, so a
+// trigger that raced with system construction is still delivered.
+func (i *Interrupt) attach(sys *cycle.System) {
+	i.mu.Lock()
+	i.sys = sys
+	if i.flag.Load() && sys != nil {
+		sys.RequestCheckpoint()
+	}
+	i.mu.Unlock()
+}
 
 // Job is one simulation to drive to completion.
 type Job struct {
@@ -60,6 +106,9 @@ type Options struct {
 	// SampleCycles is the interval-sampler period used when Monitor is set
 	// (0 = a default cadence).
 	SampleCycles int64
+	// Interrupt, when set, lets a signal handler stop the batch cleanly:
+	// the running job checkpoints and Run returns ErrInterrupted for it.
+	Interrupt *Interrupt
 }
 
 // Result is the outcome of one job.
@@ -89,6 +138,9 @@ func Run(jobs []Job, opts Options) []Result {
 	prog.publish()
 	results := make([]Result, 0, len(jobs))
 	for _, j := range jobs {
+		if opts.Interrupt != nil && opts.Interrupt.Triggered() {
+			break // remaining jobs are simply not started
+		}
 		r := runJob(j, opts, prog)
 		results = append(results, r)
 		if r.Err != nil {
@@ -99,6 +151,9 @@ func Run(jobs []Job, opts Options) []Result {
 		prog.st.Resumes += r.Resumes
 		prog.st.Current, prog.st.Attempt, prog.st.BudgetCycles = "", 0, 0
 		prog.publish()
+		if errors.Is(r.Err, ErrInterrupted) {
+			break
+		}
 	}
 	return results
 }
@@ -150,6 +205,10 @@ func runJob(job Job, opts Options, prog *progress) Result {
 		}
 		r.Output = out
 		switch {
+		case errors.Is(err, ErrInterrupted):
+			r.Err = err
+			opts.logf("batch: %s: interrupted at cycle %d (checkpoint saved)\n", job.Name, r.Cycles)
+			return r
 		case err == nil && res != nil && res.Halted:
 			opts.logf("batch: %s: done (%d cycles, attempt %d)\n", job.Name, res.Cycles, r.Attempts)
 			return r
@@ -193,6 +252,9 @@ func runAttempt(job Job, cfg config.Config, ckptPath string, budget int64, opts 
 			}
 		}
 		sys.CheckpointEvery(opts.CheckpointEvery)
+		if opts.Interrupt != nil {
+			opts.Interrupt.attach(sys)
+		}
 
 		var smp *metrics.Sampler
 		if opts.Monitor != nil {
@@ -230,6 +292,9 @@ func runAttempt(job Job, cfg config.Config, ckptPath string, budget int64, opts 
 				}
 			}
 			opts.logf("batch: %s: checkpoint at cycle %d\n", job.Name, res.Cycles)
+			if opts.Interrupt != nil && opts.Interrupt.Triggered() {
+				return res, out.String(), resumed, ErrInterrupted
+			}
 			continue
 		}
 		return res, out.String(), resumed, nil
@@ -258,22 +323,11 @@ func loadCheckpoint(path string) (*checkpoint.State, error) {
 	return checkpoint.Load(f)
 }
 
-// saveCheckpoint writes atomically (tmp + rename) so a crash mid-save never
-// corrupts the last good checkpoint.
+// saveCheckpoint writes atomically and durably (fsync'd temp + rename +
+// directory sync, internal/atomicfile) so a crash — or a power loss — at
+// any instant never corrupts or loses the last good checkpoint.
 func saveCheckpoint(path string, st *checkpoint.State) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := checkpoint.Save(f, st); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicfile.WriteFunc(path, 0o644, func(w io.Writer) error {
+		return checkpoint.Save(w, st)
+	})
 }

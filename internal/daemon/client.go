@@ -1,0 +1,137 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// ParseAddr splits an xmtd address into network and address for net.Dial /
+// net.Listen: "unix:/path/to.sock" selects a unix socket, everything else
+// (optionally prefixed "tcp:") is a TCP host:port.
+func ParseAddr(addr string) (network, address string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	default:
+		return "tcp", addr
+	}
+}
+
+// Client is a synchronous xmt-jobs/v1 client: one request, one response, in
+// order, over a single connection.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+// Dial connects to an xmtd daemon at addr (see ParseAddr).
+func Dial(addr string) (*Client, error) {
+	network, address := ParseAddr(addr)
+	conn, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads its response. A response carrying a typed
+// API error is returned as that *APIError.
+func (c *Client) Do(req *Request) (*Response, error) {
+	if req.API == "" {
+		req.API = APIVersion
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("daemon: send: %v", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, fmt.Errorf("daemon: recv: %v", err)
+		}
+		return nil, fmt.Errorf("daemon: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("daemon: recv: %v", err)
+	}
+	if resp.Err != nil {
+		return &resp, resp.Err
+	}
+	return &resp, nil
+}
+
+// Submit enqueues a job and returns its status.
+func (c *Client) Submit(spec *JobSpec) (*JobStatus, error) {
+	resp, err := c.Do(&Request{Op: "submit", Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Status fetches one job's state.
+func (c *Client) Status(id string) (*JobStatus, error) {
+	resp, err := c.Do(&Request{Op: "status", ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// List fetches every job (optionally one tenant's).
+func (c *Client) List(tenant string) ([]JobStatus, error) {
+	resp, err := c.Do(&Request{Op: "list", Tenant: tenant})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Wait blocks until the job is terminal or timeout expires (0 = forever).
+func (c *Client) Wait(id string, timeout time.Duration) (*JobStatus, error) {
+	resp, err := c.Do(&Request{Op: "wait", ID: id, TimeoutMS: timeout.Milliseconds()})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(id string) (*JobStatus, error) {
+	resp, err := c.Do(&Request{Op: "cancel", ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Ping checks liveness and returns daemon info.
+func (c *Client) Ping() (*Info, error) {
+	resp, err := c.Do(&Request{Op: "ping"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}
+
+// Drain asks the daemon to shut down gracefully; it responds after every
+// running job has checkpointed and the journal carries the clean-shutdown
+// marker.
+func (c *Client) Drain() (*Info, error) {
+	resp, err := c.Do(&Request{Op: "drain"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}

@@ -1,0 +1,1143 @@
+package daemon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmtgo/internal/asm"
+	"xmtgo/internal/atomicfile"
+	"xmtgo/internal/codegen"
+	"xmtgo/internal/config"
+	"xmtgo/internal/sim/checkpoint"
+	"xmtgo/internal/sim/cycle"
+	"xmtgo/internal/sim/metrics"
+)
+
+// Options configures a Daemon.
+type Options struct {
+	// Config is the base machine configuration; per-job Sets layer on top.
+	Config config.Config
+	// DataDir holds the journal (jobs.journal) and per-job checkpoint
+	// envelopes (<id>.ckpt). Created if absent.
+	DataDir string
+	// Workers is the number of concurrent simulation workers (min 1).
+	Workers int
+
+	// BudgetCycles is the default first-attempt cycle budget for jobs that
+	// do not set one (0 = unlimited, which disables timeout retries).
+	BudgetCycles int64
+	// CheckpointEvery checkpoints running jobs every N cluster cycles; it
+	// also bounds preemption latency, since preemption and drain yield at
+	// checkpoint boundaries (0 = only explicit requests checkpoint).
+	CheckpointEvery int64
+	// Retries bounds per-job retry attempts after a timeout or watchdog
+	// trip; Backoff scales both the cycle budget and the watchdog window
+	// between attempts (default 2).
+	Retries int
+	Backoff float64
+
+	// MaxQueued bounds the global ready queue (default 256); beyond it
+	// submissions fail with queue_full.
+	MaxQueued int
+	// TenantMaxQueued / TenantMaxRunning / TenantMaxBudget are per-tenant
+	// quotas (0 = unlimited): queued jobs, concurrently running jobs, and
+	// the largest per-job cycle budget a tenant may request (an unlimited
+	// budget request counts as exceeding it).
+	TenantMaxQueued  int
+	TenantMaxRunning int
+	TenantMaxBudget  int64
+
+	// Monitor, when set, receives the daemon block on /status and per-job
+	// interval samples on /stream?job=ID. SampleCycles is the sampler
+	// period (0 = default).
+	Monitor      *metrics.Server
+	SampleCycles int64
+
+	// Log, when set, receives progress lines.
+	Log io.Writer
+}
+
+// sentinel outcomes of one attempt's segment loop.
+var (
+	errPreempted = errors.New("daemon: preempted")
+	errDrained   = errors.New("daemon: drained")
+	errCanceled  = errors.New("daemon: canceled")
+	errAborted   = errors.New("daemon: aborted")
+)
+
+// job is the daemon-internal job state. Mutable fields are guarded by
+// Daemon.mu except where noted.
+type job struct {
+	id   string
+	spec JobSpec
+	seq  uint64 // journal seq of the submit record: FIFO tie-break
+	prog *asm.Program
+
+	heapIdx int // index in the ready heap (-1 when not queued)
+
+	state       string
+	attempt     int
+	resumes     int
+	preemptions int
+	cycles      int64 // last checkpointed / final cycle
+	budget      int64 // current attempt's budget
+	result      *JobResult
+
+	hasCkpt bool // a checkpoint envelope exists on disk
+
+	// Requests delivered to the running attempt at its next checkpoint
+	// boundary.
+	preemptReq, cancelReq, drainReq bool
+	sys                             *cycle.System // non-nil while simulating
+
+	done chan struct{} // closed when the job reaches a terminal state
+}
+
+// Daemon is the xmtd core: queue, workers, journal and API handlers.
+type Daemon struct {
+	opts Options
+
+	jmu     sync.Mutex // serializes journal appends (fsync outside d.mu)
+	journal *Journal
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       jobQueue
+	jobs        map[string]*job
+	order       []string // submission order, for list
+	nextID      uint64
+	running     int
+	runningBy   map[string]int // tenant -> running count
+	draining    bool
+	stopWorkers bool
+	ln          net.Listener
+
+	preemptions, retries, recoveries uint64
+	completed, failed, canceled      uint64
+
+	aborted atomic.Bool // test hook: simulate a crash (no clean journaling)
+
+	compiles sync.Map // source hash -> *asm.Program
+
+	wg sync.WaitGroup
+}
+
+// New opens (or creates) the daemon state under opts.DataDir, replays the
+// journal, re-queues every non-terminal job — jobs that were mid-run when
+// the previous process died resume from their last checkpoint envelope —
+// and starts the worker pool.
+func New(opts Options) (*Daemon, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Backoff <= 1 {
+		opts.Backoff = 2
+	}
+	if opts.MaxQueued <= 0 {
+		opts.MaxQueued = 256
+	}
+	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	jl, recs, err := OpenJournal(filepath.Join(opts.DataDir, "jobs.journal"))
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Daemon{
+		opts:      opts,
+		journal:   jl,
+		jobs:      make(map[string]*job),
+		runningBy: make(map[string]int),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	if err := d.recover(recs); err != nil {
+		jl.Close()
+		return nil, err
+	}
+
+	for i := 0; i < opts.Workers; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+	d.mu.Lock()
+	d.publishLocked()
+	d.mu.Unlock()
+	return d, nil
+}
+
+// recover rebuilds the job table from journal records and re-queues
+// unfinished work.
+func (d *Daemon) recover(recs []Record) error {
+	interrupted := make(map[string]bool) // running (not cleanly suspended) at crash
+	for _, rec := range recs {
+		j := d.jobs[rec.ID]
+		switch rec.Kind {
+		case RecSubmit:
+			if rec.Spec == nil {
+				return fmt.Errorf("daemon: journal: submit %s without spec", rec.ID)
+			}
+			j = &job{
+				id:      rec.ID,
+				spec:    *rec.Spec,
+				seq:     rec.Seq,
+				heapIdx: -1,
+				state:   StateQueued,
+				done:    make(chan struct{}),
+			}
+			d.jobs[rec.ID] = j
+			d.order = append(d.order, rec.ID)
+			var n uint64
+			if _, err := fmt.Sscanf(rec.ID, "j%d", &n); err == nil && n > d.nextID {
+				d.nextID = n
+			}
+		case RecStart:
+			if j != nil {
+				j.attempt = rec.Attempt
+				interrupted[j.id] = true
+			}
+		case RecCkpt:
+			if j != nil {
+				j.cycles = rec.Cycle
+				j.hasCkpt = true
+			}
+		case RecPreempt:
+			if j != nil {
+				interrupted[j.id] = false
+				if rec.Reason == "preempt" {
+					j.preemptions++
+				}
+			}
+		case RecDone:
+			if j != nil {
+				j.state, j.result = StateDone, rec.Result
+				interrupted[j.id] = false
+				close(j.done)
+			}
+		case RecFail:
+			if j != nil {
+				j.state = StateFailed
+				j.result = &JobResult{Err: rec.Reason}
+				if rec.Result != nil {
+					j.result = rec.Result
+				}
+				interrupted[j.id] = false
+				close(j.done)
+			}
+		case RecCancel:
+			if j != nil {
+				j.state = StateCanceled
+				j.result = &JobResult{Err: "canceled"}
+				interrupted[j.id] = false
+				close(j.done)
+			}
+		case RecDrain:
+			// Clean shutdown marker; nothing per-job to do.
+		}
+	}
+
+	for _, id := range d.order {
+		j := d.jobs[id]
+		if j.state != StateQueued {
+			continue
+		}
+		prog, aerr := d.compile(&j.spec)
+		if aerr != nil {
+			// The spec compiled at submit time; failing here means the
+			// journal was tampered with or the toolchain changed.
+			j.state = StateFailed
+			j.result = &JobResult{Err: aerr.Error()}
+			close(j.done)
+			d.failed++
+			continue
+		}
+		j.prog = prog
+		if interrupted[id] {
+			d.recoveries++
+			d.logf("daemon: recovered %s (attempt %d, checkpoint at cycle %d)\n",
+				id, j.attempt, j.cycles)
+		}
+		d.queue.push(j)
+	}
+	return nil
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.opts.Log != nil {
+		fmt.Fprintf(d.opts.Log, format, args...)
+	}
+}
+
+func (d *Daemon) append(rec Record) (uint64, error) {
+	d.jmu.Lock()
+	defer d.jmu.Unlock()
+	if d.journal == nil {
+		return 0, errors.New("daemon: journal closed")
+	}
+	return d.journal.Append(rec)
+}
+
+func tenantOf(spec *JobSpec) string {
+	if spec.Tenant == "" {
+		return "default"
+	}
+	return spec.Tenant
+}
+
+// compile builds (or fetches from cache) the program for a spec.
+func (d *Daemon) compile(spec *JobSpec) (*asm.Program, *APIError) {
+	h := fnv.New64a()
+	io.WriteString(h, spec.Kind)
+	h.Write([]byte{0})
+	io.WriteString(h, spec.Source)
+	key := h.Sum64()
+	if p, ok := d.compiles.Load(key); ok {
+		return p.(*asm.Program), nil
+	}
+
+	var unit *asm.Unit
+	var err error
+	switch spec.Kind {
+	case "", "asm":
+		unit, err = asm.Parse(spec.Name+".s", spec.Source)
+	case "xmtc", "c":
+		var res *codegen.Result
+		res, err = codegen.Compile(spec.Name+".c", spec.Source, codegen.Options{OptLevel: 1, PrefetchSlots: 4})
+		if res != nil {
+			unit = res.Unit
+		}
+	default:
+		return nil, apiErrorf(ErrBadRequest, "unknown program kind %q (want asm or xmtc)", spec.Kind)
+	}
+	if err != nil {
+		return nil, apiErrorf(ErrCompile, "%v", err)
+	}
+	prog, err := asm.Assemble(unit)
+	if err != nil {
+		return nil, apiErrorf(ErrCompile, "%v", err)
+	}
+	d.compiles.Store(key, prog)
+	return prog, nil
+}
+
+// Submit validates, journals and enqueues a job. It performs admission
+// control: draining, queue bounds and tenant quotas map to typed errors. A
+// successful return means the job is durably journaled — it survives
+// kill -9 from this point on.
+func (d *Daemon) Submit(spec *JobSpec) (*JobStatus, *APIError) {
+	if spec == nil || spec.Source == "" {
+		return nil, apiErrorf(ErrBadRequest, "submit needs spec.source")
+	}
+	cfg := d.opts.Config
+	for _, kv := range spec.Sets {
+		if err := cfg.Set(kv); err != nil {
+			return nil, apiErrorf(ErrBadRequest, "%v", err)
+		}
+	}
+	prog, aerr := d.compile(spec)
+	if aerr != nil {
+		return nil, aerr
+	}
+
+	tenant := tenantOf(spec)
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return nil, apiErrorf(ErrDraining, "daemon is draining; not accepting jobs")
+	}
+	if d.queue.Len() >= d.opts.MaxQueued {
+		d.mu.Unlock()
+		return nil, apiErrorf(ErrQueueFull, "ready queue full (%d jobs)", d.opts.MaxQueued)
+	}
+	if q := d.opts.TenantMaxQueued; q > 0 {
+		queued := 0
+		for _, other := range d.jobs {
+			if other.state == StateQueued && tenantOf(&other.spec) == tenant {
+				queued++
+			}
+		}
+		if queued >= q {
+			d.mu.Unlock()
+			return nil, apiErrorf(ErrQuotaExceeded, "tenant %s: %d jobs already queued (max %d)", tenant, queued, q)
+		}
+	}
+	if cap := d.opts.TenantMaxBudget; cap > 0 {
+		if spec.BudgetCycles <= 0 || spec.BudgetCycles > cap {
+			d.mu.Unlock()
+			return nil, apiErrorf(ErrQuotaExceeded, "tenant %s: budget_cycles %d exceeds quota %d (unlimited counts as exceeding)",
+				tenant, spec.BudgetCycles, cap)
+		}
+	}
+	d.nextID++
+	id := fmt.Sprintf("j%d", d.nextID)
+	d.mu.Unlock()
+
+	// Journal before exposing the job: once acknowledged, it is durable.
+	seq, err := d.append(Record{Kind: RecSubmit, ID: id, Spec: spec})
+	if err != nil {
+		return nil, apiErrorf(ErrInternal, "journal: %v", err)
+	}
+
+	d.mu.Lock()
+	j := &job{
+		id:      id,
+		spec:    *spec,
+		seq:     seq,
+		prog:    prog,
+		heapIdx: -1,
+		state:   StateQueued,
+		done:    make(chan struct{}),
+	}
+	d.jobs[id] = j
+	d.order = append(d.order, id)
+	d.queue.push(j)
+	d.maybePreemptLocked(j)
+	d.cond.Signal()
+	d.publishLocked()
+	st := statusOf(j)
+	d.mu.Unlock()
+	d.logf("daemon: %s: queued (tenant=%s priority=%d)\n", id, tenant, spec.Priority)
+	return st, nil
+}
+
+// maybePreemptLocked asks the lowest-priority running job to yield when a
+// strictly higher-priority submission arrives and no worker is free. The
+// victim checkpoints at its next quiescent boundary and re-enters the queue
+// with its original position; the resumed run is bit-identical.
+func (d *Daemon) maybePreemptLocked(newJob *job) {
+	if d.running < d.opts.Workers {
+		return // a free worker will pick the new job up
+	}
+	var victim *job
+	for _, j := range d.jobs {
+		if j.state != StateRunning || j.preemptReq || j.cancelReq || j.drainReq {
+			continue
+		}
+		if j.spec.Priority >= newJob.spec.Priority {
+			continue
+		}
+		if victim == nil || j.spec.Priority < victim.spec.Priority ||
+			(j.spec.Priority == victim.spec.Priority && j.seq > victim.seq) {
+			victim = j
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.preemptReq = true
+	if victim.sys != nil {
+		victim.sys.RequestCheckpoint()
+	}
+	d.logf("daemon: %s: preempting for %s (priority %d > %d)\n",
+		victim.id, newJob.id, newJob.spec.Priority, victim.spec.Priority)
+}
+
+// Status returns a job's externally visible state.
+func (d *Daemon) Status(id string) (*JobStatus, *APIError) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j := d.jobs[id]
+	if j == nil {
+		return nil, apiErrorf(ErrNotFound, "no job %s", id)
+	}
+	return statusOf(j), nil
+}
+
+// List returns every job (optionally one tenant's) in submission order.
+func (d *Daemon) List(tenant string) []JobStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]JobStatus, 0, len(d.order))
+	for _, id := range d.order {
+		j := d.jobs[id]
+		if tenant != "" && tenantOf(&j.spec) != tenant {
+			continue
+		}
+		out = append(out, *statusOf(j))
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or the timeout
+// expires.
+func (d *Daemon) Wait(id string, timeout time.Duration) (*JobStatus, *APIError) {
+	d.mu.Lock()
+	j := d.jobs[id]
+	d.mu.Unlock()
+	if j == nil {
+		return nil, apiErrorf(ErrNotFound, "no job %s", id)
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-j.done:
+	case <-timer:
+		return nil, apiErrorf(ErrTimeout, "job %s not done after %v", id, timeout)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return statusOf(j), nil
+}
+
+// Cancel cancels a queued job immediately, or asks a running job to stop at
+// its next checkpoint boundary.
+func (d *Daemon) Cancel(id string) (*JobStatus, *APIError) {
+	d.mu.Lock()
+	j := d.jobs[id]
+	if j == nil {
+		d.mu.Unlock()
+		return nil, apiErrorf(ErrNotFound, "no job %s", id)
+	}
+	switch j.state {
+	case StateQueued:
+		d.queue.remove(j)
+		j.state = StateCanceled
+		j.result = &JobResult{Err: "canceled"}
+		d.canceled++
+		close(j.done)
+		d.publishLocked()
+		d.mu.Unlock()
+		// Journal after the state flip: a crash in between re-queues the
+		// job once, and the cancel is simply lost — never a double-run.
+		d.append(Record{Kind: RecCancel, ID: id})
+		d.mu.Lock()
+	case StateRunning:
+		j.cancelReq = true
+		if j.sys != nil {
+			j.sys.RequestCheckpoint()
+		}
+	}
+	defer d.mu.Unlock()
+	return statusOf(j), nil
+}
+
+// Info returns the ping payload.
+func (d *Daemon) Info() *Info {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &Info{
+		API:        APIVersion,
+		Config:     d.opts.Config.Name,
+		Workers:    d.opts.Workers,
+		QueueDepth: d.queue.Len(),
+		Running:    d.running,
+		Draining:   d.draining,
+
+		Preemptions: d.preemptions,
+		Retries:     d.retries,
+		Recoveries:  d.recoveries,
+		Completed:   d.completed,
+		Failed:      d.failed,
+		Canceled:    d.canceled,
+	}
+}
+
+func statusOf(j *job) *JobStatus {
+	st := &JobStatus{
+		ID:          j.id,
+		Name:        j.spec.Name,
+		Tenant:      tenantOf(&j.spec),
+		Priority:    j.spec.Priority,
+		State:       j.state,
+		Attempt:     j.attempt,
+		Resumes:     j.resumes,
+		Preemptions: j.preemptions,
+		Cycles:      j.cycles,
+		Budget:      j.budget,
+		Result:      j.result,
+	}
+	return st
+}
+
+// publishLocked pushes the daemon block to the metrics server. Caller holds
+// d.mu.
+func (d *Daemon) publishLocked() {
+	if d.opts.Monitor == nil {
+		return
+	}
+	ds := metrics.DaemonStatus{
+		QueueDepth: d.queue.Len(),
+		Running:    d.running,
+		Workers:    d.opts.Workers,
+		Draining:   d.draining,
+
+		Preemptions: d.preemptions,
+		Retries:     d.retries,
+		Recoveries:  d.recoveries,
+		Completed:   d.completed,
+		Failed:      d.failed,
+		Canceled:    d.canceled,
+	}
+	ds.Tenants = make(map[string]metrics.TenantOccupancy)
+	for _, j := range d.jobs {
+		t := tenantOf(&j.spec)
+		occ := ds.Tenants[t]
+		switch j.state {
+		case StateQueued:
+			occ.Queued++
+		case StateRunning:
+			occ.Running++
+		}
+		ds.Tenants[t] = occ
+	}
+	d.opts.Monitor.PublishDaemon(ds)
+}
+
+// worker is one simulation worker: pull the highest-priority eligible job,
+// run it to a terminal state or a yield point, repeat.
+func (d *Daemon) worker() {
+	defer d.wg.Done()
+	for {
+		j := d.nextJob()
+		if j == nil {
+			return
+		}
+		d.runJob(j)
+	}
+}
+
+// nextJob blocks until a job is eligible (tenant running-quota respected) or
+// the daemon stops dispatching.
+func (d *Daemon) nextJob() *job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.stopWorkers {
+			return nil
+		}
+		var skipped []*job
+		var pick *job
+		for !d.queue.empty() {
+			j := d.queue.pop()
+			if q := d.opts.TenantMaxRunning; q > 0 && d.runningBy[tenantOf(&j.spec)] >= q {
+				skipped = append(skipped, j)
+				continue
+			}
+			pick = j
+			break
+		}
+		for _, s := range skipped {
+			d.queue.push(s)
+		}
+		if pick != nil {
+			pick.state = StateRunning
+			d.running++
+			d.runningBy[tenantOf(&pick.spec)]++
+			d.publishLocked()
+			return pick
+		}
+		d.cond.Wait()
+	}
+}
+
+// release takes a job off a worker: clears the running accounting. Caller
+// then either re-queues it (yield) or marks it terminal.
+func (d *Daemon) releaseLocked(j *job) {
+	d.running--
+	d.runningBy[tenantOf(&j.spec)]--
+	j.sys = nil
+	// Completion may unblock a tenant at its running quota.
+	d.cond.Broadcast()
+}
+
+// terminal flips a job into a terminal state and wakes waiters.
+func (d *Daemon) terminal(j *job, state string, result *JobResult) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.releaseLocked(j)
+	j.state = state
+	j.result = result
+	if result != nil {
+		j.cycles = result.Cycles
+	}
+	switch state {
+	case StateDone:
+		d.completed++
+	case StateFailed:
+		d.failed++
+	case StateCanceled:
+		d.canceled++
+	}
+	close(j.done)
+	d.publishLocked()
+}
+
+// requeue returns a preempted job to the ready queue with its original
+// enqueue sequence.
+func (d *Daemon) requeue(j *job) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.releaseLocked(j)
+	j.state = StateQueued
+	j.preemptReq = false
+	j.preemptions++
+	d.preemptions++
+	d.queue.push(j)
+	d.cond.Signal()
+	d.publishLocked()
+}
+
+// suspend parks a job cleanly during drain: it stays queued (and journaled
+// as such) so the next daemon on this data dir resumes it from its
+// checkpoint. Zero lost jobs.
+func (d *Daemon) suspend(j *job) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.releaseLocked(j)
+	j.state = StateQueued
+	j.drainReq = false
+	d.queue.push(j)
+	d.publishLocked()
+}
+
+// envelope is the per-job checkpoint sidecar (<id>.ckpt): the simulator
+// checkpoint plus the output accumulated up to it, so a resumed job's final
+// output is byte-identical to an uninterrupted run's.
+type envelope struct {
+	Ckpt   []byte // checkpoint.Save bytes (self-versioned)
+	Output string
+}
+
+func (d *Daemon) envPath(j *job) string {
+	return filepath.Join(d.opts.DataDir, j.id+".ckpt")
+}
+
+func (d *Daemon) saveEnvelope(j *job, st *checkpoint.State, output string) error {
+	var buf bytes.Buffer
+	if err := checkpoint.Save(&buf, st); err != nil {
+		return err
+	}
+	return atomicfile.WriteFunc(d.envPath(j), 0o644, func(w io.Writer) error {
+		return gobEncode(w, &envelope{Ckpt: buf.Bytes(), Output: output})
+	})
+}
+
+func (d *Daemon) loadEnvelope(j *job) (*checkpoint.State, string, error) {
+	f, err := os.Open(d.envPath(j))
+	if os.IsNotExist(err) {
+		return nil, "", nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	var env envelope
+	if err := gobDecode(f, &env); err != nil {
+		return nil, "", fmt.Errorf("daemon: envelope %s: %v", d.envPath(j), err)
+	}
+	st, err := checkpoint.Load(bytes.NewReader(env.Ckpt))
+	if err != nil {
+		return nil, "", err
+	}
+	return st, env.Output, nil
+}
+
+// runJob drives one job from its current checkpoint (if any) to a terminal
+// state, a preemption/drain yield, or its retry bound.
+func (d *Daemon) runJob(j *job) {
+	st, prefix, err := d.loadEnvelope(j)
+	if err != nil {
+		d.append(Record{Kind: RecFail, ID: j.id, Reason: err.Error()})
+		d.terminal(j, StateFailed, &JobResult{Err: err.Error()})
+		return
+	}
+
+	cfg := d.opts.Config
+	for _, kv := range j.spec.Sets {
+		_ = cfg.Set(kv) // validated at submit
+	}
+	base := j.spec.BudgetCycles
+	if base == 0 {
+		base = d.opts.BudgetCycles
+	}
+	deadline := j.spec.DeadlineCycles
+	baseWatchdog := cfg.WatchdogCycles
+
+	retries := 0
+	for {
+		budget := base
+		if budget > 0 && retries > 0 {
+			budget = int64(float64(budget) * math.Pow(d.opts.Backoff, float64(retries)))
+		}
+		if deadline > 0 && (budget <= 0 || budget > deadline) {
+			budget = deadline
+		}
+		if baseWatchdog > 0 && retries > 0 {
+			// A watchdog trip retries with a wider no-retire window too:
+			// the hang may have been a configuration artifact, and the
+			// budget alone cannot help if the watchdog re-trips first.
+			cfg.WatchdogCycles = int64(float64(baseWatchdog) * math.Pow(d.opts.Backoff, float64(retries)))
+		}
+
+		d.mu.Lock()
+		j.attempt++
+		j.budget = budget
+		if st != nil {
+			j.resumes++
+		}
+		att := j.attempt
+		d.mu.Unlock()
+		if _, err := d.append(Record{Kind: RecStart, ID: j.id, Attempt: att}); err != nil {
+			d.terminal(j, StateFailed, &JobResult{Err: fmt.Sprintf("journal: %v", err)})
+			return
+		}
+		d.logf("daemon: %s: attempt %d (budget %d)\n", j.id, att, budget)
+
+		out := d.runSegments(j, cfg, &st, &prefix, budget)
+		switch {
+		case errors.Is(out.err, errAborted):
+			return // simulated crash: leave no clean trace
+		case errors.Is(out.err, errCanceled):
+			d.append(Record{Kind: RecCancel, ID: j.id})
+			d.terminal(j, StateCanceled, &JobResult{Cycles: out.cycle, Output: out.output, Err: "canceled"})
+			d.logf("daemon: %s: canceled at cycle %d\n", j.id, out.cycle)
+			return
+		case errors.Is(out.err, errPreempted):
+			d.append(Record{Kind: RecPreempt, ID: j.id, Cycle: out.cycle, Reason: "preempt"})
+			d.requeue(j)
+			d.logf("daemon: %s: preempted at cycle %d\n", j.id, out.cycle)
+			return
+		case errors.Is(out.err, errDrained):
+			d.append(Record{Kind: RecPreempt, ID: j.id, Cycle: out.cycle, Reason: "drain"})
+			d.suspend(j)
+			d.logf("daemon: %s: suspended for drain at cycle %d\n", j.id, out.cycle)
+			return
+		}
+
+		if out.err == nil && out.halted {
+			res := &JobResult{
+				Cycles:  out.cycle,
+				Instrs:  out.instrs,
+				Output:  out.output,
+				MemHash: out.memHash,
+			}
+			d.append(Record{Kind: RecDone, ID: j.id, Result: res})
+			d.terminal(j, StateDone, res)
+			d.logf("daemon: %s: done (%d cycles)\n", j.id, out.cycle)
+			return
+		}
+
+		// Failure or timeout: build the structured diagnostic, decide
+		// whether to retry from the last checkpoint.
+		diag := ""
+		switch {
+		case out.err != nil:
+			diag = out.err.Error()
+		case deadline > 0 && out.cycle >= deadline:
+			diag = fmt.Sprintf("deadline_cycles %d reached at cycle %d (attempt %d)", deadline, out.cycle, att)
+			d.append(Record{Kind: RecFail, ID: j.id, Reason: diag})
+			d.terminal(j, StateFailed, &JobResult{Cycles: out.cycle, Output: out.output, Err: diag})
+			d.logf("daemon: %s: %s\n", j.id, diag)
+			return
+		default:
+			diag = fmt.Sprintf("cycle budget %d exhausted at cycle %d (attempt %d)", budget, out.cycle, att)
+		}
+		if retries >= d.opts.Retries {
+			d.append(Record{Kind: RecFail, ID: j.id, Reason: diag})
+			d.terminal(j, StateFailed, &JobResult{Cycles: out.cycle, Output: out.output, Err: diag})
+			d.logf("daemon: %s: giving up: %s\n", j.id, diag)
+			return
+		}
+		retries++
+		d.mu.Lock()
+		d.retries++
+		d.mu.Unlock()
+		d.logf("daemon: %s: attempt %d failed (%s); retrying\n", j.id, att, diag)
+		// st/prefix were advanced to the last persisted checkpoint by
+		// runSegments; the retry resumes there.
+	}
+}
+
+// segmentsOut is the outcome of one attempt.
+type segmentsOut struct {
+	halted  bool
+	cycle   int64
+	instrs  uint64
+	output  string // total accumulated output (resumed prefix included)
+	memHash string // set when halted
+	err     error  // nil, a sentinel, or a simulation error (watchdog etc.)
+}
+
+// runSegments runs one attempt as a chain of simulation segments separated
+// by checkpoint stops. At each stop it persists the envelope and the
+// journal record, then honors pending cancel/drain/preempt requests. st and
+// prefix track the last persisted checkpoint across the call — on a retry
+// the caller resumes from exactly that state.
+func (d *Daemon) runSegments(j *job, cfg config.Config, st **checkpoint.State, prefix *string, budget int64) segmentsOut {
+	var out bytes.Buffer
+	startPrefix := *prefix
+	for {
+		sys, err := cycle.New(j.prog, cfg, &out)
+		if err != nil {
+			return segmentsOut{err: err, output: startPrefix + out.String()}
+		}
+		if *st != nil {
+			if err := sys.RestoreState(*st); err != nil {
+				return segmentsOut{err: err, output: startPrefix + out.String()}
+			}
+		}
+		sys.CheckpointEvery(d.opts.CheckpointEvery)
+
+		// Expose the system for preemption/cancel; deliver requests that
+		// raced with construction.
+		d.mu.Lock()
+		j.sys = sys
+		if j.preemptReq || j.cancelReq || j.drainReq {
+			sys.RequestCheckpoint()
+		}
+		d.mu.Unlock()
+		if d.aborted.Load() {
+			return segmentsOut{err: errAborted}
+		}
+
+		var smp *metrics.Sampler
+		if d.opts.Monitor != nil {
+			interval := d.opts.SampleCycles
+			if interval <= 0 {
+				interval = 10000
+			}
+			if smp = metrics.Attach(sys, interval); smp != nil {
+				smp.SetServer(d.opts.Monitor)
+				smp.SetJob(j.id)
+			}
+		}
+
+		segBudget := int64(0)
+		if budget > 0 {
+			segBudget = budget - offsetOf(*st)
+			if segBudget <= 0 {
+				return segmentsOut{cycle: offsetOf(*st), output: startPrefix + out.String()}
+			}
+		}
+		res, err := sys.Run(segBudget)
+		if smp != nil && res != nil {
+			smp.Finalize(res.Cycles, int64(res.Ticks), sys.Stats, sys.AliveTCUs())
+		}
+		if err != nil {
+			cyc := offsetOf(*st)
+			if res != nil {
+				cyc = res.Cycles
+			}
+			return segmentsOut{cycle: cyc, output: startPrefix + out.String(), err: err}
+		}
+
+		if res.Checkpoint {
+			// A crash may land anywhere in this window; every ordering is
+			// recoverable because the envelope write is atomic and the
+			// journal append is the commit point.
+			if d.aborted.Load() {
+				return segmentsOut{err: errAborted}
+			}
+			cst := sys.Capture()
+			envOut := startPrefix + out.String()
+			if err := d.saveEnvelope(j, cst, envOut); err != nil {
+				return segmentsOut{cycle: res.Cycles, output: envOut, err: err}
+			}
+			if d.aborted.Load() {
+				return segmentsOut{err: errAborted}
+			}
+			if _, err := d.append(Record{Kind: RecCkpt, ID: j.id, Cycle: res.Cycles}); err != nil {
+				return segmentsOut{cycle: res.Cycles, output: envOut, err: err}
+			}
+			*st, *prefix = cst, envOut
+			j.hasCkpt = true
+
+			d.mu.Lock()
+			j.cycles = res.Cycles
+			cancel, drain, preempt := j.cancelReq, j.drainReq, j.preemptReq
+			stopping := d.stopWorkers
+			d.publishLocked()
+			d.mu.Unlock()
+			switch {
+			case cancel:
+				return segmentsOut{cycle: res.Cycles, output: envOut, err: errCanceled}
+			case drain || (stopping && d.draining):
+				return segmentsOut{cycle: res.Cycles, output: envOut, err: errDrained}
+			case preempt:
+				return segmentsOut{cycle: res.Cycles, output: envOut, err: errPreempted}
+			}
+			continue
+		}
+
+		totalOut := startPrefix + out.String()
+		if res.Halted {
+			fin := sys.Capture()
+			return segmentsOut{
+				halted:  true,
+				cycle:   res.Cycles,
+				instrs:  res.Instrs,
+				output:  totalOut,
+				memHash: memHash(fin, totalOut),
+			}
+		}
+		// Timed out (budget exhausted).
+		return segmentsOut{cycle: res.Cycles, output: totalOut}
+	}
+}
+
+func offsetOf(st *checkpoint.State) int64 {
+	if st == nil {
+		return 0
+	}
+	return st.CycleOffset
+}
+
+// memHash fingerprints the final architectural state: FNV-1a over shared
+// memory, the global registers and the program output. Two runs with equal
+// hashes ended bit-identical for every architecturally visible artifact.
+func memHash(st *checkpoint.State, output string) string {
+	h := fnv.New64a()
+	h.Write(st.Mem)
+	var b [4]byte
+	for _, g := range st.G {
+		b[0], b[1], b[2], b[3] = byte(g), byte(g>>8), byte(g>>16), byte(g>>24)
+		h.Write(b[:])
+	}
+	io.WriteString(h, output)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Serve accepts connections on ln and speaks the xmt-jobs/v1 line protocol
+// until the listener closes (drain or Close).
+func (d *Daemon) Serve(ln net.Listener) error {
+	d.mu.Lock()
+	d.ln = ln
+	d.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			d.mu.Lock()
+			stopping := d.draining || d.stopWorkers
+			d.mu.Unlock()
+			if stopping {
+				return nil
+			}
+			return err
+		}
+		go d.handleConn(conn)
+	}
+}
+
+// Drain performs the graceful shutdown: stop admitting, suspend running
+// jobs at their next checkpoint boundary, journal the clean-shutdown
+// marker, close the journal. Queued and suspended jobs remain durably
+// journaled for the next daemon on this data dir. Idempotent.
+func (d *Daemon) Drain() error {
+	d.mu.Lock()
+	already := d.draining
+	d.draining = true
+	d.stopWorkers = true
+	for _, j := range d.jobs {
+		if j.state == StateRunning {
+			j.drainReq = true
+			if j.sys != nil {
+				j.sys.RequestCheckpoint()
+			}
+		}
+	}
+	d.cond.Broadcast()
+	d.publishLocked()
+	d.mu.Unlock()
+
+	d.wg.Wait()
+	if already {
+		return nil
+	}
+	var err error
+	d.jmu.Lock()
+	if d.journal != nil {
+		_, err = d.journal.Append(Record{Kind: RecDrain})
+		if cerr := d.journal.Close(); err == nil {
+			err = cerr
+		}
+		d.journal = nil
+	}
+	d.jmu.Unlock()
+	d.mu.Lock()
+	d.publishLocked()
+	d.mu.Unlock()
+	d.logf("daemon: drained\n")
+	return err
+}
+
+// Abort simulates a crash for recovery tests: workers stop at their next
+// checkpoint boundary without journaling any clean suspend/terminal
+// records, and the journal file is closed as-is — exactly the on-disk state
+// a kill -9 would leave (appends are fsync'd individually). Not part of the
+// public protocol.
+func (d *Daemon) Abort() {
+	d.aborted.Store(true)
+	d.mu.Lock()
+	d.stopWorkers = true
+	for _, j := range d.jobs {
+		if j.state == StateRunning && j.sys != nil {
+			j.sys.RequestCheckpoint()
+		}
+	}
+	d.cond.Broadcast()
+	if d.ln != nil {
+		d.ln.Close()
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+	d.jmu.Lock()
+	if d.journal != nil {
+		d.journal.f.Close() // no flush beyond the already-fsync'd appends
+		d.journal = nil
+	}
+	d.jmu.Unlock()
+}
+
+// Close shuts the daemon down without the drain protocol (used on fatal
+// errors). Prefer Drain for orderly shutdown.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	d.stopWorkers = true
+	d.cond.Broadcast()
+	if d.ln != nil {
+		d.ln.Close()
+	}
+	for _, j := range d.jobs {
+		if j.state == StateRunning {
+			j.drainReq = true
+			if j.sys != nil {
+				j.sys.RequestCheckpoint()
+			}
+		}
+	}
+	d.draining = true
+	d.mu.Unlock()
+	d.wg.Wait()
+	d.jmu.Lock()
+	defer d.jmu.Unlock()
+	if d.journal != nil {
+		err := d.journal.Close()
+		d.journal = nil
+		return err
+	}
+	return nil
+}
+
+// CloseListener stops the accept loop (the drain API op uses it after
+// responding).
+func (d *Daemon) CloseListener() {
+	d.mu.Lock()
+	if d.ln != nil {
+		d.ln.Close()
+	}
+	d.mu.Unlock()
+}

@@ -1,0 +1,120 @@
+package daemon
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []Record{
+		{Kind: RecSubmit, ID: "j1", Spec: &JobSpec{Name: "a", Source: "x"}},
+		{Kind: RecStart, ID: "j1", Attempt: 1},
+		{Kind: RecCkpt, ID: "j1", Cycle: 1234},
+		{Kind: RecDone, ID: "j1", Result: &JobResult{Cycles: 5000, Output: "ok\n"}},
+	}
+	for i, rec := range want {
+		seq, err := j.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, seq)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d, want %d", i, rec.Seq, i+1)
+		}
+		if rec.Kind != want[i].Kind || rec.ID != want[i].ID {
+			t.Errorf("record %d: %s/%s, want %s/%s", i, rec.Kind, rec.ID, want[i].Kind, want[i].ID)
+		}
+	}
+	if recs[3].Result == nil || recs[3].Result.Output != "ok\n" {
+		t.Errorf("done record lost its result: %+v", recs[3].Result)
+	}
+
+	// Appends after replay continue the sequence.
+	if seq, err := j2.Append(Record{Kind: RecDrain}); err != nil || seq != 5 {
+		t.Fatalf("append after replay: seq=%d err=%v", seq, err)
+	}
+	if _, recs, err := OpenJournal(path); err != nil || len(recs) != 5 || recs[4].Seq != 5 {
+		t.Fatalf("after reopen+append: recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: RecSubmit, ID: "j1", Spec: &JobSpec{Source: "x"}})
+	j.Append(Record{Kind: RecStart, ID: "j1", Attempt: 1})
+	j.Close()
+
+	// Simulate a crash mid-append: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":3,"kind":"ck`)
+	f.Close()
+
+	j2, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (torn tail dropped)", len(recs))
+	}
+	// The torn bytes are truncated, so the next append lands cleanly.
+	if _, err := j2.Append(Record{Kind: RecCkpt, ID: "j1", Cycle: 9}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if _, recs, err := OpenJournal(path); err != nil || len(recs) != 3 || recs[2].Kind != RecCkpt {
+		t.Fatalf("after truncate+append: recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestJournalCorruptMiddleRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: RecSubmit, ID: "j1", Spec: &JobSpec{Source: "x"}})
+	j.Append(Record{Kind: RecDone, ID: "j1", Result: &JobResult{}})
+	j.Close()
+
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	corrupted := "GARBAGE NOT JSON\n" + lines[1]
+	os.WriteFile(path, []byte(lines[0]+corrupted), 0o644)
+
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("interior corruption must be rejected, not skipped")
+	}
+}

@@ -1,0 +1,53 @@
+package daemon
+
+import "container/heap"
+
+// jobQueue is the ready queue: a priority heap ordered by descending
+// priority, then ascending enqueue sequence — so equal-priority jobs run in
+// submission order, and a preempted job (which keeps its original sequence)
+// resumes ahead of later arrivals at its priority.
+type jobQueue struct{ items []*job }
+
+func (q *jobQueue) Len() int { return len(q.items) }
+
+func (q *jobQueue) Less(i, k int) bool {
+	a, b := q.items[i], q.items[k]
+	if a.spec.Priority != b.spec.Priority {
+		return a.spec.Priority > b.spec.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *jobQueue) Swap(i, k int) {
+	q.items[i], q.items[k] = q.items[k], q.items[i]
+	q.items[i].heapIdx, q.items[k].heapIdx = i, k
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(q.items)
+	q.items = append(q.items, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	q.items = old[:n-1]
+	return j
+}
+
+func (q *jobQueue) push(j *job) { heap.Push(q, j) }
+func (q *jobQueue) pop() *job   { return heap.Pop(q).(*job) }
+func (q *jobQueue) empty() bool { return len(q.items) == 0 }
+
+// remove unlinks a specific job (cancellation of a queued job).
+func (q *jobQueue) remove(j *job) bool {
+	if j.heapIdx < 0 || j.heapIdx >= len(q.items) || q.items[j.heapIdx] != j {
+		return false
+	}
+	heap.Remove(q, j.heapIdx)
+	return true
+}

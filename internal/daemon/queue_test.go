@@ -1,0 +1,61 @@
+package daemon
+
+import "testing"
+
+func qjob(id string, prio int, seq uint64) *job {
+	return &job{id: id, spec: JobSpec{Priority: prio}, seq: seq, heapIdx: -1}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q jobQueue
+	q.push(qjob("low1", 0, 1))
+	q.push(qjob("hi", 5, 2))
+	q.push(qjob("low2", 0, 3))
+	q.push(qjob("mid", 3, 4))
+
+	want := []string{"hi", "mid", "low1", "low2"}
+	for _, id := range want {
+		if got := q.pop().id; got != id {
+			t.Fatalf("pop %s, want %s", got, id)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestQueuePreemptedKeepsPosition(t *testing.T) {
+	var q jobQueue
+	q.push(qjob("a", 1, 1))
+	q.push(qjob("b", 1, 5))
+	// A preempted job re-enters with its original sequence and must run
+	// before later arrivals at its priority.
+	preempted := qjob("victim", 1, 2)
+	q.push(preempted)
+	if got := q.pop().id; got != "a" {
+		t.Fatalf("pop %s, want a", got)
+	}
+	if got := q.pop().id; got != "victim" {
+		t.Fatalf("pop %s, want victim (original seq ahead of b)", got)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	var q jobQueue
+	a, b, c := qjob("a", 2, 1), qjob("b", 1, 2), qjob("c", 0, 3)
+	q.push(a)
+	q.push(b)
+	q.push(c)
+	if !q.remove(b) {
+		t.Fatal("remove b failed")
+	}
+	if q.remove(b) {
+		t.Fatal("double remove must report false")
+	}
+	if got := q.pop().id; got != "a" {
+		t.Fatalf("pop %s, want a", got)
+	}
+	if got := q.pop().id; got != "c" {
+		t.Fatalf("pop %s, want c", got)
+	}
+}

@@ -1,0 +1,51 @@
+// Package sigctl implements the two-stage SIGINT/SIGTERM protocol shared by
+// the simulation CLIs (docs/ROBUSTNESS.md): the first signal requests a
+// clean stop — the running simulation checkpoints at its next
+// architecturally quiescent point and the driver exits normally, persisting
+// the checkpoint when one was asked for — and a second signal forces
+// immediate exit for the case where the program never reaches a quiescent
+// point.
+package sigctl
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ForcedExitCode is the exit status of a second-signal forced exit
+// (128 + SIGINT, the shell convention).
+const ForcedExitCode = 130
+
+// Notify installs the handler. onFirst runs once, on the signal goroutine,
+// at the first SIGINT/SIGTERM — it must be safe to call concurrently with
+// the simulation (System.RequestCheckpoint and friends are). A second
+// signal exits the process immediately with ForcedExitCode. The returned
+// stop function uninstalls the handler (idempotent).
+func Notify(tool string, onFirst func()) (stop func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v: stopping at next checkpoint boundary (signal again to force exit)\n", tool, sig)
+		onFirst()
+		if _, ok := <-ch; !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: forced exit\n", tool)
+		os.Exit(ForcedExitCode)
+	}()
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		signal.Stop(ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,31 @@
+package sigctl
+
+import (
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestNotifyFirstSignal delivers a real SIGINT to the test process and
+// asserts onFirst runs exactly once. The second-signal branch is os.Exit and
+// is exercised by the CLI signal tests instead.
+func TestNotifyFirstSignal(t *testing.T) {
+	fired := make(chan struct{}, 1)
+	stop := Notify("sigctltest", func() { fired <- struct{}{} })
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("onFirst did not run after SIGINT")
+	}
+}
+
+func TestNotifyStopIdempotent(t *testing.T) {
+	stop := Notify("sigctltest", func() {})
+	stop()
+	stop() // second call must be a no-op, not a double close
+}

@@ -94,14 +94,22 @@ func (mt *Master) Tick(cycle int64, now engine.Time) bool {
 		}
 		mt.state = masterRunning
 	}
-	// Periodic checkpointing stops at exactly the points a sys checkpoint
-	// trap may: serial mode with the write buffer drained, so the machine is
-	// architecturally quiescent and Capture needs no in-flight state.
-	if sys := mt.sys; sys.ckptEvery > 0 && mt.pendingNB == 0 &&
-		sys.cycleOffset+sys.clusterClock.Cycle(now) >= sys.nextCkpt {
-		sys.nextCkpt += sys.ckptEvery
-		sys.checkpointStop()
-		return false
+	// Periodic and requested checkpointing stop at exactly the points a sys
+	// checkpoint trap may: serial mode with the write buffer drained, so the
+	// machine is architecturally quiescent and Capture needs no in-flight
+	// state. An asynchronous RequestCheckpoint (signal handler, daemon
+	// preemption) is honored at the first such point regardless of cadence.
+	if sys := mt.sys; mt.pendingNB == 0 {
+		if sys.ckptReq.Load() {
+			sys.ckptReq.Store(false)
+			sys.checkpointStop()
+			return false
+		}
+		if sys.ckptEvery > 0 && sys.cycleOffset+sys.clusterClock.Cycle(now) >= sys.nextCkpt {
+			sys.nextCkpt += sys.ckptEvery
+			sys.checkpointStop()
+			return false
+		}
 	}
 	for slot := 0; slot < mt.sys.Cfg.MasterIssueWidth; slot++ {
 		cont := mt.issue(cycle, now)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync/atomic"
 
 	"xmtgo/internal/asm"
 	"xmtgo/internal/config"
@@ -87,6 +88,10 @@ type System struct {
 	// the master stops at a quiescent point once the target cycle passes.
 	ckptEvery int64
 	nextCkpt  int64
+	// ckptReq is the asynchronous checkpoint request (RequestCheckpoint):
+	// signal handlers and daemon preemption set it from other goroutines;
+	// the master consumes it at its next quiescent point.
+	ckptReq atomic.Bool
 
 	// traceFn, when set, observes every issued instruction
 	// (tcu = -1 for the master).
@@ -493,6 +498,17 @@ func (s *System) Run(maxCycles int64) (*Result, error) {
 // with Result.Checkpoint set. Used by the xmtbatch runner to bound how much
 // work a retry can lose. n <= 0 disables.
 func (s *System) CheckpointEvery(n int64) { s.ckptEvery = n }
+
+// RequestCheckpoint asks the running simulation to stop at its next
+// architecturally quiescent point (serial mode, write buffer drained) with
+// Result.Checkpoint set, exactly as if a periodic checkpoint had come due.
+// Unlike every other System method it is safe to call from any goroutine —
+// signal handlers and the xmtd daemon's preemption path use it to yield a
+// run without perturbing its results. A program that never returns to
+// serial mode (wedged inside a spawn region) never reaches a quiescent
+// point; callers needing a hard stop must also bound the run with a cycle
+// budget or the watchdog.
+func (s *System) RequestCheckpoint() { s.ckptReq.Store(true) }
 
 // checkpointStop halts the scheduler at a quiescent checkpoint trap.
 func (s *System) checkpointStop() {

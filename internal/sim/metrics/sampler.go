@@ -34,6 +34,7 @@ type Sampler struct {
 	pm *power.Model          // sampler-private power model (own delta state)
 
 	srv *Server // non-nil when publishing to a live metrics server
+	job string  // daemon job id stamped on published bundles (may be empty)
 }
 
 type prevState struct {
@@ -82,6 +83,10 @@ func (sp *Sampler) AttachThermal(tm *power.ThermalManager) {
 
 // SetServer publishes every interval boundary to a live metrics server.
 func (sp *Sampler) SetServer(srv *Server) { sp.srv = srv }
+
+// SetJob labels published bundles with a daemon job id so /stream?job=ID
+// subscribers receive only this run's samples.
+func (sp *Sampler) SetJob(id string) { sp.job = id }
 
 // Samples returns the recorded time series.
 func (sp *Sampler) Samples() []Sample { return sp.samples }
@@ -235,5 +240,6 @@ func (sp *Sampler) publish(s *Sample, cyc, ticks int64, st *stats.Collector, ali
 		Status:   status,
 		Counters: st.Snapshot(cyc, ticks),
 		Sample:   &smp,
+		Job:      sp.job,
 	})
 }

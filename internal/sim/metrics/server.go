@@ -29,6 +29,8 @@ type Status struct {
 
 	// Batch is present when an xmtbatch run is being monitored.
 	Batch *BatchStatus `json:"batch,omitempty"`
+	// Daemon is present when an xmtd daemon is being monitored.
+	Daemon *DaemonStatus `json:"daemon,omitempty"`
 }
 
 // BatchStatus is the per-job progress of an xmtbatch campaign.
@@ -42,6 +44,30 @@ type BatchStatus struct {
 	BudgetCycles int64  `json:"budget_cycles,omitempty"`
 }
 
+// DaemonStatus is the xmtd daemon's health block on /status: queue depth,
+// per-tenant occupancy and the robustness counters (docs/XMTD.md).
+type DaemonStatus struct {
+	QueueDepth int  `json:"queue_depth"`
+	Running    int  `json:"running"`
+	Workers    int  `json:"workers"`
+	Draining   bool `json:"draining,omitempty"`
+
+	Tenants map[string]TenantOccupancy `json:"tenants,omitempty"`
+
+	Preemptions uint64 `json:"preemptions"`
+	Retries     uint64 `json:"retries"`
+	Recoveries  uint64 `json:"recoveries"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Canceled    uint64 `json:"canceled"`
+}
+
+// TenantOccupancy is one tenant's share of the daemon's queue and workers.
+type TenantOccupancy struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
 // Published is one immutable telemetry bundle: everything the HTTP
 // handlers serve. The simulation publishes a fresh bundle at each sampling
 // boundary and never mutates an already-published one.
@@ -49,18 +75,24 @@ type Published struct {
 	Status   Status
 	Counters *stats.Snapshot
 	Sample   *Sample
+	// Job labels the bundle with the daemon job that produced it, so
+	// /stream?job=ID subscribers see only that job's samples.
+	Job string
 }
 
 // Server is the live metrics endpoint: Prometheus-text /metrics, JSON
-// /status, and an SSE /stream of interval samples. It reads only immutable
-// Published bundles swapped in atomically from the scheduler goroutine, so
-// serving concurrent scrapes cannot perturb the simulation.
+// /status, and an SSE /stream of interval samples (optionally filtered to
+// one daemon job with ?job=ID). It reads only immutable Published bundles
+// swapped in atomically from the publishing goroutine, so serving
+// concurrent scrapes cannot perturb the simulation.
 type Server struct {
 	latest atomic.Pointer[Published]
 	batch  atomic.Pointer[BatchStatus]
+	daemon atomic.Pointer[DaemonStatus]
 
-	mu   sync.Mutex
-	subs map[chan []byte]struct{}
+	mu     sync.Mutex
+	subs   map[chan []byte]string // value: job filter ("" = every sample)
+	closed bool
 
 	srv *http.Server
 	ln  net.Listener
@@ -68,15 +100,20 @@ type Server struct {
 
 // NewServer creates an unstarted server.
 func NewServer() *Server {
-	return &Server{subs: make(map[chan []byte]struct{})}
+	return &Server{subs: make(map[chan []byte]string)}
 }
 
 // Publish swaps in the latest bundle and fans the interval sample out to
 // /stream subscribers. Non-blocking: a slow subscriber drops samples rather
-// than stalling the simulation.
+// than stalling the simulation. Safe to call concurrently from several
+// publishers (the daemon runs one per active job) and after Close (a
+// no-op fan-out then).
 func (s *Server) Publish(p *Published) {
 	if b := s.batch.Load(); b != nil && p.Status.Batch == nil {
 		p.Status.Batch = b
+	}
+	if d := s.daemon.Load(); d != nil && p.Status.Daemon == nil {
+		p.Status.Daemon = d
 	}
 	s.latest.Store(p)
 	if p.Sample == nil {
@@ -87,7 +124,14 @@ func (s *Server) Publish(p *Published) {
 		return
 	}
 	s.mu.Lock()
-	for ch := range s.subs {
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	for ch, filter := range s.subs {
+		if filter != "" && filter != p.Job {
+			continue
+		}
 		select {
 		case ch <- data:
 		default: // subscriber is behind; drop
@@ -110,6 +154,18 @@ func (s *Server) PublishBatch(b BatchStatus) {
 	}
 }
 
+// PublishDaemon updates the daemon block merged into /status.
+func (s *Server) PublishDaemon(d DaemonStatus) {
+	s.daemon.Store(&d)
+	if cur := s.latest.Load(); cur != nil {
+		next := *cur
+		next.Status.Daemon = &d
+		s.latest.Store(&next)
+	} else {
+		s.latest.Store(&Published{Status: Status{Daemon: &d}})
+	}
+}
+
 // Latest returns the most recently published bundle (nil before the first
 // publish).
 func (s *Server) Latest() *Published { return s.latest.Load() }
@@ -125,11 +181,13 @@ func (s *Server) Handler() http.Handler {
 
 // ListenAndServe binds addr (e.g. ":8080" or "127.0.0.1:0") and serves in a
 // background goroutine. It returns the bound address, so callers may pass
-// port 0 and discover the real port.
+// port 0 and discover the real port. A bind failure (port already in use,
+// bad address) is returned synchronously so CLIs can report it and exit
+// cleanly instead of serving nothing.
 func (s *Server) ListenAndServe(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
@@ -137,9 +195,17 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and disconnects /stream subscribers.
+// Close stops the listener and disconnects /stream subscribers. It is
+// idempotent — a second Close is a no-op returning nil — and unblocks every
+// in-flight SSE stream (their subscription channels close, the handlers
+// return, and the HTTP server tears the connections down).
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
 	for ch := range s.subs {
 		close(ch)
 		delete(s.subs, ch)
@@ -182,12 +248,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
 		return
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
+	jobFilter := r.URL.Query().Get("job")
 
 	ch := make(chan []byte, 64)
 	s.mu.Lock()
-	s.subs[ch] = struct{}{}
+	if s.closed {
+		s.mu.Unlock()
+		http.Error(w, "server closing", http.StatusServiceUnavailable)
+		return
+	}
+	s.subs[ch] = jobFilter
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -198,9 +268,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}()
 
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	// Flush the headers right away: a subscriber that connects before the
+	// first matching sample must still see its request complete instead of
+	// blocking on an unsent status line.
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
 	// Replay the latest sample immediately so a subscriber sees data even
 	// between boundaries.
-	if p := s.latest.Load(); p != nil && p.Sample != nil {
+	if p := s.latest.Load(); p != nil && p.Sample != nil &&
+		(jobFilter == "" || jobFilter == p.Job) {
 		if data, err := json.Marshal(p.Sample); err == nil {
 			fmt.Fprintf(w, "data: %s\n\n", data)
 			fl.Flush()

@@ -208,3 +208,132 @@ func TestRenderPromDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestServerCloseIdempotentAndUnblocksStreams(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Publish(testBundle(100))
+
+	// Open two in-flight SSE streams and prove Close unblocks both.
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get("http://" + addr + "/stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/stream: %s", resp.Status)
+		}
+		go func() {
+			_, err := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			done <- err
+		}()
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+			// Either clean EOF or a reset — all that matters is the handler
+			// returned and the connection died instead of hanging forever.
+		case <-time.After(5 * time.Second):
+			t.Fatal("SSE stream still blocked after Close")
+		}
+	}
+
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Publishing after Close is a harmless no-op.
+	srv.Publish(testBundle(200))
+
+	// New subscriptions are refused once closing.
+	if resp, err := http.Get("http://" + addr + "/stream"); err == nil {
+		if resp.StatusCode == http.StatusOK {
+			t.Error("/stream accepted a subscriber after Close")
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestServerBindFailureIsCleanError(t *testing.T) {
+	srv, addr := startServer(t)
+	defer srv.Close()
+
+	// Binding the same address again must fail synchronously with a wrapped
+	// error, not panic or serve nothing.
+	dup := metrics.NewServer()
+	if _, err := dup.ListenAndServe(addr); err == nil {
+		dup.Close()
+		t.Fatal("duplicate bind succeeded")
+	} else if !strings.Contains(err.Error(), "metrics: listen") {
+		t.Errorf("bind error = %v, want a metrics: listen wrap", err)
+	}
+	// Close on a never-started server is a clean no-op too.
+	if err := dup.Close(); err != nil {
+		t.Errorf("Close after failed bind: %v", err)
+	}
+}
+
+func TestServerStreamJobFilter(t *testing.T) {
+	srv, addr := startServer(t)
+
+	sub := func(query string) chan string {
+		resp, err := http.Get("http://" + addr + "/stream" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		lines := make(chan string, 16)
+		go func() {
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+					lines <- data
+				}
+			}
+			close(lines)
+		}()
+		return lines
+	}
+	read := func(lines chan string) *metrics.Sample {
+		t.Helper()
+		select {
+		case data := <-lines:
+			var s metrics.Sample
+			if err := json.Unmarshal([]byte(data), &s); err != nil {
+				t.Fatalf("stream line %q: %v", data, err)
+			}
+			return &s
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for a stream event")
+		}
+		panic("unreachable")
+	}
+
+	all := sub("")
+	onlyB := sub("?job=jB")
+
+	pub := func(job string, cycle int64) {
+		p := testBundle(cycle)
+		p.Job = job
+		srv.Publish(p)
+	}
+	pub("jA", 100)
+	pub("jB", 200)
+
+	// The unfiltered subscriber sees both samples in order.
+	if s := read(all); s.Cycle != 100 {
+		t.Errorf("unfiltered first sample cycle = %d, want 100", s.Cycle)
+	}
+	if s := read(all); s.Cycle != 200 {
+		t.Errorf("unfiltered second sample cycle = %d, want 200", s.Cycle)
+	}
+	// The job-filtered subscriber sees only jB's sample.
+	if s := read(onlyB); s.Cycle != 200 {
+		t.Errorf("filtered sample cycle = %d, want 200 (jB only)", s.Cycle)
+	}
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench_daemon.sh — record the xmtd daemon's service quality. Run from the
+# repo root:
+#
+#     sh scripts/bench_daemon.sh
+#
+# Runs BenchmarkDaemon (internal/daemon), which reports jobs/sec (short jobs
+# through the full fsync'd-journal + queue + worker pipeline) and ttfs_ns
+# (time-to-first-sample: Submit until /status first shows checkpointed
+# progress), writes the parsed results to BENCH_daemon_<date>.json, appends
+# to the cross-run BENCH_DAEMON_HISTORY.jsonl (separate from the simulator
+# throughput history so neither gate goes vacuous), and diffs the last two
+# entries with xmtperf. jobs/sec gates as higher-better, ttfs_ns as
+# lower-better; both get the wide cross-host band (the history spans hosts
+# and load).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+date=$(date +%Y-%m-%d)
+out="BENCH_daemon_${date}.json"
+history="BENCH_DAEMON_HISTORY.jsonl"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench BenchmarkDaemon (jobs/sec + time-to-first-sample)"
+go test -run '^$' -bench BenchmarkDaemon -benchmem ./internal/daemon | tee "$raw"
+
+go run ./cmd/benchjson -date "$date" -o "$out" -history "$history" <"$raw"
+echo "wrote $out and appended to $history"
+
+if [ "$(wc -l <"$history")" -ge 2 ]; then
+    echo "== xmtperf (last two $history entries, 30% threshold)"
+    go run ./cmd/xmtperf -threshold 30 -t ns/op=60 -t allocs/op=60 -t B/op=60 -t ttfs_ns=60 "$history"
+fi

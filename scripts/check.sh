@@ -81,6 +81,13 @@ echo "== telemetry endpoint smoke (xmtsim -serve)"
 # /status, and assert the advertised metric families.
 go test -count=1 -run TestCLIServeEndpoints .
 
+echo "== xmtd gate (daemon: submit, preempt, kill -9, journal replay, drain)"
+# A real xmtd process over a unix socket: a high-priority job preempts a
+# running one at a checkpoint boundary, kill -9 lands mid-job, a restart on
+# the same data directory replays the journal and finishes the job with the
+# right output, and a drain exits 0 leaving the clean-shutdown marker.
+go test -count=1 -timeout 300s -run TestCLIDaemonCrashRecovery .
+
 echo "== xmtperf self-test (seeded regression fixture must trip the gate)"
 go build -o /tmp/xmtperf.check ./cmd/xmtperf
 if /tmp/xmtperf.check testdata/perf/bench_base.json testdata/perf/bench_regressed.json >/dev/null; then
@@ -102,10 +109,11 @@ rm -f "$counters" /tmp/xmtperf.check
 
 echo "== coverage gate"
 # Total statement coverage must not drop below the recorded baseline
-# (78.0% at the PR-2 seed, 78.1% at PR-5, 78.9% at PR-8 — the funcvm
-# backend ships with conformance/fuzz/checkpoint coverage). Raise the
-# baseline when coverage improves; never lower it to make a change pass.
-baseline=78.9
+# (78.0% at the PR-2 seed, 78.1% at PR-5, 78.9% at PR-8, 79.0% at PR-9 —
+# the daemon, its CLIs and sigctl ship with in-process coverage; measured
+# 79.3%, baselined with slack for timing-dependent daemon branches). Raise
+# the baseline when coverage improves; never lower it to make a change pass.
+baseline=79.0
 profile=$(mktemp)
 go test -count=1 -coverprofile="$profile" -coverpkg=./... ./... >/dev/null
 total=$(go tool cover -func="$profile" | tail -1 | sed 's/.*[[:space:]]\([0-9.]*\)%/\1/')

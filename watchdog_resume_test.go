@@ -1,0 +1,151 @@
+// Watchdog × checkpoint interaction (docs/ROBUSTNESS.md): a run that the
+// no-retire watchdog kills mid-flight must be resumable from its last
+// periodic checkpoint under a roomier watchdog window, and the resumed run
+// must end in exactly the architectural state of an uninterrupted run. This
+// is the recovery loop xmtbatch and xmtd rely on: watchdog converts a wedge
+// into a diagnostic, the checkpoint converts the diagnostic into a retry
+// that loses no work.
+package xmtgo_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xmtgo"
+)
+
+// watchdogResumeAsm retires steadily through a long register loop (quiet
+// watchdog, regular quiescent checkpoint boundaries), then issues a single
+// DRAM load. With dram_latency raised above the watchdog window, that load
+// is a no-retire stall the watchdog must kill; with a large window it simply
+// completes and the program prints its result and halts.
+const watchdogResumeAsm = `
+        .data
+A:      .word 7
+B:      .space 64
+        .text
+        .global main
+main:
+        li    $t0, 20000
+        li    $t2, 0
+Lreg:   addiu $t2, $t2, 1
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, Lreg
+        la    $t1, A
+        lw    $t3, 0($t1)
+        addu  $t2, $t2, $t3
+        la    $t4, B
+        sw    $t2, 0($t4)
+        lw    $v0, 0($t4)
+        sys   1
+        sys   0
+`
+
+func TestWatchdogTripResumeFromCheckpoint(t *testing.T) {
+	prog, err := xmtgo.Assemble("watchdog_resume.s", watchdogResumeAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCfg := func() xmtgo.Config {
+		cfg := xmtgo.ConfigFPGA64()
+		cfg.DRAMLatency = 8000 // every DRAM access out-stalls the tight window
+		return cfg
+	}
+
+	// Reference: uninterrupted run under a watchdog window wide enough to
+	// ride out the slow load.
+	refCfg := baseCfg()
+	refCfg.WatchdogCycles = 1_000_000
+	var refOut bytes.Buffer
+	ref, err := xmtgo.NewSimulator(prog, refCfg, &refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run(10_000_000)
+	if err != nil || !refRes.Halted {
+		t.Fatalf("reference run: halted=%v err=%v", refRes != nil && refRes.Halted, err)
+	}
+
+	// Wedged run: tight watchdog window, periodic checkpoints. The register
+	// loop checkpoints normally; the DRAM load then stalls past the window
+	// and the watchdog must convert the wedge into a diagnostic error.
+	tightCfg := baseCfg()
+	tightCfg.WatchdogCycles = 2000
+	var st *xmtgo.Checkpoint
+	checkpoints := 0
+	var tripErr error
+	for tripErr == nil {
+		var out bytes.Buffer
+		sys, err := xmtgo.NewSimulator(prog, tightCfg, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != nil {
+			if err := sys.RestoreState(st); err != nil {
+				t.Fatalf("restore before segment %d: %v", checkpoints, err)
+			}
+		}
+		sys.CheckpointEvery(10_000)
+		res, err := sys.Run(10_000_000)
+		if err != nil {
+			tripErr = err
+			break
+		}
+		if res.Halted {
+			t.Fatalf("run halted under the tight watchdog; the stall never materialized (%+v)", res)
+		}
+		if !res.Checkpoint {
+			t.Fatalf("segment %d stopped without a checkpoint or an error: %+v", checkpoints, res)
+		}
+		checkpoints++
+		// Round-trip the state through the serialized format, as a real
+		// retry loop (xmtbatch, xmtd) would.
+		var buf bytes.Buffer
+		if err := xmtgo.SaveCheckpoint(&buf, sys.Capture()); err != nil {
+			t.Fatal(err)
+		}
+		if st, err = xmtgo.LoadCheckpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(tripErr.Error(), "watchdog") {
+		t.Fatalf("run failed with %q, want a watchdog diagnostic", tripErr)
+	}
+	if checkpoints == 0 {
+		t.Fatal("watchdog tripped before any checkpoint was captured; recovery contract untested")
+	}
+	if st == nil {
+		t.Fatal("no checkpoint state to resume from")
+	}
+
+	// Recovery: resume the last checkpoint under the wide window. The load
+	// completes and the final architectural state must be byte-identical to
+	// the uninterrupted run. (Cycle counts legitimately drift: a checkpoint
+	// holds only architectural state, so the resumed segment replays with
+	// cold caches — see TestCycleCheckpointResume.)
+	var out bytes.Buffer
+	sys, err := xmtgo.NewSimulator(prog, refCfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RestoreState(st); err != nil {
+		t.Fatalf("restore for recovery: %v", err)
+	}
+	res, err := sys.Run(10_000_000)
+	if err != nil || !res.Halted {
+		t.Fatalf("recovery run: halted=%v err=%v", res != nil && res.Halted, err)
+	}
+	if out.String() != refOut.String() {
+		t.Errorf("output %q, reference %q", out.String(), refOut.String())
+	}
+	if sys.Machine.G != ref.Machine.G {
+		t.Error("global registers diverged from the uninterrupted run")
+	}
+	if *sys.MasterContext() != *ref.MasterContext() {
+		t.Error("master context diverged from the uninterrupted run")
+	}
+	if !bytes.Equal(sys.Machine.Mem, ref.Machine.Mem) {
+		t.Error("memory diverged from the uninterrupted run")
+	}
+}
