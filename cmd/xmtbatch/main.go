@@ -58,6 +58,7 @@ func main() {
 
 		serveAddr    = flag.String("serve", "", "serve live metrics on this address while the batch runs (/metrics, /status, /stream)")
 		sampleCycles = flag.Int64("sample-cycles", -1, "interval-sampler period for -serve in cluster cycles (-1 = keep the preset's sample_cycles)")
+		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -serve address")
 	)
 	flag.Var(&sets, "set", "override one configuration key=value for every job (repeatable)")
 	flag.Parse()
@@ -111,6 +112,9 @@ func main() {
 	}
 	if *serveAddr != "" {
 		msrv := metrics.NewServer()
+		if *pprofFlag {
+			msrv.EnablePprof()
+		}
 		addr, err := msrv.ListenAndServe(*serveAddr)
 		if err != nil {
 			fatal(err)
@@ -118,6 +122,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s (/metrics /status /stream)\n", addr)
 		opts.Monitor = msrv
 		defer msrv.Close()
+	} else if *pprofFlag {
+		fatal(fmt.Errorf("-pprof requires -serve"))
 	}
 	// First SIGINT/SIGTERM checkpoints the running job at its next quiescent
 	// point (persisted under -out as usual), skips the jobs not yet started,

@@ -14,6 +14,8 @@
 //	wait    [-timeout D] <job-id>
 //	list    [-tenant T]
 //	cancel  <job-id>
+//	trace   [-o file]
+//	logs    [-level L] [-job ID] [-n N]
 //	ping
 //	drain
 //
@@ -21,6 +23,8 @@
 //
 //	xmtctl -addr unix:/tmp/x.sock submit -name sort -priority 5 sort.s
 //	xmtctl -addr 127.0.0.1:9901 wait -timeout 60s j3
+//	xmtctl -addr 127.0.0.1:9901 trace -o trace.json
+//	xmtctl -addr 127.0.0.1:9901 logs -level warn -n 50
 //	xmtctl -addr 127.0.0.1:9901 drain
 package main
 
@@ -119,6 +123,10 @@ done:
 			fatal(err)
 		}
 		printJob(st, jsonOut)
+	case "trace":
+		cmdTrace(c, args)
+	case "logs":
+		cmdLogs(c, args)
 	case "ping":
 		info, err := c.Ping()
 		if err != nil {
@@ -233,6 +241,65 @@ func cmdWait(c *daemon.Client, args []string, jsonOut bool) {
 	}
 }
 
+// cmdTrace fetches the daemon's job-lifecycle trace as Chrome trace-event
+// JSON — load the file into Perfetto or chrome://tracing.
+func cmdTrace(c *daemon.Client, args []string) {
+	out := ""
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-o" && i+1 < len(args) {
+			out = args[i+1]
+			i++
+			continue
+		}
+		usage()
+	}
+	data, err := c.Trace()
+	if err != nil {
+		fatal(err)
+	}
+	if out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", out)
+}
+
+// cmdLogs fetches the daemon's buffered structured log records as ndjson,
+// oldest first.
+func cmdLogs(c *daemon.Client, args []string) {
+	level, job := "", ""
+	max := 0
+	for i := 0; i < len(args); i++ {
+		need := func() string {
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			return args[i]
+		}
+		switch args[i] {
+		case "-level":
+			level = need()
+		case "-job":
+			job = need()
+		case "-n":
+			fmt.Sscanf(need(), "%d", &max)
+		default:
+			usage()
+		}
+	}
+	recs, err := c.Logs(level, job, max)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range recs {
+		fmt.Println(string(r))
+	}
+}
+
 func printJob(st *daemon.JobStatus, jsonOut bool) {
 	if jsonOut {
 		emitJSON(st)
@@ -267,6 +334,8 @@ commands:
   wait    [-timeout D] <job-id>
   list    [-tenant T]
   cancel  <job-id>
+  trace   [-o file]
+  logs    [-level debug|info|warn|error] [-job ID] [-n N]
   ping
   drain`)
 	panic(exitCode(2))

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -125,6 +127,32 @@ func TestRunCommands(t *testing.T) {
 		t.Fatalf("list -tenant: run = %d, want 0", got)
 	}
 
+	// trace -o writes a Chrome trace-event document carrying the finished
+	// job's lifecycle; logs returns its structured records.
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	if got := run([]string{"-addr", addr, "trace", "-o", traceFile}); got != 0 {
+		t.Fatalf("trace: run = %d, want 0", got)
+	}
+	traceData, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file carries no events")
+	}
+	if !strings.Contains(string(traceData), `"`+id+`"`) {
+		t.Errorf("trace file lacks job %s", id)
+	}
+	if got := run([]string{"-addr", addr, "logs", "-level", "info", "-job", id, "-n", "10"}); got != 0 {
+		t.Fatalf("logs: run = %d, want 0", got)
+	}
+
 	// Fill the single worker, then cancel a queued job; waiting on the
 	// canceled job must exit 1.
 	long := writeProg(t, "long.s", longProg)
@@ -198,6 +226,9 @@ func TestRunUsageAndErrors(t *testing.T) {
 		{"submit unreadable", []string{"-addr", addr, "submit", "/nonexistent/p.s"}, 1},
 		{"wait bad timeout", []string{"-addr", addr, "wait", "-timeout", "zzz", "j1"}, 1},
 		{"status unknown job", []string{"-addr", addr, "status", "j999"}, 1},
+		{"trace bad flag", []string{"-addr", addr, "trace", "-x"}, 2},
+		{"logs bad flag", []string{"-addr", addr, "logs", "-x"}, 2},
+		{"logs dangling level", []string{"-addr", addr, "logs", "-level"}, 2},
 	} {
 		if got := run(tc.args); got != tc.want {
 			t.Errorf("%s: run = %d, want %d", tc.name, got, tc.want)

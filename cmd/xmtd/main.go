@@ -15,6 +15,12 @@
 //	xmtd -listen 127.0.0.1:9901 -data d/ -workers 2 -checkpoint-every 50000
 //	xmtd -listen unix:/tmp/x.sock -data d/ -budget 10000000 -retries 2
 //	xmtd -listen :9901 -data d/ -serve :8080 -max-queued 64
+//	xmtd -listen :9901 -data d/ -serve :8080 -pprof -trace trace.json
+//
+// Observability (docs/OBSERVABILITY.md): progress lines are structured JSON
+// (-log-level sets the floor), -serve exposes /metrics latency histograms
+// and /logs, -trace writes the job-lifecycle trace (open in Perfetto or
+// chrome://tracing) on exit, and -pprof adds /debug/pprof/.
 //
 // SIGTERM or SIGINT drains gracefully: admission stops, running jobs
 // checkpoint at their next quiescent boundary, the journal gets its
@@ -33,6 +39,7 @@ import (
 
 	"xmtgo/internal/config"
 	"xmtgo/internal/daemon"
+	"xmtgo/internal/obs"
 	"xmtgo/internal/sim/metrics"
 )
 
@@ -74,9 +81,13 @@ func run(args []string) (code int) {
 		tenantRunning = fs.Int("tenant-max-running", 0, "per-tenant running-job quota (0 = unlimited)")
 		tenantBudget  = fs.Int64("tenant-max-budget", 0, "per-tenant cap on requested budget_cycles (0 = unlimited)")
 
-		serveAddr    = fs.String("serve", "", "serve live metrics on this address (/metrics /status /stream?job=ID)")
+		serveAddr    = fs.String("serve", "", "serve live metrics on this address (/metrics /status /stream?job=ID /logs)")
 		sampleCycles = fs.Int64("sample-cycles", -1, "interval-sampler period for -serve (-1 = preset's sample_cycles)")
 		quiet        = fs.Bool("q", false, "suppress progress lines")
+
+		logLevel  = fs.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
+		traceOut  = fs.String("trace", "", "write the lifecycle trace (Chrome trace-event JSON) to this file on exit")
+		pprofFlag = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -serve address")
 	)
 	fs.Var(&sets, "set", "override one configuration key=value (repeatable)")
 	fs.Parse(args)
@@ -109,6 +120,8 @@ func run(args []string) (code int) {
 		TenantMaxBudget:  *tenantBudget,
 
 		SampleCycles: cfg.SampleCycles,
+
+		LogLevel: obs.ParseLevel(*logLevel),
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
@@ -117,12 +130,17 @@ func run(args []string) (code int) {
 	var msrv *metrics.Server
 	if *serveAddr != "" {
 		msrv = metrics.NewServer()
+		if *pprofFlag {
+			msrv.EnablePprof()
+		}
 		addr, err := msrv.ListenAndServe(*serveAddr)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s (/metrics /status /stream)\n", addr)
 		opts.Monitor = msrv
+	} else if *pprofFlag {
+		fatal(fmt.Errorf("-pprof requires -serve"))
 	}
 
 	d, err := daemon.New(opts)
@@ -166,6 +184,17 @@ func run(args []string) (code int) {
 	// already checkpointed running jobs and sealed the journal.
 	if msrv != nil {
 		msrv.Close()
+	}
+	if *traceOut != "" {
+		data, err := d.TraceJSON()
+		if err == nil {
+			err = os.WriteFile(*traceOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmtd: trace:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "xmtd: trace written to %s\n", *traceOut)
+		}
 	}
 	if network == "unix" {
 		os.Remove(address)

@@ -1,0 +1,290 @@
+// End-to-end observability for the xmtd simulation daemon (ISSUE 10,
+// docs/OBSERVABILITY.md): a real daemon process with -serve, -pprof and
+// -trace, a submit → preempt → resume → done lifecycle driven by real
+// xmtctl clients, then the whole observability surface is checked — the
+// Chrome trace from xmtctl trace, the structured JSON records from
+// xmtctl logs and /logs, the latency-histogram families on /metrics, the
+// pprof index, and the trace file xmtd writes on drain. scripts/check.sh
+// runs this by name as the xmtd observability gate.
+package xmtgo_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCLIDaemonObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"xmtd", "xmtctl"} {
+		out := filepath.Join(dir, tool)
+		if msg, err := exec.Command("go", "build", "-o", out, "./cmd/"+tool).CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, msg)
+		}
+		bins[tool] = out
+	}
+
+	longS := filepath.Join(dir, "long.s")
+	if err := os.WriteFile(longS, []byte(daemonLoopSrc(2_000_000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shortS := filepath.Join(dir, "short.s")
+	if err := os.WriteFile(shortS, []byte(daemonLoopSrc(2000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sock := "unix:" + filepath.Join(dir, "xmtd.sock")
+	traceFile := filepath.Join(dir, "trace.json")
+	cmd := exec.Command(bins["xmtd"],
+		"-listen", sock, "-data", filepath.Join(dir, "data"),
+		"-workers", "1", "-checkpoint-every", "50000",
+		"-serve", "127.0.0.1:0", "-pprof", "-trace", traceFile,
+		"-log-level", "debug",
+		"-set", "mem_bytes=1048576")
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// Collect stderr continuously; wait for both announcements.
+	var semu sync.Mutex
+	var stderrBuf strings.Builder
+	stderrText := func() string {
+		semu.Lock()
+		defer semu.Unlock()
+		return stderrBuf.String()
+	}
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := stderrPipe.Read(buf)
+			semu.Lock()
+			stderrBuf.Write(buf[:n])
+			semu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}()
+	waitUntil := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s; stderr:\n%s", desc, stderrText())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	waitUntil("xmtd announcements", func() bool {
+		s := stderrText()
+		return strings.Contains(s, "xmtd listening on ") && strings.Contains(s, "serving metrics on http://")
+	})
+	metricsAddr := ""
+	for _, line := range strings.Split(stderrText(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "serving metrics on http://"); ok {
+			metricsAddr = strings.Fields(rest)[0]
+		}
+	}
+	if metricsAddr == "" {
+		t.Fatalf("no metrics address announced:\n%s", stderrText())
+	}
+	httpGet := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + metricsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s\n%s", path, resp.Status, body)
+		}
+		return string(body)
+	}
+
+	ctl := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bins["xmtctl"], append([]string{"-addr", sock}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("xmtctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+	jobState := func(id string) (state string, preemptions int) {
+		t.Helper()
+		var st struct {
+			State       string `json:"state"`
+			Preemptions int    `json:"preemptions"`
+		}
+		if err := json.Unmarshal([]byte(ctl("-json", "status", id)), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.State, st.Preemptions
+	}
+
+	// Drive a preempted lifecycle: long job runs, a high-priority short job
+	// preempts it at a checkpoint boundary, both finish.
+	longID := strings.TrimSpace(ctl("submit", "-name", "long", "-tenant", "alice", "-priority", "1", longS))
+	waitUntil("long job to start running", func() bool {
+		state, _ := jobState(longID)
+		return state == "running"
+	})
+	shortID := strings.TrimSpace(ctl("submit", "-name", "short", "-tenant", "bob", "-priority", "9", shortS))
+	ctl("wait", "-timeout", "60s", shortID)
+	ctl("wait", "-timeout", "120s", longID)
+	if _, preemptions := jobState(longID); preemptions < 1 {
+		t.Fatalf("long job was never preempted; the trace below cannot carry the preempt span")
+	}
+
+	// xmtctl trace: a Perfetto-loadable Chrome trace-event document with
+	// the lifecycle spans of both jobs.
+	traceOut := filepath.Join(dir, "ctl-trace.json")
+	ctl("trace", "-o", traceOut)
+	traceData, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(traceData, &doc); err != nil {
+		t.Fatalf("xmtctl trace output is not valid JSON: %v", err)
+	}
+	spanJobs := map[string]map[string]bool{} // span name -> set of job ids
+	for _, e := range doc.TraceEvents {
+		job, _ := e.Args["job"].(string)
+		if job == "" {
+			continue
+		}
+		if spanJobs[e.Name] == nil {
+			spanJobs[e.Name] = map[string]bool{}
+		}
+		spanJobs[e.Name][job] = true
+	}
+	for _, name := range []string{"compile", "queued", "run", "checkpoint-write", "preempt", "resume", "done"} {
+		if !spanJobs[name][longID] {
+			t.Errorf("trace lacks a %q span for the preempted job %s", name, longID)
+		}
+	}
+	if !spanJobs["done"][shortID] {
+		t.Errorf("trace lacks the short job's done instant")
+	}
+	if doc.OtherData["dropped"] == "" {
+		t.Error("trace lacks the otherData dropped counter")
+	}
+
+	// xmtctl logs: structured ndjson with job/tenant correlation.
+	logsOut := ctl("logs", "-level", "info", "-job", longID)
+	if !strings.Contains(logsOut, `"job":"`+longID+`","tenant":"alice"`) {
+		t.Errorf("xmtctl logs lacks job/tenant fields:\n%s", logsOut)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(logsOut), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q", line)
+		}
+	}
+
+	// /metrics: every daemon latency-histogram family plus the sim trace
+	// drop counter.
+	metrics := httpGet("/metrics")
+	for _, key := range []string{"queue_wait", "compile", "ttfs", "ckpt_write",
+		"journal_fsync", "preempt_requeue", "retry_backoff"} {
+		family := "xmt_daemon_" + key + "_ns"
+		if !strings.Contains(metrics, "# TYPE "+family+" histogram") {
+			t.Errorf("/metrics lacks histogram family %s", family)
+		}
+	}
+	for _, needle := range []string{
+		`xmt_daemon_queue_wait_ns_bucket{le="+Inf"}`,
+		"xmt_daemon_queue_wait_ns_count",
+		"xmt_trace_dropped_total",
+		"xmt_daemon_preemptions_total",
+	} {
+		if !strings.Contains(metrics, needle) {
+			t.Errorf("/metrics lacks %s", needle)
+		}
+	}
+
+	// /logs endpoint mirrors xmtctl logs.
+	if !strings.Contains(httpGet("/logs?level=info&job="+longID), `"job":"`+longID+`"`) {
+		t.Error("/logs endpoint lacks the long job's records")
+	}
+	// /debug/pprof/ answers when -pprof is set.
+	if !strings.Contains(httpGet("/debug/pprof/"), "profile") {
+		t.Error("/debug/pprof/ index looks wrong")
+	}
+
+	// Drain: xmtd exits 0 and writes the -trace file.
+	ctl("drain")
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("xmtd exited non-zero after drain: %v\n%s", err, stderrText())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("xmtd did not exit after drain")
+	}
+	fileData, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("xmtd -trace wrote nothing: %v", err)
+	}
+	var fileDoc map[string]json.RawMessage
+	if err := json.Unmarshal(fileData, &fileDoc); err != nil {
+		t.Fatalf("xmtd -trace file is not valid JSON: %v", err)
+	}
+	if _, ok := fileDoc["traceEvents"]; !ok {
+		t.Error("xmtd -trace file lacks traceEvents")
+	}
+
+	// The daemon's own stderr is structured JSON: every non-plain line
+	// parses, and the job records carry tenant fields.
+	var jsonLines int
+	for _, line := range strings.Split(stderrText(), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // plain announcements (listening, metrics, exit)
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stderr line is not JSON: %q", line)
+		}
+		jsonLines++
+	}
+	if jsonLines == 0 {
+		t.Error("xmtd stderr carried no structured log lines")
+	}
+	if !strings.Contains(stderrText(), `"tenant":"alice"`) {
+		t.Error("xmtd stderr logs lack tenant correlation fields")
+	}
+}

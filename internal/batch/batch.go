@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"xmtgo/internal/asm"
 	"xmtgo/internal/atomicfile"
 	"xmtgo/internal/config"
+	"xmtgo/internal/obs"
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/metrics"
@@ -98,8 +100,13 @@ type Options struct {
 	// OutDir receives per-job checkpoint files; empty disables persistence
 	// (retries then restart from the beginning).
 	OutDir string
-	// Log, when set, receives per-attempt progress lines.
+	// Log, when set, receives per-attempt progress as structured JSON log
+	// lines (one object per line; see internal/obs). Ignored when Logger is
+	// set.
 	Log io.Writer
+	// Logger, when set, receives the structured progress records instead of
+	// a default JSON logger writing to Log.
+	Logger *slog.Logger
 	// Monitor, when set, receives live telemetry: per-job batch progress on
 	// /status and interval samples from the currently running job.
 	Monitor *metrics.Server
@@ -132,6 +139,10 @@ type Result struct {
 func Run(jobs []Job, opts Options) []Result {
 	if opts.Backoff <= 1 {
 		opts.Backoff = 2
+	}
+	if opts.Logger == nil {
+		// Default structured logger: JSON lines to Log (a nil Log discards).
+		opts.Logger = obs.NewLogger(obs.HandlerOptions{Writer: opts.Log, Level: slog.LevelDebug})
 	}
 	prog := &progress{srv: opts.Monitor}
 	prog.st.JobsTotal = len(jobs)
@@ -170,14 +181,9 @@ func (p *progress) publish() {
 	}
 }
 
-func (o *Options) logf(format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format, args...)
-	}
-}
-
 func runJob(job Job, opts Options, prog *progress) Result {
 	r := Result{Name: job.Name}
+	jlog := opts.Logger.With("job", job.Name)
 	cfg := opts.Config
 	for _, kv := range job.Sets {
 		if err := cfg.Set(kv); err != nil {
@@ -195,7 +201,7 @@ func runJob(job Job, opts Options, prog *progress) Result {
 		r.Attempts = attempt + 1
 		prog.st.Current, prog.st.Attempt, prog.st.BudgetCycles = job.Name, r.Attempts, budget
 		prog.publish()
-		res, out, resumed, err := runAttempt(job, cfg, ckptPath, budget, opts)
+		res, out, resumed, err := runAttempt(job, cfg, ckptPath, budget, opts, jlog)
 		if resumed {
 			r.Resumes++
 		}
@@ -207,10 +213,10 @@ func runJob(job Job, opts Options, prog *progress) Result {
 		switch {
 		case errors.Is(err, ErrInterrupted):
 			r.Err = err
-			opts.logf("batch: %s: interrupted at cycle %d (checkpoint saved)\n", job.Name, r.Cycles)
+			jlog.Info("interrupted", "op", "interrupt", "attempt", r.Attempts, "cycle", r.Cycles, "checkpoint_saved", ckptPath != "")
 			return r
 		case err == nil && res != nil && res.Halted:
-			opts.logf("batch: %s: done (%d cycles, attempt %d)\n", job.Name, res.Cycles, r.Attempts)
+			jlog.Info("done", "op", "done", "attempt", r.Attempts, "cycles", res.Cycles, "instrs", res.Instrs, "resumes", r.Resumes)
 			return r
 		case err == nil && res != nil && res.TimedOut:
 			err = fmt.Errorf("job %s: cycle budget %d exhausted", job.Name, budget)
@@ -219,14 +225,13 @@ func runJob(job Job, opts Options, prog *progress) Result {
 		}
 		if attempt >= opts.Retries {
 			r.Err = err
-			opts.logf("batch: %s: giving up after %d attempts: %v\n", job.Name, r.Attempts, err)
+			jlog.Error("giving up", "op", "fail", "attempt", r.Attempts, "err", err.Error())
 			return r
 		}
 		if budget > 0 {
 			budget = int64(float64(budget) * opts.Backoff)
 		}
-		opts.logf("batch: %s: attempt %d failed (%v); retrying with budget %d\n",
-			job.Name, attempt+1, err, budget)
+		jlog.Warn("retrying", "op", "retry", "attempt", attempt+1, "err", err.Error(), "budget", budget)
 	}
 }
 
@@ -234,7 +239,7 @@ func runJob(job Job, opts Options, prog *progress) Result {
 // checkpoint stops, resuming from the job's persisted checkpoint if one
 // exists. budget is the attempt's absolute total-cycle ceiling (0 =
 // unlimited).
-func runAttempt(job Job, cfg config.Config, ckptPath string, budget int64, opts Options) (*cycle.Result, string, bool, error) {
+func runAttempt(job Job, cfg config.Config, ckptPath string, budget int64, opts Options, jlog *slog.Logger) (*cycle.Result, string, bool, error) {
 	var out bytes.Buffer
 	st, err := loadCheckpoint(ckptPath)
 	if err != nil {
@@ -291,7 +296,7 @@ func runAttempt(job Job, cfg config.Config, ckptPath string, budget int64, opts 
 					return res, out.String(), resumed, fmt.Errorf("job %s: %v", job.Name, err)
 				}
 			}
-			opts.logf("batch: %s: checkpoint at cycle %d\n", job.Name, res.Cycles)
+			jlog.Debug("checkpoint", "op", "checkpoint", "cycle", res.Cycles, "persisted", ckptPath != "")
 			if opts.Interrupt != nil && opts.Interrupt.Triggered() {
 				return res, out.String(), resumed, ErrInterrupted
 			}

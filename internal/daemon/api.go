@@ -7,7 +7,10 @@
 // way docs/ROBUSTNESS.md hardens single runs (docs/XMTD.md).
 package daemon
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // APIVersion tags every request and response of the line-JSON protocol:
 // one JSON object per line over a unix or TCP socket.
@@ -111,10 +114,15 @@ type Request struct {
 	API string `json:"api"`
 	Op  string `json:"op"`
 
-	ID        string   `json:"id,omitempty"`     // status, wait, cancel
+	ID        string   `json:"id,omitempty"`     // status, wait, cancel; logs job filter
 	Tenant    string   `json:"tenant,omitempty"` // list filter
 	Spec      *JobSpec `json:"spec,omitempty"`   // submit
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+
+	// logs op: minimum level ("debug"/"info"/"warn"/"error", "" = all) and
+	// record cap (0 = all buffered).
+	Level string `json:"level,omitempty"`
+	Max   int    `json:"max,omitempty"`
 }
 
 // Response is one line of the daemon→client stream.
@@ -126,6 +134,12 @@ type Response struct {
 	Job  *JobStatus  `json:"job,omitempty"`
 	Jobs []JobStatus `json:"jobs,omitempty"`
 	Info *Info       `json:"info,omitempty"`
+
+	// Trace is the trace op's Chrome trace-event document (compact, one
+	// line); Logs are the logs op's structured records, one JSON object
+	// each, oldest first.
+	Trace json.RawMessage   `json:"trace,omitempty"`
+	Logs  []json.RawMessage `json:"logs,omitempty"`
 }
 
 // Info answers ping: daemon identity and live occupancy.

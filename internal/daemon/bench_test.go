@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xmtgo/internal/config"
+	"xmtgo/internal/obs"
 )
 
 // BenchmarkDaemon measures the daemon's service quality end to end
@@ -80,4 +81,14 @@ func BenchmarkDaemon(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/sec")
 	b.ReportMetric(float64(ttfs.Nanoseconds()), "ttfs_ns")
+
+	// Distribution-aware service quality from the daemon's own latency
+	// histograms (internal/obs): single-number averages hide tail latency,
+	// so the bench gate tracks p50/p99 of queue wait and time-to-first-
+	// sample across every job this run pushed through.
+	sums := d.Hists().Summaries()
+	b.ReportMetric(float64(sums[obs.HistQueueWait].P50Ns), "queue_wait_p50_ns")
+	b.ReportMetric(float64(sums[obs.HistQueueWait].P99Ns), "queue_wait_p99_ns")
+	b.ReportMetric(float64(sums[obs.HistTTFS].P50Ns), "ttfs_p50_ns")
+	b.ReportMetric(float64(sums[obs.HistTTFS].P99Ns), "ttfs_p99_ns")
 }

@@ -116,6 +116,27 @@ func (c *Client) Cancel(id string) (*JobStatus, error) {
 	return resp.Job, nil
 }
 
+// Trace snapshots the daemon's lifecycle span ring as a Chrome trace-event
+// JSON document (Perfetto-loadable).
+func (c *Client) Trace() ([]byte, error) {
+	resp, err := c.Do(&Request{Op: "trace"})
+	if err != nil {
+		return nil, err
+	}
+	return []byte(resp.Trace), nil
+}
+
+// Logs fetches buffered structured log records, oldest first: level is the
+// minimum ("debug"/"info"/"warn"/"error", "" = all), job filters to one job
+// id, max caps the count (0 = all buffered).
+func (c *Client) Logs(level, job string, max int) ([]json.RawMessage, error) {
+	resp, err := c.Do(&Request{Op: "logs", Level: level, ID: job, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Logs, nil
+}
+
 // Ping checks liveness and returns daemon info.
 func (c *Client) Ping() (*Info, error) {
 	resp, err := c.Do(&Request{Op: "ping"})

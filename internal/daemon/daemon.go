@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"xmtgo/internal/atomicfile"
 	"xmtgo/internal/codegen"
 	"xmtgo/internal/config"
+	"xmtgo/internal/obs"
 	"xmtgo/internal/sim/checkpoint"
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/metrics"
@@ -58,13 +60,22 @@ type Options struct {
 	TenantMaxBudget  int64
 
 	// Monitor, when set, receives the daemon block on /status and per-job
-	// interval samples on /stream?job=ID. SampleCycles is the sampler
+	// interval samples on /stream?job=ID; the daemon also mounts its /logs
+	// ring and latency-histogram series on it. SampleCycles is the sampler
 	// period (0 = default).
 	Monitor      *metrics.Server
 	SampleCycles int64
 
-	// Log, when set, receives progress lines.
+	// Log, when set, receives the structured JSON log stream (one
+	// slog record per line with job/tenant/attempt correlation fields).
 	Log io.Writer
+	// LogLevel is the minimum level emitted (zero value = Info; set
+	// slog.LevelDebug for per-checkpoint detail).
+	LogLevel slog.Level
+	// TraceCapacity / LogCapacity bound the lifecycle span ring and the
+	// /logs record ring (0 = obs package defaults).
+	TraceCapacity int
+	LogCapacity   int
 }
 
 // sentinel outcomes of one attempt's segment loop.
@@ -100,6 +111,14 @@ type job struct {
 	preemptReq, cancelReq, drainReq bool
 	sys                             *cycle.System // non-nil while simulating
 
+	// Observability clocks (host ns on the daemon tracer's epoch):
+	// submittedNs anchors the queued span (set on every enqueue),
+	// preemptNs the preempt span, retryNs the retry-backoff histogram.
+	// Each is consumed (reset to 0) by the stage that closes its span.
+	submittedNs, preemptNs, retryNs int64
+
+	log *slog.Logger // pre-bound with job/tenant correlation fields
+
 	done chan struct{} // closed when the job reaches a terminal state
 }
 
@@ -126,6 +145,8 @@ type Daemon struct {
 	completed, failed, canceled      uint64
 
 	aborted atomic.Bool // test hook: simulate a crash (no clean journaling)
+
+	obs *obsState // lifecycle tracer, latency histograms, structured logs
 
 	compiles sync.Map // source hash -> *asm.Program
 
@@ -160,10 +181,15 @@ func New(opts Options) (*Daemon, error) {
 		jobs:      make(map[string]*job),
 		runningBy: make(map[string]int),
 	}
+	d.obs = newObsState(&opts)
 	d.cond = sync.NewCond(&d.mu)
 	if err := d.recover(recs); err != nil {
 		jl.Close()
 		return nil, err
+	}
+	if opts.Monitor != nil {
+		opts.Monitor.SetPromExtra(d.renderPromObs)
+		opts.Monitor.Handle("/logs", d.obs.ring)
 	}
 
 	for i := 0; i < opts.Workers; i++ {
@@ -195,6 +221,7 @@ func (d *Daemon) recover(recs []Record) error {
 				state:   StateQueued,
 				done:    make(chan struct{}),
 			}
+			j.log = d.obs.log.With("job", j.id, "tenant", tenantOf(&j.spec))
 			d.jobs[rec.ID] = j
 			d.order = append(d.order, rec.ID)
 			var n uint64
@@ -264,27 +291,33 @@ func (d *Daemon) recover(recs []Record) error {
 		j.prog = prog
 		if interrupted[id] {
 			d.recoveries++
-			d.logf("daemon: recovered %s (attempt %d, checkpoint at cycle %d)\n",
-				id, j.attempt, j.cycles)
+			d.obs.tracer.Instant(id, tenantOf(&j.spec), "recovered", j.attempt)
+			j.log.Info("recovered from journal", "op", "recover",
+				"attempt", j.attempt, "cycle", j.cycles)
 		}
+		j.submittedNs = d.obs.tracer.Now()
 		d.queue.push(j)
 	}
 	return nil
 }
 
-func (d *Daemon) logf(format string, args ...any) {
-	if d.opts.Log != nil {
-		fmt.Fprintf(d.opts.Log, format, args...)
-	}
-}
-
-func (d *Daemon) append(rec Record) (uint64, error) {
+// appendT journals one record (fsync included), timing it into the
+// journal_fsync histogram and a journal-append span. tenant may be ""
+// for records without one (the span then lands on the daemon pid).
+func (d *Daemon) appendT(rec Record, tenant string) (uint64, error) {
+	start := d.obs.tracer.Now()
 	d.jmu.Lock()
-	defer d.jmu.Unlock()
 	if d.journal == nil {
+		d.jmu.Unlock()
 		return 0, errors.New("daemon: journal closed")
 	}
-	return d.journal.Append(rec)
+	seq, err := d.journal.Append(rec)
+	d.jmu.Unlock()
+	dur := d.obs.tracer.Now() - start
+	d.obs.hists.Observe(obs.HistJournalFsync, dur)
+	d.obs.tracer.Add(obs.Span{Job: rec.ID, Tenant: tenant, Name: "journal-append",
+		StartNs: start, DurNs: dur, Detail: rec.Kind})
+	return seq, err
 }
 
 func tenantOf(spec *JobSpec) string {
@@ -344,12 +377,17 @@ func (d *Daemon) Submit(spec *JobSpec) (*JobStatus, *APIError) {
 			return nil, apiErrorf(ErrBadRequest, "%v", err)
 		}
 	}
+	tenant := tenantOf(spec)
+	compileStart := d.obs.tracer.Now()
 	prog, aerr := d.compile(spec)
+	compileDur := d.obs.tracer.Now() - compileStart
 	if aerr != nil {
+		d.obs.log.Warn("compile failed", "op", "submit", "tenant", tenant,
+			"name", spec.Name, "err", aerr.Message)
 		return nil, aerr
 	}
+	d.obs.hists.Observe(obs.HistCompile, compileDur)
 
-	tenant := tenantOf(spec)
 	d.mu.Lock()
 	if d.draining {
 		d.mu.Unlock()
@@ -382,8 +420,13 @@ func (d *Daemon) Submit(spec *JobSpec) (*JobStatus, *APIError) {
 	id := fmt.Sprintf("j%d", d.nextID)
 	d.mu.Unlock()
 
+	// The compile span carries the job id, so it is emitted only now that
+	// the id exists (the measured start/duration are unaffected).
+	d.obs.tracer.Add(obs.Span{Job: id, Tenant: tenant, Name: "compile",
+		StartNs: compileStart, DurNs: compileDur, Priority: spec.Priority})
+
 	// Journal before exposing the job: once acknowledged, it is durable.
-	seq, err := d.append(Record{Kind: RecSubmit, ID: id, Spec: spec})
+	seq, err := d.appendT(Record{Kind: RecSubmit, ID: id, Spec: spec}, tenant)
 	if err != nil {
 		return nil, apiErrorf(ErrInternal, "journal: %v", err)
 	}
@@ -398,6 +441,8 @@ func (d *Daemon) Submit(spec *JobSpec) (*JobStatus, *APIError) {
 		state:   StateQueued,
 		done:    make(chan struct{}),
 	}
+	j.log = d.obs.log.With("job", id, "tenant", tenant)
+	j.submittedNs = d.obs.tracer.Now()
 	d.jobs[id] = j
 	d.order = append(d.order, id)
 	d.queue.push(j)
@@ -406,7 +451,8 @@ func (d *Daemon) Submit(spec *JobSpec) (*JobStatus, *APIError) {
 	d.publishLocked()
 	st := statusOf(j)
 	d.mu.Unlock()
-	d.logf("daemon: %s: queued (tenant=%s priority=%d)\n", id, tenant, spec.Priority)
+	j.log.Info("queued", "op", "submit", "priority", spec.Priority,
+		"kind", spec.Kind, "name", spec.Name)
 	return st, nil
 }
 
@@ -435,11 +481,12 @@ func (d *Daemon) maybePreemptLocked(newJob *job) {
 		return
 	}
 	victim.preemptReq = true
+	victim.preemptNs = d.obs.tracer.Now()
 	if victim.sys != nil {
 		victim.sys.RequestCheckpoint()
 	}
-	d.logf("daemon: %s: preempting for %s (priority %d > %d)\n",
-		victim.id, newJob.id, newJob.spec.Priority, victim.spec.Priority)
+	victim.log.Info("preempting", "op", "preempt", "for", newJob.id,
+		"new_priority", newJob.spec.Priority, "priority", victim.spec.Priority)
 }
 
 // Status returns a job's externally visible state.
@@ -513,7 +560,9 @@ func (d *Daemon) Cancel(id string) (*JobStatus, *APIError) {
 		d.mu.Unlock()
 		// Journal after the state flip: a crash in between re-queues the
 		// job once, and the cancel is simply lost — never a double-run.
-		d.append(Record{Kind: RecCancel, ID: id})
+		d.appendT(Record{Kind: RecCancel, ID: id}, tenantOf(&j.spec))
+		d.obs.tracer.Instant(id, tenantOf(&j.spec), "cancel", j.attempt)
+		j.log.Info("canceled while queued", "op", "cancel")
 		d.mu.Lock()
 	case StateRunning:
 		j.cancelReq = true
@@ -581,7 +630,11 @@ func (d *Daemon) publishLocked() {
 		Completed:   d.completed,
 		Failed:      d.failed,
 		Canceled:    d.canceled,
+
+		Latencies:  d.obs.hists.Summaries(),
+		LogDropped: d.obs.ring.Dropped(),
 	}
+	ds.TraceSpans, ds.TraceDropped = d.obs.tracer.Stats()
 	ds.Tenants = make(map[string]metrics.TenantOccupancy)
 	for _, j := range d.jobs {
 		t := tenantOf(&j.spec)
@@ -637,6 +690,14 @@ func (d *Daemon) nextJob() *job {
 			pick.state = StateRunning
 			d.running++
 			d.runningBy[tenantOf(&pick.spec)]++
+			if pick.submittedNs > 0 {
+				wait := d.obs.tracer.Now() - pick.submittedNs
+				d.obs.hists.Observe(obs.HistQueueWait, wait)
+				d.obs.tracer.Add(obs.Span{Job: pick.id, Tenant: tenantOf(&pick.spec),
+					Name: "queued", StartNs: pick.submittedNs, DurNs: wait,
+					Priority: pick.spec.Priority})
+				pick.submittedNs = 0
+			}
 			d.publishLocked()
 			return pick
 		}
@@ -679,6 +740,7 @@ func (d *Daemon) terminal(j *job, state string, result *JobResult) {
 // requeue returns a preempted job to the ready queue with its original
 // enqueue sequence.
 func (d *Daemon) requeue(j *job) {
+	now := d.obs.tracer.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.releaseLocked(j)
@@ -686,6 +748,16 @@ func (d *Daemon) requeue(j *job) {
 	j.preemptReq = false
 	j.preemptions++
 	d.preemptions++
+	if j.preemptNs > 0 {
+		// The preempt span covers request -> back in queue: the daemon's
+		// preemption turnaround (bounded by CheckpointEvery).
+		d.obs.hists.Observe(obs.HistPreemptRequeue, now-j.preemptNs)
+		d.obs.tracer.Add(obs.Span{Job: j.id, Tenant: tenantOf(&j.spec),
+			Name: "preempt", StartNs: j.preemptNs, DurNs: now - j.preemptNs,
+			Attempt: j.attempt, Priority: j.spec.Priority})
+		j.preemptNs = 0
+	}
+	j.submittedNs = now
 	d.queue.push(j)
 	d.cond.Signal()
 	d.publishLocked()
@@ -700,6 +772,7 @@ func (d *Daemon) suspend(j *job) {
 	d.releaseLocked(j)
 	j.state = StateQueued
 	j.drainReq = false
+	j.submittedNs = d.obs.tracer.Now()
 	d.queue.push(j)
 	d.publishLocked()
 }
@@ -749,10 +822,13 @@ func (d *Daemon) loadEnvelope(j *job) (*checkpoint.State, string, error) {
 // runJob drives one job from its current checkpoint (if any) to a terminal
 // state, a preemption/drain yield, or its retry bound.
 func (d *Daemon) runJob(j *job) {
+	tenant := tenantOf(&j.spec)
 	st, prefix, err := d.loadEnvelope(j)
 	if err != nil {
-		d.append(Record{Kind: RecFail, ID: j.id, Reason: err.Error()})
+		d.appendT(Record{Kind: RecFail, ID: j.id, Reason: err.Error()}, tenant)
 		d.terminal(j, StateFailed, &JobResult{Err: err.Error()})
+		d.obs.tracer.Instant(j.id, tenant, "fail", j.attempt)
+		j.log.Error("envelope load failed", "op", "run", "err", err.Error())
 		return
 	}
 
@@ -786,35 +862,50 @@ func (d *Daemon) runJob(j *job) {
 		d.mu.Lock()
 		j.attempt++
 		j.budget = budget
-		if st != nil {
+		resumed := st != nil
+		if resumed {
 			j.resumes++
 		}
 		att := j.attempt
 		d.mu.Unlock()
-		if _, err := d.append(Record{Kind: RecStart, ID: j.id, Attempt: att}); err != nil {
+		attStart := d.obs.tracer.Now()
+		if j.retryNs > 0 {
+			d.obs.hists.Observe(obs.HistRetryBackoff, attStart-j.retryNs)
+			j.retryNs = 0
+		}
+		if resumed {
+			d.obs.tracer.Instant(j.id, tenant, "resume", att)
+		}
+		if _, err := d.appendT(Record{Kind: RecStart, ID: j.id, Attempt: att}, tenant); err != nil {
 			d.terminal(j, StateFailed, &JobResult{Err: fmt.Sprintf("journal: %v", err)})
+			d.obs.tracer.Instant(j.id, tenant, "fail", att)
 			return
 		}
-		d.logf("daemon: %s: attempt %d (budget %d)\n", j.id, att, budget)
+		j.log.Info("attempt started", "op", "run", "attempt", att,
+			"budget", budget, "resumed", resumed)
 
-		out := d.runSegments(j, cfg, &st, &prefix, budget)
+		out := d.runSegments(j, cfg, &st, &prefix, budget, att, attStart)
+		d.obs.tracer.Add(obs.Span{Job: j.id, Tenant: tenant, Name: "run",
+			StartNs: attStart, DurNs: d.obs.tracer.Now() - attStart,
+			Attempt: att, Priority: j.spec.Priority, Detail: outcomeOf(&out)})
 		switch {
 		case errors.Is(out.err, errAborted):
 			return // simulated crash: leave no clean trace
 		case errors.Is(out.err, errCanceled):
-			d.append(Record{Kind: RecCancel, ID: j.id})
+			d.appendT(Record{Kind: RecCancel, ID: j.id}, tenant)
 			d.terminal(j, StateCanceled, &JobResult{Cycles: out.cycle, Output: out.output, Err: "canceled"})
-			d.logf("daemon: %s: canceled at cycle %d\n", j.id, out.cycle)
+			d.obs.tracer.Instant(j.id, tenant, "cancel", att)
+			j.log.Info("canceled", "op", "run", "attempt", att, "cycle", out.cycle)
 			return
 		case errors.Is(out.err, errPreempted):
-			d.append(Record{Kind: RecPreempt, ID: j.id, Cycle: out.cycle, Reason: "preempt"})
+			d.appendT(Record{Kind: RecPreempt, ID: j.id, Cycle: out.cycle, Reason: "preempt"}, tenant)
 			d.requeue(j)
-			d.logf("daemon: %s: preempted at cycle %d\n", j.id, out.cycle)
+			j.log.Info("preempted", "op", "run", "attempt", att, "cycle", out.cycle)
 			return
 		case errors.Is(out.err, errDrained):
-			d.append(Record{Kind: RecPreempt, ID: j.id, Cycle: out.cycle, Reason: "drain"})
+			d.appendT(Record{Kind: RecPreempt, ID: j.id, Cycle: out.cycle, Reason: "drain"}, tenant)
 			d.suspend(j)
-			d.logf("daemon: %s: suspended for drain at cycle %d\n", j.id, out.cycle)
+			j.log.Info("suspended for drain", "op", "run", "attempt", att, "cycle", out.cycle)
 			return
 		}
 
@@ -825,9 +916,11 @@ func (d *Daemon) runJob(j *job) {
 				Output:  out.output,
 				MemHash: out.memHash,
 			}
-			d.append(Record{Kind: RecDone, ID: j.id, Result: res})
+			d.appendT(Record{Kind: RecDone, ID: j.id, Result: res}, tenant)
 			d.terminal(j, StateDone, res)
-			d.logf("daemon: %s: done (%d cycles)\n", j.id, out.cycle)
+			d.obs.tracer.Instant(j.id, tenant, "done", att)
+			j.log.Info("done", "op", "run", "attempt", att,
+				"cycles", out.cycle, "instrs", out.instrs)
 			return
 		}
 
@@ -839,24 +932,27 @@ func (d *Daemon) runJob(j *job) {
 			diag = out.err.Error()
 		case deadline > 0 && out.cycle >= deadline:
 			diag = fmt.Sprintf("deadline_cycles %d reached at cycle %d (attempt %d)", deadline, out.cycle, att)
-			d.append(Record{Kind: RecFail, ID: j.id, Reason: diag})
+			d.appendT(Record{Kind: RecFail, ID: j.id, Reason: diag}, tenant)
 			d.terminal(j, StateFailed, &JobResult{Cycles: out.cycle, Output: out.output, Err: diag})
-			d.logf("daemon: %s: %s\n", j.id, diag)
+			d.obs.tracer.Instant(j.id, tenant, "fail", att)
+			j.log.Warn("failed", "op", "run", "attempt", att, "err", diag)
 			return
 		default:
 			diag = fmt.Sprintf("cycle budget %d exhausted at cycle %d (attempt %d)", budget, out.cycle, att)
 		}
 		if retries >= d.opts.Retries {
-			d.append(Record{Kind: RecFail, ID: j.id, Reason: diag})
+			d.appendT(Record{Kind: RecFail, ID: j.id, Reason: diag}, tenant)
 			d.terminal(j, StateFailed, &JobResult{Cycles: out.cycle, Output: out.output, Err: diag})
-			d.logf("daemon: %s: giving up: %s\n", j.id, diag)
+			d.obs.tracer.Instant(j.id, tenant, "fail", att)
+			j.log.Warn("giving up", "op", "run", "attempt", att, "err", diag)
 			return
 		}
 		retries++
+		j.retryNs = d.obs.tracer.Now()
 		d.mu.Lock()
 		d.retries++
 		d.mu.Unlock()
-		d.logf("daemon: %s: attempt %d failed (%s); retrying\n", j.id, att, diag)
+		j.log.Warn("attempt failed; retrying", "op", "run", "attempt", att, "err", diag)
 		// st/prefix were advanced to the last persisted checkpoint by
 		// runSegments; the retry resumes there.
 	}
@@ -872,12 +968,43 @@ type segmentsOut struct {
 	err     error  // nil, a sentinel, or a simulation error (watchdog etc.)
 }
 
+// outcomeOf classifies one attempt's outcome for the run span's detail arg.
+func outcomeOf(out *segmentsOut) string {
+	switch {
+	case errors.Is(out.err, errAborted):
+		return "abort"
+	case errors.Is(out.err, errCanceled):
+		return "cancel"
+	case errors.Is(out.err, errPreempted):
+		return "preempt"
+	case errors.Is(out.err, errDrained):
+		return "drain"
+	case out.err != nil:
+		return "error"
+	case out.halted:
+		return "done"
+	default:
+		return "timeout"
+	}
+}
+
 // runSegments runs one attempt as a chain of simulation segments separated
 // by checkpoint stops. At each stop it persists the envelope and the
 // journal record, then honors pending cancel/drain/preempt requests. st and
 // prefix track the last persisted checkpoint across the call — on a retry
 // the caller resumes from exactly that state.
-func (d *Daemon) runSegments(j *job, cfg config.Config, st **checkpoint.State, prefix *string, budget int64) segmentsOut {
+func (d *Daemon) runSegments(j *job, cfg config.Config, st **checkpoint.State, prefix *string, budget int64, att int, attStart int64) segmentsOut {
+	tenant := tenantOf(&j.spec)
+	ttfsSeen := false
+	// ttfs measures worker start -> the attempt's first observable sample
+	// (first persisted checkpoint, or completion when the run never
+	// checkpoints): how long a client waits before progress is visible.
+	observeTTFS := func() {
+		if !ttfsSeen {
+			ttfsSeen = true
+			d.obs.hists.Observe(obs.HistTTFS, d.obs.tracer.Now()-attStart)
+		}
+	}
 	var out bytes.Buffer
 	startPrefix := *prefix
 	for {
@@ -944,17 +1071,24 @@ func (d *Daemon) runSegments(j *job, cfg config.Config, st **checkpoint.State, p
 			}
 			cst := sys.Capture()
 			envOut := startPrefix + out.String()
+			ckptStart := d.obs.tracer.Now()
 			if err := d.saveEnvelope(j, cst, envOut); err != nil {
 				return segmentsOut{cycle: res.Cycles, output: envOut, err: err}
 			}
+			ckptDur := d.obs.tracer.Now() - ckptStart
+			d.obs.hists.Observe(obs.HistCkptWrite, ckptDur)
+			d.obs.tracer.Add(obs.Span{Job: j.id, Tenant: tenant, Name: "checkpoint-write",
+				StartNs: ckptStart, DurNs: ckptDur, Attempt: att})
 			if d.aborted.Load() {
 				return segmentsOut{err: errAborted}
 			}
-			if _, err := d.append(Record{Kind: RecCkpt, ID: j.id, Cycle: res.Cycles}); err != nil {
+			if _, err := d.appendT(Record{Kind: RecCkpt, ID: j.id, Cycle: res.Cycles}, tenant); err != nil {
 				return segmentsOut{cycle: res.Cycles, output: envOut, err: err}
 			}
+			observeTTFS()
 			*st, *prefix = cst, envOut
 			j.hasCkpt = true
+			j.log.Debug("checkpoint", "op", "ckpt", "attempt", att, "cycle", res.Cycles)
 
 			d.mu.Lock()
 			j.cycles = res.Cycles
@@ -975,6 +1109,7 @@ func (d *Daemon) runSegments(j *job, cfg config.Config, st **checkpoint.State, p
 
 		totalOut := startPrefix + out.String()
 		if res.Halted {
+			observeTTFS()
 			fin := sys.Capture()
 			return segmentsOut{
 				halted:  true,
@@ -1070,7 +1205,7 @@ func (d *Daemon) Drain() error {
 	d.mu.Lock()
 	d.publishLocked()
 	d.mu.Unlock()
-	d.logf("daemon: drained\n")
+	d.obs.log.Info("drained", "op", "drain")
 	return err
 }
 

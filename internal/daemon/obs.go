@@ -1,0 +1,88 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+
+	"xmtgo/internal/obs"
+)
+
+// obsState bundles the daemon's always-on observability surfaces
+// (internal/obs): the lifecycle span ring behind `xmtctl trace`, the
+// service-latency histograms behind /metrics and /status, and the
+// structured log ring behind /logs and `xmtctl logs`.
+type obsState struct {
+	tracer *obs.Tracer
+	hists  *obs.Hists
+	ring   *obs.LogRing
+	log    *slog.Logger
+}
+
+func newObsState(opts *Options) *obsState {
+	o := &obsState{
+		tracer: obs.NewTracer(opts.TraceCapacity),
+		hists:  obs.NewHists(),
+		ring:   obs.NewLogRing(opts.LogCapacity),
+	}
+	o.log = obs.NewLogger(obs.HandlerOptions{
+		Writer: opts.Log,
+		Level:  opts.LogLevel,
+		Ring:   o.ring,
+	})
+	return o
+}
+
+// Tracer exposes the lifecycle span ring (tests and the trace op).
+func (d *Daemon) Tracer() *obs.Tracer { return d.obs.tracer }
+
+// Hists exposes the service-latency histograms (benchmarks and /metrics).
+func (d *Daemon) Hists() *obs.Hists { return d.obs.hists }
+
+// LogRing exposes the bounded structured-log buffer (/logs, the logs op).
+func (d *Daemon) LogRing() *obs.LogRing { return d.obs.ring }
+
+// TraceJSON snapshots the lifecycle span ring as Chrome trace-event JSON.
+func (d *Daemon) TraceJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := d.obs.tracer.WriteChrome(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// traceJSONCompact renders the trace on a single line for the line-JSON
+// protocol (the pretty export contains newlines).
+func (d *Daemon) traceJSONCompact() (json.RawMessage, error) {
+	pretty, err := d.TraceJSON()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, pretty); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// renderPromObs appends the daemon's service-latency histogram series to
+// every /metrics response (metrics.Server.SetPromExtra).
+func (d *Daemon) renderPromObs(w io.Writer) {
+	d.obs.hists.RenderProm(w, "xmt_daemon_")
+}
+
+// logEntriesRaw snapshots the log ring for the logs op: minLevel parsed
+// from the request ("" = everything), optional job filter, max <= 0 = all.
+func (d *Daemon) logEntriesRaw(level, job string, max int) []json.RawMessage {
+	min := slog.LevelDebug
+	if level != "" {
+		min = obs.ParseLevel(level)
+	}
+	entries := d.obs.ring.Snapshot(min, job, max)
+	out := make([]json.RawMessage, len(entries))
+	for i, e := range entries {
+		out[i] = json.RawMessage(e.Raw)
+	}
+	return out
+}

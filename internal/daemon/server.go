@@ -81,6 +81,14 @@ func (d *Daemon) handle(req *Request) (*Response, bool) {
 			return &Response{Err: aerr}, false
 		}
 		return &Response{OK: true, ID: st.ID, Job: st}, false
+	case "trace":
+		raw, err := d.traceJSONCompact()
+		if err != nil {
+			return &Response{Err: apiErrorf(ErrInternal, "trace: %v", err)}, false
+		}
+		return &Response{OK: true, Trace: raw}, false
+	case "logs":
+		return &Response{OK: true, Logs: d.logEntriesRaw(req.Level, req.ID, req.Max)}, false
 	case "drain":
 		if err := d.Drain(); err != nil {
 			return &Response{Err: apiErrorf(ErrInternal, "drain: %v", err)}, true

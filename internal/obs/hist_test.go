@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistsObserveAndSummaries(t *testing.T) {
+	h := NewHists()
+	h.Observe(HistQueueWait, 0)
+	h.Observe(HistQueueWait, 100)
+	h.Observe(HistQueueWait, 1000)
+	h.Observe(HistQueueWait, -5) // clamps to 0
+	h.Observe("bogus", 1)        // ignored
+
+	s := h.Summaries()
+	if len(s) != len(HistKeys) {
+		t.Fatalf("summaries has %d keys, want %d", len(s), len(HistKeys))
+	}
+	qw := s[HistQueueWait]
+	if qw.Count != 4 || qw.MaxNs != 1000 {
+		t.Fatalf("queue_wait summary = %+v", qw)
+	}
+	if qw.MeanNs != 275 {
+		t.Fatalf("mean = %v, want 275", qw.MeanNs)
+	}
+	if qw.P50Ns != 0 { // two of four observations are zero
+		t.Fatalf("p50 = %d, want 0", qw.P50Ns)
+	}
+	if qw.P99Ns != 127 { // rank trunc(0.99*4)=3 lands on 100's bucket [64,127]
+		t.Fatalf("p99 = %d, want 127", qw.P99Ns)
+	}
+	if got := h.Get(HistQueueWait); got.Count != 4 {
+		t.Fatalf("Get count = %d, want 4", got.Count)
+	}
+	if got := h.Get("bogus"); got.Count != 0 {
+		t.Fatalf("Get bogus count = %d, want 0", got.Count)
+	}
+	for _, k := range HistKeys[1:] {
+		if s[k].Count != 0 {
+			t.Fatalf("%s unexpectedly observed: %+v", k, s[k])
+		}
+	}
+}
+
+// TestHistsRenderPromGolden pins the /metrics exposition for one populated
+// and one empty histogram: cumulative buckets with power-of-two upper
+// edges, +Inf, _sum and _count.
+func TestHistsRenderPromGolden(t *testing.T) {
+	h := NewHists()
+	h.Observe(HistCompile, 0)
+	h.Observe(HistCompile, 3)
+	h.Observe(HistCompile, 3)
+	h.Observe(HistCompile, 9)
+
+	var b strings.Builder
+	h.RenderProm(&b, "xmt_daemon_")
+	out := b.String()
+
+	wantCompile := `# HELP xmt_daemon_compile_ns compile latency in nanoseconds (host time).
+# TYPE xmt_daemon_compile_ns histogram
+xmt_daemon_compile_ns_bucket{le="0"} 1
+xmt_daemon_compile_ns_bucket{le="1"} 1
+xmt_daemon_compile_ns_bucket{le="3"} 3
+xmt_daemon_compile_ns_bucket{le="7"} 3
+xmt_daemon_compile_ns_bucket{le="15"} 4
+xmt_daemon_compile_ns_bucket{le="+Inf"} 4
+xmt_daemon_compile_ns_sum 15
+xmt_daemon_compile_ns_count 4
+`
+	if !strings.Contains(out, wantCompile) {
+		t.Fatalf("compile exposition missing:\n%s\n--- full output:\n%s", wantCompile, out)
+	}
+	wantEmpty := `# TYPE xmt_daemon_ttfs_ns histogram
+xmt_daemon_ttfs_ns_bucket{le="0"} 0
+xmt_daemon_ttfs_ns_bucket{le="+Inf"} 0
+xmt_daemon_ttfs_ns_sum 0
+xmt_daemon_ttfs_ns_count 0
+`
+	if !strings.Contains(out, wantEmpty) {
+		t.Fatalf("empty ttfs exposition missing:\n%s\n--- full output:\n%s", wantEmpty, out)
+	}
+	// All seven families, in HistKeys order.
+	last := -1
+	for _, k := range HistKeys {
+		idx := strings.Index(out, "# TYPE xmt_daemon_"+k+"_ns histogram")
+		if idx < 0 {
+			t.Fatalf("family %s missing from exposition", k)
+		}
+		if idx < last {
+			t.Fatalf("family %s out of order", k)
+		}
+		last = idx
+	}
+}

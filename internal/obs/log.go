@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// LogEntry is one structured record held by the LogRing: the rendered JSON
+// line plus the fields the /logs filters match on.
+type LogEntry struct {
+	TimeNs int64
+	Level  slog.Level
+	Job    string
+	Raw    []byte // the full JSON line, without trailing newline
+}
+
+// DefaultLogCapacity is the log-ring bound used when none is given.
+const DefaultLogCapacity = 4096
+
+// LogRing is a bounded in-memory buffer of structured log records. When
+// full, the oldest records are evicted and counted. It doubles as the /logs
+// HTTP handler: GET /logs?level=warn&job=j3&n=100 returns matching records
+// oldest-first as ndjson.
+type LogRing struct {
+	mu      sync.Mutex
+	buf     []LogEntry
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// NewLogRing creates a ring holding up to capacity records (<=0 selects
+// DefaultLogCapacity).
+func NewLogRing(capacity int) *LogRing {
+	if capacity <= 0 {
+		capacity = DefaultLogCapacity
+	}
+	return &LogRing{buf: make([]LogEntry, capacity)}
+}
+
+// Add appends one record, evicting the oldest when full.
+func (r *LogRing) Add(e LogEntry) {
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Dropped reports how many records were evicted from the ring.
+func (r *LogRing) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len reports the number of buffered records.
+func (r *LogRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Snapshot returns the most recent records (oldest first) at or above
+// minLevel, optionally filtered to one job id; max <= 0 means no limit.
+func (r *LogRing) Snapshot(minLevel slog.Level, job string, max int) []LogEntry {
+	r.mu.Lock()
+	var ordered []LogEntry
+	if r.full {
+		ordered = make([]LogEntry, 0, len(r.buf))
+		ordered = append(ordered, r.buf[r.next:]...)
+		ordered = append(ordered, r.buf[:r.next]...)
+	} else {
+		ordered = append(ordered, r.buf[:r.next]...)
+	}
+	r.mu.Unlock()
+
+	var out []LogEntry
+	for _, e := range ordered {
+		if e.Level < minLevel {
+			continue
+		}
+		if job != "" && e.Job != job {
+			continue
+		}
+		out = append(out, e)
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error", any
+// case) to its slog.Level; unknown names default to Info.
+func ParseLevel(s string) slog.Level {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return slog.LevelInfo
+	}
+	return l
+}
+
+// ServeHTTP serves the ring as ndjson with ?level=, ?job= and ?n= filters.
+func (r *LogRing) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	level := slog.LevelDebug
+	if s := q.Get("level"); s != "" {
+		level = ParseLevel(s)
+	}
+	n := 0
+	if s := q.Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad n: "+s, http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, e := range r.Snapshot(level, q.Get("job"), n) {
+		w.Write(e.Raw)
+		w.Write([]byte("\n"))
+	}
+}
+
+// HandlerOptions configures NewHandler.
+type HandlerOptions struct {
+	// Writer receives each rendered JSON line (nil = ring only).
+	Writer io.Writer
+	// Level is the minimum level emitted (records below it are discarded
+	// entirely, ring included). Default Info.
+	Level slog.Leveler
+	// Ring, when non-nil, buffers every emitted record for /logs.
+	Ring *LogRing
+	// Now supplies the timestamp in nanoseconds (tests inject a
+	// deterministic clock). Default: wall-clock UnixNano.
+	Now func() int64
+}
+
+// handler is a deterministic slog JSON handler: one line per record of the
+// form {"ts":<ns>,"level":"INFO","msg":"...", <attrs in argument order>},
+// teed to an io.Writer and a LogRing. Unlike slog.JSONHandler the field
+// order is fixed by construction, so log output is easy to golden-test
+// once timestamps are normalized.
+type handler struct {
+	opts  HandlerOptions
+	attrs []byte // pre-rendered ",\"k\":v" pairs from WithAttrs
+	job   string // value of the most recent "job" attr, for ring filtering
+	group string // dotted prefix from WithGroup
+	mu    *sync.Mutex
+}
+
+// NewHandler creates the JSON handler.
+func NewHandler(opts HandlerOptions) slog.Handler {
+	if opts.Level == nil {
+		opts.Level = slog.LevelInfo
+	}
+	if opts.Now == nil {
+		opts.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	return &handler{opts: opts, mu: &sync.Mutex{}}
+}
+
+// NewLogger is shorthand for slog.New(NewHandler(opts)).
+func NewLogger(opts HandlerOptions) *slog.Logger {
+	return slog.New(NewHandler(opts))
+}
+
+func (h *handler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.opts.Level.Level()
+}
+
+func (h *handler) Handle(_ context.Context, rec slog.Record) error {
+	var buf bytes.Buffer
+	ts := h.opts.Now()
+	fmt.Fprintf(&buf, `{"ts":%d,"level":%q,"msg":`, ts, rec.Level.String())
+	writeJSONString(&buf, rec.Message)
+	buf.Write(h.attrs)
+	job := h.job
+	rec.Attrs(func(a slog.Attr) bool {
+		if v := h.appendAttr(&buf, a); a.Key == "job" && v != "" {
+			job = v
+		}
+		return true
+	})
+	buf.WriteByte('}')
+
+	e := LogEntry{TimeNs: ts, Level: rec.Level, Job: job, Raw: append([]byte(nil), buf.Bytes()...)}
+	if h.opts.Ring != nil {
+		h.opts.Ring.Add(e)
+	}
+	if h.opts.Writer != nil {
+		buf.WriteByte('\n')
+		h.mu.Lock()
+		_, err := h.opts.Writer.Write(buf.Bytes())
+		h.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (h *handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append([]byte(nil), h.attrs...)
+	var buf bytes.Buffer
+	for _, a := range attrs {
+		if v := nh.appendAttr(&buf, a); a.Key == "job" && v != "" {
+			nh.job = v
+		}
+	}
+	nh.attrs = append(nh.attrs, buf.Bytes()...)
+	return &nh
+}
+
+func (h *handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.attrs = append([]byte(nil), h.attrs...)
+	if nh.group == "" {
+		nh.group = name
+	} else {
+		nh.group += "." + name
+	}
+	return &nh
+}
+
+// appendAttr renders one ",\"key\":value" pair; it returns the attr's
+// string form when the value is a string (so callers can sniff "job").
+func (h *handler) appendAttr(buf *bytes.Buffer, a slog.Attr) string {
+	v := a.Value.Resolve()
+	if a.Key == "" || (v.Kind() == slog.KindGroup && len(v.Group()) == 0) {
+		return ""
+	}
+	key := a.Key
+	if h.group != "" {
+		key = h.group + "." + key
+	}
+	if v.Kind() == slog.KindGroup {
+		sub := *h
+		sub.group = key
+		for _, ga := range v.Group() {
+			sub.appendAttr(buf, ga)
+		}
+		return ""
+	}
+	buf.WriteByte(',')
+	writeJSONString(buf, key)
+	buf.WriteByte(':')
+	switch v.Kind() {
+	case slog.KindString:
+		s := v.String()
+		writeJSONString(buf, s)
+		return s
+	case slog.KindInt64:
+		fmt.Fprintf(buf, "%d", v.Int64())
+	case slog.KindUint64:
+		fmt.Fprintf(buf, "%d", v.Uint64())
+	case slog.KindBool:
+		fmt.Fprintf(buf, "%t", v.Bool())
+	case slog.KindFloat64:
+		fmt.Fprintf(buf, "%g", v.Float64())
+	case slog.KindDuration:
+		fmt.Fprintf(buf, "%d", v.Duration().Nanoseconds())
+	case slog.KindTime:
+		fmt.Fprintf(buf, "%d", v.Time().UnixNano())
+	default:
+		writeJSONString(buf, fmt.Sprint(v.Any()))
+	}
+	return ""
+}
+
+func writeJSONString(buf *bytes.Buffer, s string) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		buf.WriteString(`"?"`)
+		return
+	}
+	buf.Write(b)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerGoldenJSON(t *testing.T) {
+	var b strings.Builder
+	var now int64 = 1000
+	log := NewLogger(HandlerOptions{
+		Writer: &b,
+		Level:  slog.LevelDebug,
+		Now:    func() int64 { now += 10; return now },
+	})
+	log.Info("job accepted", "job", "j1", "tenant", "alice", "priority", 3)
+	log.Debug("checkpoint", "job", "j1", "cycle", int64(50000), "ok", true)
+	log.Warn("retry", "job", "j2", "attempt", 2, "err", fmt.Errorf("abort: budget"))
+	log.With("op", "drain").Error("drain failed", "pending", 4)
+
+	want := `{"ts":1010,"level":"INFO","msg":"job accepted","job":"j1","tenant":"alice","priority":3}
+{"ts":1020,"level":"DEBUG","msg":"checkpoint","job":"j1","cycle":50000,"ok":true}
+{"ts":1030,"level":"WARN","msg":"retry","job":"j2","attempt":2,"err":"abort: budget"}
+{"ts":1040,"level":"ERROR","msg":"drain failed","op":"drain","pending":4}
+`
+	if got := b.String(); got != want {
+		t.Fatalf("log output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHandlerLevelGate(t *testing.T) {
+	var b strings.Builder
+	ring := NewLogRing(8)
+	log := NewLogger(HandlerOptions{Writer: &b, Ring: ring, Now: func() int64 { return 1 }})
+	log.Debug("hidden")
+	log.Info("shown")
+	if got := b.String(); strings.Contains(got, "hidden") || !strings.Contains(got, "shown") {
+		t.Fatalf("level gate failed:\n%s", got)
+	}
+	if ring.Len() != 1 {
+		t.Fatalf("ring len = %d, want 1 (debug suppressed before the ring)", ring.Len())
+	}
+}
+
+func TestHandlerGroups(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(HandlerOptions{Writer: &b, Now: func() int64 { return 5 }})
+	log.WithGroup("sim").Info("tick", "cycle", 9)
+	log.Info("grouped", slog.Group("env", slog.String("host", "h1")))
+	want := `{"ts":5,"level":"INFO","msg":"tick","sim.cycle":9}
+{"ts":5,"level":"INFO","msg":"grouped","env.host":"h1"}
+`
+	if got := b.String(); got != want {
+		t.Fatalf("group output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLogRingBoundAndFilters(t *testing.T) {
+	ring := NewLogRing(4)
+	var now int64
+	log := NewLogger(HandlerOptions{Ring: ring, Level: slog.LevelDebug,
+		Now: func() int64 { now++; return now }})
+	for i := 0; i < 3; i++ {
+		log.Info("a", "job", "j1", "i", i)
+	}
+	log.Warn("w", "job", "j2")
+	log.Error("e", "job", "j1")
+	log.Debug("d", "job", "j2")
+
+	if ring.Len() != 4 {
+		t.Fatalf("ring len = %d, want 4", ring.Len())
+	}
+	if ring.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", ring.Dropped())
+	}
+
+	// Oldest two evicted: the remaining window is [a(i=2), w, e, d].
+	all := ring.Snapshot(slog.LevelDebug, "", 0)
+	if len(all) != 4 || !strings.Contains(string(all[0].Raw), `"i":2`) {
+		t.Fatalf("window = %v", len(all))
+	}
+	warnUp := ring.Snapshot(slog.LevelWarn, "", 0)
+	if len(warnUp) != 2 {
+		t.Fatalf("warn+ = %d records, want 2", len(warnUp))
+	}
+	j1 := ring.Snapshot(slog.LevelDebug, "j1", 0)
+	if len(j1) != 2 {
+		t.Fatalf("job j1 = %d records, want 2", len(j1))
+	}
+	for _, e := range j1 {
+		if e.Job != "j1" {
+			t.Fatalf("job filter leaked: %s", e.Raw)
+		}
+	}
+	last := ring.Snapshot(slog.LevelDebug, "", 1)
+	if len(last) != 1 || !strings.Contains(string(last[0].Raw), `"msg":"d"`) {
+		t.Fatalf("n=1 snapshot = %v", last)
+	}
+}
+
+func TestLogRingServeHTTP(t *testing.T) {
+	ring := NewLogRing(16)
+	log := NewLogger(HandlerOptions{Ring: ring, Level: slog.LevelDebug,
+		Now: func() int64 { return 7 }})
+	log.Info("one", "job", "j1")
+	log.Warn("two", "job", "j2")
+	log.Debug("three", "job", "j1")
+
+	get := func(query string) string {
+		rec := httptest.NewRecorder()
+		ring.ServeHTTP(rec, httptest.NewRequest("GET", "/logs"+query, nil))
+		return rec.Body.String()
+	}
+	if body := get(""); strings.Count(body, "\n") != 3 {
+		t.Fatalf("unfiltered body:\n%s", body)
+	}
+	if body := get("?level=warn"); strings.Count(body, "\n") != 1 || !strings.Contains(body, "two") {
+		t.Fatalf("level filter body:\n%s", body)
+	}
+	if body := get("?job=j1&n=1"); strings.Count(body, "\n") != 1 || !strings.Contains(body, "three") {
+		t.Fatalf("job+n filter body:\n%s", body)
+	}
+	rec := httptest.NewRecorder()
+	ring.ServeHTTP(rec, httptest.NewRequest("GET", "/logs?n=zzz", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad n: status %d, want 400", rec.Code)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo, "Warn": slog.LevelWarn,
+		"error": slog.LevelError, "bogus": slog.LevelInfo,
+	} {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRingDropsOldest(t *testing.T) {
+	tr := NewTracer(3)
+	var now int64
+	tr.SetNowFunc(func() int64 { now += 100; return now })
+	for i := 0; i < 5; i++ {
+		tr.Add(Span{Job: "j1", Name: string(rune('a' + i)), StartNs: int64(i)})
+	}
+	spans, dropped := tr.Snapshot()
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if len(spans) != 3 || spans[0].Name != "c" || spans[2].Name != "e" {
+		t.Fatalf("spans = %+v, want c..e", spans)
+	}
+	if n, d := tr.Stats(); n != 3 || d != 2 {
+		t.Fatalf("Stats = %d, %d, want 3, 2", n, d)
+	}
+	if tr.Now() != 100 {
+		t.Fatalf("Now with injected clock = %d, want 100", tr.Now())
+	}
+}
+
+func TestTracerInstant(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetNowFunc(func() int64 { return 42 })
+	tr.Instant("j2", "bob", "done", 1)
+	spans, _ := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("len = %d, want 1", len(spans))
+	}
+	s := spans[0]
+	if !s.Instant || s.StartNs != 42 || s.Job != "j2" || s.Tenant != "bob" || s.Attempt != 1 {
+		t.Fatalf("instant span = %+v", s)
+	}
+}
+
+// TestWriteChromeGolden pins the Chrome trace-event export byte-for-byte
+// for a fully deterministic span list: metadata events first (pid 0 =
+// xmtd, tenants in first-appearance order), then the spans, then the
+// dropped-count footer.
+func TestWriteChromeGolden(t *testing.T) {
+	spans := []Span{
+		{Job: "j1", Tenant: "alice", Name: "queued", StartNs: 1000, DurNs: 2500, Priority: 3},
+		{Job: "j1", Tenant: "alice", Name: "run", StartNs: 3500, DurNs: 10000, Attempt: 1, Detail: "preempt"},
+		{Job: "j2", Tenant: "bob", Name: "compile", StartNs: 2000, DurNs: 750},
+		{Job: "j1", Tenant: "alice", Name: "resume", StartNs: 20000, Attempt: 2, Instant: true},
+		{Name: "journal-append", StartNs: 100, DurNs: 50},
+	}
+	var b strings.Builder
+	if err := WriteChrome(&b, spans, 7); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `{"traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"args":{"name":"xmtd"}},
+{"name":"process_name","ph":"M","pid":1,"args":{"name":"alice"}},
+{"name":"process_name","ph":"M","pid":2,"args":{"name":"bob"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"daemon"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"j1"}},
+{"name":"thread_name","ph":"M","pid":2,"tid":2,"args":{"name":"j2"}},
+{"name":"queued","cat":"lifecycle","ph":"X","ts":1.000,"dur":2.500,"pid":1,"tid":1,"args":{"job":"j1","tenant":"alice","priority":3}},
+{"name":"run","cat":"lifecycle","ph":"X","ts":3.500,"dur":10.000,"pid":1,"tid":1,"args":{"job":"j1","tenant":"alice","attempt":1,"detail":"preempt"}},
+{"name":"compile","cat":"lifecycle","ph":"X","ts":2.000,"dur":0.750,"pid":2,"tid":2,"args":{"job":"j2","tenant":"bob"}},
+{"name":"resume","cat":"lifecycle","ph":"i","ts":20.000,"pid":1,"tid":1,"s":"t","args":{"job":"j1","tenant":"alice","attempt":2}},
+{"name":"journal-append","cat":"lifecycle","ph":"X","ts":0.100,"dur":0.050,"pid":0,"tid":0,"args":{"job":"","tenant":""}}
+],"displayTimeUnit":"ms","otherData":{"dropped":"7"}}
+`
+	if got != want {
+		t.Fatalf("WriteChrome mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The export must be valid JSON with the documented top-level shape.
+	var doc struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 11 || doc.OtherData["dropped"] != "7" {
+		t.Fatalf("parsed export: %d events, dropped %q", len(doc.TraceEvents), doc.OtherData["dropped"])
+	}
+}
+
+func TestJobTid(t *testing.T) {
+	for _, tc := range []struct {
+		job  string
+		want int
+	}{
+		{"j42", 42}, {"j1", 1}, {"", 0}, {"worker", 0}, {"j1x", 0}, {"job7batch3", 3},
+	} {
+		if got := jobTid(tc.job); got != tc.want {
+			t.Errorf("jobTid(%q) = %d, want %d", tc.job, got, tc.want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ func RenderProm(w io.Writer, p *Published) {
 	if st.WatchdogCycles > 0 {
 		g("xmt_watchdog_slack_cycles", "Estimated cycles of watchdog budget remaining.", st.WatchdogSlack)
 	}
+	c("xmt_trace_dropped_total", "Sim trace-ring events evicted before draining.", st.TraceDropped)
 
 	cs := p.Counters
 	if cs != nil {
@@ -90,6 +91,35 @@ func RenderProm(w io.Writer, p *Published) {
 		g("xmt_batch_jobs_done", "Jobs completed successfully.", bt.JobsDone)
 		g("xmt_batch_jobs_failed", "Jobs that exhausted their retry budget.", bt.JobsFailed)
 		g("xmt_batch_resumes_total", "Checkpoint resumes performed across the campaign.", bt.Resumes)
+	}
+
+	if dm := st.Daemon; dm != nil {
+		g("xmt_daemon_queue_depth", "Jobs in the daemon's ready queue.", dm.QueueDepth)
+		g("xmt_daemon_running", "Jobs currently simulating.", dm.Running)
+		g("xmt_daemon_workers", "Configured worker count.", dm.Workers)
+		g("xmt_daemon_draining", "1 while a graceful drain is in progress.", b2i(dm.Draining))
+		c("xmt_daemon_preemptions_total", "Checkpoint-boundary preemptions.", dm.Preemptions)
+		c("xmt_daemon_retries_total", "Attempt retries after timeout or watchdog trip.", dm.Retries)
+		c("xmt_daemon_recoveries_total", "Jobs recovered by journal replay.", dm.Recoveries)
+		c("xmt_daemon_completed_total", "Jobs finished successfully.", dm.Completed)
+		c("xmt_daemon_failed_total", "Jobs that reached a failure state.", dm.Failed)
+		c("xmt_daemon_canceled_total", "Jobs canceled by clients.", dm.Canceled)
+		c("xmt_daemon_trace_spans_dropped_total", "Lifecycle spans evicted from the daemon trace ring.", dm.TraceDropped)
+		c("xmt_daemon_log_dropped_total", "Structured log records evicted from the /logs ring.", dm.LogDropped)
+		if len(dm.Tenants) > 0 {
+			name := "xmt_daemon_tenant_jobs"
+			fmt.Fprintf(w, "# HELP %s Per-tenant queue and worker occupancy.\n# TYPE %s gauge\n", name, name)
+			tenants := make([]string, 0, len(dm.Tenants))
+			for t := range dm.Tenants {
+				tenants = append(tenants, t)
+			}
+			sort.Strings(tenants)
+			for _, t := range tenants {
+				occ := dm.Tenants[t]
+				fmt.Fprintf(w, "%s{tenant=%q,state=\"queued\"} %d\n", name, t, occ.Queued)
+				fmt.Fprintf(w, "%s{tenant=%q,state=\"running\"} %d\n", name, t, occ.Running)
+			}
+		}
 	}
 }
 

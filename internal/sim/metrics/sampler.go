@@ -5,6 +5,7 @@ import (
 	"xmtgo/internal/sim/cycle"
 	"xmtgo/internal/sim/power"
 	"xmtgo/internal/sim/stats"
+	"xmtgo/internal/sim/trace"
 )
 
 // Sampler is the deterministic interval sampler: an activity plug-in
@@ -35,6 +36,11 @@ type Sampler struct {
 
 	srv *Server // non-nil when publishing to a live metrics server
 	job string  // daemon job id stamped on published bundles (may be empty)
+
+	// evlog, when set, reads the run's structured trace log so /status and
+	// /metrics can surface its dropped-event count (satellite of the
+	// service-observability work: silent ring truncation must be scrapable).
+	evlog func() *trace.EventLog
 }
 
 type prevState struct {
@@ -68,6 +74,7 @@ func Attach(sys *cycle.System, interval int64) *Sampler {
 		return nil
 	}
 	sp := NewSampler(sys.Cfg, interval, sys.StartCycle())
+	sp.evlog = sys.EventLog
 	sys.AddActivityPlugin(sp)
 	return sp
 }
@@ -235,6 +242,11 @@ func (sp *Sampler) publish(s *Sample, cyc, ticks int64, st *stats.Collector, ali
 	}
 	if sp.cfg.WatchdogCycles > 0 {
 		status.WatchdogSlack = sp.cfg.WatchdogCycles - (cyc - sp.lastProgressCycle)
+	}
+	if sp.evlog != nil {
+		if l := sp.evlog(); l != nil {
+			status.TraceDropped = l.Dropped
+		}
 	}
 	sp.srv.Publish(&Published{
 		Status:   status,

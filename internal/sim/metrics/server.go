@@ -3,12 +3,15 @@ package metrics
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"xmtgo/internal/obs"
 	"xmtgo/internal/sim/stats"
 )
 
@@ -25,7 +28,10 @@ type Status struct {
 	// trip, at sample-interval granularity.
 	WatchdogCycles int64 `json:"watchdog_cycles"`
 	WatchdogSlack  int64 `json:"watchdog_slack,omitempty"`
-	Done           bool  `json:"done"`
+	// TraceDropped counts sim trace-ring events evicted before draining
+	// (previously visible only in the Chrome-trace footer).
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+	Done         bool   `json:"done"`
 
 	// Batch is present when an xmtbatch run is being monitored.
 	Batch *BatchStatus `json:"batch,omitempty"`
@@ -60,6 +66,15 @@ type DaemonStatus struct {
 	Completed   uint64 `json:"completed"`
 	Failed      uint64 `json:"failed"`
 	Canceled    uint64 `json:"canceled"`
+
+	// Latencies summarizes the daemon's service-latency histograms
+	// (internal/obs), keyed by obs.HistKeys; full bucket series are on
+	// /metrics. TraceSpans/TraceDropped describe the lifecycle-span ring,
+	// LogDropped the structured-log ring.
+	Latencies    map[string]obs.HistSummary `json:"latencies,omitempty"`
+	TraceSpans   int                        `json:"trace_spans,omitempty"`
+	TraceDropped uint64                     `json:"trace_dropped,omitempty"`
+	LogDropped   uint64                     `json:"log_dropped,omitempty"`
 }
 
 // TenantOccupancy is one tenant's share of the daemon's queue and workers.
@@ -93,6 +108,13 @@ type Server struct {
 	mu     sync.Mutex
 	subs   map[chan []byte]string // value: job filter ("" = every sample)
 	closed bool
+
+	// The mux is created lazily and shared, so routes registered after
+	// ListenAndServe (the daemon attaches /logs and its histogram renderer
+	// once it finishes recovery) are served by the running listener.
+	muxOnce   sync.Once
+	mux       *http.ServeMux
+	promExtra atomic.Pointer[func(io.Writer)]
 
 	srv *http.Server
 	ln  net.Listener
@@ -170,13 +192,42 @@ func (s *Server) PublishDaemon(d DaemonStatus) {
 // publish).
 func (s *Server) Latest() *Published { return s.latest.Load() }
 
-// Handler returns the HTTP mux (exported for tests and embedding).
+// Handler returns the HTTP mux (exported for tests and embedding). The mux
+// is shared across calls, so later Handle registrations reach an already-
+// serving listener (http.ServeMux is safe for concurrent Handle/ServeHTTP).
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/status", s.handleStatus)
-	mux.HandleFunc("/stream", s.handleStream)
-	return mux
+	s.muxOnce.Do(func() {
+		s.mux = http.NewServeMux()
+		s.mux.HandleFunc("/metrics", s.handleMetrics)
+		s.mux.HandleFunc("/status", s.handleStatus)
+		s.mux.HandleFunc("/stream", s.handleStream)
+	})
+	return s.mux
+}
+
+// Handle registers an additional route (e.g. the daemon's /logs). Safe
+// before or after ListenAndServe.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.Handler()
+	s.mux.Handle(pattern, h)
+}
+
+// SetPromExtra installs a renderer appended to every /metrics response —
+// the daemon uses it to expose its service-latency histogram series. It
+// runs even before the first published bundle.
+func (s *Server) SetPromExtra(fn func(io.Writer)) {
+	s.promExtra.Store(&fn)
+}
+
+// EnablePprof mounts net/http/pprof's profiling handlers under
+// /debug/pprof/ on the server's mux (opt-in via the CLIs' -pprof flag).
+func (s *Server) EnablePprof() {
+	s.Handler()
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // ListenAndServe binds addr (e.g. ":8080" or "127.0.0.1:0") and serves in a
@@ -222,9 +273,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if p == nil {
 		fmt.Fprintln(w, "# no sample published yet")
-		return
+	} else {
+		RenderProm(w, p)
 	}
-	RenderProm(w, p)
+	if fn := s.promExtra.Load(); fn != nil {
+		(*fn)(w)
+	}
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

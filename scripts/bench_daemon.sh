@@ -10,9 +10,10 @@
 # progress), writes the parsed results to BENCH_daemon_<date>.json, appends
 # to the cross-run BENCH_DAEMON_HISTORY.jsonl (separate from the simulator
 # throughput history so neither gate goes vacuous), and diffs the last two
-# entries with xmtperf. jobs/sec gates as higher-better, ttfs_ns as
-# lower-better; both get the wide cross-host band (the history spans hosts
-# and load).
+# entries with xmtperf. jobs/sec gates as higher-better; ttfs_ns and the
+# daemon's own latency-histogram percentiles (queue_wait/ttfs p50 and p99,
+# internal/obs) gate as lower-better. All get the wide cross-host band (the
+# history spans hosts and load).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,5 +32,6 @@ echo "wrote $out and appended to $history"
 
 if [ "$(wc -l <"$history")" -ge 2 ]; then
     echo "== xmtperf (last two $history entries, 30% threshold)"
-    go run ./cmd/xmtperf -threshold 30 -t ns/op=60 -t allocs/op=60 -t B/op=60 -t ttfs_ns=60 "$history"
+    go run ./cmd/xmtperf -threshold 30 -t ns/op=60 -t allocs/op=60 -t B/op=60 -t ttfs_ns=60 \
+        -t queue_wait_p50_ns=60 -t queue_wait_p99_ns=60 -t ttfs_p50_ns=60 -t ttfs_p99_ns=60 "$history"
 fi

@@ -88,6 +88,14 @@ echo "== xmtd gate (daemon: submit, preempt, kill -9, journal replay, drain)"
 # right output, and a drain exits 0 leaving the clean-shutdown marker.
 go test -count=1 -timeout 300s -run TestCLIDaemonCrashRecovery .
 
+echo "== xmtd observability gate (lifecycle trace, latency histograms, structured logs, pprof)"
+# A real xmtd with -serve/-pprof/-trace: a submit → preempt → resume → done
+# lifecycle must show up as spans in xmtctl trace (Perfetto-loadable), the
+# seven xmt_daemon_*_ns histogram families and xmt_trace_dropped_total must
+# be on /metrics, daemon logs must be structured JSON with job/tenant
+# fields (xmtctl logs and /logs agree), and /debug/pprof/ must answer.
+go test -count=1 -timeout 300s -run TestCLIDaemonObservability .
+
 echo "== xmtperf self-test (seeded regression fixture must trip the gate)"
 go build -o /tmp/xmtperf.check ./cmd/xmtperf
 if /tmp/xmtperf.check testdata/perf/bench_base.json testdata/perf/bench_regressed.json >/dev/null; then
@@ -111,8 +119,9 @@ echo "== coverage gate"
 # Total statement coverage must not drop below the recorded baseline
 # (78.0% at the PR-2 seed, 78.1% at PR-5, 78.9% at PR-8, 79.0% at PR-9 —
 # the daemon, its CLIs and sigctl ship with in-process coverage; measured
-# 79.3%, baselined with slack for timing-dependent daemon branches). Raise
-# the baseline when coverage improves; never lower it to make a change pass.
+# 79.3% then, 79.5% at PR-10 with internal/obs and the daemon threading,
+# baselined with slack for timing-dependent daemon branches). Raise the
+# baseline when coverage improves; never lower it to make a change pass.
 baseline=79.0
 profile=$(mktemp)
 go test -count=1 -coverprofile="$profile" -coverpkg=./... ./... >/dev/null
